@@ -1,0 +1,86 @@
+"""Ablation — ingress batching inside the sorter (DESIGN.md §3).
+
+Trill ingests columnar batches; our scalar ``ImpatienceSorter`` mirrors
+that with an O(1)-append staging area consumed at punctuations
+(``extend``), versus dealing every event into the run pool on arrival
+(``insert``).  The staging area is a pure constant-factor choice — the
+per-punctuation algorithm is identical — and this ablation measures what
+it is worth per dataset and batch size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import reorder_latency_for
+from repro.bench import stream_length
+from repro.bench.reporting import format_table
+from repro.core.impatience import ImpatienceSorter
+from repro.workloads import load_dataset
+
+DATASETS = ("cloudlog", "androidlog", "synthetic")
+BATCHES = (1, 64, 4_096)
+
+
+#: Punctuation cadence, fixed across batch sizes so the ablation isolates
+#: the ingress path (insert-per-event vs staged extend) alone.
+PUNCTUATE_EVERY = 4_096
+
+
+def run(timestamps, batch, latency):
+    """Drive the sorter in `batch`-sized extend() calls; M events/s."""
+    sorter = ImpatienceSorter()
+    start = time.perf_counter()
+    high = None
+    since_punctuation = 0
+    for i in range(0, len(timestamps), batch):
+        chunk = timestamps[i:i + batch]
+        if batch == 1:
+            sorter.insert(chunk[0])
+        else:
+            sorter.extend(chunk)
+        tail = max(chunk)
+        high = tail if high is None or tail > high else high
+        since_punctuation += len(chunk)
+        if since_punctuation >= PUNCTUATE_EVERY:
+            since_punctuation = 0
+            ts = high - latency
+            if sorter.watermark == float("-inf") or ts > sorter.watermark:
+                sorter.on_punctuation(ts)
+    sorter.flush()
+    return len(timestamps) / (time.perf_counter() - start) / 1e6
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize("name", DATASETS)
+def bench_ingress_batch(benchmark, datasets, N, name, batch):
+    timestamps = datasets[name].timestamps
+    latency = reorder_latency_for(name, N)
+    meps = benchmark.pedantic(
+        lambda: run(timestamps, batch, latency), rounds=1, iterations=1
+    )
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+def report(n=None):
+    n = n or stream_length()
+    rows = []
+    for name in DATASETS:
+        timestamps = load_dataset(name, n).timestamps
+        latency = reorder_latency_for(name, n)
+        row = [name] + [
+            round(run(timestamps, batch, latency), 3) for batch in BATCHES
+        ]
+        row.append(round(row[-1] / row[1], 2))
+        rows.append(row)
+    print(format_table(
+        ["dataset", *(f"batch={b}" for b in BATCHES), "speedup"],
+        rows,
+        title="Ablation: sorter ingress batching (extend vs per-insert)",
+    ))
+
+
+if __name__ == "__main__":
+    report()

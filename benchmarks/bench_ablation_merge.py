@@ -1,0 +1,112 @@
+"""Ablation — merge schedules (DESIGN.md §3, items 4/5).
+
+Quantifies the Huffman-merge design choice in isolation: for the same
+partition-phase output, how many element moves (``merge_events``) and how
+much wall time does each schedule spend?
+
+* ``huffman`` — smallest-two-first (the paper's HM optimization);
+* ``pairwise`` — balanced adjacent-pairs rounds (the no-HM baseline);
+* ``kway`` — single k-way heap merge (classic Patience sort; the paper's
+  predecessor work showed binary merges beat it on modern hardware).
+
+Also reports the speculative-run-selection hit rate per dataset — the
+quantity behind SRS being "especially effective on the Android dataset".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import stream_length
+from repro.bench.reporting import format_table
+from repro.core.merge import MERGE_STRATEGIES
+from repro.core.runs import RunPool
+from repro.core.stats import SorterStats
+from repro.workloads import load_dataset
+
+DATASETS = ("cloudlog", "androidlog", "synthetic")
+
+
+def partitioned_runs(timestamps):
+    """Run the partition phase once; return drained (keys, items) runs."""
+    pool = RunPool(speculative=True, keyless=True)
+    pool.insert_batch(timestamps, timestamps)
+    return pool.drain()
+
+
+def merge_cost(runs, strategy):
+    """(elapsed_seconds, merge_events) for one schedule over copied runs."""
+    fresh = [(list(keys), list(keys)) for keys, _ in runs]
+    stats = SorterStats()
+    start = time.perf_counter()
+    MERGE_STRATEGIES[strategy](fresh, stats)
+    return time.perf_counter() - start, stats.merge_events
+
+
+def srs_hit_rate(timestamps):
+    stats = SorterStats()
+    pool = RunPool(speculative=True, keyless=True, stats=stats)
+    pool.insert_batch(timestamps, timestamps)
+    total = stats.srs_hits + stats.binary_searches
+    return stats.srs_hits / total if total else 0.0
+
+
+@pytest.mark.parametrize("strategy", sorted(MERGE_STRATEGIES))
+@pytest.mark.parametrize("name", DATASETS)
+def bench_merge_schedule(benchmark, datasets, name, strategy):
+    runs = partitioned_runs(datasets[name].timestamps)
+    elapsed, moves = benchmark.pedantic(
+        lambda: merge_cost(runs, strategy), rounds=1, iterations=1
+    )
+    benchmark.extra_info["merge_events"] = moves
+    benchmark.extra_info["runs"] = len(runs)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def bench_srs_hit_rate(benchmark, datasets, name):
+    timestamps = datasets[name].timestamps
+    rate = benchmark.pedantic(
+        lambda: srs_hit_rate(timestamps), rounds=1, iterations=1
+    )
+    benchmark.extra_info["srs_hit_rate"] = rate
+
+
+def bench_huffman_never_moves_more(datasets, benchmark):
+    """Invariant: Huffman's schedule is move-optimal among the three."""
+    def check():
+        for name in DATASETS:
+            runs = partitioned_runs(datasets[name].timestamps)
+            moves = {
+                s: merge_cost(runs, s)[1] for s in MERGE_STRATEGIES
+                if s != "kway"  # kway counts each event once by design
+            }
+            assert moves["huffman"] <= moves["pairwise"], name
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def report(n=None):
+    n = n or stream_length()
+    rows = []
+    for name in DATASETS:
+        timestamps = load_dataset(name, n).timestamps
+        runs = partitioned_runs(timestamps)
+        row = [name, len(runs)]
+        for strategy in ("huffman", "pairwise", "kway"):
+            elapsed, moves = merge_cost(runs, strategy)
+            row += [round(elapsed * 1000, 1), moves]
+        row.append(round(srs_hit_rate(timestamps), 3))
+        rows.append(row)
+    print(format_table(
+        ["dataset", "runs", "HM ms", "HM moves", "pairwise ms",
+         "pairwise moves", "kway ms", "kway moves", "SRS hit rate"],
+        rows,
+        title="Ablation: merge schedules and SRS hit rate",
+    ))
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,95 @@
+"""Ablation — multi-query sharing of one framework fan-out.
+
+When Q queries subscribe to the same out-of-order stream, running each
+through its own framework re-partitions and re-sorts the input Q times.
+:func:`repro.framework.multiquery.build_multi_query` shares one
+partition + per-latency sorters across every query's PIQ/merge cascade.
+
+Expected shape: shared execution approaches the cost of one framework
+pass plus Q cheap cascades, so the speedup over separate runs grows with
+Q (bounded by the fraction of time spent in partition+sort).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.bench_fig10_framework import latencies_for, window_for
+from repro.bench import stream_length
+from repro.bench.reporting import format_table
+from repro.engine.disordered import DisorderedStreamable
+from repro.framework.multiquery import build_multi_query
+from repro.framework.queries import make_query
+from repro.workloads import load_dataset
+
+FREQUENCY = 10_000
+QUERY_NAMES = ("Q1", "Q2", "Q4")
+
+
+def _disordered(dataset, window):
+    return DisorderedStreamable.from_dataset(
+        dataset, punctuation_frequency=FREQUENCY
+    ).tumbling_window(window)
+
+
+def run_shared(dataset, queries, latencies, window):
+    start = time.perf_counter()
+    build_multi_query(
+        _disordered(dataset, window), latencies,
+        {q.name: (q.piq, q.merge) for q in queries},
+    ).run()
+    return time.perf_counter() - start
+
+
+def run_separate(dataset, queries, latencies, window):
+    start = time.perf_counter()
+    for query in queries:
+        _disordered(dataset, window).to_streamables(
+            latencies, piq=query.piq, merge=query.merge
+        ).run()
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("n_queries", [2, 3])
+def bench_shared_vs_separate(benchmark, N, n_queries):
+    n = min(N, 50_000)
+    dataset = load_dataset("cloudlog", n)
+    window = window_for(n)
+    queries = [make_query(name, window) for name in QUERY_NAMES[:n_queries]]
+    latencies = latencies_for("cloudlog", n)
+    shared = benchmark.pedantic(
+        lambda: run_shared(dataset, queries, latencies, window),
+        rounds=1, iterations=1,
+    )
+    separate = run_separate(dataset, queries, latencies, window)
+    assert shared < separate  # sharing must never lose
+    benchmark.extra_info["speedup"] = separate / shared
+
+
+def report(n=None):
+    n = min(n or stream_length(), 100_000)
+    dataset = load_dataset("cloudlog", n)
+    window = window_for(n)
+    latencies = latencies_for("cloudlog", n)
+    rows = []
+    for n_queries in (1, 2, 3):
+        queries = [
+            make_query(name, window) for name in QUERY_NAMES[:n_queries]
+        ]
+        shared = run_shared(dataset, queries, latencies, window)
+        separate = run_separate(dataset, queries, latencies, window)
+        rows.append([
+            n_queries, round(separate, 2), round(shared, 2),
+            round(separate / shared, 2),
+        ])
+    print(format_table(
+        ["queries", "separate s", "shared s", "speedup"],
+        rows,
+        title="Ablation: multi-query shared fan-out (cloudlog)",
+    ))
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,92 @@
+"""Figure 5 — number of sorted runs: Patience vs Impatience on CloudLog.
+
+The paper sorts the CloudLog dataset with punctuations every 10,000 events
+for Impatience sort (Patience sort only sorts at the end) and plots the
+live run count over time: Patience's curve is monotonically increasing
+(burst damage is unredeemable), while Impatience periodically cleans out
+runs created by severely late events and returns to a "healthy" state.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.impatience import ImpatienceSorter
+from repro.core.patience import PatienceSorter
+from repro.engine.ingress import ingress_timestamps
+from repro.workloads import load_dataset
+
+PUNCTUATION_EVERY = 10_000
+
+
+def run_count_series(timestamps, reorder_latency):
+    """Return the two Figure 5 series as (events_seen, live_runs) lists."""
+    patience = PatienceSorter(sample_every=PUNCTUATION_EVERY)
+    patience.extend(timestamps)
+    patience_series = list(patience.stats.run_count_history)
+    patience.result()
+
+    impatience = ImpatienceSorter()
+    for tag, value in ingress_timestamps(
+        timestamps, PUNCTUATION_EVERY, reorder_latency,
+        final_punctuation=False,
+    ):
+        if tag == "event":
+            impatience.insert(value)
+        else:
+            impatience.on_punctuation(value)
+    impatience_series = [
+        (n, runs)
+        for n, runs in impatience.stats.run_count_history
+    ]
+    impatience.flush()
+    return patience_series, impatience_series
+
+
+def bench_fig5_series(benchmark, datasets, N):
+    from benchmarks.conftest import reorder_latency_for
+
+    timestamps = datasets["cloudlog"].timestamps
+    latency = reorder_latency_for("cloudlog", N)
+    patience_series, impatience_series = benchmark.pedantic(
+        lambda: run_count_series(timestamps, latency), rounds=1, iterations=1
+    )
+    patience_final = patience_series[-1][1]
+    impatience_max = max(r for _, r in impatience_series)
+    # The paper's claim: Impatience holds far fewer live runs than
+    # Patience accumulates, because punctuations clean emptied runs out.
+    assert impatience_max < patience_final
+    benchmark.extra_info["patience_final_runs"] = patience_final
+    benchmark.extra_info["impatience_max_runs"] = impatience_max
+
+
+def report(n=None):
+    from benchmarks.conftest import reorder_latency_for
+    from repro.bench import stream_length
+
+    n = n or stream_length()
+
+    dataset = load_dataset("cloudlog", n)
+    patience_series, impatience_series = run_count_series(
+        dataset.timestamps, reorder_latency_for("cloudlog", n)
+    )
+    impatience_at = dict(impatience_series)
+    rows = []
+    for seen, runs in patience_series:
+        rows.append([seen, runs, impatience_at.get(seen, "")])
+    print(format_table(
+        ["events seen", "patience runs", "impatience runs"],
+        rows,
+        title="Figure 5 (CloudLog, punctuation every 10k events)",
+    ))
+    print()
+    from repro.bench.ascii_chart import line_chart
+
+    print(line_chart({
+        "patience": patience_series,
+        "impatience": impatience_series,
+    }))
+    return patience_series, impatience_series
+
+
+if __name__ == "__main__":
+    report()

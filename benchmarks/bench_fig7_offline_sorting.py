@@ -1,0 +1,107 @@
+"""Figure 7 — throughput of offline sorting algorithms.
+
+(a) real datasets (CloudLog, AndroidLog) with the HM / SRS ablations;
+(b) synthetic, varying the amount of disorder d ∈ {1024, 256, 64, 16, 4};
+(c) synthetic, varying the percent of disorder p ∈ {100, 30, 10, 3, 1}.
+
+Expected shape (paper): Impatience beats every competitor on the real
+logs (+36.2% / +24.6% over the best); Heapsort is flat and worst;
+Impatience/Timsort converge as disorder vanishes; HM is worth up to ~30%
+and SRS up to ~15% (strongest on AndroidLog's long runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import stream_length, offline_throughput
+from repro.bench.reporting import format_table
+from repro.workloads import load_dataset
+
+ALGORITHMS = (
+    "impatience", "impatience-no-hm", "impatience-no-hm-srs",
+    "quicksort", "timsort", "heapsort",
+)
+SWEEP_ALGORITHMS = ("impatience", "quicksort", "timsort", "heapsort")
+AMOUNTS = (1024, 256, 64, 16, 4)
+PERCENTS = (100, 30, 10, 3, 1)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("name", ["cloudlog", "androidlog"])
+def bench_fig7a_real_datasets(benchmark, datasets, name, algorithm):
+    timestamps = datasets[name].timestamps
+    meps = benchmark.pedantic(
+        lambda: offline_throughput(algorithm, timestamps),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+@pytest.mark.parametrize("algorithm", SWEEP_ALGORITHMS)
+@pytest.mark.parametrize("amount", AMOUNTS)
+def bench_fig7b_amount_of_disorder(benchmark, N, amount, algorithm):
+    dataset = load_dataset(
+        "synthetic", min(N, 50_000), percent_disorder=50,
+        amount_disorder=amount,
+    )
+    meps = benchmark.pedantic(
+        lambda: offline_throughput(algorithm, dataset.timestamps),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+@pytest.mark.parametrize("algorithm", SWEEP_ALGORITHMS)
+@pytest.mark.parametrize("percent", PERCENTS)
+def bench_fig7c_percent_of_disorder(benchmark, N, percent, algorithm):
+    dataset = load_dataset(
+        "synthetic", min(N, 50_000), percent_disorder=percent,
+        amount_disorder=64,
+    )
+    meps = benchmark.pedantic(
+        lambda: offline_throughput(algorithm, dataset.timestamps),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+def report(n=None):
+    n = n or stream_length()
+    rows = []
+    for name in ("cloudlog", "androidlog"):
+        timestamps = load_dataset(name, n).timestamps
+        row = [name] + [
+            round(offline_throughput(a, timestamps), 3) for a in ALGORITHMS
+        ]
+        rows.append(row)
+    print(format_table(
+        ["dataset", *ALGORITHMS], rows,
+        title="Figure 7(a): offline throughput, M events/s",
+    ))
+
+    for label, sweep, fixed in (
+        ("7(b): amount of disorder d (p=50%)", AMOUNTS, "amount"),
+        ("7(c): percent of disorder p (d=64)", PERCENTS, "percent"),
+    ):
+        rows = []
+        for value in sweep:
+            kwargs = (
+                {"percent_disorder": 50, "amount_disorder": value}
+                if fixed == "amount"
+                else {"percent_disorder": value, "amount_disorder": 64}
+            )
+            timestamps = load_dataset("synthetic", n, **kwargs).timestamps
+            rows.append([value] + [
+                round(offline_throughput(a, timestamps), 3)
+                for a in SWEEP_ALGORITHMS
+            ])
+        print()
+        print(format_table(
+            [fixed, *SWEEP_ALGORITHMS], rows,
+            title=f"Figure {label}, M events/s",
+        ))
+
+
+if __name__ == "__main__":
+    report()

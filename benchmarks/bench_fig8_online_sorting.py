@@ -1,0 +1,76 @@
+"""Figure 8 — throughput of online (incremental) sorting algorithms
+versus punctuation frequency.
+
+(a) synthetic (p=30%, d=64); (b) CloudLog; (c) AndroidLog.
+Punctuation frequency = events between punctuations; reorder latency is
+tuned per dataset (Section VI-B2).
+
+Expected shape (paper): Impatience sort wins everywhere — modestly on the
+synthetic data (1.3–2.1×), massively on the real logs at high punctuation
+frequency (1.3–4.4× CloudLog, 1.3–7.9× AndroidLog) because the
+buffered-adapter baselines rewrite the whole sorted buffer on every
+punctuation, while Impatience only touches head runs.  Heapsort is
+frequency-insensitive but uniformly slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import reorder_latency_for
+from repro.bench import stream_length, online_throughput
+from repro.bench.reporting import format_table
+from repro.workloads import load_dataset
+
+ALGORITHMS = ("impatience", "patience", "quicksort", "timsort", "heapsort")
+FREQUENCIES = (10, 100, 1_000, 10_000)
+DATASETS = ("synthetic", "cloudlog", "androidlog")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("frequency", FREQUENCIES)
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig8_online(benchmark, datasets, N, name, frequency, algorithm):
+    timestamps = datasets[name].timestamps
+    latency = reorder_latency_for(name, N)
+    meps = benchmark.pedantic(
+        lambda: online_throughput(algorithm, timestamps, frequency, latency),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+def report(n=None):
+    n = n or stream_length()
+    for name in DATASETS:
+        dataset = load_dataset(
+            "synthetic", n, percent_disorder=30, amount_disorder=64
+        ) if name == "synthetic" else load_dataset(name, n)
+        latency = reorder_latency_for(name, n)
+        rows = []
+        for frequency in FREQUENCIES:
+            row = [frequency]
+            results = {
+                a: online_throughput(
+                    a, dataset.timestamps, frequency, latency
+                )
+                for a in ALGORITHMS
+            }
+            row += [round(results[a], 3) for a in ALGORITHMS]
+            best_other = max(v for k, v in results.items()
+                             if k != "impatience")
+            row.append(round(results["impatience"] / best_other, 2))
+            rows.append(row)
+        print(format_table(
+            ["punct freq", *ALGORITHMS, "imp/best"],
+            rows,
+            title=(
+                f"Figure 8 ({name}, latency={latency}): online throughput, "
+                "M events/s"
+            ),
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    report()

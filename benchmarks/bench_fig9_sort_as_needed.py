@@ -1,0 +1,106 @@
+"""Figure 9 — speedup of sort-as-needed execution.
+
+Compares running an order-insensitive operator *before* the sorting
+operator (push-down) versus *after* it, for:
+
+(a) selection at varying selectivity (paper: up to ~7× speedup,
+    sub-linear in 1/s because the bitmap/scan cost remains);
+(b) projection at varying projected column count (paper: up to ~1.5×,
+    diluted by fixed per-event metadata);
+(c) tumbling windows at varying size (paper: up to ~2.4×, weakest on
+    AndroidLog whose runs are already long).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import stream_length, sort_as_needed_speedup
+from repro.bench.reporting import format_table
+from repro.workloads import load_dataset
+
+SELECTIVITIES = (10, 25, 50, 75, 100)
+PROJECTIONS = (1, 2, 4)
+WINDOWS = (1, 100, 10_000, 1_000_000)
+DATASETS = ("synthetic", "cloudlog", "androidlog")
+
+
+def _load(name, n):
+    if name == "synthetic":
+        return load_dataset("synthetic", n, percent_disorder=30,
+                            amount_disorder=64)
+    return load_dataset(name, n)
+
+
+def selection_ops(selectivity):
+    threshold = selectivity  # keys are uniform over 0..99
+    return lambda s: s.where(lambda e: e.key < threshold)
+
+
+def projection_ops(columns):
+    return lambda s: s.select_columns(list(range(columns)))
+
+
+def window_ops(size):
+    return lambda s: s.tumbling_window(size)
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig9a_selection(benchmark, N, name, selectivity):
+    dataset = _load(name, min(N, 50_000))
+    ops = selection_ops(selectivity)
+    result = benchmark.pedantic(
+        lambda: sort_as_needed_speedup(ops, ops, dataset),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(result)
+
+
+@pytest.mark.parametrize("columns", PROJECTIONS)
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig9b_projection(benchmark, N, name, columns):
+    dataset = _load(name, min(N, 50_000))
+    ops = projection_ops(columns)
+    result = benchmark.pedantic(
+        lambda: sort_as_needed_speedup(ops, ops, dataset),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(result)
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("name", DATASETS)
+def bench_fig9c_window(benchmark, N, name, window):
+    dataset = _load(name, min(N, 50_000))
+    ops = window_ops(window)
+    result = benchmark.pedantic(
+        lambda: sort_as_needed_speedup(ops, ops, dataset),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(result)
+
+
+def report(n=None):
+    n = min(n or stream_length(), 50_000)
+    for title, sweep, make_ops in (
+        ("Figure 9(a): selection selectivity (%)", SELECTIVITIES,
+         selection_ops),
+        ("Figure 9(b): projected columns", PROJECTIONS, projection_ops),
+        ("Figure 9(c): tumbling window size", WINDOWS, window_ops),
+    ):
+        rows = []
+        for value in sweep:
+            row = [value]
+            for name in DATASETS:
+                result = sort_as_needed_speedup(
+                    make_ops(value), make_ops(value), _load(name, n)
+                )
+                row.append(round(result["speedup"], 2))
+            rows.append(row)
+        print(format_table(["param", *DATASETS], rows, title=title))
+        print()
+
+
+if __name__ == "__main__":
+    report()

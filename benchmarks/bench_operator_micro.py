@@ -1,0 +1,107 @@
+"""Operator microbenchmarks: per-operator event throughput.
+
+Not a paper figure — an engineering table that localizes where the
+row-oriented pipeline spends its time (and therefore how much headroom
+each Figure 9 push-down has).  Each cell streams N pre-ordered events
+through a single operator instance into a counting sink.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import stream_length
+from repro.bench.reporting import format_table
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import (
+    Coalesce,
+    Count,
+    GroupedWindowAggregate,
+    PatternMatch,
+    SessionWindow,
+    Sort,
+    TumblingWindow,
+    Where,
+    WindowAggregate,
+)
+from repro.engine.operators.base import Operator
+
+
+class _NullSink(Operator):
+    def __init__(self):
+        super().__init__()
+        self.events = 0
+
+    def on_event(self, event):
+        self.events += 1
+
+    def on_punctuation(self, punctuation):
+        pass
+
+    def on_flush(self):
+        pass
+
+
+def make_operator(name):
+    factories = {
+        "where": lambda: Where(lambda e: e.key < 50),
+        "tumbling_window": lambda: TumblingWindow(100),
+        "window_count": lambda: WindowAggregate(Count()),
+        "grouped_count": lambda: GroupedWindowAggregate(Count()),
+        "sort": Sort,
+        "session_window": lambda: SessionWindow(50),
+        "coalesce": Coalesce,
+        "pattern_match": lambda: PatternMatch(
+            lambda e: e.key == 1, lambda e: e.key == 2, within=100
+        ),
+    }
+    return factories[name]()
+
+
+OPERATORS = (
+    "where", "tumbling_window", "window_count", "grouped_count", "sort",
+    "session_window", "coalesce", "pattern_match",
+)
+
+
+def drive(name, n) -> float:
+    """Stream n ordered events through one operator; return M events/s."""
+    op = make_operator(name)
+    sink = _NullSink()
+    op.add_downstream(sink)
+    window = 100
+    events = [
+        Event(t - t % window, t - t % window + window, key=t % 100)
+        for t in range(n)
+    ]
+    start = time.perf_counter()
+    for i, event in enumerate(events):
+        op.on_event(event)
+        if i % 10_000 == 9_999:
+            op.on_punctuation(Punctuation(event.sync_time - window))
+    op.on_flush()
+    return n / (time.perf_counter() - start) / 1e6
+
+
+@pytest.mark.parametrize("name", OPERATORS)
+def bench_operator(benchmark, N, name):
+    n = min(N, 100_000)
+    meps = benchmark.pedantic(lambda: drive(name, n), rounds=1, iterations=1)
+    benchmark.extra_info["throughput_meps"] = meps
+
+
+def report(n=None):
+    n = min(n or stream_length(), 100_000)
+    rows = [
+        [name, round(drive(name, n), 3)] for name in OPERATORS
+    ]
+    print(format_table(
+        ["operator", "M events/s"], rows,
+        title=f"Operator microbenchmarks (ordered input, n={n})",
+    ))
+
+
+if __name__ == "__main__":
+    report()

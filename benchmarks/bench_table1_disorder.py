@@ -1,0 +1,62 @@
+"""Table I — statistics on disorder in the two (simulated) datasets.
+
+Paper reference (20M events):
+
+    Measure      CloudLog           AndroidLog
+    Inversions   53,541,688,892     73,004,914,227,284
+    Distance     13,635,714         19,990,056
+    Runs         7,382,495          5,560
+    Interleaved  387                227
+
+The shape to reproduce at bench scale: CloudLog has tiny natural runs
+(mean ≈ 2.7) but moderate inversions; AndroidLog has long runs and
+orders-of-magnitude more inversions; both have interleaved counts that
+are tiny relative to N; distance is a large fraction of N for both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.metrics import measure_disorder
+from repro.workloads import load_dataset
+
+MEASURES = ("inversions", "distance", "runs", "interleaved")
+
+
+@pytest.mark.parametrize("name", ["cloudlog", "androidlog"])
+def bench_table1_measures(benchmark, datasets, name):
+    dataset = datasets[name]
+    stats = benchmark.pedantic(
+        lambda: measure_disorder(dataset.timestamps), rounds=1, iterations=1
+    )
+    assert stats.n == len(dataset)
+    benchmark.extra_info.update(stats.as_dict())
+    benchmark.extra_info["mean_run_length"] = stats.mean_run_length
+
+
+def report(n=None):
+    """Print the Table I analogue for the simulated datasets."""
+    from repro.bench import stream_length
+
+    n = n or stream_length()
+    rows = []
+    for name in ("cloudlog", "androidlog"):
+        dataset = load_dataset(name, n)
+        stats = measure_disorder(dataset.timestamps)
+        rows.append(
+            [name, stats.n, stats.inversions, stats.distance, stats.runs,
+             stats.interleaved, round(stats.mean_run_length, 2)]
+        )
+    print(format_table(
+        ["dataset", "n", "inversions", "distance", "runs", "interleaved",
+         "mean run"],
+        rows,
+        title="Table I (simulated datasets, scaled)",
+    ))
+    return rows
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,80 @@
+"""Table II — latency and completeness of the four execution methods.
+
+Paper reference:
+
+                       CloudLog                AndroidLog
+    Method             latency    complete     latency     complete
+    Impatience (adv)   {1s,1m,1h}  100%        {10m,1h,1d}  92.2%
+    MinLatency         {1s}        98.1%       {10m}        20.5%
+    MaxLatency         {1h}        100%        {1d}         92.2%
+    Impatience (basic) cascade     100%        cascade      92.2%
+
+The shape: MinLatency loses a little on CloudLog and a lot on AndroidLog
+(most events arrive a full upload-cycle late); both Impatience frameworks
+always match MaxLatency's completeness while also serving the MinLatency
+output stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_fig10_framework import (
+    PUNCTUATION_FREQUENCY,
+    latencies_for,
+    window_for,
+)
+from repro.bench import stream_length
+from repro.bench.reporting import format_table
+from repro.framework.audit import table2_rows
+from repro.framework.queries import make_query
+from repro.workloads import load_dataset
+
+
+@pytest.mark.parametrize("name", ["cloudlog", "androidlog"])
+def bench_table2(benchmark, N, name):
+    dataset = load_dataset(name, N)
+    query = make_query("Q1", window_size=window_for(N))
+    rows = benchmark.pedantic(
+        lambda: table2_rows(
+            dataset, query, latencies_for(name, N),
+            punctuation_frequency=PUNCTUATION_FREQUENCY,
+        ),
+        rounds=1, iterations=1,
+    )
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["min"]["completeness"] <= by_method["max"]["completeness"]
+    assert by_method["advanced"]["completeness"] == pytest.approx(
+        by_method["max"]["completeness"]
+    )
+    assert by_method["basic"]["completeness"] == pytest.approx(
+        by_method["max"]["completeness"]
+    )
+    for row in rows:
+        benchmark.extra_info[row["method"]] = row["completeness"]
+
+
+def report(n=None):
+    n = n or stream_length()
+    for name in ("cloudlog", "androidlog"):
+        dataset = load_dataset(name, n)
+        query = make_query("Q1", window_size=window_for(n))
+        rows = table2_rows(
+            dataset, query, latencies_for(name, n),
+            punctuation_frequency=PUNCTUATION_FREQUENCY,
+        )
+        print(format_table(
+            ["method", "latencies", "measured mean lag", "completeness"],
+            [
+                [row["method"], str(row["latencies"]),
+                 str(row["measured_latency"]),
+                 f"{row['completeness']:.1%}"]
+                for row in rows
+            ],
+            title=f"Table II ({name})",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures: datasets at bench scale and per-dataset
+reorder-latency tuning (Section VI-B2: latencies are "tuned for each
+dataset independently, to ensure that the sorting operator can tolerate a
+majority of late events").
+
+Scale with REPRO_BENCH_N (default 100k; the paper uses 20M on C#/Trill).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import stream_length
+from repro.workloads import load_dataset
+
+#: Reorder latency per dataset, as a fraction of the stream horizon (the
+#: horizon is N milliseconds for every generator).
+LATENCY_FRACTION = {
+    "synthetic": 0.005,
+    "cloudlog": 0.2,
+    "androidlog": 0.5,
+}
+
+
+def reorder_latency_for(name, n) -> int:
+    return max(int(n * LATENCY_FRACTION[name]), 1)
+
+
+@pytest.fixture(scope="session")
+def N():
+    return stream_length()
+
+
+@pytest.fixture(scope="session")
+def datasets(N):
+    return {
+        "synthetic": load_dataset(
+            "synthetic", N, percent_disorder=30, amount_disorder=64
+        ),
+        "cloudlog": load_dataset("cloudlog", N),
+        "androidlog": load_dataset("androidlog", N),
+    }

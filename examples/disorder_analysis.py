@@ -1,0 +1,70 @@
+"""Workload analysis (Section II): quantify disorder in the simulated
+CloudLog and AndroidLog streams with the four measures of Table I, and
+emit the Figure 2 event-time-vs-arrival-order series.
+
+Run:  python examples/disorder_analysis.py [--n 100000] [--csv DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.bench.reporting import format_table
+from repro.metrics import measure_disorder
+from repro.workloads import load_dataset
+
+DATASETS = ("cloudlog", "androidlog", "synthetic")
+
+
+def figure2_series(dataset, points=2_000):
+    """(arrival_position, event_time) samples — the Figure 2 scatter."""
+    step = max(len(dataset) // points, 1)
+    return [
+        (i, dataset.timestamps[i])
+        for i in range(0, len(dataset), step)
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="events per dataset (paper: 20M)")
+    parser.add_argument("--csv", default=None,
+                        help="directory to write Figure 2 series CSVs")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name in DATASETS:
+        dataset = load_dataset(name, args.n)
+        stats = measure_disorder(dataset.timestamps)
+        rows.append([
+            name, stats.n, stats.inversions, stats.distance, stats.runs,
+            stats.interleaved, round(stats.mean_run_length, 2),
+        ])
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"figure2_{name}.csv")
+            with open(path, "w") as fh:
+                fh.write("arrival_position,event_time\n")
+                for position, event_time in figure2_series(dataset):
+                    fh.write(f"{position},{event_time}\n")
+            print(f"wrote {path}")
+
+    print(format_table(
+        ["dataset", "n", "inversions", "distance", "runs", "interleaved",
+         "mean run"],
+        rows,
+        title="Table I analogue (simulated datasets)",
+    ))
+    print()
+    print("Interpretation (matches the paper's reading):")
+    print("  * CloudLog: tiny natural runs -> chaotic at fine granularity,")
+    print("    small interleave -> well-ordered at coarse granularity.")
+    print("  * AndroidLog: long runs (upload batches) -> fine-grained order,")
+    print("    huge inversions -> coarse-grained chaos.")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Sliding-window metrics with snapshot semantics.
+
+The paper's §IV-A2 example — "a hopping window query that computes over
+a one-minute window for every second" — needs each event to count in
+*every* hop its window spans.  Tumbling-window aggregates cannot express
+that; Trill's snapshot semantics can, and this example runs it:
+
+1. sort-as-needed ingestion of a disordered stream;
+2. hopping-window timestamp adjustment (1-minute windows, 10-second
+   hops, scaled down);
+3. :meth:`snapshot_aggregate` — one output per snapshot interval with
+   the number of events alive in it (= the sliding count);
+4. a p95 of payload values per tumbling window alongside, for contrast.
+
+Run:  python examples/sliding_window_metrics.py
+"""
+
+from __future__ import annotations
+
+from repro.engine import DisorderedStreamable, Streamable
+from repro.engine.operators import Quantile
+from repro.workloads import generate_synthetic
+
+WINDOW = 6_000   # the "one minute"
+HOP = 1_000      # the "one second"
+
+
+def main():
+    dataset = generate_synthetic(
+        40_000, percent_disorder=30, amount_disorder=64, seed=13
+    )
+
+    ordered = (
+        DisorderedStreamable.from_dataset(
+            dataset, punctuation_frequency=1_000, reorder_latency=500
+        )
+        .to_streamable()
+    )
+
+    sliding = (
+        ordered
+        .hopping_window(WINDOW, HOP)
+        .snapshot_aggregate()
+        .collect()
+    )
+
+    p95 = (
+        Streamable.from_elements(
+            [e for e in dataset.events()]
+        )  # second pass, independent query
+        .tumbling_window(WINDOW)
+        .aggregate(Quantile(0.95, selector=lambda p: p[0] % 1000))
+        .collect()
+    )
+
+    print(f"sliding {WINDOW}-unit count, updated every {HOP} units "
+          f"(first 8 snapshot intervals):")
+    for event in sliding.events[:8]:
+        print(f"  [{event.sync_time:>6} .. {event.other_time:>6})  "
+              f"alive: {event.payload}")
+    # Sanity: in steady state the sliding count ≈ WINDOW (1 event/unit).
+    steady = [e.payload for e in sliding.events
+              if WINDOW <= e.sync_time <= 30_000]
+    print(f"steady-state sliding count: min={min(steady)}, "
+          f"max={max(steady)} (expected ≈{WINDOW})")
+
+    print()
+    print("p95(payload mod 1000) per tumbling window (first 4):")
+    for event in p95.events[:4]:
+        print(f"  [{event.sync_time:>6} .. {event.other_time:>6})  "
+              f"p95: {event.payload}")
+    return sliding
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Compare all sorting algorithms offline and online on one dataset —
+a miniature of Figures 7 and 8 for interactive exploration.
+
+Run:  python examples/sorter_shootout.py [--dataset cloudlog] [--n 50000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import offline_throughput, online_throughput
+from repro.bench.reporting import format_table
+from repro.sorting.registry import OFFLINE_SORTS
+from repro.workloads import load_dataset
+
+ONLINE = ("impatience", "patience", "quicksort", "timsort", "heapsort")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cloudlog",
+                        choices=["synthetic", "cloudlog", "androidlog"])
+    parser.add_argument("--n", type=int, default=50_000)
+    parser.add_argument("--latency", type=int, default=None,
+                        help="reorder latency (default: 20%% of horizon)")
+    args = parser.parse_args(argv)
+
+    dataset = load_dataset(args.dataset, args.n)
+    latency = args.latency or args.n // 5
+
+    print(format_table(
+        ["algorithm", "offline M/s"],
+        [
+            [name, round(offline_throughput(name, dataset.timestamps), 3)]
+            for name in OFFLINE_SORTS
+        ],
+        title=f"Offline sorting ({args.dataset}, n={args.n})",
+    ))
+    print()
+
+    rows = []
+    for frequency in (100, 1_000, 10_000):
+        rows.append([frequency] + [
+            round(online_throughput(
+                name, dataset.timestamps, frequency, latency
+            ), 3)
+            for name in ONLINE
+        ])
+    print(format_table(
+        ["punct freq", *ONLINE], rows,
+        title=f"Online sorting ({args.dataset}, latency={latency})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so the
+PEP 660 editable path is unavailable; `setup.py develop` works offline.
+The console script is declared here as well because the legacy develop
+command does not materialize `[project.scripts]` from pyproject.toml."""
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["repro = repro.cli:main"]})

@@ -1,0 +1,78 @@
+"""repro — reproduction of "Impatience Is a Virtue" (ICDE 2018).
+
+Public API surface:
+
+* :mod:`repro.core` — Impatience/Patience sort and merge machinery;
+* :mod:`repro.sorting` — baseline sorters and the incremental adapter;
+* :mod:`repro.metrics` — the four disorder measures;
+* :mod:`repro.engine` — the mini-Trill streaming engine
+  (``Streamable`` / ``DisorderedStreamable``);
+* :mod:`repro.framework` — the basic and advanced Impatience frameworks;
+* :mod:`repro.workloads` — CloudLog/AndroidLog simulators and the
+  synthetic generator.
+"""
+
+from repro.core import (
+    ColumnarImpatienceSorter,
+    ImpatienceSorter,
+    LatePolicy,
+    PatienceSorter,
+    patience_sort,
+)
+from repro.engine import (
+    DisorderedStreamable,
+    Event,
+    EventBatch,
+    Punctuation,
+    QueryPlan,
+    Streamable,
+)
+from repro.framework import (
+    PAPER_QUERIES,
+    MemoryMeter,
+    Streamables,
+    build_streamables,
+    make_query,
+    run_method,
+)
+from repro.metrics import measure_disorder, suggest_reorder_latency
+from repro.sorting import make_online_sorter, offline_sort
+from repro.workloads import (
+    Dataset,
+    generate_androidlog,
+    generate_cloudlog,
+    generate_synthetic,
+    load_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "DisorderedStreamable",
+    "Event",
+    "EventBatch",
+    "ColumnarImpatienceSorter",
+    "ImpatienceSorter",
+    "LatePolicy",
+    "MemoryMeter",
+    "PAPER_QUERIES",
+    "PatienceSorter",
+    "Punctuation",
+    "QueryPlan",
+    "Streamable",
+    "Streamables",
+    "build_streamables",
+    "generate_androidlog",
+    "generate_cloudlog",
+    "generate_synthetic",
+    "load_dataset",
+    "make_online_sorter",
+    "make_query",
+    "measure_disorder",
+    "offline_sort",
+    "patience_sort",
+    "run_method",
+    "suggest_reorder_latency",
+    "__version__",
+]

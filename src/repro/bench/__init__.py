@@ -1,0 +1,24 @@
+"""Benchmark harnesses and report formatting."""
+
+from repro.bench.ascii_chart import line_chart, sparkline
+
+from repro.bench.harness import (
+    stream_length,
+    offline_throughput,
+    online_throughput,
+    pipeline_throughput,
+    sort_as_needed_speedup,
+)
+from repro.bench.reporting import format_table, markdown_table
+
+__all__ = [
+    "stream_length",
+    "format_table",
+    "line_chart",
+    "sparkline",
+    "markdown_table",
+    "offline_throughput",
+    "online_throughput",
+    "pipeline_throughput",
+    "sort_as_needed_speedup",
+]

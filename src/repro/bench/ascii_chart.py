@@ -1,0 +1,74 @@
+"""Tiny ASCII chart rendering for benchmark reports.
+
+Console-native visualizations for the report runner: a sparkline for
+one series and a multi-row line chart for comparisons (Figure 5's
+Patience-vs-Impatience curves render legibly in a terminal).
+"""
+
+from __future__ import annotations
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=60) -> str:
+    """One-line block-character sparkline, resampled to ``width``."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [
+            values[min(int(i * step), len(values) - 1)] for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _BLOCKS[0] * len(values)
+    return "".join(
+        _BLOCKS[min(int((v - low) / span * len(_BLOCKS)), len(_BLOCKS) - 1)]
+        for v in values
+    )
+
+
+def line_chart(series, width=64, height=12) -> str:
+    """Multi-series scatter chart on a character grid.
+
+    ``series`` maps label -> list of (x, y) points; each series gets its
+    own glyph.  Axes are annotated with the y range and x range.
+    """
+    glyphs = "*o+x#@"
+    points = [
+        (x, y) for rows in series.values() for x, y in rows
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1
+    y_span = (y_high - y_low) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, rows) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in rows:
+            col = min(int((x - x_low) / x_span * (width - 1)), width - 1)
+            row = min(int((y - y_low) / y_span * (height - 1)), height - 1)
+            grid[height - 1 - row][col] = glyph
+    lines = [f"{y_high:>10,.0f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_low:>10,.0f} ┼" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_low:,.0f}".ljust(width // 2)
+        + f"{x_high:,.0f}".rjust(width - width // 2)
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

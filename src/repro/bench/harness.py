@@ -1,0 +1,116 @@
+"""Measurement harnesses shared by the benchmark suite.
+
+Each function runs one experimental cell from the paper's evaluation and
+returns plain numbers (throughput in million events/second, speedups,
+peak memory), so both the pytest-benchmark targets and the report
+generators (`python -m benchmarks.report`) share one code path.
+
+Scale note: the paper's runs use 20M-event streams on a C# engine; these
+harnesses default to smaller N (see ``stream_length``) because the substrate is
+pure Python.  Shapes, ratios and crossovers are the reproduction target,
+not absolute numbers (DESIGN.md §1.3).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.disordered import DisorderedStreamable
+from repro.engine.ingress import ingress_timestamps
+from repro.sorting.registry import OFFLINE_SORTS, make_online_sorter
+
+__all__ = [
+    "stream_length",
+    "offline_throughput",
+    "online_throughput",
+    "pipeline_throughput",
+    "sort_as_needed_speedup",
+]
+
+
+def stream_length(default=100_000) -> int:
+    """Benchmark stream length; override with REPRO_BENCH_N."""
+    return int(os.environ.get("REPRO_BENCH_N", default))
+
+
+def offline_throughput(name, timestamps) -> float:
+    """Sort all timestamps with one offline algorithm; return M events/s."""
+    sort = OFFLINE_SORTS[name]
+    start = time.perf_counter()
+    sort(timestamps)
+    elapsed = time.perf_counter() - start
+    return len(timestamps) / elapsed / 1e6
+
+
+def online_throughput(name, timestamps, frequency, reorder_latency) -> float:
+    """Drive one online sorter with punctuated ingress; return M events/s.
+
+    ``frequency`` is the Figure 8 x-axis (events between punctuations);
+    ``reorder_latency`` is tuned per dataset so that a majority of late
+    events are tolerated (Section VI-B2).
+    """
+    sorter = make_online_sorter(name)
+    insert = sorter.insert
+    punctuate = sorter.on_punctuation
+    start = time.perf_counter()
+    for tag, value in ingress_timestamps(timestamps, frequency,
+                                         reorder_latency):
+        if tag == "event":
+            insert(value)
+        else:
+            punctuate(value)
+    sorter.flush()
+    elapsed = time.perf_counter() - start
+    return len(timestamps) / elapsed / 1e6
+
+
+def pipeline_throughput(build_query, dataset, punctuation_frequency,
+                        reorder_latency, repeats=1) -> float:
+    """Run a full engine query over a dataset; return M events/s.
+
+    ``build_query`` maps a fresh ``DisorderedStreamable`` to the final
+    (ordered) streamable to collect.  ``repeats`` takes the best of
+    several runs, which suppresses GC/OS noise when two pipelines are
+    being compared for a speedup ratio.
+    """
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        disordered = DisorderedStreamable.from_dataset(
+            dataset, punctuation_frequency, reorder_latency
+        )
+        stream = build_query(disordered)
+        start = time.perf_counter()
+        stream.collect()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return len(dataset) / best / 1e6
+
+
+def sort_as_needed_speedup(push_down_ops, post_sort_ops, dataset,
+                           punctuation_frequency=10_000,
+                           reorder_latency=None, repeats=3) -> dict:
+    """Figure 9 cell: time a query with the operator above vs below sort.
+
+    ``push_down_ops`` and ``post_sort_ops`` apply the *same* logical
+    operator chain to a ``DisorderedStreamable`` (before the sort) and a
+    ``Streamable`` (after the sort) respectively; the returned dict has
+    both throughputs and ``speedup = pushdown / baseline``.
+    """
+    if reorder_latency is None:
+        low, high = dataset.span
+        reorder_latency = high - low  # tolerate everything
+    baseline = pipeline_throughput(
+        lambda d: post_sort_ops(d.to_streamable()),
+        dataset, punctuation_frequency, reorder_latency, repeats,
+    )
+    pushdown = pipeline_throughput(
+        lambda d: push_down_ops(d).to_streamable(),
+        dataset, punctuation_frequency, reorder_latency, repeats,
+    )
+    return {
+        "baseline_meps": baseline,
+        "pushdown_meps": pushdown,
+        "speedup": pushdown / baseline,
+    }

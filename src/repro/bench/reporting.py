@@ -1,0 +1,39 @@
+"""Plain-text and Markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "markdown_table"]
+
+
+def _stringify(value):
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None) -> str:
+    """Fixed-width text table (for console reports)."""
+    cells = [[_stringify(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers, rows) -> str:
+    """GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``       Table I disorder measures for a dataset (built-in or CSV).
+``latency``     Suggest reorder latencies for target completeness levels.
+``profile``     Per-region disorder profile (the Figure 2 zoom).
+``sort``        Sort a dataset with a chosen algorithm; report throughput.
+``generate``    Write a simulated workload to CSV.
+``demo``        Run the windowed-count quickstart end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.reporting import format_table
+from repro.metrics import measure_disorder
+from repro.metrics.profile import lateness_quantiles, suggest_reorder_latency
+from repro.sorting.registry import OFFLINE_SORTS, offline_sort
+from repro.workloads import DATASET_NAMES, load_dataset
+from repro.workloads.io import load_dataset_csv, save_dataset_csv
+
+__all__ = ["main"]
+
+
+def _load(args):
+    if args.csv:
+        return load_dataset_csv(args.csv)
+    return load_dataset(args.dataset, args.n)
+
+
+def _add_source(parser):
+    parser.add_argument("--dataset", default="cloudlog",
+                        choices=list(DATASET_NAMES))
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--csv", default=None,
+                        help="read events from a CSV instead of simulating")
+
+
+def _cmd_stats(args):
+    dataset = _load(args)
+    stats = measure_disorder(dataset.timestamps)
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["events", stats.n],
+            ["inversions", stats.inversions],
+            ["distance", stats.distance],
+            ["runs", stats.runs],
+            ["interleaved", stats.interleaved],
+            ["mean run length", round(stats.mean_run_length, 2)],
+        ],
+        title=f"Disorder statistics ({dataset.name})",
+    ))
+    return 0
+
+
+def _cmd_latency(args):
+    dataset = _load(args)
+    quantiles = lateness_quantiles(
+        dataset.timestamps, (0.5, 0.9, 0.95, 0.99, 1.0)
+    )
+    rows = [
+        [f"{q:.0%}", lateness, suggest_reorder_latency(dataset.timestamps, q)]
+        for q, lateness in sorted(quantiles.items())
+    ]
+    print(format_table(
+        ["completeness", "lateness quantile", "suggested latency"],
+        rows,
+        title=f"Reorder-latency suggestions ({dataset.name})",
+    ))
+    return 0
+
+
+def _cmd_profile(args):
+    from repro.metrics.profile import disorder_profile
+
+    dataset = _load(args)
+    region = max(len(dataset) // args.regions, 2)
+    rows = [
+        [
+            row["offset"], row["n"], row["inversions"], row["runs"],
+            row["interleaved"], round(row["mean_run_length"], 2),
+        ]
+        for row in disorder_profile(dataset.timestamps, region_size=region)
+    ]
+    print(format_table(
+        ["offset", "n", "inversions", "runs", "interleaved", "mean run"],
+        rows,
+        title=f"Regional disorder profile ({dataset.name}, "
+              f"{args.regions} regions)",
+    ))
+    return 0
+
+
+def _cmd_sort(args):
+    dataset = _load(args)
+    start = time.perf_counter()
+    result = offline_sort(args.algorithm, dataset.timestamps)
+    elapsed = time.perf_counter() - start
+    assert result == sorted(dataset.timestamps)
+    print(
+        f"{args.algorithm}: {len(result):,} events in {elapsed:.3f}s "
+        f"({len(result) / elapsed / 1e6:.3f} M events/s)"
+    )
+    return 0
+
+
+def _cmd_generate(args):
+    dataset = load_dataset(args.dataset, args.n, seed=args.seed)
+    save_dataset_csv(dataset, args.out)
+    print(f"wrote {len(dataset):,} events to {args.out}")
+    return 0
+
+
+def _cmd_demo(args):
+    from repro.engine import DisorderedStreamable
+
+    dataset = _load(args)
+    latency = suggest_reorder_latency(dataset.timestamps, 0.99)
+    result = (
+        DisorderedStreamable.from_dataset(
+            dataset, punctuation_frequency=1_000, reorder_latency=latency
+        )
+        .tumbling_window(max(args.n // 100, 1))
+        .to_streamable()
+        .count()
+        .collect()
+    )
+    print(f"reorder latency (99% coverage): {latency}")
+    print(f"windows: {len(result.events)}, "
+          f"events counted: {sum(result.payloads):,}")
+    for event in result.events[:5]:
+        print(f"  window [{event.sync_time} .. {event.other_time}) "
+              f"-> {event.payload}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Impatience sort & framework reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="Table I disorder measures")
+    _add_source(p)
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("latency", help="suggest reorder latencies")
+    _add_source(p)
+    p.set_defaults(fn=_cmd_latency)
+
+    p = sub.add_parser("profile", help="regional disorder profile")
+    _add_source(p)
+    p.add_argument("--regions", type=int, default=10)
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("sort", help="offline-sort a dataset")
+    _add_source(p)
+    p.add_argument("--algorithm", default="impatience",
+                   choices=sorted(OFFLINE_SORTS))
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser("generate", help="write a simulated workload CSV")
+    p.add_argument("--dataset", default="cloudlog",
+                   choices=list(DATASET_NAMES))
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("demo", help="windowed-count quickstart")
+    _add_source(p)
+    p.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: Patience/Impatience sort and friends."""
+
+from repro.core.errors import (
+    LateEventError,
+    PunctuationOrderError,
+    QueryBuildError,
+    ReproError,
+)
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LateEventTracker, LatePolicy
+from repro.core.merge import (
+    MERGE_STRATEGIES,
+    huffman_merge,
+    kway_heap_merge,
+    merge_runs,
+    merge_two,
+    pairwise_merge,
+)
+from repro.core.patience import PatienceSorter, patience_sort
+from repro.core.runs import RunPool, SortedRun
+from repro.core.stats import SorterStats
+
+__all__ = [
+    "ColumnarImpatienceSorter",
+    "ImpatienceSorter",
+    "LateEventError",
+    "LateEventTracker",
+    "LatePolicy",
+    "MERGE_STRATEGIES",
+    "PatienceSorter",
+    "patience_sort",
+    "PunctuationOrderError",
+    "QueryBuildError",
+    "ReproError",
+    "RunPool",
+    "SortedRun",
+    "SorterStats",
+    "huffman_merge",
+    "kway_heap_merge",
+    "merge_runs",
+    "merge_two",
+    "pairwise_merge",
+]

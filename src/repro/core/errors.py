@@ -1,0 +1,42 @@
+"""Exception types raised by the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LateEventError(ReproError):
+    """An event arrived with a timestamp at or before an emitted punctuation.
+
+    Raised only when the sorter/ingress is configured with
+    :data:`repro.core.late.LatePolicy.RAISE`.
+    """
+
+    def __init__(self, event_time, punctuation_time):
+        super().__init__(
+            f"event time {event_time!r} is <= last punctuation "
+            f"{punctuation_time!r}"
+        )
+        self.event_time = event_time
+        self.punctuation_time = punctuation_time
+
+
+class PunctuationOrderError(ReproError):
+    """A punctuation regressed: its timestamp is below an earlier one."""
+
+    def __init__(self, timestamp, previous):
+        super().__init__(
+            f"punctuation {timestamp!r} regresses below previous "
+            f"punctuation {previous!r}"
+        )
+        self.timestamp = timestamp
+        self.previous = previous
+
+
+class QueryBuildError(ReproError):
+    """A streaming query was composed incorrectly.
+
+    Examples: applying an order-sensitive operator to a
+    ``DisorderedStreamable``, subscribing twice to a single-use source, or
+    passing non-increasing reorder latencies to the Impatience framework.
+    """

@@ -1,0 +1,106 @@
+"""Offline Patience sort (Section III-B of the paper).
+
+Patience sort partitions the input into ascending runs by dealing each
+element onto the first run whose tail is <= it (binary search over the
+strictly descending tails array), then merges all runs.  It is adaptive: the
+number of runs k is bounded by each of the paper's disorder measures
+(Propositions 3.1–3.3), so nearly sorted inputs produce few runs and merge
+almost for free.
+
+This module is the *offline* algorithm — sorting happens only after all
+input is seen.  The incremental variant lives in
+:mod:`repro.core.impatience`.
+"""
+
+from __future__ import annotations
+
+from repro.core.merge import merge_runs
+from repro.core.runs import RunPool
+from repro.core.stats import SorterStats
+
+__all__ = ["PatienceSorter", "patience_sort"]
+
+
+class PatienceSorter:
+    """Offline Patience sort with pluggable merge schedule.
+
+    Parameters
+    ----------
+    key:
+        Sort-key extractor; ``None`` sorts items by themselves.
+    merge:
+        Merge schedule name — ``"huffman"`` (default), ``"pairwise"`` or
+        ``"kway"``; see :mod:`repro.core.merge`.
+    speculative:
+        Enable speculative run selection in the partition phase.  Offline
+        Patience sort in the paper does not use SRS, so the default is
+        ``False``; Figure 7's ablations toggle it.
+    sample_every:
+        When set, record a Figure 5 run-count sample every that many
+        inserts into ``stats.run_count_history``.
+    """
+
+    def __init__(self, key=None, merge="huffman", speculative=False,
+                 sample_every=None):
+        self.key = key
+        self.merge = merge
+        self.stats = SorterStats()
+        self.sample_every = sample_every
+        self._pool = RunPool(speculative=speculative, keyless=key is None,
+                             stats=self.stats)
+
+    @property
+    def run_count(self) -> int:
+        """Number of live sorted runs (the paper's k)."""
+        return len(self._pool)
+
+    def insert(self, item):
+        """Deal one item onto a run (the partition phase)."""
+        key = item if self.key is None else self.key(item)
+        self._pool.insert(key, item)
+        self.stats.inserted += 1
+        if (
+            self.sample_every
+            and self.stats.inserted % self.sample_every == 0
+        ):
+            self.stats.sample_runs(len(self._pool))
+
+    def extend(self, items):
+        """Insert every item from an iterable (batched hot path).
+
+        Equivalent to calling :meth:`insert` per item; run-count sampling
+        is honored by chunking batches at the sampling interval.
+        """
+        items = list(items)
+        keys = items if self.key is None else list(map(self.key, items))
+        step = self.sample_every
+        if not step:
+            self._pool.insert_batch(keys, items)
+            self.stats.inserted += len(items)
+            return
+        start = 0
+        while start < len(items):
+            chunk = step - self.stats.inserted % step
+            end = start + chunk
+            self._pool.insert_batch(keys[start:end], items[start:end])
+            self.stats.inserted += min(end, len(items)) - start
+            if self.stats.inserted % step == 0:
+                self.stats.sample_runs(len(self._pool))
+            start = end
+
+    def result(self):
+        """Run the merge phase and return the fully sorted item list.
+
+        The sorter is drained: after this call it is empty and reusable.
+        """
+        runs = self._pool.drain()
+        keys, items = merge_runs(runs, self.merge, self.stats)
+        self.stats.emitted += len(items)
+        return items
+
+
+def patience_sort(items, key=None, merge="huffman"):
+    """Sort a sequence with offline Patience sort; returns a new list."""
+    sorter = PatienceSorter(key=key, merge=merge)
+    sorter.extend(items)
+    return sorter.result()

@@ -1,0 +1,45 @@
+"""Mini-Trill: the in-order streaming-engine substrate (DESIGN.md §1.2)."""
+
+from repro.engine.batch import EventBatch
+from repro.engine.checkpoint import checkpoint_sorter, restore_sorter
+from repro.engine.columnar_pipeline import ColumnarPipeline, iter_batches
+from repro.engine.disordered import DisorderedStreamable
+from repro.engine.event import EVENT_BYTES, Event, Punctuation, is_punctuation
+from repro.engine.graph import Pipeline, QueryNode, source_node
+from repro.engine.ingress import (
+    ingress_dataset,
+    ingress_events,
+    ingress_timestamps,
+)
+from repro.engine.planner import QueryPlan
+from repro.engine.punctuation import PunctuationPolicy
+from repro.engine.replay import bursty_rate, constant_rate, replay
+from repro.engine.sharded import ShardedQuery, shard_streamable
+from repro.engine.stream import Streamable
+
+__all__ = [
+    "ColumnarPipeline",
+    "DisorderedStreamable",
+    "EVENT_BYTES",
+    "Event",
+    "EventBatch",
+    "Pipeline",
+    "Punctuation",
+    "QueryPlan",
+    "ShardedQuery",
+    "PunctuationPolicy",
+    "QueryNode",
+    "Streamable",
+    "bursty_rate",
+    "checkpoint_sorter",
+    "constant_rate",
+    "ingress_dataset",
+    "iter_batches",
+    "ingress_events",
+    "ingress_timestamps",
+    "is_punctuation",
+    "replay",
+    "restore_sorter",
+    "shard_streamable",
+    "source_node",
+]

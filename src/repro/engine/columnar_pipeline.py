@@ -1,0 +1,155 @@
+"""End-to-end columnar query path (Trill's batch architecture, §I-A).
+
+The row-oriented operator DAG is the reference implementation; this
+module is the vectorized fast path for the timestamp-keyed aggregation
+queries the paper's evaluation centres on: ingress in
+:class:`~repro.engine.batch.EventBatch` slices, bitmap selection,
+column projection, window alignment, a
+:class:`~repro.core.columnar.ColumnarImpatienceSorter`, and a vectorized
+windowed count — every stage numpy, no per-event Python.
+
+Equivalence with the row engine is asserted in tests and measured in
+``benchmarks/bench_ablation_columnar.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.engine.batch import EventBatch
+
+__all__ = ["iter_batches", "ColumnarPipeline", "WindowedCountState"]
+
+
+def iter_batches(dataset, batch_size):
+    """Yield a dataset as arrival-order :class:`EventBatch` slices."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    whole = EventBatch.from_dataset(dataset)
+    payload_matrix = whole.payload_columns
+    for start in range(0, len(whole), batch_size):
+        stop = start + batch_size
+        yield EventBatch(
+            whole.sync_times[start:stop],
+            whole.other_times[start:stop],
+            whole.keys[start:stop],
+            [col[start:stop] for col in payload_matrix],
+        )
+
+
+class WindowedCountState:
+    """Streaming window counter over *globally sorted* timestamp batches.
+
+    Feed ascending arrays of window-aligned sync times; closed windows
+    (everything before the last window seen) accumulate into ``starts``/
+    ``counts``; the trailing window stays open until ``finish``.
+    """
+
+    def __init__(self):
+        self._starts = []
+        self._counts = []
+        self._open_start = None
+        self._open_count = 0
+
+    def feed(self, window_starts):
+        if window_starts.size == 0:
+            return
+        starts, counts = np.unique(window_starts, return_counts=True)
+        if self._open_start is not None and starts[0] == self._open_start:
+            counts = counts.copy()
+            counts[0] += self._open_count
+        elif self._open_start is not None:
+            self._starts.append(self._open_start)
+            self._counts.append(self._open_count)
+        if starts.size > 1:
+            self._starts.extend(starts[:-1].tolist())
+            self._counts.extend(counts[:-1].tolist())
+        self._open_start = int(starts[-1])
+        self._open_count = int(counts[-1])
+
+    def finish(self):
+        """Return ``(window_starts, counts)`` with the tail window closed."""
+        starts = list(self._starts)
+        counts = list(self._counts)
+        if self._open_start is not None:
+            starts.append(self._open_start)
+            counts.append(self._open_count)
+        return starts, counts
+
+
+class ColumnarPipeline:
+    """Fluent columnar plan: selection, projection, window, sort, count.
+
+    Stages are recorded and applied per ingress batch; the terminal is
+    either the globally sorted timestamp stream (``run``) or a windowed
+    count over it (``run_windowed_count``).
+    """
+
+    def __init__(self):
+        self._stages = []
+        self.dropped_late = 0
+
+    # -- stage builders (return self for chaining) -------------------------
+
+    def filter_keys(self, predicate) -> "ColumnarPipeline":
+        """Vectorized selection on the key column."""
+        self._stages.append(lambda batch: batch.filter(predicate(batch.keys)))
+        return self
+
+    def filter_payload(self, column, predicate) -> "ColumnarPipeline":
+        """Vectorized selection on one payload column."""
+        self._stages.append(
+            lambda batch: batch.filter_payload(column, predicate)
+        )
+        return self
+
+    def project(self, columns) -> "ColumnarPipeline":
+        """Keep only the given payload columns."""
+        self._stages.append(lambda batch: batch.project(columns))
+        return self
+
+    def tumbling_window(self, size) -> "ColumnarPipeline":
+        """Align timestamps to fixed windows (reduces disorder)."""
+        self._stages.append(lambda batch: batch.tumbling_window(size))
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def _emit_batches(self, dataset, batch_size, reorder_latency):
+        sorter = ColumnarImpatienceSorter()
+        for batch in iter_batches(dataset, batch_size):
+            for stage in self._stages:
+                batch = stage(batch)
+            batch = batch.compact()
+            times = batch.sync_times
+            if times.size:
+                sorter.insert_batch(times)
+                timestamp = int(times.max()) - reorder_latency
+                if sorter.watermark == float("-inf") or \
+                        timestamp > sorter.watermark:
+                    yield sorter.on_punctuation(timestamp)
+        yield sorter.flush()
+        self.dropped_late = sorter.late.dropped
+
+    def run(self, dataset, batch_size=4096, reorder_latency=0):
+        """Return the fully sorted (post-stage) timestamp array."""
+        parts = [
+            part for part in
+            self._emit_batches(dataset, batch_size, reorder_latency)
+            if part.size
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def run_windowed_count(self, dataset, batch_size=4096,
+                           reorder_latency=0):
+        """Sorted windowed counts: ``(window_starts, counts)`` lists.
+
+        Requires a ``tumbling_window`` stage so sync times are aligned.
+        """
+        state = WindowedCountState()
+        for part in self._emit_batches(dataset, batch_size, reorder_latency):
+            state.feed(part)
+        return state.finish()

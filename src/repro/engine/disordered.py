@@ -1,0 +1,154 @@
+"""``DisorderedStreamable``: sort-as-needed execution (Section IV).
+
+A disordered stream supports *only* order-insensitive operators —
+selection, projection, and window timestamp alignment — so the type system
+enforces the paper's discipline: order-sensitive work can start only after
+an explicit ``to_streamable()`` inserts the sorting operator.  Pushing the
+order-insensitive operators ahead of the sort is exactly what Figure 9
+measures: selection shrinks the sorted volume, projection shrinks events,
+and windowing *reduces disorder* (Proposition 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.engine.graph import QueryNode, source_node
+from repro.engine.ingress import ingress_dataset, ingress_events
+from repro.engine.operators.duration import (
+    AlterEventDuration,
+    ClipEventDuration,
+)
+from repro.engine.operators.select import Select, SelectColumns
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.where import Where
+from repro.engine.operators.window import HoppingWindow, TumblingWindow
+from repro.engine.stream import Streamable, _SourceHandle
+
+__all__ = ["DisorderedStreamable"]
+
+_FORBIDDEN = (
+    "aggregate", "count", "group_aggregate", "top_k", "pattern_match",
+    "union", "join", "coalesce", "group_apply",
+)
+
+
+class DisorderedStreamable:
+    """An out-of-order stream; order-insensitive operators only."""
+
+    def __init__(self, node, source):
+        self._node = node
+        self._source = source
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_elements(cls, elements, name="disordered-source"):
+        """From an iterable of events + punctuations, in arrival order."""
+        return cls(source_node(name), _SourceHandle(elements))
+
+    @classmethod
+    def from_dataset(cls, dataset, punctuation_frequency=None,
+                     reorder_latency=0):
+        """Ingress a workload dataset with a punctuation policy.
+
+        Mirrors the paper's ``File.ToDisorderedStreamable()``: events are
+        read in arrival order and punctuations are injected every
+        ``punctuation_frequency`` events at ``high_watermark -
+        reorder_latency``.
+        """
+        return cls.from_elements(
+            ingress_dataset(dataset, punctuation_frequency, reorder_latency)
+        )
+
+    @classmethod
+    def from_events(cls, events, punctuation_frequency=None,
+                    reorder_latency=0):
+        """Ingress a raw event iterable with a punctuation policy."""
+        return cls.from_elements(
+            ingress_events(events, punctuation_frequency, reorder_latency)
+        )
+
+    @property
+    def node(self) -> QueryNode:
+        """The underlying query-DAG node (for framework plumbing)."""
+        return self._node
+
+    @property
+    def source(self):
+        """The shared source handle (for framework plumbing)."""
+        return self._source
+
+    def _derive(self, factory, name):
+        node = QueryNode(factory, ((self._node, None),), name=name)
+        return DisorderedStreamable(node, self._source)
+
+    # -- order-insensitive operators ---------------------------------------
+
+    def where(self, predicate) -> "DisorderedStreamable":
+        """Filter events by a predicate — pushed below the sort."""
+        return self._derive(lambda: Where(predicate), "where")
+
+    def select(self, projector) -> "DisorderedStreamable":
+        """Map payloads through ``projector`` — pushed below the sort."""
+        return self._derive(lambda: Select(projector), "select")
+
+    def select_columns(self, columns) -> "DisorderedStreamable":
+        """Keep only the given payload field indices."""
+        return self._derive(lambda: SelectColumns(columns), "select_columns")
+
+    def tumbling_window(self, size) -> "DisorderedStreamable":
+        """Align timestamps to fixed windows — *reduces* disorder."""
+        return self._derive(lambda: TumblingWindow(size), "tumbling_window")
+
+    def hopping_window(self, size, hop) -> "DisorderedStreamable":
+        """Align timestamps to sliding windows."""
+        return self._derive(lambda: HoppingWindow(size, hop), "hopping_window")
+
+    def alter_duration(self, duration) -> "DisorderedStreamable":
+        """Set every event's lifetime to a fixed length (stateless)."""
+        return self._derive(
+            lambda: AlterEventDuration(duration), "alter_duration"
+        )
+
+    def clip_duration(self, limit) -> "DisorderedStreamable":
+        """Cap every event's lifetime at ``limit`` (stateless)."""
+        return self._derive(lambda: ClipEventDuration(limit), "clip_duration")
+
+    # -- the sort boundary ---------------------------------------------------
+
+    def to_streamable(self, sorter=None) -> Streamable:
+        """Insert the sorting operator; the result is fully ordered.
+
+        ``sorter`` is an optional online-sorter *factory* (zero-argument
+        callable) so each materialization gets fresh state; the default is
+        Impatience sort keyed on sync_time.
+        """
+        if sorter is not None and not callable(sorter):
+            raise QueryBuildError("sorter must be a zero-argument factory")
+        factory = Sort if sorter is None else (lambda: Sort(sorter()))
+        node = QueryNode(factory, ((self._node, None),), name="sort")
+        return Streamable(node, self._source)
+
+    def to_streamables(self, reorder_latencies, piq=None, merge=None,
+                       sorter=None):
+        """Fan out into the Impatience framework (Section V).
+
+        Returns a :class:`repro.framework.streamables.Streamables` with one
+        ordered output per reorder latency.  ``piq`` and ``merge`` are the
+        advanced framework's query-logic functions (each a
+        ``Streamable -> Streamable``); omitting both yields the basic
+        framework.
+        """
+        from repro.framework.advanced import build_streamables
+
+        return build_streamables(
+            self, reorder_latencies, piq=piq, merge=merge, sorter=sorter
+        )
+
+    def __getattr__(self, name):
+        if name in _FORBIDDEN:
+            raise QueryBuildError(
+                f"{name}() is order-sensitive; call to_streamable() first "
+                "(sort-as-needed execution, Section IV of the paper)"
+            )
+        raise AttributeError(name)

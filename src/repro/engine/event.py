@@ -1,0 +1,88 @@
+"""Trill-style event model.
+
+Each data event carries two timestamps (Section IV-A2): ``sync_time`` — the
+event time used for ordering, windowing and punctuations — and
+``other_time`` — the end of the event's validity interval, adjusted by
+window operators.  Following the paper's evaluation setup, events also carry
+a 32-bit grouping key, a 64-bit hash, and four 32-bit integer payload
+fields; :data:`EVENT_BYTES` is the byte cost used for memory accounting.
+
+A :class:`Punctuation` with timestamp ``T`` promises that no further event
+with ``sync_time`` <= ``T`` will arrive (Section III-A).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Event", "Punctuation", "EVENT_BYTES", "is_punctuation"]
+
+#: Bytes per event in Trill's layout: 2×64-bit timestamps, 32-bit key,
+#: 64-bit hash, 4×32-bit payload fields (Section VI-C's accounting).
+EVENT_BYTES = 8 + 8 + 4 + 8 + 4 * 4
+
+
+class Event:
+    """One data event. Immutable by convention; operators copy-on-write."""
+
+    __slots__ = ("sync_time", "other_time", "key", "payload")
+
+    def __init__(self, sync_time, other_time=None, key=0, payload=()):
+        self.sync_time = sync_time
+        self.other_time = sync_time + 1 if other_time is None else other_time
+        self.key = key
+        self.payload = payload
+
+    def with_times(self, sync_time, other_time):
+        """Copy with adjusted timestamps (window-operator primitive)."""
+        return Event(sync_time, other_time, self.key, self.payload)
+
+    def with_payload(self, payload):
+        """Copy with a replaced payload (projection primitive)."""
+        return Event(self.sync_time, self.other_time, self.key, payload)
+
+    def with_key(self, key):
+        """Copy with a replaced grouping key (group-apply primitive)."""
+        return Event(self.sync_time, self.other_time, key, self.payload)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Event)
+            and self.sync_time == other.sync_time
+            and self.other_time == other.other_time
+            and self.key == other.key
+            and self.payload == other.payload
+        )
+
+    def __hash__(self):
+        return hash((self.sync_time, self.other_time, self.key, self.payload))
+
+    def __repr__(self):
+        return (
+            f"Event(sync={self.sync_time}, other={self.other_time}, "
+            f"key={self.key}, payload={self.payload!r})"
+        )
+
+
+class Punctuation:
+    """Progress marker: no later event will carry sync_time <= timestamp."""
+
+    __slots__ = ("timestamp",)
+
+    def __init__(self, timestamp):
+        self.timestamp = timestamp
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Punctuation)
+            and self.timestamp == other.timestamp
+        )
+
+    def __hash__(self):
+        return hash(("punctuation", self.timestamp))
+
+    def __repr__(self):
+        return f"Punctuation({self.timestamp})"
+
+
+def is_punctuation(element) -> bool:
+    """True when a stream element is a punctuation rather than an event."""
+    return type(element) is Punctuation

@@ -1,0 +1,177 @@
+"""Query DAG representation and materialization.
+
+Queries are composed as immutable :class:`QueryNode` graphs (the paper's
+``Streamable`` chains, Section IV-B); ``subscribe`` materializes the graph
+into live operator instances exactly once per node — so diamonds (e.g. the
+Impatience framework's partition feeding several sort paths that later
+union) share state correctly — and returns a :class:`Pipeline` that drives
+elements through and can audit buffered memory at any instant.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.engine.event import Punctuation, is_punctuation
+from repro.engine.operators.base import PassThrough
+
+__all__ = ["QueryNode", "Pipeline", "source_node"]
+
+#: Sentinel distinguishing an exhausted source from a ``None`` element.
+_EXHAUSTED = object()
+
+
+class QueryNode:
+    """One vertex of the logical query DAG.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building the operator instance.
+    parents:
+        Tuple of ``(parent_node, output_port)`` pairs.  ``output_port`` is
+        ``None`` for single-output parents, or an index into the parent
+        operator's ``out_ports`` for routing operators (e.g. the
+        framework's lateness partitioner).
+    name:
+        Diagnostic label used in ``Pipeline`` reports.
+    """
+
+    __slots__ = ("factory", "parents", "name")
+
+    def __init__(self, factory, parents=(), name=""):
+        self.factory = factory
+        self.parents = tuple(parents)
+        self.name = name or getattr(factory, "__name__", "op")
+
+    def __repr__(self):
+        return f"QueryNode({self.name}, parents={len(self.parents)})"
+
+
+def source_node(name="source") -> QueryNode:
+    """A root node; elements are pushed into it by :meth:`Pipeline.run`."""
+    return QueryNode(PassThrough, (), name=name)
+
+
+class Pipeline:
+    """A materialized query: live operators wired into a push DAG."""
+
+    def __init__(self, sink_nodes):
+        self._instances = {}
+        self._sources = []
+        self.sinks = [self._build(node) for node in sink_nodes]
+        if not self._sources:
+            raise QueryBuildError("query graph has no source node")
+
+    def _build(self, node):
+        instance = self._instances.get(id(node))
+        if instance is not None:
+            return instance
+        op = node.factory()
+        self._instances[id(node)] = op
+        if not node.parents:
+            self._sources.append(op)
+        for index, (parent, out_port) in enumerate(node.parents):
+            parent_op = self._build(parent)
+            emitter = parent_op if out_port is None else parent_op.out_ports[out_port]
+            ports = getattr(op, "ports", None)
+            receiver = op if ports is None else ports[index]
+            emitter.add_downstream(receiver)
+        return op
+
+    @property
+    def operators(self):
+        """All live operator instances (topological discovery order)."""
+        return list(self._instances.values())
+
+    def operator_for(self, node):
+        """The live instance materialized for a query node."""
+        try:
+            return self._instances[id(node)]
+        except KeyError:
+            raise QueryBuildError(
+                f"node {node!r} is not part of this pipeline"
+            ) from None
+
+    def buffered_events(self) -> int:
+        """Total events buffered across all operators right now."""
+        return sum(op.buffered_count() for op in self._instances.values())
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self, elements, on_punctuation=None):
+        """Push a stream of elements through the (single) source and flush.
+
+        ``elements`` yields :class:`~repro.engine.event.Event` and
+        :class:`~repro.engine.event.Punctuation` objects.  The optional
+        ``on_punctuation(pipeline)`` callback fires after each punctuation —
+        the hook Figure 10's memory meter uses to sample occupancy.
+        Returns ``self`` for chaining.
+        """
+        if len(self._sources) != 1:
+            raise QueryBuildError(
+                f"run() requires exactly one source, found {len(self._sources)}"
+            )
+        source = self._sources[0]
+        for element in elements:
+            if is_punctuation(element):
+                source.on_punctuation(element)
+                if on_punctuation is not None:
+                    on_punctuation(self)
+            else:
+                source.on_event(element)
+        source.on_flush()
+        return self
+
+    def run_multi(self, elements_by_node, on_punctuation=None):
+        """Drive a multi-source graph, interleaving sources round-robin.
+
+        ``elements_by_node`` maps source :class:`QueryNode`s to their
+        element iterables.  One element is taken from each live source per
+        round (a simple arrival-order interleaving — callers wanting a
+        specific arrival schedule should pre-interleave into one source).
+        Every listed source must be a root of this pipeline; all are
+        flushed when exhausted.  Returns ``self``.
+        """
+        feeds = []
+        for node, elements in elements_by_node.items():
+            op = self.operator_for(node)
+            if op not in self._sources:
+                raise QueryBuildError(
+                    f"node {node!r} is not a source of this pipeline"
+                )
+            feeds.append((op, iter(elements)))
+        if len(feeds) != len(self._sources):
+            raise QueryBuildError(
+                f"pipeline has {len(self._sources)} sources, "
+                f"got elements for {len(feeds)}"
+            )
+        live = feeds
+        while live:
+            still_live = []
+            for op, iterator in live:
+                element = next(iterator, _EXHAUSTED)
+                if element is _EXHAUSTED:
+                    continue
+                if is_punctuation(element):
+                    op.on_punctuation(element)
+                    if on_punctuation is not None:
+                        on_punctuation(self)
+                else:
+                    op.on_event(element)
+                still_live.append((op, iterator))
+            live = still_live
+        for op, _ in feeds:
+            op.on_flush()
+        return self
+
+    def push_event(self, event):
+        """Manual driving: push one event into the single source."""
+        self._sources[0].on_event(event)
+
+    def push_punctuation(self, timestamp):
+        """Manual driving: push one punctuation into the single source."""
+        self._sources[0].on_punctuation(Punctuation(timestamp))
+
+    def flush(self):
+        """Manual driving: signal end-of-stream."""
+        self._sources[0].on_flush()

@@ -1,0 +1,93 @@
+"""Operator protocol for the push-based pipeline.
+
+Every operator receives three signals from upstream — ``on_event``,
+``on_punctuation`` and ``on_flush`` (end of stream) — and pushes results to
+any number of downstream operators.  Operators that buffer report their
+occupancy through ``buffered_count`` so the memory meter
+(:mod:`repro.framework.memory`) can integrate Figure 10's byte counts.
+
+All operators in this engine except the sorting operator assume their input
+arrives in non-decreasing ``sync_time`` order between punctuations — the
+paper's premise that a single sorting operator keeps every other operator
+order-free.
+"""
+
+from __future__ import annotations
+
+from repro.engine.event import Punctuation
+
+__all__ = ["Operator", "PassThrough", "InputPort"]
+
+
+class Operator:
+    """Base class: fans out to downstreams, passes everything through."""
+
+    def __init__(self):
+        self.downstreams = []
+
+    def add_downstream(self, operator):
+        """Attach a downstream operator; returns it for chaining."""
+        self.downstreams.append(operator)
+        return operator
+
+    # -- signals from upstream ------------------------------------------
+
+    def on_event(self, event):
+        self.emit_event(event)
+
+    def on_punctuation(self, punctuation):
+        self.emit_punctuation(punctuation)
+
+    def on_flush(self):
+        self.emit_flush()
+
+    # -- emission to downstream -----------------------------------------
+
+    def emit_event(self, event):
+        for downstream in self.downstreams:
+            downstream.on_event(event)
+
+    def emit_punctuation(self, punctuation):
+        for downstream in self.downstreams:
+            downstream.on_punctuation(punctuation)
+
+    def emit_flush(self):
+        for downstream in self.downstreams:
+            downstream.on_flush()
+
+    # -- introspection ----------------------------------------------------
+
+    def buffered_count(self) -> int:
+        """Events currently buffered by this operator (0 if stateless)."""
+        return 0
+
+    def advance_to(self, timestamp):
+        """Convenience: emit a punctuation object at ``timestamp``."""
+        self.emit_punctuation(Punctuation(timestamp))
+
+
+class PassThrough(Operator):
+    """Identity operator; used as source roots and as the default PIQ."""
+
+
+class InputPort:
+    """Adapter giving a multi-input operator (e.g. union) named inlets.
+
+    A port forwards each upstream signal to the owner with its port index,
+    so the owner can track per-input watermarks.
+    """
+
+    __slots__ = ("owner", "index")
+
+    def __init__(self, owner, index):
+        self.owner = owner
+        self.index = index
+
+    def on_event(self, event):
+        self.owner.on_port_event(self.index, event)
+
+    def on_punctuation(self, punctuation):
+        self.owner.on_port_punctuation(self.index, punctuation)
+
+    def on_flush(self):
+        self.owner.on_port_flush(self.index)

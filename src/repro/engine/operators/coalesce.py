@@ -1,0 +1,119 @@
+"""Coalesce: combine per-key events with overlapping lifetimes (§V-C).
+
+The paper sketches an optimized PIQ for its pattern-matching example:
+
+    "the user can provide a pair of PIQ and merge functions that combine
+    multiple events into one event, if these events are related to same
+    user and ad, and are overlapped in their validity time intervals.
+    Thus, the subsequent pattern matching operators are performed on
+    smaller streams."
+
+``Coalesce`` is that combiner: over an ordered stream, consecutive events
+with the same key whose ``[sync, other)`` intervals touch or overlap fuse
+into one event spanning their union, with a user fold over payloads
+(default: a count of fused events).
+
+Ordering discipline: a fused group's output sync is its *start*, which is
+fixed at creation, so a group may only be released once every group that
+could still produce a smaller start is finalized.  Closed groups wait in
+a start-ordered heap and punctuations forwarded downstream are clamped
+below the earliest still-open start.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators.base import Operator
+
+__all__ = ["Coalesce"]
+
+_NEG_INF = float("-inf")
+
+
+class Coalesce(Operator):
+    """Fuse same-key events with overlapping validity intervals.
+
+    Parameters
+    ----------
+    combine:
+        ``fn(accumulated_payload_or_None, event) -> payload``; ``None``
+        counts fused events (payload is the count).
+    key_fn:
+        Grouping key (default: the event's key field).
+    """
+
+    def __init__(self, combine=None, key_fn=None):
+        super().__init__()
+        self.combine = combine
+        self.key_fn = key_fn
+        self._open = {}     # key -> [start, end, payload]
+        self._closed = []   # heap of (start, seq, end, key, payload)
+        self._seq = 0
+        self._out_watermark = _NEG_INF
+        self.fused = 0
+
+    def _key(self, event):
+        return event.key if self.key_fn is None else self.key_fn(event)
+
+    def on_event(self, event):
+        key = self._key(event)
+        group = self._open.get(key)
+        if group is not None:
+            if event.sync_time <= group[1]:
+                # Extends the open interval (input is sync-ordered, so the
+                # event cannot start before the group's start).
+                if event.other_time > group[1]:
+                    group[1] = event.other_time
+                group[2] = (
+                    group[2] + 1 if self.combine is None
+                    else self.combine(group[2], event)
+                )
+                self.fused += 1
+                return
+            self._retire(key, group)
+        payload = 1 if self.combine is None else self.combine(None, event)
+        self._open[key] = [event.sync_time, event.other_time, payload]
+
+    def on_punctuation(self, punctuation):
+        timestamp = punctuation.timestamp
+        # Finalize groups no future event (sync > T) can extend.
+        for key in [
+            key for key, group in self._open.items()
+            if group[1] <= timestamp
+        ]:
+            self._retire(key, self._open.pop(key))
+        self._release(timestamp)
+
+    def on_flush(self):
+        for key in list(self._open):
+            self._retire(key, self._open.pop(key))
+        self._release(float("inf"))
+        self.emit_flush()
+
+    # -- internals ----------------------------------------------------------
+
+    def _retire(self, key, group):
+        start, end, payload = group
+        heapq.heappush(self._closed, (start, self._seq, end, key, payload))
+        self._seq += 1
+
+    def _release(self, timestamp):
+        """Emit closed groups (and a punctuation) up to the safe bound."""
+        open_floor = min(
+            (group[0] for group in self._open.values()), default=None
+        )
+        bound = timestamp if open_floor is None else min(
+            timestamp, open_floor - 1
+        )
+        closed = self._closed
+        while closed and closed[0][0] <= bound:
+            start, _, end, key, payload = heapq.heappop(closed)
+            self.emit_event(Event(start, end, key, payload))
+        if bound != float("inf") and bound > self._out_watermark:
+            self._out_watermark = bound
+            self.emit_punctuation(Punctuation(bound))
+
+    def buffered_count(self) -> int:
+        return len(self._open) + len(self._closed)

@@ -1,0 +1,83 @@
+"""Distinct-value aggregation.
+
+``CountDistinct`` is an aggregate function (usable anywhere Count is);
+``DistinctWindow`` deduplicates events per window by a selector — both
+standard engine pieces a log-analytics user reaches for (unique users per
+window, first click per ad per window).
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.aggregates import Aggregate
+from repro.engine.operators.base import Operator
+
+__all__ = ["CountDistinct", "DistinctWindow"]
+
+
+class CountDistinct(Aggregate):
+    """Number of distinct ``selector(payload)`` values in the window."""
+
+    def __init__(self, selector=None):
+        self.selector = selector
+
+    def initial(self):
+        return set()
+
+    def accumulate(self, state, event):
+        value = (
+            event.payload if self.selector is None
+            else self.selector(event.payload)
+        )
+        state.add(value)
+        return state
+
+    def result(self, state):
+        return len(state)
+
+
+class DistinctWindow(Operator):
+    """Pass through only the first event per (window, selector value).
+
+    Stateful but order-insensitive *within* a window: any one
+    representative per distinct value survives, and punctuations garbage-
+    collect window state once the window can no longer receive events.
+    """
+
+    def __init__(self, selector=None):
+        super().__init__()
+        self.selector = selector
+        self._seen = {}  # window start -> (window end, set of values)
+
+    def _value(self, event):
+        return (
+            event.payload if self.selector is None
+            else self.selector(event.payload)
+        )
+
+    def on_event(self, event):
+        start = event.sync_time
+        entry = self._seen.get(start)
+        if entry is None:
+            entry = (event.other_time, set())
+            self._seen[start] = entry
+        value = self._value(event)
+        if value not in entry[1]:
+            entry[1].add(value)
+            self.emit_event(event)
+
+    def on_punctuation(self, punctuation):
+        dead = [
+            start
+            for start, (end, _) in self._seen.items()
+            if end - 1 <= punctuation.timestamp
+        ]
+        for start in dead:
+            del self._seen[start]
+        self.emit_punctuation(punctuation)
+
+    def on_flush(self):
+        self._seen.clear()
+        self.emit_flush()
+
+    def buffered_count(self) -> int:
+        return sum(len(values) for _, values in self._seen.values())

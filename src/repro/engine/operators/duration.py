@@ -1,0 +1,53 @@
+"""Event-lifetime operators (Trill's duration algebra, §IV-A2).
+
+Trill treats an event as a validity interval ``[sync_time, other_time)``;
+window operators are just timestamp transformations over it.  These two
+stateless, order-insensitive operators complete that algebra:
+
+* :class:`AlterEventDuration` — set every event's lifetime to a fixed
+  length (Trill's ``AlterEventDuration``); a hopping window is this plus
+  a sync-time alignment.
+* :class:`ClipEventDuration` — cap lifetimes at a maximum (Trill's
+  ``ClipEventDuration`` against a constant), bounding how long an event
+  can contribute to any downstream snapshot.
+
+Being stateless, both are legal on a ``DisorderedStreamable`` and benefit
+from sort-as-needed push-down like any projection.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+
+__all__ = ["AlterEventDuration", "ClipEventDuration"]
+
+
+class AlterEventDuration(Operator):
+    """Set ``other_time = sync_time + duration`` on every event."""
+
+    def __init__(self, duration):
+        super().__init__()
+        if duration < 1:
+            raise ValueError("duration must be >= 1")
+        self.duration = duration
+
+    def on_event(self, event):
+        self.emit_event(
+            event.with_times(event.sync_time, event.sync_time + self.duration)
+        )
+
+
+class ClipEventDuration(Operator):
+    """Cap ``other_time`` at ``sync_time + limit`` on every event."""
+
+    def __init__(self, limit):
+        super().__init__()
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+
+    def on_event(self, event):
+        cap = event.sync_time + self.limit
+        if event.other_time > cap:
+            event = event.with_times(event.sync_time, cap)
+        self.emit_event(event)

@@ -1,0 +1,132 @@
+"""GroupApply: run a sub-query per grouping key (Trill's GroupApply, §V-C).
+
+The paper's first framework example uses it directly:
+
+    str.GroupApply(e => e.AdId, s => s.Aggregate(w => w.Count()))
+
+``GroupApply`` routes each event to a per-key instance of an arbitrary
+sub-query (a ``Streamable -> Streamable`` function, materialized lazily
+the first time a key appears), broadcasts punctuations to every instance,
+and re-emits the merged sub-outputs in sync-time order with the group key
+stamped on each result event.
+
+:class:`~repro.engine.operators.aggregates.GroupedWindowAggregate` remains
+the fused fast path for the common aggregate case; GroupApply is the
+general mechanism for arbitrary per-group logic (pattern matching per
+user, per-device coalescing, ...).
+
+Ordering contract: outputs are sync-sorted within each drain batch, so
+they are globally ordered at punctuation granularity.  Sub-queries that
+mix immediate (stateless) and punctuation-deferred (aggregate) emission
+are ordered per batch but may interleave between punctuations; feed such
+outputs to punctuation-buffering consumers (aggregates, union) rather
+than scan-order ones.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+
+__all__ = ["GroupApply"]
+
+_NEG_INF = float("-inf")
+
+
+class _SubSink(Operator):
+    """Terminal of one per-key sub-pipeline: stages outputs for the owner."""
+
+    def __init__(self, owner, key):
+        super().__init__()
+        self.owner = owner
+        self.key = key
+
+    def on_event(self, event):
+        self.owner._stage(event.with_key(self.key))
+
+    def on_punctuation(self, punctuation):
+        pass  # the owner forwards its own punctuations
+
+    def on_flush(self):
+        pass
+
+
+class GroupApply(Operator):
+    """Apply ``query_fn`` to each key's sub-stream; merge the results.
+
+    Parameters
+    ----------
+    query_fn:
+        ``Streamable -> Streamable`` built over a fresh per-key source.
+    key_fn:
+        Grouping key (default: the event's key field).
+    """
+
+    def __init__(self, query_fn, key_fn=None):
+        super().__init__()
+        self.query_fn = query_fn
+        self.key_fn = key_fn
+        self._groups = {}  # key -> per-key materialized Pipeline
+        self._staged = []
+        self.group_count = 0
+
+    def _key(self, event):
+        return event.key if self.key_fn is None else self.key_fn(event)
+
+    def _pipeline_for(self, key):
+        pipeline = self._groups.get(key)
+        if pipeline is None:
+            # Imported here to avoid an import cycle (stream -> operators).
+            from repro.engine.graph import Pipeline, QueryNode, source_node
+            from repro.engine.stream import Streamable, _SourceHandle
+
+            source = source_node(f"group[{key!r}]")
+            stream = Streamable(source, _SourceHandle(()))
+            out = stream.apply(self.query_fn)
+            sink_node = QueryNode(
+                lambda: _SubSink(self, key), ((out.node, None),),
+                name="group-sink",
+            )
+            pipeline = Pipeline([sink_node])
+            self._groups[key] = pipeline
+            self.group_count += 1
+        return pipeline
+
+    def _stage(self, event):
+        self._staged.append(event)
+
+    # -- upstream signals ---------------------------------------------------
+
+    def on_event(self, event):
+        self._pipeline_for(self._key(event)).push_event(event)
+        self._drain()
+
+    def on_punctuation(self, punctuation):
+        for pipeline in self._groups.values():
+            pipeline.push_punctuation(punctuation.timestamp)
+        self._drain()
+        self.emit_punctuation(punctuation)
+
+    def on_flush(self):
+        for pipeline in self._groups.values():
+            pipeline.flush()
+        self._drain()
+        self.emit_flush()
+
+    def _drain(self):
+        staged = self._staged
+        if not staged:
+            return
+        if len(staged) > 1:
+            staged.sort(key=_sync_time)
+        for event in staged:
+            self.emit_event(event)
+        self._staged = []
+
+    def buffered_count(self) -> int:
+        return sum(
+            pipeline.buffered_events() for pipeline in self._groups.values()
+        )
+
+
+def _sync_time(event):
+    return event.sync_time

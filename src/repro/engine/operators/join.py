@@ -1,0 +1,108 @@
+"""Temporal (interval) equi-join — the canonical order-sensitive operator.
+
+The paper classifies join with aggregation as the order-sensitive
+operators that motivate sorting (§IV-A); this is the standard streaming
+implementation those engines run *after* the sorting operator: a
+symmetric hash join where two events match when their keys are equal and
+their validity intervals ``[sync, other)`` overlap.  The output event's
+interval is the intersection, its payload the pair of input payloads.
+
+State on each side is evicted once the opposite side's watermark passes
+an event's ``other_time`` — no event arriving later can overlap it —
+so memory is bounded by interval length × rate, exactly the behaviour
+a punctuated, in-order input guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators.base import InputPort, Operator
+
+__all__ = ["TemporalJoin"]
+
+_NEG_INF = float("-inf")
+
+
+class TemporalJoin(Operator):
+    """Two-input interval equi-join; attach parents to ``ports[0]/[1]``.
+
+    Parameters
+    ----------
+    result_selector:
+        ``fn(left_payload, right_payload) -> payload`` for matches;
+        defaults to the ``(left, right)`` tuple.
+
+    Output ordering: matches are emitted when the *later* input event
+    arrives, so outputs are ordered by ``max(left.sync, right.sync)``
+    between punctuations, and the emitted punctuation is the min of the
+    two input watermarks — the same contract as Union.
+    """
+
+    def __init__(self, result_selector=None):
+        super().__init__()
+        self.result_selector = result_selector
+        self.ports = (InputPort(self, 0), InputPort(self, 1))
+        self._state = (defaultdict(list), defaultdict(list))  # key -> events
+        self._watermarks = [_NEG_INF, _NEG_INF]
+        self._flushed = [False, False]
+        self._emitted_watermark = _NEG_INF
+        self.matches = 0
+
+    # -- port signals -----------------------------------------------------
+
+    def on_port_event(self, index, event):
+        other_side = self._state[1 - index]
+        partners = other_side.get(event.key)
+        if partners:
+            for partner in partners:
+                start = max(event.sync_time, partner.sync_time)
+                end = min(event.other_time, partner.other_time)
+                if start < end:
+                    self.matches += 1
+                    left, right = (
+                        (partner, event) if index == 1 else (event, partner)
+                    )
+                    payload = (
+                        (left.payload, right.payload)
+                        if self.result_selector is None
+                        else self.result_selector(left.payload, right.payload)
+                    )
+                    self.emit_event(Event(start, end, event.key, payload))
+        self._state[index][event.key].append(event)
+
+    def on_port_punctuation(self, index, punctuation):
+        if punctuation.timestamp > self._watermarks[index]:
+            self._watermarks[index] = punctuation.timestamp
+            # The opposite side can drop events no future input overlaps.
+            self._evict(1 - index, punctuation.timestamp)
+        safe = min(self._watermarks)
+        if safe > self._emitted_watermark and safe != _NEG_INF:
+            self._emitted_watermark = safe
+            self.emit_punctuation(Punctuation(safe))
+
+    def on_port_flush(self, index):
+        self._flushed[index] = True
+        if all(self._flushed):
+            self._state = (defaultdict(list), defaultdict(list))
+            self.emit_flush()
+
+    # -- state ------------------------------------------------------------
+
+    def _evict(self, side, watermark):
+        state = self._state[side]
+        dead_keys = []
+        for key, events in state.items():
+            events[:] = [e for e in events if e.other_time > watermark]
+            if not events:
+                dead_keys.append(key)
+        for key in dead_keys:
+            del state[key]
+
+    def buffered_count(self) -> int:
+        return sum(
+            len(events)
+            for side in self._state
+            for events in side.values()
+        )

@@ -1,0 +1,54 @@
+"""Projection operators (Section IV-A1).
+
+Stateless and order-insensitive.  ``Select`` maps payloads through an
+arbitrary function; ``SelectColumns`` keeps a subset of payload fields —
+the operator swept in Figure 9(b), where projecting 1 of 4 payload columns
+shrinks events (though Trill's fixed metadata dilutes the ideal 4×).
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+
+__all__ = ["Select", "SelectColumns", "SelectEvent"]
+
+
+class Select(Operator):
+    """Replace each event's payload with ``projector(payload)``."""
+
+    def __init__(self, projector):
+        super().__init__()
+        self.projector = projector
+
+    def on_event(self, event):
+        self.emit_event(event.with_payload(self.projector(event.payload)))
+
+
+class SelectColumns(Operator):
+    """Keep only the payload fields at the given indices, in order."""
+
+    def __init__(self, columns):
+        super().__init__()
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise ValueError("SelectColumns requires at least one column")
+
+    def on_event(self, event):
+        payload = event.payload
+        projected = tuple(payload[c] for c in self.columns)
+        self.emit_event(event.with_payload(projected))
+
+
+class SelectEvent(Operator):
+    """Full-event map: ``mapper(event) -> event``, for advanced rewrites.
+
+    The mapper must not change ``sync_time`` ordering semantics — timestamp
+    adjustments belong to window operators.
+    """
+
+    def __init__(self, mapper):
+        super().__init__()
+        self.mapper = mapper
+
+    def on_event(self, event):
+        self.emit_event(self.mapper(event))

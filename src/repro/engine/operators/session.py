@@ -1,0 +1,114 @@
+"""Session windows: gap-based event grouping per key.
+
+Not a paper figure, but a standard Trill/streaming operator that the
+sort-as-needed design makes trivial to support: because it consumes an
+*ordered* stream, a session closes exactly when a punctuation proves the
+gap can no longer be filled — no speculation, no revision.
+
+A session for a key is a maximal set of events where consecutive events
+are less than ``timeout`` apart.  The operator emits one event per
+closed session spanning ``[first_sync, last_sync + timeout)`` with a
+payload folded by ``aggregate`` (default: event count).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators.aggregates import Count
+from repro.engine.operators.base import Operator
+
+__all__ = ["SessionWindow"]
+
+_NEG_INF = float("-inf")
+
+
+class SessionWindow(Operator):
+    """Group an ordered stream into per-key sessions split on gaps.
+
+    Parameters
+    ----------
+    timeout:
+        Maximum gap between consecutive events of one session.
+    aggregate:
+        Fold applied to the session's events (default
+        :class:`~repro.engine.operators.aggregates.Count`).
+    key_fn:
+        Session key (default: the event's key field).
+
+    Output ordering follows the same discipline as Coalesce: sessions are
+    released in start order and punctuations are clamped below the
+    earliest still-open session start.
+    """
+
+    def __init__(self, timeout, aggregate=None, key_fn=None):
+        super().__init__()
+        if timeout < 1:
+            raise ValueError("timeout must be >= 1")
+        self.timeout = timeout
+        self.aggregate = aggregate or Count()
+        self.key_fn = key_fn
+        self._open = {}     # key -> [start, last_sync, state]
+        self._closed = []   # heap of (start, seq, end, key, payload)
+        self._seq = 0
+        self._out_watermark = _NEG_INF
+        self.sessions = 0
+
+    def _key(self, event):
+        return event.key if self.key_fn is None else self.key_fn(event)
+
+    def on_event(self, event):
+        key = self._key(event)
+        session = self._open.get(key)
+        if session is not None and event.sync_time - session[1] < self.timeout:
+            session[1] = event.sync_time
+            session[2] = self.aggregate.accumulate(session[2], event)
+            return
+        if session is not None:
+            self._retire(key, session)
+        state = self.aggregate.accumulate(self.aggregate.initial(), event)
+        self._open[key] = [event.sync_time, event.sync_time, state]
+
+    def on_punctuation(self, punctuation):
+        timestamp = punctuation.timestamp
+        # A session is final when no future event (sync > T) can be within
+        # timeout of its last event: last + timeout <= T + 1.
+        for key in [
+            key for key, session in self._open.items()
+            if session[1] + self.timeout - 1 <= timestamp
+        ]:
+            self._retire(key, self._open.pop(key))
+        self._release(timestamp)
+
+    def on_flush(self):
+        for key in list(self._open):
+            self._retire(key, self._open.pop(key))
+        self._release(float("inf"))
+        self.emit_flush()
+
+    def _retire(self, key, session):
+        start, last, state = session
+        payload = self.aggregate.result(state)
+        end = last + self.timeout
+        heapq.heappush(self._closed, (start, self._seq, end, key, payload))
+        self._seq += 1
+        self.sessions += 1
+
+    def _release(self, timestamp):
+        open_floor = min(
+            (session[0] for session in self._open.values()), default=None
+        )
+        bound = timestamp if open_floor is None else min(
+            timestamp, open_floor - 1
+        )
+        closed = self._closed
+        while closed and closed[0][0] <= bound:
+            start, _, end, key, payload = heapq.heappop(closed)
+            self.emit_event(Event(start, end, key, payload))
+        if bound != float("inf") and bound > self._out_watermark:
+            self._out_watermark = bound
+            self.emit_punctuation(Punctuation(bound))
+
+    def buffered_count(self) -> int:
+        return len(self._open) + len(self._closed)

@@ -1,0 +1,129 @@
+"""Snapshot aggregation — Trill's native aggregate semantics.
+
+The windowed aggregates in :mod:`repro.engine.operators.aggregates` treat
+each event as belonging to the single window stamped in its ``sync_time``
+(exact for tumbling windows).  Trill's model is more general: an event
+*contributes to every instant of its validity interval* ``[sync, other)``,
+and an aggregate's output is a step function over time — one value per
+*snapshot interval* between consecutive endpoint changes.
+
+:class:`SnapshotAggregate` implements that semantics for commutative,
+invertible folds (sum-like: Count, Sum, mean numerator/denominator):
+each event adds its contribution at ``sync`` and removes it at ``other``
+(a difference map), and punctuations release the finished prefix of the
+step function.  Combined with a hopping-window timestamp adjustment this
+yields correct sliding-window aggregates, where the tumbling-window
+operators would undercount events spanning several hops.
+"""
+
+from __future__ import annotations
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators.base import Operator
+
+__all__ = ["SnapshotAggregate", "SnapshotCount", "SnapshotSum"]
+
+_NEG_INF = float("-inf")
+
+
+class SnapshotAggregate(Operator):
+    """Step-function aggregate over event validity intervals.
+
+    Parameters
+    ----------
+    lift:
+        ``fn(event) -> value`` — each event's contribution (1 for count).
+    emit_zero:
+        Whether to emit snapshot intervals whose aggregate is the
+        identity (gaps with no live events).  Default off, matching the
+        convention that empty snapshots produce no output.
+
+    Output events: one per snapshot interval ``[t_i, t_{i+1})`` with the
+    aggregate of every event alive throughout it, keyed 0.
+    """
+
+    def __init__(self, lift=None, emit_zero=False):
+        super().__init__()
+        self.lift = lift
+        self.emit_zero = emit_zero
+        self._deltas = {}      # timestamp -> net contribution change
+        self._running = 0      # aggregate value entering _frontier
+        self._frontier = None  # left edge of the unreleased step function
+        self._out_watermark = _NEG_INF
+
+    def on_event(self, event):
+        value = 1 if self.lift is None else self.lift(event)
+        self._deltas[event.sync_time] = (
+            self._deltas.get(event.sync_time, 0) + value
+        )
+        self._deltas[event.other_time] = (
+            self._deltas.get(event.other_time, 0) - value
+        )
+
+    def on_punctuation(self, punctuation):
+        """Release the decided prefix; forward a clamped punctuation.
+
+        The pending step segment starts at the frontier, so output with
+        ``sync >= frontier`` may still come — the forwarded punctuation
+        is clamped below it (same discipline as Coalesce/SessionWindow).
+        """
+        self._release(punctuation.timestamp)
+        bound = punctuation.timestamp
+        pending = self._frontier is not None and (
+            self._running != 0 or self.emit_zero
+        )
+        if pending:
+            bound = min(bound, self._frontier - 1)
+        if bound > self._out_watermark:
+            self._out_watermark = bound
+            self.emit_punctuation(Punctuation(bound))
+
+    def on_flush(self):
+        self._release(None)
+        self.emit_flush()
+
+    def _release(self, up_to):
+        """Emit snapshot intervals whose right edge is decided.
+
+        A boundary ``t`` is final once no event with ``sync <= t`` can
+        arrive, i.e. ``t <= up_to``; the interval ``[t_i, t_{i+1})`` is
+        emitted when its right edge is final.
+        """
+        if not self._deltas:
+            return
+        due = sorted(
+            t for t in self._deltas if up_to is None or t <= up_to
+        )
+        if not due:
+            return
+        for boundary in due:
+            if self._frontier is not None and (
+                self._running != 0 or self.emit_zero
+            ):
+                self.emit_event(
+                    Event(self._frontier, boundary, 0, self._running)
+                )
+            self._running += self._deltas.pop(boundary)
+            self._frontier = boundary
+        # A trailing all-zero state needs no closing interval.
+
+    def buffered_count(self) -> int:
+        return len(self._deltas)
+
+
+class SnapshotCount(SnapshotAggregate):
+    """Number of events alive per snapshot interval."""
+
+    def __init__(self, emit_zero=False):
+        super().__init__(lift=None, emit_zero=emit_zero)
+
+
+class SnapshotSum(SnapshotAggregate):
+    """Sum of ``selector(payload)`` over events alive per snapshot."""
+
+    def __init__(self, selector=None, emit_zero=False):
+        if selector is None:
+            lift = lambda event: event.payload  # noqa: E731
+        else:
+            lift = lambda event: selector(event.payload)  # noqa: E731
+        super().__init__(lift=lift, emit_zero=emit_zero)

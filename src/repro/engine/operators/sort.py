@@ -1,0 +1,59 @@
+"""The sorting operator: the only disorder-aware operator in the engine.
+
+Wraps any online sorter obeying the ``insert / on_punctuation / flush``
+protocol (Impatience sort by default) and turns a disordered event stream
+into a sorted one, emitting buffered events on every punctuation
+(Section III-A's problem definition).
+"""
+
+from __future__ import annotations
+
+from repro.core.impatience import ImpatienceSorter
+from repro.engine.operators.base import Operator
+
+__all__ = ["Sort"]
+
+
+class Sort(Operator):
+    """Order a disordered stream by sync_time using an online sorter.
+
+    Parameters
+    ----------
+    sorter:
+        An online sorter instance; defaults to a fresh
+        :class:`~repro.core.impatience.ImpatienceSorter` keyed on
+        ``sync_time``.  Pass any of
+        :func:`repro.sorting.make_online_sorter`'s products to compare
+        algorithms inside a full query pipeline.
+    """
+
+    def __init__(self, sorter=None):
+        super().__init__()
+        if sorter is None:
+            sorter = ImpatienceSorter(key=_sync_time)
+        self.sorter = sorter
+
+    def on_event(self, event):
+        self.sorter.insert(event)
+
+    def on_punctuation(self, punctuation):
+        for event in self.sorter.on_punctuation(punctuation.timestamp):
+            self.emit_event(event)
+        self.emit_punctuation(punctuation)
+
+    def on_flush(self):
+        for event in self.sorter.flush():
+            self.emit_event(event)
+        self.emit_flush()
+
+    def buffered_count(self) -> int:
+        return self.sorter.buffered
+
+    @property
+    def dropped(self) -> int:
+        """Late events discarded by the sorter's late policy."""
+        return self.sorter.late.dropped
+
+
+def _sync_time(event):
+    return event.sync_time

@@ -1,0 +1,93 @@
+"""Statistical aggregate functions: variance, stddev, and quantiles.
+
+Standard log-analytics folds (p99 latency per window, variance of a
+sensor per window) built on the same Aggregate interface as Count/Sum so
+they compose with windowed, grouped, and framework execution unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.operators.aggregates import Aggregate
+
+__all__ = ["Variance", "StdDev", "Quantile", "Median"]
+
+
+class Variance(Aggregate):
+    """Population variance of ``selector(payload)`` (Welford's method).
+
+    Single-pass and numerically stable; ``None`` on empty windows.
+    """
+
+    def __init__(self, selector=None):
+        self.selector = selector
+
+    def initial(self):
+        return (0, 0.0, 0.0)  # count, mean, M2
+
+    def accumulate(self, state, event):
+        value = (
+            event.payload if self.selector is None
+            else self.selector(event.payload)
+        )
+        count, mean, m2 = state
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+        return (count, mean, m2)
+
+    def result(self, state):
+        count, _, m2 = state
+        return m2 / count if count else None
+
+
+class StdDev(Variance):
+    """Population standard deviation (square root of :class:`Variance`)."""
+
+    def result(self, state):
+        variance = super().result(state)
+        return math.sqrt(variance) if variance is not None else None
+
+
+class Quantile(Aggregate):
+    """Exact q-quantile of ``selector(payload)`` over the window.
+
+    Buffers the window's values (windows are bounded by construction in
+    this engine); the result uses the nearest-rank definition, so it is
+    always an observed value.  ``None`` on empty windows.
+    """
+
+    def __init__(self, q, selector=None):
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        self.q = q
+        self.selector = selector
+
+    def initial(self):
+        return []
+
+    def accumulate(self, state, event):
+        value = (
+            event.payload if self.selector is None
+            else self.selector(event.payload)
+        )
+        state.append(value)
+        return state
+
+    def result(self, state):
+        if not state:
+            return None
+        ordered = sorted(state)
+        rank = min(
+            max(math.ceil(self.q * len(ordered)) - 1, 0), len(ordered) - 1
+        )
+        return ordered[rank]
+
+
+class Median(Quantile):
+    """The 0.5 quantile."""
+
+    def __init__(self, selector=None):
+        super().__init__(0.5, selector)

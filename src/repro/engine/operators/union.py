@@ -1,0 +1,101 @@
+"""Union operator: synchronized merge of two sorted streams (Section V-A).
+
+    "...a union operator, which merges and synchronizes two sorted streams
+    into one sorted stream (and thus is a blocking operator)."
+
+Each input arrives in sync_time order with its own punctuation cadence.
+Events are safe to emit once they are at or below *both* sides'
+watermarks; until then they sit in per-side buffers.  That buffering is the
+memory cost of the basic Impatience framework (the slow side holds back the
+fast side for up to its reorder latency), which Figure 10 quantifies —
+hence the high-water-mark accounting here.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from repro.engine.event import Punctuation
+from repro.engine.operators.base import InputPort, Operator
+
+__all__ = ["Union"]
+
+_NEG_INF = float("-inf")
+
+
+class Union(Operator):
+    """Two-input merge; attach parents to ``.ports[0]`` and ``.ports[1]``."""
+
+    def __init__(self):
+        super().__init__()
+        self.ports = (InputPort(self, 0), InputPort(self, 1))
+        self._buffers = ([], [])  # per-side event lists, sync-ordered
+        self._watermarks = [_NEG_INF, _NEG_INF]
+        self._flushed = [False, False]
+        self._emitted_watermark = _NEG_INF
+        self.max_buffered = 0
+
+    # -- port signals -----------------------------------------------------
+
+    def on_port_event(self, index, event):
+        buffer = self._buffers[index]
+        if buffer and event.sync_time < buffer[-1].sync_time:
+            # Defensive: inputs are contractually sorted, but a misplaced
+            # event would silently corrupt the merge; keep order by insort.
+            insort(buffer, event, key=lambda e: e.sync_time)
+        else:
+            buffer.append(event)
+        total = len(self._buffers[0]) + len(self._buffers[1])
+        if total > self.max_buffered:
+            self.max_buffered = total
+
+    def on_port_punctuation(self, index, punctuation):
+        if punctuation.timestamp > self._watermarks[index]:
+            self._watermarks[index] = punctuation.timestamp
+        self._drain()
+
+    def on_port_flush(self, index):
+        self._flushed[index] = True
+        if all(self._flushed):
+            self._watermarks = [float("inf"), float("inf")]
+            self._drain()
+            self.emit_flush()
+
+    # -- merge ------------------------------------------------------------
+
+    def _drain(self):
+        """Emit merged events up to min watermark, then the punctuation."""
+        safe = min(self._watermarks)
+        if safe == _NEG_INF:
+            return
+        left, right = self._buffers
+        i = j = 0
+        nl, nr = len(left), len(right)
+        while True:
+            left_ok = i < nl and left[i].sync_time <= safe
+            right_ok = j < nr and right[j].sync_time <= safe
+            if left_ok and right_ok:
+                if right[j].sync_time < left[i].sync_time:
+                    self.emit_event(right[j])
+                    j += 1
+                else:
+                    self.emit_event(left[i])
+                    i += 1
+            elif left_ok:
+                self.emit_event(left[i])
+                i += 1
+            elif right_ok:
+                self.emit_event(right[j])
+                j += 1
+            else:
+                break
+        if i:
+            del left[:i]
+        if j:
+            del right[:j]
+        if safe > self._emitted_watermark and safe != float("inf"):
+            self._emitted_watermark = safe
+            self.emit_punctuation(Punctuation(safe))
+
+    def buffered_count(self) -> int:
+        return len(self._buffers[0]) + len(self._buffers[1])

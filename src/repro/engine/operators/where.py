@@ -1,0 +1,33 @@
+"""Selection operator (Section IV-A1).
+
+Stateless and order-insensitive: a predicate over events, applied in
+arrival order, which is why it is legal on a ``DisorderedStreamable`` and
+profitable to push ahead of the sorting operator (Figure 9(a)).
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+
+__all__ = ["Where"]
+
+
+class Where(Operator):
+    """Keep only events satisfying ``predicate(event)``."""
+
+    def __init__(self, predicate):
+        super().__init__()
+        self.predicate = predicate
+        self.seen = 0
+        self.passed = 0
+
+    def on_event(self, event):
+        self.seen += 1
+        if self.predicate(event):
+            self.passed += 1
+            self.emit_event(event)
+
+    @property
+    def selectivity(self) -> float:
+        """Observed pass fraction (1.0 before any input)."""
+        return self.passed / self.seen if self.seen else 1.0

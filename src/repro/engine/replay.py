@@ -1,0 +1,101 @@
+"""Replay ingress: processing-time-driven punctuation.
+
+The count-based :class:`~repro.engine.punctuation.PunctuationPolicy`
+never punctuates a quiet stream — results stall until more data shows
+up.  Real deployments punctuate on a *processing-time* timer.  This
+module simulates that with a deterministic tick clock (no sleeping):
+
+* a rate function says how many events arrive on each tick (constant,
+  bursty, or anything callable);
+* every ``punctuation_period`` ticks a punctuation is emitted at
+  ``high_watermark − reorder_latency`` even if no events arrived —
+  so downstream latency is bounded by wall-clock, not by traffic.
+
+The emitted element stream is ordinary events/punctuations, so every
+engine entry point consumes it unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.engine.event import Punctuation
+
+__all__ = ["replay", "constant_rate", "bursty_rate"]
+
+
+def constant_rate(events_per_tick):
+    """Rate function: the same number of arrivals every tick."""
+    if events_per_tick < 0:
+        raise ValueError("events_per_tick must be non-negative")
+
+    def rate(tick):
+        return events_per_tick
+
+    return rate
+
+
+def bursty_rate(base, burst_every, burst_size, quiet_after=None,
+                quiet_ticks=0):
+    """Rate function: ``base`` arrivals/tick, a burst every
+    ``burst_every`` ticks, and optionally a quiet gap (0 arrivals) of
+    ``quiet_ticks`` starting at tick ``quiet_after``."""
+
+    def rate(tick):
+        if quiet_after is not None and \
+                quiet_after <= tick < quiet_after + quiet_ticks:
+            return 0
+        if burst_every and tick % burst_every == burst_every - 1:
+            return burst_size
+        return base
+
+    return rate
+
+
+def replay(events, rate_fn, punctuation_period, reorder_latency=0,
+           idle_advance=0, final_punctuation=True):
+    """Yield events/punctuations under a simulated processing-time clock.
+
+    ``events`` is consumed in arrival order; ``rate_fn(tick)`` gives the
+    number of events delivered on each tick.  A punctuation is emitted
+    every ``punctuation_period`` ticks at ``high_watermark −
+    reorder_latency`` (monotone-clamped).
+
+    ``idle_advance`` is the idle-source policy: when the event-time
+    watermark has not moved since the last punctuation (a quiet stream),
+    the punctuation instead advances by ``idle_advance`` event-time units
+    per elapsed tick — windows keep closing at wall-clock pace, at the
+    risk of declaring genuinely delayed events late (the same trade
+    Flink's idleness detection makes).  ``0`` disables it, reproducing
+    the count-based policy's stall-on-quiet behaviour.
+    """
+    if punctuation_period < 1:
+        raise ValueError("punctuation_period must be >= 1")
+    if reorder_latency < 0 or idle_advance < 0:
+        raise ValueError("latency and idle_advance must be non-negative")
+    iterator = iter(events)
+    high_watermark = None
+    last_punctuation = None
+    tick = 0
+    exhausted = False
+    while not exhausted:
+        count = rate_fn(tick)
+        for _ in range(count):
+            event = next(iterator, None)
+            if event is None:
+                exhausted = True
+                break
+            if high_watermark is None or event.sync_time > high_watermark:
+                high_watermark = event.sync_time
+            yield event
+        tick += 1
+        if tick % punctuation_period == 0 and high_watermark is not None:
+            timestamp = high_watermark - reorder_latency
+            if idle_advance and last_punctuation is not None and \
+                    timestamp <= last_punctuation:
+                timestamp = last_punctuation + \
+                    idle_advance * punctuation_period
+            if last_punctuation is None or timestamp > last_punctuation:
+                last_punctuation = timestamp
+                yield Punctuation(timestamp)
+    if final_punctuation and high_watermark is not None:
+        if last_punctuation is None or high_watermark > last_punctuation:
+            yield Punctuation(high_watermark)

@@ -1,0 +1,108 @@
+"""Key-sharded query execution (Trill's Map/Reduce pattern).
+
+Trill scales grouped queries by hash-partitioning events across cores
+and merging per-shard results.  This module provides the single-process
+simulation of that pattern: a :class:`ShardedQuery` routes each ordered
+event to one of ``shards`` sub-pipelines by key hash, runs the same
+query function in each, and re-merges the shard outputs through a union
+cascade so the combined stream is ordered again.
+
+The value at this repository's scale is *state partitioning*: each
+shard's operators hold only their keys' state, and the merge tree is the
+same synchronized union the Impatience framework uses — so the
+equivalence test (sharded == unsharded, any shard count) doubles as a
+stress test of union's watermark logic.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.engine.graph import QueryNode
+from repro.engine.operators.base import Operator, PassThrough
+from repro.engine.operators.union import Union
+from repro.engine.stream import Streamable
+
+__all__ = ["ShardedQuery", "shard_streamable"]
+
+
+class _KeyShardRouter(Operator):
+    """Route events to ``out_ports[hash(key) % shards]``; broadcast
+    punctuations and flushes to every shard."""
+
+    def __init__(self, shards, key_fn=None):
+        super().__init__()
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.key_fn = key_fn
+        self.out_ports = [PassThrough() for _ in range(shards)]
+        self.routed = [0] * shards
+
+    def _shard(self, event):
+        key = event.key if self.key_fn is None else self.key_fn(event)
+        return hash(key) % self.shards
+
+    def on_event(self, event):
+        index = self._shard(event)
+        self.routed[index] += 1
+        self.out_ports[index].on_event(event)
+
+    def on_punctuation(self, punctuation):
+        for port in self.out_ports:
+            port.on_punctuation(punctuation)
+
+    def on_flush(self):
+        for port in self.out_ports:
+            port.on_flush()
+
+
+def shard_streamable(stream: Streamable, query_fn, shards,
+                     key_fn=None) -> Streamable:
+    """Map/Reduce a query: shard by key, apply ``query_fn`` per shard,
+    merge the shard outputs back into one ordered stream.
+
+    ``query_fn`` must be key-local (its result for one key must not
+    depend on other keys' events) — grouped aggregates, per-key patterns,
+    sessions and coalescing all qualify; a global Count does not.
+    """
+    if shards < 1:
+        raise QueryBuildError("shards must be >= 1")
+    router_node = QueryNode(
+        lambda: _KeyShardRouter(shards, key_fn),
+        ((stream.node, None),),
+        name=f"shard[{shards}]",
+    )
+    shard_streams = [
+        Streamable(
+            QueryNode(PassThrough, ((router_node, index),),
+                      name=f"shard-{index}"),
+            stream.source,
+        ).apply(query_fn)
+        for index in range(shards)
+    ]
+    merged = shard_streams[0]
+    for other in shard_streams[1:]:
+        node = QueryNode(
+            Union, ((merged.node, None), (other.node, None)), name="merge"
+        )
+        merged = Streamable(node, stream.source)
+    return merged
+
+
+class ShardedQuery:
+    """Convenience wrapper binding a query function to a shard count.
+
+    >>> sharded = ShardedQuery(lambda s: s.group_aggregate(Count()), 4)
+    >>> result = sharded.over(ordered_stream).collect()
+    """
+
+    def __init__(self, query_fn, shards, key_fn=None):
+        self.query_fn = query_fn
+        self.shards = shards
+        self.key_fn = key_fn
+
+    def over(self, stream: Streamable) -> Streamable:
+        """Build the sharded plan over an ordered stream."""
+        return shard_streamable(
+            stream, self.query_fn, self.shards, self.key_fn
+        )

@@ -1,0 +1,267 @@
+"""The ``Streamable`` fluent query API (Section IV-B).
+
+A :class:`Streamable` represents an *ordered* stream: every operator is
+available, including the order-sensitive windowed aggregates, union, and
+pattern matching.  Its disordered counterpart lives in
+:mod:`repro.engine.disordered` and exposes only order-insensitive
+operators, enforcing the paper's sort-as-needed typing discipline at the
+API level.
+
+Instances are immutable: each operator method returns a new Streamable
+sharing the upstream query DAG, so diamond plans (framework fan-outs)
+deduplicate naturally at materialization.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.engine.graph import Pipeline, QueryNode, source_node
+from repro.engine.operators.aggregates import (
+    Count,
+    GroupedWindowAggregate,
+    WindowAggregate,
+    WindowTopK,
+)
+from repro.engine.operators.coalesce import Coalesce
+from repro.engine.operators.distinct import DistinctWindow
+from repro.engine.operators.duration import (
+    AlterEventDuration,
+    ClipEventDuration,
+)
+from repro.engine.operators.session import SessionWindow
+from repro.engine.operators.snapshot import SnapshotAggregate
+from repro.engine.operators.groupapply import GroupApply
+from repro.engine.operators.join import TemporalJoin
+from repro.engine.operators.monitor import OrderingMonitor
+from repro.engine.operators.pattern import PatternMatch
+from repro.engine.operators.select import Select, SelectColumns, SelectEvent
+from repro.engine.operators.sink import CallbackSink, Collector
+from repro.engine.operators.union import Union
+from repro.engine.operators.where import Where
+from repro.engine.operators.window import HoppingWindow, TumblingWindow
+
+__all__ = ["Streamable"]
+
+
+class Streamable:
+    """An ordered stream node in a query DAG.
+
+    Build one with :meth:`from_elements` (or via
+    ``DisorderedStreamable.to_streamable``), chain operators, then
+    ``collect()`` / ``subscribe()`` to execute.
+    """
+
+    def __init__(self, node, source):
+        self._node = node
+        self._source = source
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_elements(cls, elements, name="source"):
+        """An ordered stream from an iterable of events + punctuations.
+
+        The caller asserts the elements are already sync_time-ordered; use
+        ``DisorderedStreamable`` when they are not.
+        """
+        return cls(source_node(name), _SourceHandle(elements))
+
+    @property
+    def node(self) -> QueryNode:
+        """The underlying query-DAG node (for framework plumbing)."""
+        return self._node
+
+    @property
+    def source(self):
+        """The shared source handle (for framework plumbing)."""
+        return self._source
+
+    def _derive(self, factory, name, out_port=None):
+        node = QueryNode(factory, ((self._node, out_port),), name=name)
+        return Streamable(node, self._source)
+
+    # -- order-insensitive operators ---------------------------------------
+
+    def where(self, predicate) -> "Streamable":
+        """Filter events by a predicate (selection)."""
+        return self._derive(lambda: Where(predicate), "where")
+
+    def select(self, projector) -> "Streamable":
+        """Map payloads through ``projector`` (projection)."""
+        return self._derive(lambda: Select(projector), "select")
+
+    def select_columns(self, columns) -> "Streamable":
+        """Keep only the given payload field indices."""
+        return self._derive(lambda: SelectColumns(columns), "select_columns")
+
+    def select_event(self, mapper) -> "Streamable":
+        """Map whole events (advanced; must preserve sync order)."""
+        return self._derive(lambda: SelectEvent(mapper), "select_event")
+
+    def monitor(self, label="monitor", scan_order=True) -> "Streamable":
+        """Insert a stream-contract assertion layer (debug/test aid)."""
+        return self._derive(
+            lambda: OrderingMonitor(label, scan_order), "monitor"
+        )
+
+    def tumbling_window(self, size) -> "Streamable":
+        """Align timestamps to fixed non-overlapping windows."""
+        return self._derive(lambda: TumblingWindow(size), "tumbling_window")
+
+    def hopping_window(self, size, hop) -> "Streamable":
+        """Align timestamps to sliding windows of ``size`` every ``hop``."""
+        return self._derive(lambda: HoppingWindow(size, hop), "hopping_window")
+
+    def alter_duration(self, duration) -> "Streamable":
+        """Set every event's lifetime to a fixed length."""
+        return self._derive(
+            lambda: AlterEventDuration(duration), "alter_duration"
+        )
+
+    def clip_duration(self, limit) -> "Streamable":
+        """Cap every event's lifetime at ``limit``."""
+        return self._derive(lambda: ClipEventDuration(limit), "clip_duration")
+
+    # -- order-sensitive operators ------------------------------------------
+
+    def aggregate(self, aggregate) -> "Streamable":
+        """One result event per window (requires a window operator first)."""
+        return self._derive(lambda: WindowAggregate(aggregate), "aggregate")
+
+    def count(self) -> "Streamable":
+        """Events per window — the paper's running example query."""
+        return self.aggregate(Count())
+
+    def group_aggregate(self, aggregate, key_fn=None) -> "Streamable":
+        """One result event per (window, group); groups by event key."""
+        return self._derive(
+            lambda: GroupedWindowAggregate(aggregate, key_fn), "group_aggregate"
+        )
+
+    def top_k(self, k, score_fn=None) -> "Streamable":
+        """Top-k events per window by score (descending)."""
+        return self._derive(lambda: WindowTopK(k, score_fn), "top_k")
+
+    def pattern_match(self, first, second, within, key_fn=None) -> "Streamable":
+        """Detect ``first`` then ``second`` within a time bound, per key."""
+        return self._derive(
+            lambda: PatternMatch(first, second, within, key_fn), "pattern_match"
+        )
+
+    def coalesce(self, combine=None, key_fn=None) -> "Streamable":
+        """Fuse same-key events with overlapping lifetimes (§V-C)."""
+        return self._derive(lambda: Coalesce(combine, key_fn), "coalesce")
+
+    def session_window(self, timeout, aggregate=None,
+                       key_fn=None) -> "Streamable":
+        """Group per-key events into gap-delimited sessions."""
+        return self._derive(
+            lambda: SessionWindow(timeout, aggregate, key_fn),
+            "session_window",
+        )
+
+    def distinct(self, selector=None) -> "Streamable":
+        """Keep the first event per (window, selector value)."""
+        return self._derive(lambda: DistinctWindow(selector), "distinct")
+
+    def snapshot_aggregate(self, lift=None, emit_zero=False) -> "Streamable":
+        """Step-function aggregate over event validity intervals
+        (Trill snapshot semantics; use after a hopping window for true
+        sliding-window results)."""
+        return self._derive(
+            lambda: SnapshotAggregate(lift, emit_zero), "snapshot_aggregate"
+        )
+
+    def group_apply(self, query_fn, key_fn=None) -> "Streamable":
+        """Run a sub-query per grouping key (Trill's GroupApply)."""
+        return self._derive(
+            lambda: GroupApply(query_fn, key_fn), "group_apply"
+        )
+
+    def join(self, other: "Streamable", result_selector=None) -> "Streamable":
+        """Temporal equi-join with another ordered stream.
+
+        Events match when keys are equal and validity intervals overlap;
+        both streams must share one source (as with :meth:`union`).
+        """
+        if other._source is not self._source:
+            raise QueryBuildError(
+                "join requires both streams to share one source"
+            )
+        node = QueryNode(
+            lambda: TemporalJoin(result_selector),
+            ((self._node, None), (other._node, None)),
+            name="join",
+        )
+        return Streamable(node, self._source)
+
+    def union(self, other: "Streamable") -> "Streamable":
+        """Synchronized sorted merge with another ordered stream.
+
+        Both streams must descend from the same source (single-driver
+        execution model); the framework's multi-latency plans satisfy this
+        by construction.
+        """
+        if other._source is not self._source:
+            raise QueryBuildError(
+                "union requires both streams to share one source"
+            )
+        node = QueryNode(
+            Union, ((self._node, None), (other._node, None)), name="union"
+        )
+        return Streamable(node, self._source)
+
+    def apply(self, query_fn) -> "Streamable":
+        """Apply a user query function ``Streamable -> Streamable``.
+
+        This is how PIQ and merge lambdas compose in the Impatience
+        framework (Section V-C); a ``None`` function is the pass-through.
+        """
+        if query_fn is None:
+            return self
+        result = query_fn(self)
+        if not isinstance(result, Streamable):
+            raise QueryBuildError(
+                "query function must return a Streamable, got "
+                f"{type(result).__name__}"
+            )
+        return result
+
+    # -- execution ----------------------------------------------------------
+
+    def subscribe(self, on_event_fn, on_punctuation_fn=None,
+                  on_flush_fn=None):
+        """Attach a callback sink; returns the pipeline (not yet driven)."""
+        sink_node = QueryNode(
+            lambda: CallbackSink(on_event_fn, on_punctuation_fn, on_flush_fn),
+            ((self._node, None),),
+            name="subscribe",
+        )
+        return Pipeline([sink_node])
+
+    def collect(self, on_punctuation=None) -> Collector:
+        """Execute the query over its source and return the collector."""
+        sink_node = QueryNode(Collector, ((self._node, None),), name="collect")
+        pipeline = Pipeline([sink_node])
+        pipeline.run(self._source.elements(), on_punctuation=on_punctuation)
+        return pipeline.operator_for(sink_node)
+
+
+class _SourceHandle:
+    """Identity token + element provider shared by a query DAG's streams."""
+
+    __slots__ = ("_elements", "_consumed")
+
+    def __init__(self, elements):
+        self._elements = elements
+        self._consumed = False
+
+    def elements(self):
+        """Hand out the element iterable (single-shot for iterators)."""
+        if self._consumed and not hasattr(self._elements, "__getitem__"):
+            raise QueryBuildError(
+                "source iterator already consumed; materialize it as a list "
+                "to run multiple queries"
+            )
+        self._consumed = True
+        return self._elements

@@ -1,0 +1,120 @@
+"""Adaptive reorder latency: tune the completeness knob online.
+
+The paper tunes reorder latency offline, per dataset (§VI-B2).  In a
+long-running deployment the lateness distribution drifts — a server
+outage or a fleet of phones coming back online changes what "enough
+latency" means.  :class:`AdaptiveLatencyPolicy` is a punctuation policy
+that *learns* the latency: it keeps a reservoir sample of recent
+lateness values and, at every punctuation, sets the lag to the
+configured coverage quantile of that sample (clamped, smoothed, and
+floored so the watermark stays monotone).
+
+Drop-in replacement for
+:class:`~repro.engine.punctuation.PunctuationPolicy` at ingress.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["AdaptiveLatencyPolicy"]
+
+_NEG_INF = float("-inf")
+
+
+class AdaptiveLatencyPolicy:
+    """Punctuate at ``high_watermark − learned_latency``.
+
+    Parameters
+    ----------
+    frequency:
+        Events between punctuations (as in the static policy).
+    coverage:
+        Target completeness: the learned latency tracks this quantile of
+        observed lateness.
+    reservoir_size:
+        Size of the lateness reservoir sample (uniform over the window
+        of observed events so far; classic Algorithm R).
+    smoothing:
+        Exponential smoothing factor for latency updates in (0, 1]; 1
+        jumps straight to the new quantile.
+    initial_latency / min_latency / max_latency:
+        Starting point and clamp range for the learned value.
+    seed:
+        Reservoir RNG seed (deterministic by default).
+    """
+
+    def __init__(self, frequency, coverage=0.95, reservoir_size=2048,
+                 smoothing=0.5, initial_latency=0, min_latency=0,
+                 max_latency=None, seed=0):
+        if frequency is None or frequency < 1:
+            raise ValueError("frequency must be >= 1")
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be within (0, 1]")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be within (0, 1]")
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.frequency = frequency
+        self.coverage = coverage
+        self.smoothing = smoothing
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.latency = float(initial_latency)
+        self._rng = random.Random(seed)
+        self._reservoir = []
+        self._reservoir_size = reservoir_size
+        self._observed = 0
+        self._count = 0
+        self._high_watermark = _NEG_INF
+        self._last_punctuation = _NEG_INF
+
+    @property
+    def high_watermark(self):
+        return self._high_watermark
+
+    @property
+    def last_punctuation(self):
+        return self._last_punctuation
+
+    def _sample(self, lateness):
+        self._observed += 1
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(lateness)
+            return
+        slot = self._rng.randrange(self._observed)
+        if slot < self._reservoir_size:
+            self._reservoir[slot] = lateness
+
+    def _quantile(self):
+        if not self._reservoir:
+            return self.latency
+        ordered = sorted(self._reservoir)
+        rank = min(
+            max(math.ceil(self.coverage * len(ordered)) - 1, 0),
+            len(ordered) - 1,
+        )
+        return ordered[rank]
+
+    def observe(self, event_time):
+        """Account for one event; maybe return a punctuation timestamp."""
+        if event_time > self._high_watermark:
+            self._high_watermark = event_time
+            lateness = 0
+        else:
+            lateness = self._high_watermark - event_time
+        self._sample(lateness)
+        self._count += 1
+        if self._count % self.frequency:
+            return None
+        target = self._quantile()
+        self.latency += self.smoothing * (target - self.latency)
+        if self.max_latency is not None:
+            self.latency = min(self.latency, self.max_latency)
+        self.latency = max(self.latency, self.min_latency)
+        timestamp = self._high_watermark - self.latency
+        if timestamp <= self._last_punctuation:
+            return None
+        self._last_punctuation = timestamp
+        return timestamp

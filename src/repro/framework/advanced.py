@@ -1,0 +1,97 @@
+"""Plan builders for the basic and advanced Impatience frameworks (Fig. 6).
+
+``build_streamables`` constructs the full DAG behind
+``DisorderedStreamable.to_streamables``:
+
+* **partition** — one :class:`~repro.framework.partition.LatenessPartition`
+  splits the disordered input into per-latency disordered streams;
+* **sort** — one sorting operator per path (Impatience sort by default),
+  driven by the partitioner's per-path punctuations;
+* **PIQ** — the user's partial-input-query function on each sorted path
+  (pass-through in the basic framework);
+* **union cascade** — path i's PIQ output unions with the cascade so far,
+  so output i covers everything arriving within latency i;
+* **merge** — the user's combine function immediately after each union
+  (pass-through in the basic framework).
+
+With ``piq = merge = None`` the construction *is* the basic framework —
+the identity the paper states in Section V-B and which the test suite
+checks property-style.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.core.impatience import ImpatienceSorter
+from repro.engine.graph import QueryNode
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.union import Union
+from repro.engine.stream import Streamable
+from repro.framework.partition import LatenessPartition
+from repro.framework.streamables import Streamables
+
+__all__ = ["build_streamables"]
+
+
+def _default_sorter():
+    return ImpatienceSorter(key=lambda event: event.sync_time)
+
+
+def build_streamables(disordered, reorder_latencies, piq=None, merge=None,
+                      sorter=None) -> Streamables:
+    """Assemble the framework DAG over a ``DisorderedStreamable``.
+
+    Parameters
+    ----------
+    disordered:
+        The upstream disordered stream (order-insensitive operators may
+        already be pushed onto it — Section V-C's first example does so).
+    reorder_latencies:
+        Strictly increasing latency values, e.g. ``[1_000, 60_000,
+        3_600_000]`` for {1 s, 1 min, 1 h} in milliseconds.
+    piq, merge:
+        Advanced-framework query functions, each ``Streamable ->
+        Streamable``; both ``None`` selects the basic framework.
+    sorter:
+        Zero-argument factory for per-path online sorters (default:
+        Impatience sort).
+    """
+    latencies = list(reorder_latencies)
+    if not latencies:
+        raise QueryBuildError("to_streamables requires at least one latency")
+    if (piq is None) != (merge is None) and len(latencies) > 1:
+        raise QueryBuildError(
+            "provide both piq and merge functions, or neither"
+        )
+    sorter_factory = _default_sorter if sorter is None else sorter
+
+    partition_node = QueryNode(
+        lambda: LatenessPartition(latencies),
+        ((disordered.node, None),),
+        name="partition",
+    )
+
+    sorted_paths = [
+        Streamable(
+            QueryNode(
+                lambda: Sort(sorter_factory()),
+                ((partition_node, index),),
+                name=f"sort[{index}]",
+            ),
+            disordered.source,
+        )
+        for index in range(len(latencies))
+    ]
+
+    piq_paths = [path.apply(piq) for path in sorted_paths]
+
+    outputs = [piq_paths[0]]
+    cascade = piq_paths[0]
+    for path in piq_paths[1:]:
+        union_node = QueryNode(
+            Union, ((cascade.node, None), (path.node, None)), name="union"
+        )
+        cascade = Streamable(union_node, disordered.source)
+        outputs.append(cascade.apply(merge))
+
+    return Streamables(outputs, latencies, partition_node, disordered.source)

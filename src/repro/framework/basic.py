@@ -1,0 +1,19 @@
+"""Basic Impatience framework (Section V-A) — thin alias.
+
+The basic framework is the advanced construction with pass-through PIQ and
+merge functions (the reduction stated in Section V-B); this module names
+that case explicitly for discoverability.
+"""
+
+from __future__ import annotations
+
+from repro.framework.advanced import build_streamables
+
+__all__ = ["build_basic_streamables"]
+
+
+def build_basic_streamables(disordered, reorder_latencies, sorter=None):
+    """Fig. 6(a): partition → per-path sort → cascaded unions, no PIQ/merge."""
+    return build_streamables(
+        disordered, reorder_latencies, piq=None, merge=None, sorter=sorter
+    )

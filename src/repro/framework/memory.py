@@ -1,0 +1,47 @@
+"""Memory accounting for framework experiments (Figure 10(b)/(d)).
+
+The paper reports working-set memory; the dominant, design-dependent term
+is events buffered inside blocking operators — sorters waiting for
+punctuations and unions synchronizing streams of different latency.  The
+meter integrates ``buffered_count`` over every operator in a pipeline at
+sampling points (each punctuation) and reports the peak in bytes using the
+Trill event layout (:data:`repro.engine.event.EVENT_BYTES`).
+"""
+
+from __future__ import annotations
+
+from repro.engine.event import EVENT_BYTES
+
+__all__ = ["MemoryMeter"]
+
+
+class MemoryMeter:
+    """Peak-occupancy sampler over a pipeline's buffering operators."""
+
+    def __init__(self, bytes_per_event: int = EVENT_BYTES):
+        self.bytes_per_event = bytes_per_event
+        self.peak_events = 0
+        self.samples = 0
+
+    def sample(self, pipeline):
+        """Record current occupancy; suitable as an ``on_punctuation`` hook."""
+        buffered = pipeline.buffered_events()
+        self.samples += 1
+        if buffered > self.peak_events:
+            self.peak_events = buffered
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak buffered volume in bytes."""
+        return self.peak_events * self.bytes_per_event
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak buffered volume in megabytes (Figure 10's unit)."""
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+    def __repr__(self):
+        return (
+            f"MemoryMeter(peak_events={self.peak_events}, "
+            f"peak_mb={self.peak_mb:.3f}, samples={self.samples})"
+        )

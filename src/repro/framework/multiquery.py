@@ -1,0 +1,138 @@
+"""Multi-query execution over one shared framework fan-out.
+
+The basic framework's weakness (§V-B) is redundant evaluation; the same
+trap exists one level up when *several queries* subscribe to the same
+out-of-order stream: naively, each builds its own partition + sorters
+and the input is re-sorted per query.  Because this engine's plans are
+DAGs with identity-based materialization, the fix is structural:
+:func:`build_multi_query` hangs every query's PIQ/union/merge cascade
+off one shared :class:`~repro.framework.partition.LatenessPartition`
+and one set of per-latency sorters, and runs everything in a single
+pass.
+
+Returns a :class:`MultiQueryRun` whose per-query results expose the same
+surface as :class:`~repro.framework.streamables.StreamablesResult`.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import QueryBuildError
+from repro.core.impatience import ImpatienceSorter
+from repro.engine.graph import Pipeline, QueryNode
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.union import Union
+from repro.engine.stream import Streamable
+from repro.framework.memory import MemoryMeter
+from repro.framework.partition import LatenessPartition
+from repro.framework.streamables import LatencyCollector, StreamablesResult
+
+__all__ = ["build_multi_query", "MultiQueryRun"]
+
+
+def _default_sorter():
+    return ImpatienceSorter(key=lambda event: event.sync_time)
+
+
+def build_multi_query(disordered, reorder_latencies, queries,
+                      sorter=None) -> "MultiQueryRun":
+    """Assemble shared partition/sort paths plus per-query cascades.
+
+    Parameters
+    ----------
+    disordered:
+        The upstream ``DisorderedStreamable`` (push-downs welcome).
+    reorder_latencies:
+        The shared, strictly increasing latency ladder.
+    queries:
+        Mapping ``name -> (piq, merge)``; either member may be ``None``
+        (pass-through).  Each query gets its own output per latency.
+    sorter:
+        Optional per-path sorter factory (shared paths, so one sorter
+        per latency serves every query).
+    """
+    latencies = list(reorder_latencies)
+    if not latencies:
+        raise QueryBuildError("at least one reorder latency is required")
+    if not queries:
+        raise QueryBuildError("at least one query is required")
+    sorter_factory = _default_sorter if sorter is None else sorter
+
+    partition_node = QueryNode(
+        lambda: LatenessPartition(latencies),
+        ((disordered.node, None),),
+        name="partition",
+    )
+    sorted_paths = [
+        Streamable(
+            QueryNode(
+                lambda: Sort(sorter_factory()),
+                ((partition_node, index),),
+                name=f"sort[{index}]",
+            ),
+            disordered.source,
+        )
+        for index in range(len(latencies))
+    ]
+
+    per_query_outputs = {}
+    for name, (piq, merge) in queries.items():
+        piq_paths = [path.apply(piq) for path in sorted_paths]
+        outputs = [piq_paths[0]]
+        cascade = piq_paths[0]
+        for path in piq_paths[1:]:
+            union_node = QueryNode(
+                Union, ((cascade.node, None), (path.node, None)),
+                name=f"union[{name}]",
+            )
+            cascade = Streamable(union_node, disordered.source)
+            outputs.append(cascade.apply(merge))
+        per_query_outputs[name] = outputs
+
+    return MultiQueryRun(
+        per_query_outputs, latencies, partition_node, disordered.source
+    )
+
+
+class MultiQueryRun:
+    """The assembled multi-query plan; ``run()`` executes it once."""
+
+    def __init__(self, per_query_outputs, latencies, partition_node, source):
+        self._outputs = per_query_outputs
+        self.latencies = latencies
+        self._partition_node = partition_node
+        self._source = source
+
+    @property
+    def query_names(self):
+        return list(self._outputs)
+
+    def run(self, memory_meter=None) -> dict:
+        """One pass over the input; returns ``{query_name: result}``."""
+        meter = MemoryMeter() if memory_meter is None else memory_meter
+        clock = {}
+        sink_nodes = {}
+        all_sinks = []
+        for name, outputs in self._outputs.items():
+            nodes = [
+                QueryNode(
+                    lambda: LatencyCollector(clock),
+                    ((stream.node, None),),
+                    name=f"{name}[{i}]",
+                )
+                for i, stream in enumerate(outputs)
+            ]
+            sink_nodes[name] = nodes
+            all_sinks.extend(nodes)
+        pipeline = Pipeline(all_sinks)
+        clock["partition"] = pipeline.operator_for(self._partition_node)
+        pipeline.run(self._source.elements(), on_punctuation=meter.sample)
+        partition = pipeline.operator_for(self._partition_node)
+        return {
+            name: StreamablesResult(
+                [pipeline.operator_for(node) for node in nodes],
+                partition,
+                meter,
+                self.latencies,
+            )
+            for name, nodes in sink_nodes.items()
+        }

@@ -1,0 +1,102 @@
+"""Lateness partitioner (Section V-A, the first stage of Figure 6).
+
+Routes each incoming out-of-order event to the first reorder-latency path
+that can still accept it: path ``i`` tolerates events arriving up to
+``latencies[i]`` late.  On every incoming (ingress) punctuation the
+partitioner advances each path's own punctuation to
+``high_watermark - latencies[i]``, so path i's sorter emits with latency
+``latencies[i]``.  Events too late even for the last path are dropped and
+counted — the completeness ledger behind Table II.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator, PassThrough
+
+__all__ = ["LatenessPartition"]
+
+_NEG_INF = float("-inf")
+
+
+class LatenessPartition(Operator):
+    """Split one disordered stream into per-latency disordered streams.
+
+    The k outputs are exposed as ``out_ports`` (each a PassThrough);
+    downstream plans attach one sorting operator per port.  Routing is
+    *punctuation-exact*: an event goes to the first path whose last emitted
+    punctuation it does not violate, which guarantees no event is ever late
+    inside its chosen path.
+    """
+
+    def __init__(self, latencies):
+        super().__init__()
+        latencies = list(latencies)
+        if not latencies:
+            raise ValueError("at least one reorder latency is required")
+        if any(b <= a for a, b in zip(latencies, latencies[1:])):
+            raise ValueError("reorder latencies must be strictly increasing")
+        if latencies[0] < 0:
+            raise ValueError("reorder latencies must be non-negative")
+        self.latencies = latencies
+        self.out_ports = [PassThrough() for _ in latencies]
+        self._path_punctuations = [_NEG_INF] * len(latencies)
+        self._high_watermark = _NEG_INF
+        #: events routed to each path (Table II's per-latency census).
+        self.routed = [0] * len(latencies)
+        #: events later than the largest latency, discarded.
+        self.dropped = 0
+
+    @property
+    def total_seen(self) -> int:
+        """All events observed, routed or dropped."""
+        return sum(self.routed) + self.dropped
+
+    @property
+    def high_watermark(self):
+        """Highest event time seen at ingress — the framework's clock."""
+        return self._high_watermark
+
+    def on_event(self, event):
+        if event.sync_time > self._high_watermark:
+            self._high_watermark = event.sync_time
+        sync = event.sync_time
+        for index, last_punctuation in enumerate(self._path_punctuations):
+            if sync > last_punctuation:
+                self.routed[index] += 1
+                self.out_ports[index].on_event(event)
+                return
+        self.dropped += 1
+
+    def on_punctuation(self, punctuation):
+        """Advance every path's punctuation off the current high watermark.
+
+        The ingress punctuation's own timestamp also counts toward the
+        watermark (it promises no earlier events), covering sources that
+        punctuate beyond the last event time.
+        """
+        if punctuation.timestamp > self._high_watermark:
+            self._high_watermark = punctuation.timestamp
+        if self._high_watermark == _NEG_INF:
+            return
+        for index, latency in enumerate(self.latencies):
+            timestamp = self._high_watermark - latency
+            if timestamp > self._path_punctuations[index]:
+                self._path_punctuations[index] = timestamp
+                self.out_ports[index].advance_to(timestamp)
+
+    def on_flush(self):
+        """Release every path completely, then propagate the flush."""
+        if self._high_watermark != _NEG_INF:
+            for index in range(len(self.latencies)):
+                if self._high_watermark > self._path_punctuations[index]:
+                    self._path_punctuations[index] = self._high_watermark
+                    self.out_ports[index].advance_to(self._high_watermark)
+        for port in self.out_ports:
+            port.on_flush()
+
+    def completeness(self, up_to_path: int) -> float:
+        """Fraction of events captured by paths ``0..up_to_path``."""
+        total = self.total_seen
+        if not total:
+            return 1.0
+        return sum(self.routed[: up_to_path + 1]) / total

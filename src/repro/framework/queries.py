@@ -1,0 +1,115 @@
+"""The paper's framework-evaluation queries Q1–Q4 (Section VI-D).
+
+* **Q1** — tumbling-window count.
+* **Q2** — windowed count over 100 groups.
+* **Q3** — windowed count over 1000 groups.
+* **Q4** — windowed top-5 groups (of 100) by count.
+
+Each query is decomposed the way the advanced framework needs it:
+
+* ``window_size`` — the tumbling window pushed down onto the
+  ``DisorderedStreamable`` (sort-as-needed, Section V-C's example does the
+  same push-down);
+* ``body`` — the order-sensitive remainder, applied to a sorted stream
+  (used directly by the MinLatency / MaxLatency / basic-framework paths);
+* ``piq`` — the partial-input query run per partition;
+* ``merge`` — the combiner run after each union of partial results.
+
+Group keys derive from the first payload field so Q3's 1000 groups do not
+depend on the dataset's key cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.operators.aggregates import Count, Sum
+
+__all__ = ["PaperQuery", "PAPER_QUERIES", "make_query"]
+
+#: Default tumbling window: 1 second in milliseconds (Q1's "one-second
+#: windowed count").
+DEFAULT_WINDOW = 1_000
+
+
+def _group_key_fn(n_groups):
+    def key_fn(event):
+        return event.payload[0] % n_groups
+
+    return key_fn
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """One of Q1–Q4, decomposed for every execution method."""
+
+    name: str
+    description: str
+    window_size: int
+    n_groups: int = 0
+    top_k: int = 0
+    params: dict = field(default_factory=dict)
+
+    def body(self, stream):
+        """Order-sensitive query logic over an already-windowed stream."""
+        if self.n_groups:
+            grouped = stream.group_aggregate(
+                Count(), key_fn=_group_key_fn(self.n_groups)
+            )
+            if self.top_k:
+                return grouped.top_k(self.top_k)
+            return grouped
+        return stream.count()
+
+    def full(self, stream):
+        """Window + body, for standalone single-stream execution."""
+        return self.body(stream.tumbling_window(self.window_size))
+
+    def piq(self, stream):
+        """Partial-input query: the same fold, per partition."""
+        if self.n_groups:
+            # Partial per-group counts; top-k must wait for the merge.
+            return stream.group_aggregate(
+                Count(), key_fn=_group_key_fn(self.n_groups)
+            )
+        return stream.count()
+
+    def merge(self, stream):
+        """Combine partial results: sum partial counts per window (and
+        group), then apply any final ranking."""
+        if self.n_groups:
+            merged = stream.group_aggregate(Sum())
+            if self.top_k:
+                return merged.top_k(self.top_k)
+            return merged
+        return stream.aggregate(Sum())
+
+
+def make_query(name, window_size=DEFAULT_WINDOW) -> PaperQuery:
+    """Build one of Q1–Q4 with a custom window size."""
+    queries = {
+        "Q1": PaperQuery(
+            "Q1", "tumbling-window count", window_size
+        ),
+        "Q2": PaperQuery(
+            "Q2", "windowed count over 100 groups", window_size, n_groups=100
+        ),
+        "Q3": PaperQuery(
+            "Q3", "windowed count over 1000 groups", window_size,
+            n_groups=1000,
+        ),
+        "Q4": PaperQuery(
+            "Q4", "windowed top-5 of 100 groups by count", window_size,
+            n_groups=100, top_k=5,
+        ),
+    }
+    try:
+        return queries[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown query {name!r}; expected one of {sorted(queries)}"
+        ) from None
+
+
+#: Q1–Q4 with the default one-second window.
+PAPER_QUERIES = tuple(make_query(name) for name in ("Q1", "Q2", "Q3", "Q4"))

@@ -1,0 +1,125 @@
+"""Speculation baseline (§VII; Barga et al., CIDR 2007).
+
+The pre-Impatience alternative the paper argues against:
+
+    "operators produce output before receiving all the data, and on
+    receiving late events, are responsible for retracting incorrect
+    outputs and adding the correct revised outputs. [...] introducing
+    speculation into each operator makes operator logic highly complex
+    [...] there can be a non-trivial amount of revision traffic."
+
+:class:`SpeculativeWindowAggregate` is that strategy for windowed
+aggregation: it consumes the *disordered* stream directly (no sorting
+operator at all), emits a provisional result for every dirty window at
+each punctuation, and emits retraction + correction pairs whenever late
+events change an already-published window.  Output events carry payloads
+``("insert", value)`` and ``("retract", value)``; a consumer must apply
+the revision stream to converge on the truth.
+
+The ablation benchmark (``benchmarks/bench_ablation_baselines.py``)
+quantifies the cost: revision traffic and state growth versus the
+Impatience framework's single clean stream per latency.
+"""
+
+from __future__ import annotations
+
+from repro.engine.event import Event
+from repro.engine.operators.base import Operator
+
+__all__ = ["SpeculativeWindowAggregate", "apply_revisions"]
+
+
+class SpeculativeWindowAggregate(Operator):
+    """Windowed aggregate over a disordered stream with revision output.
+
+    Parameters
+    ----------
+    aggregate:
+        A fold (:class:`repro.engine.operators.aggregates.Aggregate`).
+    window_size:
+        Tumbling window width; the operator aligns raw event times itself
+        (it cannot rely on an upstream window operator because it accepts
+        events in arrival order).
+
+    Counters ``insertions``/``retractions`` expose the revision traffic;
+    ``buffered_count`` is the per-window state the operator must hold for
+    the *whole stream lifetime* (a speculative operator can never discard
+    state — any window might still be revised).
+    """
+
+    def __init__(self, aggregate, window_size):
+        super().__init__()
+        if window_size < 1:
+            raise ValueError("window size must be >= 1")
+        self.aggregate = aggregate
+        self.window_size = window_size
+        self._states = {}      # window start -> fold state
+        self._published = {}   # window start -> last published value
+        self._dirty = set()
+        self.insertions = 0
+        self.retractions = 0
+
+    def on_event(self, event):
+        start = event.sync_time - event.sync_time % self.window_size
+        state = self._states.get(start)
+        if state is None:
+            state = self.aggregate.initial()
+        self._states[start] = self.aggregate.accumulate(state, event)
+        self._dirty.add(start)
+
+    def on_punctuation(self, punctuation):
+        self._publish()
+        self.emit_punctuation(punctuation)
+
+    def on_flush(self):
+        self._publish()
+        self.emit_flush()
+
+    def _publish(self):
+        for start in sorted(self._dirty):
+            value = self.aggregate.result(self._states[start])
+            end = start + self.window_size
+            previous = self._published.get(start)
+            if previous is not None:
+                if previous == value:
+                    continue
+                self.retractions += 1
+                self.emit_event(Event(start, end, 0, ("retract", previous)))
+            self.insertions += 1
+            self.emit_event(Event(start, end, 0, ("insert", value)))
+            self._published[start] = value
+        self._dirty.clear()
+
+    @property
+    def revision_messages(self) -> int:
+        """Total output traffic: provisional inserts + retractions."""
+        return self.insertions + self.retractions
+
+    def buffered_count(self) -> int:
+        return len(self._states)
+
+
+def apply_revisions(events) -> dict:
+    """Fold a revision stream into final per-window values.
+
+    The consumer-side logic speculation forces on every subscriber:
+    returns ``{window_start: final_value}``.  Raises if a retraction does
+    not match the currently-held value (a corrupted revision stream).
+    """
+    current = {}
+    for event in events:
+        kind, value = event.payload
+        if kind == "insert":
+            current[event.sync_time] = value
+        elif kind == "retract":
+            held = current.get(event.sync_time)
+            if held != value:
+                raise ValueError(
+                    f"retraction of {value!r} but holding {held!r} "
+                    f"for window {event.sync_time}"
+                )
+            # The matching insert follows; keep the slot until it lands.
+            del current[event.sync_time]
+        else:
+            raise ValueError(f"unknown revision kind {kind!r}")
+    return current

@@ -1,0 +1,185 @@
+"""The ``Streamables`` abstraction (Section V-C).
+
+``DisorderedStreamable.to_streamables(...)`` returns one of these: a
+sequence of ordered output streams, one per reorder latency, sharing a
+single source and a single materialized pipeline.  ``run()`` executes the
+whole DAG in one pass, collecting every output and exposing the partition
+operator's completeness ledger plus a memory meter.
+"""
+
+from __future__ import annotations
+
+from repro.engine.graph import Pipeline, QueryNode
+from repro.engine.operators.sink import Collector
+from repro.framework.memory import MemoryMeter
+
+__all__ = ["Streamables", "StreamablesResult", "LatencyCollector"]
+
+
+class LatencyCollector(Collector):
+    """A collector that also measures *delivery lag* per event.
+
+    Lag is defined against the ingress clock (the partition's event-time
+    high watermark at the moment of emission): for a result event with
+    interval ``[sync, other)``, the earliest instant it could have been
+    delivered is when its interval closed (``other - 1``), so
+
+        ``lag = ingress_high_watermark - (other_time - 1)``
+
+    clamped at zero.  For output ``i`` of the framework the mean lag
+    converges to the configured reorder latency ``L_i`` — Table II's
+    latency column, measured instead of asserted.
+    """
+
+    def __init__(self, clock):
+        super().__init__()
+        self._clock = clock  # dict filled in after materialization
+        self.lags = []
+
+    def on_event(self, event):
+        super().on_event(event)
+        partition = self._clock.get("partition")
+        if partition is not None:
+            watermark = partition.high_watermark
+            if watermark != float("-inf"):
+                self.lags.append(
+                    max(watermark - (event.other_time - 1), 0)
+                )
+
+    def latency_stats(self) -> dict:
+        """Mean / p95 / max delivery lag over this output's events."""
+        if not self.lags:
+            return {"mean": 0.0, "p95": 0, "max": 0, "samples": 0}
+        ordered = sorted(self.lags)
+        return {
+            "mean": sum(ordered) / len(ordered),
+            "p95": ordered[min(int(0.95 * len(ordered)), len(ordered) - 1)],
+            "max": ordered[-1],
+            "samples": len(ordered),
+        }
+
+
+class Streamables:
+    """A sequence of ordered streams with increasing reorder latencies."""
+
+    def __init__(self, outputs, latencies, partition_node, source):
+        self._outputs = list(outputs)
+        self.latencies = list(latencies)
+        self._partition_node = partition_node
+        self._source = source
+
+    def __len__(self) -> int:
+        return len(self._outputs)
+
+    def __iter__(self):
+        return iter(self._outputs)
+
+    def streamable(self, index):
+        """The output stream for the index-th reorder latency."""
+        return self._outputs[index]
+
+    def apply(self, query_fn) -> "Streamables":
+        """Apply one query function to every output (basic-framework use)."""
+        return Streamables(
+            [stream.apply(query_fn) for stream in self._outputs],
+            self.latencies,
+            self._partition_node,
+            self._source,
+        )
+
+    def subscribe(self, callbacks):
+        """Attach one event callback per output; returns the pipeline.
+
+        The streaming (non-materializing) counterpart of :meth:`run` —
+        the paper's ``ss.Streamable(i).Subscribe(...)`` pattern over every
+        output at once.  The caller drives the returned pipeline with
+        ``pipeline.run(elements)`` (e.g. ``self.source.elements()``).
+        """
+        from repro.engine.operators.sink import CallbackSink
+
+        callbacks = list(callbacks)
+        if len(callbacks) != len(self._outputs):
+            raise ValueError(
+                f"expected {len(self._outputs)} callbacks, "
+                f"got {len(callbacks)}"
+            )
+        sink_nodes = [
+            QueryNode(
+                lambda cb=cb: CallbackSink(cb),
+                ((stream.node, None),),
+                name=f"subscribe[{i}]",
+            )
+            for i, (stream, cb) in enumerate(zip(self._outputs, callbacks))
+        ]
+        return Pipeline(sink_nodes)
+
+    def run(self, memory_meter=None) -> "StreamablesResult":
+        """Materialize all outputs into one pipeline and drive the source.
+
+        Returns a :class:`StreamablesResult` with per-output collectors,
+        the completeness ledger, and the (optionally supplied) memory
+        meter after sampling at every punctuation.
+        """
+        meter = MemoryMeter() if memory_meter is None else memory_meter
+        clock = {}
+        sink_nodes = [
+            QueryNode(
+                lambda: LatencyCollector(clock),
+                ((stream.node, None),),
+                name=f"out[{i}]",
+            )
+            for i, stream in enumerate(self._outputs)
+        ]
+        pipeline = Pipeline(sink_nodes)
+        # Late-bound: the partition instance exists only after the graph
+        # materializes; events flow strictly afterwards.
+        clock["partition"] = pipeline.operator_for(self._partition_node)
+        pipeline.run(self._source.elements(), on_punctuation=meter.sample)
+        collectors = [pipeline.operator_for(node) for node in sink_nodes]
+        partition = pipeline.operator_for(self._partition_node)
+        return StreamablesResult(collectors, partition, meter, self.latencies)
+
+
+class StreamablesResult:
+    """Everything one framework execution produced."""
+
+    def __init__(self, collectors, partition, memory, latencies):
+        #: per-output :class:`~repro.engine.operators.sink.Collector`.
+        self.collectors = collectors
+        #: the live :class:`~repro.framework.partition.LatenessPartition`.
+        self.partition = partition
+        #: the :class:`~repro.framework.memory.MemoryMeter` (peak sampled).
+        self.memory = memory
+        self.latencies = latencies
+
+    def output_events(self, index):
+        """Events emitted on the index-th output, in emission order."""
+        return self.collectors[index].events
+
+    def completeness(self, index) -> float:
+        """Fraction of input events reflected in output ``index``."""
+        return self.partition.completeness(index)
+
+    def measured_latency(self, index) -> dict:
+        """Observed delivery-lag statistics for output ``index``.
+
+        Available when the run used :class:`LatencyCollector` sinks (the
+        default); see its docstring for the lag definition.
+        """
+        collector = self.collectors[index]
+        if not isinstance(collector, LatencyCollector):
+            raise TypeError("this run did not measure latency")
+        return collector.latency_stats()
+
+    def summary(self) -> dict:
+        """Compact record for EXPERIMENTS.md tables."""
+        return {
+            "latencies": list(self.latencies),
+            "outputs": [len(c) for c in self.collectors],
+            "routed": list(self.partition.routed),
+            "dropped": self.partition.dropped,
+            "completeness": [
+                self.completeness(i) for i in range(len(self.collectors))
+            ],
+            "peak_memory_mb": self.memory.peak_mb,
+        }

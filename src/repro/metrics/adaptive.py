@@ -1,0 +1,84 @@
+"""Additional disorder measures from the adaptive-sorting survey.
+
+The paper's four measures (§II) come from Estivill-Castro & Wood's survey
+of adaptive sorting, which defines several more.  Three widely used ones
+are provided here because they bound different sorter behaviours and are
+useful when characterizing a new log source:
+
+* **Rem** — minimum number of elements whose *removal* leaves a sorted
+  sequence: ``n - LIS`` (longest non-decreasing subsequence).  Computed
+  with Patience dealing, whose run tails give LIS in O(n log n) — a
+  pleasant consequence of the same machinery Impatience sort runs on.
+* **Exc** — minimum number of exchanges to sort: ``n`` minus the number
+  of cycles in the sorted-position permutation.
+* **Ham** — number of elements not already in their sorted position.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = [
+    "longest_nondecreasing_subsequence",
+    "rem",
+    "exc",
+    "ham",
+]
+
+
+def longest_nondecreasing_subsequence(values) -> int:
+    """Length of the longest non-decreasing subsequence (Patience LIS).
+
+    Classic Patience argument: deal each element onto the first pile
+    whose top is *greater* than it (strictly); the number of piles equals
+    the LIS length for the non-decreasing variant.
+    """
+    tops = []  # pile tops; non-decreasing sequence of "smallest tops"
+    for value in values:
+        # First pile whose top > value  <=>  bisect_right over tops.
+        idx = bisect_right(tops, value)
+        if idx == len(tops):
+            tops.append(value)
+        else:
+            tops[idx] = value
+    return len(tops)
+
+
+def rem(values) -> int:
+    """Minimum removals to leave the stream sorted: ``n - LIS``."""
+    values = list(values)
+    return len(values) - longest_nondecreasing_subsequence(values)
+
+
+def _sorted_permutation(values):
+    """Map each position to its position in the stably sorted order."""
+    order = sorted(range(len(values)), key=lambda i: (values[i], i))
+    permutation = [0] * len(values)
+    for sorted_pos, original_pos in enumerate(order):
+        permutation[original_pos] = sorted_pos
+    return permutation
+
+
+def exc(values) -> int:
+    """Minimum exchanges (swaps) to sort: n minus permutation cycles."""
+    values = list(values)
+    permutation = _sorted_permutation(values)
+    seen = [False] * len(values)
+    cycles = 0
+    for start in range(len(values)):
+        if seen[start]:
+            continue
+        cycles += 1
+        node = start
+        while not seen[node]:
+            seen[node] = True
+            node = permutation[node]
+    return len(values) - cycles
+
+
+def ham(values) -> int:
+    """Number of elements displaced from their stably-sorted position."""
+    values = list(values)
+    return sum(
+        1 for i, p in enumerate(_sorted_permutation(values)) if i != p
+    )

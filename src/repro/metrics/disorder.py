@@ -1,0 +1,182 @@
+"""The four disorder measures of Section II / Table I.
+
+* **Inversions** — number of pairs ``i < j`` with ``a[i] > a[j]``;
+  counted exactly in O(n log n) with a Fenwick tree over rank-compressed
+  values (a merge-sort counter is provided as a cross-check for tests).
+* **Distance** — the maximum ``j - i`` over all inversions: how far the
+  most-delayed event must travel to reach its sorted position.
+* **Runs** — the number of maximal non-decreasing (natural) runs.
+* **Interleaved** — the minimum number of sorted runs whose interleaving
+  can produce the stream.  By Dilworth's theorem this equals the length of
+  the longest strictly decreasing subsequence, which is exactly the number
+  of runs the greedy Patience partition creates — so the measure is
+  computed with the same :class:`repro.core.runs.RunPool` machinery the
+  sorter uses (and Proposition 3.1 holds with equality by construction).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.core.runs import RunPool
+
+__all__ = [
+    "DisorderStats",
+    "count_inversions",
+    "count_inversions_mergesort",
+    "max_inversion_distance",
+    "count_natural_runs",
+    "count_interleaved_runs",
+    "measure_disorder",
+]
+
+
+@dataclass(frozen=True)
+class DisorderStats:
+    """Table I row for one stream."""
+
+    n: int
+    inversions: int
+    distance: int
+    runs: int
+    interleaved: int
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "inversions": self.inversions,
+            "distance": self.distance,
+            "runs": self.runs,
+            "interleaved": self.interleaved,
+        }
+
+    @property
+    def mean_run_length(self) -> float:
+        """Average natural-run length (paper: CloudLog ≈ 2.7)."""
+        return self.n / self.runs if self.runs else 0.0
+
+
+def _ranks(values):
+    """Rank-compress ``values`` to 1-based dense ranks (ties share a rank)."""
+    distinct = sorted(set(values))
+    return [bisect_left(distinct, v) + 1 for v in values], len(distinct)
+
+
+def count_inversions(values) -> int:
+    """Exact inversion count via a Fenwick (binary indexed) tree.
+
+    For each element, counts previously seen elements strictly greater than
+    it; ties do not count as inversions.
+    """
+    values = list(values)
+    if len(values) < 2:
+        return 0
+    ranks, size = _ranks(values)
+    tree = [0] * (size + 1)
+    inversions = 0
+    seen = 0
+    for rank in ranks:
+        # Number of prior elements with rank <= current rank.
+        idx = rank
+        less_equal = 0
+        while idx > 0:
+            less_equal += tree[idx]
+            idx -= idx & -idx
+        inversions += seen - less_equal
+        seen += 1
+        idx = rank
+        while idx <= size:
+            tree[idx] += 1
+            idx += idx & -idx
+    return inversions
+
+
+def count_inversions_mergesort(values) -> int:
+    """Inversion count by merge counting — the test cross-check."""
+    values = list(values)
+
+    def _count(arr):
+        n = len(arr)
+        if n < 2:
+            return arr, 0
+        mid = n // 2
+        left, inv_l = _count(arr[:mid])
+        right, inv_r = _count(arr[mid:])
+        merged = []
+        inv = inv_l + inv_r
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if right[j] < left[i]:
+                inv += len(left) - i
+                merged.append(right[j])
+                j += 1
+            else:
+                merged.append(left[i])
+                i += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inv
+
+    return _count(values)[1]
+
+
+def max_inversion_distance(values) -> int:
+    """Maximum ``j - i`` over inversions ``(i, j)``; 0 when sorted.
+
+    Uses the prefix-maximum trick: the earliest index whose *prefix max*
+    exceeds ``a[j]`` is also the earliest inverting partner of ``j``
+    (prefix maxima are non-decreasing, so binary search applies).
+    """
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0
+    prefix_max = []
+    current = None
+    for v in values:
+        current = v if current is None or v > current else current
+        prefix_max.append(current)
+    best = 0
+    for j in range(1, n):
+        # First i with prefix_max[i] > values[j].
+        i = bisect_right(prefix_max, values[j], 0, j)
+        if i < j and j - i > best:
+            best = j - i
+    return best
+
+
+def count_natural_runs(values) -> int:
+    """Number of maximal non-decreasing runs (1 for sorted input)."""
+    values = list(values)
+    if not values:
+        return 0
+    runs = 1
+    for prev, cur in zip(values, values[1:]):
+        if cur < prev:
+            runs += 1
+    return runs
+
+
+def count_interleaved_runs(values) -> int:
+    """Minimum number of sorted runs whose interleaving yields the stream.
+
+    Greedy Patience partition (first run with tail <= value) is optimal for
+    this measure, so the answer is that partition's run count.
+    """
+    pool = RunPool(speculative=False)
+    for v in values:
+        pool.insert(v, None)
+    return len(pool)
+
+
+def measure_disorder(values) -> DisorderStats:
+    """Compute the full Table I row for a stream of timestamps."""
+    values = list(values)
+    return DisorderStats(
+        n=len(values),
+        inversions=count_inversions(values),
+        distance=max_inversion_distance(values),
+        runs=count_natural_runs(values),
+        interleaved=count_interleaved_runs(values),
+    )

@@ -1,0 +1,197 @@
+"""Heapsort baseline — offline and natively incremental (priority queue).
+
+Heapsort is the disorder-handling strategy of first-generation SPEs such as
+StreamInsight: keep every buffered event in a min-heap ordered by event
+time, and on a punctuation pop until the heap head exceeds the punctuation.
+It supports incremental sorting natively but is *not* adaptive — the paper's
+Figures 7 and 8 show it as a flat, slow line regardless of input sortedness.
+
+The offline :func:`heapsort` builds the heap bottom-up (Floyd) and pops
+everything, on hand-rolled sift routines rather than :mod:`heapq`, so all
+baselines in this repository are measured as from-scratch implementations.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PunctuationOrderError
+from repro.core.late import LateEventTracker, LatePolicy
+from repro.core.stats import SorterStats
+
+__all__ = ["heapsort", "IncrementalHeapSorter"]
+
+_NEG_INF = float("-inf")
+
+
+def _sift_down(keys, items, start, end):
+    """Restore the max-heap property for the subtree rooted at ``start``."""
+    root = start
+    key = keys[root]
+    item = items[root]
+    child = 2 * root + 1
+    while child <= end:
+        if child + 1 <= end and keys[child] < keys[child + 1]:
+            child += 1
+        if keys[child] <= key:
+            break
+        keys[root] = keys[child]
+        items[root] = items[child]
+        root = child
+        child = 2 * root + 1
+    keys[root] = key
+    items[root] = item
+
+
+def _sift_down_single(keys, start, end):
+    """Keyless variant of :func:`_sift_down` over one array."""
+    root = start
+    key = keys[root]
+    child = 2 * root + 1
+    while child <= end:
+        if child + 1 <= end and keys[child] < keys[child + 1]:
+            child += 1
+        if keys[child] <= key:
+            break
+        keys[root] = keys[child]
+        root = child
+        child = 2 * root + 1
+    keys[root] = key
+
+
+def heapsort(items, key=None):
+    """Return a new list of ``items`` sorted ascending by ``key``.
+
+    Classic in-place max-heap sort: heapify, then repeatedly swap the root
+    to the shrinking tail.  With ``key=None`` the values are their own
+    keys and a single array is sorted (keyless mode).
+    """
+    items = list(items)
+    n = len(items)
+    if key is None:
+        for start in range(n // 2 - 1, -1, -1):
+            _sift_down_single(items, start, n - 1)
+        for end in range(n - 1, 0, -1):
+            items[0], items[end] = items[end], items[0]
+            _sift_down_single(items, 0, end - 1)
+        return items
+    keys = [key(item) for item in items]
+    for start in range(n // 2 - 1, -1, -1):
+        _sift_down(keys, items, start, n - 1)
+    for end in range(n - 1, 0, -1):
+        keys[0], keys[end] = keys[end], keys[0]
+        items[0], items[end] = items[end], items[0]
+        _sift_down(keys, items, 0, end - 1)
+    return items
+
+
+class IncrementalHeapSorter:
+    """Min-heap online sorter: the priority-queue strategy of classic SPEs.
+
+    Matches the online-sorter protocol of
+    :class:`repro.core.impatience.ImpatienceSorter`: ``insert``,
+    ``on_punctuation``, ``flush``, ``buffered``, ``stats``, ``late``.
+    Heap entries are ``(key, seq, item)`` with a monotone sequence number so
+    that ties never compare items and equal keys pop in arrival order.
+    """
+
+    def __init__(self, key=None, late_policy=LatePolicy.DROP):
+        self.key = key
+        self.stats = SorterStats()
+        self.late = LateEventTracker(late_policy)
+        self._heap = []
+        self._seq = 0
+        self._keyless = key is None  # heap entries are the raw values
+        self._watermark = _NEG_INF
+        self._has_watermark = False
+
+    @property
+    def buffered(self) -> int:
+        """Events currently held in the heap."""
+        return len(self._heap)
+
+    @property
+    def watermark(self):
+        """Timestamp of the last punctuation, or ``-inf`` before the first."""
+        return self._watermark
+
+    def insert(self, item):
+        """Push one item; late items go through the late policy."""
+        key = item if self.key is None else self.key(item)
+        if self._has_watermark and key <= self._watermark:
+            key = self.late.admit(key, self._watermark)
+            if key is None:
+                return False
+            if self.key is None:
+                item = key  # bare timestamps: adjusting the key IS the item
+        heap = self._heap
+        if self._keyless:
+            heap.append(key)
+        else:
+            heap.append((key, self._seq, item))
+            self._seq += 1
+        self._sift_up(len(heap) - 1)
+        self.stats.inserted += 1
+        self.stats.note_buffered()
+        return True
+
+    def extend(self, items):
+        """Insert every item from an iterable."""
+        for item in items:
+            self.insert(item)
+
+    def on_punctuation(self, timestamp):
+        """Pop and return all items with key <= ``timestamp``, in order."""
+        if self._has_watermark and timestamp < self._watermark:
+            raise PunctuationOrderError(timestamp, self._watermark)
+        self._watermark = timestamp
+        self._has_watermark = True
+        out = []
+        heap = self._heap
+        if self._keyless:
+            while heap and heap[0] <= timestamp:
+                out.append(self._pop())
+        else:
+            while heap and heap[0][0] <= timestamp:
+                out.append(self._pop())
+        self.stats.emitted += len(out)
+        return out
+
+    def flush(self):
+        """Pop everything remaining, in order (end-of-stream)."""
+        out = []
+        while self._heap:
+            out.append(self._pop())
+        self.stats.emitted += len(out)
+        return out
+
+    def _sift_up(self, pos):
+        heap = self._heap
+        entry = heap[pos]
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if heap[parent] <= entry:
+                break
+            heap[pos] = heap[parent]
+            pos = parent
+        heap[pos] = entry
+
+    def _pop(self):
+        heap = self._heap
+        keyless = self._keyless
+        last = heap.pop()
+        if not heap:
+            return last if keyless else last[2]
+        top = heap[0]
+        # Sift the relocated last entry down from the root.
+        pos = 0
+        n = len(heap)
+        child = 1
+        while child < n:
+            if child + 1 < n and heap[child + 1] < heap[child]:
+                child += 1
+            if last <= heap[child]:
+                break
+            heap[pos] = heap[child]
+            pos = child
+            child = 2 * pos + 1
+        heap[pos] = last
+        return top if keyless else top[2]

@@ -1,0 +1,44 @@
+"""Binary insertion sort on parallel key/item lists.
+
+Used as the small-partition finisher inside :mod:`repro.sorting.quicksort`
+and as the run extender inside :mod:`repro.sorting.timsort` — the same roles
+it plays in production sort implementations.  Pass ``items=None`` for the
+keyless single-array mode (items are their own keys).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = ["binary_insertion_sort"]
+
+
+def binary_insertion_sort(keys, items=None, lo=0, hi=None, start=None):
+    """Stably sort ``keys[lo:hi]`` (and ``items`` in parallel) in place.
+
+    ``start`` may point at the first unsorted element when a prefix of the
+    range is already known sorted (Timsort's natural-run extension); it
+    defaults to ``lo + 1``.  ``items=None`` (or ``items is keys``) sorts
+    the single ``keys`` array alone.
+    """
+    if hi is None:
+        hi = len(keys)
+    if start is None:
+        start = lo + 1
+    if items is None or items is keys:
+        for i in range(max(start, lo + 1), hi):
+            key = keys[i]
+            pos = bisect_right(keys, key, lo, i)
+            if pos != i:
+                keys[pos + 1:i + 1] = keys[pos:i]
+                keys[pos] = key
+        return
+    for i in range(max(start, lo + 1), hi):
+        key = keys[i]
+        item = items[i]
+        pos = bisect_right(keys, key, lo, i)
+        if pos != i:
+            keys[pos + 1:i + 1] = keys[pos:i]
+            items[pos + 1:i + 1] = items[pos:i]
+            keys[pos] = key
+            items[pos] = item

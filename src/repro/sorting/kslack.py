@@ -1,0 +1,161 @@
+"""K-slack reordering — the first-generation disorder baseline (§VII).
+
+    "One initial solution to handle disorder was k-slack, where the stream
+    is assumed to be disordered by at most k tuples or time units, with
+    reordering performed before stream processing.  Such an approach can
+    lead to potentially uncontrolled latency."
+
+K-slack holds each event until the high watermark has advanced ``k``
+*time units* past it (``KSlackTime``) or until ``k`` further *tuples*
+have arrived (``KSlackTuples``), then releases events in timestamp order.
+Unlike the punctuation-driven sorters, emission is driven purely by the
+slack bound, so output latency is k by assumption — events more than k
+late are emitted out of order or dropped, depending on the late policy.
+
+Both variants implement the online-sorter protocol so they can slot into
+the ``Sort`` operator and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.core.errors import PunctuationOrderError
+from repro.core.late import LateEventTracker, LatePolicy
+from repro.core.stats import SorterStats
+
+__all__ = ["KSlackTime", "KSlackTuples"]
+
+_NEG_INF = float("-inf")
+
+
+class _KSlackBase:
+    """Shared heap machinery: buffer events, release when slack expires."""
+
+    def __init__(self, key=None, late_policy=LatePolicy.DROP):
+        self.key = key
+        self.stats = SorterStats()
+        self.late = LateEventTracker(late_policy)
+        self._heap = []
+        self._seq = 0
+        self._emitted_up_to = _NEG_INF
+        self._watermark = _NEG_INF
+        self._has_watermark = False
+
+    @property
+    def buffered(self) -> int:
+        """Events currently held in the slack buffer."""
+        return len(self._heap)
+
+    @property
+    def watermark(self):
+        """Timestamp of the last punctuation observed (``-inf`` if none)."""
+        return self._watermark
+
+    def insert(self, item):
+        """Buffer one event; releases anything whose slack has expired."""
+        key = item if self.key is None else self.key(item)
+        if key <= self._emitted_up_to:
+            # Out of the slack bound: the event would regress the output.
+            key = self.late.admit(key, self._emitted_up_to)
+            if key is None:
+                return False
+            if self.key is None:
+                item = key
+        heappush(self._heap, (key, self._seq, item))
+        self._seq += 1
+        self.stats.inserted += 1
+        self.stats.note_buffered()
+        self._note(key)
+        return True
+
+    def extend(self, items):
+        """Insert every item from an iterable."""
+        for item in items:
+            self.insert(item)
+
+    def drain_ready(self):
+        """Events whose slack expired since the last call, in order."""
+        out = []
+        bound = self._release_bound()
+        heap = self._heap
+        while heap and heap[0][0] <= bound:
+            key, _, item = heappop(heap)
+            out.append(item)
+            if key > self._emitted_up_to:
+                self._emitted_up_to = key
+        self.stats.emitted += len(out)
+        return out
+
+    def on_punctuation(self, timestamp):
+        """Punctuations only advance the clock; emission is slack-driven."""
+        if self._has_watermark and timestamp < self._watermark:
+            raise PunctuationOrderError(timestamp, self._watermark)
+        self._watermark = timestamp
+        self._has_watermark = True
+        return self.drain_ready()
+
+    def flush(self):
+        """Emit everything remaining, in order (end-of-stream)."""
+        out = []
+        heap = self._heap
+        while heap:
+            out.append(heappop(heap)[2])
+        self.stats.emitted += len(out)
+        return out
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _note(self, key):
+        raise NotImplementedError
+
+    def _release_bound(self):
+        raise NotImplementedError
+
+
+class KSlackTime(_KSlackBase):
+    """Release an event once the event-time high watermark passes it by k."""
+
+    def __init__(self, k, key=None, late_policy=LatePolicy.DROP):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        super().__init__(key, late_policy)
+        self.k = k
+        self._high = _NEG_INF
+
+    def _note(self, key):
+        if key > self._high:
+            self._high = key
+
+    def _release_bound(self):
+        high = max(self._high, self._watermark)
+        return high - self.k if high != _NEG_INF else _NEG_INF
+
+
+class KSlackTuples(_KSlackBase):
+    """Release an event once k further tuples have arrived after it."""
+
+    def __init__(self, k, key=None, late_policy=LatePolicy.DROP):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        super().__init__(key, late_policy)
+        self.k = k
+
+    def _note(self, key):
+        pass
+
+    def _release_bound(self):
+        # Emit while more than k tuples are buffered: the heap head has
+        # been overtaken by at least k arrivals.
+        return float("inf") if len(self._heap) > self.k else _NEG_INF
+
+    def drain_ready(self):
+        out = []
+        heap = self._heap
+        while len(heap) > self.k:
+            key, _, item = heappop(heap)
+            out.append(item)
+            if key > self._emitted_up_to:
+                self._emitted_up_to = key
+        self.stats.emitted += len(out)
+        return out

@@ -1,0 +1,69 @@
+"""Natural merge sort — the classic adaptive baseline from the survey.
+
+Where Timsort detects runs lazily and merges off an invariant stack,
+natural merge sort is the textbook adaptive algorithm the survey the
+paper cites analyzes: split the input into its natural runs (reversing
+strictly descending ones), then merge adjacent runs bottom-up in rounds.
+It is ``O(n log(runs))`` — optimally adaptive in the Runs measure — but,
+like the other offline baselines, not incremental; it goes online only
+through the generic buffered adapter.
+
+Included as an additional Figure 7 comparator: it isolates how much of
+Timsort's adaptivity comes from run detection alone (natural merge)
+versus run *management* (minrun balancing, the merge stack).
+"""
+
+from __future__ import annotations
+
+from repro.core.merge import merge_two
+
+__all__ = ["natural_merge_sort"]
+
+
+def _natural_runs(keys, items):
+    """Split into maximal runs; strictly descending runs are reversed."""
+    n = len(keys)
+    runs = []
+    start = 0
+    while start < n:
+        end = start + 1
+        if end < n and keys[end] < keys[start]:
+            while end < n and keys[end] < keys[end - 1]:
+                end += 1
+            run_keys = keys[start:end][::-1]
+            run_items = items[start:end][::-1]
+        else:
+            while end < n and keys[end] >= keys[end - 1]:
+                end += 1
+            run_keys = keys[start:end]
+            run_items = items[start:end]
+        runs.append((run_keys, run_items))
+        start = end
+    return runs
+
+
+def natural_merge_sort(items, key=None):
+    """Return a new list of ``items`` stably sorted ascending by ``key``.
+
+    With ``key=None`` the values are their own keys (keyless mode, like
+    every other sorter here — the shared-list merge fast path applies).
+    """
+    items = list(items)
+    if len(items) < 2:
+        return items
+    if key is None:
+        keys = items
+    else:
+        keys = [key(item) for item in items]
+    runs = _natural_runs(keys, items)
+    if key is None:
+        runs = [(run_keys, run_keys) for run_keys, _ in runs]
+    while len(runs) > 1:
+        merged = [
+            merge_two(runs[i], runs[i + 1])
+            for i in range(0, len(runs) - 1, 2)
+        ]
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0][1]

@@ -1,0 +1,117 @@
+"""Named registry of the sorting algorithms evaluated in the paper.
+
+Figures 7 and 8 compare a fixed cast: Impatience sort (with ablations),
+Patience sort, Quicksort, Timsort, and Heapsort.  Benchmarks and tests look
+the cast up here by the names used in the paper's figure legends.
+"""
+
+from __future__ import annotations
+
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.core.patience import PatienceSorter, patience_sort
+from repro.sorting.heapsort import IncrementalHeapSorter, heapsort
+from repro.sorting.incremental import BufferedIncrementalSorter
+from repro.sorting.natural_merge import natural_merge_sort
+from repro.sorting.quicksort import quicksort
+from repro.sorting.timsort import timsort
+
+__all__ = [
+    "OFFLINE_SORTS",
+    "offline_sort",
+    "make_online_sorter",
+    "ONLINE_SORTERS",
+]
+
+
+def _impatience_offline(items, key=None, speculative=True, merge="huffman"):
+    """Offline run of Impatience machinery: partition all, merge once."""
+    sorter = PatienceSorter(key=key, merge=merge, speculative=speculative)
+    sorter.extend(items)
+    return sorter.result()
+
+
+def _impatience_no_hm(items, key=None):
+    return _impatience_offline(items, key, speculative=True, merge="pairwise")
+
+
+def _impatience_no_hm_srs(items, key=None):
+    return _impatience_offline(items, key, speculative=False,
+                               merge="pairwise")
+
+
+def _impatience_full(items, key=None):
+    return _impatience_offline(items, key, speculative=True, merge="huffman")
+
+
+#: Offline sorters by paper legend name.  ``impatience-no-hm-srs`` is the
+#: Figure 7 ablation that Section VI-B calls "identical to the Patience
+#: sort on offline data"; the ``patience`` entry is Patience sort with the
+#: best merge schedule, used inside the Figure 8 incremental adapter.
+OFFLINE_SORTS = {
+    "impatience": _impatience_full,
+    "impatience-no-hm": _impatience_no_hm,
+    "impatience-no-hm-srs": _impatience_no_hm_srs,
+    "patience": patience_sort,
+    "quicksort": quicksort,
+    "timsort": timsort,
+    "naturalmerge": natural_merge_sort,
+    "heapsort": heapsort,
+}
+
+
+def offline_sort(name, items, key=None):
+    """Sort ``items`` with the named offline algorithm."""
+    try:
+        fn = OFFLINE_SORTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown offline sorter {name!r}; "
+            f"expected one of {sorted(OFFLINE_SORTS)}"
+        ) from None
+    return fn(items, key=key)
+
+
+def make_online_sorter(name, key=None, late_policy=LatePolicy.DROP):
+    """Build an online sorter by paper legend name.
+
+    ``impatience`` variants use the natively incremental
+    :class:`~repro.core.impatience.ImpatienceSorter`; ``heapsort`` uses the
+    natively incremental priority queue; the remaining offline algorithms
+    are adapted through
+    :class:`~repro.sorting.incremental.BufferedIncrementalSorter`
+    (the paper's generic recipe).
+    """
+    if name == "impatience":
+        return ImpatienceSorter(key=key, late_policy=late_policy)
+    if name == "impatience-no-hm":
+        return ImpatienceSorter(
+            key=key, huffman_merge=False, late_policy=late_policy
+        )
+    if name == "impatience-no-hm-srs":
+        return ImpatienceSorter(
+            key=key, huffman_merge=False, speculative=False,
+            late_policy=late_policy,
+        )
+    if name == "heapsort":
+        return IncrementalHeapSorter(key=key, late_policy=late_policy)
+    if name in ("patience", "quicksort", "timsort", "naturalmerge"):
+        return BufferedIncrementalSorter(
+            OFFLINE_SORTS[name], key=key, late_policy=late_policy
+        )
+    raise ValueError(
+        f"unknown online sorter {name!r}; expected one of {sorted(ONLINE_SORTERS)}"
+    )
+
+
+#: Online sorter names accepted by :func:`make_online_sorter`.
+ONLINE_SORTERS = (
+    "impatience",
+    "impatience-no-hm",
+    "impatience-no-hm-srs",
+    "patience",
+    "quicksort",
+    "timsort",
+    "naturalmerge",
+    "heapsort",
+)

@@ -1,0 +1,26 @@
+"""Workload simulators for the paper's datasets (see DESIGN.md §1.3)."""
+
+from repro.workloads.androidlog import generate_androidlog
+from repro.workloads.base import Dataset
+from repro.workloads.cloudlog import generate_cloudlog
+from repro.workloads.datasets import DATASET_NAMES, DEFAULT_N, load_dataset
+from repro.workloads.io import load_dataset_csv, save_dataset_csv
+from repro.workloads.simulation import (
+    simulate_androidlog,
+    simulate_cloudlog,
+)
+from repro.workloads.synthetic import generate_synthetic
+
+__all__ = [
+    "DATASET_NAMES",
+    "DEFAULT_N",
+    "Dataset",
+    "generate_androidlog",
+    "generate_cloudlog",
+    "generate_synthetic",
+    "load_dataset",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "simulate_androidlog",
+    "simulate_cloudlog",
+]

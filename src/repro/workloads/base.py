@@ -1,0 +1,78 @@
+"""Shared dataset container for workload simulators.
+
+A :class:`Dataset` is a stream materialized in *processing-time order*: the
+i-th entry is the i-th event to reach the engine, carrying its (possibly
+much earlier) event time plus the four-integer payload the paper's
+evaluation uses.  Sorting benchmarks consume the raw timestamp list; engine
+benchmarks consume :meth:`Dataset.events`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.event import Event
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """An out-of-order stream in arrival order.
+
+    Attributes
+    ----------
+    name:
+        Workload name (``"synthetic"``, ``"cloudlog"``, ``"androidlog"``).
+    timestamps:
+        Event times, indexed by arrival position.
+    payloads:
+        Parallel list of 4-int payload tuples; generated lazily when the
+        simulator did not supply one.
+    keys:
+        Parallel list of 32-bit grouping keys (e.g. user or ad ids).
+    params:
+        The generator parameters, for provenance in reports.
+    """
+
+    name: str
+    timestamps: list
+    payloads: list = field(default=None, repr=False)
+    keys: list = field(default=None, repr=False)
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        n = len(self.timestamps)
+        if self.payloads is None:
+            # Deterministic cheap payloads: derived from arrival index.
+            self.payloads = [
+                (i & 0xFFFF, (i * 31) & 0xFFFF, (i * 17) & 0xFF, i & 0xFF)
+                for i in range(n)
+            ]
+        if self.keys is None:
+            self.keys = [i % 100 for i in range(n)]
+        if len(self.payloads) != n or len(self.keys) != n:
+            raise ValueError("timestamps, payloads and keys must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def events(self):
+        """Yield :class:`repro.engine.event.Event` in arrival order."""
+        for ts, key, payload in zip(self.timestamps, self.keys, self.payloads):
+            yield Event(ts, ts + 1, key, payload)
+
+    def head(self, n: int) -> "Dataset":
+        """A prefix of the stream (same arrival order), for scaled runs."""
+        return Dataset(
+            name=self.name,
+            timestamps=self.timestamps[:n],
+            payloads=self.payloads[:n],
+            keys=self.keys[:n],
+            params={**self.params, "head": n},
+        )
+
+    @property
+    def span(self):
+        """(min, max) event time of the stream."""
+        return min(self.timestamps), max(self.timestamps)

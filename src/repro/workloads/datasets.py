@@ -1,0 +1,47 @@
+"""Dataset registry with memoization for tests and benchmarks.
+
+The paper evaluates on 20M-event streams; pure-Python runs scale the
+default down (see DESIGN.md).  ``load_dataset`` hands out cached instances
+so a benchmark session generates each stream once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.androidlog import generate_androidlog
+from repro.workloads.base import Dataset
+from repro.workloads.cloudlog import generate_cloudlog
+from repro.workloads.synthetic import generate_synthetic
+
+__all__ = ["DATASET_NAMES", "load_dataset", "DEFAULT_N"]
+
+#: Default stream length for experiment runs (paper: 20_000_000).
+DEFAULT_N = 200_000
+
+DATASET_NAMES = ("synthetic", "cloudlog", "androidlog")
+
+
+@lru_cache(maxsize=32)
+def _load(name: str, n: int, seed: int, extra: tuple) -> Dataset:
+    kwargs = dict(extra)
+    if name == "synthetic":
+        return generate_synthetic(n, seed=seed, **kwargs)
+    if name == "cloudlog":
+        return generate_cloudlog(n, seed=seed, **kwargs)
+    if name == "androidlog":
+        return generate_androidlog(n, seed=seed, **kwargs)
+    raise ValueError(
+        f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+    )
+
+
+def load_dataset(name: str, n: int = DEFAULT_N, seed: int = 0,
+                 **kwargs) -> Dataset:
+    """Return a memoized dataset instance.
+
+    Keyword arguments are forwarded to the generator (e.g.
+    ``percent_disorder=30`` for the synthetic workload).  Callers must not
+    mutate the returned dataset; use :meth:`Dataset.head` to derive.
+    """
+    return _load(name, n, seed, tuple(sorted(kwargs.items())))

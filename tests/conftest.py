@@ -1,0 +1,47 @@
+"""Shared fixtures: small deterministic datasets and sorter casts."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    generate_androidlog,
+    generate_cloudlog,
+    generate_synthetic,
+)
+
+
+@pytest.fixture(scope="session")
+def synthetic_small():
+    return generate_synthetic(5_000, percent_disorder=30, amount_disorder=64,
+                              seed=7)
+
+
+@pytest.fixture(scope="session")
+def cloudlog_small():
+    # Millisecond-scale parameters shrink with the horizon (5k events =
+    # 5k ms) to keep the Table I shape at test scale.
+    return generate_cloudlog(5_000, delay_spread_ms=400.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def androidlog_small():
+    # Fewer phones at test scale so per-batch runs stay long.
+    return generate_androidlog(5_000, n_phones=60, uploads_per_phone=8,
+                               seed=7)
+
+
+@pytest.fixture(scope="session")
+def all_small_datasets(synthetic_small, cloudlog_small, androidlog_small):
+    return {
+        "synthetic": synthetic_small,
+        "cloudlog": cloudlog_small,
+        "androidlog": androidlog_small,
+    }
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

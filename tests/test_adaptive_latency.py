@@ -1,0 +1,125 @@
+"""Tests for the adaptive reorder-latency policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ImpatienceSorter
+from repro.framework.adaptive_latency import AdaptiveLatencyPolicy
+
+
+def drive(policy, timestamps, sorter=None):
+    """Feed a stream through the policy (and optionally a sorter)."""
+    punctuations = []
+    for t in timestamps:
+        if sorter is not None:
+            sorter.insert(t)
+        ts = policy.observe(t)
+        if ts is not None:
+            punctuations.append(ts)
+            if sorter is not None:
+                sorter.on_punctuation(ts)
+    return punctuations
+
+
+def jittered_stream(n, jitter, seed=0, start=0):
+    rnd = random.Random(seed)
+    return [
+        start + i + (-rnd.randrange(jitter + 1)) for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveLatencyPolicy(0)
+        with pytest.raises(ValueError):
+            AdaptiveLatencyPolicy(10, coverage=0)
+        with pytest.raises(ValueError):
+            AdaptiveLatencyPolicy(10, smoothing=0)
+        with pytest.raises(ValueError):
+            AdaptiveLatencyPolicy(10, reservoir_size=0)
+
+
+class TestLearning:
+    def test_converges_to_lateness_quantile(self):
+        policy = AdaptiveLatencyPolicy(frequency=100, coverage=1.0,
+                                       smoothing=1.0)
+        drive(policy, jittered_stream(5_000, jitter=40, seed=1))
+        # Max lateness is ~40; the learned latency should be close.
+        assert 30 <= policy.latency <= 45
+
+    def test_sorted_stream_learns_zero(self):
+        policy = AdaptiveLatencyPolicy(frequency=50, coverage=0.99,
+                                       initial_latency=500)
+        drive(policy, list(range(2_000)))
+        assert policy.latency < 20
+
+    def test_adapts_to_regime_change(self):
+        policy = AdaptiveLatencyPolicy(frequency=100, coverage=0.95,
+                                       smoothing=0.8, reservoir_size=512)
+        drive(policy, jittered_stream(3_000, jitter=5, seed=2))
+        calm = policy.latency
+        drive(policy, jittered_stream(6_000, jitter=200, seed=3,
+                                      start=3_000))
+        stormy = policy.latency
+        assert stormy > calm * 3
+
+    def test_punctuations_monotone(self):
+        policy = AdaptiveLatencyPolicy(frequency=10, coverage=0.9,
+                                       smoothing=1.0)
+        puncts = drive(policy, jittered_stream(2_000, jitter=100, seed=4))
+        assert puncts == sorted(puncts)
+        assert len(puncts) > 0
+
+    def test_clamping(self):
+        policy = AdaptiveLatencyPolicy(frequency=50, coverage=1.0,
+                                       smoothing=1.0, min_latency=10,
+                                       max_latency=25)
+        drive(policy, jittered_stream(2_000, jitter=500, seed=5))
+        assert policy.latency == 25
+        policy2 = AdaptiveLatencyPolicy(frequency=50, min_latency=10)
+        drive(policy2, list(range(500)))
+        assert policy2.latency == 10
+
+
+class TestEndToEnd:
+    def test_achieves_target_completeness(self):
+        """Driving a sorter with the adaptive policy keeps drops near the
+        configured coverage target without any manual tuning."""
+        from repro.workloads import generate_cloudlog
+
+        dataset = generate_cloudlog(30_000, seed=8)
+        policy = AdaptiveLatencyPolicy(frequency=200, coverage=0.97,
+                                       smoothing=0.6,
+                                       initial_latency=1_000)
+        sorter = ImpatienceSorter()
+        drive(policy, dataset.timestamps, sorter=sorter)
+        sorter.flush()
+        kept = 1 - sorter.late.dropped / len(dataset)
+        assert kept >= 0.90
+
+    def test_beats_badly_tuned_static_latency(self):
+        """The point of adaptation: a static latency tuned for the calm
+        regime loses far more once the storm starts."""
+        from repro.engine.punctuation import PunctuationPolicy
+
+        calm = jittered_stream(3_000, jitter=5, seed=6)
+        storm = jittered_stream(9_000, jitter=400, seed=7, start=3_000)
+        stream = calm + storm
+
+        def run(policy):
+            sorter = ImpatienceSorter()
+            drive(policy, stream, sorter=sorter)
+            sorter.flush()
+            return 1 - sorter.late.dropped / len(stream)
+
+        static_kept = run(PunctuationPolicy(frequency=100,
+                                            reorder_latency=10))
+        adaptive_kept = run(AdaptiveLatencyPolicy(
+            frequency=100, coverage=0.99, smoothing=0.8,
+            initial_latency=10,
+        ))
+        assert adaptive_kept > static_kept

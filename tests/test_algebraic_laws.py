@@ -1,0 +1,158 @@
+"""Algebraic laws of the query operators, property-tested.
+
+The sort-as-needed rewrite (§IV, `engine/planner.py`) is justified by
+operators commuting with the sort; these tests pin the underlying
+algebra itself:
+
+* fusion laws — chained selections/projections fuse;
+* idempotence — sorting a sorted stream and re-aligning aligned
+  timestamps are identities;
+* union laws — commutative and associative up to multiset equality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import DisorderedStreamable, Event, Punctuation, Streamable
+
+streams = st.lists(st.integers(0, 200), min_size=1, max_size=120)
+
+
+def ordered_elements(times):
+    out = [Event(t, t + 1, key=t % 7, payload=(t,)) for t in sorted(times)]
+    out.append(Punctuation(max(times)))
+    return out
+
+
+def signature(collector):
+    return [(e.sync_time, e.key, e.payload) for e in collector.events]
+
+
+class TestFusionLaws:
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_where_fusion(self, times):
+        p = lambda e: e.sync_time % 2 == 0  # noqa: E731
+        q = lambda e: e.key < 5  # noqa: E731
+        chained = (
+            Streamable.from_elements(ordered_elements(times))
+            .where(p).where(q).collect()
+        )
+        fused = (
+            Streamable.from_elements(ordered_elements(times))
+            .where(lambda e: p(e) and q(e)).collect()
+        )
+        assert signature(chained) == signature(fused)
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_select_fusion(self, times):
+        f = lambda p: (p[0] * 2,)  # noqa: E731
+        g = lambda p: (p[0] + 1,)  # noqa: E731
+        chained = (
+            Streamable.from_elements(ordered_elements(times))
+            .select(f).select(g).collect()
+        )
+        fused = (
+            Streamable.from_elements(ordered_elements(times))
+            .select(lambda p: g(f(p))).collect()
+        )
+        assert signature(chained) == signature(fused)
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_where_select_commute_when_independent(self, times):
+        """A selection on the key commutes with a payload projection."""
+        p = lambda e: e.key < 4  # noqa: E731
+        f = lambda payload: (payload[0] + 10,)  # noqa: E731
+        ws = (
+            Streamable.from_elements(ordered_elements(times))
+            .where(p).select(f).collect()
+        )
+        sw = (
+            Streamable.from_elements(ordered_elements(times))
+            .select(f).where(p).collect()
+        )
+        assert signature(ws) == signature(sw)
+
+
+class TestIdempotence:
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_sorting_a_sorted_stream_is_identity(self, times):
+        base = ordered_elements(times)
+        once = (
+            DisorderedStreamable.from_elements(list(base))
+            .to_streamable().collect()
+        )
+        events_only = [e for e in base if isinstance(e, Event)]
+        assert signature(once) == [
+            (e.sync_time, e.key, e.payload) for e in events_only
+        ]
+
+    @given(streams, st.integers(1, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_window_alignment_idempotent(self, times, size):
+        once = (
+            Streamable.from_elements(ordered_elements(times))
+            .tumbling_window(size).collect()
+        )
+        twice = (
+            Streamable.from_elements(ordered_elements(times))
+            .tumbling_window(size).tumbling_window(size).collect()
+        )
+        assert [
+            (e.sync_time, e.other_time) for e in once.events
+        ] == [
+            (e.sync_time, e.other_time) for e in twice.events
+        ]
+
+    @given(streams, st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_clip_after_alter_idempotent(self, times, d):
+        one = (
+            Streamable.from_elements(ordered_elements(times))
+            .alter_duration(d).clip_duration(d).collect()
+        )
+        other = (
+            Streamable.from_elements(ordered_elements(times))
+            .alter_duration(d).collect()
+        )
+        assert [
+            (e.sync_time, e.other_time) for e in one.events
+        ] == [
+            (e.sync_time, e.other_time) for e in other.events
+        ]
+
+
+class TestUnionLaws:
+    def _split_three(self, times):
+        base = Streamable.from_elements(ordered_elements(times))
+        return base, [
+            base.where(lambda e, r=r: e.key % 3 == r) for r in range(3)
+        ]
+
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_union_commutative_as_multiset(self, times):
+        _, (a, b, _) = self._split_three(times)
+        ab = a.union(b).collect()
+        _, (a2, b2, _) = self._split_three(times)
+        ba = b2.union(a2).collect()
+        assert Counter(signature(ab)) == Counter(signature(ba))
+        assert ab.sync_times == sorted(ab.sync_times)
+        assert ba.sync_times == sorted(ba.sync_times)
+
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_union_with_empty_is_identity_multiset(self, times):
+        base = Streamable.from_elements(ordered_elements(times))
+        everything = base.where(lambda e: True)
+        nothing = base.where(lambda e: False)
+        merged = everything.union(nothing).collect()
+        direct = Streamable.from_elements(ordered_elements(times)).collect()
+        assert Counter(signature(merged)) == Counter(signature(direct))

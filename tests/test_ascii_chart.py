@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.bench.ascii_chart import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uses_lowest_block(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes_map_to_extreme_blocks(self):
+        s = sparkline([0, 10])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_resamples_long_series(self):
+        s = sparkline(list(range(1000)), width=40)
+        assert len(s) == 40
+
+    def test_monotone_series_is_nondecreasing(self):
+        s = sparkline(list(range(10)))
+        order = "▁▂▃▄▅▆▇█"
+        ranks = [order.index(ch) for ch in s]
+        assert ranks == sorted(ranks)
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_contains_legend_and_axes(self):
+        text = line_chart({
+            "a": [(0, 0), (10, 10)],
+            "b": [(0, 10), (10, 0)],
+        }, width=20, height=6)
+        assert "* a" in text
+        assert "o b" in text
+        assert "10 ┤" in text
+        assert "0 ┼" in text
+
+    def test_points_land_in_grid(self):
+        text = line_chart({"a": [(0, 0), (100, 50)]}, width=30, height=5)
+        assert text.count("*") == 3  # two plotted points + the legend glyph
+
+    def test_flat_series(self):
+        text = line_chart({"a": [(0, 5), (10, 5)]}, width=20, height=4)
+        assert "*" in text

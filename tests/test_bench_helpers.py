@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    offline_throughput,
+    online_throughput,
+    pipeline_throughput,
+    sort_as_needed_speedup,
+    stream_length,
+)
+from repro.bench.reporting import format_table, markdown_table
+from repro.workloads import generate_synthetic
+
+
+class TestStreamLength:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_N", raising=False)
+        assert stream_length(12345) == 12345
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "777")
+        assert stream_length() == 777
+
+
+class TestThroughputHarnesses:
+    def test_offline(self):
+        dataset = generate_synthetic(3_000, seed=1)
+        meps = offline_throughput("impatience", dataset.timestamps)
+        assert meps > 0
+
+    def test_offline_unknown_name(self):
+        with pytest.raises(KeyError):
+            offline_throughput("bogosort", [1, 2])
+
+    def test_online(self):
+        dataset = generate_synthetic(3_000, seed=1)
+        meps = online_throughput(
+            "impatience", dataset.timestamps, frequency=500,
+            reorder_latency=300,
+        )
+        assert meps > 0
+
+    def test_pipeline(self):
+        dataset = generate_synthetic(2_000, seed=1)
+        meps = pipeline_throughput(
+            lambda d: d.to_streamable(), dataset, 500, 300, repeats=2
+        )
+        assert meps > 0
+
+    def test_sort_as_needed_contains_both_sides(self):
+        dataset = generate_synthetic(2_000, seed=1)
+        ops = lambda s: s.where(lambda e: e.key < 50)  # noqa: E731
+        result = sort_as_needed_speedup(ops, ops, dataset, repeats=1)
+        assert set(result) == {"baseline_meps", "pushdown_meps", "speedup"}
+        assert result["speedup"] == pytest.approx(
+            result["pushdown_meps"] / result["baseline_meps"]
+        )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["bb", 22.5]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "22.500" in lines[4]
+
+    def test_format_table_thousands_separator(self):
+        text = format_table(["n"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"

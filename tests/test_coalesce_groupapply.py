@@ -1,0 +1,186 @@
+"""Tests for Coalesce and GroupApply (the §V-C machinery)."""
+
+from __future__ import annotations
+
+from repro.engine import Streamable
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector
+from repro.engine.operators.aggregates import Count
+from repro.engine.operators.coalesce import Coalesce
+from repro.engine.operators.groupapply import GroupApply
+
+
+def wire(op):
+    sink = Collector()
+    op.add_downstream(sink)
+    return sink
+
+
+class TestCoalesce:
+    def test_overlapping_events_fuse(self):
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(0, 10, key=1))
+        op.on_event(Event(5, 15, key=1))
+        op.on_event(Event(14, 20, key=1))
+        op.on_flush()
+        assert len(sink.events) == 1
+        fused = sink.events[0]
+        assert (fused.sync_time, fused.other_time) == (0, 20)
+        assert fused.payload == 3
+        assert op.fused == 2
+
+    def test_gap_starts_new_group(self):
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(0, 5, key=1))
+        op.on_event(Event(10, 15, key=1))
+        op.on_flush()
+        assert [(e.sync_time, e.other_time) for e in sink.events] == [
+            (0, 5), (10, 15),
+        ]
+
+    def test_touching_interval_fuses(self):
+        """sync == current end: the paper's 'overlapped validity' includes
+        abutting intervals for run-length semantics."""
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(0, 5, key=1))
+        op.on_event(Event(5, 9, key=1))
+        op.on_flush()
+        assert len(sink.events) == 1
+
+    def test_keys_kept_separate(self):
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(0, 10, key=1))
+        op.on_event(Event(2, 12, key=2))
+        op.on_flush()
+        assert sorted(e.key for e in sink.events) == [1, 2]
+
+    def test_custom_combine(self):
+        op = Coalesce(
+            combine=lambda acc, e: e.payload if acc is None else acc + e.payload
+        )
+        sink = wire(op)
+        op.on_event(Event(0, 10, key=1, payload=3))
+        op.on_event(Event(1, 11, key=1, payload=4))
+        op.on_flush()
+        assert sink.events[0].payload == 7
+
+    def test_punctuation_finalizes_closed_groups_in_order(self):
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(0, 4, key=2))
+        op.on_event(Event(1, 3, key=3))
+        op.on_punctuation(Punctuation(10))
+        assert sink.sync_times == [0, 1]
+        assert sink.punctuations == [10]
+
+    def test_open_group_clamps_punctuation(self):
+        """An open group's start bounds the forwarded punctuation so the
+        output stream can never regress."""
+        op = Coalesce()
+        sink = wire(op)
+        op.on_event(Event(5, 100, key=1))   # stays open at punct 10
+        op.on_event(Event(7, 9, key=2))     # closes at punct 10
+        op.on_punctuation(Punctuation(10))
+        assert sink.events == []            # 7 > 5-1: must wait
+        assert sink.punctuations == [4]     # clamped below open start
+        op.on_flush()
+        assert sink.sync_times == [5, 7]
+
+    def test_output_is_sorted_under_interleaving(self, rng):
+        op = Coalesce()
+        sink = wire(op)
+        t = 0
+        for _ in range(500):
+            t += rng.randrange(3)
+            op.on_event(Event(t, t + rng.randrange(1, 20), key=rng.randrange(5)))
+            if rng.random() < 0.05:
+                op.on_punctuation(Punctuation(t))
+        op.on_flush()
+        assert sink.sync_times == sorted(sink.sync_times)
+
+    def test_stream_api(self):
+        events = [Event(t, t + 5, key=0) for t in (0, 2, 4, 20)]
+        out = Streamable.from_elements(events).coalesce().collect()
+        assert [(e.sync_time, e.other_time, e.payload) for e in out.events] \
+            == [(0, 9, 3), (20, 25, 1)]
+
+
+class TestGroupApply:
+    def test_per_key_windowed_count(self):
+        op = GroupApply(lambda s: s.count())
+        sink = wire(op)
+        for key in (1, 2, 1):
+            op.on_event(Event(0, 10, key=key))
+        op.on_flush()
+        assert sorted((e.key, e.payload) for e in sink.events) == [
+            (1, 2), (2, 1),
+        ]
+        assert op.group_count == 2
+
+    def test_matches_grouped_window_aggregate(self, rng):
+        """GroupApply(count) must agree with the fused grouped aggregate."""
+        events = [
+            Event(t - t % 10, (t - t % 10) + 10, key=rng.randrange(4))
+            for t in sorted(rng.randrange(200) for _ in range(300))
+        ]
+        via_apply = (
+            Streamable.from_elements(list(events))
+            .group_apply(lambda s: s.count())
+            .collect()
+        )
+        via_fused = (
+            Streamable.from_elements(list(events))
+            .group_aggregate(Count())
+            .collect()
+        )
+        assert (
+            sorted((e.sync_time, e.key, e.payload) for e in via_apply.events)
+            == sorted((e.sync_time, e.key, e.payload) for e in via_fused.events)
+        )
+
+    def test_custom_key_fn(self):
+        op = GroupApply(lambda s: s.count(), key_fn=lambda e: e.payload % 2)
+        sink = wire(op)
+        for v in range(6):
+            op.on_event(Event(0, 10, key=9, payload=v))
+        op.on_flush()
+        assert sorted((e.key, e.payload) for e in sink.events) == [
+            (0, 3), (1, 3),
+        ]
+
+    def test_punctuations_broadcast(self):
+        op = GroupApply(lambda s: s.count())
+        sink = wire(op)
+        op.on_event(Event(0, 10, key=1))
+        op.on_event(Event(0, 10, key=2))
+        op.on_punctuation(Punctuation(50))
+        assert len(sink.events) == 2
+        assert sink.punctuations == [50]
+
+    def test_stateless_subquery_immediate(self):
+        op = GroupApply(lambda s: s.where(lambda e: e.payload > 0))
+        sink = wire(op)
+        op.on_event(Event(1, key=1, payload=5))
+        op.on_event(Event(2, key=1, payload=0))
+        assert [e.payload for e in sink.events] == [5]
+
+    def test_outputs_sorted_within_punctuation_batch(self):
+        op = GroupApply(lambda s: s.count())
+        sink = wire(op)
+        # Group 2 touches a later window first; outputs must still be
+        # sync-sorted after the drain.
+        op.on_event(Event(10, 20, key=2))
+        op.on_event(Event(0, 10, key=1))
+        op.on_flush()
+        assert sink.sync_times == [0, 10]
+
+    def test_buffered_counts_subpipeline_state(self):
+        op = GroupApply(lambda s: s.count())
+        wire(op)
+        op.on_event(Event(0, 10, key=1))
+        op.on_event(Event(10, 20, key=2))
+        assert op.buffered_count() == 2

@@ -1,0 +1,110 @@
+"""Tests for the end-to-end columnar query path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import DisorderedStreamable
+from repro.engine.columnar_pipeline import (
+    ColumnarPipeline,
+    WindowedCountState,
+    iter_batches,
+)
+from repro.workloads import generate_cloudlog, generate_synthetic
+
+
+class TestIterBatches:
+    def test_covers_dataset_in_order(self):
+        dataset = generate_synthetic(1000, seed=2)
+        batches = list(iter_batches(dataset, 256))
+        assert [len(b) for b in batches] == [256, 256, 256, 232]
+        rejoined = np.concatenate([b.sync_times for b in batches])
+        assert rejoined.tolist() == dataset.timestamps
+
+    def test_invalid_batch_size(self):
+        dataset = generate_synthetic(10, seed=2)
+        with pytest.raises(ValueError):
+            list(iter_batches(dataset, 0))
+
+
+class TestWindowedCountState:
+    def test_merges_boundary_window_across_feeds(self):
+        state = WindowedCountState()
+        state.feed(np.array([0, 0, 10]))
+        state.feed(np.array([10, 20]))
+        assert state.finish() == ([0, 10, 20], [2, 2, 1])
+
+    def test_empty_feeds_ignored(self):
+        state = WindowedCountState()
+        state.feed(np.empty(0, dtype=np.int64))
+        assert state.finish() == ([], [])
+
+    def test_single_window(self):
+        state = WindowedCountState()
+        state.feed(np.array([5, 5, 5]))
+        assert state.finish() == ([5], [3])
+
+
+class TestColumnarPipeline:
+    def test_sorted_output(self):
+        dataset = generate_cloudlog(5_000, delay_spread_ms=200, seed=4)
+        out = ColumnarPipeline().run(dataset, batch_size=512,
+                                     reorder_latency=2_000)
+        assert (np.diff(out) >= 0).all()
+        assert out.size + ColumnarPipeline().dropped_late >= 0
+
+    def test_matches_row_engine_windowed_count(self):
+        dataset = generate_cloudlog(5_000, delay_spread_ms=200, seed=4)
+        window = 250
+        pipeline = (
+            ColumnarPipeline()
+            .filter_keys(lambda keys: keys < 50)
+            .tumbling_window(window)
+        )
+        starts, counts = pipeline.run_windowed_count(
+            dataset, batch_size=512, reorder_latency=5_000
+        )
+        row = (
+            DisorderedStreamable.from_dataset(
+                dataset, punctuation_frequency=512, reorder_latency=5_000
+            )
+            .where(lambda e: e.key < 50)
+            .tumbling_window(window)
+            .to_streamable()
+            .count()
+            .collect()
+        )
+        assert starts == row.sync_times
+        assert counts == row.payloads
+
+    def test_projection_stage(self):
+        dataset = generate_synthetic(500, seed=1)
+        pipeline = ColumnarPipeline().project([0])
+        out = pipeline.run(dataset)
+        assert out.tolist() == sorted(dataset.timestamps)
+
+    def test_payload_filter_stage(self):
+        dataset = generate_synthetic(2_000, seed=1)
+        pipeline = ColumnarPipeline().filter_payload(
+            0, lambda col: col % 2 == 0
+        )
+        out = pipeline.run(dataset)
+        expected = sorted(
+            t for t, p in zip(dataset.timestamps, dataset.payloads)
+            if p[0] % 2 == 0
+        )
+        assert out.tolist() == expected
+
+    def test_late_drops_counted(self):
+        dataset = generate_cloudlog(5_000, seed=4)
+        pipeline = ColumnarPipeline()
+        out = pipeline.run(dataset, batch_size=256, reorder_latency=10)
+        assert pipeline.dropped_late > 0
+        assert out.size + pipeline.dropped_late == len(dataset)
+
+    def test_empty_dataset(self):
+        from repro.workloads import Dataset
+
+        empty = Dataset("x", [], payloads=[], keys=[])
+        assert ColumnarPipeline().run(empty, batch_size=16).size == 0

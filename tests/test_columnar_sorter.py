@@ -1,0 +1,144 @@
+"""Tests for the columnar Impatience sorter (repro.core.columnar)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.errors import LateEventError, PunctuationOrderError
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+
+
+class TestBasics:
+    def test_paper_example(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch([2, 6, 5, 1])
+        assert sorter.on_punctuation(2).tolist() == [1, 2]
+        sorter.insert_batch([4, 3, 7, 8])
+        assert sorter.on_punctuation(4).tolist() == [3, 4]
+        assert sorter.flush().tolist() == [5, 6, 7, 8]
+
+    def test_empty_batch(self):
+        sorter = ColumnarImpatienceSorter()
+        assert sorter.insert_batch([]) == 0
+        assert sorter.flush().tolist() == []
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ColumnarImpatienceSorter().insert_batch([[1, 2]])
+
+    def test_single_ascending_batch_is_one_run(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch(np.arange(100))
+        assert sorter.run_count == 1
+        assert sorter.buffered == 100
+
+    def test_descending_batch_one_run_per_element(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch(np.arange(50, 0, -1))
+        assert sorter.run_count == 50
+
+    def test_run_cleanup_on_punctuation(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch([2, 6, 5, 1])
+        sorter.on_punctuation(2)
+        assert sorter.run_count == 2  # Figure 4's healing behaviour
+
+    def test_regressing_punctuation_raises(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.on_punctuation(10)
+        with pytest.raises(PunctuationOrderError):
+            sorter.on_punctuation(9)
+
+
+class TestLateHandling:
+    def test_drop(self):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch([10])
+        sorter.on_punctuation(5)
+        assert sorter.insert_batch([3, 4, 7]) == 1
+        assert sorter.late.dropped == 2
+        assert sorter.flush().tolist() == [7, 10]
+
+    def test_adjust(self):
+        sorter = ColumnarImpatienceSorter(late_policy=LatePolicy.ADJUST)
+        sorter.insert_batch([10])
+        sorter.on_punctuation(5)
+        sorter.insert_batch([3, 7])
+        assert sorter.late.adjusted == 1
+        assert sorter.flush().tolist() == [5, 7, 10]
+
+    def test_raise(self):
+        sorter = ColumnarImpatienceSorter(late_policy=LatePolicy.RAISE)
+        sorter.on_punctuation(5)
+        with pytest.raises(LateEventError):
+            sorter.insert_batch([3])
+
+
+class TestEquivalence:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1000), max_size=60),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_impatience(self, batches):
+        """Identical emissions, drop counts, and run counts versus the
+        scalar sorter, batch for batch, punctuation for punctuation."""
+        columnar = ColumnarImpatienceSorter()
+        scalar = ImpatienceSorter()
+        watermark = None
+        for batch in batches:
+            columnar.insert_batch(batch)
+            for value in batch:
+                scalar.insert(value)
+            high = max(
+                (v for v in batch),
+                default=watermark if watermark is not None else 0,
+            )
+            watermark = high if watermark is None else max(watermark, high)
+            ts = watermark - 50
+            if scalar.watermark == float("-inf") or ts > scalar.watermark:
+                assert columnar.on_punctuation(ts).tolist() == \
+                    scalar.on_punctuation(ts)
+                assert columnar.run_count == scalar.run_count
+        assert columnar.flush().tolist() == scalar.flush()
+        assert columnar.late.dropped == scalar.late.dropped
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_flush_is_sorted_input(self, values):
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch(values)
+        assert sorter.flush().tolist() == sorted(values)
+
+    def test_run_count_equals_interleaved_measure(self, cloudlog_small):
+        from repro.metrics import count_interleaved_runs
+
+        sorter = ColumnarImpatienceSorter()
+        sorter.insert_batch(cloudlog_small.timestamps)
+        assert sorter.run_count == count_interleaved_runs(
+            cloudlog_small.timestamps
+        )
+
+
+class TestThroughputPath:
+    def test_large_stream_smoke(self, cloudlog_small):
+        sorter = ColumnarImpatienceSorter()
+        times = np.asarray(cloudlog_small.timestamps)
+        out = []
+        for i in range(0, len(times), 512):
+            chunk = times[i:i + 512]
+            sorter.insert_batch(chunk)
+            ts = int(chunk.max()) - 1500
+            if sorter.watermark == float("-inf") or ts > sorter.watermark:
+                out.append(sorter.on_punctuation(ts))
+        out.append(sorter.flush())
+        merged = np.concatenate(out)
+        assert (np.diff(merged) >= 0).all()
+        assert merged.size + sorter.late.dropped == len(times)

@@ -1,0 +1,88 @@
+"""Tests for the event model and punctuation policy (repro.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.event import EVENT_BYTES, Event, Punctuation, is_punctuation
+from repro.engine.punctuation import PunctuationPolicy
+
+
+class TestEvent:
+    def test_default_other_time_is_point_interval(self):
+        event = Event(10)
+        assert event.other_time == 11
+
+    def test_with_times(self):
+        event = Event(10, 11, key=3, payload=(1, 2))
+        adjusted = event.with_times(0, 100)
+        assert (adjusted.sync_time, adjusted.other_time) == (0, 100)
+        assert adjusted.key == 3 and adjusted.payload == (1, 2)
+        assert event.sync_time == 10  # original untouched
+
+    def test_with_payload_and_key(self):
+        event = Event(1, 2, key=0, payload=(9,))
+        assert event.with_payload((7,)).payload == (7,)
+        assert event.with_key(5).key == 5
+
+    def test_equality_and_hash(self):
+        a = Event(1, 2, 3, (4,))
+        b = Event(1, 2, 3, (4,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Event(1, 2, 3, (5,))
+        assert a != "not an event"
+
+    def test_event_bytes_matches_trill_layout(self):
+        # 2×64-bit timestamps + 32-bit key + 64-bit hash + 4×32-bit payload.
+        assert EVENT_BYTES == 8 + 8 + 4 + 8 + 16
+
+    def test_repr(self):
+        assert "sync=1" in repr(Event(1))
+
+
+class TestPunctuation:
+    def test_identity(self):
+        assert Punctuation(5) == Punctuation(5)
+        assert Punctuation(5) != Punctuation(6)
+        assert hash(Punctuation(5)) == hash(Punctuation(5))
+
+    def test_is_punctuation(self):
+        assert is_punctuation(Punctuation(1))
+        assert not is_punctuation(Event(1))
+
+
+class TestPunctuationPolicy:
+    def test_every_n_events_at_watermark(self):
+        policy = PunctuationPolicy(frequency=3)
+        assert policy.observe(10) is None
+        assert policy.observe(12) is None
+        assert policy.observe(11) == 12  # high watermark, latency 0
+
+    def test_reorder_latency_subtracted(self):
+        policy = PunctuationPolicy(frequency=2, reorder_latency=5)
+        policy.observe(10)
+        assert policy.observe(20) == 15
+
+    def test_monotonicity_skips_stale(self):
+        policy = PunctuationPolicy(frequency=1, reorder_latency=0)
+        assert policy.observe(10) == 10
+        assert policy.observe(3) is None  # watermark did not advance
+        assert policy.observe(11) == 11
+
+    def test_disabled_frequency(self):
+        policy = PunctuationPolicy(frequency=None)
+        assert policy.observe(1) is None
+        assert policy.high_watermark == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PunctuationPolicy(frequency=0)
+        with pytest.raises(ValueError):
+            PunctuationPolicy(frequency=1, reorder_latency=-1)
+
+    def test_high_watermark_tracks_max(self):
+        policy = PunctuationPolicy(frequency=10)
+        for t in [5, 3, 8, 2]:
+            policy.observe(t)
+        assert policy.high_watermark == 8

@@ -1,0 +1,163 @@
+"""Fuzz tests: random query chains over random disordered streams.
+
+Hypothesis composes random operator pipelines from a pool of
+order-insensitive and order-sensitive stages and checks global engine
+invariants that every legal query must satisfy:
+
+* output events are sync-ordered;
+* no output event arrives at or below a previously emitted punctuation;
+* the pipeline always completes (flush reaches the sink);
+* buffered memory returns to zero after the flush.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import DisorderedStreamable
+from repro.engine.event import Event
+from repro.engine.operators.aggregates import Count, Sum
+
+# -- stage pool -------------------------------------------------------------
+
+
+def _where_even(stream):
+    return stream.where(lambda e: e.sync_time % 2 == 0)
+
+
+def _where_keys(stream):
+    return stream.where(lambda e: e.key < 70)
+
+
+def _select(stream):
+    return stream.select(lambda p: (p[0],))
+
+
+def _window_small(stream):
+    return stream.tumbling_window(8)
+
+
+def _window_large(stream):
+    return stream.tumbling_window(64)
+
+
+def _alter(stream):
+    return stream.alter_duration(16)
+
+
+PRE_SORT_STAGES = st.lists(
+    st.sampled_from([
+        _where_even, _where_keys, _select, _window_small, _window_large,
+        _alter,
+    ]),
+    max_size=3,
+)
+
+
+def _count(stream):
+    return stream.count()
+
+
+def _group_count(stream):
+    return stream.group_aggregate(Count())
+
+
+def _group_sum(stream):
+    return stream.group_aggregate(Sum(lambda p: 1))
+
+
+def _coalesce(stream):
+    return stream.coalesce()
+
+
+def _session(stream):
+    return stream.session_window(16)
+
+
+def _top(stream):
+    return stream.group_aggregate(Count()).top_k(3)
+
+
+POST_SORT_STAGES = st.lists(
+    st.sampled_from([
+        _count, _group_count, _group_sum, _coalesce, _session, _top,
+    ]),
+    max_size=1,
+)
+
+STREAMS = st.lists(st.integers(0, 300), min_size=1, max_size=200)
+
+
+class TestRandomQueries:
+    @given(
+        STREAMS,
+        PRE_SORT_STAGES,
+        POST_SORT_STAGES,
+        st.integers(5, 60),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_engine_invariants(self, times, pre, post, frequency, latency):
+        events = [Event(t, t + 1, key=t % 100, payload=(t, t)) for t in times]
+        stream = DisorderedStreamable.from_events(
+            events, punctuation_frequency=frequency,
+            reorder_latency=latency,
+        )
+        needs_window = any(f in (_count, _group_count, _group_sum)
+                           for f in post)
+        has_window = any(f in (_window_small, _window_large) for f in pre)
+        for stage in pre:
+            stream = stage(stream)
+        ordered = stream.to_streamable()
+        if needs_window and not has_window:
+            ordered = ordered.tumbling_window(8)
+        for stage in post:
+            ordered = stage(ordered)
+        result = ordered.collect()
+
+        # 1. Completion.
+        assert result.completed
+        # 2. Global sync order.
+        assert result.sync_times == sorted(result.sync_times)
+        # 3. Punctuations are monotone (the event-vs-punctuation interleaving
+        #    contract is covered per-operator in their dedicated tests).
+        puncts = result.punctuations
+        assert puncts == sorted(puncts)
+
+    @given(STREAMS, st.integers(5, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_memory_drains_after_flush(self, times, frequency):
+        from repro.engine.graph import Pipeline, QueryNode
+        from repro.engine.operators import Collector
+
+        stream = (
+            DisorderedStreamable.from_events(
+                [Event(t) for t in times],
+                punctuation_frequency=frequency,
+                reorder_latency=50,
+            )
+            .tumbling_window(8)
+            .to_streamable()
+            .count()
+        )
+        sink_node = QueryNode(Collector, ((stream.node, None),))
+        pipeline = Pipeline([sink_node])
+        pipeline.run(stream.source.elements())
+        assert pipeline.buffered_events() == 0
+
+    @given(STREAMS, PRE_SORT_STAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_without_filters(self, times, pre):
+        """Chains without selection stages must conserve every on-time
+        event through the sort."""
+        pre = [f for f in pre if f not in (_where_even, _where_keys)]
+        events = [Event(t, t + 1, key=t % 100, payload=(t, t)) for t in times]
+        stream = DisorderedStreamable.from_events(
+            events, punctuation_frequency=10,
+            reorder_latency=max(times) + 1,
+        )
+        for stage in pre:
+            stream = stage(stream)
+        result = stream.to_streamable().collect()
+        assert len(result.events) == len(times)

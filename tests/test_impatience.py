@@ -1,0 +1,215 @@
+"""Tests for Impatience sort (repro.core.impatience)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import LateEventError, PunctuationOrderError
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.core.patience import PatienceSorter
+
+
+class TestPaperExample:
+    """The worked example of Sections III-A and III-D (Figures 3/4)."""
+
+    def test_incremental_outputs(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([2, 6, 5, 1])
+        assert sorter.on_punctuation(2) == [1, 2]
+        sorter.extend([4, 3, 7, 8])
+        assert sorter.on_punctuation(4) == [3, 4]
+        assert sorter.flush() == [5, 6, 7, 8]
+
+    def test_run_cleanup_matches_figure4(self):
+        """After punctuation 2, the run holding only event 1 disappears;
+        Impatience keeps 2 live runs where Patience holds 4."""
+        sorter = ImpatienceSorter(speculative=False)
+        sorter.extend([2, 6, 5, 1])
+        sorter.on_punctuation(2)
+        assert sorter.run_count == 2
+        sorter.extend([4, 3, 7, 8])
+        sorter.on_punctuation(4)
+        assert sorter.run_count == 2
+
+        patience = PatienceSorter(speculative=False)
+        patience.extend([2, 6, 5, 1, 4, 3, 7, 8])
+        assert patience.run_count == 4
+
+
+class TestIncrementalCorrectness:
+    def test_emits_exactly_the_due_prefix(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([10, 3, 7, 1])
+        out = sorter.on_punctuation(5)
+        assert out == [1, 3]
+        assert sorter.buffered == 2
+
+    def test_punctuation_with_nothing_due(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([10, 20])
+        assert sorter.on_punctuation(5) == []
+
+    def test_punctuation_on_empty_sorter(self):
+        sorter = ImpatienceSorter()
+        assert sorter.on_punctuation(100) == []
+        assert sorter.flush() == []
+
+    def test_equal_timestamps_all_emitted(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([5, 5, 5, 6])
+        assert sorter.on_punctuation(5) == [5, 5, 5]
+
+    def test_key_function(self):
+        sorter = ImpatienceSorter(key=lambda pair: pair[0])
+        sorter.extend([(3, "c"), (1, "a"), (2, "b")])
+        assert sorter.on_punctuation(2) == [(1, "a"), (2, "b")]
+        assert sorter.flush() == [(3, "c")]
+
+    def test_regressing_punctuation_raises(self):
+        sorter = ImpatienceSorter()
+        sorter.on_punctuation(10)
+        with pytest.raises(PunctuationOrderError):
+            sorter.on_punctuation(9)
+
+    def test_repeated_equal_punctuation_is_noop(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([1, 2, 3])
+        assert sorter.on_punctuation(2) == [1, 2]
+        assert sorter.on_punctuation(2) == []
+
+    @given(
+        st.lists(st.integers(0, 1000), max_size=400),
+        st.integers(1, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_outputs_equal_sorted_input(self, data, step):
+        """Whatever the punctuation cadence, the concatenation of all
+        incremental outputs plus the flush is the fully sorted input
+        (no drops possible: punctuations trail every next insert)."""
+        sorter = ImpatienceSorter(late_policy=LatePolicy.RAISE)
+        out = []
+        watermark = -1
+        for i, value in enumerate(data):
+            sorter.insert(value)
+            if i % step == step - 1:
+                # Safe punctuation: strictly below everything not yet seen.
+                pending_min = min(data[i + 1:], default=None)
+                if pending_min is not None and pending_min - 1 > watermark:
+                    watermark = pending_min - 1
+                    out.extend(sorter.on_punctuation(watermark))
+        out.extend(sorter.flush())
+        assert out == sorted(data)
+
+    @given(st.lists(st.integers(0, 300), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_hm_and_srs_do_not_change_output(self, data):
+        outs = []
+        for hm in (True, False):
+            for srs in (True, False):
+                sorter = ImpatienceSorter(huffman_merge=hm, speculative=srs)
+                sorter.extend(data)
+                out = sorter.on_punctuation(150)
+                out += sorter.flush()
+                outs.append(out)
+        assert all(out == outs[0] for out in outs)
+
+
+class TestLatePolicies:
+    def test_drop_policy_counts(self):
+        sorter = ImpatienceSorter(late_policy=LatePolicy.DROP)
+        sorter.extend([5, 10])
+        sorter.on_punctuation(7)
+        assert sorter.insert(6) is False
+        assert sorter.late.dropped == 1
+        assert sorter.flush() == [10]
+
+    def test_adjust_policy_moves_to_watermark(self):
+        """Bare timestamps: "adjusted on timestamps" (Section I-A) means
+        the late value itself becomes the watermark."""
+        sorter = ImpatienceSorter(late_policy=LatePolicy.ADJUST)
+        sorter.extend([5, 10])
+        sorter.on_punctuation(7)
+        assert sorter.insert(6) is True
+        assert sorter.late.adjusted == 1
+        assert sorter.flush() == [7, 10]
+
+    def test_adjust_policy_keyed_preserves_item(self):
+        """With a key function, the item keeps its payload but sorts at
+        the adjusted (watermark) position."""
+        sorter = ImpatienceSorter(
+            key=lambda p: p[0], late_policy=LatePolicy.ADJUST
+        )
+        sorter.extend([(5, "a"), (10, "b")])
+        sorter.on_punctuation(7)
+        assert sorter.insert((6, "late")) is True
+        assert sorter.flush() == [(6, "late"), (10, "b")]
+
+    def test_raise_policy(self):
+        sorter = ImpatienceSorter(late_policy=LatePolicy.RAISE)
+        sorter.on_punctuation(7)
+        with pytest.raises(LateEventError):
+            sorter.insert(3)
+
+    def test_event_exactly_at_watermark_is_late(self):
+        sorter = ImpatienceSorter(late_policy=LatePolicy.DROP)
+        sorter.on_punctuation(7)
+        assert sorter.insert(7) is False
+
+    def test_no_late_handling_before_first_punctuation(self):
+        sorter = ImpatienceSorter(late_policy=LatePolicy.RAISE)
+        sorter.extend([5, 1, -3])  # all fine: no watermark yet
+        assert sorter.flush() == [-3, 1, 5]
+
+
+class TestRunHealing:
+    def test_burst_damage_heals_after_punctuations(self):
+        """Figure 5's story: a burst of severely-late events inflates the
+        run count; subsequent punctuations clean the extra runs out."""
+        sorter = ImpatienceSorter()
+        for t in range(0, 1000):
+            sorter.insert(t)
+        # Burst: 50 severely late events, descending — one run each.
+        for t in range(600, 550, -1):
+            sorter.insert(t)
+        inflated = sorter.run_count
+        assert inflated > 25
+        sorter.on_punctuation(999)
+        # Everything <= 999 left the pool; only the fresh tail remains.
+        for t in range(1000, 1100):
+            sorter.insert(t)
+        assert sorter.run_count <= 2
+        assert sorter.flush() == list(range(1000, 1100))
+
+    def test_stats_history_samples_at_punctuations(self):
+        sorter = ImpatienceSorter()
+        sorter.extend([3, 1, 2])
+        sorter.on_punctuation(1)
+        sorter.on_punctuation(2)
+        sorter.flush()
+        assert len(sorter.stats.run_count_history) == 3
+        assert sorter.stats.run_count_history[-1] == (3, 0)
+
+
+class TestAccounting:
+    def test_buffered_and_watermark(self):
+        sorter = ImpatienceSorter()
+        assert sorter.watermark == float("-inf")
+        sorter.extend([4, 2, 9])
+        assert sorter.buffered == 3
+        sorter.on_punctuation(4)
+        assert sorter.buffered == 1
+        assert sorter.watermark == 4
+
+    def test_max_buffered_high_water_mark(self):
+        sorter = ImpatienceSorter()
+        sorter.extend(range(100, 0, -1))
+        sorter.on_punctuation(100)
+        assert sorter.stats.max_buffered == 100
+
+    def test_repr_smoke(self):
+        sorter = ImpatienceSorter()
+        sorter.insert(1)
+        assert "runs=1" in repr(sorter)

@@ -1,0 +1,149 @@
+"""Tests for the online sorters: the generic buffered adapter and the
+incremental heap (repro.sorting.incremental / heapsort), plus the online
+registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PunctuationOrderError
+from repro.core.late import LatePolicy
+from repro.sorting import make_online_sorter
+from repro.sorting.heapsort import IncrementalHeapSorter
+from repro.sorting.incremental import BufferedIncrementalSorter
+from repro.sorting.quicksort import quicksort
+from repro.sorting.registry import ONLINE_SORTERS
+
+
+def _drive(sorter, data, punctuate_every, latency):
+    """Feed data with periodic punctuations at high-watermark − latency."""
+    out = []
+    high = None
+    last = None
+    for i, value in enumerate(data):
+        sorter.insert(value)
+        high = value if high is None or value > high else high
+        if i % punctuate_every == punctuate_every - 1:
+            ts = high - latency
+            if last is None or ts > last:
+                last = ts
+                out.append((ts, sorter.on_punctuation(ts)))
+    return out
+
+
+class TestBufferedAdapter:
+    def test_emits_due_prefix_per_punctuation(self):
+        sorter = BufferedIncrementalSorter(quicksort)
+        sorter.extend([5, 1, 9, 3])
+        assert sorter.on_punctuation(4) == [1, 3]
+        assert sorter.buffered == 2
+        sorter.extend([6, 2])  # 2 is late (watermark 4)? no: 2 <= 4 → late
+        assert sorter.late.dropped == 1
+        assert sorter.on_punctuation(8) == [5, 6]
+        assert sorter.flush() == [9]
+
+    def test_event_sorted_once_but_rewritten_in_merges(self):
+        """The adapter's cost model: merge_events grows with each
+        punctuation because the whole sorted buffer is rewritten."""
+        sorter = BufferedIncrementalSorter(quicksort)
+        for i in range(100, 0, -1):
+            sorter.insert(i + 1000)
+        sorter.on_punctuation(0)
+        first = sorter.stats.merge_events
+        for i in range(100):
+            sorter.insert(i + 2000)
+        sorter.on_punctuation(1)
+        assert sorter.stats.merge_events > first + 100  # old buffer rewritten
+
+    def test_flush_empties(self):
+        sorter = BufferedIncrementalSorter(quicksort)
+        sorter.extend([3, 1])
+        assert sorter.flush() == [1, 3]
+        assert sorter.buffered == 0
+        assert sorter.flush() == []
+
+    def test_key_function(self):
+        sorter = BufferedIncrementalSorter(quicksort, key=lambda p: -p)
+        sorter.extend([1, 3, 2])
+        assert sorter.flush() == [3, 2, 1]
+
+    def test_regressing_punctuation_raises(self):
+        sorter = BufferedIncrementalSorter(quicksort)
+        sorter.on_punctuation(5)
+        with pytest.raises(PunctuationOrderError):
+            sorter.on_punctuation(4)
+
+
+class TestIncrementalHeap:
+    def test_emits_due_prefix(self):
+        sorter = IncrementalHeapSorter()
+        sorter.extend([5, 1, 9, 3])
+        assert sorter.on_punctuation(4) == [1, 3]
+        assert sorter.buffered == 2
+        assert sorter.flush() == [5, 9]
+
+    def test_equal_keys_fifo(self):
+        sorter = IncrementalHeapSorter(key=lambda p: p[0])
+        sorter.extend([(1, "a"), (1, "b"), (1, "c")])
+        assert sorter.flush() == [(1, "a"), (1, "b"), (1, "c")]
+
+    def test_late_drop(self):
+        sorter = IncrementalHeapSorter(late_policy=LatePolicy.DROP)
+        sorter.insert(10)
+        sorter.on_punctuation(5)
+        assert sorter.insert(4) is False
+        assert sorter.late.dropped == 1
+
+    def test_late_adjust(self):
+        sorter = IncrementalHeapSorter(late_policy=LatePolicy.ADJUST)
+        sorter.insert(10)
+        sorter.on_punctuation(5)
+        assert sorter.insert(4) is True
+        # Bare timestamp adjusted onto the watermark (Section I-A).
+        assert sorter.flush() == [5, 10]
+
+    @given(st.lists(st.integers(0, 1000)))
+    @settings(max_examples=80, deadline=None)
+    def test_heap_flush_sorts(self, data):
+        sorter = IncrementalHeapSorter()
+        sorter.extend(data)
+        assert sorter.flush() == sorted(data)
+
+
+class TestOnlineEquivalence:
+    """All online sorters must produce identical event sequences."""
+
+    @pytest.mark.parametrize("name", ONLINE_SORTERS)
+    def test_online_matches_reference(self, name, rng):
+        data = [rng.randrange(2000) for _ in range(3000)]
+        sorter = make_online_sorter(name)
+        chunks = _drive(sorter, data, punctuate_every=100, latency=300)
+        tail = sorter.flush()
+        emitted = [v for _, chunk in chunks for v in chunk] + tail
+        # Every emitted stream is globally sorted...
+        assert emitted == sorted(emitted)
+        # ...each chunk respects its punctuation...
+        for ts, chunk in chunks:
+            assert all(v <= ts for v in chunk)
+        # ...and emitted + dropped accounts for all input.
+        assert len(emitted) + sorter.late.dropped == len(data)
+
+    def test_all_sorters_drop_identically(self, rng):
+        """Late handling is sorter-independent: same watermarks, same
+        drops, same emitted multiset."""
+        data = [rng.randrange(2000) for _ in range(2000)]
+        results = {}
+        for name in ONLINE_SORTERS:
+            sorter = make_online_sorter(name)
+            chunks = _drive(sorter, data, punctuate_every=128, latency=250)
+            emitted = [v for _, c in chunks for v in c] + sorter.flush()
+            results[name] = (sorted(emitted), sorter.late.dropped)
+        reference = results["impatience"]
+        for name, got in results.items():
+            assert got == reference, name
+
+    def test_unknown_online_name(self):
+        with pytest.raises(ValueError, match="unknown online sorter"):
+            make_online_sorter("bogosort")

@@ -1,0 +1,92 @@
+"""Tests for dataset CSV I/O and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import generate_synthetic
+from repro.workloads.io import load_dataset_csv, save_dataset_csv
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        dataset = generate_synthetic(200, seed=3)
+        path = tmp_path / "events.csv"
+        save_dataset_csv(dataset, path)
+        loaded = load_dataset_csv(path, name="roundtrip")
+        assert loaded.timestamps == dataset.timestamps
+        assert loaded.keys == dataset.keys
+        assert loaded.payloads == dataset.payloads
+        assert loaded.name == "roundtrip"
+        assert loaded.params["source"] == str(path)
+
+    def test_minimal_csv_defaults_columns(self, tmp_path):
+        path = tmp_path / "min.csv"
+        path.write_text("event_time\n5\n3\n9\n")
+        loaded = load_dataset_csv(path)
+        assert loaded.timestamps == [5, 3, 9]
+        assert len(loaded.keys) == 3  # defaulted
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,stuff\n1,2\n")
+        with pytest.raises(ValueError, match="event_time"):
+            load_dataset_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("event_time,key\n1,0\n\n2,1\n")
+        assert load_dataset_csv(path).timestamps == [1, 2]
+
+
+class TestCli:
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "synthetic", "--n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "inversions" in out
+        assert "mean run length" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--dataset", "cloudlog", "--n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "suggested latency" in out
+        assert "100%" in out
+
+    def test_sort(self, capsys):
+        assert main([
+            "sort", "--dataset", "androidlog", "--n", "2000",
+            "--algorithm", "impatience",
+        ]) == 0
+        assert "M events/s" in capsys.readouterr().out
+
+    def test_generate_then_stats_from_csv(self, tmp_path, capsys):
+        out_csv = str(tmp_path / "gen.csv")
+        assert main([
+            "generate", "--dataset", "synthetic", "--n", "500",
+            "--out", out_csv,
+        ]) == 0
+        assert main(["stats", "--csv", out_csv]) == 0
+        assert "Disorder statistics (csv)" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--dataset", "synthetic", "--n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "windows:" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCliProfile:
+    def test_profile(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main([
+            "profile", "--dataset", "androidlog", "--n", "3000",
+            "--regions", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Regional disorder profile" in out
+        assert out.count("\n") >= 6

@@ -1,0 +1,101 @@
+"""Tests for the temporal join operator (repro.engine.operators.join)."""
+
+from __future__ import annotations
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector
+from repro.engine.operators.join import TemporalJoin
+
+
+def make(result_selector=None):
+    join = TemporalJoin(result_selector)
+    sink = Collector()
+    join.add_downstream(sink)
+    return join, sink
+
+
+class TestTemporalJoin:
+    def test_overlapping_same_key_match(self):
+        join, sink = make()
+        join.ports[0].on_event(Event(0, 10, key=1, payload="L"))
+        join.ports[1].on_event(Event(5, 15, key=1, payload="R"))
+        assert len(sink.events) == 1
+        match = sink.events[0]
+        assert (match.sync_time, match.other_time) == (5, 10)
+        assert match.payload == ("L", "R")
+
+    def test_different_keys_do_not_match(self):
+        join, sink = make()
+        join.ports[0].on_event(Event(0, 10, key=1))
+        join.ports[1].on_event(Event(0, 10, key=2))
+        assert sink.events == []
+
+    def test_disjoint_intervals_do_not_match(self):
+        join, sink = make()
+        join.ports[0].on_event(Event(0, 5, key=1))
+        join.ports[1].on_event(Event(5, 10, key=1))  # touching, not overlap
+        assert sink.events == []
+
+    def test_result_selector(self):
+        join, sink = make(result_selector=lambda l, r: l + r)
+        join.ports[0].on_event(Event(0, 10, key=1, payload=2))
+        join.ports[1].on_event(Event(0, 10, key=1, payload=3))
+        assert sink.events[0].payload == 5
+
+    def test_one_to_many(self):
+        join, sink = make()
+        join.ports[0].on_event(Event(0, 100, key=1, payload="L"))
+        for t in (10, 20, 30):
+            join.ports[1].on_event(Event(t, t + 5, key=1, payload=t))
+        assert [e.payload for e in sink.events] == [
+            ("L", 10), ("L", 20), ("L", 30),
+        ]
+        assert join.matches == 3
+
+    def test_left_right_payload_order_is_stable(self):
+        join, sink = make()
+        join.ports[1].on_event(Event(0, 10, key=1, payload="R"))
+        join.ports[0].on_event(Event(0, 10, key=1, payload="L"))
+        # Left payload first regardless of arrival side.
+        assert sink.events[0].payload == ("L", "R")
+
+    def test_punctuation_is_min_of_watermarks(self):
+        join, sink = make()
+        join.ports[0].on_punctuation(Punctuation(10))
+        assert sink.punctuations == []
+        join.ports[1].on_punctuation(Punctuation(7))
+        assert sink.punctuations == [7]
+
+    def test_state_evicted_by_opposite_watermark(self):
+        join, sink = make()
+        join.ports[0].on_event(Event(0, 10, key=1))
+        join.ports[0].on_event(Event(0, 50, key=2))
+        assert join.buffered_count() == 2
+        join.ports[1].on_punctuation(Punctuation(20))
+        # The [0,10) event can never match future right events (sync > 20).
+        assert join.buffered_count() == 1
+
+    def test_flush_requires_both_sides(self):
+        join, sink = make()
+        join.ports[0].on_flush()
+        assert not sink.completed
+        join.ports[1].on_flush()
+        assert sink.completed
+        assert join.buffered_count() == 0
+
+    def test_windowed_join_end_to_end(self):
+        """Join two filtered substreams of one source on window overlap —
+        the classic 'same user did A and B in the same window' query."""
+        from repro.engine import Streamable
+
+        events = []
+        for t, kind in [(1, "a"), (2, "b"), (11, "a"), (25, "b")]:
+            events.append(Event(t, t + 1, key=7, payload=kind))
+        events.append(Punctuation(100))
+        base = Streamable.from_elements(events)
+        a_side = base.where(lambda e: e.payload == "a").tumbling_window(10)
+        b_side = base.where(lambda e: e.payload == "b").tumbling_window(10)
+        out = a_side.join(b_side).collect()
+        # Window [0,10): a@1 with b@2 match; a@11 and b@25 are alone.
+        assert len(out.events) == 1
+        assert out.events[0].payload == ("a", "b")

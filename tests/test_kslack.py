@@ -1,0 +1,118 @@
+"""Tests for the k-slack reordering baselines (repro.sorting.kslack)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.late import LatePolicy
+from repro.sorting.kslack import KSlackTime, KSlackTuples
+
+
+class TestKSlackTime:
+    def test_holds_until_watermark_advances_by_k(self):
+        slack = KSlackTime(k=10)
+        slack.insert(5)
+        assert slack.drain_ready() == []   # watermark 5, bound -5
+        slack.insert(16)                   # watermark 16, bound 6
+        assert slack.drain_ready() == [5]
+        assert slack.buffered == 1
+
+    def test_reorders_within_slack(self):
+        slack = KSlackTime(k=10)
+        for t in (7, 3, 9, 5, 25):
+            slack.insert(t)
+        assert slack.drain_ready() == [3, 5, 7, 9]
+
+    def test_event_beyond_slack_is_late(self):
+        slack = KSlackTime(k=5, late_policy=LatePolicy.DROP)
+        slack.insert(100)
+        slack.drain_ready()  # emits nothing; bound 95
+        slack.insert(200)
+        assert slack.drain_ready() == [100]
+        assert slack.insert(90) is False  # 90 <= emitted_up_to 100
+        assert slack.late.dropped == 1
+
+    def test_punctuation_advances_clock(self):
+        slack = KSlackTime(k=10)
+        slack.insert(5)
+        assert slack.on_punctuation(50) == [5]
+
+    def test_flush(self):
+        slack = KSlackTime(k=1000)
+        slack.extend([3, 1, 2])
+        assert slack.flush() == [1, 2, 3]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KSlackTime(-1)
+
+    @given(st.lists(st.integers(0, 500)), st.integers(0, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_output_always_sorted(self, data, k):
+        slack = KSlackTime(k)
+        out = []
+        for value in data:
+            slack.insert(value)
+            out.extend(slack.drain_ready())
+        out.extend(slack.flush())
+        assert out == sorted(out)
+        assert len(out) + slack.late.dropped == len(data)
+
+    @given(st.lists(st.integers(0, 10_000)))
+    @settings(max_examples=50, deadline=None)
+    def test_infinite_slack_loses_nothing(self, data):
+        slack = KSlackTime(k=10_001)
+        slack.extend(data)
+        assert slack.flush() == sorted(data)
+        assert slack.late.dropped == 0
+
+
+class TestKSlackTuples:
+    def test_holds_k_tuples(self):
+        slack = KSlackTuples(k=2)
+        slack.insert(5)
+        slack.insert(3)
+        assert slack.drain_ready() == []
+        slack.insert(9)
+        assert slack.drain_ready() == [3]
+
+    def test_reorders_within_k_tuples(self):
+        slack = KSlackTuples(k=3)
+        out = []
+        for t in (4, 1, 3, 2, 9, 8, 7, 6):
+            slack.insert(t)
+            out.extend(slack.drain_ready())
+        out.extend(slack.flush())
+        assert out == [1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_zero_slack_passthrough_with_drops(self):
+        slack = KSlackTuples(k=0, late_policy=LatePolicy.DROP)
+        out = []
+        for t in (5, 3, 8):
+            slack.insert(t)
+            out.extend(slack.drain_ready())
+        assert out == [5, 8]
+        assert slack.late.dropped == 1
+
+    @given(st.lists(st.integers(0, 500)), st.integers(0, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_output_always_sorted(self, data, k):
+        slack = KSlackTuples(k)
+        out = []
+        for value in data:
+            slack.insert(value)
+            out.extend(slack.drain_ready())
+        out.extend(slack.flush())
+        assert out == sorted(out)
+        assert len(out) + slack.late.dropped == len(data)
+
+    def test_uncontrolled_latency(self):
+        """The paper's §VII critique: with tuple-slack, a quiet stream
+        never releases — latency is unbounded until more data arrives."""
+        slack = KSlackTuples(k=100)
+        slack.insert(1)
+        assert slack.drain_ready() == []
+        assert slack.on_punctuation(10_000) == []  # punctuation can't help
+        assert slack.buffered == 1

@@ -1,0 +1,70 @@
+"""Tests for measured delivery latency (LatencyCollector)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import DisorderedStreamable
+from repro.framework.streamables import LatencyCollector
+from repro.workloads import generate_synthetic
+
+
+def run_framework(latencies, frequency=100, n=20_000):
+    dataset = generate_synthetic(
+        n, percent_disorder=30, amount_disorder=64, seed=9
+    )
+    return (
+        DisorderedStreamable.from_dataset(
+            dataset, punctuation_frequency=frequency
+        )
+        .to_streamables(latencies)
+        .run()
+    )
+
+
+class TestMeasuredLatency:
+    def test_stats_shape(self):
+        result = run_framework([500, 5_000])
+        stats = result.measured_latency(0)
+        assert set(stats) == {"mean", "p95", "max", "samples"}
+        assert stats["samples"] > 0
+        assert 0 <= stats["mean"] <= stats["p95"] <= stats["max"]
+
+    def test_latency_grows_with_ladder(self):
+        result = run_framework([500, 5_000])
+        early = result.measured_latency(0)["mean"]
+        late = result.measured_latency(1)["mean"]
+        assert late > early
+
+    def test_mean_tracks_configured_latency(self):
+        """With fine punctuations (period ≪ L) the mean lag converges to
+        the configured reorder latency plus ~half a punctuation period."""
+        latency = 2_000
+        frequency = 100  # ≈100 time units between punctuations
+        result = run_framework([50, latency], frequency=frequency)
+        mean = result.measured_latency(1)["mean"]
+        assert latency * 0.8 <= mean <= latency * 1.5
+
+    def test_coarse_punctuations_add_staleness(self):
+        fine = run_framework([500, 5_000], frequency=100)
+        coarse = run_framework([500, 5_000], frequency=5_000)
+        assert (
+            coarse.measured_latency(0)["mean"]
+            > fine.measured_latency(0)["mean"]
+        )
+
+    def test_plain_collector_rejects_latency_query(self):
+        from repro.engine.operators import Collector
+        from repro.framework.streamables import StreamablesResult
+
+        result = StreamablesResult([Collector()], None, None, [1])
+        with pytest.raises(TypeError, match="did not measure"):
+            result.measured_latency(0)
+
+    def test_collector_without_clock_still_collects(self):
+        collector = LatencyCollector({})
+        from repro.engine.event import Event
+
+        collector.on_event(Event(1))
+        assert len(collector.events) == 1
+        assert collector.latency_stats()["samples"] == 0

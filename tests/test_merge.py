@@ -1,0 +1,117 @@
+"""Tests for merge strategies (repro.core.merge)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import (
+    MERGE_STRATEGIES,
+    huffman_merge,
+    kway_heap_merge,
+    merge_runs,
+    merge_two,
+    pairwise_merge,
+)
+from repro.core.stats import SorterStats
+
+
+def _run(keys):
+    """Build a (keys, items) run where items tag their origin."""
+    return list(keys), [f"i{k}" for k in keys]
+
+
+class TestMergeTwo:
+    def test_basic_merge(self):
+        keys, items = merge_two(([1, 3], ["a", "b"]), ([2, 4], ["c", "d"]))
+        assert keys == [1, 2, 3, 4]
+        assert items == ["a", "c", "b", "d"]
+
+    def test_empty_sides(self):
+        run = ([1, 2], ["a", "b"])
+        assert merge_two(([], []), run) == run
+        assert merge_two(run, ([], [])) == run
+
+    def test_ties_prefer_left(self):
+        keys, items = merge_two(([5], ["left"]), ([5], ["right"]))
+        assert items == ["left", "right"]
+
+    def test_stats_count_accessed_events(self):
+        stats = SorterStats()
+        merge_two(([1, 3], "ab"), ([2], "c"), stats)
+        assert stats.merges == 1
+        assert stats.merge_events == 3
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", sorted(MERGE_STRATEGIES))
+    def test_all_strategies_same_sorted_output(self, name):
+        runs = [_run([1, 5, 9]), _run([2, 3]), _run([7]), _run([0, 10])]
+        keys, items = merge_runs(runs, name)
+        assert keys == sorted(keys)
+        assert keys == [0, 1, 2, 3, 5, 7, 9, 10]
+        assert len(items) == len(keys)
+
+    @pytest.mark.parametrize("name", sorted(MERGE_STRATEGIES))
+    def test_empty_input(self, name):
+        assert merge_runs([], name) == ([], [])
+
+    @pytest.mark.parametrize("name", sorted(MERGE_STRATEGIES))
+    def test_single_run_passthrough(self, name):
+        run = _run([1, 2, 3])
+        assert merge_runs([run], name) == run
+
+    @pytest.mark.parametrize("name", sorted(MERGE_STRATEGIES))
+    def test_empty_runs_filtered(self, name):
+        keys, _ = merge_runs([_run([]), _run([4]), _run([])], name)
+        assert keys == [4]
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown merge strategy"):
+            merge_runs([_run([1])], "bogus")
+
+    def test_huffman_moves_fewer_events_than_pairwise_on_skew(self):
+        """The HM optimization's entire point: on a skewed run-size
+        distribution the Huffman schedule accesses fewer events."""
+        runs = [_run(range(1000))] + [
+            _run([2000 + i]) for i in range(20)
+        ]
+        stats_h = SorterStats()
+        huffman_merge([(_k[:], _i[:]) for _k, _i in runs], stats_h)
+        stats_p = SorterStats()
+        # Pairwise folds the big run through every merge.
+        pairwise_merge([(_k[:], _i[:]) for _k, _i in runs], stats_p)
+        assert stats_h.merge_events < stats_p.merge_events
+
+    def test_kway_counts_one_merge(self):
+        stats = SorterStats()
+        kway_heap_merge([_run([1]), _run([2]), _run([3])], stats)
+        assert stats.merges == 1
+        assert stats.merge_events == 3
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-50, 50), max_size=30).map(sorted),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_strategies_agree_on_key_sequence(self, key_lists):
+        runs = [
+            (keys, [None] * len(keys)) for keys in key_lists
+        ]
+        expected = sorted(k for keys in key_lists for k in keys)
+        for name in MERGE_STRATEGIES:
+            fresh = [(list(keys), [None] * len(keys)) for keys in key_lists]
+            keys, items = merge_runs(fresh, name)
+            assert keys == expected
+            assert len(items) == len(keys)
+
+    def test_huffman_merge_is_weight_optimal_for_three_runs(self):
+        """With runs of sizes 1, 1, 100, Huffman merges the two singletons
+        first: total accesses 2 + 102, versus 101 + 102 the bad way."""
+        runs = [_run(range(100)), _run([500]), _run([501])]
+        stats = SorterStats()
+        huffman_merge(runs, stats)
+        assert stats.merge_events == 2 + 102

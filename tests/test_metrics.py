@@ -1,0 +1,165 @@
+"""Tests for the four disorder measures (repro.metrics.disorder)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    count_interleaved_runs,
+    count_inversions,
+    count_inversions_mergesort,
+    count_natural_runs,
+    max_inversion_distance,
+    measure_disorder,
+)
+
+int_lists = st.lists(st.integers(-500, 500), max_size=300)
+
+
+class TestInversions:
+    def test_sorted_has_none(self):
+        assert count_inversions(list(range(100))) == 0
+
+    def test_reverse_has_max(self):
+        n = 50
+        assert count_inversions(list(range(n, 0, -1))) == n * (n - 1) // 2
+
+    def test_ties_are_not_inversions(self):
+        assert count_inversions([1, 1, 1]) == 0
+        assert count_inversions([2, 1, 1]) == 2
+
+    def test_known_small(self):
+        assert count_inversions([2, 6, 5, 1, 4, 3, 7, 8]) == 9
+
+    def test_empty_and_single(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([7]) == 0
+
+    @given(int_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_fenwick_agrees_with_mergesort(self, data):
+        assert count_inversions(data) == count_inversions_mergesort(data)
+
+    @given(int_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_brute_force_small(self, data):
+        data = data[:40]
+        brute = sum(
+            1
+            for i in range(len(data))
+            for j in range(i + 1, len(data))
+            if data[i] > data[j]
+        )
+        assert count_inversions(data) == brute
+
+
+class TestDistance:
+    def test_sorted(self):
+        assert max_inversion_distance(list(range(50))) == 0
+
+    def test_single_displaced_element(self):
+        data = list(range(100))
+        data.append(0)  # a duplicate 0 at the very end: inverts with 1..99
+        assert max_inversion_distance(data) == 99
+
+    def test_reverse(self):
+        assert max_inversion_distance([3, 2, 1]) == 2
+
+    def test_ties_do_not_count(self):
+        assert max_inversion_distance([5, 5, 5]) == 0
+
+    @given(int_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_brute_force_small(self, data):
+        data = data[:40]
+        brute = max(
+            (
+                j - i
+                for i in range(len(data))
+                for j in range(i + 1, len(data))
+                if data[i] > data[j]
+            ),
+            default=0,
+        )
+        assert max_inversion_distance(data) == brute
+
+
+class TestRuns:
+    def test_empty(self):
+        assert count_natural_runs([]) == 0
+
+    def test_sorted_is_one_run(self):
+        assert count_natural_runs([1, 2, 2, 3]) == 1
+
+    def test_reverse_is_n_runs(self):
+        assert count_natural_runs([3, 2, 1]) == 3
+
+    def test_paper_example(self):
+        assert count_natural_runs([2, 6, 5, 1, 4, 3, 7, 8]) == 4
+
+
+class TestInterleaved:
+    def test_single_stream(self):
+        assert count_interleaved_runs(list(range(100))) == 1
+
+    def test_reverse(self):
+        assert count_interleaved_runs([5, 4, 3, 2, 1]) == 5
+
+    def test_two_interleaved(self):
+        # 1,10,2,20,3,30: two ascending lanes.
+        assert count_interleaved_runs([1, 10, 2, 20, 3, 30]) == 2
+
+    @given(int_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_equals_longest_strictly_decreasing_subsequence(self, data):
+        """Dilworth's theorem, checked against O(n^2) DP."""
+        data = data[:60]
+        n = len(data)
+        lds = [1] * n
+        best = 1 if n else 0
+        for j in range(n):
+            for i in range(j):
+                if data[i] > data[j] and lds[i] + 1 > lds[j]:
+                    lds[j] = lds[i] + 1
+            if lds[j] > best:
+                best = lds[j]
+        assert count_interleaved_runs(data) == best
+
+    @given(int_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_at_most_runs(self, data):
+        """Concatenation is a special interleaving."""
+        assert count_interleaved_runs(data) <= max(
+            count_natural_runs(data), 0 if not data else 1
+        )
+
+
+class TestMeasureDisorder:
+    def test_full_bundle(self):
+        stats = measure_disorder([2, 6, 5, 1, 4, 3, 7, 8])
+        assert stats.n == 8
+        assert stats.inversions == 9
+        assert stats.distance == 4
+        assert stats.runs == 4
+        assert stats.interleaved == 4
+        assert stats.as_dict()["runs"] == 4
+
+    def test_mean_run_length(self):
+        stats = measure_disorder([1, 2, 3, 0, 1, 2])
+        assert stats.runs == 2
+        assert stats.mean_run_length == 3.0
+
+    def test_empty_stream(self):
+        stats = measure_disorder([])
+        assert stats.n == 0
+        assert stats.mean_run_length == 0.0
+
+    @given(int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_stream_is_clean(self, data):
+        stats = measure_disorder(sorted(data))
+        assert stats.inversions == 0
+        assert stats.distance == 0
+        assert stats.runs <= 1 or stats.runs == 1
+        assert stats.interleaved <= 1

@@ -1,0 +1,87 @@
+"""Tests for multi-source pipeline execution (Pipeline.run_multi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryBuildError
+from repro.engine import Event, Punctuation
+from repro.engine.graph import Pipeline, QueryNode, source_node
+from repro.engine.operators import Collector, Union
+from repro.engine.operators.join import TemporalJoin
+from repro.engine.operators.sort import Sort
+
+
+def elements(times, punct):
+    out = [Event(t) for t in times]
+    out.append(Punctuation(punct))
+    return out
+
+
+class TestRunMulti:
+    def _union_pipeline(self):
+        left = source_node("left")
+        right = source_node("right")
+        union = QueryNode(Union, ((left, None), (right, None)))
+        sink = QueryNode(Collector, ((union, None),))
+        pipeline = Pipeline([sink])
+        return pipeline, left, right, sink
+
+    def test_two_source_union(self):
+        pipeline, left, right, sink = self._union_pipeline()
+        pipeline.run_multi({
+            left: elements([1, 4, 7], punct=100),
+            right: elements([2, 3, 9], punct=100),
+        })
+        collector = pipeline.operator_for(sink)
+        assert collector.sync_times == [1, 2, 3, 4, 7, 9]
+        assert collector.completed
+
+    def test_uneven_source_lengths(self):
+        pipeline, left, right, sink = self._union_pipeline()
+        pipeline.run_multi({
+            left: elements(list(range(0, 20, 2)), punct=100),
+            right: elements([1], punct=100),
+        })
+        collector = pipeline.operator_for(sink)
+        assert collector.sync_times == sorted([1] + list(range(0, 20, 2)))
+
+    def test_missing_source_rejected(self):
+        pipeline, left, right, sink = self._union_pipeline()
+        with pytest.raises(QueryBuildError, match="got elements for 1"):
+            pipeline.run_multi({left: []})
+
+    def test_non_source_node_rejected(self):
+        pipeline, left, right, sink = self._union_pipeline()
+        with pytest.raises(QueryBuildError, match="not a source"):
+            pipeline.run_multi({left: [], right: [], sink: []})
+
+    def test_two_source_join(self):
+        left = source_node("clicks")
+        right = source_node("views")
+        join = QueryNode(TemporalJoin, ((left, None), (right, None)))
+        sink = QueryNode(Collector, ((join, None),))
+        pipeline = Pipeline([sink])
+        pipeline.run_multi({
+            left: [Event(0, 10, key=1, payload="click"), Punctuation(50)],
+            right: [Event(5, 15, key=1, payload="view"), Punctuation(50)],
+        })
+        collector = pipeline.operator_for(sink)
+        assert [e.payload for e in collector.events] == [("click", "view")]
+
+    def test_disordered_sources_sorted_independently(self):
+        """Two disordered feeds, each through its own sorting operator,
+        then unioned — a two-ingress deployment in miniature."""
+        left = source_node("dc1")
+        right = source_node("dc2")
+        sort_l = QueryNode(Sort, ((left, None),))
+        sort_r = QueryNode(Sort, ((right, None),))
+        union = QueryNode(Union, ((sort_l, None), (sort_r, None)))
+        sink = QueryNode(Collector, ((union, None),))
+        pipeline = Pipeline([sink])
+        pipeline.run_multi({
+            left: elements([5, 1, 3], punct=10),
+            right: elements([4, 0, 2], punct=10),
+        })
+        collector = pipeline.operator_for(sink)
+        assert collector.sync_times == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,117 @@
+"""Tests for shared-fan-out multi-query execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryBuildError
+from repro.engine import DisorderedStreamable
+from repro.framework import make_query
+from repro.framework.multiquery import build_multi_query
+
+LATENCIES = [500, 5_000]
+FREQ = 500
+
+
+def build(dataset, queries):
+    disordered = DisorderedStreamable.from_dataset(
+        dataset, punctuation_frequency=FREQ
+    ).tumbling_window(500)
+    return build_multi_query(disordered, LATENCIES, queries)
+
+
+class TestConstruction:
+    def test_requires_queries_and_latencies(self):
+        disordered = DisorderedStreamable.from_elements([])
+        with pytest.raises(QueryBuildError, match="query"):
+            build_multi_query(disordered, LATENCIES, {})
+        q1 = make_query("Q1")
+        with pytest.raises(QueryBuildError, match="latency"):
+            build_multi_query(disordered, [], {"q1": (q1.piq, q1.merge)})
+
+    def test_query_names(self, cloudlog_small):
+        q1, q2 = make_query("Q1", 500), make_query("Q2", 500)
+        run = build(cloudlog_small, {
+            "counts": (q1.piq, q1.merge),
+            "groups": (q2.piq, q2.merge),
+        })
+        assert run.query_names == ["counts", "groups"]
+
+
+class TestExecution:
+    def test_each_query_matches_its_standalone_run(self, cloudlog_small):
+        q1, q2 = make_query("Q1", 500), make_query("Q2", 500)
+        results = build(cloudlog_small, {
+            "q1": (q1.piq, q1.merge),
+            "q2": (q2.piq, q2.merge),
+        }).run()
+
+        for query, name in ((q1, "q1"), (q2, "q2")):
+            standalone = (
+                DisorderedStreamable.from_dataset(
+                    cloudlog_small, punctuation_frequency=FREQ
+                )
+                .tumbling_window(500)
+                .to_streamables(LATENCIES, piq=query.piq, merge=query.merge)
+                .run()
+            )
+            got = results[name]
+            for i in range(len(LATENCIES)):
+                assert (
+                    [(e.sync_time, e.key, e.payload)
+                     for e in got.output_events(i)]
+                    == [(e.sync_time, e.key, e.payload)
+                        for e in standalone.output_events(i)]
+                ), (name, i)
+
+    def test_shared_partition_single_ledger(self, cloudlog_small):
+        q1 = make_query("Q1", 500)
+        results = build(cloudlog_small, {
+            "a": (q1.piq, q1.merge),
+            "b": (q1.piq, q1.merge),
+        }).run()
+        # Both results view the same partition instance: one ingest pass.
+        assert results["a"].partition is results["b"].partition
+        assert results["a"].partition.total_seen == len(cloudlog_small)
+
+    def test_passthrough_queries(self, synthetic_small):
+        results = build(synthetic_small, {"raw": (None, None)}).run()
+        raw = results["raw"]
+        assert raw.completeness(1) == 1.0
+        final = raw.output_events(1)
+        assert [e.sync_time for e in final] == sorted(
+            e.sync_time for e in final
+        )
+
+    def test_latency_measured_per_query(self, cloudlog_small):
+        q1 = make_query("Q1", 500)
+        results = build(cloudlog_small, {"q1": (q1.piq, q1.merge)}).run()
+        stats = results["q1"].measured_latency(1)
+        assert stats["samples"] > 0
+
+
+class TestStreamablesSubscribe:
+    def test_streaming_subscription(self, synthetic_small):
+        early, late = [], []
+        streamables = (
+            DisorderedStreamable.from_dataset(
+                synthetic_small, punctuation_frequency=500
+            )
+            .to_streamables([100, 2_000])
+        )
+        pipeline = streamables.subscribe([early.append, late.append])
+        pipeline.run(streamables._source.elements())
+        assert len(late) >= len(early) > 0
+        assert [e.sync_time for e in late] == sorted(
+            e.sync_time for e in late
+        )
+
+    def test_wrong_callback_count(self, synthetic_small):
+        streamables = (
+            DisorderedStreamable.from_dataset(
+                synthetic_small, punctuation_frequency=500
+            )
+            .to_streamables([100, 2_000])
+        )
+        with pytest.raises(ValueError, match="expected 2 callbacks"):
+            streamables.subscribe([lambda e: None])

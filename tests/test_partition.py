@@ -1,0 +1,155 @@
+"""Tests for the lateness partitioner (repro.framework.partition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector
+from repro.framework.partition import LatenessPartition
+
+
+def make(latencies=(10, 100)):
+    partition = LatenessPartition(latencies)
+    sinks = []
+    for port in partition.out_ports:
+        sink = Collector()
+        port.add_downstream(sink)
+        sinks.append(sink)
+    return partition, sinks
+
+
+class TestValidation:
+    def test_empty_latencies(self):
+        with pytest.raises(ValueError):
+            LatenessPartition([])
+
+    def test_non_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            LatenessPartition([10, 10])
+
+    def test_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LatenessPartition([-1, 10])
+
+
+class TestRouting:
+    def test_on_time_events_go_to_first_path(self):
+        partition, sinks = make()
+        for t in range(5):
+            partition.on_event(Event(t))
+        assert len(sinks[0].events) == 5
+        assert partition.routed == [5, 0]
+
+    def test_slightly_late_event_stays_on_first_path(self):
+        """Before any punctuation, path 0 accepts everything."""
+        partition, sinks = make()
+        partition.on_event(Event(100))
+        partition.on_event(Event(50))
+        assert partition.routed == [2, 0]
+
+    def test_late_event_moves_to_second_path_after_punctuation(self):
+        partition, sinks = make(latencies=(10, 100))
+        partition.on_event(Event(200))
+        partition.on_punctuation(Punctuation(200))
+        # Path 0's punctuation is now 190, path 1's is 100.
+        partition.on_event(Event(150))  # 50 late: path 1
+        assert partition.routed == [1, 1]
+        assert sinks[1].events[0].sync_time == 150
+
+    def test_hopelessly_late_event_dropped(self):
+        partition, _ = make(latencies=(10, 100))
+        partition.on_event(Event(500))
+        partition.on_punctuation(Punctuation(500))
+        partition.on_event(Event(10))  # 490 late: beyond every path
+        assert partition.dropped == 1
+        assert partition.total_seen == 2
+
+    def test_routed_events_never_late_within_their_path(self):
+        """The punctuation-exactness guarantee: every event forwarded to a
+        path arrives strictly after that path's last punctuation."""
+        import random
+
+        rnd = random.Random(11)
+        partition, sinks = make(latencies=(20, 200))
+        last_punct = [float("-inf"), float("-inf")]
+        violations = []
+
+        class Spy:
+            def __init__(self, index):
+                self.index = index
+
+            def on_event(self, event):
+                if event.sync_time <= last_punct[self.index]:
+                    violations.append((self.index, event.sync_time))
+
+            def on_punctuation(self, punctuation):
+                last_punct[self.index] = punctuation.timestamp
+
+            def on_flush(self):
+                pass
+
+        for i, port in enumerate(partition.out_ports):
+            port.add_downstream(Spy(i))
+
+        t = 0
+        for step in range(2000):
+            t += rnd.randrange(3)
+            delay = rnd.choice([0, 0, 0, 5, 50, 500])
+            partition.on_event(Event(max(t - delay, 0)))
+            if step % 50 == 49:
+                partition.on_punctuation(Punctuation(t))
+        assert violations == []
+
+    def test_completeness_ledger(self):
+        partition, _ = make(latencies=(10, 100))
+        partition.on_event(Event(1000))
+        partition.on_punctuation(Punctuation(1000))
+        partition.on_event(Event(995))  # path 0
+        partition.on_event(Event(950))  # path 1
+        partition.on_event(Event(10))   # dropped
+        assert partition.routed == [2, 1]
+        assert partition.dropped == 1
+        assert partition.completeness(0) == pytest.approx(2 / 4)
+        assert partition.completeness(1) == pytest.approx(3 / 4)
+
+
+class TestPunctuations:
+    def test_per_path_punctuations_trail_by_latency(self):
+        partition, sinks = make(latencies=(10, 100))
+        partition.on_event(Event(500))
+        partition.on_punctuation(Punctuation(500))
+        assert sinks[0].punctuations == [490]
+        assert sinks[1].punctuations == [400]
+
+    def test_punctuation_timestamp_counts_toward_watermark(self):
+        partition, sinks = make(latencies=(10, 100))
+        partition.on_punctuation(Punctuation(1000))
+        assert sinks[0].punctuations == [990]
+
+    def test_no_punctuation_before_any_data(self):
+        partition, sinks = make()
+        # No watermark at all: nothing to emit.
+        assert sinks[0].punctuations == []
+
+    def test_path_punctuations_monotone(self):
+        partition, sinks = make(latencies=(10, 100))
+        partition.on_event(Event(500))
+        partition.on_punctuation(Punctuation(500))
+        partition.on_event(Event(400))  # watermark unchanged
+        partition.on_punctuation(Punctuation(450))  # stale
+        assert sinks[0].punctuations == [490]
+
+    def test_flush_releases_all_paths_to_watermark(self):
+        partition, sinks = make(latencies=(10, 100))
+        partition.on_event(Event(500))
+        partition.on_flush()
+        assert sinks[0].punctuations == [500]
+        assert sinks[1].punctuations == [500]
+        assert all(sink.completed for sink in sinks)
+
+    def test_flush_without_data(self):
+        partition, sinks = make()
+        partition.on_flush()
+        assert all(sink.completed for sink in sinks)
+        assert sinks[0].punctuations == []

@@ -1,0 +1,135 @@
+"""Tests for offline Patience sort, including Propositions 3.1–3.3."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patience import PatienceSorter, patience_sort
+from repro.metrics.disorder import (
+    count_interleaved_runs,
+    count_natural_runs,
+)
+
+
+class TestCorrectness:
+    def test_paper_example(self):
+        assert patience_sort([2, 6, 5, 1, 4, 3, 7, 8]) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_empty(self):
+        assert patience_sort([]) == []
+
+    def test_single(self):
+        assert patience_sort([42]) == [42]
+
+    def test_sorted_input(self):
+        data = list(range(200))
+        assert patience_sort(data) == data
+
+    def test_reverse_input(self):
+        assert patience_sort(list(range(200, 0, -1))) == list(range(1, 201))
+
+    def test_all_equal(self):
+        assert patience_sort([7] * 50) == [7] * 50
+
+    def test_with_key_function(self):
+        data = [(3, "c"), (1, "a"), (2, "b")]
+        assert patience_sort(data, key=lambda p: p[0]) == [
+            (1, "a"), (2, "b"), (3, "c"),
+        ]
+
+    @pytest.mark.parametrize("merge", ["huffman", "pairwise", "kway"])
+    def test_all_merge_schedules_sort(self, merge, rng):
+        data = [rng.randrange(500) for _ in range(2000)]
+        assert patience_sort(data, merge=merge) == sorted(data)
+
+    @given(st.lists(st.integers(-10_000, 10_000)))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_builtin_sorted(self, data):
+        assert patience_sort(data) == sorted(data)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=60, deadline=None)
+    def test_floats(self, data):
+        assert patience_sort(data) == sorted(data)
+
+
+class TestPropositions:
+    """The run-count bounds of Section III-C."""
+
+    @staticmethod
+    def _run_count(data, speculative=False):
+        sorter = PatienceSorter(speculative=speculative)
+        sorter.extend(data)
+        return sorter.run_count
+
+    def test_proposition_31_interleaving_bound(self, rng):
+        """k <= d when the input interleaves d sorted runs."""
+        d = 7
+        sources = [sorted(rng.randrange(10_000) for _ in range(100))
+                   for _ in range(d)]
+        merged = []
+        cursors = [0] * d
+        while any(c < len(s) for c, s in zip(cursors, sources)):
+            i = rng.randrange(d)
+            if cursors[i] < len(sources[i]):
+                merged.append(sources[i][cursors[i]])
+                cursors[i] += 1
+        assert self._run_count(merged) <= d
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_proposition_32_distinct_values_bound(self, data):
+        """k <= number of distinct timestamps."""
+        assert self._run_count(data) <= len(set(data))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_proposition_33_natural_runs_bound(self, data):
+        """k <= number of natural runs."""
+        assert self._run_count(data) <= count_natural_runs(data)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_partition_is_interleaving_optimal(self, data):
+        """Our greedy equals the Interleaved disorder measure exactly
+        (Dilworth), so Proposition 3.1 is tight."""
+        assert self._run_count(data) == count_interleaved_runs(data)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_srs_never_changes_run_count(self, data):
+        assert self._run_count(data, speculative=False) == self._run_count(
+            data, speculative=True
+        )
+
+
+class TestStats:
+    def test_inserted_and_emitted_counts(self):
+        sorter = PatienceSorter()
+        sorter.extend([3, 1, 2])
+        result = sorter.result()
+        assert result == [1, 2, 3]
+        assert sorter.stats.inserted == 3
+        assert sorter.stats.emitted == 3
+
+    def test_result_drains_sorter(self):
+        sorter = PatienceSorter()
+        sorter.extend([2, 1])
+        assert sorter.result() == [1, 2]
+        assert sorter.run_count == 0
+        assert sorter.result() == []
+
+    def test_sample_every_records_history(self):
+        sorter = PatienceSorter(sample_every=10)
+        sorter.extend(random.Random(0).randrange(100) for _ in range(100))
+        history = sorter.stats.run_count_history
+        assert len(history) == 10
+        inserted_marks = [n for n, _ in history]
+        assert inserted_marks == list(range(10, 101, 10))
+        # Patience run counts never decrease during the partition phase.
+        run_counts = [r for _, r in history]
+        assert run_counts == sorted(run_counts)

@@ -1,0 +1,91 @@
+"""Tests for the pattern-matching operator (repro.engine.operators.pattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector, PatternMatch
+
+
+def make(first_ad=1, second_ad=2, within=60):
+    op = PatternMatch(
+        first=lambda e: e.payload == first_ad,
+        second=lambda e: e.payload == second_ad,
+        within=within,
+    )
+    sink = Collector()
+    op.add_downstream(sink)
+    return op, sink
+
+
+class TestPatternMatch:
+    def test_basic_sequence_detected(self):
+        op, sink = make()
+        op.on_event(Event(10, key=7, payload=1))  # X
+        op.on_event(Event(30, key=7, payload=2))  # Y, 20 apart
+        assert [(e.key, e.payload) for e in sink.events] == [(7, (10, 30))]
+        assert op.matches == 1
+
+    def test_outside_window_not_matched(self):
+        op, sink = make(within=10)
+        op.on_event(Event(10, key=7, payload=1))
+        op.on_event(Event(30, key=7, payload=2))
+        assert sink.events == []
+
+    def test_window_boundary_exclusive(self):
+        op, sink = make(within=20)
+        op.on_event(Event(10, key=7, payload=1))
+        op.on_event(Event(30, key=7, payload=2))  # gap exactly 20: expired
+        assert sink.events == []
+
+    def test_keys_do_not_cross_match(self):
+        op, sink = make()
+        op.on_event(Event(10, key=1, payload=1))
+        op.on_event(Event(20, key=2, payload=2))
+        assert sink.events == []
+
+    def test_multiple_firsts_all_match(self):
+        op, sink = make()
+        op.on_event(Event(10, key=7, payload=1))
+        op.on_event(Event(20, key=7, payload=1))
+        op.on_event(Event(30, key=7, payload=2))
+        assert [e.payload for e in sink.events] == [(10, 30), (20, 30)]
+
+    def test_simultaneous_events_do_not_match(self):
+        """'Followed by' is strict: the second must be strictly later."""
+        op, sink = make()
+        op.on_event(Event(10, key=7, payload=1))
+        op.on_event(Event(10, key=7, payload=2))
+        assert sink.events == []
+
+    def test_event_can_be_both_first_and_second(self):
+        op = PatternMatch(
+            first=lambda e: True, second=lambda e: True, within=100
+        )
+        sink = Collector()
+        op.add_downstream(sink)
+        op.on_event(Event(1, key=0, payload=0))
+        op.on_event(Event(2, key=0, payload=0))
+        op.on_event(Event(3, key=0, payload=0))
+        assert [e.payload for e in sink.events] == [(1, 2), (1, 3), (2, 3)]
+
+    def test_punctuation_evicts_stale_state(self):
+        op, sink = make(within=10)
+        op.on_event(Event(10, key=7, payload=1))
+        assert op.buffered_count() == 1
+        op.on_punctuation(Punctuation(25))
+        assert op.buffered_count() == 0
+        assert sink.punctuations == [25]
+
+    def test_punctuation_keeps_live_state(self):
+        op, sink = make(within=100)
+        op.on_event(Event(10, key=7, payload=1))
+        op.on_punctuation(Punctuation(25))
+        assert op.buffered_count() == 1
+        op.on_event(Event(30, key=7, payload=2))
+        assert len(sink.events) == 1
+
+    def test_invalid_within(self):
+        with pytest.raises(ValueError):
+            PatternMatch(lambda e: True, lambda e: True, within=0)

@@ -1,0 +1,178 @@
+"""Tests for the query planner and sorter checkpointing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ImpatienceSorter
+from repro.core.errors import QueryBuildError
+from repro.engine import DisorderedStreamable, Event
+from repro.engine.checkpoint import checkpoint_sorter, restore_sorter
+from repro.engine.planner import QueryPlan
+
+
+def disordered(times):
+    return DisorderedStreamable.from_elements([Event(t) for t in times])
+
+
+class TestQueryPlan:
+    def test_hoists_insensitive_block(self):
+        plan = (
+            QueryPlan()
+            .sort()
+            .where(lambda e: True)
+            .tumbling_window(100)
+            .count()
+        )
+        assert plan.describe() == ["sort", "where", "tumbling_window", "count"]
+        assert plan.optimized().describe() == [
+            "where", "tumbling_window", "sort", "count",
+        ]
+
+    def test_sensitive_op_blocks_later_hoisting(self):
+        plan = (
+            QueryPlan()
+            .sort()
+            .tumbling_window(10)
+            .count()
+            .select(lambda p: p)  # operates on aggregates; must not move
+        )
+        assert plan.optimized().describe() == [
+            "tumbling_window", "sort", "count", "select",
+        ]
+
+    def test_pre_sort_steps_stay_in_front(self):
+        plan = (
+            QueryPlan()
+            .where(lambda e: True)
+            .sort()
+            .select_columns([0])
+            .count()
+        )
+        assert plan.optimized().describe() == [
+            "where", "select_columns", "sort", "count",
+        ]
+
+    def test_duplicate_sort_rejected(self):
+        with pytest.raises(QueryBuildError, match="already contains"):
+            QueryPlan().sort().sort()
+
+    def test_missing_sort_rejected(self):
+        with pytest.raises(QueryBuildError, match="no sort"):
+            QueryPlan().where(lambda e: True).optimized()
+
+    def test_sensitive_before_sort_rejected(self):
+        plan = QueryPlan().count().sort()
+        with pytest.raises(QueryBuildError, match="order-sensitive"):
+            plan.validate()
+
+    def test_unknown_method(self):
+        with pytest.raises(AttributeError):
+            QueryPlan().frobnicate
+
+    def test_explain_marks_sort(self):
+        text = QueryPlan().where(lambda e: True).sort().count().explain()
+        assert ">> sort" in text
+        assert "   where" in text or "  where" in text
+
+    def test_bind_executes(self):
+        plan = QueryPlan().sort().tumbling_window(10).count()
+        times = [13, 2, 27, 9, 5, 22]
+        result = plan.bind(disordered(times)).collect()
+        assert sum(result.payloads) == len(times)
+
+    @given(st.lists(st.integers(0, 300), min_size=1, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_optimized_plan_same_results(self, times):
+        """The rewrite is semantics-preserving for any input stream."""
+        plan = (
+            QueryPlan()
+            .sort()
+            .where(lambda e: e.sync_time % 2 == 0)
+            .tumbling_window(20)
+            .count()
+        )
+        naive = plan.bind(disordered(times)).collect()
+        fast = plan.optimized().bind(disordered(times)).collect()
+        assert [(e.sync_time, e.payload) for e in naive.events] == [
+            (e.sync_time, e.payload) for e in fast.events
+        ]
+
+    def test_plans_are_immutable_values(self):
+        base = QueryPlan().sort()
+        extended = base.count()
+        assert base.describe() == ["sort"]
+        assert extended.describe() == ["sort", "count"]
+
+
+class TestCheckpoint:
+    def _loaded(self, values, punct=None):
+        sorter = ImpatienceSorter()
+        sorter.extend(values)
+        if punct is not None:
+            sorter.on_punctuation(punct)
+        return sorter
+
+    def test_roundtrip_preserves_behaviour(self):
+        original = self._loaded([5, 1, 9, 3], punct=2)
+        restored = restore_sorter(checkpoint_sorter(original))
+        assert restored.buffered == original.buffered
+        assert restored.run_count == original.run_count
+        assert restored.watermark == original.watermark
+        assert restored.flush() == original.flush()
+
+    def test_checkpoint_is_json_serializable(self):
+        state = checkpoint_sorter(self._loaded([3, 1, 2]))
+        assert restore_sorter(json.loads(json.dumps(state))).flush() == \
+            [1, 2, 3]
+
+    def test_restored_rejects_late_like_original(self):
+        original = self._loaded([5, 10], punct=7)
+        restored = restore_sorter(checkpoint_sorter(original))
+        assert restored.insert(6) is False
+        assert restored.late.dropped == 1
+
+    def test_keyed_sorter_not_checkpointable(self):
+        sorter = ImpatienceSorter(key=lambda e: e[0])
+        with pytest.raises(ValueError, match="keyless"):
+            checkpoint_sorter(sorter)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            restore_sorter({"format": 99})
+
+    def test_corrupt_run_rejected(self):
+        state = checkpoint_sorter(self._loaded([1, 2]))
+        state["runs"][0] = [3, 1]
+        with pytest.raises(ValueError, match="not ascending"):
+            restore_sorter(state)
+
+    def test_invariant_violation_rejected(self):
+        state = checkpoint_sorter(self._loaded([5, 1]))
+        state["runs"] = [[1, 2], [3, 4]]  # tails ascending: invalid
+        with pytest.raises(ValueError, match="tails invariant"):
+            restore_sorter(state)
+
+    @given(
+        st.lists(st.integers(0, 500), max_size=200),
+        st.lists(st.integers(0, 500), max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resume_equivalence(self, before, after):
+        """Checkpoint mid-stream, restore, feed the rest: emissions match
+        an uninterrupted sorter exactly."""
+        uninterrupted = ImpatienceSorter()
+        uninterrupted.extend(before)
+        resumed = restore_sorter(
+            checkpoint_sorter(self._loaded(before))
+        )
+        for sorter in (uninterrupted, resumed):
+            sorter.extend(after)
+        high = max(before + after, default=0)
+        assert uninterrupted.on_punctuation(high // 2) == \
+            resumed.on_punctuation(high // 2)
+        assert uninterrupted.flush() == resumed.flush()

@@ -1,0 +1,198 @@
+"""End-to-end property tests and failure injection across the stack."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PunctuationOrderError, QueryBuildError
+from repro.engine import DisorderedStreamable, Event, Punctuation, Streamable
+from repro.engine.operators import Collector
+from repro.framework import make_query
+from repro.sorting import ONLINE_SORTERS, make_online_sorter
+
+# Arrival-order timestamp streams: nearly sorted with occasional jumps.
+timestamp_streams = st.lists(st.integers(0, 400), min_size=1, max_size=250)
+
+
+def brute_force_window_counts(times, window):
+    counts = Counter(t - t % window for t in times)
+    return dict(sorted(counts.items()))
+
+
+class TestEngineEndToEndProperties:
+    @given(timestamp_streams, st.sampled_from([1, 7, 50]))
+    @settings(max_examples=80, deadline=None)
+    def test_windowed_count_matches_brute_force(self, times, window):
+        """Disordered ingress -> window pushdown -> sort -> count equals
+        the offline ground truth, for any stream and window size."""
+        result = (
+            DisorderedStreamable.from_elements(
+                [Event(t) for t in times]
+            )
+            .tumbling_window(window)
+            .to_streamable()
+            .count()
+            .collect()
+        )
+        got = {e.sync_time: e.payload for e in result.events}
+        assert got == brute_force_window_counts(times, window)
+
+    @given(timestamp_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_sort_conserves_and_orders(self, times):
+        result = (
+            DisorderedStreamable.from_elements([Event(t) for t in times])
+            .to_streamable()
+            .collect()
+        )
+        assert result.sync_times == sorted(times)
+
+    @given(timestamp_streams, st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_every_online_sorter_agrees_in_the_sort_operator(
+        self, times, frequency
+    ):
+        """Whatever sorter backs the Sort operator, the query result is
+        identical (drops included) given identical punctuations."""
+        outputs = []
+        for name in ONLINE_SORTERS:
+            result = (
+                DisorderedStreamable.from_events(
+                    [Event(t) for t in times],
+                    punctuation_frequency=frequency,
+                    reorder_latency=100,
+                )
+                .to_streamable(
+                    sorter=lambda n=name: make_online_sorter(
+                        n, key=lambda e: e.sync_time
+                    )
+                )
+                .collect()
+            )
+            outputs.append(result.sync_times)
+        assert all(out == outputs[0] for out in outputs)
+
+    @given(timestamp_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_union_is_associative(self, times):
+        elements = [Event(t) for t in sorted(times)]
+        elements.append(Punctuation(max(times)))
+
+        def three_way(assoc_left):
+            base = Streamable.from_elements(list(elements))
+            parts = [
+                base.where(lambda e, r=r: e.sync_time % 3 == r)
+                for r in range(3)
+            ]
+            if assoc_left:
+                merged = parts[0].union(parts[1]).union(parts[2])
+            else:
+                merged = parts[0].union(parts[1].union(parts[2]))
+            return merged.collect().sync_times
+
+        assert three_way(True) == three_way(False)
+
+    @given(timestamp_streams, st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_framework_final_output_matches_single_sort(self, times, fanout):
+        """Random latency ladders: the advanced framework's last output
+        equals the ground truth of a single max-latency sort."""
+        span = max(times) + 1
+        latencies = sorted({span // (fanout - i) + 1 for i in range(fanout)})
+        if len(latencies) < 2:
+            latencies = [1, span + 1]
+        query = make_query("Q1", window_size=10)
+
+        def events():
+            return [Event(t) for t in times]
+
+        advanced = (
+            DisorderedStreamable.from_events(
+                events(), punctuation_frequency=10
+            )
+            .tumbling_window(10)
+            .to_streamables(latencies, piq=query.piq, merge=query.merge)
+            .run()
+        )
+        truth = (
+            DisorderedStreamable.from_events(
+                events(), punctuation_frequency=10,
+                reorder_latency=latencies[-1],
+            )
+            .tumbling_window(10)
+            .to_streamable()
+            .count()
+            .collect()
+        )
+        got = {e.sync_time: e.payload for e in advanced.collectors[-1].events}
+        want = {e.sync_time: e.payload for e in truth.events}
+        assert got == want
+
+
+class TestFailureInjection:
+    def test_regressing_punctuation_propagates(self):
+        stream = DisorderedStreamable.from_elements(
+            [Event(5), Punctuation(10), Punctuation(3)]
+        ).to_streamable()
+        with pytest.raises(PunctuationOrderError):
+            stream.collect()
+
+    def test_multi_source_graph_cannot_run(self):
+        a = Streamable.from_elements([Event(1)])
+        b = Streamable.from_elements([Event(2)])
+        # Force-join the two sources by lying about the shared handle.
+        b._source = a._source
+        merged = a.union(b)
+        with pytest.raises(QueryBuildError, match="exactly one source"):
+            merged.collect()
+
+    def test_sorter_insert_after_flush_starts_fresh(self):
+        from repro.core import ImpatienceSorter
+
+        sorter = ImpatienceSorter()
+        sorter.extend([3, 1])
+        assert sorter.flush() == [1, 3]
+        sorter.insert(2)
+        # The watermark survives the flush; the buffer restarts empty.
+        assert sorter.flush() == [2]
+
+    def test_corrupt_csv_row_raises(self, tmp_path):
+        from repro.workloads.io import load_dataset_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("event_time,key\n1,0\nnot-a-number,0\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_collector_survives_empty_stream(self):
+        result = Streamable.from_elements([]).count().collect()
+        assert result.events == []
+        assert result.completed
+
+    def test_operator_exception_surfaces_with_context(self):
+        stream = Streamable.from_elements([Event(1)]).select(
+            lambda p: 1 / 0
+        )
+        with pytest.raises(ZeroDivisionError):
+            stream.collect()
+
+    def test_pipeline_reuse_after_error_not_required(self):
+        """After a failed run, building a fresh pipeline works — state is
+        per-materialization, never shared across subscribes."""
+        elements = [Event(1), Punctuation(1)]
+        stream = Streamable.from_elements(elements).count()
+        first = stream.collect()
+        second = stream.collect()
+        assert first.payloads == second.payloads
+
+    def test_event_batch_rejects_ragged_payloads(self):
+        import numpy as np
+
+        from repro.engine.batch import EventBatch
+
+        with pytest.raises(ValueError):
+            EventBatch([1, 2], [2, 3], [0, 0], [np.array([1])])

@@ -1,0 +1,53 @@
+"""Smoke test: the consolidated report runner executes end to end."""
+
+from __future__ import annotations
+
+from benchmarks import report
+
+
+def test_report_main_runs_selected_sections(capsys):
+    report.main([
+        "--n", "3000",
+        "--skip",
+        "Figure 5", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+        "Ablation", "Operator",
+    ])
+    out = capsys.readouterr().out
+    assert "Table I — disorder statistics" in out
+    assert "Table II — latency & completeness" in out
+    assert "section took" in out
+
+
+def test_report_sections_registry_is_complete():
+    """Every bench module with a report() appears in the runner."""
+    import importlib
+    import pathlib
+
+    bench_dir = pathlib.Path(report.__file__).parent
+    modules_with_report = set()
+    for path in bench_dir.glob("bench_*.py"):
+        module = importlib.import_module(f"benchmarks.{path.stem}")
+        if hasattr(module, "report"):
+            modules_with_report.add(module.report)
+    registered = {fn for _, fn in report.SECTIONS}
+    missing = modules_with_report - registered
+    assert not missing, f"bench reports not in report.SECTIONS: {missing}"
+
+
+def test_report_json_archive(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    report.main([
+        "--n", "2000",
+        "--json", str(out),
+        "--skip",
+        "Figure 5", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+        "Ablation", "Operator", "Table II",
+    ])
+    capsys.readouterr()
+    import json
+
+    archive = json.loads(out.read_text())
+    assert "Table I — disorder statistics" in archive["sections"]
+    section = archive["sections"]["Table I — disorder statistics"]
+    assert "inversions" in section["output"]
+    assert section["seconds"] >= 0

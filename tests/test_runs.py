@@ -1,0 +1,228 @@
+"""Tests for the sorted-run data structures (repro.core.runs)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runs import RunPool, SortedRun
+from repro.core.stats import SorterStats
+
+
+class TestSortedRun:
+    def test_empty_run_is_falsy(self):
+        run = SortedRun()
+        assert not run
+        assert len(run) == 0
+
+    def test_append_and_len(self):
+        run = SortedRun()
+        run.append(1, "a")
+        run.append(3, "b")
+        assert len(run) == 2
+        assert run.head_key == 1
+        assert run.tail_key == 3
+
+    def test_cut_head_prefix(self):
+        run = SortedRun()
+        for k in [1, 2, 5, 7]:
+            run.append(k, k * 10)
+        keys, items = run.cut_head(5)
+        assert keys == [1, 2, 5]
+        assert items == [10, 20, 50]
+        assert len(run) == 1
+        assert run.head_key == 7
+
+    def test_cut_head_nothing_due(self):
+        run = SortedRun()
+        run.append(10, "x")
+        keys, items = run.cut_head(5)
+        assert keys == [] and items == []
+        assert len(run) == 1
+
+    def test_cut_head_everything(self):
+        run = SortedRun()
+        run.append(1, "x")
+        run.append(2, "y")
+        keys, items = run.cut_head(99)
+        assert keys == [1, 2]
+        assert not run
+
+    def test_cut_head_includes_equal_timestamp(self):
+        run = SortedRun()
+        run.append(5, "a")
+        run.append(5, "b")
+        run.append(6, "c")
+        keys, items = run.cut_head(5)
+        assert items == ["a", "b"]
+
+    def test_repeated_cuts_trigger_compaction(self):
+        run = SortedRun()
+        for k in range(1000):
+            run.append(k, k)
+        emitted = []
+        for bound in range(0, 1000, 10):
+            keys, _ = run.cut_head(bound)
+            emitted.extend(keys)
+        # After many cuts the backing list must have been compacted.
+        assert run.start < 200
+        keys, _ = run.cut_head(10_000)
+        emitted.extend(keys)
+        assert emitted == list(range(1000))
+
+    def test_live_view(self):
+        run = SortedRun()
+        for k in [1, 2, 3]:
+            run.append(k, -k)
+        run.cut_head(1)
+        keys, items = run.live()
+        assert keys == [2, 3]
+        assert items == [-2, -3]
+
+    def test_repr_smoke(self):
+        run = SortedRun()
+        assert "empty" in repr(run)
+        run.append(1, None)
+        assert "head=1" in repr(run)
+
+
+class TestRunPool:
+    def test_single_ascending_input_one_run(self):
+        pool = RunPool()
+        for k in range(100):
+            pool.insert(k, k)
+        assert len(pool) == 1
+        pool.check_invariants()
+
+    def test_descending_input_run_per_element(self):
+        pool = RunPool()
+        for k in range(100, 0, -1):
+            pool.insert(k, k)
+        assert len(pool) == 100
+        pool.check_invariants()
+
+    def test_paper_figure3_example(self):
+        """Figure 3: [2,6,5,1,4,3,7,8] partitions into 4 runs."""
+        pool = RunPool(speculative=False)
+        for k in [2, 6, 5, 1, 4, 3, 7, 8]:
+            pool.insert(k, k)
+        assert len(pool) == 4
+        runs = [run.live()[0] for run in pool.runs]
+        assert runs == [[2, 6, 7, 8], [5], [1, 4], [3]]
+        pool.check_invariants()
+
+    def test_equal_keys_share_a_run(self):
+        pool = RunPool()
+        for _ in range(10):
+            pool.insert(5, None)
+        assert len(pool) == 1
+
+    def test_srs_hits_counted_on_long_natural_runs(self):
+        stats = SorterStats()
+        pool = RunPool(speculative=True, stats=stats)
+        # Two interleaved ascending sequences with long consecutive chunks.
+        data = list(range(0, 50)) + list(range(25, 75))
+        for k in data:
+            pool.insert(k, k)
+        assert stats.srs_hits > 50
+        pool.check_invariants()
+
+    def test_srs_disabled_counts_only_binary_searches(self):
+        stats = SorterStats()
+        pool = RunPool(speculative=False, stats=stats)
+        for k in range(20):
+            pool.insert(k, k)
+        assert stats.srs_hits == 0
+        assert stats.binary_searches == 20
+
+    def test_cut_heads_removes_empty_runs(self):
+        pool = RunPool()
+        for k in [2, 6, 5, 1]:
+            pool.insert(k, k)
+        heads = pool.cut_heads(2)
+        merged = sorted(k for keys, _ in heads for k in keys)
+        assert merged == [1, 2]
+        assert len(pool) == 2  # the runs holding only 1 and 2 are gone
+        pool.check_invariants()
+
+    def test_cut_heads_no_removal_keeps_tails(self):
+        pool = RunPool()
+        for k in [1, 5, 2, 6]:
+            pool.insert(k, k)
+        before = list(pool.tails)
+        heads = pool.cut_heads(-10)
+        assert heads == []
+        assert pool.tails == before
+
+    def test_drain_returns_all_and_empties(self):
+        pool = RunPool()
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        for k in data:
+            pool.insert(k, k)
+        runs = pool.drain()
+        assert sorted(k for keys, _ in runs for k in keys) == sorted(data)
+        assert len(pool) == 0
+
+    def test_srs_correct_after_run_removal(self):
+        """After cut_heads removes runs, the stale SRS hint must not
+        misplace elements."""
+        pool = RunPool(speculative=True)
+        for k in [10, 5, 1]:
+            pool.insert(k, k)
+        pool.cut_heads(1)  # removes the run holding 1
+        for k in [6, 11, 2]:
+            pool.insert(k, k)
+        pool.check_invariants()
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold_under_arbitrary_inserts(self, values):
+        pool = RunPool(speculative=True)
+        for v in values:
+            pool.insert(v, v)
+        pool.check_invariants()
+        total = sum(len(run) for run in pool.runs)
+        assert total == len(values)
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=200),
+        st.lists(st.integers(0, 500), min_size=1, max_size=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold_under_cuts(self, values, raw_cuts):
+        pool = RunPool(speculative=True)
+        cuts = sorted(raw_cuts)
+        per_cut = max(len(values) // len(cuts), 1)
+        idx = 0
+        emitted = []
+        for cut in cuts:
+            for v in values[idx:idx + per_cut]:
+                pool.insert(v, v)
+            idx += per_cut
+            for keys, _ in pool.cut_heads(cut):
+                emitted.extend(keys)
+            pool.check_invariants()
+            for keys, _ in [run.live() for run in pool.runs]:
+                assert all(k > cut for k in keys)
+
+    def test_speculative_and_plain_produce_same_run_partition(self):
+        """SRS is a shortcut, not a different policy: identical placement."""
+        import random
+
+        rnd = random.Random(3)
+        values = [rnd.randrange(100) for _ in range(500)]
+        plain = RunPool(speculative=False)
+        spec = RunPool(speculative=True)
+        for v in values:
+            plain.insert(v, v)
+            spec.insert(v, v)
+        assert [r.live() for r in plain.runs] == [r.live() for r in spec.runs]
+
+
+def test_check_invariants_detects_corruption():
+    pool = RunPool()
+    pool.insert(1, 1)
+    pool.tails[0] = 99  # corrupt
+    with pytest.raises(AssertionError):
+        pool.check_invariants()

@@ -1,0 +1,144 @@
+"""Tests for SessionWindow, DistinctWindow and CountDistinct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Streamable
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import (
+    Collector,
+    CountDistinct,
+    DistinctWindow,
+    SessionWindow,
+    Sum,
+)
+
+
+def wire(op):
+    sink = Collector()
+    op.add_downstream(sink)
+    return sink
+
+
+class TestSessionWindow:
+    def test_gap_splits_sessions(self):
+        op = SessionWindow(timeout=10)
+        sink = wire(op)
+        for t in (0, 5, 9, 30, 35):
+            op.on_event(Event(t, key=1))
+        op.on_flush()
+        assert [(e.sync_time, e.other_time, e.payload) for e in sink.events] \
+            == [(0, 19, 3), (30, 45, 2)]
+        assert op.sessions == 2
+
+    def test_exact_timeout_gap_splits(self):
+        op = SessionWindow(timeout=10)
+        sink = wire(op)
+        op.on_event(Event(0, key=1))
+        op.on_event(Event(10, key=1))  # gap == timeout: new session
+        op.on_flush()
+        assert len(sink.events) == 2
+
+    def test_keys_independent(self):
+        op = SessionWindow(timeout=10)
+        sink = wire(op)
+        op.on_event(Event(0, key=1))
+        op.on_event(Event(5, key=2))
+        op.on_flush()
+        assert sorted(e.key for e in sink.events) == [1, 2]
+
+    def test_custom_aggregate(self):
+        op = SessionWindow(timeout=10, aggregate=Sum())
+        sink = wire(op)
+        op.on_event(Event(0, key=1, payload=3))
+        op.on_event(Event(1, key=1, payload=4))
+        op.on_flush()
+        assert sink.events[0].payload == 7
+
+    def test_punctuation_closes_expired_sessions(self):
+        op = SessionWindow(timeout=10)
+        sink = wire(op)
+        op.on_event(Event(0, key=1))
+        op.on_punctuation(Punctuation(5))
+        assert sink.events == []  # still within timeout of last event
+        op.on_punctuation(Punctuation(9))
+        assert len(sink.events) == 1  # 0 + 10 - 1 <= 9: closed
+
+    def test_open_session_clamps_punctuation(self):
+        op = SessionWindow(timeout=100)
+        sink = wire(op)
+        op.on_event(Event(50, key=1))
+        op.on_punctuation(Punctuation(60))
+        assert sink.punctuations == [49]
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            SessionWindow(0)
+
+    def test_stream_api_and_order(self, rng):
+        events = []
+        t = 0
+        for _ in range(300):
+            t += rng.randrange(1, 6)
+            events.append(Event(t, key=rng.randrange(3)))
+        out = Streamable.from_elements(events).session_window(8).collect()
+        assert out.sync_times == sorted(out.sync_times)
+        assert sum(e.payload for e in out.events) == len(events)
+
+
+class TestDistinctWindow:
+    def test_first_per_value_survives(self):
+        op = DistinctWindow(selector=lambda p: p[0])
+        sink = wire(op)
+        for payload in [(1, "a"), (2, "b"), (1, "c")]:
+            op.on_event(Event(0, 10, payload=payload))
+        assert [e.payload for e in sink.events] == [(1, "a"), (2, "b")]
+
+    def test_windows_independent(self):
+        op = DistinctWindow()
+        sink = wire(op)
+        op.on_event(Event(0, 10, payload=7))
+        op.on_event(Event(10, 20, payload=7))
+        assert len(sink.events) == 2
+
+    def test_punctuation_evicts_closed_window_state(self):
+        op = DistinctWindow()
+        wire(op)
+        op.on_event(Event(0, 10, payload=1))
+        assert op.buffered_count() == 1
+        op.on_punctuation(Punctuation(9))
+        assert op.buffered_count() == 0
+
+    def test_stream_api(self):
+        events = [Event(0, 10, payload=v) for v in (1, 1, 2, 3, 2)]
+        out = Streamable.from_elements(events).distinct().collect()
+        assert [e.payload for e in out.events] == [1, 2, 3]
+
+
+class TestCountDistinct:
+    def test_aggregate(self):
+        agg = CountDistinct()
+        state = agg.initial()
+        for v in (1, 2, 2, 3, 1):
+            state = agg.accumulate(state, Event(0, payload=v))
+        assert agg.result(state) == 3
+
+    def test_in_windowed_query(self):
+        events = [
+            Event(t, payload=t % 3) for t in range(30)
+        ]
+        out = (
+            Streamable.from_elements(events)
+            .tumbling_window(10)
+            .aggregate(CountDistinct())
+            .collect()
+        )
+        assert out.payloads == [3, 3, 3]
+
+    def test_selector(self):
+        agg = CountDistinct(selector=lambda p: p % 2)
+        state = agg.initial()
+        for v in range(10):
+            state = agg.accumulate(state, Event(0, payload=v))
+        assert agg.result(state) == 2

@@ -1,0 +1,118 @@
+"""Tests for key-sharded (Map/Reduce) execution (repro.engine.sharded)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import QueryBuildError
+from repro.engine import Event, Punctuation, Streamable
+from repro.engine.operators.aggregates import Count
+from repro.engine.sharded import ShardedQuery, shard_streamable
+
+
+def ordered_events(pairs, punct_every=25):
+    """pairs: (sync, key) tuples in ascending sync order."""
+    elements = []
+    high = None
+    for i, (t, k) in enumerate(pairs):
+        elements.append(Event(t - t % 10, t - t % 10 + 10, key=k))
+        high = t if high is None or t > high else high
+        if i % punct_every == punct_every - 1:
+            elements.append(Punctuation(high - 10))
+    return elements
+
+
+def grouped_count(stream):
+    return stream.group_aggregate(Count())
+
+
+class TestShardedQuery:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_equivalent_to_unsharded(self, shards, rng):
+        pairs = sorted(
+            (rng.randrange(500), rng.randrange(20)) for _ in range(600)
+        )
+        baseline = (
+            Streamable.from_elements(ordered_events(pairs))
+            .apply(grouped_count)
+            .collect()
+        )
+        sharded = shard_streamable(
+            Streamable.from_elements(ordered_events(pairs)),
+            grouped_count,
+            shards,
+        ).collect()
+        assert (
+            sorted((e.sync_time, e.key, e.payload) for e in sharded.events)
+            == sorted((e.sync_time, e.key, e.payload) for e in baseline.events)
+        )
+
+    def test_output_is_ordered(self, rng):
+        pairs = sorted(
+            (rng.randrange(300), rng.randrange(10)) for _ in range(300)
+        )
+        sharded = shard_streamable(
+            Streamable.from_elements(ordered_events(pairs)),
+            grouped_count,
+            4,
+        ).collect()
+        assert sharded.sync_times == sorted(sharded.sync_times)
+        assert sharded.completed
+
+    def test_single_shard_is_identity_plan(self):
+        elements = ordered_events([(1, 0), (2, 1), (3, 0)])
+        out = shard_streamable(
+            Streamable.from_elements(elements), grouped_count, 1
+        ).collect()
+        assert sum(e.payload for e in out.events) == 3
+
+    def test_custom_key_fn_routes_consistently(self):
+        router_events = ordered_events(
+            [(t, 0) for t in range(0, 100, 10)]
+        )
+        out = shard_streamable(
+            Streamable.from_elements(router_events),
+            lambda s: s.group_aggregate(
+                Count(), key_fn=lambda e: e.sync_time % 3
+            ),
+            3,
+            key_fn=lambda e: e.sync_time % 3,
+        ).collect()
+        assert sum(e.payload for e in out.events) == 10
+
+    def test_invalid_shards(self):
+        with pytest.raises(QueryBuildError):
+            shard_streamable(Streamable.from_elements([]), grouped_count, 0)
+
+    def test_wrapper_class(self):
+        elements = ordered_events([(1, 0), (2, 1)])
+        sharded = ShardedQuery(grouped_count, shards=2)
+        out = sharded.over(Streamable.from_elements(elements)).collect()
+        assert sum(e.payload for e in out.events) == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.integers(0, 8)),
+            min_size=1, max_size=200,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sharding_property(self, raw_pairs, shards):
+        pairs = sorted(raw_pairs)
+        baseline = (
+            Streamable.from_elements(ordered_events(pairs))
+            .apply(grouped_count)
+            .collect()
+        )
+        sharded = shard_streamable(
+            Streamable.from_elements(ordered_events(pairs)),
+            grouped_count,
+            shards,
+        ).collect()
+        assert (
+            sorted((e.sync_time, e.key, e.payload) for e in sharded.events)
+            == sorted((e.sync_time, e.key, e.payload) for e in baseline.events)
+        )

@@ -1,0 +1,114 @@
+"""Tests for the speculation baseline (repro.framework.speculation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector, Count, Sum
+from repro.framework.speculation import (
+    SpeculativeWindowAggregate,
+    apply_revisions,
+)
+
+
+def make(window=10, aggregate=None):
+    op = SpeculativeWindowAggregate(aggregate or Count(), window)
+    sink = Collector()
+    op.add_downstream(sink)
+    return op, sink
+
+
+class TestSpeculativeAggregate:
+    def test_provisional_then_revision(self):
+        op, sink = make()
+        op.on_event(Event(1))
+        op.on_event(Event(2))
+        op.on_punctuation(Punctuation(2))
+        assert sink.payloads == [("insert", 2)]
+        op.on_event(Event(3))  # late-ish arrival into the same window
+        op.on_punctuation(Punctuation(3))
+        assert sink.payloads == [
+            ("insert", 2), ("retract", 2), ("insert", 3),
+        ]
+        assert op.insertions == 2
+        assert op.retractions == 1
+
+    def test_no_revision_when_unchanged(self):
+        op, sink = make(aggregate=Sum(lambda p: 0))
+        op.on_event(Event(1, payload=(0,)))
+        op.on_punctuation(Punctuation(1))
+        op.on_event(Event(2, payload=(0,)))
+        op.on_punctuation(Punctuation(2))
+        # Value stayed 0: no retraction, no duplicate insert.
+        assert sink.payloads == [("insert", 0)]
+
+    def test_consumes_disordered_input_directly(self):
+        op, sink = make(window=10)
+        for t in (25, 3, 17, 8, 29):
+            op.on_event(Event(t))
+        op.on_flush()
+        final = apply_revisions(sink.events)
+        assert final == {0: 2, 10: 1, 20: 2}
+
+    def test_state_never_evicted(self):
+        """The §VII critique: any window might still be revised, so state
+        grows with the number of windows touched, forever."""
+        op, _ = make(window=10)
+        for t in range(0, 1000, 10):
+            op.on_event(Event(t))
+            op.on_punctuation(Punctuation(t))
+        assert op.buffered_count() == 100
+
+    def test_revision_traffic_counted(self):
+        op, _ = make(window=10)
+        for i in range(5):
+            op.on_event(Event(1))
+            op.on_punctuation(Punctuation(1))
+        assert op.insertions == 5
+        assert op.retractions == 4
+        assert op.revision_messages == 9
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SpeculativeWindowAggregate(Count(), 0)
+
+
+class TestApplyRevisions:
+    def test_folds_to_final_values(self):
+        events = [
+            Event(0, 10, 0, ("insert", 1)),
+            Event(0, 10, 0, ("retract", 1)),
+            Event(0, 10, 0, ("insert", 2)),
+            Event(10, 20, 0, ("insert", 7)),
+        ]
+        assert apply_revisions(events) == {0: 2, 10: 7}
+
+    def test_mismatched_retraction_raises(self):
+        events = [
+            Event(0, 10, 0, ("insert", 1)),
+            Event(0, 10, 0, ("retract", 99)),
+        ]
+        with pytest.raises(ValueError, match="retraction"):
+            apply_revisions(events)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown revision kind"):
+            apply_revisions([Event(0, 10, 0, ("upsert", 1))])
+
+    def test_speculative_final_state_matches_ground_truth(self, rng):
+        """End-to-end: after all revisions, speculation equals the sorted
+        ground truth — it trades traffic, not correctness."""
+        times = [rng.randrange(1000) for _ in range(2000)]
+        op, sink = make(window=50)
+        for i, t in enumerate(times):
+            op.on_event(Event(t))
+            if i % 100 == 99:
+                op.on_punctuation(Punctuation(max(times[: i + 1])))
+        op.on_flush()
+        final = apply_revisions(sink.events)
+        truth = {}
+        for t in sorted(times):
+            truth[t - t % 50] = truth.get(t - t % 50, 0) + 1
+        assert final == truth
+        assert op.revision_messages > len(truth)  # the traffic cost

@@ -1,0 +1,194 @@
+"""Tests for the Streamable / DisorderedStreamable fluent API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryBuildError
+from repro.engine import DisorderedStreamable, Event, Punctuation, Streamable
+from repro.engine.operators.aggregates import Sum
+
+
+def ordered_elements(times, punctuate_at=()):
+    elements = []
+    marks = set(punctuate_at)
+    for t in times:
+        elements.append(Event(t, payload=(t,)))
+        if t in marks:
+            elements.append(Punctuation(t))
+    return elements
+
+
+class TestStreamable:
+    def test_where_select_chain(self):
+        elements = ordered_elements(range(10))
+        out = (
+            Streamable.from_elements(elements)
+            .where(lambda e: e.sync_time % 2 == 0)
+            .select(lambda p: (p[0] * 10,))
+            .collect()
+        )
+        assert out.payloads == [(0,), (20,), (40,), (60,), (80,)]
+
+    def test_windowed_count(self):
+        elements = ordered_elements(range(100))
+        out = (
+            Streamable.from_elements(elements)
+            .tumbling_window(10)
+            .count()
+            .collect()
+        )
+        assert out.payloads == [10] * 10
+        assert out.sync_times == list(range(0, 100, 10))
+
+    def test_group_aggregate(self):
+        elements = [Event(0, 10, key=i % 3) for i in range(9)]
+        out = (
+            Streamable.from_elements(elements)
+            .group_aggregate(Sum(lambda p: 1))
+            .collect()
+        )
+        assert [(e.key, e.payload) for e in out.events] == [
+            (0, 3), (1, 3), (2, 3),
+        ]
+
+    def test_union_requires_shared_source(self):
+        a = Streamable.from_elements([])
+        b = Streamable.from_elements([])
+        with pytest.raises(QueryBuildError, match="share one source"):
+            a.union(b)
+
+    def test_union_diamond_shares_upstream(self):
+        """A self-union through two filters sees each input event once per
+        branch — the materialized source must not be duplicated."""
+        elements = ordered_elements(range(10), punctuate_at=[9])
+        base = Streamable.from_elements(elements)
+        evens = base.where(lambda e: e.sync_time % 2 == 0)
+        odds = base.where(lambda e: e.sync_time % 2 == 1)
+        out = evens.union(odds).collect()
+        assert sorted(out.sync_times) == list(range(10))
+
+    def test_apply_none_is_identity(self):
+        stream = Streamable.from_elements([])
+        assert stream.apply(None) is stream
+
+    def test_apply_rejects_non_streamable(self):
+        stream = Streamable.from_elements([])
+        with pytest.raises(QueryBuildError, match="must return a Streamable"):
+            stream.apply(lambda s: 42)
+
+    def test_subscribe_callback(self):
+        seen = []
+        puncts = []
+        flushed = []
+        elements = ordered_elements([1, 2], punctuate_at=[2])
+        pipeline = Streamable.from_elements([]).subscribe(
+            seen.append, puncts.append, lambda: flushed.append(True)
+        )
+        pipeline.run(elements)
+        assert [e.sync_time for e in seen] == [1, 2]
+        assert puncts == [2]
+        assert flushed == [True]
+
+    def test_iterator_source_single_shot(self):
+        stream = Streamable.from_elements(iter([Event(1)]))
+        stream.collect()
+        with pytest.raises(QueryBuildError, match="already consumed"):
+            stream.collect()
+
+    def test_list_source_reusable(self):
+        stream = Streamable.from_elements([Event(1)])
+        assert stream.collect().sync_times == [1]
+        assert stream.collect().sync_times == [1]
+
+
+class TestDisorderedStreamable:
+    def test_order_sensitive_ops_forbidden(self):
+        disordered = DisorderedStreamable.from_elements([])
+        for name in ("count", "aggregate", "group_aggregate", "top_k",
+                     "pattern_match", "union"):
+            with pytest.raises(QueryBuildError, match="order-sensitive"):
+                getattr(disordered, name)
+
+    def test_unknown_attribute_raises_attribute_error(self):
+        disordered = DisorderedStreamable.from_elements([])
+        with pytest.raises(AttributeError):
+            disordered.not_a_method
+
+    def test_to_streamable_sorts(self):
+        elements = [Event(t) for t in [5, 1, 4, 2, 3]]
+        out = (
+            DisorderedStreamable.from_elements(elements)
+            .to_streamable()
+            .collect()
+        )
+        assert out.sync_times == [1, 2, 3, 4, 5]
+
+    def test_pushdown_then_sort_then_count(self):
+        times = [3, 1, 2, 0, 7, 5, 6, 4, 11, 9, 10, 8]
+        elements = [Event(t, payload=(t,)) for t in times]
+        out = (
+            DisorderedStreamable.from_elements(elements)
+            .where(lambda e: e.payload[0] % 2 == 0)
+            .tumbling_window(4)
+            .to_streamable()
+            .count()
+            .collect()
+        )
+        assert [(e.sync_time, e.payload) for e in out.events] == [
+            (0, 2), (4, 2), (8, 2),
+        ]
+
+    def test_custom_sorter_factory(self):
+        from repro.sorting import make_online_sorter
+
+        elements = [Event(t) for t in [2, 0, 1]]
+        out = (
+            DisorderedStreamable.from_elements(elements)
+            .to_streamable(
+                sorter=lambda: make_online_sorter(
+                    "heapsort", key=lambda e: e.sync_time
+                )
+            )
+            .collect()
+        )
+        assert out.sync_times == [0, 1, 2]
+
+    def test_non_callable_sorter_rejected(self):
+        disordered = DisorderedStreamable.from_elements([])
+        with pytest.raises(QueryBuildError, match="factory"):
+            disordered.to_streamable(sorter=object())
+
+    def test_from_dataset_ingress(self, synthetic_small):
+        out = (
+            DisorderedStreamable.from_dataset(
+                synthetic_small, punctuation_frequency=500,
+                reorder_latency=1_000,
+            )
+            .to_streamable()
+            .collect()
+        )
+        assert out.sync_times == sorted(out.sync_times)
+        assert len(out.events) == len(synthetic_small)
+
+    def test_window_pushdown_equivalent_to_post_sort_window(self):
+        """Sort-as-needed must not change results: window-below-sort equals
+        window-above-sort for tumbling windows."""
+        times = [13, 2, 27, 9, 40, 31, 5, 22, 16, 38]
+        elements = [Event(t) for t in times]
+        below = (
+            DisorderedStreamable.from_elements(list(elements))
+            .tumbling_window(10)
+            .to_streamable()
+            .count()
+            .collect()
+        )
+        above = (
+            DisorderedStreamable.from_elements(list(elements))
+            .to_streamable()
+            .apply(lambda s: s.tumbling_window(10).count())
+            .collect()
+        )
+        assert [(e.sync_time, e.payload) for e in below.events] == [
+            (e.sync_time, e.payload) for e in above.events
+        ]

@@ -1,0 +1,90 @@
+"""Tests for the blocking union operator (repro.engine.operators.union)."""
+
+from __future__ import annotations
+
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators import Collector, Union
+
+
+def make_union():
+    union = Union()
+    sink = Collector()
+    union.add_downstream(sink)
+    return union, sink
+
+
+class TestUnionMerge:
+    def test_blocks_until_both_sides_punctuate(self):
+        union, sink = make_union()
+        union.ports[0].on_event(Event(1))
+        union.ports[0].on_punctuation(Punctuation(10))
+        assert sink.events == []  # right side has no watermark yet
+        union.ports[1].on_event(Event(2))
+        union.ports[1].on_punctuation(Punctuation(10))
+        assert sink.sync_times == [1, 2]
+        assert sink.punctuations == [10]
+
+    def test_emits_up_to_min_watermark_only(self):
+        union, sink = make_union()
+        union.ports[0].on_event(Event(1))
+        union.ports[0].on_event(Event(8))
+        union.ports[0].on_punctuation(Punctuation(20))
+        union.ports[1].on_event(Event(3))
+        union.ports[1].on_punctuation(Punctuation(5))
+        assert sink.sync_times == [1, 3]
+        assert union.buffered_count() == 1  # Event(8) held back
+        assert sink.punctuations == [5]
+
+    def test_interleaves_sorted(self):
+        union, sink = make_union()
+        for t in (1, 4, 7):
+            union.ports[0].on_event(Event(t))
+        for t in (2, 4, 9):
+            union.ports[1].on_event(Event(t))
+        union.ports[0].on_punctuation(Punctuation(100))
+        union.ports[1].on_punctuation(Punctuation(100))
+        assert sink.sync_times == [1, 2, 4, 4, 7, 9]
+
+    def test_flush_requires_both_sides(self):
+        union, sink = make_union()
+        union.ports[0].on_event(Event(1))
+        union.ports[0].on_flush()
+        assert not sink.completed
+        union.ports[1].on_flush()
+        assert sink.completed
+        assert sink.sync_times == [1]
+
+    def test_max_buffered_high_water_mark(self):
+        union, sink = make_union()
+        for t in range(50):
+            union.ports[0].on_event(Event(t))
+        assert union.max_buffered == 50
+        union.ports[0].on_punctuation(Punctuation(100))
+        union.ports[1].on_punctuation(Punctuation(100))
+        assert union.buffered_count() == 0
+        assert union.max_buffered == 50  # peak is sticky
+
+    def test_watermarks_never_regress_downstream(self):
+        union, sink = make_union()
+        union.ports[0].on_punctuation(Punctuation(10))
+        union.ports[1].on_punctuation(Punctuation(10))
+        union.ports[1].on_punctuation(Punctuation(5))  # stale, ignored
+        assert sink.punctuations == [10]
+
+    def test_out_of_contract_event_reordered_defensively(self):
+        union, sink = make_union()
+        union.ports[0].on_event(Event(5))
+        union.ports[0].on_event(Event(3))  # violates the sorted contract
+        union.ports[0].on_punctuation(Punctuation(10))
+        union.ports[1].on_punctuation(Punctuation(10))
+        assert sink.sync_times == [3, 5]
+
+    def test_one_sided_stream(self):
+        """A union where one side never produces events still drains once
+        both sides punctuate (the framework's quiet-path case)."""
+        union, sink = make_union()
+        for t in (1, 2, 3):
+            union.ports[0].on_event(Event(t))
+        union.ports[0].on_punctuation(Punctuation(3))
+        union.ports[1].on_punctuation(Punctuation(3))
+        assert sink.sync_times == [1, 2, 3]

@@ -1,0 +1,170 @@
+"""Tests for workload simulators and their Table I calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import measure_disorder
+from repro.workloads import (
+    Dataset,
+    generate_androidlog,
+    generate_cloudlog,
+    generate_synthetic,
+    load_dataset,
+)
+
+
+class TestDataset:
+    def test_parallel_columns_enforced(self):
+        with pytest.raises(ValueError, match="parallel"):
+            Dataset("x", [1, 2], payloads=[(1,)], keys=[0, 0])
+
+    def test_default_payloads_and_keys(self):
+        ds = Dataset("x", [5, 6, 7])
+        assert len(ds.payloads) == 3
+        assert len(ds.keys) == 3
+
+    def test_events_iteration(self):
+        ds = Dataset("x", [5, 6], payloads=[(1,), (2,)], keys=[9, 8])
+        events = list(ds.events())
+        assert [(e.sync_time, e.key, e.payload) for e in events] == [
+            (5, 9, (1,)), (6, 8, (2,)),
+        ]
+
+    def test_head_prefix(self):
+        ds = Dataset("x", [1, 2, 3])
+        head = ds.head(2)
+        assert head.timestamps == [1, 2]
+        assert len(head.payloads) == 2
+        assert head.params["head"] == 2
+
+    def test_span(self):
+        assert Dataset("x", [5, 1, 9]).span == (1, 9)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = generate_synthetic(1000, seed=5)
+        b = generate_synthetic(1000, seed=5)
+        assert a.timestamps == b.timestamps
+        assert a.payloads == b.payloads
+
+    def test_zero_disorder_is_sorted(self):
+        ds = generate_synthetic(1000, percent_disorder=0)
+        assert ds.timestamps == sorted(ds.timestamps)
+
+    def test_disorder_percentage_scales_inversions(self):
+        low = generate_synthetic(3000, percent_disorder=1, seed=1)
+        high = generate_synthetic(3000, percent_disorder=100, seed=1)
+        assert (
+            measure_disorder(high.timestamps).inversions
+            > 10 * measure_disorder(low.timestamps).inversions
+        )
+
+    def test_disorder_amount_scales_distance(self):
+        small = generate_synthetic(3000, amount_disorder=4, seed=1)
+        large = generate_synthetic(3000, amount_disorder=1024, seed=1)
+        assert (
+            measure_disorder(large.timestamps).distance
+            > measure_disorder(small.timestamps).distance
+        )
+
+    def test_timestamps_never_negative(self):
+        ds = generate_synthetic(2000, percent_disorder=100,
+                                amount_disorder=10_000)
+        assert min(ds.timestamps) >= 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_synthetic(10, percent_disorder=101)
+        with pytest.raises(ValueError):
+            generate_synthetic(10, amount_disorder=-1)
+
+
+class TestCloudLog:
+    """Table I shape: chaotic at fine granularity, ordered coarsely."""
+
+    def test_deterministic(self):
+        assert (
+            generate_cloudlog(2000, seed=2).timestamps
+            == generate_cloudlog(2000, seed=2).timestamps
+        )
+
+    def test_tiny_natural_runs(self, cloudlog_small):
+        stats = measure_disorder(cloudlog_small.timestamps)
+        assert stats.mean_run_length < 5  # paper: ≈2.7
+
+    def test_interleaved_far_below_runs(self, cloudlog_small):
+        stats = measure_disorder(cloudlog_small.timestamps)
+        assert stats.interleaved < stats.runs / 10
+
+    def test_burst_creates_large_distance(self, cloudlog_small):
+        stats = measure_disorder(cloudlog_small.timestamps)
+        assert stats.distance > len(cloudlog_small) * 0.3
+
+    def test_no_bursts_means_small_distance(self):
+        ds = generate_cloudlog(5000, n_bursts=0, delay_spread_ms=50,
+                               seed=7)
+        stats = measure_disorder(ds.timestamps)
+        assert stats.distance < len(ds) * 0.05
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            generate_cloudlog(10, n_servers=0)
+
+
+class TestAndroidLog:
+    """Table I shape: ordered at fine granularity, chaotic coarsely."""
+
+    def test_deterministic(self):
+        assert (
+            generate_androidlog(2000, seed=2).timestamps
+            == generate_androidlog(2000, seed=2).timestamps
+        )
+
+    def test_long_natural_runs(self, androidlog_small):
+        stats = measure_disorder(androidlog_small.timestamps)
+        assert stats.mean_run_length > 5
+
+    def test_interleaved_bounded_by_phones(self):
+        ds = generate_androidlog(3000, n_phones=10, seed=1)
+        stats = measure_disorder(ds.timestamps)
+        assert stats.interleaved <= 10 + 1
+
+    def test_inversions_orders_of_magnitude_above_cloudlog(
+        self, cloudlog_small, androidlog_small
+    ):
+        cloud = measure_disorder(cloudlog_small.timestamps)
+        android = measure_disorder(androidlog_small.timestamps)
+        assert android.inversions > 2 * cloud.inversions
+        assert android.runs < cloud.runs / 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_androidlog(10, n_phones=0)
+        with pytest.raises(ValueError):
+            generate_androidlog(10, uploads_per_phone=0)
+        with pytest.raises(ValueError):
+            generate_androidlog(10, rare_uploader_fraction=1.5)
+
+
+class TestRegistry:
+    def test_load_dataset_memoizes(self):
+        a = load_dataset("synthetic", 500, seed=9)
+        b = load_dataset("synthetic", 500, seed=9)
+        assert a is b
+
+    def test_load_dataset_kwargs_distinguish(self):
+        a = load_dataset("synthetic", 500, seed=9, percent_disorder=10)
+        b = load_dataset("synthetic", 500, seed=9, percent_disorder=20)
+        assert a is not b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("oracle", 10)
+
+    def test_all_names_loadable(self):
+        for name in ("synthetic", "cloudlog", "androidlog"):
+            ds = load_dataset(name, 300)
+            assert len(ds) == 300
+            assert ds.name == name
