@@ -92,6 +92,133 @@ def bench_operator(benchmark, N, name):
     benchmark.extra_info["throughput_meps"] = meps
 
 
+def _overhead_elements(n, window=100):
+    events = []
+    for t in range(n):
+        events.append(Event(t, t + 1, key=t % 100))
+        if t % 1_000 == 999:
+            events.append(Punctuation(t - window))
+    return events
+
+
+def _drive_pipeline(elements, n, registry=None) -> float:
+    """Drive where→window→count through the query engine; M events/s.
+
+    With ``registry`` the pipeline is instrumented; without it the
+    operators run the unmodified class methods — the metrics-disabled
+    configuration whose cost must match the uninstrumented seed.
+    """
+    from repro.engine.stream import Streamable
+
+    stream = (
+        Streamable.from_elements(elements)
+        .where(lambda e: e.key < 50)
+        .tumbling_window(100)
+        .count()
+    )
+    start = time.perf_counter()
+    stream.collect(metrics=registry)
+    return n / (time.perf_counter() - start) / 1e6
+
+
+def instrumentation_overhead(n, rounds=5) -> dict:
+    """Best-of-``rounds`` throughput, bare vs MetricsRegistry-attached.
+
+    The disabled case exercises exactly the seed code path (hooks are
+    per-instance and none are installed), so its only possible regression
+    is structural — see :func:`check` for the hard guard.  The enabled
+    case quantifies the cost of turning metrics on.
+    """
+    from repro.observability import MetricsRegistry
+
+    elements = _overhead_elements(n)
+    plain = max(_drive_pipeline(elements, n) for _ in range(rounds))
+    instrumented = max(
+        _drive_pipeline(elements, n, MetricsRegistry())
+        for _ in range(rounds)
+    )
+    return {
+        "plain_meps": plain,
+        "metrics_meps": instrumented,
+        "enabled_overhead_pct": (plain / instrumented - 1.0) * 100.0,
+    }
+
+
+def check(n, max_enabled_slowdown=10.0) -> int:
+    """CI gate for instrumentation regressions; returns an exit code.
+
+    1. *Structural zero-cost*: a freshly built pipeline must carry no
+       per-instance signal wrappers, and a detached registry must leave
+       none behind — this is the guarantee that metrics-*disabled* runs
+       are byte-for-byte the seed hot path (< 5% is then automatic).
+    2. *Results unchanged*: an instrumented run must produce the same
+       output as a bare run.
+    3. *Enabled cost bounded*: metrics-on throughput must stay within
+       ``max_enabled_slowdown``x of bare (a loose, noise-proof bound
+       that still catches pathological hook regressions).
+    """
+    from repro.engine.stream import Streamable
+    from repro.observability import MetricsRegistry
+
+    signals = ("on_event", "on_punctuation", "on_flush",
+               "emit_event", "emit_punctuation")
+    elements = _overhead_elements(min(n, 20_000))
+
+    def build():
+        return (
+            Streamable.from_elements(list(elements))
+            .where(lambda e: e.key < 50)
+            .tumbling_window(100)
+            .count()
+        )
+
+    bare = build().collect()
+
+    registry = MetricsRegistry()
+    instrumented = build().collect(metrics=registry)
+    if [(e.sync_time, e.payload) for e in bare.events] != \
+            [(e.sync_time, e.payload) for e in instrumented.events]:
+        print("FAIL: instrumented run changed query results")
+        return 1
+
+    # Structural zero-cost: no wrappers on fresh operators...
+    fresh = Operator()
+    leaked = [s for s in signals if s in fresh.__dict__]
+    if leaked:
+        print(f"FAIL: fresh operator carries instance wrappers: {leaked}")
+        return 1
+    # ...and none left behind after detach.
+    attached = [(op, dict(originals))
+                for op, originals in registry._attached]
+    registry.detach()
+    dirty = [
+        (type(op).__name__, s)
+        for op, originals in attached
+        for s in originals
+        if s in op.__dict__
+    ]
+    if dirty:
+        print(f"FAIL: detach left wrappers installed: {dirty}")
+        return 1
+
+    numbers = instrumentation_overhead(min(n, 20_000), rounds=3)
+    slowdown = numbers["plain_meps"] / max(numbers["metrics_meps"], 1e-9)
+    print(
+        f"instrumentation check: plain={numbers['plain_meps']:.3f} M/s, "
+        f"enabled={numbers['metrics_meps']:.3f} M/s "
+        f"({slowdown:.2f}x slowdown enabled; disabled path is "
+        f"structurally identical to seed)"
+    )
+    if slowdown > max_enabled_slowdown:
+        print(
+            f"FAIL: enabled instrumentation slowdown {slowdown:.2f}x "
+            f"exceeds {max_enabled_slowdown}x"
+        )
+        return 1
+    print("instrumentation check: OK")
+    return 0
+
+
 def report(n=None):
     n = min(n or stream_length(), 100_000)
     rows = [
@@ -101,7 +228,27 @@ def report(n=None):
         ["operator", "M events/s"], rows,
         title=f"Operator microbenchmarks (ordered input, n={n})",
     ))
+    numbers = instrumentation_overhead(min(n, 50_000), rounds=3)
+    print(
+        f"observability: bare pipeline {numbers['plain_meps']:.3f} M/s, "
+        f"metrics enabled {numbers['metrics_meps']:.3f} M/s "
+        f"(+{numbers['enabled_overhead_pct']:.1f}% when enabled; "
+        f"disabled hooks are per-instance no-ops, 0% by construction)"
+    )
 
 
 if __name__ == "__main__":
-    report()
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the CI instrumentation-overhead gate instead of the "
+             "report; exits non-zero on regression",
+    )
+    args = parser.parse_args()
+    if args.check:
+        sys.exit(check(args.n or stream_length(20_000)))
+    report(args.n)

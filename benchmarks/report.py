@@ -59,6 +59,27 @@ SECTIONS = (
 )
 
 
+def _metrics_section(n=None):
+    """The report's ``--metrics`` mode: one fully instrumented run of the
+    paper's windowed-count query, summarized with the ascii-chart
+    latency/occupancy rendering."""
+    from repro.bench import pipeline_metrics, format_metrics_summary, \
+        stream_length
+    from repro.metrics.profile import suggest_reorder_latency
+    from repro.workloads import load_dataset
+
+    n = n or stream_length()
+    dataset = load_dataset("cloudlog", n)
+    snapshot = pipeline_metrics(
+        lambda d: d.tumbling_window(max(n // 100, 1))
+        .to_streamable().count(),
+        dataset,
+        punctuation_frequency=max(n // 20, 1),
+        reorder_latency=suggest_reorder_latency(dataset.timestamps, 0.99),
+    )
+    print(format_metrics_summary(snapshot))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=None,
@@ -68,10 +89,20 @@ def main(argv=None):
                              "dump is long; see its module for the series)")
     parser.add_argument("--json", default=None,
                         help="also archive section outputs to this path")
+    parser.add_argument("--metrics", action="store_true",
+                        help="append an instrumented pipeline-observability "
+                             "section (per-operator metrics, punctuation "
+                             "latency, occupancy chart)")
     args = parser.parse_args(argv)
 
+    sections = SECTIONS
+    if args.metrics:
+        sections = SECTIONS + (
+            ("Pipeline observability summary", _metrics_section),
+        )
+
     archive = {"n": args.n, "sections": {}}
-    for title, report in SECTIONS:
+    for title, report in sections:
         if any(title.startswith(prefix) for prefix in args.skip or ()):
             continue
         print("=" * 72)

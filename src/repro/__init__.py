@@ -5,6 +5,8 @@ Public API surface:
 * :mod:`repro.core` — Impatience/Patience sort and merge machinery;
 * :mod:`repro.sorting` — baseline sorters and the incremental adapter;
 * :mod:`repro.metrics` — the four disorder measures;
+* :mod:`repro.observability` — per-operator pipeline metrics,
+  punctuation tracing, and structured metrics export;
 * :mod:`repro.engine` — the mini-Trill streaming engine
   (``Streamable`` / ``DisorderedStreamable``);
 * :mod:`repro.framework` — the basic and advanced Impatience frameworks;
@@ -36,6 +38,7 @@ from repro.framework import (
     run_method,
 )
 from repro.metrics import measure_disorder, suggest_reorder_latency
+from repro.observability import MetricsRegistry, PipelineSnapshot
 from repro.sorting import make_online_sorter, offline_sort
 from repro.workloads import (
     Dataset,
@@ -56,7 +59,9 @@ __all__ = [
     "ImpatienceSorter",
     "LatePolicy",
     "MemoryMeter",
+    "MetricsRegistry",
     "PAPER_QUERIES",
+    "PipelineSnapshot",
     "PatienceSorter",
     "Punctuation",
     "QueryPlan",

@@ -6,19 +6,26 @@ from repro.bench.harness import (
     stream_length,
     offline_throughput,
     online_throughput,
+    pipeline_metrics,
     pipeline_throughput,
     sort_as_needed_speedup,
 )
-from repro.bench.reporting import format_table, markdown_table
+from repro.bench.reporting import (
+    format_metrics_summary,
+    format_table,
+    markdown_table,
+)
 
 __all__ = [
     "stream_length",
+    "format_metrics_summary",
     "format_table",
     "line_chart",
     "sparkline",
     "markdown_table",
     "offline_throughput",
     "online_throughput",
+    "pipeline_metrics",
     "pipeline_throughput",
     "sort_as_needed_speedup",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "offline_throughput",
     "online_throughput",
     "pipeline_throughput",
+    "pipeline_metrics",
     "sort_as_needed_speedup",
 ]
 
@@ -66,13 +67,16 @@ def online_throughput(name, timestamps, frequency, reorder_latency) -> float:
 
 
 def pipeline_throughput(build_query, dataset, punctuation_frequency,
-                        reorder_latency, repeats=1) -> float:
+                        reorder_latency, repeats=1, metrics=None) -> float:
     """Run a full engine query over a dataset; return M events/s.
 
     ``build_query`` maps a fresh ``DisorderedStreamable`` to the final
     (ordered) streamable to collect.  ``repeats`` takes the best of
     several runs, which suppresses GC/OS noise when two pipelines are
-    being compared for a speedup ratio.
+    being compared for a speedup ratio.  ``metrics`` optionally attaches
+    a :class:`~repro.observability.MetricsRegistry` to every repeat
+    (remember instrumentation itself costs time — don't compare an
+    instrumented throughput against a bare one).
     """
     best = float("inf")
     for _ in range(max(repeats, 1)):
@@ -81,11 +85,44 @@ def pipeline_throughput(build_query, dataset, punctuation_frequency,
         )
         stream = build_query(disordered)
         start = time.perf_counter()
-        stream.collect()
+        stream.collect(metrics=metrics)
         elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed
     return len(dataset) / best / 1e6
+
+
+def pipeline_metrics(build_query, dataset, punctuation_frequency,
+                     reorder_latency, registry=None):
+    """The harness's ``--metrics`` mode: run one query fully instrumented.
+
+    Attaches a :class:`~repro.observability.MetricsRegistry` (a fresh one
+    unless ``registry`` is given) plus a
+    :class:`~repro.framework.memory.MemoryMeter` and returns the
+    resulting :class:`~repro.observability.PipelineSnapshot`, with run
+    context (dataset, n, wall time, throughput) in its ``meta`` section.
+    """
+    from repro.framework.memory import MemoryMeter
+    from repro.observability import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    meter = MemoryMeter()
+    disordered = DisorderedStreamable.from_dataset(
+        dataset, punctuation_frequency, reorder_latency
+    )
+    stream = build_query(disordered)
+    start = time.perf_counter()
+    stream.collect(on_punctuation=meter.sample, metrics=registry)
+    elapsed = time.perf_counter() - start
+    return registry.snapshot(memory=meter, meta={
+        "dataset": getattr(dataset, "name", "events"),
+        "n": len(dataset),
+        "punctuation_frequency": punctuation_frequency,
+        "reorder_latency": reorder_latency,
+        "elapsed_s": elapsed,
+        "throughput_meps": len(dataset) / elapsed / 1e6,
+    })
 
 
 def sort_as_needed_speedup(push_down_ops, post_sort_ops, dataset,

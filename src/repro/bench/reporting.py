@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["format_table", "markdown_table"]
+__all__ = ["format_table", "markdown_table", "format_metrics_summary"]
 
 
 def _stringify(value):
@@ -36,4 +36,84 @@ def markdown_table(headers, rows) -> str:
     lines.append("|" + "|".join("---" for _ in headers) + "|")
     for row in rows:
         lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _us(seconds) -> str:
+    """Microsecond rendering for latency cells."""
+    return f"{seconds * 1e6:,.0f}"
+
+
+def format_metrics_summary(snapshot) -> str:
+    """Console summary of a :class:`~repro.observability.PipelineSnapshot`.
+
+    Three sections: the per-operator counter table, punctuation latency
+    (end-to-end quantiles plus a per-trace sparkline, then the slowest
+    operators' span quantiles), and the pipeline's buffered-occupancy
+    timeline as an ascii chart.
+    """
+    from repro.bench.ascii_chart import sparkline
+
+    doc = snapshot.as_dict() if hasattr(snapshot, "as_dict") else snapshot
+    lines = []
+
+    rows = []
+    for op in doc["operators"]:
+        rows.append([
+            op["name"],
+            op["events"]["in"], op["events"]["out"],
+            op["punctuations"]["in"], op["punctuations"]["out"],
+            round(op["busy_s"]["total"] * 1e3, 3),
+            op["occupancy"]["peak"],
+            op.get("dropped", 0),
+        ])
+    lines.append(format_table(
+        ["operator", "ev in", "ev out", "punct in", "punct out",
+         "busy ms", "peak buf", "dropped"],
+        rows, title="Per-operator metrics",
+    ))
+
+    punct = doc.get("punctuation")
+    if punct and punct["traces"]:
+        e2e = punct["end_to_end_s"]
+        lines.append("")
+        lines.append(
+            f"Punctuation latency ({punct['traces']} traces, µs): "
+            f"p50={_us(e2e['p50'])}  p90={_us(e2e['p90'])}  "
+            f"p99={_us(e2e['p99'])}  max={_us(e2e['max'])}"
+        )
+        series = [entry["seconds"] for entry in punct.get("series", ())]
+        if series:
+            lines.append("  per-trace: " + sparkline(series))
+        slowest = sorted(
+            punct["per_operator_s"].items(),
+            key=lambda item: item[1]["mean"],
+            reverse=True,
+        )[:6]
+        lines.append(format_table(
+            ["operator", "p50 µs", "p99 µs", "max µs"],
+            [
+                [name, _us(q["p50"]), _us(q["p99"]), _us(q["max"])]
+                for name, q in slowest
+            ],
+            title="Slowest punctuation handlers",
+        ))
+
+    occupancy = doc.get("occupancy")
+    if occupancy and occupancy["timeline"]:
+        lines.append("")
+        lines.append(
+            f"Buffered occupancy (peak {occupancy['peak']} events over "
+            f"{occupancy['samples']} punctuations):"
+        )
+        lines.append(
+            "  " + sparkline([b for _, b in occupancy["timeline"]])
+        )
+
+    memory = doc.get("memory")
+    if memory:
+        lines.append(
+            f"Peak working set: {memory['peak_mb']:.3f} MB "
+            f"({memory['peak_events']} events)"
+        )
     return "\n".join(lines)

@@ -8,6 +8,8 @@ Commands
 ``sort``        Sort a dataset with a chosen algorithm; report throughput.
 ``generate``    Write a simulated workload to CSV.
 ``demo``        Run the windowed-count quickstart end to end.
+``run``         Run an example query fully instrumented; ``--metrics-out``
+                exports the observability JSON document.
 """
 
 from __future__ import annotations
@@ -139,6 +141,70 @@ def _cmd_demo(args):
     return 0
 
 
+def _cmd_run(args):
+    from repro.engine import DisorderedStreamable
+    from repro.engine.operators.aggregates import Count
+    from repro.framework.memory import MemoryMeter
+    from repro.observability import MetricsRegistry
+    from repro.bench.reporting import format_metrics_summary
+
+    dataset = _load(args)
+    latency = (
+        args.latency if args.latency is not None
+        else suggest_reorder_latency(dataset.timestamps, 0.99)
+    )
+    window = args.window or max(len(dataset) // 100, 1)
+    disordered = DisorderedStreamable.from_dataset(
+        dataset, args.punctuation_frequency, latency
+    )
+    queries = {
+        "windowed-count": lambda d: (
+            d.tumbling_window(window).to_streamable().count()
+        ),
+        "grouped-count": lambda d: (
+            d.tumbling_window(window).to_streamable()
+            .group_aggregate(Count())
+        ),
+        "top-k": lambda d: (
+            d.tumbling_window(window).to_streamable().top_k(3)
+        ),
+    }
+    stream = queries[args.query](disordered)
+
+    registry = MetricsRegistry()
+    meter = MemoryMeter()
+    start = time.perf_counter()
+    result = stream.collect(on_punctuation=meter.sample, metrics=registry)
+    elapsed = time.perf_counter() - start
+    snapshot = registry.snapshot(memory=meter, meta={
+        "query": args.query,
+        "dataset": dataset.name,
+        "n": len(dataset),
+        "window": window,
+        "punctuation_frequency": args.punctuation_frequency,
+        "reorder_latency": latency,
+        "elapsed_s": elapsed,
+        "throughput_meps": len(dataset) / elapsed / 1e6,
+    })
+
+    print(
+        f"{args.query} over {dataset.name} (n={len(dataset):,}, "
+        f"reorder latency {latency}): {len(result)} result events "
+        f"in {elapsed:.3f}s"
+    )
+    print()
+    print(format_metrics_summary(snapshot))
+    if args.metrics_out:
+        try:
+            snapshot.save(args.metrics_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.metrics_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,6 +242,21 @@ def main(argv=None) -> int:
     p = sub.add_parser("demo", help="windowed-count quickstart")
     _add_source(p)
     p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser(
+        "run", help="run an instrumented example query (observability demo)"
+    )
+    _add_source(p)
+    p.add_argument("--query", default="windowed-count",
+                   choices=["windowed-count", "grouped-count", "top-k"])
+    p.add_argument("--window", type=int, default=None,
+                   help="window size (default: n/100)")
+    p.add_argument("--punctuation-frequency", type=int, default=1_000)
+    p.add_argument("--latency", type=int, default=None,
+                   help="reorder latency (default: 99%% coverage)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the metrics JSON export here")
+    p.set_defaults(fn=_cmd_run)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.core.late import LateEventTracker, LatePolicy
 from repro.core.errors import PunctuationOrderError
-from repro.core.merge import merge_runs
+from repro.core.merge import MERGE_STRATEGIES, merge_runs
 from repro.core.runs import RunPool
 from repro.core.stats import SorterStats
 
@@ -38,6 +38,12 @@ class ImpatienceSorter:
     huffman_merge:
         Use the Huffman (smallest-first) merge schedule for head runs;
         when ``False``, head runs are merged pairwise in creation order.
+    merge:
+        Explicit merge-strategy name from
+        :data:`repro.core.merge.MERGE_STRATEGIES` (``huffman``,
+        ``pairwise``, or ``kway``); overrides ``huffman_merge`` when
+        given.  ``kway`` is the classic Patience heap merge, kept for
+        differential testing and comparison.
     speculative:
         Enable speculative run selection in the partition phase.
     late_policy:
@@ -64,9 +70,16 @@ class ImpatienceSorter:
     """
 
     def __init__(self, key=None, huffman_merge=True, speculative=True,
-                 late_policy=LatePolicy.DROP, sample_every=None):
+                 late_policy=LatePolicy.DROP, sample_every=None, merge=None):
         self.key = key
-        self.merge = "huffman" if huffman_merge else "pairwise"
+        if merge is None:
+            merge = "huffman" if huffman_merge else "pairwise"
+        elif merge not in MERGE_STRATEGIES:
+            raise ValueError(
+                f"unknown merge strategy {merge!r}; "
+                f"expected one of {sorted(MERGE_STRATEGIES)}"
+            )
+        self.merge = merge
         self.stats = SorterStats()
         self.late = LateEventTracker(late_policy)
         self.sample_every = sample_every

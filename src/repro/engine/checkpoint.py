@@ -44,6 +44,7 @@ def checkpoint_sorter(sorter: ImpatienceSorter) -> dict:
         "runs": runs,
         "watermark": None if watermark == float("-inf") else watermark,
         "late_policy": sorter.late.policy.value,
+        "merge": sorter.merge,
         "huffman_merge": sorter.merge == "huffman",
         "speculative": sorter._pool.speculative,
     }
@@ -61,6 +62,8 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
         )
     sorter = ImpatienceSorter(
         huffman_merge=state["huffman_merge"],
+        # Pre-"merge" checkpoints only knew huffman/pairwise.
+        merge=state.get("merge"),
         speculative=state["speculative"],
         late_policy=LatePolicy(state["late_policy"]),
     )

@@ -63,12 +63,20 @@ class Event:
 
 
 class Punctuation:
-    """Progress marker: no later event will carry sync_time <= timestamp."""
+    """Progress marker: no later event will carry sync_time <= timestamp.
 
-    __slots__ = ("timestamp",)
+    ``trace_id`` is an optional observability stamp: the
+    :class:`~repro.observability.PunctuationTracer` assigns one at ingress
+    so spans recorded while the punctuation propagates through the DAG can
+    be correlated.  It takes no part in equality or hashing — two
+    punctuations are the same promise if their timestamps match.
+    """
 
-    def __init__(self, timestamp):
+    __slots__ = ("timestamp", "trace_id")
+
+    def __init__(self, timestamp, trace_id=None):
         self.timestamp = timestamp
+        self.trace_id = trace_id
 
     def __eq__(self, other):
         return (

@@ -58,6 +58,8 @@ class Pipeline:
     def __init__(self, sink_nodes):
         self._instances = {}
         self._sources = []
+        self._labels = {}       # id(op) -> unique diagnostic label
+        self._label_counts = {}
         self.sinks = [self._build(node) for node in sink_nodes]
         if not self._sources:
             raise QueryBuildError("query graph has no source node")
@@ -68,6 +70,10 @@ class Pipeline:
             return instance
         op = node.factory()
         self._instances[id(node)] = op
+        base = node.name or "op"
+        seen = self._label_counts.get(base, 0)
+        self._label_counts[base] = seen + 1
+        self._labels[id(op)] = base if seen == 0 else f"{base}#{seen + 1}"
         if not node.parents:
             self._sources.append(op)
         for index, (parent, out_port) in enumerate(node.parents):
@@ -82,6 +88,31 @@ class Pipeline:
     def operators(self):
         """All live operator instances (topological discovery order)."""
         return list(self._instances.values())
+
+    @property
+    def sources(self):
+        """The live root operators elements are pushed into."""
+        return list(self._sources)
+
+    def operator_labels(self):
+        """``(label, operator)`` pairs for every live operator.
+
+        Labels derive from the query nodes' diagnostic names and are made
+        unique per pipeline (``sort``, ``merge``, ``merge#2``, …) — the
+        naming the observability layer keys its per-operator metrics by.
+        """
+        return [
+            (self._labels[id(op)], op) for op in self._instances.values()
+        ]
+
+    def label_of(self, op) -> str:
+        """The unique diagnostic label of a live operator instance."""
+        try:
+            return self._labels[id(op)]
+        except KeyError:
+            raise QueryBuildError(
+                "operator is not part of this pipeline"
+            ) from None
 
     def operator_for(self, node):
         """The live instance materialized for a query node."""

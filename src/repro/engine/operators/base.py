@@ -55,6 +55,41 @@ class Operator:
         for downstream in self.downstreams:
             downstream.on_flush()
 
+    # -- observability hooks ----------------------------------------------
+
+    def instrument(self, wrappers) -> dict:
+        """Install per-instance wrappers around signal/emit methods.
+
+        ``wrappers`` maps method names (``on_event``, ``on_punctuation``,
+        ``on_flush``, their ``on_port_*`` variants, ``emit_event``,
+        ``emit_punctuation``) to ``wrap(bound_method) -> callable``
+        factories.  Names this operator does not implement are skipped.
+        Returns the dict of original bound methods to hand back to
+        :meth:`uninstrument`.
+
+        Instrumentation is strictly per-instance (the wrapper shadows the
+        class method through the instance ``__dict__``), so operators with
+        no observer attached run the exact class methods — disabled
+        metrics cost nothing.
+        """
+        originals = {}
+        for name, wrap in wrappers.items():
+            bound = getattr(self, name, None)
+            if bound is None:
+                continue
+            originals[name] = bound
+            setattr(self, name, wrap(bound))
+        return originals
+
+    def uninstrument(self, originals):
+        """Remove wrappers installed by :meth:`instrument`.
+
+        Pops the shadowing instance attributes so lookups fall back to the
+        class methods again.
+        """
+        for name in originals:
+            self.__dict__.pop(name, None)
+
     # -- introspection ----------------------------------------------------
 
     def buffered_count(self) -> int:

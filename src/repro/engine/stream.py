@@ -239,10 +239,18 @@ class Streamable:
         )
         return Pipeline([sink_node])
 
-    def collect(self, on_punctuation=None) -> Collector:
-        """Execute the query over its source and return the collector."""
+    def collect(self, on_punctuation=None, metrics=None) -> Collector:
+        """Execute the query over its source and return the collector.
+
+        ``metrics`` is an optional
+        :class:`~repro.observability.MetricsRegistry`; it is attached to
+        the materialized pipeline before any element flows, so its
+        snapshot covers the whole run.
+        """
         sink_node = QueryNode(Collector, ((self._node, None),), name="collect")
         pipeline = Pipeline([sink_node])
+        if metrics is not None:
+            metrics.attach(pipeline)
         pipeline.run(self._source.elements(), on_punctuation=on_punctuation)
         return pipeline.operator_for(sink_node)
 

@@ -113,12 +113,16 @@ class Streamables:
         ]
         return Pipeline(sink_nodes)
 
-    def run(self, memory_meter=None) -> "StreamablesResult":
+    def run(self, memory_meter=None, metrics=None) -> "StreamablesResult":
         """Materialize all outputs into one pipeline and drive the source.
 
         Returns a :class:`StreamablesResult` with per-output collectors,
         the completeness ledger, and the (optionally supplied) memory
-        meter after sampling at every punctuation.
+        meter after sampling at every punctuation.  ``metrics`` is an
+        optional :class:`~repro.observability.MetricsRegistry` attached
+        before the source is driven; it is also stored on the result so
+        ``result.metrics.snapshot(memory=result.memory)`` exports the
+        whole framework execution.
         """
         meter = MemoryMeter() if memory_meter is None else memory_meter
         clock = {}
@@ -134,10 +138,16 @@ class Streamables:
         # Late-bound: the partition instance exists only after the graph
         # materializes; events flow strictly afterwards.
         clock["partition"] = pipeline.operator_for(self._partition_node)
+        if metrics is not None:
+            metrics.attach(pipeline)
         pipeline.run(self._source.elements(), on_punctuation=meter.sample)
         collectors = [pipeline.operator_for(node) for node in sink_nodes]
         partition = pipeline.operator_for(self._partition_node)
-        return StreamablesResult(collectors, partition, meter, self.latencies)
+        result = StreamablesResult(
+            collectors, partition, meter, self.latencies
+        )
+        result.metrics = metrics
+        return result
 
 
 class StreamablesResult:
@@ -151,6 +161,9 @@ class StreamablesResult:
         #: the :class:`~repro.framework.memory.MemoryMeter` (peak sampled).
         self.memory = memory
         self.latencies = latencies
+        #: the :class:`~repro.observability.MetricsRegistry` attached to
+        #: the run, or ``None`` when observability was off.
+        self.metrics = None
 
     def output_events(self, index):
         """Events emitted on the index-th output, in emission order."""

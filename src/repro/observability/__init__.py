@@ -1,0 +1,30 @@
+"""Pipeline observability: per-operator metrics, punctuation tracing,
+and structured export.
+
+A non-invasive instrumentation layer for any materialized query graph:
+
+>>> registry = MetricsRegistry()
+>>> collector = stream.collect(metrics=registry)   # doctest: +SKIP
+>>> registry.snapshot().to_json()                  # doctest: +SKIP
+
+Hooks are installed per operator *instance* only when a registry is
+attached; with no registry the engine runs the unmodified class methods,
+so disabled observability costs nothing (verified by
+``benchmarks/bench_operator_micro.py --check``).  See
+``docs/observability.md`` for the hook architecture, trace-id semantics,
+and the JSON export schema.
+"""
+
+from repro.observability.metrics import OperatorMetrics, latency_quantiles
+from repro.observability.registry import MetricsRegistry
+from repro.observability.snapshot import SCHEMA, PipelineSnapshot
+from repro.observability.tracer import PunctuationTracer
+
+__all__ = [
+    "MetricsRegistry",
+    "OperatorMetrics",
+    "PipelineSnapshot",
+    "PunctuationTracer",
+    "SCHEMA",
+    "latency_quantiles",
+]

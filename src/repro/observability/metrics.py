@@ -1,0 +1,128 @@
+"""Per-operator metrics collected by the observability layer.
+
+One :class:`OperatorMetrics` bundle exists per instrumented operator; the
+:class:`~repro.observability.registry.MetricsRegistry` fills it through the
+per-instance hooks installed via
+:meth:`repro.engine.operators.base.Operator.instrument`.  Everything here is
+plain counters and float accumulators — cheap enough to update on every
+signal once metrics are *enabled*, and entirely absent from the hot path
+when they are not.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OperatorMetrics", "latency_quantiles"]
+
+
+def latency_quantiles(values) -> dict:
+    """Summary quantiles of a latency sample (seconds or any unit).
+
+    Returns ``count``, ``mean``, ``p50``, ``p90``, ``p99`` and ``max``;
+    an empty sample yields all-zero statistics.
+    """
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p99": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    last = len(ordered) - 1
+
+    def q(p):
+        return ordered[min(int(p * len(ordered)), last)]
+
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": q(0.50),
+        "p90": q(0.90),
+        "p99": q(0.99),
+        "max": ordered[-1],
+    }
+
+
+class OperatorMetrics:
+    """Counters and timings for one live operator.
+
+    Attributes
+    ----------
+    events_in / events_out:
+        Data events received / emitted downstream.
+    punctuations_in / punctuations_out:
+        Progress markers received / emitted.
+    flushes:
+        End-of-stream signals received.
+    event_time / punctuation_time / flush_time:
+        *Exclusive* wall-clock seconds spent inside each signal handler —
+        time spent in downstream operators (reached synchronously through
+        ``emit_*``) is attributed to those operators, not this one.
+    occupancy_peak:
+        High-water mark of ``buffered_count()``, sampled after every
+        punctuation (and after flush).
+    occupancy_timeline:
+        ``(punctuation_timestamp, buffered_events)`` samples, one per
+        punctuation processed — the per-operator Figure 10 series.
+    """
+
+    __slots__ = (
+        "label",
+        "events_in", "events_out",
+        "punctuations_in", "punctuations_out",
+        "flushes",
+        "event_time", "punctuation_time", "flush_time",
+        "occupancy_peak", "occupancy_samples", "occupancy_timeline",
+    )
+
+    def __init__(self, label):
+        self.label = label
+        self.events_in = 0
+        self.events_out = 0
+        self.punctuations_in = 0
+        self.punctuations_out = 0
+        self.flushes = 0
+        self.event_time = 0.0
+        self.punctuation_time = 0.0
+        self.flush_time = 0.0
+        self.occupancy_peak = 0
+        self.occupancy_samples = 0
+        self.occupancy_timeline = []
+
+    def note_occupancy(self, timestamp, buffered, keep_timeline=True):
+        """Record a buffered-occupancy sample (one per punctuation)."""
+        self.occupancy_samples += 1
+        if buffered > self.occupancy_peak:
+            self.occupancy_peak = buffered
+        if keep_timeline:
+            self.occupancy_timeline.append((timestamp, buffered))
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total exclusive wall-clock time across all three signals."""
+        return self.event_time + self.punctuation_time + self.flush_time
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of this operator's metrics."""
+        return {
+            "name": self.label,
+            "events": {"in": self.events_in, "out": self.events_out},
+            "punctuations": {
+                "in": self.punctuations_in,
+                "out": self.punctuations_out,
+            },
+            "flushes": self.flushes,
+            "busy_s": {
+                "event": self.event_time,
+                "punctuation": self.punctuation_time,
+                "flush": self.flush_time,
+                "total": self.busy_seconds,
+            },
+            "occupancy": {
+                "peak": self.occupancy_peak,
+                "samples": self.occupancy_samples,
+                "timeline": [list(s) for s in self.occupancy_timeline],
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"OperatorMetrics({self.label!r}, in={self.events_in}, "
+            f"out={self.events_out}, busy={self.busy_seconds:.6f}s)"
+        )

@@ -1,0 +1,262 @@
+"""The metrics registry: attach/detach instrumentation on live pipelines.
+
+``MetricsRegistry.attach(pipeline)`` walks the pipeline's operators (plus
+any routing operator's ``out_ports``) and installs per-instance wrappers
+around their signal and emit methods via
+:meth:`repro.engine.operators.base.Operator.instrument`.  The wrappers
+
+* count events/punctuations/flushes in and out,
+* accumulate *exclusive* wall-clock time per signal (child time reached
+  synchronously through ``emit_*`` is subtracted via a shared timer
+  stack),
+* sample ``buffered_count()`` after every punctuation into per-operator
+  and pipeline-wide occupancy timelines, and
+* drive the :class:`~repro.observability.tracer.PunctuationTracer`.
+
+Nothing is installed until ``attach`` is called: an un-instrumented
+pipeline runs the unmodified class methods, so disabled metrics cost
+zero — the property ``benchmarks/bench_operator_micro.py --check``
+asserts structurally.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.observability.metrics import OperatorMetrics
+from repro.observability.snapshot import PipelineSnapshot
+from repro.observability.tracer import PunctuationTracer
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Collects :class:`OperatorMetrics` for every attached operator.
+
+    Parameters
+    ----------
+    trace:
+        Record punctuation traces (default on).  Turning it off removes
+        the per-punctuation span bookkeeping but keeps all counters.
+    timeline:
+        Keep full per-operator occupancy timelines (default on); off
+        retains only peaks and sample counts, bounding memory on very
+        long runs.
+    """
+
+    def __init__(self, trace=True, timeline=True):
+        self.tracer = PunctuationTracer() if trace else None
+        self.timeline = timeline
+        self.operators = {}      # label -> OperatorMetrics
+        #: pipeline-wide ``(punctuation_timestamp, buffered_events)``
+        #: samples, one per ingress punctuation.
+        self.occupancy_timeline = []
+        self.occupancy_peak = 0
+        self._ops = {}           # label -> live operator
+        self._attached = []      # (operator, originals) for detach
+        self._stack = []         # exclusive-time accounting
+        self._all_ops = []       # every instrumented op, for occupancy sums
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, pipeline) -> "MetricsRegistry":
+        """Instrument every operator of a materialized pipeline.
+
+        Routing operators' ``out_ports`` (lateness partition paths, shard
+        router outlets) are instrumented as ``<label>/out[i]`` so routed
+        counts are observable per path.  Returns ``self`` for chaining.
+        """
+        sources = set(map(id, pipeline.sources))
+        for label, op in pipeline.operator_labels():
+            self._instrument(op, label, is_source=id(op) in sources)
+            for index, port in enumerate(getattr(op, "out_ports", ()) or ()):
+                self._instrument(port, f"{label}/out[{index}]",
+                                 is_source=False)
+        return self
+
+    def detach(self):
+        """Remove all installed wrappers, restoring the class methods."""
+        for op, originals in self._attached:
+            op.uninstrument(originals)
+        self._attached.clear()
+
+    # -- instrumentation ---------------------------------------------------
+
+    def _instrument(self, op, label, is_source):
+        metrics = self.operators.get(label)
+        if metrics is None:
+            metrics = OperatorMetrics(label)
+            self.operators[label] = metrics
+            self._ops[label] = op
+        self._all_ops.append(op)
+        wrappers = {
+            "on_event": self._wrap_event(metrics, event_arg=0),
+            "on_punctuation": self._wrap_punctuation(
+                metrics, op, is_source, punct_arg=0
+            ),
+            "on_flush": self._wrap_flush(metrics, op),
+            "emit_event": self._wrap_emit_event(metrics),
+            "emit_punctuation": self._wrap_emit_punctuation(metrics),
+        }
+        if hasattr(op, "on_port_event"):
+            wrappers["on_port_event"] = self._wrap_event(metrics, event_arg=1)
+            wrappers["on_port_punctuation"] = self._wrap_punctuation(
+                metrics, op, False, punct_arg=1
+            )
+            wrappers["on_port_flush"] = self._wrap_flush(metrics, op)
+        self._attached.append((op, op.instrument(wrappers)))
+
+    def _wrap_event(self, metrics, event_arg):
+        stack = self._stack
+
+        def wrap(bound):
+            def on_event(*args):
+                metrics.events_in += 1
+                stack.append(0.0)
+                start = perf_counter()
+                try:
+                    bound(*args)
+                finally:
+                    elapsed = perf_counter() - start
+                    metrics.event_time += elapsed - stack.pop()
+                    if stack:
+                        stack[-1] += elapsed
+            return on_event
+        return wrap
+
+    def _wrap_punctuation(self, metrics, op, is_source, punct_arg):
+        stack = self._stack
+        tracer = self.tracer
+        registry = self
+
+        def wrap(bound):
+            def on_punctuation(*args):
+                punctuation = args[punct_arg]
+                metrics.punctuations_in += 1
+                began = (
+                    tracer is not None and is_source
+                    and tracer.begin(punctuation)
+                )
+                stack.append(0.0)
+                start = perf_counter()
+                try:
+                    bound(*args)
+                finally:
+                    elapsed = perf_counter() - start
+                    exclusive = elapsed - stack.pop()
+                    metrics.punctuation_time += exclusive
+                    if stack:
+                        stack[-1] += elapsed
+                    metrics.note_occupancy(
+                        punctuation.timestamp, op.buffered_count(),
+                        registry.timeline,
+                    )
+                    if tracer is not None:
+                        tracer.span(metrics.label, exclusive)
+                        if began:
+                            tracer.finish(elapsed)
+                    if is_source:
+                        registry._sample_pipeline(punctuation.timestamp)
+            return on_punctuation
+        return wrap
+
+    def _wrap_flush(self, metrics, op):
+        stack = self._stack
+
+        def wrap(bound):
+            def on_flush(*args):
+                metrics.flushes += 1
+                stack.append(0.0)
+                start = perf_counter()
+                try:
+                    bound(*args)
+                finally:
+                    elapsed = perf_counter() - start
+                    metrics.flush_time += elapsed - stack.pop()
+                    if stack:
+                        stack[-1] += elapsed
+            return on_flush
+        return wrap
+
+    def _wrap_emit_event(self, metrics):
+        def wrap(bound):
+            def emit_event(event):
+                metrics.events_out += 1
+                bound(event)
+            return emit_event
+        return wrap
+
+    def _wrap_emit_punctuation(self, metrics):
+        tracer = self.tracer
+
+        def wrap(bound):
+            def emit_punctuation(punctuation):
+                metrics.punctuations_out += 1
+                if tracer is not None:
+                    tracer.stamp(punctuation)
+                bound(punctuation)
+            return emit_punctuation
+        return wrap
+
+    def _sample_pipeline(self, timestamp):
+        """Pipeline-wide occupancy sample, taken once per ingress
+        punctuation after the whole propagation unwinds."""
+        buffered = sum(op.buffered_count() for op in self._all_ops)
+        if buffered > self.occupancy_peak:
+            self.occupancy_peak = buffered
+        if self.timeline:
+            self.occupancy_timeline.append((timestamp, buffered))
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self, memory=None, meta=None) -> PipelineSnapshot:
+        """Aggregate everything collected into one structured export.
+
+        ``memory`` is an optional
+        :class:`~repro.framework.memory.MemoryMeter` whose byte-level peak
+        joins the document; ``meta`` is free-form run context (dataset,
+        stream length, wall time, …).
+        """
+        operators = []
+        for label, metrics in self.operators.items():
+            doc = metrics.as_dict()
+            op = self._ops[label]
+            dropped = getattr(op, "dropped", None)
+            if isinstance(dropped, int):
+                doc["dropped"] = dropped
+            sorter = getattr(op, "sorter", None)
+            stats = getattr(sorter, "stats", None)
+            if stats is not None:
+                doc["sorter"] = stats.as_dict()
+            late = getattr(sorter, "late", None)
+            if late is not None:
+                doc["late"] = {
+                    "policy": late.policy.value,
+                    "dropped": late.dropped,
+                    "adjusted": late.adjusted,
+                }
+            operators.append(doc)
+        occupancy = {
+            "peak": self.occupancy_peak,
+            "samples": len(self.occupancy_timeline),
+            "timeline": [list(s) for s in self.occupancy_timeline],
+        }
+        memory_doc = None
+        if memory is not None:
+            memory_doc = {
+                "peak_events": memory.peak_events,
+                "peak_bytes": memory.peak_bytes,
+                "peak_mb": memory.peak_mb,
+                "samples": memory.samples,
+            }
+        punctuation = self.tracer.summary() if self.tracer else None
+        return PipelineSnapshot(
+            operators, punctuation=punctuation, occupancy=occupancy,
+            memory=memory_doc, meta=meta,
+        )
+
+    def __repr__(self):
+        return (
+            f"MetricsRegistry(operators={len(self.operators)}, "
+            f"attached={len(self._attached)})"
+        )

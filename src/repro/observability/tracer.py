@@ -1,0 +1,112 @@
+"""Punctuation tracing: span timings for every progress marker.
+
+Execution in this engine is synchronous push: when a punctuation enters a
+source operator, *everything* it causes — head cuts in sorters, window
+closes, aggregate emissions, union drains, sink deliveries — happens
+inside that one call before it returns.  The tracer exploits this: a trace
+begins when a punctuation crosses a pipeline source and ends when the call
+unwinds, so the root call's wall-clock *is* the end-to-end
+punctuation-to-emit latency, and the exclusive time each operator spends
+handling the punctuation is that operator's span.
+
+Trace ids are stamped onto the punctuation objects themselves
+(:attr:`repro.engine.event.Punctuation.trace_id`); punctuations *created*
+mid-graph while a trace is active (union's merged watermark, windows'
+aligned promises) inherit the active id at emission, so a downstream
+debugger can correlate derived markers with the ingress marker that caused
+them.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import latency_quantiles
+
+__all__ = ["PunctuationTracer"]
+
+
+class PunctuationTracer:
+    """Records one trace per ingress punctuation.
+
+    Attributes
+    ----------
+    completed:
+        ``(trace_id, punctuation_timestamp, end_to_end_seconds)`` per
+        finished trace, in completion order.
+    spans:
+        ``label -> [exclusive_seconds, ...]`` — per-operator punctuation
+        handling times, aggregated across traces (the per-operator
+        latency histogram source).
+    """
+
+    def __init__(self):
+        self.completed = []
+        self.spans = {}
+        self._active_id = None
+        self._active_timestamp = None
+        self._next_id = 0
+
+    @property
+    def active_id(self):
+        """Trace id of the punctuation currently propagating, or None."""
+        return self._active_id
+
+    def begin(self, punctuation) -> bool:
+        """Open a trace for a punctuation entering a source.
+
+        Returns ``True`` when this call opened the trace (the caller must
+        then :meth:`finish` it); nested/re-entrant begins are ignored.
+        """
+        if self._active_id is not None:
+            return False
+        self._active_id = self._next_id
+        self._next_id += 1
+        self._active_timestamp = punctuation.timestamp
+        if punctuation.trace_id is None:
+            punctuation.trace_id = self._active_id
+        return True
+
+    def stamp(self, punctuation):
+        """Give a mid-graph punctuation the active trace id (if any)."""
+        if self._active_id is not None and punctuation.trace_id is None:
+            punctuation.trace_id = self._active_id
+
+    def span(self, label, exclusive_seconds):
+        """Record one operator's exclusive handling time for the active
+        trace; no-op outside a trace (e.g. flush-driven drains)."""
+        if self._active_id is None:
+            return
+        self.spans.setdefault(label, []).append(exclusive_seconds)
+
+    def finish(self, total_seconds):
+        """Close the active trace with its end-to-end wall-clock time."""
+        self.completed.append(
+            (self._active_id, self._active_timestamp, total_seconds)
+        )
+        self._active_id = None
+        self._active_timestamp = None
+
+    @property
+    def end_to_end(self):
+        """End-to-end latency samples (seconds), one per trace."""
+        return [total for _, _, total in self.completed]
+
+    def summary(self) -> dict:
+        """JSON-ready trace statistics."""
+        return {
+            "traces": len(self.completed),
+            "end_to_end_s": latency_quantiles(self.end_to_end),
+            "per_operator_s": {
+                label: latency_quantiles(samples)
+                for label, samples in self.spans.items()
+            },
+            "series": [
+                {"trace_id": tid, "timestamp": ts, "seconds": total}
+                for tid, ts, total in self.completed
+            ],
+        }
+
+    def __repr__(self):
+        return (
+            f"PunctuationTracer(traces={len(self.completed)}, "
+            f"operators={len(self.spans)})"
+        )

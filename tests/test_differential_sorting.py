@@ -1,0 +1,222 @@
+"""Differential fuzzing: ImpatienceSorter vs a reference model.
+
+The reference model is the specification in miniature: buffer
+everything, apply the late policy at insert time against the current
+watermark, and answer each punctuation with ``sorted()`` of the ready
+prefix.  ImpatienceSorter must match it *per punctuation batch* — not
+just in aggregate — across disorder fractions, duplicate densities, all
+three late policies, and all three merge strategies, while keeping its
+``SorterStats`` counters consistent with what the model observed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import LateEventError
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.core.merge import MERGE_STRATEGIES
+
+
+class ReferenceSorter:
+    """Obviously-correct model: a flat buffer plus ``sorted()``."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.pending = []
+        self.watermark = None
+        self.dropped = 0
+        self.adjusted = 0
+
+    def insert(self, value):
+        if self.watermark is not None and value <= self.watermark:
+            if self.policy is LatePolicy.RAISE:
+                raise LateEventError(value, self.watermark)
+            if self.policy is LatePolicy.DROP:
+                self.dropped += 1
+                return
+            self.adjusted += 1
+            value = self.watermark
+        self.pending.append(value)
+
+    def on_punctuation(self, timestamp):
+        self.watermark = timestamp
+        ready = sorted(v for v in self.pending if v <= timestamp)
+        self.pending = [v for v in self.pending if v > timestamp]
+        return ready
+
+    def flush(self):
+        ready = sorted(self.pending)
+        self.pending = []
+        return ready
+
+
+def make_stream(seed, n, disorder_fraction, duplicate_density,
+                punctuation_every=37, reorder_latency=25,
+                max_displacement=60):
+    """A seeded ``("event", v) / ("punct", t)`` element sequence.
+
+    Disorder is injected by displacing a fraction of values backwards
+    (bounded by ``max_displacement``); punctuations trail the running
+    maximum by ``reorder_latency``, so displacements beyond the latency
+    produce genuinely late events — the policy-divergence cases the
+    differential test exists to cover.
+    """
+    rng = random.Random(seed)
+    values = []
+    for i in range(n):
+        values.append(i)
+        if rng.random() < duplicate_density:
+            values.append(i)
+    for _ in range(int(disorder_fraction * len(values))):
+        i = rng.randrange(len(values))
+        j = max(0, i - rng.randint(1, max_displacement))
+        values[i], values[j] = values[j], values[i]
+
+    elements = []
+    high, last_punct = None, None
+    for count, value in enumerate(values, start=1):
+        elements.append(("event", value))
+        high = value if high is None else max(high, value)
+        if count % punctuation_every == 0:
+            timestamp = high - reorder_latency
+            if last_punct is None or timestamp > last_punct:
+                last_punct = timestamp
+                elements.append(("punct", timestamp))
+    return elements
+
+
+def run_differential(elements, policy, merge, use_extend=False):
+    """Drive both sorters through the same element sequence.
+
+    Asserts batch-by-batch output equality and returns
+    ``(sorter, reference)`` for counter checks.  With ``use_extend`` the
+    events between punctuations go in as one batch (the columnar ingress
+    path) instead of item-by-item.
+    """
+    sorter = ImpatienceSorter(late_policy=policy, merge=merge)
+    reference = ReferenceSorter(policy)
+    batch = []
+    for kind, value in elements:
+        if kind == "event":
+            if use_extend:
+                batch.append(value)
+            else:
+                sorter.insert(value)
+                reference.insert(value)
+            continue
+        if use_extend and batch:
+            sorter.extend(batch)
+            for item in batch:
+                reference.insert(item)
+            batch = []
+        assert sorter.on_punctuation(value) == \
+            reference.on_punctuation(value), \
+            f"divergence at punctuation {value}"
+    if use_extend and batch:
+        sorter.extend(batch)
+        for item in batch:
+            reference.insert(item)
+    assert sorter.flush() == reference.flush()
+    return sorter, reference
+
+
+def assert_stats_consistent(sorter, reference, attempted):
+    """SorterStats / LateEventTracker invariants after a full run."""
+    assert sorter.late.dropped == reference.dropped
+    assert sorter.late.adjusted == reference.adjusted
+    # inserted counts only admitted events; dropped ones never enter.
+    assert sorter.stats.inserted == attempted - reference.dropped
+    # after flush everything admitted has been emitted and nothing is left
+    assert sorter.stats.emitted == sorter.stats.inserted
+    assert sorter.buffered == 0
+    assert sorter.stats.buffered == 0
+    assert sorter.stats.max_buffered <= sorter.stats.inserted
+
+
+MERGES = sorted(MERGE_STRATEGIES)
+KEPT_POLICIES = (LatePolicy.DROP, LatePolicy.ADJUST)
+
+
+@pytest.mark.parametrize("merge", MERGES)
+@pytest.mark.parametrize("policy", KEPT_POLICIES)
+@pytest.mark.parametrize("disorder", [0.0, 0.05, 0.3])
+@pytest.mark.parametrize("duplicates", [0.0, 0.25])
+def test_matches_reference(merge, policy, disorder, duplicates):
+    seed = len(repr((merge, policy.value, disorder, duplicates)))
+    elements = make_stream(
+        seed=seed,
+        n=400, disorder_fraction=disorder, duplicate_density=duplicates,
+    )
+    attempted = sum(1 for kind, _ in elements if kind == "event")
+    sorter, reference = run_differential(elements, policy, merge)
+    assert_stats_consistent(sorter, reference, attempted)
+
+
+@pytest.mark.parametrize("merge", MERGES)
+@pytest.mark.parametrize("policy", KEPT_POLICIES)
+def test_matches_reference_batched_ingress(merge, policy):
+    elements = make_stream(seed=7, n=400, disorder_fraction=0.2,
+                           duplicate_density=0.1)
+    attempted = sum(1 for kind, _ in elements if kind == "event")
+    sorter, reference = run_differential(elements, policy, merge,
+                                         use_extend=True)
+    assert_stats_consistent(sorter, reference, attempted)
+
+
+@pytest.mark.parametrize("merge", MERGES)
+def test_raise_policy_matches_reference(merge):
+    elements = make_stream(seed=11, n=300, disorder_fraction=0.3,
+                           duplicate_density=0.1)
+    # The DROP model tells us whether this stream has any late event.
+    _, probe = run_differential(elements, LatePolicy.DROP, merge)
+    assert probe.dropped > 0, "stream must exercise the late path"
+    with pytest.raises(LateEventError):
+        run_differential(elements, LatePolicy.RAISE, merge)
+
+
+@pytest.mark.parametrize("merge", MERGES)
+def test_raise_policy_silent_on_ordered_stream(merge):
+    elements = make_stream(seed=3, n=300, disorder_fraction=0.0,
+                           duplicate_density=0.2)
+    sorter, reference = run_differential(elements, LatePolicy.RAISE, merge)
+    attempted = sum(1 for kind, _ in elements if kind == "event")
+    assert_stats_consistent(sorter, reference, attempted)
+
+
+def test_unknown_merge_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown merge strategy"):
+        ImpatienceSorter(merge="bogus")
+
+
+class TestPropertyDifferential:
+    """Hypothesis-driven version: arbitrary interleavings, not just the
+    generator's punctuate-every-k schedule."""
+
+    @given(
+        values=st.lists(st.integers(0, 120), min_size=1, max_size=120),
+        punct_mask=st.lists(st.booleans(), min_size=1, max_size=120),
+        latency=st.integers(0, 40),
+        policy=st.sampled_from(KEPT_POLICIES),
+        merge=st.sampled_from(MERGES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_interleavings(self, values, punct_mask, latency,
+                                     policy, merge):
+        elements = []
+        high, last_punct = None, None
+        for i, value in enumerate(values):
+            elements.append(("event", value))
+            high = value if high is None else max(high, value)
+            if punct_mask[i % len(punct_mask)]:
+                timestamp = high - latency
+                if last_punct is None or timestamp > last_punct:
+                    last_punct = timestamp
+                    elements.append(("punct", timestamp))
+        sorter, reference = run_differential(elements, policy, merge)
+        assert_stats_consistent(sorter, reference, len(values))

@@ -67,12 +67,38 @@ class TestOrderingMonitor:
         with pytest.raises(ContractViolation, match="interval"):
             monitor.on_event(Event(5, 5))
 
-    def test_detects_event_after_flush(self):
+    def test_flush_resets_watermark_for_replayed_streams(self):
+        # Regression: a monitor used across replayed streams must not
+        # treat the second pass's events as late against the first
+        # pass's final punctuation (on_flush used to keep the watermark
+        # and forbid further events entirely).
         monitor = OrderingMonitor()
-        wire(monitor)
-        monitor.on_flush()
-        with pytest.raises(ContractViolation, match="after flush"):
+        sink = wire(monitor)
+        for _ in range(2):
             monitor.on_event(Event(1))
+            monitor.on_punctuation(Punctuation(5))
+            monitor.on_event(Event(6))
+            monitor.on_flush()
+        assert sink.sync_times == [1, 6, 1, 6]
+        assert monitor.flushes == 2
+        assert monitor.events_seen == 4
+
+    def test_replayed_stream_reuses_monitor(self):
+        from repro.engine.replay import constant_rate, replay
+
+        monitor = OrderingMonitor(label="replayed")
+        sink = wire(monitor)
+        events = [Event(t) for t in range(20)]
+        for _ in range(2):  # same stream replayed twice, one monitor
+            for element in replay(events, constant_rate(4),
+                                  punctuation_period=2):
+                if isinstance(element, Punctuation):
+                    monitor.on_punctuation(element)
+                else:
+                    monitor.on_event(element)
+            monitor.on_flush()
+        assert sink.sync_times == list(range(20)) * 2
+        assert monitor.flushes == 2
 
 
 class TestContractFuzzing:

@@ -1,0 +1,364 @@
+"""Tests for the pipeline observability layer (repro.observability).
+
+Covers the three tentpole pieces — per-operator metrics hooks,
+punctuation tracing, and the structured snapshot export — plus the
+properties the layer must never break: query results are unchanged by
+instrumentation, and an un-instrumented pipeline carries no hooks at
+all (zero cost when disabled).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import DisorderedStreamable, Event, Punctuation, Streamable
+from repro.engine.graph import Pipeline, QueryBuildError
+from repro.engine.operators.base import Operator
+from repro.observability import (
+    MetricsRegistry,
+    OperatorMetrics,
+    PipelineSnapshot,
+    PunctuationTracer,
+    SCHEMA,
+    latency_quantiles,
+)
+
+
+def elements_fixture(n=100, window=10, punct_every=25):
+    out = []
+    for t in range(n):
+        out.append(Event(t, t + 1, key=t % 7))
+        if t % punct_every == punct_every - 1:
+            out.append(Punctuation(t - window))
+    return out
+
+
+def build_query(elements):
+    return (
+        Streamable.from_elements(elements)
+        .where(lambda e: e.key < 5)
+        .tumbling_window(10)
+        .count()
+    )
+
+
+class TestCounters:
+    def test_per_operator_counts(self):
+        elements = elements_fixture()
+        events = sum(1 for e in elements if isinstance(e, Event))
+        puncts = len(elements) - events
+        kept = sum(
+            1 for e in elements if isinstance(e, Event) and e.key < 5
+        )
+
+        registry = MetricsRegistry()
+        build_query(elements).collect(metrics=registry)
+        snapshot = registry.snapshot()
+
+        source = snapshot.operator("source")
+        assert source["events"]["in"] == events
+        assert source["events"]["out"] == events
+        assert source["punctuations"]["in"] == puncts
+        where = snapshot.operator("where")
+        assert where["events"]["in"] == events
+        assert where["events"]["out"] == kept
+        window = snapshot.operator("tumbling_window")
+        assert window["events"]["in"] == kept
+        # every operator saw exactly one flush
+        assert all(op["flushes"] == 1 for op in snapshot.operators)
+        # busy-time accounting is present and non-negative
+        assert all(op["busy_s"]["total"] >= 0.0 for op in snapshot.operators)
+
+    def test_labels_are_unique_per_instance(self):
+        elements = elements_fixture()
+        stream = (
+            Streamable.from_elements(elements)
+            .where(lambda e: e.key < 6)
+            .where(lambda e: e.key < 5)
+            .count()
+        )
+        registry = MetricsRegistry()
+        stream.collect(metrics=registry)
+        names = [op["name"] for op in registry.snapshot().operators]
+        assert len(names) == len(set(names))
+        assert "where" in names and "where#2" in names
+
+    def test_results_identical_with_and_without_metrics(self):
+        elements = elements_fixture()
+        bare = build_query(elements).collect()
+        instrumented = build_query(elements).collect(
+            metrics=MetricsRegistry()
+        )
+        assert [(e.sync_time, e.payload) for e in bare.events] == \
+            [(e.sync_time, e.payload) for e in instrumented.events]
+        assert bare.punctuations == instrumented.punctuations
+
+
+class TestZeroCostWhenDisabled:
+    SIGNALS = ("on_event", "on_punctuation", "on_flush",
+               "emit_event", "emit_punctuation")
+
+    def test_fresh_operator_has_no_instance_hooks(self):
+        op = Operator()
+        assert not any(s in op.__dict__ for s in self.SIGNALS)
+
+    def test_uninstrumented_pipeline_has_no_instance_hooks(self):
+        elements = elements_fixture()
+        stream = build_query(elements)
+        pipeline = Pipeline([stream.node])
+        assert all(
+            not any(s in op.__dict__ for s in self.SIGNALS)
+            for _, op in pipeline.operator_labels()
+        )
+
+    def test_attach_installs_and_detach_removes(self):
+        elements = elements_fixture()
+        stream = build_query(elements)
+        pipeline = Pipeline([stream.node])
+        registry = MetricsRegistry().attach(pipeline)
+        ops = [op for _, op in pipeline.operator_labels()]
+        assert all("on_event" in op.__dict__ for op in ops)
+        registry.detach()
+        assert all(
+            not any(s in op.__dict__ for s in self.SIGNALS)
+            for op in ops
+        )
+
+    def test_detached_registry_stops_counting(self):
+        elements = elements_fixture()
+        registry = MetricsRegistry()
+        stream = build_query(elements)
+        pipeline = Pipeline([stream.node])
+        registry.attach(pipeline)
+        registry.detach()
+        pipeline.run(elements)
+        assert all(
+            m.events_in == 0 for m in registry.operators.values()
+        )
+
+    def test_instrument_skips_missing_signals(self):
+        op = Operator()
+        originals = op.instrument(
+            {"no_such_method": lambda bound: bound, "on_flush": lambda b: b}
+        )
+        assert "no_such_method" not in originals
+        op.uninstrument(originals)
+        assert "on_flush" not in op.__dict__
+
+
+class TestPunctuationTracing:
+    def test_trace_ids_stamped_on_ingress_punctuations(self):
+        elements = elements_fixture()
+        registry = MetricsRegistry()
+        build_query(elements).collect(metrics=registry)
+        stamped = [
+            e.trace_id for e in elements if isinstance(e, Punctuation)
+        ]
+        assert all(tid is not None for tid in stamped)
+        assert stamped == sorted(set(stamped))  # unique, in order
+
+    def test_one_trace_per_ingress_punctuation(self):
+        elements = elements_fixture()
+        puncts = sum(1 for e in elements if isinstance(e, Punctuation))
+        registry = MetricsRegistry()
+        build_query(elements).collect(metrics=registry)
+        tracer = registry.tracer
+        assert len(tracer.completed) == puncts
+        assert len(tracer.end_to_end) == puncts
+        assert all(total >= 0.0 for total in tracer.end_to_end)
+        assert tracer.active_id is None  # every trace closed
+
+    def test_spans_cover_every_operator_on_the_punctuation_path(self):
+        elements = elements_fixture()
+        registry = MetricsRegistry()
+        build_query(elements).collect(metrics=registry)
+        summary = registry.tracer.summary()
+        for label in ("source", "where", "tumbling_window", "aggregate"):
+            assert label in summary["per_operator_s"], label
+        assert summary["traces"] == summary["end_to_end_s"]["count"]
+
+    def test_tracing_can_be_disabled(self):
+        elements = elements_fixture()
+        registry = MetricsRegistry(trace=False)
+        build_query(elements).collect(metrics=registry)
+        snapshot = registry.snapshot()
+        assert snapshot.punctuation is None
+        assert snapshot.operator("source")["events"]["in"] > 0
+
+    def test_tracer_standalone_semantics(self):
+        tracer = PunctuationTracer()
+        p = Punctuation(10)
+        assert tracer.begin(p) is True
+        assert p.trace_id == 0
+        assert tracer.begin(Punctuation(11)) is False  # re-entrant
+        derived = Punctuation(9)
+        tracer.stamp(derived)
+        assert derived.trace_id == 0
+        tracer.span("sort", 0.25)
+        tracer.finish(1.0)
+        assert tracer.completed == [(0, 10, 1.0)]
+        assert tracer.spans == {"sort": [0.25]}
+        # outside a trace: spans are dropped, stamps are no-ops
+        tracer.span("sort", 0.5)
+        late = Punctuation(12)
+        tracer.stamp(late)
+        assert late.trace_id is None
+        assert tracer.spans == {"sort": [0.25]}
+
+
+class TestOccupancyAndSorterStats:
+    def _disordered_query(self, registry):
+        times = [5, 1, 9, 3, 12, 7, 20, 15, 11, 25, 18, 30]
+        stream = (
+            DisorderedStreamable.from_events(
+                [Event(t) for t in times],
+                punctuation_frequency=4, reorder_latency=6,
+            )
+            .to_streamable()
+            .count()
+        )
+        return stream.collect(metrics=registry)
+
+    def test_occupancy_sampled_at_punctuations(self):
+        registry = MetricsRegistry()
+        self._disordered_query(registry)
+        snapshot = registry.snapshot()
+        sort = snapshot.operator("sort")
+        assert sort["occupancy"]["samples"] > 0
+        assert sort["occupancy"]["peak"] > 0
+        assert snapshot.totals["peak_buffered_events"] > 0
+        assert registry.occupancy_timeline  # pipeline-wide series
+        assert registry.occupancy_peak == max(
+            buffered for _, buffered in registry.occupancy_timeline
+        )
+
+    def test_timeline_can_be_disabled(self):
+        registry = MetricsRegistry(timeline=False)
+        self._disordered_query(registry)
+        snapshot = registry.snapshot()
+        sort = snapshot.operator("sort")
+        assert sort["occupancy"]["timeline"] == []
+        assert sort["occupancy"]["peak"] > 0
+        assert registry.occupancy_timeline == []
+        assert registry.occupancy_peak > 0
+
+    def test_sorter_stats_and_late_policy_merged_into_snapshot(self):
+        registry = MetricsRegistry()
+        self._disordered_query(registry)
+        sort = registry.snapshot().operator("sort")
+        assert sort["sorter"]["inserted"] > 0
+        assert sort["sorter"]["emitted"] == sort["sorter"]["inserted"]
+        assert sort["late"]["policy"] == "drop"
+        assert sort["dropped"] == sort["late"]["dropped"]
+
+
+class TestMultiInputOperators:
+    def test_union_ports_counted(self):
+        left = [Event(1), Punctuation(1), Event(3)]
+        right = [Event(2), Punctuation(2), Event(4)]
+        elements = left + right  # one source feeds both union inputs
+        stream = Streamable.from_elements(elements)
+        unioned = stream.where(lambda e: e.sync_time % 2 == 1).union(
+            stream.where(lambda e: e.sync_time % 2 == 0)
+        )
+        registry = MetricsRegistry()
+        result = unioned.collect(metrics=registry)
+        union = registry.snapshot().operator("union")
+        events = sum(1 for e in elements if isinstance(e, Event))
+        assert union["events"]["in"] == events
+        assert result.completed
+
+    def test_router_out_ports_instrumented(self):
+        from repro.engine.operators.aggregates import Count
+        from repro.engine.sharded import shard_streamable
+
+        elements = elements_fixture(punct_every=20)
+        registry = MetricsRegistry()
+        shard_streamable(
+            Streamable.from_elements(elements),
+            lambda s: s.group_aggregate(Count()),
+            3,
+        ).collect(metrics=registry)
+        snapshot = registry.snapshot()
+        events = sum(1 for e in elements if isinstance(e, Event))
+        ports = [snapshot.operator(f"shard[3]/out[{i}]") for i in range(3)]
+        assert sum(p["events"]["in"] for p in ports) == events
+
+
+class TestSnapshotExport:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        build_query(elements_fixture()).collect(metrics=registry)
+        return registry.snapshot(meta={"dataset": "fixture", "n": 100})
+
+    def test_schema_and_meta(self):
+        doc = self._snapshot().as_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["meta"] == {"dataset": "fixture", "n": 100}
+
+    def test_totals_are_consistent(self):
+        snapshot = self._snapshot()
+        assert snapshot.totals["operators"] == len(snapshot.operators)
+        assert snapshot.totals["events_in"] == sum(
+            op["events"]["in"] for op in snapshot.operators
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        snapshot = self._snapshot()
+        decoded = json.loads(snapshot.to_json())
+        assert decoded["schema"] == SCHEMA
+        assert decoded["punctuation"]["traces"] == \
+            snapshot.punctuation["traces"]
+        path = tmp_path / "metrics.json"
+        snapshot.save(path)
+        assert json.loads(path.read_text())["totals"] == snapshot.totals
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            self._snapshot().operator("nonexistent")
+
+    def test_infinity_serialized(self):
+        snapshot = PipelineSnapshot(
+            [OperatorMetrics("op").as_dict()],
+            meta={"watermark": float("-inf")},
+        )
+        assert json.loads(snapshot.to_json())["meta"]["watermark"] == \
+            float("-inf")
+
+
+class TestFrameworkIntegration:
+    def test_streamables_run_with_metrics(self):
+        times = [3, 1, 7, 5, 12, 9, 20, 14, 11, 30, 25, 22]
+        streams = DisorderedStreamable.from_events(
+            [Event(t) for t in times],
+            punctuation_frequency=4, reorder_latency=8,
+        ).to_streamables([0, 8])
+        registry = MetricsRegistry()
+        result = streams.run(metrics=registry)
+        assert result.metrics is registry
+        snapshot = registry.snapshot(memory=result.memory)
+        names = {op["name"] for op in snapshot.operators}
+        assert {"partition", "sort[0]", "sort[1]"} <= names
+        assert snapshot.as_dict()["memory"] is not None
+        assert snapshot.as_dict()["memory"]["peak_events"] >= 0
+
+    def test_label_of_unknown_operator_rejected(self):
+        stream = build_query(elements_fixture())
+        pipeline = Pipeline([stream.node])
+        with pytest.raises(QueryBuildError):
+            pipeline.label_of(Operator())
+
+
+class TestLatencyQuantiles:
+    def test_empty(self):
+        q = latency_quantiles([])
+        assert q["count"] == 0
+        assert q["p50"] == 0.0
+
+    def test_order_statistics(self):
+        q = latency_quantiles(list(range(1, 101)))
+        assert q["count"] == 100
+        assert q["max"] == 100
+        assert q["p50"] <= q["p90"] <= q["p99"] <= q["max"]

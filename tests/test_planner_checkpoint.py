@@ -157,6 +157,56 @@ class TestCheckpoint:
         with pytest.raises(ValueError, match="tails invariant"):
             restore_sorter(state)
 
+    @pytest.mark.parametrize("merge", ["pairwise", "huffman", "kway"])
+    def test_checkpoint_every_punctuation_boundary(self, merge, rng):
+        """Restart the sorter (checkpoint → JSON → restore) at *every*
+        punctuation boundary of a disordered stream; the emission
+        sequence must be byte-identical to an uninterrupted run."""
+        values = list(range(400))
+        for _ in range(80):
+            i = rng.randrange(len(values))
+            j = max(0, i - rng.randint(1, 30))
+            values[i], values[j] = values[j], values[i]
+
+        def batches(restart):
+            sorter = ImpatienceSorter(merge=merge)
+            out, high = [], None
+            for count, value in enumerate(values, start=1):
+                sorter.insert(value)
+                high = value if high is None else max(high, value)
+                if count % 50 == 0:
+                    out.append(sorter.on_punctuation(high - 20))
+                    if restart:
+                        state = json.loads(
+                            json.dumps(checkpoint_sorter(sorter))
+                        )
+                        sorter = restore_sorter(state)
+            out.append(sorter.flush())
+            return out, sorter
+
+        plain_out, plain = batches(restart=False)
+        restarted_out, restarted = batches(restart=True)
+        assert json.dumps(plain_out) == json.dumps(restarted_out)
+        assert sum(map(len, plain_out)) == sum(map(len, restarted_out))
+        assert plain.watermark == restarted.watermark
+        assert plain.buffered == restarted.buffered == 0
+        # The restored sorter must keep the configured merge strategy.
+        assert restarted.merge == merge
+
+    def test_checkpoint_roundtrips_merge_strategy(self):
+        sorter = ImpatienceSorter(merge="kway")
+        sorter.extend([3, 1, 2])
+        assert restore_sorter(checkpoint_sorter(sorter)).merge == "kway"
+
+    def test_restore_accepts_pre_merge_checkpoints(self):
+        # Checkpoints written before the "merge" key existed carry only
+        # the huffman_merge bool.
+        state = checkpoint_sorter(self._loaded([2, 1]))
+        del state["merge"]
+        restored = restore_sorter(state)
+        assert restored.merge == "huffman"
+        assert restored.flush() == [1, 2]
+
     @given(
         st.lists(st.integers(0, 500), max_size=200),
         st.lists(st.integers(0, 500), max_size=200),

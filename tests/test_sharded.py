@@ -49,6 +49,49 @@ class TestShardedQuery:
             == sorted((e.sync_time, e.key, e.payload) for e in baseline.events)
         )
 
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_equivalent_with_metrics_attached(self, shards, rng):
+        """Instrumentation must not perturb sharded execution, and the
+        snapshot's routing accounting must balance: every ingress event
+        reaches the router, and the per-shard port counts sum back to
+        the ingress count."""
+        from repro.observability import MetricsRegistry
+
+        pairs = sorted(
+            (rng.randrange(500), rng.randrange(20)) for _ in range(600)
+        )
+        elements = ordered_events(pairs)
+        ingress = sum(1 for e in elements if isinstance(e, Event))
+        puncts = len(elements) - ingress
+
+        baseline = (
+            Streamable.from_elements(elements)
+            .apply(grouped_count)
+            .collect()
+        )
+        registry = MetricsRegistry()
+        sharded = shard_streamable(
+            Streamable.from_elements(elements), grouped_count, shards
+        ).collect(metrics=registry)
+        assert (
+            sorted((e.sync_time, e.key, e.payload) for e in sharded.events)
+            == sorted((e.sync_time, e.key, e.payload) for e in baseline.events)
+        )
+
+        snapshot = registry.snapshot()
+        router = snapshot.operator(f"shard[{shards}]")
+        assert router["events"]["in"] == ingress
+        ports = [
+            snapshot.operator(f"shard[{shards}]/out[{i}]")
+            for i in range(shards)
+        ]
+        assert sum(p["events"]["in"] for p in ports) == ingress
+        # Punctuations and flushes broadcast to every shard.
+        assert router["punctuations"]["in"] == puncts
+        for port in ports:
+            assert port["punctuations"]["in"] == puncts
+            assert port["flushes"] == 1
+
     def test_output_is_ordered(self, rng):
         pairs = sorted(
             (rng.randrange(300), rng.randrange(10)) for _ in range(300)
