@@ -9,7 +9,12 @@ Commands
 ``generate``    Write a simulated workload to CSV.
 ``demo``        Run the windowed-count quickstart end to end.
 ``run``         Run an example query fully instrumented; ``--metrics-out``
-                exports the observability JSON document.
+                exports the observability JSON document.  ``--chaos`` /
+                ``--supervised`` run it under the fault-tolerant
+                supervisor with seeded fault injection.
+
+Errors from unreadable or malformed inputs exit with status 2 and a
+one-line ``error: <kind>: <detail>`` on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import sys
 import time
 
 from repro.bench.reporting import format_table
+from repro.core.errors import ReproError
 from repro.metrics import measure_disorder
 from repro.metrics.profile import lateness_quantiles, suggest_reorder_latency
 from repro.sorting.registry import OFFLINE_SORTS, offline_sort
@@ -173,10 +179,25 @@ def _cmd_run(args):
 
     registry = MetricsRegistry()
     meter = MemoryMeter()
+    resilience = None
     start = time.perf_counter()
-    result = stream.collect(on_punctuation=meter.sample, metrics=registry)
-    elapsed = time.perf_counter() - start
-    snapshot = registry.snapshot(memory=meter, meta={
+    if args.supervised or args.chaos:
+        from repro.resilience import run_supervised
+
+        outcome = run_supervised(
+            stream, chaos=args.chaos, seed=args.seed, quarantine=True,
+            metrics=registry, memory=meter,
+        )
+        elapsed = time.perf_counter() - start
+        n_results = len(outcome.events)
+        resilience = outcome.resilience_doc()
+    else:
+        result = stream.collect(
+            on_punctuation=meter.sample, metrics=registry
+        )
+        elapsed = time.perf_counter() - start
+        n_results = len(result)
+    snapshot = registry.snapshot(memory=meter, resilience=resilience, meta={
         "query": args.query,
         "dataset": dataset.name,
         "n": len(dataset),
@@ -189,11 +210,24 @@ def _cmd_run(args):
 
     print(
         f"{args.query} over {dataset.name} (n={len(dataset):,}, "
-        f"reorder latency {latency}): {len(result)} result events "
+        f"reorder latency {latency}): {n_results} result events "
         f"in {elapsed:.3f}s"
     )
     print()
     print(format_metrics_summary(snapshot))
+    if resilience is not None:
+        quarantined = (resilience["quarantine"] or {}).get("total", 0)
+        print()
+        print(
+            f"supervised: restarts={resilience['restarts']} "
+            f"retries={resilience['retries']} "
+            f"checkpoints={resilience['checkpoints']} "
+            f"deduplicated={resilience['outputs_deduplicated']} "
+            f"quarantined={quarantined}"
+        )
+        if args.chaos:
+            fired = resilience.get("chaos", {}).get("fired", {})
+            print(f"chaos (seed {args.seed}): fired={fired or 'none'}")
     if args.metrics_out:
         try:
             snapshot.save(args.metrics_out)
@@ -256,10 +290,24 @@ def main(argv=None) -> int:
                    help="reorder latency (default: 99%% coverage)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the metrics JSON export here")
+    p.add_argument("--supervised", action="store_true",
+                   help="run under the fault-tolerant supervisor")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="fault-injection spec, e.g. "
+                        "'io:p=0.01;crash:punct=5' (implies --supervised)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos RNG seed (default 0)")
     p.set_defaults(fn=_cmd_run)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,10 +1,16 @@
 """The paper's primary contribution: Patience/Impatience sort and friends."""
 
 from repro.core.errors import (
+    ChaosSpecError,
+    CheckpointError,
+    DatasetFormatError,
     LateEventError,
+    MalformedEventError,
     PunctuationOrderError,
     QueryBuildError,
+    ReplayDivergenceError,
     ReproError,
+    SupervisionExhaustedError,
 )
 from repro.core.columnar import ColumnarImpatienceSorter
 from repro.core.impatience import ImpatienceSorter
@@ -22,9 +28,15 @@ from repro.core.runs import RunPool, SortedRun
 from repro.core.stats import SorterStats
 
 __all__ = [
+    "ChaosSpecError",
+    "CheckpointError",
     "ColumnarImpatienceSorter",
+    "DatasetFormatError",
     "ImpatienceSorter",
     "LateEventError",
+    "MalformedEventError",
+    "ReplayDivergenceError",
+    "SupervisionExhaustedError",
     "LateEventTracker",
     "LatePolicy",
     "MERGE_STRATEGIES",

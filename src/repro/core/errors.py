@@ -40,3 +40,69 @@ class QueryBuildError(ReproError):
     ``DisorderedStreamable``, subscribing twice to a single-use source, or
     passing non-increasing reorder latencies to the Impatience framework.
     """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A sorter checkpoint could not be taken or restored.
+
+    Raised for unsupported sorter configurations (keyed sorters are not
+    checkpointable), unknown checkpoint formats, and corrupt state
+    (non-ascending runs, tails-invariant violations).  Subclasses
+    :class:`ValueError` so pre-existing callers that caught the old bare
+    ``ValueError`` keep working.
+    """
+
+
+class DatasetFormatError(ReproError, ValueError):
+    """A dataset file (CSV) is malformed.
+
+    Carries the offending path and, for per-row failures, the 1-based row
+    number (header = row 1), so shell pipelines and operators can locate
+    the bad input.  Subclasses :class:`ValueError` for backward
+    compatibility with callers catching the old bare errors.
+    """
+
+    def __init__(self, path, message, row=None):
+        location = f"{path}:{row}" if row is not None else str(path)
+        super().__init__(f"{location}: {message}")
+        self.path = str(path)
+        self.row = row
+
+
+class MalformedEventError(ReproError):
+    """A stream element is neither a valid event nor a punctuation.
+
+    Raised by the supervised runtime's ingress guard when quarantine is
+    disabled; with a quarantine ledger configured the element is recorded
+    and skipped instead.
+    """
+
+    def __init__(self, element):
+        super().__init__(f"malformed stream element: {element!r}")
+        self.element = element
+
+
+class ChaosSpecError(ReproError, ValueError):
+    """A chaos-injection spec string could not be parsed.
+
+    See ``docs/resilience.md`` for the spec grammar.
+    """
+
+
+class ReplayDivergenceError(ReproError):
+    """Recovery replay re-emitted output that differs from what was
+    already delivered.
+
+    Supervised recovery assumes the pipeline is deterministic: replaying
+    the journaled ingress prefix must re-produce the already-delivered
+    outputs byte-for-byte so they can be deduplicated.  This error means
+    an operator in the pipeline is non-deterministic (or mutated shared
+    state) and exactly-once delivery cannot be guaranteed.
+    """
+
+
+class SupervisionExhaustedError(ReproError):
+    """The supervised runtime gave up: retry/restart budget exhausted.
+
+    The original failure is attached as ``__cause__``.
+    """

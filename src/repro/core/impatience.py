@@ -70,7 +70,8 @@ class ImpatienceSorter:
     """
 
     def __init__(self, key=None, huffman_merge=True, speculative=True,
-                 late_policy=LatePolicy.DROP, sample_every=None, merge=None):
+                 late_policy=LatePolicy.DROP, sample_every=None, merge=None,
+                 quarantine=None):
         self.key = key
         if merge is None:
             merge = "huffman" if huffman_merge else "pairwise"
@@ -81,7 +82,7 @@ class ImpatienceSorter:
             )
         self.merge = merge
         self.stats = SorterStats()
-        self.late = LateEventTracker(late_policy)
+        self.late = LateEventTracker(late_policy, quarantine=quarantine)
         self.sample_every = sample_every
         self._pool = RunPool(speculative=speculative, keyless=key is None,
                              stats=self.stats)

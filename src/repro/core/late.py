@@ -32,15 +32,25 @@ class LateEventTracker:
     The tracker is shared by sorters and ingress sites so that Table II-style
     completeness numbers (fraction of events preserved) can be computed after
     a run.
+
+    ``quarantine`` (usually attached by a supervisor rather than passed at
+    construction) is an optional dead-letter ledger — with one attached, a
+    late event under :data:`LatePolicy.RAISE` is recorded there with reason
+    ``"late-event"`` and excluded from the output instead of killing the
+    run.
     """
 
-    __slots__ = ("policy", "dropped", "adjusted", "total")
+    __slots__ = ("policy", "dropped", "adjusted", "quarantined", "total",
+                 "quarantine")
 
-    def __init__(self, policy: LatePolicy = LatePolicy.DROP):
+    def __init__(self, policy: LatePolicy = LatePolicy.DROP,
+                 quarantine=None):
         self.policy = policy
         self.dropped = 0
         self.adjusted = 0
+        self.quarantined = 0
         self.total = 0
+        self.quarantine = quarantine
 
     def admit(self, event_time, punctuation_time):
         """Decide the fate of a late event.
@@ -51,7 +61,13 @@ class LateEventTracker:
         """
         self.total += 1
         if self.policy is LatePolicy.RAISE:
-            raise LateEventError(event_time, punctuation_time)
+            if self.quarantine is None:
+                raise LateEventError(event_time, punctuation_time)
+            self.quarantined += 1
+            self.quarantine.record(
+                "late-event", event_time, watermark=punctuation_time,
+            )
+            return None
         if self.policy is LatePolicy.DROP:
             self.dropped += 1
             return None
@@ -61,16 +77,17 @@ class LateEventTracker:
     @property
     def preserved(self) -> int:
         """Number of late events that were kept (after adjustment)."""
-        return self.total - self.dropped
+        return self.total - self.dropped - self.quarantined
 
     def completeness(self, total_events: int) -> float:
-        """Fraction of ``total_events`` not dropped (1.0 when none late)."""
+        """Fraction of ``total_events`` not excluded (1.0 when none late)."""
         if total_events <= 0:
             return 1.0
-        return 1.0 - self.dropped / total_events
+        return 1.0 - (self.dropped + self.quarantined) / total_events
 
     def __repr__(self):
         return (
             f"LateEventTracker(policy={self.policy.value}, "
-            f"dropped={self.dropped}, adjusted={self.adjusted})"
+            f"dropped={self.dropped}, adjusted={self.adjusted}, "
+            f"quarantined={self.quarantined})"
         )

@@ -10,18 +10,29 @@ and restores a behaviourally identical sorter.
 Only the scalar :class:`~repro.core.impatience.ImpatienceSorter` in
 keyless mode (or with reconstructible items) is supported: items must be
 representable in the checkpoint.  For keyed sorters over rich events,
-checkpoint at ingress (store raw events) instead.
+checkpoint at ingress (store raw events) instead — that is what
+:mod:`repro.resilience.supervisor` does for full pipelines.
+
+Checkpointing is side-effect-free: the staged ingress batch is captured
+as-is (format 2's ``pending`` field) rather than being force-partitioned
+into the run pool, so taking a checkpoint never changes the live
+sorter's subsequent behaviour or its run statistics.
 """
 
 from __future__ import annotations
 
+from repro.core.errors import CheckpointError
 from repro.core.impatience import ImpatienceSorter
 from repro.core.late import LatePolicy
 from repro.core.runs import SortedRun
 
 __all__ = ["checkpoint_sorter", "restore_sorter"]
 
-_FORMAT = 1
+#: Current checkpoint format.  Format 1 (no ``pending`` field; the
+#: ingress batch was flushed into the runs before capture) restores
+#: transparently.
+_FORMAT = 2
+_ACCEPTED_FORMATS = (1, 2)
 
 
 def checkpoint_sorter(sorter: ImpatienceSorter) -> dict:
@@ -29,19 +40,20 @@ def checkpoint_sorter(sorter: ImpatienceSorter) -> dict:
 
     Captures the live runs (head-compacted), the pending ingress batch,
     the watermark, and the late-policy configuration.  Statistics are
-    intentionally excluded — they are observability, not state.
+    intentionally excluded — they are observability, not state.  The
+    live sorter is not mutated.
     """
     if sorter.key is not None:
-        raise ValueError(
+        raise CheckpointError(
             "only keyless sorters are checkpointable; checkpoint raw "
             "events at ingress for keyed sorters"
         )
-    sorter._flush_pending()
     runs = [run.live()[0] for run in sorter._pool.runs]
     watermark = sorter.watermark
     return {
         "format": _FORMAT,
         "runs": runs,
+        "pending": list(sorter._pending_keys),
         "watermark": None if watermark == float("-inf") else watermark,
         "late_policy": sorter.late.policy.value,
         "merge": sorter.merge,
@@ -56,8 +68,8 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
     The restored sorter emits exactly what the original would have for
     any subsequent input (behavioural equivalence is property-tested).
     """
-    if state.get("format") != _FORMAT:
-        raise ValueError(
+    if state.get("format") not in _ACCEPTED_FORMATS:
+        raise CheckpointError(
             f"unsupported checkpoint format {state.get('format')!r}"
         )
     sorter = ImpatienceSorter(
@@ -70,9 +82,9 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
     pool = sorter._pool
     for keys in state["runs"]:
         if not keys:
-            raise ValueError("checkpoint contains an empty run")
+            raise CheckpointError("checkpoint contains an empty run")
         if any(b < a for a, b in zip(keys, keys[1:])):
-            raise ValueError("checkpoint run is not ascending")
+            raise CheckpointError("checkpoint run is not ascending")
         run = SortedRun(keyless=True)
         run.keys.extend(keys)
         pool.runs.append(run)
@@ -81,9 +93,14 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
     if any(
         a <= b for a, b in zip(pool.tails, pool.tails[1:])
     ):
-        raise ValueError("checkpoint runs violate the tails invariant")
+        raise CheckpointError("checkpoint runs violate the tails invariant")
     if state["watermark"] is not None:
         sorter._watermark = state["watermark"]
         sorter._has_watermark = True
+    # The staged ingress batch re-enters as a staged batch, preserving
+    # the original's partition timing (format 1 checkpoints have none).
+    pending = state.get("pending") or []
+    sorter._pending_keys.extend(pending)
+    sorter.stats.inserted += len(pending)
     sorter.stats.note_buffered()
     return sorter

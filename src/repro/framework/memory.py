@@ -30,6 +30,11 @@ class MemoryMeter:
         if buffered > self.peak_events:
             self.peak_events = buffered
 
+    def reset(self):
+        """Forget the peak (supervised execution resets per attempt)."""
+        self.peak_events = 0
+        self.samples = 0
+
     @property
     def peak_bytes(self) -> int:
         """Peak buffered volume in bytes."""

@@ -113,7 +113,8 @@ class Streamables:
         ]
         return Pipeline(sink_nodes)
 
-    def run(self, memory_meter=None, metrics=None) -> "StreamablesResult":
+    def run(self, memory_meter=None, metrics=None,
+            supervised=None) -> "StreamablesResult":
         """Materialize all outputs into one pipeline and drive the source.
 
         Returns a :class:`StreamablesResult` with per-output collectors,
@@ -123,6 +124,14 @@ class Streamables:
         before the source is driven; it is also stored on the result so
         ``result.metrics.snapshot(memory=result.memory)`` exports the
         whole framework execution.
+
+        ``supervised`` turns on fault-tolerant execution: ``True`` for
+        defaults, or a dict of
+        :class:`~repro.resilience.supervisor.PipelineSupervisor` options
+        (``chaos``, ``quarantine``, ``guard``, ``checkpoint_every``,
+        ``max_restarts``, ...).  The pipeline is then rebuilt and
+        replayed across crashes with exactly-once output delivery; the
+        supervised outcome rides on ``result.supervised``.
         """
         meter = MemoryMeter() if memory_meter is None else memory_meter
         clock = {}
@@ -134,6 +143,11 @@ class Streamables:
             )
             for i, stream in enumerate(self._outputs)
         ]
+        if supervised:
+            return self._run_supervised(
+                sink_nodes, clock, meter, metrics,
+                {} if supervised is True else dict(supervised),
+            )
         pipeline = Pipeline(sink_nodes)
         # Late-bound: the partition instance exists only after the graph
         # materializes; events flow strictly afterwards.
@@ -147,6 +161,33 @@ class Streamables:
             collectors, partition, meter, self.latencies
         )
         result.metrics = metrics
+        return result
+
+    def _run_supervised(self, sink_nodes, clock, meter, metrics, options):
+        from repro.resilience.supervisor import PipelineSupervisor
+
+        def build():
+            pipeline = Pipeline(sink_nodes)
+            clock["partition"] = pipeline.operator_for(self._partition_node)
+            return pipeline, [
+                pipeline.operator_for(node) for node in sink_nodes
+            ]
+
+        supervisor = PipelineSupervisor(
+            build, self._source.elements(),
+            metrics=metrics, memory=meter, **options,
+        )
+        outcome = supervisor.run()
+        # The last attempt is fully caught up, so its collectors hold the
+        # same (verified) events as the exactly-once channels, plus the
+        # per-output latency samples.
+        result = StreamablesResult(
+            outcome.collectors,
+            outcome.pipeline.operator_for(self._partition_node),
+            meter, self.latencies,
+        )
+        result.metrics = metrics
+        result.supervised = outcome
         return result
 
 
@@ -164,6 +205,9 @@ class StreamablesResult:
         #: the :class:`~repro.observability.MetricsRegistry` attached to
         #: the run, or ``None`` when observability was off.
         self.metrics = None
+        #: the :class:`~repro.resilience.supervisor.SupervisedResult` when
+        #: the run was supervised, else ``None``.
+        self.supervised = None
 
     def output_events(self, index):
         """Events emitted on the index-th output, in emission order."""

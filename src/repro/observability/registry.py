@@ -80,6 +80,24 @@ class MetricsRegistry:
             op.uninstrument(originals)
         self._attached.clear()
 
+    def reset(self):
+        """Detach and forget everything collected.
+
+        Supervised execution re-attaches one registry to every restart
+        attempt's fresh pipeline; resetting first keeps the final counts
+        describing the logical (replayed) run rather than summing the
+        attempts.
+        """
+        self.detach()
+        self.operators.clear()
+        self._ops.clear()
+        self._all_ops.clear()
+        self._stack.clear()
+        self.occupancy_timeline.clear()
+        self.occupancy_peak = 0
+        if self.tracer is not None:
+            self.tracer = PunctuationTracer()
+
     # -- instrumentation ---------------------------------------------------
 
     def _instrument(self, op, label, is_source):
@@ -209,13 +227,17 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
-    def snapshot(self, memory=None, meta=None) -> PipelineSnapshot:
+    def snapshot(self, memory=None, meta=None,
+                 resilience=None) -> PipelineSnapshot:
         """Aggregate everything collected into one structured export.
 
         ``memory`` is an optional
         :class:`~repro.framework.memory.MemoryMeter` whose byte-level peak
         joins the document; ``meta`` is free-form run context (dataset,
-        stream length, wall time, …).
+        stream length, wall time, …); ``resilience`` is a supervised
+        run's fault/recovery summary
+        (:meth:`~repro.resilience.supervisor.SupervisedResult
+        .resilience_doc`).
         """
         operators = []
         for label, metrics in self.operators.items():
@@ -234,6 +256,7 @@ class MetricsRegistry:
                     "policy": late.policy.value,
                     "dropped": late.dropped,
                     "adjusted": late.adjusted,
+                    "quarantined": late.quarantined,
                 }
             operators.append(doc)
         occupancy = {
@@ -252,7 +275,7 @@ class MetricsRegistry:
         punctuation = self.tracer.summary() if self.tracer else None
         return PipelineSnapshot(
             operators, punctuation=punctuation, occupancy=occupancy,
-            memory=memory_doc, meta=meta,
+            memory=memory_doc, meta=meta, resilience=resilience,
         )
 
     def __repr__(self):

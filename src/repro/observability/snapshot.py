@@ -21,7 +21,7 @@ class PipelineSnapshot:
     """An immutable, JSON-ready view of a pipeline's collected metrics."""
 
     def __init__(self, operators, punctuation=None, occupancy=None,
-                 memory=None, meta=None):
+                 memory=None, meta=None, resilience=None):
         self._doc = {
             "schema": SCHEMA,
             "meta": dict(meta or {}),
@@ -29,6 +29,7 @@ class PipelineSnapshot:
             "punctuation": punctuation,
             "occupancy": occupancy,
             "memory": memory,
+            "resilience": resilience,
             "totals": self._totals(operators, occupancy),
         }
 
@@ -69,6 +70,11 @@ class PipelineSnapshot:
     def punctuation(self):
         """Punctuation trace statistics (None when tracing was off)."""
         return self._doc["punctuation"]
+
+    @property
+    def resilience(self):
+        """Supervised-run fault/recovery summary (None for plain runs)."""
+        return self._doc["resilience"]
 
     @property
     def totals(self) -> dict:

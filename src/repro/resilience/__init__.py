@@ -1,0 +1,59 @@
+"""Fault-tolerant runtime: supervision, chaos, quarantine, degradation.
+
+The resilience layer wraps the existing engine without modifying its
+operators: a supervisor owns the ingress loop (journal + checkpoint +
+restart + replay + exactly-once delivery), a seeded fault injector
+manufactures the failures the supervisor claims to survive, a
+dead-letter ledger absorbs poison events, and a load-shedding guard
+degrades gracefully instead of running out of memory.  See
+``docs/resilience.md`` for the full design.
+"""
+
+from repro.resilience.chaos import (
+    ChaosSpec,
+    FaultInjector,
+    InjectedCrashError,
+    MalformedEvent,
+    TransientInjectedError,
+    parse_chaos_spec,
+)
+from repro.resilience.degradation import (
+    DEGRADE_LATE_POLICY,
+    EARLY_PUNCTUATION,
+    DegradationDecision,
+    LoadSheddingGuard,
+)
+from repro.resilience.quarantine import (
+    QuarantinedEvent,
+    QuarantineLedger,
+    Reason,
+)
+from repro.resilience.sorter import SorterResult, SorterSupervisor
+from repro.resilience.supervisor import (
+    PipelineSupervisor,
+    RetryPolicy,
+    SupervisedResult,
+    run_supervised,
+)
+
+__all__ = [
+    "ChaosSpec",
+    "DEGRADE_LATE_POLICY",
+    "DegradationDecision",
+    "EARLY_PUNCTUATION",
+    "FaultInjector",
+    "InjectedCrashError",
+    "LoadSheddingGuard",
+    "MalformedEvent",
+    "PipelineSupervisor",
+    "QuarantineLedger",
+    "QuarantinedEvent",
+    "Reason",
+    "RetryPolicy",
+    "SorterResult",
+    "SorterSupervisor",
+    "SupervisedResult",
+    "TransientInjectedError",
+    "parse_chaos_spec",
+    "run_supervised",
+]

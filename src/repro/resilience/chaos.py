@@ -1,0 +1,408 @@
+"""Deterministic fault injection for recovery testing.
+
+A :class:`FaultInjector` wraps an ingress iterable (or an operator) and
+injects configurable faults drawn from a seeded RNG, so every failure
+mode the supervisor claims to survive can be reproduced exactly — in
+tests and from the CLI (``repro run --chaos <spec> --seed N``).
+
+Fault spec grammar (full reference in ``docs/resilience.md``)::
+
+    spec     := clause (";" clause)*
+    clause   := fault [":" param ("," param)*]
+    param    := key "=" value
+    fault    := "io" | "crash" | "malform" | "dup" | "drop"
+              | "regress" | "op"
+
+Examples::
+
+    io:p=0.01                      1% transient IOError per source pull
+    crash:punct=5                  crash after the 5th punctuation
+    crash:every=50,limit=3         crash after every 50th, at most 3 times
+    malform:p=0.002                inject garbage elements
+    dup:p=0.01                     duplicate elements (at-least-once feed)
+    drop:p=0.001                   lose elements outright
+    regress:p=0.01,delta=5         inject regressing punctuations
+    op:p=0.001,limit=2             operator-level crashes (wrap_operator)
+
+Faults are injected *losslessly* where the real-world analogue is
+lossless: transient I/O errors raise before the underlying element is
+consumed, crashes fire on the pull after a punctuation was delivered,
+and malformed/regressing elements are injected *in addition to* the
+real stream — so a supervised, quarantining run over a chaos-wrapped
+source can still be byte-identical to the fault-free run.  ``drop`` is
+the deliberate exception: it models true upstream data loss.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ChaosSpecError
+from repro.engine.event import is_punctuation
+
+__all__ = [
+    "ChaosSpec",
+    "FaultInjector",
+    "InjectedCrashError",
+    "MalformedEvent",
+    "TransientInjectedError",
+    "parse_chaos_spec",
+]
+
+
+class TransientInjectedError(IOError):
+    """Injected transient source failure; retry succeeds (no data loss)."""
+
+
+class InjectedCrashError(RuntimeError):
+    """Injected hard crash; recovery requires restore-and-replay."""
+
+
+class MalformedEvent:
+    """An unparseable stream element (the injected "poison row").
+
+    Deliberately satisfies neither the event protocol (``sync_time`` is
+    ``None``) nor the punctuation protocol, so ingress validation must
+    either quarantine it or fail.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw):
+        self.raw = raw
+
+    #: Present but unusable, like a log row whose timestamp failed to parse.
+    sync_time = None
+
+    def __repr__(self):
+        return f"MalformedEvent({self.raw!r})"
+
+
+_FAULT_KEYS = {
+    "io": {"p", "limit"},
+    "crash": {"punct", "every", "limit"},
+    "malform": {"p", "limit"},
+    "dup": {"p", "limit"},
+    "drop": {"p", "limit"},
+    "regress": {"p", "delta", "limit"},
+    "op": {"p", "limit"},
+}
+
+
+class ChaosSpec:
+    """Parsed fault configuration (one attribute group per fault)."""
+
+    def __init__(self):
+        self.io_p = 0.0
+        self.io_limit = None
+        self.crash_puncts = frozenset()
+        self.crash_every = None
+        self.crash_limit = None
+        self.malform_p = 0.0
+        self.malform_limit = None
+        self.dup_p = 0.0
+        self.dup_limit = None
+        self.drop_p = 0.0
+        self.drop_limit = None
+        self.regress_p = 0.0
+        self.regress_delta = 1
+        self.regress_limit = None
+        self.op_p = 0.0
+        self.op_limit = None
+
+    def __repr__(self):
+        active = [
+            name for name in (
+                "io", "crash", "malform", "dup", "drop", "regress", "op"
+            )
+            if getattr(self, f"{name}_p", 0.0)
+            or (name == "crash" and (self.crash_puncts or self.crash_every))
+        ]
+        return f"ChaosSpec(active={active})"
+
+
+def _parse_params(fault, body, path):
+    params = {}
+    for part in body.split(","):
+        if "=" not in part:
+            raise ChaosSpecError(
+                f"{path}: expected key=value, got {part!r}"
+            )
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in _FAULT_KEYS[fault]:
+            raise ChaosSpecError(
+                f"{path}: unknown parameter {key!r} for fault {fault!r} "
+                f"(expected one of {sorted(_FAULT_KEYS[fault])})"
+            )
+        params[key] = value.strip()
+    return params
+
+
+def _float_param(params, key, path, default=None):
+    if key not in params:
+        if default is None:
+            raise ChaosSpecError(f"{path}: missing required {key}=")
+        return default
+    try:
+        value = float(params[key])
+    except ValueError:
+        raise ChaosSpecError(
+            f"{path}: {key}={params[key]!r} is not a number"
+        ) from None
+    if key == "p" and not 0.0 <= value <= 1.0:
+        raise ChaosSpecError(f"{path}: p must be in [0, 1], got {value}")
+    return value
+
+
+def _int_param(params, key, path, default=None, minimum=1):
+    if key not in params:
+        return default
+    try:
+        value = int(params[key])
+    except ValueError:
+        raise ChaosSpecError(
+            f"{path}: {key}={params[key]!r} is not an integer"
+        ) from None
+    if value < minimum:
+        raise ChaosSpecError(f"{path}: {key} must be >= {minimum}")
+    return value
+
+
+def parse_chaos_spec(spec) -> ChaosSpec:
+    """Parse a chaos spec string (see the module docstring's grammar).
+
+    A :class:`ChaosSpec` passes through unchanged, so callers can accept
+    either form.  Raises :class:`~repro.core.errors.ChaosSpecError` on
+    any grammar or range violation.
+    """
+    if isinstance(spec, ChaosSpec):
+        return spec
+    parsed = ChaosSpec()
+    if not spec or not spec.strip():
+        raise ChaosSpecError("empty chaos spec")
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        fault, _, body = clause.partition(":")
+        fault = fault.strip()
+        if fault not in _FAULT_KEYS:
+            raise ChaosSpecError(
+                f"unknown fault {fault!r} "
+                f"(expected one of {sorted(_FAULT_KEYS)})"
+            )
+        params = _parse_params(fault, body, clause) if body else {}
+        if fault == "crash":
+            puncts = params.get("punct")
+            if puncts is not None:
+                try:
+                    values = frozenset(
+                        int(v) for v in puncts.split("+")
+                    )
+                except ValueError:
+                    raise ChaosSpecError(
+                        f"{clause}: punct must be ints joined by '+', "
+                        f"got {puncts!r}"
+                    ) from None
+                if any(v < 1 for v in values):
+                    raise ChaosSpecError(
+                        f"{clause}: punctuation indices are 1-based"
+                    )
+                parsed.crash_puncts = parsed.crash_puncts | values
+            parsed.crash_every = _int_param(params, "every", clause)
+            parsed.crash_limit = _int_param(params, "limit", clause)
+            if not parsed.crash_puncts and parsed.crash_every is None:
+                raise ChaosSpecError(
+                    f"{clause}: crash needs punct= or every="
+                )
+        elif fault == "regress":
+            parsed.regress_p = _float_param(params, "p", clause)
+            parsed.regress_delta = _int_param(
+                params, "delta", clause, default=1
+            )
+            parsed.regress_limit = _int_param(params, "limit", clause)
+        else:
+            setattr(parsed, f"{fault}_p", _float_param(params, "p", clause))
+            setattr(
+                parsed, f"{fault}_limit", _int_param(params, "limit", clause)
+            )
+    return parsed
+
+
+class FaultInjector:
+    """Seeded fault source; wraps iterables and operators.
+
+    One injector instance carries its RNG and fault counters across
+    supervisor restarts — recovery replays do not consult the injector
+    (the journal already holds the elements it produced), so a crash
+    scheduled "after the 8th punctuation" fires exactly once no matter
+    how many times the pipeline restarts before or after it.
+    """
+
+    def __init__(self, spec, seed=0):
+        self.spec = parse_chaos_spec(spec)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: fault name -> times fired, for reporting and limits.
+        self.fired = {}
+        self._punct_count = 0
+        self._crash_armed = False
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, fault):
+        self.fired[fault] = self.fired.get(fault, 0) + 1
+
+    def _within_limit(self, fault, limit) -> bool:
+        return limit is None or self.fired.get(fault, 0) < limit
+
+    def _roll(self, fault, p, limit) -> bool:
+        """One Bernoulli trial, drawn unconditionally for determinism."""
+        if p <= 0.0:
+            return False
+        hit = self.rng.random() < p
+        if hit and self._within_limit(fault, limit):
+            self._count(fault)
+            return True
+        return False
+
+    # -- iterable wrapping -------------------------------------------------
+
+    def wrap(self, iterable):
+        """Chaos-wrap an ingress element iterable.
+
+        Returns an iterator whose ``__next__`` may raise
+        :class:`TransientInjectedError` (before consuming the underlying
+        element — a retry loses nothing) or :class:`InjectedCrashError`
+        (armed by the preceding punctuation, fired before consuming —
+        recovery resumes exactly where the crash hit).
+        """
+        return _ChaosIterator(self, iter(iterable))
+
+    # -- operator wrapping -------------------------------------------------
+
+    def wrap_operator(self, op):
+        """Wrap a live operator's ``on_event`` to inject crashes.
+
+        Uses the ``op:p=...,limit=...`` fault.  Returns ``op`` (wrapped
+        in place via the observability instrument hook, so the wrapper
+        is per-instance and disappears with the instance).
+        """
+        injector = self
+
+        def wrap(bound):
+            def on_event(event):
+                if injector._roll(
+                    "op", injector.spec.op_p, injector.spec.op_limit
+                ):
+                    raise InjectedCrashError(
+                        f"injected operator fault at {event!r}"
+                    )
+                bound(event)
+            return on_event
+
+        op.instrument({"on_event": wrap})
+        return op
+
+    def summary(self) -> dict:
+        """Faults fired so far, by name (for result reporting)."""
+        return dict(sorted(self.fired.items()))
+
+    def __repr__(self):
+        return f"FaultInjector(seed={self.seed}, fired={self.summary()})"
+
+
+def _element_kind(element):
+    """'punct' | 'event' for both rich and raw-pair streams."""
+    if is_punctuation(element):
+        return "punct"
+    if type(element) is tuple and len(element) == 2 and \
+            element[0] == "punct":
+        return "punct"
+    return "event"
+
+
+def _punct_timestamp(element):
+    return element[1] if type(element) is tuple else element.timestamp
+
+
+def _make_regressed(element, timestamp):
+    """A regressing punctuation in the same representation as ``element``."""
+    if type(element) is tuple:
+        return ("punct", timestamp)
+    from repro.engine.event import Punctuation
+
+    return Punctuation(timestamp)
+
+
+class _ChaosIterator:
+    """Iterator over a chaos-wrapped source (restartable after raises)."""
+
+    __slots__ = ("_injector", "_it", "_pending", "_last_punct")
+
+    def __init__(self, injector, it):
+        self._injector = injector
+        self._it = it
+        self._pending = []
+        self._last_punct = None
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        inj = self._injector
+        spec = inj.spec
+        while True:
+            # Crash armed by the previously delivered punctuation: fire
+            # before consuming anything, so no element is lost.
+            if inj._crash_armed:
+                inj._crash_armed = False
+                inj._count("crash")
+                raise InjectedCrashError(
+                    f"injected crash after punctuation "
+                    f"#{inj._punct_count}"
+                )
+            if self._pending:
+                return self._pending.pop(0)
+            if inj._roll("io", spec.io_p, spec.io_limit):
+                raise TransientInjectedError(
+                    "injected transient source failure"
+                )
+            element = next(self._it)
+            if _element_kind(element) == "punct":
+                inj._punct_count += 1
+                if self._crash_due():
+                    inj._crash_armed = True
+                if inj._roll(
+                    "regress", spec.regress_p, spec.regress_limit
+                ) and self._last_punct is not None:
+                    self._pending.append(_make_regressed(
+                        element,
+                        self._last_punct - spec.regress_delta,
+                    ))
+                self._last_punct = _punct_timestamp(element)
+                return element
+            # Event faults.
+            if inj._roll("drop", spec.drop_p, spec.drop_limit):
+                continue
+            if inj._roll("malform", spec.malform_p, spec.malform_limit):
+                self._pending.append(element)
+                return MalformedEvent(
+                    f"garbage#{inj.fired['malform']}"
+                )
+            if inj._roll("dup", spec.dup_p, spec.dup_limit):
+                self._pending.append(element)
+            return element
+
+    def _crash_due(self) -> bool:
+        inj = self._injector
+        spec = inj.spec
+        if not inj._within_limit("crash", spec.crash_limit):
+            return False
+        if inj._punct_count in spec.crash_puncts:
+            return True
+        return bool(
+            spec.crash_every
+            and inj._punct_count % spec.crash_every == 0
+        )

@@ -1,0 +1,167 @@
+"""Graceful degradation: load shedding before memory kills the process.
+
+A sorter under punctuation starvation (or fed a pathologically late
+stream) buffers without bound — the Figure 10 memory series turned into
+an OOM.  The :class:`LoadSheddingGuard` watches pipeline buffered
+occupancy (the same ``buffered_count`` census as
+:class:`~repro.framework.memory.MemoryMeter`) at every punctuation and,
+past a configurable bound, takes one of two recorded actions:
+
+* ``early-punctuation`` — ask the supervisor to force a punctuation at
+  the current event-time high watermark, flushing the reorder buffers
+  (equivalent to temporarily shrinking the reorder latency to zero:
+  memory is saved, subsequent genuinely-late events pay the late
+  policy);
+* ``degrade-late-policy`` — flip every sorter running
+  :data:`~repro.core.late.LatePolicy.RAISE` to
+  :data:`~repro.core.late.LatePolicy.ADJUST`, trading strictness for
+  availability without forcing emission.
+
+Every decision is recorded with its trigger context and surfaces in the
+``PipelineSnapshot`` export (``resilience.degradations``).
+"""
+
+from __future__ import annotations
+
+from repro.core.late import LatePolicy
+from repro.engine.event import EVENT_BYTES
+
+__all__ = ["DegradationDecision", "LoadSheddingGuard"]
+
+_NEG_INF = float("-inf")
+
+#: Guard modes.
+EARLY_PUNCTUATION = "early-punctuation"
+DEGRADE_LATE_POLICY = "degrade-late-policy"
+_MODES = (EARLY_PUNCTUATION, DEGRADE_LATE_POLICY)
+
+
+class DegradationDecision:
+    """One recorded shedding action."""
+
+    __slots__ = ("kind", "buffered", "watermark", "detail")
+
+    def __init__(self, kind, buffered, watermark, detail):
+        self.kind = kind
+        #: buffered events at the moment of the decision.
+        self.buffered = buffered
+        #: event-time high watermark when the decision fired.
+        self.watermark = watermark
+        #: action specifics (forced timestamp / degraded operator count).
+        self.detail = dict(detail)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buffered": self.buffered,
+            "watermark": self.watermark,
+            "detail": dict(self.detail),
+        }
+
+    def __repr__(self):
+        return (
+            f"DegradationDecision({self.kind}, buffered={self.buffered}, "
+            f"watermark={self.watermark!r})"
+        )
+
+
+class LoadSheddingGuard:
+    """Occupancy watchdog with a recorded degradation policy.
+
+    Parameters
+    ----------
+    max_buffered_events:
+        Occupancy bound in events; checked against the pipeline-wide
+        ``buffered_events()`` census after every punctuation.
+    max_buffered_mb:
+        Alternative bound in megabytes using the Trill event layout
+        (:data:`~repro.engine.event.EVENT_BYTES` per event); exactly one
+        of the two bounds must be given.
+    mode:
+        ``"early-punctuation"`` (default) or ``"degrade-late-policy"``.
+    bytes_per_event:
+        Byte cost used to convert ``max_buffered_mb``.
+    check_interval:
+        The supervisor consults the guard after every punctuation *and*
+        every ``check_interval`` ingress events — the latter is what
+        catches punctuation starvation, where no punctuation ever
+        arrives to trigger a check.
+
+    The guard is deterministic and replay-safe: the supervisor resets it
+    before a recovery replay, and identical element sequences re-produce
+    identical decisions.
+    """
+
+    def __init__(self, max_buffered_events=None, max_buffered_mb=None,
+                 mode=EARLY_PUNCTUATION, bytes_per_event=EVENT_BYTES,
+                 check_interval=32):
+        if (max_buffered_events is None) == (max_buffered_mb is None):
+            raise ValueError(
+                "exactly one of max_buffered_events / max_buffered_mb "
+                "is required"
+            )
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {_MODES}"
+            )
+        if max_buffered_events is None:
+            max_buffered_events = int(
+                max_buffered_mb * 1024.0 * 1024.0 / bytes_per_event
+            )
+        if max_buffered_events < 1:
+            raise ValueError("occupancy bound must be >= 1 event")
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.max_buffered_events = max_buffered_events
+        self.mode = mode
+        self.check_interval = check_interval
+        self.decisions = []
+
+    def reset(self):
+        """Forget recorded decisions (supervised recovery replay)."""
+        self.decisions.clear()
+
+    def check(self, pipeline, high_watermark):
+        """Inspect occupancy; returns a forced-punctuation timestamp or
+        ``None``.
+
+        Called by the supervisor after each ingress punctuation.  In
+        ``degrade-late-policy`` mode the degradation is applied directly
+        to the pipeline's sorters and ``None`` is returned.
+        """
+        buffered = pipeline.buffered_events()
+        if buffered <= self.max_buffered_events:
+            return None
+        if self.mode == EARLY_PUNCTUATION:
+            if high_watermark == _NEG_INF:
+                return None
+            self.decisions.append(DegradationDecision(
+                EARLY_PUNCTUATION, buffered, high_watermark,
+                {"forced_timestamp": high_watermark,
+                 "bound": self.max_buffered_events},
+            ))
+            return high_watermark
+        degraded = 0
+        for op in pipeline.operators:
+            late = getattr(getattr(op, "sorter", None), "late", None)
+            if late is not None and late.policy is LatePolicy.RAISE:
+                late.policy = LatePolicy.ADJUST
+                degraded += 1
+        if degraded:
+            self.decisions.append(DegradationDecision(
+                DEGRADE_LATE_POLICY, buffered, high_watermark,
+                {"sorters_degraded": degraded,
+                 "bound": self.max_buffered_events},
+            ))
+        return None
+
+    def as_dicts(self):
+        """JSON-ready decision list for the observability export."""
+        return [decision.as_dict() for decision in self.decisions]
+
+    def __repr__(self):
+        return (
+            f"LoadSheddingGuard(mode={self.mode}, "
+            f"bound={self.max_buffered_events}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -1,0 +1,132 @@
+"""Poison-event quarantine: a dead-letter ledger with reason codes.
+
+Production log feeds contain rows no policy can save — events that fail
+to parse, events later than the strictest lateness bound under
+:data:`~repro.core.late.LatePolicy.RAISE`, punctuations that regress.
+Killing the pipeline on the first one (the pre-resilience behaviour)
+turns a single poison event into an outage; silently dropping it turns
+it into an invisible data-loss bug.  The ledger is the middle road: the
+offending element is recorded with a reason code and its arrival
+context, the pipeline keeps running, and the counts surface in the
+observability export (``docs/resilience.md`` documents the schema).
+"""
+
+from __future__ import annotations
+
+__all__ = ["QuarantineLedger", "QuarantinedEvent", "Reason"]
+
+
+class Reason:
+    """Quarantine reason codes (stable strings, used in the JSON export)."""
+
+    #: Event time at or below the watermark under ``LatePolicy.RAISE``.
+    LATE_EVENT = "late-event"
+    #: Element is neither a valid event nor a punctuation.
+    MALFORMED = "malformed"
+    #: Punctuation timestamp regressed below an earlier punctuation.
+    PUNCTUATION_REGRESSION = "punctuation-regression"
+    #: Consecutive duplicate delivered by an at-least-once upstream.
+    DUPLICATE = "duplicate"
+
+    ALL = (LATE_EVENT, MALFORMED, PUNCTUATION_REGRESSION, DUPLICATE)
+
+
+class QuarantinedEvent:
+    """One dead-lettered element: what, why, and when it arrived."""
+
+    __slots__ = ("seq", "reason", "element", "context")
+
+    def __init__(self, seq, reason, element, context):
+        #: Arrival sequence number within this ledger (0-based).
+        self.seq = seq
+        #: One of :class:`Reason`'s codes.
+        self.reason = reason
+        #: The offending element (or its sort key for sorter-level
+        #: quarantine, where the full event is not visible).
+        self.element = element
+        #: Arrival context: watermark, ingress offset, detail — whatever
+        #: the quarantining site knew at the time.
+        self.context = context
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "reason": self.reason,
+            "element": repr(self.element),
+            "context": dict(self.context),
+        }
+
+    def __repr__(self):
+        return (
+            f"QuarantinedEvent(seq={self.seq}, reason={self.reason!r}, "
+            f"element={self.element!r})"
+        )
+
+
+class QuarantineLedger:
+    """Append-only dead-letter store shared by every quarantining site.
+
+    One ledger serves a whole supervised run: the ingress guard records
+    malformed elements and punctuation regressions, the sorters' late
+    trackers record ``RAISE`` violations.  ``max_entries`` bounds the
+    retained elements (counts keep accumulating past the bound, so the
+    export stays truthful on pathological feeds).
+
+    The supervisor clears the ledger before a recovery replay —
+    deterministic replay regenerates the same records, so clearing (not
+    deduplicating) is what keeps recovered runs byte-identical.
+    """
+
+    def __init__(self, max_entries=1_000):
+        self.max_entries = max_entries
+        self.entries = []
+        self.counts = {}     # reason -> total occurrences (unbounded)
+        self._seq = 0
+
+    def record(self, reason, element, **context):
+        """Dead-letter one element; returns the ledger entry (or ``None``
+        when past ``max_entries`` — the count still advances)."""
+        self.counts[reason] = self.counts.get(reason, 0) + 1
+        seq = self._seq
+        self._seq += 1
+        if len(self.entries) >= self.max_entries:
+            return None
+        entry = QuarantinedEvent(seq, reason, element, context)
+        self.entries.append(entry)
+        return entry
+
+    @property
+    def total(self) -> int:
+        """Total quarantined elements across all reasons."""
+        return sum(self.counts.values())
+
+    def count(self, reason) -> int:
+        """Occurrences of one reason code."""
+        return self.counts.get(reason, 0)
+
+    def clear(self):
+        """Reset for a deterministic recovery replay."""
+        self.entries.clear()
+        self.counts.clear()
+        self._seq = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary for the observability export."""
+        return {
+            "total": self.total,
+            "by_reason": dict(sorted(self.counts.items())),
+            "retained": len(self.entries),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self):
+        return (
+            f"QuarantineLedger(total={self.total}, "
+            f"by_reason={dict(sorted(self.counts.items()))})"
+        )

@@ -1,0 +1,589 @@
+"""Supervised pipeline execution: restart, replay, deduplicate.
+
+The supervisor turns a single-shot pipeline drive into a fault-tolerant
+run.  It owns the ingress loop of a materialized query graph:
+
+* every element consumed from the source is appended to an in-memory
+  **journal** (the stand-in for a durable ingress log — the
+  "checkpoint raw events at ingress" strategy that
+  :mod:`repro.engine.checkpoint`'s docstring prescribes for keyed/rich
+  event pipelines);
+* **transient source failures** (``OSError``) are retried in place with
+  deterministic exponential backoff + jitter — the element is never
+  lost because a well-behaved transient failure (and
+  :class:`~repro.resilience.chaos.FaultInjector`) raises before the
+  underlying element is consumed;
+* any other non-semantic exception (an operator crash, an injected
+  hard failure) triggers a **restart**: a fresh pipeline is
+  materialized from the same query nodes, the journal is replayed
+  through it to rebuild operator state deterministically, and
+  re-emitted outputs are **deduplicated** (and verified byte-identical)
+  against what was already delivered, so a recovered run's output is
+  indistinguishable from an uninterrupted one;
+* semantic errors (:class:`~repro.core.errors.ReproError` — bad
+  queries, strict late policies without quarantine, replay divergence)
+  fail fast: restarting cannot fix a deterministic error.
+
+Checkpoints are taken every ``checkpoint_every`` ingress punctuations;
+for generic pipelines they record the recovery position (journal
+offset, watermark, delivered-output counts) that restarts report
+against, while :class:`~repro.resilience.sorter.SorterSupervisor`
+additionally uses :func:`~repro.engine.checkpoint.checkpoint_sorter`
+to restore sorter state in O(state) and truncate the journal.
+
+The ingress guard between the source and the pipeline also quarantines
+poison elements (malformed events, regressing punctuations, optional
+consecutive duplicates) into a
+:class:`~repro.resilience.quarantine.QuarantineLedger` instead of
+letting them kill the run, and consults a
+:class:`~repro.resilience.degradation.LoadSheddingGuard` after every
+punctuation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.errors import (
+    MalformedEventError,
+    ReplayDivergenceError,
+    ReproError,
+    SupervisionExhaustedError,
+)
+from repro.engine.event import Punctuation, is_punctuation
+from repro.engine.graph import Pipeline, QueryNode
+from repro.engine.operators.sink import Collector
+from repro.resilience.chaos import FaultInjector
+from repro.resilience.quarantine import QuarantineLedger, Reason
+
+__all__ = [
+    "PipelineSupervisor",
+    "RetryPolicy",
+    "SupervisedResult",
+    "run_supervised",
+]
+
+_EXHAUSTED = object()
+_NEG_INF = float("-inf")
+
+
+class RetryPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``delay(attempt)`` returns ``min(base * multiplier**attempt,
+    max_delay)`` stretched by a jitter factor in ``[1, 1 + jitter]``
+    drawn from a seeded RNG — deterministic for tests, decorrelated in
+    fleets where each worker seeds differently.
+    """
+
+    def __init__(self, max_retries=5, base_delay=0.05, multiplier=2.0,
+                 max_delay=5.0, jitter=0.5, seed=0):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(
+            self.base_delay * self.multiplier ** attempt, self.max_delay
+        )
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"base={self.base_delay}, x{self.multiplier}, "
+            f"max={self.max_delay}, jitter={self.jitter})"
+        )
+
+
+class _DeliveryChannel:
+    """Exactly-once output ledger for one pipeline sink.
+
+    Holds everything delivered so far across restarts.  During a
+    recovery replay the re-emitted prefix is verified element-by-element
+    against the already-delivered record (catching non-deterministic
+    pipelines) and suppressed; only genuinely new output is appended
+    and forwarded to the user callback.
+    """
+
+    __slots__ = ("events", "punctuations", "completed", "suppressed",
+                 "on_event", "_seen_events", "_seen_puncts")
+
+    def __init__(self, on_event=None):
+        self.events = []
+        self.punctuations = []
+        self.completed = False
+        #: re-emitted outputs verified and suppressed during replays.
+        self.suppressed = 0
+        self.on_event = on_event
+        self._seen_events = 0
+        self._seen_puncts = 0
+
+    def begin_attempt(self):
+        self._seen_events = 0
+        self._seen_puncts = 0
+
+    def accept_event(self, event):
+        index = self._seen_events
+        self._seen_events += 1
+        if index < len(self.events):
+            if event != self.events[index]:
+                raise ReplayDivergenceError(
+                    f"replayed output #{index} diverged: delivered "
+                    f"{self.events[index]!r}, replay produced {event!r}"
+                )
+            self.suppressed += 1
+            return
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def accept_punctuation(self, punctuation):
+        index = self._seen_puncts
+        self._seen_puncts += 1
+        if index < len(self.punctuations):
+            if punctuation.timestamp != self.punctuations[index]:
+                raise ReplayDivergenceError(
+                    f"replayed punctuation #{index} diverged: delivered "
+                    f"{self.punctuations[index]!r}, replay produced "
+                    f"{punctuation.timestamp!r}"
+                )
+            return
+        self.punctuations.append(punctuation.timestamp)
+
+    def accept_flush(self):
+        self.completed = True
+
+
+class SupervisedResult:
+    """Everything one supervised execution produced and survived."""
+
+    def __init__(self, supervisor, pipeline, sinks):
+        self._channels = supervisor._channels
+        #: the last attempt's live pipeline (fully caught up).
+        self.pipeline = pipeline
+        #: the last attempt's sink operator instances.
+        self.collectors = sinks
+        self.restarts = supervisor.restarts
+        self.retries = supervisor.retries
+        self.checkpoints = list(supervisor._checkpoints)
+        self.restores = list(supervisor.restores)
+        self.duplicates_suppressed = supervisor.duplicates_suppressed
+        self.punctuations_suppressed = supervisor.punctuations_suppressed
+        self.ledger = supervisor.ledger
+        self.guard = supervisor.guard
+        self.injector = supervisor.injector
+        self.metrics = supervisor.metrics
+        self.memory = supervisor.memory
+
+    @property
+    def channels(self):
+        """Exactly-once delivery channels, one per sink."""
+        return list(self._channels)
+
+    @property
+    def events(self):
+        """Channel 0's delivered events (the single-output case)."""
+        return self._channels[0].events
+
+    @property
+    def punctuations(self):
+        """Channel 0's delivered punctuation timestamps."""
+        return self._channels[0].punctuations
+
+    @property
+    def completed(self) -> bool:
+        return all(channel.completed for channel in self._channels)
+
+    @property
+    def outputs_deduplicated(self) -> int:
+        """Re-emitted outputs suppressed (and verified) during replays."""
+        return sum(channel.suppressed for channel in self._channels)
+
+    def output_events(self, index):
+        """Events delivered on the index-th output channel."""
+        return self._channels[index].events
+
+    def resilience_doc(self) -> dict:
+        """JSON-ready summary for ``PipelineSnapshot``'s resilience field."""
+        doc = {
+            "restarts": self.restarts,
+            "retries": self.retries,
+            "checkpoints": len(self.checkpoints),
+            "restores": [dict(r) for r in self.restores],
+            "outputs_deduplicated": self.outputs_deduplicated,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "punctuations_suppressed": self.punctuations_suppressed,
+            "quarantine": (
+                self.ledger.as_dict() if self.ledger is not None else None
+            ),
+            "degradations": (
+                self.guard.as_dicts() if self.guard is not None else None
+            ),
+        }
+        if self.injector is not None:
+            doc["chaos"] = {
+                "seed": self.injector.seed,
+                "fired": self.injector.summary(),
+            }
+        return doc
+
+    def __repr__(self):
+        return (
+            f"SupervisedResult(events={len(self.events)}, "
+            f"restarts={self.restarts}, retries={self.retries}, "
+            f"deduplicated={self.outputs_deduplicated})"
+        )
+
+
+class PipelineSupervisor:
+    """Drives ``build()``-materialized pipelines until the stream completes.
+
+    Parameters
+    ----------
+    build:
+        Zero-argument callable returning ``(pipeline, sinks)`` — a
+        freshly materialized :class:`~repro.engine.graph.Pipeline` and
+        the list of sink operator instances whose output constitutes
+        the run's result.  Called once per attempt.
+    elements:
+        The ingress element iterable (events + punctuations, arrival
+        order).  Consumed exactly once across all attempts.
+    checkpoint_every:
+        Ingress punctuations between checkpoints (>= 1).
+    retry:
+        :class:`RetryPolicy` for transient source failures.
+    max_restarts:
+        Hard-crash restart budget before giving up with
+        :class:`~repro.core.errors.SupervisionExhaustedError`.
+    quarantine:
+        ``True`` (fresh ledger), a
+        :class:`~repro.resilience.quarantine.QuarantineLedger`, or
+        ``None`` — with a ledger, malformed elements are dead-lettered
+        instead of raising, and sorters' ``RAISE`` late policies route
+        violations to the ledger instead of killing the run.
+    guard:
+        Optional :class:`~repro.resilience.degradation.LoadSheddingGuard`.
+    dedupe:
+        Suppress consecutive duplicate ingress events (at-least-once
+        upstreams).  ``None`` auto-enables when the chaos spec injects
+        duplicates.
+    chaos:
+        Optional fault injection — a spec string,
+        :class:`~repro.resilience.chaos.ChaosSpec`, or a live
+        :class:`~repro.resilience.chaos.FaultInjector` — wrapped around
+        the source.
+    seed:
+        Injector seed when ``chaos`` is a spec.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; reset
+        and re-attached per attempt so its final counts describe the
+        logical run, not the restarts.
+    memory:
+        Optional :class:`~repro.framework.memory.MemoryMeter`, sampled
+        after every punctuation (reset per attempt).
+    on_event:
+        Exactly-once delivery callback for channel 0's events.
+    on_build:
+        Per-attempt hook ``on_build(pipeline)`` (tests use it to wrap
+        operators with fault injectors).
+    sleep:
+        Injectable sleeper for retry backoff (default
+        :func:`time.sleep`); tests pass a recorder so nothing blocks.
+    """
+
+    def __init__(self, build, elements, *, checkpoint_every=1, retry=None,
+                 max_restarts=8, quarantine=None, guard=None, dedupe=None,
+                 chaos=None, seed=0, metrics=None, memory=None,
+                 on_event=None, on_build=None, sleep=None):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self._build = build
+        self._elements = elements
+        self.checkpoint_every = checkpoint_every
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_restarts = max_restarts
+        if quarantine is True:
+            quarantine = QuarantineLedger()
+        self.ledger = quarantine
+        self.guard = guard
+        if chaos is None or isinstance(chaos, FaultInjector):
+            self.injector = chaos
+        else:
+            self.injector = FaultInjector(chaos, seed)
+        if dedupe is None:
+            dedupe = bool(self.injector and self.injector.spec.dup_p > 0)
+        self.dedupe = dedupe
+        self.metrics = metrics
+        self.memory = memory
+        self._on_event = on_event
+        self._on_build = on_build
+        self._sleep = time.sleep if sleep is None else sleep
+
+        self._journal = []
+        self._channels = None
+        self._checkpoints = []
+        self.restores = []
+        self.restarts = 0
+        self.retries = 0
+        self.duplicates_suppressed = 0
+        self.punctuations_suppressed = 0
+        # Per-attempt ingress-guard state (rebuilt by every replay).
+        self._last_punct = None
+        self._last_event = None
+        self._high_watermark = _NEG_INF
+        self._punct_count = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> SupervisedResult:
+        """Drive the stream to completion, surviving crashes; returns the
+        exactly-once result."""
+        elements = iter(self._elements)
+        if self.injector is not None:
+            elements = self.injector.wrap(elements)
+        while True:
+            pipeline, sinks = self._build_attempt()
+            try:
+                self._drive(pipeline, elements)
+            except ReproError:
+                raise  # deterministic semantic failure: restarting can't help
+            except Exception as exc:  # noqa: BLE001 — supervision boundary
+                self.restarts += 1
+                if self.restarts > self.max_restarts:
+                    raise SupervisionExhaustedError(
+                        f"gave up after {self.max_restarts} restarts "
+                        f"(last failure: {exc!r})"
+                    ) from exc
+                last = self._checkpoints[-1] if self._checkpoints else None
+                offset = last["offset"] if last else 0
+                self.restores.append({
+                    "restart": self.restarts,
+                    "error": repr(exc),
+                    "checkpoint_offset": offset,
+                    "checkpoint_watermark": last["watermark"] if last
+                    else None,
+                    "replayed": len(self._journal),
+                    "delta": len(self._journal) - offset,
+                })
+                continue
+            return SupervisedResult(self, pipeline, sinks)
+
+    # -- per-attempt setup -------------------------------------------------
+
+    def _build_attempt(self):
+        pipeline, sinks = self._build()
+        sinks = list(sinks)
+        if self._channels is None:
+            self._channels = [
+                _DeliveryChannel(self._on_event if i == 0 else None)
+                for i in range(len(sinks))
+            ]
+        elif len(sinks) != len(self._channels):
+            raise ReproError(
+                "build() returned a different number of sinks across "
+                "attempts"
+            )
+        # Deterministic replay regenerates ledger entries, guard
+        # decisions, and observability counters identically — reset
+        # instead of deduplicating.
+        if self.ledger is not None:
+            self.ledger.clear()
+        if self.guard is not None:
+            self.guard.reset()
+        if self.metrics is not None:
+            self.metrics.reset()
+            self.metrics.attach(pipeline)
+        if self.memory is not None:
+            self.memory.reset()
+        self._wire_quarantine(pipeline)
+        for channel, sink in zip(self._channels, sinks):
+            channel.begin_attempt()
+            self._wire_delivery(sink, channel)
+        if self._on_build is not None:
+            self._on_build(pipeline)
+        return pipeline, sinks
+
+    def _wire_quarantine(self, pipeline):
+        if self.ledger is None:
+            return
+        for op in pipeline.operators:
+            late = getattr(getattr(op, "sorter", None), "late", None)
+            if late is not None:
+                late.quarantine = self.ledger
+
+    @staticmethod
+    def _wire_delivery(sink, channel):
+        def wrap_event(bound):
+            def on_event(event):
+                bound(event)
+                channel.accept_event(event)
+            return on_event
+
+        def wrap_punctuation(bound):
+            def on_punctuation(punctuation):
+                bound(punctuation)
+                channel.accept_punctuation(punctuation)
+            return on_punctuation
+
+        def wrap_flush(bound):
+            def on_flush():
+                bound()
+                channel.accept_flush()
+            return on_flush
+
+        sink.instrument({
+            "on_event": wrap_event,
+            "on_punctuation": wrap_punctuation,
+            "on_flush": wrap_flush,
+        })
+
+    # -- driving -----------------------------------------------------------
+
+    def _drive(self, pipeline, elements):
+        source = pipeline.sources[0]
+        self._last_punct = None
+        self._last_event = None
+        self._high_watermark = _NEG_INF
+        self._punct_count = 0
+        self._events_pushed = 0
+        for element in self._journal:
+            self._push(element, source, pipeline, replaying=True)
+        while True:
+            element = self._pull(elements)
+            if element is _EXHAUSTED:
+                break
+            self._journal.append(element)
+            self._push(element, source, pipeline, replaying=False)
+        source.on_flush()
+
+    def _pull(self, elements):
+        failures = 0
+        while True:
+            try:
+                return next(elements)
+            except StopIteration:
+                return _EXHAUSTED
+            except OSError as exc:
+                failures += 1
+                self.retries += 1
+                if failures > self.retry.max_retries:
+                    raise SupervisionExhaustedError(
+                        f"source failed {failures} consecutive times "
+                        f"(last: {exc!r})"
+                    ) from exc
+                self._sleep(self.retry.delay(failures - 1))
+
+    def _push(self, element, source, pipeline, replaying):
+        if is_punctuation(element):
+            timestamp = element.timestamp
+            if self._last_punct is not None and timestamp < self._last_punct:
+                if not replaying:
+                    self.punctuations_suppressed += 1
+                if self.ledger is not None:
+                    self.ledger.record(
+                        Reason.PUNCTUATION_REGRESSION, timestamp,
+                        previous=self._last_punct,
+                    )
+                return
+            self._last_punct = timestamp
+            self._punct_count += 1
+            source.on_punctuation(element)
+            self._after_punctuation(pipeline, source, replaying)
+            return
+        if not self._valid_event(element):
+            if self.ledger is not None:
+                self.ledger.record(
+                    Reason.MALFORMED, element,
+                    offset=len(self._journal), watermark=self._last_punct,
+                )
+                return
+            raise MalformedEventError(element)
+        if self.dedupe and element == self._last_event:
+            if not replaying:
+                self.duplicates_suppressed += 1
+            if self.ledger is not None:
+                self.ledger.record(
+                    Reason.DUPLICATE, element, watermark=self._last_punct,
+                )
+            return
+        self._last_event = element
+        if element.sync_time > self._high_watermark:
+            self._high_watermark = element.sync_time
+        source.on_event(element)
+        self._events_pushed += 1
+        if (
+            self.guard is not None
+            and self._events_pushed % self.guard.check_interval == 0
+        ):
+            # Event-interval check: catches punctuation starvation, where
+            # no punctuation ever arrives to trigger the guard.
+            self._guard_check(pipeline, source)
+
+    @staticmethod
+    def _valid_event(element) -> bool:
+        return isinstance(
+            getattr(element, "sync_time", None), (int, float)
+        ) and not isinstance(getattr(element, "sync_time", None), bool)
+
+    def _guard_check(self, pipeline, source):
+        forced = self.guard.check(pipeline, self._high_watermark)
+        if forced is not None and (
+            self._last_punct is None or forced >= self._last_punct
+        ):
+            # Forced punctuations are NOT journaled: the guard is
+            # deterministic, so replay re-forces them identically.
+            self._last_punct = forced
+            source.on_punctuation(Punctuation(forced))
+            if self.memory is not None:
+                self.memory.sample(pipeline)
+
+    def _after_punctuation(self, pipeline, source, replaying):
+        if self.memory is not None:
+            self.memory.sample(pipeline)
+        if self.guard is not None:
+            self._guard_check(pipeline, source)
+        if (
+            not replaying
+            and self._punct_count % self.checkpoint_every == 0
+        ):
+            self._checkpoints.append({
+                "offset": len(self._journal),
+                "punct_index": self._punct_count,
+                "watermark": self._last_punct,
+                "delivered": [
+                    len(channel.events) for channel in self._channels
+                ],
+            })
+
+
+def run_supervised(stream, **kwargs) -> SupervisedResult:
+    """Execute a :class:`~repro.engine.stream.Streamable` under supervision.
+
+    The fault-tolerant counterpart of ``stream.collect()``: the query is
+    materialized (re-materialized after every crash), its source driven
+    through the supervised ingress loop, and the exactly-once delivered
+    output returned as a :class:`SupervisedResult` whose ``events`` are
+    byte-identical to an uninterrupted ``collect()``.
+
+    Keyword arguments are :class:`PipelineSupervisor`'s.
+    """
+    sink_node = QueryNode(
+        Collector, ((stream.node, None),), name="collect"
+    )
+
+    def build():
+        pipeline = Pipeline([sink_node])
+        return pipeline, [pipeline.operator_for(sink_node)]
+
+    supervisor = PipelineSupervisor(
+        build, stream.source.elements(), **kwargs
+    )
+    return supervisor.run()

@@ -4,12 +4,17 @@ Lets a generated workload be inspected with external tools, pinned for
 regression runs, or replaced by a real log exported from another system
 (the adoption path: drop in your own ``event_time,key,p0..p3`` rows and
 every benchmark and example runs against your data).
+
+Malformed files raise :class:`~repro.core.errors.DatasetFormatError`
+carrying the path and 1-based row number; ``lenient=True`` skips (and
+counts) bad rows instead, for hostile production feeds.
 """
 
 from __future__ import annotations
 
 import csv
 
+from repro.core.errors import DatasetFormatError
 from repro.workloads.base import Dataset
 
 __all__ = ["save_dataset_csv", "load_dataset_csv"]
@@ -31,37 +36,60 @@ def save_dataset_csv(dataset, path):
     return path
 
 
-def load_dataset_csv(path, name=None):
+def load_dataset_csv(path, name=None, lenient=False):
     """Read a dataset written by :func:`save_dataset_csv` (or hand-made).
 
     The file must carry an ``event_time`` column; ``key`` and any number
     of payload columns are optional (missing ones are defaulted the same
     way :class:`~repro.workloads.base.Dataset` defaults them).
+
+    A row that fails to parse raises
+    :class:`~repro.core.errors.DatasetFormatError` with the path and
+    1-based row number (the header is row 1).  With ``lenient=True``
+    bad rows are skipped instead and counted into the returned dataset's
+    ``params["skipped_rows"]``.
     """
     timestamps = []
     keys = []
     payloads = []
+    skipped = 0
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
         if not header or header[0] != "event_time":
-            raise ValueError(
-                f"{path}: expected a header starting with 'event_time', "
-                f"got {header!r}"
+            raise DatasetFormatError(
+                path,
+                f"expected a header starting with 'event_time', "
+                f"got {header!r}",
+                row=1,
             )
         has_key = len(header) > 1 and header[1] == "key"
         payload_start = 2 if has_key else 1
-        for row in reader:
+        for row_number, row in enumerate(reader, start=2):
             if not row:
                 continue
-            timestamps.append(int(row[0]))
+            try:
+                timestamp = int(row[0])
+                key = int(row[1]) if has_key else None
+                payload = tuple(int(v) for v in row[payload_start:])
+            except (ValueError, IndexError) as exc:
+                if lenient:
+                    skipped += 1
+                    continue
+                raise DatasetFormatError(
+                    path, f"cannot parse row {row!r}: {exc}", row=row_number
+                ) from exc
+            timestamps.append(timestamp)
             if has_key:
-                keys.append(int(row[1]))
-            payloads.append(tuple(int(v) for v in row[payload_start:]))
+                keys.append(key)
+            payloads.append(payload)
+    params = {"source": str(path)}
+    if lenient:
+        params["skipped_rows"] = skipped
     return Dataset(
         name=name or "csv",
         timestamps=timestamps,
         payloads=payloads if any(payloads) else None,
         keys=keys if has_key else None,
-        params={"source": str(path)},
+        params=params,
     )

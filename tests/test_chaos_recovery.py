@@ -1,0 +1,292 @@
+"""Crash-recovery acceptance: byte-identity across the chaos matrix.
+
+The resilience contract: for every chaos seed, a supervised run whose
+source is chaos-wrapped (transient I/O faults, injected crashes,
+duplicates, malformed events, regressing punctuations) delivers output
+**byte-identical** to the fault-free run — across late policies and
+checkpoint frequencies.  ``drop`` faults model genuine upstream data
+loss and are asserted via accounting instead of identity.
+
+Extra seeds can be exercised from CI via ``REPRO_CHAOS_SEED=<n>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.engine import DisorderedStreamable
+from repro.metrics.profile import suggest_reorder_latency
+from repro.observability import MetricsRegistry
+from repro.framework.memory import MemoryMeter
+from repro.resilience import (
+    LoadSheddingGuard,
+    QuarantineLedger,
+    Reason,
+    SorterSupervisor,
+    run_supervised,
+)
+from repro.workloads import load_dataset
+
+SEEDS = [0, 1, 2]
+_env_seed = os.environ.get("REPRO_CHAOS_SEED")
+if _env_seed is not None and int(_env_seed) not in SEEDS:
+    SEEDS.append(int(_env_seed))
+
+N = 1_200
+_DATASET = load_dataset("cloudlog", N)
+_LATENCY = suggest_reorder_latency(_DATASET.timestamps, 0.95)
+
+
+def build_query(late_policy):
+    """A windowed count over the shared disordered dataset, with the
+    sort operator running the given late policy."""
+    disordered = DisorderedStreamable.from_dataset(
+        _DATASET, punctuation_frequency=100, reorder_latency=_LATENCY
+    )
+    return (
+        disordered.tumbling_window(200)
+        .to_streamable(
+            sorter=lambda: ImpatienceSorter(
+                key=lambda e: e.sync_time, late_policy=late_policy
+            )
+        )
+        .count()
+    )
+
+
+def fault_free(late_policy):
+    """The reference output: supervised but chaos-free (quarantine on,
+    so ``RAISE`` runs complete)."""
+    return run_supervised(build_query(late_policy), quarantine=True).events
+
+
+class TestCrashRecoveryMatrix:
+    @pytest.mark.parametrize("late_policy", [
+        LatePolicy.DROP, LatePolicy.ADJUST, LatePolicy.RAISE,
+    ])
+    @pytest.mark.parametrize("checkpoint_every", [1, 3])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_byte_identity_io_and_crash(self, late_policy,
+                                        checkpoint_every, seed):
+        expected = fault_free(late_policy)
+        result = run_supervised(
+            build_query(late_policy),
+            chaos="io:p=0.01;crash:punct=2+5,limit=2",
+            seed=seed,
+            checkpoint_every=checkpoint_every,
+            quarantine=True,
+            sleep=lambda s: None,
+        )
+        assert result.events == expected
+        assert result.punctuations == run_supervised(
+            build_query(late_policy), quarantine=True
+        ).punctuations
+        assert result.completed
+        assert result.restarts == 2
+        # Every restore reports its recovery position honestly.
+        for restore in result.restores:
+            assert restore["replayed"] >= restore["checkpoint_offset"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_byte_identity_dup_malform_regress(self, seed):
+        """Additive faults (duplicates, malformed events, regressing
+        punctuations) are absorbed by dedup + quarantine: output stays
+        byte-identical."""
+        expected = fault_free(LatePolicy.DROP)
+        result = run_supervised(
+            build_query(LatePolicy.DROP),
+            chaos="dup:p=0.01;malform:p=0.005;regress:p=0.05,delta=3",
+            seed=seed,
+            quarantine=True,
+            sleep=lambda s: None,
+        )
+        assert result.events == expected
+        fired = result.injector.fired
+        assert result.ledger.count(Reason.MALFORMED) == \
+            fired.get("malform", 0)
+        assert result.ledger.count(Reason.DUPLICATE) == \
+            fired.get("dup", 0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_drop_faults_accounted_not_identical(self, seed):
+        """``drop`` is genuine upstream loss: the output may shrink, and
+        the injector's firing count states by exactly how much input was
+        lost."""
+        expected = fault_free(LatePolicy.DROP)
+        result = run_supervised(
+            build_query(LatePolicy.DROP),
+            chaos="drop:p=0.01", seed=seed, quarantine=True,
+            sleep=lambda s: None,
+        )
+        dropped = result.injector.fired.get("drop", 0)
+        assert dropped > 0
+        # Windowed counts: total counted events shrink by the dropped
+        # events that were not already late-dropped.
+        total = sum(e.payload for e in result.events)
+        baseline_total = sum(e.payload for e in expected)
+        assert baseline_total - total <= dropped
+
+    def test_crash_during_replay_still_recovers(self):
+        """A crash while another crash's replay is still running (crash
+        at punctuations 2 and 3) must not corrupt delivery."""
+        expected = fault_free(LatePolicy.ADJUST)
+        result = run_supervised(
+            build_query(LatePolicy.ADJUST),
+            chaos="crash:punct=2+3+4", seed=0, quarantine=True,
+            checkpoint_every=1, sleep=lambda s: None,
+        )
+        assert result.events == expected
+        assert result.restarts == 3
+
+
+class TestSorterCheckpointRecovery:
+    def elements(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = list(range(1_500))
+        for _ in range(300):
+            i = rng.randrange(len(values))
+            j = max(0, i - rng.randint(1, 40))
+            values[i], values[j] = values[j], values[i]
+        out, high = [], None
+        for i, v in enumerate(values):
+            out.append(("event", v))
+            high = v if high is None else max(high, v)
+            if (i + 1) % 100 == 0:
+                out.append(("punct", high - 60))
+        return out
+
+    def reference(self, elements):
+        sorter = ImpatienceSorter()
+        out = []
+        for kind, value in elements:
+            if kind == "event":
+                sorter.insert(value)
+            else:
+                out.extend(sorter.on_punctuation(value))
+        out.extend(sorter.flush())
+        return out
+
+    @pytest.mark.parametrize("checkpoint_every", [1, 2, 5])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_true_restore_byte_identity(self, checkpoint_every, seed):
+        elements = self.elements(seed)
+        expected = self.reference(elements)
+        supervisor = SorterSupervisor(
+            checkpoint_every=checkpoint_every,
+            chaos="io:p=0.005;crash:punct=3+8,limit=2",
+            seed=seed,
+            sleep=lambda s: None,
+        )
+        result = supervisor.run(elements)
+        assert result.output == expected
+        assert result.restarts == 2
+        assert result.checkpoints > 0
+        # Truncation: the retained journal is the post-checkpoint delta,
+        # far smaller than the full stream.
+        assert result.journal_len < len(elements) // 4
+
+    def test_recovery_is_restore_not_full_replay(self):
+        elements = self.elements(0)
+        supervisor = SorterSupervisor(
+            checkpoint_every=1,
+            chaos="crash:punct=10", seed=0,
+            sleep=lambda s: None,
+        )
+        result = supervisor.run(elements)
+        assert result.output == self.reference(elements)
+        [restore] = result.restores
+        assert restore["from_checkpoint"] is True
+        # The delta replayed after restoring is at most one
+        # checkpoint interval of elements, not the whole prefix.
+        assert restore["replayed"] <= 110
+
+
+class TestObservabilityExport:
+    def test_snapshot_carries_quarantine_and_degradations(self, tmp_path):
+        registry = MetricsRegistry()
+        meter = MemoryMeter()
+        guard = LoadSheddingGuard(max_buffered_events=40, check_interval=16)
+        result = run_supervised(
+            build_query(LatePolicy.RAISE),
+            chaos="malform:p=0.01;crash:punct=4", seed=1,
+            quarantine=QuarantineLedger(max_entries=50),
+            guard=guard, metrics=registry, memory=meter,
+            sleep=lambda s: None,
+        )
+        snapshot = registry.snapshot(
+            memory=meter, resilience=result.resilience_doc()
+        )
+        doc = json.loads(snapshot.to_json())
+        res = doc["resilience"]
+        assert res["restarts"] == 1
+        assert res["quarantine"]["by_reason"].get("malformed", 0) > 0
+        assert isinstance(res["degradations"], list)
+        assert res["chaos"]["seed"] == 1
+        assert "crash" in res["chaos"]["fired"]
+        # The per-operator late dict now reports quarantined counts.
+        sort_ops = [
+            op for op in doc["operators"] if "late" in op
+        ]
+        assert sort_ops
+        assert all("quarantined" in op["late"] for op in sort_ops)
+        out = tmp_path / "metrics.json"
+        snapshot.save(out)
+        assert json.loads(out.read_text())["resilience"] == res
+
+    def test_metrics_describe_logical_run_not_attempts(self):
+        """After two crash-restarts, event counts must match a crash-free
+        run — the registry resets per attempt instead of triple
+        counting."""
+        clean_registry = MetricsRegistry()
+        run_supervised(
+            build_query(LatePolicy.DROP), quarantine=True,
+            metrics=clean_registry,
+        )
+        crash_registry = MetricsRegistry()
+        run_supervised(
+            build_query(LatePolicy.DROP),
+            chaos="crash:punct=3+6", seed=0, quarantine=True,
+            metrics=crash_registry, sleep=lambda s: None,
+        )
+        clean = clean_registry.snapshot().totals
+        crashed = crash_registry.snapshot().totals
+        assert crashed["events_in"] == clean["events_in"]
+        assert crashed["events_out"] == clean["events_out"]
+
+
+class TestStreamablesSupervised:
+    def latencies(self):
+        return [0, _LATENCY]
+
+    def test_supervised_framework_run_matches_plain(self):
+        disordered = DisorderedStreamable.from_dataset(
+            _DATASET, punctuation_frequency=100, reorder_latency=_LATENCY
+        )
+        plain = disordered.to_streamables(self.latencies()).run()
+        disordered2 = DisorderedStreamable.from_dataset(
+            _DATASET, punctuation_frequency=100, reorder_latency=_LATENCY
+        )
+        supervised = disordered2.to_streamables(self.latencies()).run(
+            supervised={
+                "chaos": "crash:punct=3;io:p=0.005",
+                "seed": 2,
+                "sleep": lambda s: None,
+            }
+        )
+        assert supervised.supervised.restarts == 1
+        for i in range(len(self.latencies())):
+            assert [
+                (e.sync_time, e.other_time, e.payload)
+                for e in supervised.output_events(i)
+            ] == [
+                (e.sync_time, e.other_time, e.payload)
+                for e in plain.output_events(i)
+            ]
+            assert supervised.completeness(i) == plain.completeness(i)

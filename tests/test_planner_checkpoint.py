@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ImpatienceSorter
-from repro.core.errors import QueryBuildError
+from repro.core.errors import CheckpointError, QueryBuildError
 from repro.engine import DisorderedStreamable, Event
 from repro.engine.checkpoint import checkpoint_sorter, restore_sorter
 from repro.engine.planner import QueryPlan
@@ -138,24 +138,57 @@ class TestCheckpoint:
 
     def test_keyed_sorter_not_checkpointable(self):
         sorter = ImpatienceSorter(key=lambda e: e[0])
-        with pytest.raises(ValueError, match="keyless"):
+        with pytest.raises(CheckpointError, match="keyless"):
             checkpoint_sorter(sorter)
 
     def test_bad_format_rejected(self):
-        with pytest.raises(ValueError, match="format"):
+        with pytest.raises(CheckpointError, match="format"):
             restore_sorter({"format": 99})
 
     def test_corrupt_run_rejected(self):
-        state = checkpoint_sorter(self._loaded([1, 2]))
+        # punct=0 partitions the staged batch into a run without
+        # emitting anything, so the checkpoint carries a real run.
+        state = checkpoint_sorter(self._loaded([1, 2], punct=0))
         state["runs"][0] = [3, 1]
-        with pytest.raises(ValueError, match="not ascending"):
+        with pytest.raises(CheckpointError, match="not ascending"):
+            restore_sorter(state)
+
+    def test_corrupt_empty_run_rejected(self):
+        state = checkpoint_sorter(self._loaded([1, 2], punct=0))
+        state["runs"][0] = []
+        with pytest.raises(CheckpointError, match="empty run"):
             restore_sorter(state)
 
     def test_invariant_violation_rejected(self):
         state = checkpoint_sorter(self._loaded([5, 1]))
         state["runs"] = [[1, 2], [3, 4]]  # tails ascending: invalid
-        with pytest.raises(ValueError, match="tails invariant"):
+        with pytest.raises(CheckpointError, match="tails invariant"):
             restore_sorter(state)
+
+    def test_checkpoint_errors_are_still_valueerrors(self):
+        # Pre-existing callers catch ValueError; the typed error must
+        # remain compatible.
+        with pytest.raises(ValueError):
+            restore_sorter({"format": 99})
+
+    def test_checkpoint_does_not_mutate_live_sorter(self):
+        """Taking a checkpoint is side-effect-free: the staged ingress
+        batch stays staged and run statistics are untouched."""
+        sorter = self._loaded([9, 4, 7])  # no punctuation: all pending
+        runs_before = len(sorter._pool.runs)
+        pending_before = list(sorter._pending_keys)
+        state = checkpoint_sorter(sorter)
+        assert sorter._pending_keys == pending_before
+        assert len(sorter._pool.runs) == runs_before
+        assert state["pending"] == pending_before
+        # And the restored twin still behaves identically.
+        assert restore_sorter(state).flush() == sorter.flush()
+
+    def test_restore_accepts_format1_without_pending(self):
+        state = checkpoint_sorter(self._loaded([2, 1, 3], punct=0))
+        del state["pending"]
+        state["format"] = 1
+        assert restore_sorter(state).flush() == [1, 2, 3]
 
     @pytest.mark.parametrize("merge", ["pairwise", "huffman", "kway"])
     def test_checkpoint_every_punctuation_boundary(self, merge, rng):
@@ -206,6 +239,15 @@ class TestCheckpoint:
         restored = restore_sorter(state)
         assert restored.merge == "huffman"
         assert restored.flush() == [1, 2]
+
+    def test_restore_accepts_pre_merge_pairwise_checkpoints(self):
+        state = checkpoint_sorter(
+            ImpatienceSorter(huffman_merge=False)
+        )
+        del state["merge"]
+        state["huffman_merge"] = False
+        restored = restore_sorter(state)
+        assert restored.merge == "pairwise"
 
     @given(
         st.lists(st.integers(0, 500), max_size=200),
