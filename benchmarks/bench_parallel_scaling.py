@@ -1,0 +1,272 @@
+"""Parallel shard-runtime scaling — events/s across workers × batch size.
+
+The headline measurement behind the parallel runtime (see
+``docs/parallelism.md``): the 500k-event cloudlog grouped-count workload
+run through :func:`repro.parallel.run_parallel` at workers ∈ {1, 2, 4, 8}
+and ingress batch sizes {1k, 8k, 64k}, against the single-process
+``shard_disordered`` row-operator baseline the runtime must match
+byte-for-byte.  Every timed parallel run is also equivalence-checked
+against the baseline's output multiset, so a speedup obtained by
+dropping events can never be recorded.
+
+Two speedup columns, because they answer different questions:
+
+``speedup_vs_1``
+    Same configuration relative to ``workers=1`` — pure process-scaling.
+    On a single-core container this hovers around 1× (the workers share
+    one CPU); on real multi-core hardware it is the scaling curve.
+
+``speedup_vs_row``
+    Relative to the single-process sharded *row* path — the end-to-end
+    win of the columnar exchange + vectorized shard kernels, which does
+    not need extra cores to materialize.
+
+``python -m benchmarks.bench_parallel_scaling`` writes the machine-
+readable trajectory to ``BENCH_parallel.json`` (schema per entry:
+``name``, ``config``, ``events_per_sec``, ``speedup_vs_1``) so future
+PRs can track regressions; ``--smoke`` runs a seconds-scale subset for
+CI and skips the JSON write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.engine.batch import EventBatch
+from repro.engine.event import Event, Punctuation
+from repro.engine.operators.aggregates import Count
+from repro.engine.sharded import shard_disordered
+from repro.engine.stream import Streamable
+from repro.metrics.profile import suggest_reorder_latency
+from repro.parallel import GroupedAggregatePlan, run_parallel
+from repro.workloads import load_dataset
+
+DEFAULT_N = 500_000
+WORKER_SWEEP = (1, 2, 4, 8)
+BATCH_SWEEP = (1_024, 8_192, 65_536)
+PUNCT_EVERY = 8_192
+BASELINE_SHARDS = 4
+RESULTS_PATH = "BENCH_parallel.json"
+
+SMOKE_N = 20_000
+SMOKE_WORKERS = (1, 2)
+SMOKE_BATCHES = (1_024, 8_192)
+
+
+def _workload(n):
+    """Timestamps/keys plus the derived window and reorder latency."""
+    dataset = load_dataset("cloudlog", n)
+    ts = np.asarray(dataset.timestamps, dtype=np.int64)
+    keys = np.asarray(dataset.keys, dtype=np.int64)
+    window = max(n // 100, 1)
+    latency = suggest_reorder_latency(dataset.timestamps, 0.99)
+    return ts, keys, window, latency
+
+
+def _row_elements(ts, keys, latency, punct_every):
+    """Arrival-order Event/Punctuation stream for the row baseline."""
+    out = []
+    high = None
+    next_punct = punct_every
+    for i in range(len(ts)):
+        t = int(ts[i])
+        out.append(Event(t, t + 1, int(keys[i])))
+        high = t if high is None or t > high else high
+        if i + 1 >= next_punct:
+            out.append(Punctuation(high - latency))
+            next_punct += punct_every
+    out.append(Punctuation(high))
+    return out
+
+
+def _columnar_ingress(ts, keys, latency, batch_size, punct_every):
+    """The same stream as columnar EventBatch blocks + punctuations.
+
+    ``punct_every`` must be a multiple of ``batch_size`` (blocks never
+    straddle a punctuation) so the element sequence — and therefore
+    which events count as late — is identical to the row stream's.
+    """
+    out = []
+    high = None
+    next_punct = punct_every
+    for i in range(0, len(ts), batch_size):
+        chunk = ts[i:i + batch_size]
+        out.append(EventBatch(chunk, chunk + 1, keys[i:i + batch_size], []))
+        top = int(chunk.max())
+        high = top if high is None else max(high, top)
+        if i + batch_size >= next_punct:
+            out.append(Punctuation(high - latency))
+            next_punct += punct_every
+    out.append(Punctuation(high))
+    return out
+
+
+def _ring_capacity(batch_size):
+    """A ring comfortably holding a few of the largest ingress frames."""
+    need = 4 * (EventBatch.packed_size(batch_size, 0) + 64)
+    capacity = 1 << 20
+    while capacity < need:
+        capacity <<= 1
+    return capacity
+
+
+def _event_key(event):
+    return (event.sync_time, event.other_time, event.key, event.payload)
+
+
+def run_scaling(n=DEFAULT_N, workers_sweep=WORKER_SWEEP,
+                batch_sweep=BATCH_SWEEP):
+    """Run the full grid; returns ``(entries, baseline_events_per_sec)``.
+
+    Each entry follows the ``BENCH_parallel.json`` schema; the row
+    baseline is included as its own entry (``speedup_vs_1`` is null —
+    it has no worker axis).
+    """
+    ts, keys, window, latency = _workload(n)
+    query = lambda s: s.tumbling_window(window).group_aggregate(  # noqa: E731
+        Count()
+    )
+    # One row baseline per punctuation cadence: blocks never straddle a
+    # punctuation, so a batch size above PUNCT_EVERY stretches the
+    # cadence and needs its own (identical-stream) reference.
+    references = {}
+
+    def baseline_for(punct_every):
+        cached = references.get(punct_every)
+        if cached is not None:
+            return cached
+        elements = _row_elements(ts, keys, latency, punct_every)
+        start = time.perf_counter()
+        collected = shard_disordered(
+            Streamable.from_elements(elements), query, BASELINE_SHARDS
+        ).collect()
+        eps = n / (time.perf_counter() - start)
+        cached = (sorted(map(_event_key, collected.events)), eps)
+        references[punct_every] = cached
+        return cached
+
+    _, baseline_eps = baseline_for(PUNCT_EVERY)
+    entries = [{
+        "name": f"sharded-row-{BASELINE_SHARDS}-shard",
+        "config": {
+            "n": n, "dataset": "cloudlog", "window": window,
+            "shards": BASELINE_SHARDS, "punct_every": PUNCT_EVERY,
+        },
+        "events_per_sec": round(baseline_eps, 1),
+        "speedup_vs_1": None,
+        "speedup_vs_row": 1.0,
+    }]
+    for batch_size in batch_sweep:
+        punct_every = max(PUNCT_EVERY, batch_size)
+        reference, row_eps = baseline_for(punct_every)
+        ingress = _columnar_ingress(
+            ts, keys, latency, batch_size, punct_every
+        )
+        capacity = _ring_capacity(batch_size)
+        base_eps = None
+        for workers in workers_sweep:
+            start = time.perf_counter()
+            result = run_parallel(
+                iter(ingress), GroupedAggregatePlan(window), workers,
+                batch_size=batch_size, ring_capacity=capacity,
+            )
+            eps = n / (time.perf_counter() - start)
+            got = sorted(map(_event_key, result.events))
+            if got != reference:
+                raise AssertionError(
+                    f"parallel(workers={workers}, batch={batch_size}) "
+                    "diverged from the row baseline"
+                )
+            if base_eps is None:
+                base_eps = eps
+            entries.append({
+                "name": f"parallel-w{workers}-b{batch_size}",
+                "config": {
+                    "n": n, "dataset": "cloudlog", "window": window,
+                    "workers": workers, "batch_size": batch_size,
+                    "punct_every": punct_every,
+                },
+                "events_per_sec": round(eps, 1),
+                "speedup_vs_1": round(eps / base_eps, 2),
+                "speedup_vs_row": round(eps / row_eps, 2),
+            })
+    return entries, baseline_eps
+
+
+def write_results(entries, path=RESULTS_PATH):
+    with open(path, "w") as fh:
+        json.dump({"benchmark": "parallel_scaling", "results": entries},
+                  fh, indent=2)
+        fh.write("\n")
+
+
+def _print_table(entries, n):
+    rows = [
+        [
+            entry["name"],
+            entry["config"].get("workers", "-"),
+            entry["config"].get("batch_size", "-"),
+            round(entry["events_per_sec"] / 1e6, 3),
+            entry["speedup_vs_1"] if entry["speedup_vs_1"] is not None
+            else "-",
+            entry["speedup_vs_row"],
+        ]
+        for entry in entries
+    ]
+    print(format_table(
+        ["run", "workers", "batch", "M events/s", "speedup vs w=1",
+         "speedup vs row"],
+        rows,
+        title=(
+            f"Parallel shard-runtime scaling (cloudlog {n}, "
+            "grouped count, equivalence-checked)"
+        ),
+    ))
+
+
+def report(n=None):
+    """Report-section entry point; also refreshes BENCH_parallel.json."""
+    n = n or DEFAULT_N
+    entries, _ = run_scaling(n)
+    _print_table(entries, n)
+    write_results(entries)
+    print(f"wrote {RESULTS_PATH}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"stream length (default {DEFAULT_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small stream, workers {1,2}, no "
+                             "JSON write — exercises the exchange path "
+                             "and the equivalence assert only")
+    parser.add_argument("--json", default=None,
+                        help="results path (default BENCH_parallel.json; "
+                             "ignored with --smoke unless given)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n = args.n or SMOKE_N
+        entries, _ = run_scaling(n, SMOKE_WORKERS, SMOKE_BATCHES)
+        _print_table(entries, n)
+        if args.json:
+            write_results(entries, args.json)
+            print(f"wrote {args.json}")
+        print("smoke OK")
+        return
+    n = args.n or DEFAULT_N
+    entries, _ = run_scaling(n)
+    _print_table(entries, n)
+    path = args.json or RESULTS_PATH
+    write_results(entries, path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

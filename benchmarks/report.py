@@ -29,6 +29,7 @@ from benchmarks import (
     bench_fig8_online_sorting,
     bench_fig9_sort_as_needed,
     bench_fig10_framework,
+    bench_parallel_scaling,
     bench_table1_disorder,
     bench_table2_latency_completeness,
 )
@@ -55,6 +56,7 @@ SECTIONS = (
     ("Ablation — multi-query shared fan-out",
      bench_ablation_multiquery.report),
     ("Ablation — sorter ingress batching", bench_ablation_ingress.report),
+    ("Parallel shard-runtime scaling", bench_parallel_scaling.report),
     ("Operator microbenchmarks", bench_operator_micro.report),
 )
 

@@ -147,6 +147,37 @@ def _cmd_demo(args):
     return 0
 
 
+def _parallel_plan(query, window):
+    """Per-shard plan + coordinator finalize for a ``run`` query.
+
+    ``grouped-count`` is key-local, so the whole query runs inside the
+    shard workers (on the vectorized columnar kernel).  The other two
+    decompose: each shard computes its partial per-window answer and a
+    coordinator ``finalize`` query combines the partials — summed counts
+    for the global ``windowed-count``, top-k-of-shard-top-ks for
+    ``top-k``.  All three keep the windowing stage *before* the
+    per-shard sort (``pre`` / ``align="pre"``), matching the
+    single-process plans' §IV push-down byte-for-byte — including which
+    events count as late.
+    """
+    from repro.engine.operators.aggregates import Sum
+    from repro.parallel import GroupedAggregatePlan, RowPlan
+
+    if query == "grouped-count":
+        return GroupedAggregatePlan(window, align="pre")
+    if query == "windowed-count":
+        return RowPlan(
+            lambda s: s.count(),
+            pre=lambda d: d.tumbling_window(window),
+            finalize=lambda s: s.tumbling_window(window).aggregate(Sum()),
+        )
+    return RowPlan(
+        lambda s: s.top_k(3),
+        pre=lambda d: d.tumbling_window(window),
+        finalize=lambda s: s.top_k(3),
+    )
+
+
 def _cmd_run(args):
     from repro.engine import DisorderedStreamable
     from repro.engine.operators.aggregates import Count
@@ -160,6 +191,8 @@ def _cmd_run(args):
         else suggest_reorder_latency(dataset.timestamps, 0.99)
     )
     window = args.window or max(len(dataset) // 100, 1)
+    if args.parallel:
+        return _run_parallel_cli(args, dataset, latency, window)
     disordered = DisorderedStreamable.from_dataset(
         dataset, args.punctuation_frequency, latency
     )
@@ -239,6 +272,113 @@ def _cmd_run(args):
     return 0
 
 
+def _run_parallel_cli(args, dataset, latency, window):
+    """The ``run --parallel N`` path: shard workers + columnar exchange."""
+    from repro.engine.ingress import ingress_dataset
+    from repro.engine.stream import Streamable
+    from repro.observability import MetricsRegistry
+
+    if args.chaos:
+        print("error: QueryBuildError: --chaos is single-process fault "
+              "injection; with --parallel use --supervised (worker-crash "
+              "recovery)", file=sys.stderr)
+        return 2
+
+    plan = _parallel_plan(args.query, window)
+    ingress = ingress_dataset(dataset, args.punctuation_frequency, latency)
+    resilience = None
+    start = time.perf_counter()
+    if args.supervised:
+        from repro.resilience.parallel import run_parallel_supervised
+
+        outcome = run_parallel_supervised(
+            ingress, plan, args.parallel, fault=None
+        )
+        parallel_doc = outcome.parallel
+        resilience = outcome.resilience_doc()
+        if plan.finalize is not None:
+            finalized = plan.finalize(
+                Streamable.from_elements(outcome.elements)
+            ).collect()
+            n_results = len(finalized.events)
+        else:
+            n_results = len(outcome.events)
+    else:
+        from repro.parallel import run_parallel
+
+        result = run_parallel(ingress, plan, args.parallel)
+        parallel_doc = result.parallel
+        n_results = len(result.events)
+    elapsed = time.perf_counter() - start
+
+    snapshot = MetricsRegistry(trace=False).snapshot(
+        resilience=resilience, parallel=parallel_doc, meta={
+            "query": args.query,
+            "dataset": dataset.name,
+            "n": len(dataset),
+            "window": window,
+            "punctuation_frequency": args.punctuation_frequency,
+            "reorder_latency": latency,
+            "workers": args.parallel,
+            "elapsed_s": elapsed,
+            "throughput_meps": len(dataset) / elapsed / 1e6,
+        },
+    )
+
+    print(
+        f"{args.query} over {dataset.name} (n={len(dataset):,}, "
+        f"reorder latency {latency}, {args.parallel} workers): "
+        f"{n_results} result events in {elapsed:.3f}s "
+        f"({len(dataset) / elapsed / 1e6:.3f} M events/s)"
+    )
+    print()
+    print(format_parallel_summary(parallel_doc))
+    if resilience is not None:
+        print()
+        print(
+            f"supervised: restarts={resilience['restarts']} "
+            f"deduplicated={resilience['duplicates_suppressed']} "
+            f"crashes={len(resilience['crashes'])}"
+        )
+    if args.metrics_out:
+        try:
+            snapshot.save(args.metrics_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nwrote {args.metrics_out}")
+    return 0
+
+
+def format_parallel_summary(doc) -> str:
+    """Console table for a parallel run's coordinator accounting."""
+    lines = [
+        f"parallel: {doc['workers']} workers, batch {doc['batch_size']}, "
+        f"{doc['rounds']} rounds ({doc['fast_merge_rounds']} huffman / "
+        f"{doc['tree_merge_rounds']} tree merges), "
+        f"{doc['frames_sent']} frames out / {doc['frames_received']} in",
+    ]
+    rows = []
+    for shard, stats in enumerate(doc["shards"]):
+        stats = stats or {}
+        rows.append([
+            shard,
+            stats.get("plan", "?"),
+            stats.get("events_in", 0),
+            stats.get("buffered_peak", 0),
+            stats.get("runs_peak", "-"),
+            stats.get("late_dropped", 0),
+            stats.get("late_adjusted", 0),
+        ])
+    lines.append(format_table(
+        ["shard", "plan", "ev in", "peak buf", "peak runs",
+         "late drop", "late adj"],
+        rows, title="Per-shard workers",
+    ))
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -290,6 +430,9 @@ def main(argv=None) -> int:
                    help="reorder latency (default: 99%% coverage)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the metrics JSON export here")
+    p.add_argument("--parallel", type=int, default=None, metavar="N",
+                   help="execute on N shard worker processes with "
+                        "shared-memory columnar exchange")
     p.add_argument("--supervised", action="store_true",
                    help="run under the fault-tolerant supervisor")
     p.add_argument("--chaos", default=None, metavar="SPEC",

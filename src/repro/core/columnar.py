@@ -15,6 +15,15 @@ per-punctuation semantics are identical to
 :class:`~repro.core.impatience.ImpatienceSorter` (equivalence is
 property-tested), and the Propositions 3.1–3.3 run-count bounds still
 hold because a segment lands exactly where its first element would.
+
+``columns`` extends the sorter from bare timestamps to whole columnar
+rows: payload columns ride along each timestamp through segment
+placement, punctuation cuts, and the head merge (an ``argsort``
+permutation instead of an in-place sort), so a shard worker can sort an
+entire :class:`~repro.engine.batch.EventBatch` without ever
+materializing per-event objects.  Because segments are contiguous
+slices of the incoming batch, the payload bookkeeping is all views — no
+extra copies on the ingress path.
 """
 
 from __future__ import annotations
@@ -38,12 +47,24 @@ class ColumnarImpatienceSorter:
     ``insert_batch(array)``, ``on_punctuation(ts) -> ndarray``,
     ``flush() -> ndarray``.  Late events are dropped or adjusted per the
     late policy (RAISE raises on the first late element of a batch).
+
+    With ``columns=k`` the sorter carries ``k`` parallel ``int64``
+    payload columns: ``insert_batch(ts, cols)`` takes the column arrays,
+    and ``on_punctuation``/``flush`` return ``(ts_sorted, cols_sorted)``
+    tuples instead of a bare timestamp array.  ADJUST rewrites only the
+    sort timestamps; payload columns pass through untouched (the row
+    engine keeps the original event and re-sorts it at the watermark —
+    callers wanting that semantic pass the original time as a payload
+    column).
     """
 
-    def __init__(self, late_policy=LatePolicy.DROP):
+    def __init__(self, late_policy=LatePolicy.DROP, columns=0):
+        if columns < 0:
+            raise ValueError("columns must be >= 0")
         self.stats = SorterStats()
         self.late = LateEventTracker(late_policy)
-        self._chunks = []   # parallel to _tails: list of chunk-lists
+        self.columns = int(columns)
+        self._chunks = []   # parallel to _tails: list of (ts, cols) lists
         self._tails = []    # strictly descending run tails
         self._watermark = _NEG_INF
         self._has_watermark = False
@@ -57,7 +78,7 @@ class ColumnarImpatienceSorter:
     def buffered(self) -> int:
         """Events currently buffered across all run chunks."""
         return sum(
-            chunk.size for chunks in self._chunks for chunk in chunks
+            ts.size for chunks in self._chunks for ts, _ in chunks
         )
 
     @property
@@ -65,11 +86,19 @@ class ColumnarImpatienceSorter:
         """Timestamp of the last punctuation, or ``-inf`` before the first."""
         return self._watermark
 
-    def insert_batch(self, values):
-        """Ingest one arrival-order batch of timestamps."""
+    def insert_batch(self, values, columns=()):
+        """Ingest one arrival-order batch of timestamps (+ columns)."""
         arr = np.asarray(values, dtype=np.int64)
         if arr.ndim != 1:
             raise ValueError("insert_batch expects a 1-D array")
+        if len(columns) != self.columns:
+            raise ValueError(
+                f"expected {self.columns} payload columns, "
+                f"got {len(columns)}"
+            )
+        cols = tuple(np.asarray(col, dtype=np.int64) for col in columns)
+        if any(col.shape != arr.shape for col in cols):
+            raise ValueError("payload columns must parallel the timestamps")
         if arr.size == 0:
             return 0
         if self._has_watermark:
@@ -88,14 +117,15 @@ class ColumnarImpatienceSorter:
                     for _ in range(n_late - 1):
                         self.late.admit(None, self._watermark)
                     arr = arr[~late_mask]
+                    cols = tuple(col[~late_mask] for col in cols)
                     if arr.size == 0:
                         return 0
-        self._place_segments(arr)
+        self._place_segments(arr, cols)
         self.stats.inserted += int(arr.size)
         self.stats.note_buffered()
         return int(arr.size)
 
-    def _place_segments(self, arr):
+    def _place_segments(self, arr, cols):
         """Split the batch at descents; deal each ascending segment.
 
         Placement is the exact chunk-wise equivalent of element-wise
@@ -106,15 +136,16 @@ class ColumnarImpatienceSorter:
         tails invariant and producing the same runs element dealing would.
         """
         if arr.size == 1:
-            segments = [arr]
+            bounds = [(0, 1)]
         else:
             cuts = np.flatnonzero(np.diff(arr) < 0) + 1
-            segments = np.split(arr, cuts) if cuts.size else [arr]
+            edges = [0, *cuts.tolist(), arr.size]
+            bounds = list(zip(edges[:-1], edges[1:]))
         tails = self._tails
         chunks = self._chunks
-        for segment in segments:
-            while segment.size:
-                head = int(segment[0])
+        for start, stop in bounds:
+            while start < stop:
+                head = int(arr[start])
                 lo, hi = 0, len(tails)
                 while lo < hi:
                     mid = (lo + hi) // 2
@@ -124,18 +155,24 @@ class ColumnarImpatienceSorter:
                         lo = mid + 1
                 self.stats.binary_searches += 1
                 if lo == 0:
-                    placeable, segment = segment, segment[:0]
+                    split = stop
                 else:
                     bound = tails[lo - 1]
-                    split = int(np.searchsorted(segment, bound, side="left"))
-                    placeable, segment = segment[:split], segment[split:]
+                    split = start + int(np.searchsorted(
+                        arr[start:stop], bound, side="left"
+                    ))
+                placeable = (
+                    arr[start:split],
+                    tuple(col[start:split] for col in cols),
+                )
                 if lo == len(tails):
                     chunks.append([placeable])
-                    tails.append(int(placeable[-1]))
+                    tails.append(int(arr[split - 1]))
                     self.stats.runs_created += 1
                 else:
                     chunks[lo].append(placeable)
-                    tails[lo] = int(placeable[-1])
+                    tails[lo] = int(arr[split - 1])
+                start = split
 
     def on_punctuation(self, timestamp):
         """Cut and return every buffered value <= ``timestamp``, sorted."""
@@ -149,15 +186,19 @@ class ColumnarImpatienceSorter:
         removed = 0
         for run, tail in zip(self._chunks, self._tails):
             keep_from = 0
-            for i, chunk in enumerate(run):
-                if int(chunk[-1]) <= timestamp:
-                    heads.append(chunk)
+            for i, (ts, cols) in enumerate(run):
+                if int(ts[-1]) <= timestamp:
+                    heads.append((ts, cols))
                     keep_from = i + 1
                     continue
-                split = int(np.searchsorted(chunk, timestamp, side="right"))
+                split = int(np.searchsorted(ts, timestamp, side="right"))
                 if split:
-                    heads.append(chunk[:split])
-                    run[i] = chunk[split:]
+                    heads.append(
+                        (ts[:split], tuple(col[:split] for col in cols))
+                    )
+                    run[i] = (
+                        ts[split:], tuple(col[split:] for col in cols)
+                    )
                 keep_from = i
                 break
             remaining = run[keep_from:] if keep_from else run
@@ -183,13 +224,29 @@ class ColumnarImpatienceSorter:
 
     def _merge(self, heads):
         if not heads:
-            return _EMPTY
+            empty = _EMPTY
+            if self.columns:
+                return empty, tuple(_EMPTY for _ in range(self.columns))
+            return empty
         if len(heads) == 1:
-            merged = heads[0]
+            merged, cols = heads[0]
+        elif self.columns:
+            merged = np.concatenate([ts for ts, _ in heads])
+            order = np.argsort(merged, kind="stable")
+            merged = merged[order]
+            cols = tuple(
+                np.concatenate([chunk[c] for _, chunk in heads])[order]
+                for c in range(self.columns)
+            )
+            self.stats.merges += 1
+            self.stats.merge_events += int(merged.size)
         else:
-            merged = np.concatenate(heads)
+            merged = np.concatenate([ts for ts, _ in heads])
             merged.sort(kind="stable")
+            cols = ()
             self.stats.merges += 1
             self.stats.merge_events += int(merged.size)
         self.stats.emitted += int(merged.size)
+        if self.columns:
+            return merged, cols
         return merged

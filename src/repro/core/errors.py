@@ -20,6 +20,12 @@ class LateEventError(ReproError):
         self.event_time = event_time
         self.punctuation_time = punctuation_time
 
+    def __reduce__(self):
+        # Default Exception pickling replays args=(message,) against the
+        # two-parameter __init__; worker processes forward these across
+        # the exchange, so round-trip with the constructor arguments.
+        return (type(self), (self.event_time, self.punctuation_time))
+
 
 class PunctuationOrderError(ReproError):
     """A punctuation regressed: its timestamp is below an earlier one."""
@@ -31,6 +37,9 @@ class PunctuationOrderError(ReproError):
         )
         self.timestamp = timestamp
         self.previous = previous
+
+    def __reduce__(self):
+        return (type(self), (self.timestamp, self.previous))
 
 
 class QueryBuildError(ReproError):
@@ -106,3 +115,36 @@ class SupervisionExhaustedError(ReproError):
 
     The original failure is attached as ``__cause__``.
     """
+
+
+class WorkerCrashError(ReproError):
+    """A parallel shard worker process died mid-stream.
+
+    Carries everything a supervised rerun needs: the shard index, the
+    worker's last *acknowledged* ingress journal offset (every journal
+    element up to it was provably processed and its output delivered),
+    and the process exit code.  Unlike the semantic :class:`ReproError`
+    family this failure is environmental — the parallel supervisor
+    (:func:`repro.resilience.parallel.run_parallel_supervised`) treats
+    it as restartable and replays the journal through a fresh pool.
+    """
+
+    def __init__(self, shard, journal_offset, exitcode=None, detail=""):
+        message = (
+            f"worker for shard {shard} died"
+            f"{f' (exit code {exitcode})' if exitcode is not None else ''}"
+            f" with journal acknowledged through offset {journal_offset}"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.shard = shard
+        self.journal_offset = journal_offset
+        self.exitcode = exitcode
+        self.detail = detail
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.shard, self.journal_offset, self.exitcode, self.detail),
+        )

@@ -106,6 +106,60 @@ class EventBatch:
             [col[idx] for col in self.payload_columns],
         )
 
+    # -- shared-memory wire format -----------------------------------------
+
+    @staticmethod
+    def packed_size(n, n_payload_columns) -> int:
+        """Bytes :meth:`pack_into` writes for ``n`` rows: three fixed
+        int64 columns, the payload columns, and one validity byte/row."""
+        return 8 * n * (3 + n_payload_columns) + n
+
+    def pack_into(self, buffer, offset=0) -> int:
+        """Write the batch's columns contiguously into ``buffer``.
+
+        Layout is column-major — ``sync | other | keys | payloads… |
+        valid`` — so :meth:`unpack_from` can re-attach numpy views with
+        no per-element work.  Returns the number of bytes written.  The
+        row count and payload arity travel out of band (the exchange
+        frame header carries them).
+        """
+        n = len(self.sync_times)
+        view = memoryview(buffer)
+        for col in (self.sync_times, self.other_times, self.keys,
+                    *self.payload_columns):
+            view[offset:offset + 8 * n] = np.ascontiguousarray(col).view(
+                np.uint8
+            ).reshape(-1)
+            offset += 8 * n
+        view[offset:offset + n] = self.valid.view(np.uint8).reshape(-1)
+        return 8 * n * (3 + len(self.payload_columns)) + n
+
+    @classmethod
+    def unpack_from(cls, buffer, n, n_payload_columns, offset=0,
+                    copy=False) -> "EventBatch":
+        """Attach an :class:`EventBatch` over packed bytes.
+
+        With ``copy=False`` the columns are zero-copy views into
+        ``buffer`` — valid only while the underlying shared-memory
+        segment stays mapped and the producer has not recycled the ring
+        slot; pass ``copy=True`` to detach.
+        """
+        def column(i):
+            arr = np.frombuffer(
+                buffer, dtype=np.int64, count=n, offset=offset + 8 * n * i
+            )
+            return arr.copy() if copy else arr
+
+        payloads = [column(3 + c) for c in range(n_payload_columns)]
+        valid = np.frombuffer(
+            buffer, dtype=np.uint8, count=n,
+            offset=offset + 8 * n * (3 + n_payload_columns),
+        ).view(np.bool_)
+        return cls(
+            column(0), column(1), column(2), payloads,
+            valid.copy() if copy else valid,
+        )
+
     # -- bridges to the row world -----------------------------------------
 
     def timestamps(self) -> list:

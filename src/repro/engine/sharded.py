@@ -4,8 +4,19 @@ Trill scales grouped queries by hash-partitioning events across cores
 and merging per-shard results.  This module provides the single-process
 simulation of that pattern: a :class:`ShardedQuery` routes each ordered
 event to one of ``shards`` sub-pipelines by key hash, runs the same
-query function in each, and re-merges the shard outputs through a union
-cascade so the combined stream is ordered again.
+query function in each, and re-merges the shard outputs through a
+*balanced* union tree (depth ``ceil(log2 N)``) so the combined stream is
+ordered again.  :func:`shard_disordered` is the disordered-ingress
+variant: raw events are routed first and each shard carries its own
+sorting stage, which is exactly the per-worker pipeline the
+multi-process runtime in :mod:`repro.parallel` executes.
+
+Routing uses :func:`stable_key_hash`, a process- and run-stable hash
+(builtin ``hash`` is salted per process for strings via
+``PYTHONHASHSEED``, so it could never be shared between a coordinator
+and its workers).  :func:`stable_key_hash_array` is the vectorized
+equivalent the columnar router uses; the two are bit-identical on
+integer keys.
 
 The value at this repository's scale is *state partitioning*: each
 shard's operators hold only their keys' state, and the merge tree is the
@@ -16,18 +27,84 @@ stress test of union's watermark logic.
 
 from __future__ import annotations
 
+import zlib
+
+import numpy as np
+
 from repro.core.errors import QueryBuildError
 from repro.engine.graph import QueryNode
 from repro.engine.operators.base import Operator, PassThrough
+from repro.engine.operators.sort import Sort
 from repro.engine.operators.union import Union
 from repro.engine.stream import Streamable
 
-__all__ = ["ShardedQuery", "shard_streamable"]
+__all__ = [
+    "ShardedQuery",
+    "shard_streamable",
+    "shard_disordered",
+    "stable_key_hash",
+    "stable_key_hash_array",
+    "balanced_merge",
+]
+
+_MASK64 = (1 << 64) - 1
+# splitmix64 finalizer constants (Steele et al.) — a full-avalanche
+# integer mixer with a branch-free numpy translation.
+_MIX_C1 = 0xBF58476D1CE4E5B9
+_MIX_C2 = 0x94D049BB133111EB
+
+
+def _mix64(x: int) -> int:
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX_C1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX_C2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def stable_key_hash(key) -> int:
+    """A 64-bit key hash that is identical across processes and runs.
+
+    Integers (the engine's native key type) go through the splitmix64
+    finalizer; strings, bytes, and arbitrary objects hash the CRC-32 of
+    their canonical byte form, re-mixed for diffusion in the low bits
+    that ``% shards`` consumes.  Unlike builtin ``hash``, the result
+    never depends on ``PYTHONHASHSEED`` — a requirement for the
+    multi-process shard runtime, where the coordinator and every worker
+    must agree on the routing of every key.
+    """
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        return _mix64(int(key))
+    if isinstance(key, bytes):
+        data = key
+    elif isinstance(key, str):
+        data = key.encode("utf-8", "surrogatepass")
+    else:
+        data = repr(key).encode("utf-8", "backslashreplace")
+    return _mix64(zlib.crc32(data))
+
+
+def stable_key_hash_array(keys) -> np.ndarray:
+    """Vectorized :func:`stable_key_hash` for integer key arrays.
+
+    Bit-identical to the scalar integer branch (two's-complement fold of
+    negatives included), so the columnar router and the per-event router
+    always agree.  Returns a ``uint64`` array.
+    """
+    x = np.asarray(keys).astype(np.uint64)
+    x = x ^ (x >> np.uint64(30))
+    x = x * np.uint64(_MIX_C1)
+    x = x ^ (x >> np.uint64(27))
+    x = x * np.uint64(_MIX_C2)
+    x = x ^ (x >> np.uint64(31))
+    return x
 
 
 class _KeyShardRouter(Operator):
-    """Route events to ``out_ports[hash(key) % shards]``; broadcast
-    punctuations and flushes to every shard."""
+    """Route events to ``out_ports[stable_key_hash(key) % shards]``;
+    broadcast punctuations and flushes to every shard."""
 
     def __init__(self, shards, key_fn=None):
         super().__init__()
@@ -40,7 +117,7 @@ class _KeyShardRouter(Operator):
 
     def _shard(self, event):
         key = event.key if self.key_fn is None else self.key_fn(event)
-        return hash(key) % self.shards
+        return stable_key_hash(key) % self.shards
 
     def on_event(self, event):
         index = self._shard(event)
@@ -54,6 +131,40 @@ class _KeyShardRouter(Operator):
     def on_flush(self):
         for port in self.out_ports:
             port.on_flush()
+
+
+def balanced_merge(items, combine):
+    """Reduce ``items`` through a balanced binary tree of ``combine``.
+
+    Pairs adjacent items in rounds (an odd leftover is carried to the
+    next round), so the tree has depth ``ceil(log2 N)`` instead of the
+    ``N - 1`` a left-fold would produce.  Both the single-process union
+    cascade and the parallel coordinator's watermark simulator build
+    their trees through this one function, which is what makes their
+    punctuation sequences byte-identical.
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("balanced_merge requires at least one item")
+    while len(items) > 1:
+        merged = [
+            combine(items[i], items[i + 1])
+            for i in range(0, len(items) - 1, 2)
+        ]
+        if len(items) % 2:
+            merged.append(items[-1])
+        items = merged
+    return items[0]
+
+
+def _union_tree(shard_streams, source) -> Streamable:
+    def combine(left, right):
+        node = QueryNode(
+            Union, ((left.node, None), (right.node, None)), name="merge"
+        )
+        return Streamable(node, source)
+
+    return balanced_merge(shard_streams, combine)
 
 
 def shard_streamable(stream: Streamable, query_fn, shards,
@@ -80,13 +191,45 @@ def shard_streamable(stream: Streamable, query_fn, shards,
         ).apply(query_fn)
         for index in range(shards)
     ]
-    merged = shard_streams[0]
-    for other in shard_streams[1:]:
-        node = QueryNode(
-            Union, ((merged.node, None), (other.node, None)), name="merge"
+    return _union_tree(shard_streams, stream.source)
+
+
+def shard_disordered(stream, query_fn, shards, key_fn=None,
+                     sorter=None) -> Streamable:
+    """Shard a *disordered* stream with a per-shard sorting stage.
+
+    Events are routed raw (routing is order-insensitive), each shard
+    sorts its own substream — ``sorter`` is an optional online-sorter
+    factory, as in
+    :meth:`~repro.engine.disordered.DisorderedStreamable.to_streamable`
+    — then applies ``query_fn`` to the ordered result, and the shard
+    outputs merge through the balanced union tree.  This is the
+    single-process reference plan for the multi-process runtime in
+    :mod:`repro.parallel`: worker ``i`` executes exactly the
+    ``sort → query_fn`` pipeline that shard ``i`` runs here.
+    """
+    if shards < 1:
+        raise QueryBuildError("shards must be >= 1")
+    if sorter is not None and not callable(sorter):
+        raise QueryBuildError("sorter must be a zero-argument factory")
+    router_node = QueryNode(
+        lambda: _KeyShardRouter(shards, key_fn),
+        ((stream.node, None),),
+        name=f"shard[{shards}]",
+    )
+    sort_factory = Sort if sorter is None else (lambda: Sort(sorter()))
+    shard_streams = []
+    for index in range(shards):
+        port_node = QueryNode(
+            PassThrough, ((router_node, index),), name=f"shard-{index}"
         )
-        merged = Streamable(node, stream.source)
-    return merged
+        sort_node = QueryNode(
+            sort_factory, ((port_node, None),), name=f"sort-{index}"
+        )
+        shard_streams.append(
+            Streamable(sort_node, stream.source).apply(query_fn)
+        )
+    return _union_tree(shard_streams, stream.source)
 
 
 class ShardedQuery:

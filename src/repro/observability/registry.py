@@ -227,8 +227,8 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
-    def snapshot(self, memory=None, meta=None,
-                 resilience=None) -> PipelineSnapshot:
+    def snapshot(self, memory=None, meta=None, resilience=None,
+                 parallel=None) -> PipelineSnapshot:
         """Aggregate everything collected into one structured export.
 
         ``memory`` is an optional
@@ -237,7 +237,10 @@ class MetricsRegistry:
         stream length, wall time, …); ``resilience`` is a supervised
         run's fault/recovery summary
         (:meth:`~repro.resilience.supervisor.SupervisedResult
-        .resilience_doc`).
+        .resilience_doc`); ``parallel`` is a parallel run's coordinator
+        accounting (``ParallelResult.parallel`` — per-shard worker
+        sorter stats ride under its ``shards`` key, since worker-side
+        operators cannot be instrumented across the process boundary).
         """
         operators = []
         for label, metrics in self.operators.items():
@@ -276,6 +279,7 @@ class MetricsRegistry:
         return PipelineSnapshot(
             operators, punctuation=punctuation, occupancy=occupancy,
             memory=memory_doc, meta=meta, resilience=resilience,
+            parallel=parallel,
         )
 
     def __repr__(self):

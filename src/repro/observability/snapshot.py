@@ -21,7 +21,7 @@ class PipelineSnapshot:
     """An immutable, JSON-ready view of a pipeline's collected metrics."""
 
     def __init__(self, operators, punctuation=None, occupancy=None,
-                 memory=None, meta=None, resilience=None):
+                 memory=None, meta=None, resilience=None, parallel=None):
         self._doc = {
             "schema": SCHEMA,
             "meta": dict(meta or {}),
@@ -30,6 +30,7 @@ class PipelineSnapshot:
             "occupancy": occupancy,
             "memory": memory,
             "resilience": resilience,
+            "parallel": parallel,
             "totals": self._totals(operators, occupancy),
         }
 
@@ -75,6 +76,12 @@ class PipelineSnapshot:
     def resilience(self):
         """Supervised-run fault/recovery summary (None for plain runs)."""
         return self._doc["resilience"]
+
+    @property
+    def parallel(self):
+        """Parallel-runtime accounting — coordinator round/merge counters
+        and per-shard worker stats (None for single-process runs)."""
+        return self._doc["parallel"]
 
     @property
     def totals(self) -> dict:

@@ -1,0 +1,80 @@
+"""Frame vocabulary of the coordinator <-> worker exchange.
+
+Everything crossing a :class:`~repro.parallel.shm.ShmRing` is one of the
+frame kinds below.  Data-plane frames (``DATA``) carry
+:class:`~repro.engine.batch.EventBatch` columns packed column-major so
+the receiver re-attaches numpy views without touching individual events;
+control-plane frames (punctuations, acks, flush/done markers) are small
+fixed structs; the escape hatches (``PICKLE``, ``STATS``, ``ERROR``)
+carry pickled python objects for row-shaped outputs, metrics
+dictionaries, and forwarded exceptions.
+
+Coordinator -> worker:   DATA* (PUNCT | FLUSH)  …  DONE
+Worker -> coordinator:   (DATA | PICKLE | OUTPUNCT)* ACK  …  STATS DONE
+                         ERROR at any point (fatal, pickled exception)
+
+The ``ACK`` after each input punctuation round carries the ingress
+journal offset the round closed at — the coordinator's crash-recovery
+watermark (see :class:`~repro.core.errors.WorkerCrashError`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from repro.engine.batch import EventBatch
+
+__all__ = [
+    "DATA", "PUNCT", "OUTPUNCT", "ACK", "FLUSH", "PICKLE", "STATS",
+    "DONE", "ERROR",
+    "write_batch", "read_batch", "write_pickled", "read_pickled",
+]
+
+DATA = 1        # packed EventBatch:  u32 n | u32 n_payload_cols | columns
+PUNCT = 2       # ingress punctuation: i64 ts | i64 round | i64 journal_off
+OUTPUNCT = 3    # worker-emitted punctuation: i64 ts
+ACK = 4         # round processed:    i64 round | i64 journal_off
+FLUSH = 5       # end of ingress stream (no payload)
+PICKLE = 6      # pickled list of output elements (row-shaped plans)
+STATS = 7       # pickled worker metrics dict
+DONE = 8        # clean worker shutdown (no payload)
+ERROR = 9       # pickled exception (fatal)
+
+_BATCH_HEAD = struct.Struct("<II")
+PUNCT_STRUCT = struct.Struct("<qqq")
+ACK_STRUCT = struct.Struct("<qq")
+OUTPUNCT_STRUCT = struct.Struct("<q")
+
+
+def write_batch(ring, batch, pump=None, alive=None) -> None:
+    """Enqueue an :class:`EventBatch` as one DATA frame, packing the
+    columns straight into the ring's mapped memory (single copy)."""
+    n = len(batch)
+    n_cols = len(batch.payload_columns)
+    size = _BATCH_HEAD.size + EventBatch.packed_size(n, n_cols)
+
+    def fill(view):
+        _BATCH_HEAD.pack_into(view, 0, n, n_cols)
+        batch.pack_into(view, _BATCH_HEAD.size)
+
+    ring.write(DATA, reserve=(size, fill), pump=pump, alive=alive)
+
+
+def read_batch(payload, copy=False) -> EventBatch:
+    """Attach an :class:`EventBatch` over a DATA frame's payload view."""
+    n, n_cols = _BATCH_HEAD.unpack_from(payload, 0)
+    return EventBatch.unpack_from(
+        payload, n, n_cols, offset=_BATCH_HEAD.size, copy=copy
+    )
+
+
+def write_pickled(ring, kind, obj, pump=None, alive=None) -> None:
+    """Enqueue a pickled object frame (PICKLE / STATS / ERROR)."""
+    ring.write(kind, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+               pump=pump, alive=alive)
+
+
+def read_pickled(payload):
+    """Decode a pickled frame payload (copies out of the ring first)."""
+    return pickle.loads(bytes(payload))

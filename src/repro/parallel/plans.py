@@ -1,0 +1,423 @@
+"""Per-shard execution plans for the parallel runtime.
+
+A *plan* describes what one shard worker does with its routed substream.
+Every plan builds an executor obeying one push protocol —
+``feed_batch`` / ``feed_elements`` (buffer disordered ingress),
+``feed_punctuation`` (advance the shard pipeline, return the round's
+output items), ``feed_flush`` (end of stream) — which is exactly the
+``sort → query`` stage a shard runs in
+:func:`repro.engine.sharded.shard_disordered`; equivalence between the
+two is the runtime's core invariant.
+
+Two plan families:
+
+:class:`RowPlan`
+    Generic: materializes the routed columns back into
+    :class:`~repro.engine.event.Event` rows and drives the *actual*
+    engine operators (``Sort`` + whatever ``query_fn`` composes).  Works
+    for any key-local query — sessions, coalesce, patterns — because the
+    fork start method ships the closure to the worker as-is.
+
+:class:`GroupedAggregatePlan`
+    Vectorized: a :class:`~repro.core.columnar.ColumnarImpatienceSorter`
+    (timestamps + payload columns, no Event objects) feeding a
+    numpy grouped count/sum kernel that replicates
+    ``Sort → TumblingWindow(w) → GroupedWindowAggregate(agg)``
+    byte-for-byte — including the window-close rule (``end - 1 <= T``),
+    the clamped forwarded punctuation
+    (``min(T', min(open) - 1)``, suppressed unless it advances), and the
+    ADJUST-policy subtlety that a late event keeps its *original* sync
+    time and may re-open an already-emitted window.
+
+Output items a round may produce (worker ships them as frames in this
+order): ``("batch", EventBatch)`` for columnar rows,
+``("elements", [Event | Punctuation, ...])`` for row-shaped output, and
+``("punct", ts)`` for an emitted punctuation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.engine.batch import EventBatch
+from repro.engine.event import Event, Punctuation, is_punctuation
+from repro.engine.graph import Pipeline, QueryNode, source_node
+from repro.engine.operators.base import Operator
+from repro.engine.operators.sort import Sort
+from repro.engine.stream import Streamable
+
+__all__ = ["RowPlan", "GroupedAggregatePlan"]
+
+
+class _StreamTap(Operator):
+    """Sink capturing a pipeline's emissions in order, round by round."""
+
+    def __init__(self):
+        super().__init__()
+        self.items = []
+
+    def on_event(self, event):
+        self.items.append(event)
+
+    def on_punctuation(self, punctuation):
+        self.items.append(punctuation)
+
+    def on_flush(self):
+        pass
+
+    def take(self):
+        items, self.items = self.items, []
+        return items
+
+
+class RowPlan:
+    """Run an arbitrary key-local ``query_fn`` on each shard's rows.
+
+    ``sorter`` is an optional zero-argument factory for the per-shard
+    online sorter (default: an ``ImpatienceSorter`` keyed on
+    ``sync_time``); ``finalize`` is an optional non-key-local query
+    applied by the *coordinator* to the merged stream (e.g. a
+    ``WindowTopK`` over per-group aggregates); ``pre`` is an optional
+    order-insensitive query (``DisorderedStreamable ->
+    DisorderedStreamable``, e.g. ``lambda d: d.tumbling_window(w)``)
+    run *before* the per-shard sort — the paper's §IV push-down, which
+    reduces disorder inside each worker and changes which events count
+    as late exactly like it does in the single-process plan.
+    """
+
+    def __init__(self, query_fn, sorter=None, finalize=None, pre=None):
+        self.query_fn = query_fn
+        self.sorter = sorter
+        self.finalize = finalize
+        self.pre = pre
+
+    def build_executor(self, shard):
+        return _RowExecutor(self, shard)
+
+    def describe(self):
+        return {"plan": "row", "query": getattr(
+            self.query_fn, "__name__", "query_fn"
+        )}
+
+
+class _RowExecutor:
+    def __init__(self, plan, shard):
+        src = source_node(f"shard-{shard}")
+        upstream = src
+        if plan.pre is not None:
+            from repro.engine.disordered import DisorderedStreamable
+
+            upstream = plan.pre(DisorderedStreamable(src, None)).node
+        factory = (
+            Sort if plan.sorter is None else (lambda: Sort(plan.sorter()))
+        )
+        sort_node = QueryNode(
+            factory, ((upstream, None),), name=f"sort-{shard}"
+        )
+        out = plan.query_fn(Streamable(sort_node, None))
+        tap_node = QueryNode(_StreamTap, ((out.node, None),), name="tap")
+        self._pipeline = Pipeline([tap_node])
+        self._source = self._pipeline.sources[0]
+        self._tap = self._pipeline.operator_for(tap_node)
+        self._sort = self._pipeline.operator_for(sort_node)
+        self.events_in = 0
+
+    def feed_batch(self, batch):
+        for event in batch.events():
+            self._source.on_event(event)
+        self.events_in += batch.valid_count
+
+    def feed_elements(self, elements):
+        for element in elements:
+            self._source.on_event(element)
+            self.events_in += 1
+
+    def feed_punctuation(self, timestamp):
+        self._source.on_punctuation(Punctuation(timestamp))
+        return self._round_items()
+
+    def feed_flush(self):
+        self._source.on_flush()
+        return self._round_items()
+
+    def _round_items(self):
+        emitted = self._tap.take()
+        items = []
+        run = []
+        for element in emitted:
+            if is_punctuation(element):
+                if run:
+                    items.append(("elements", run))
+                    run = []
+                items.append(("punct", element.timestamp))
+            else:
+                run.append(element)
+        if run:
+            items.append(("elements", run))
+        return items
+
+    def stats(self):
+        sorter = self._sort.sorter
+        late = getattr(sorter, "late", None)
+        return {
+            "plan": "row",
+            "events_in": self.events_in,
+            "buffered_peak": getattr(
+                getattr(sorter, "stats", None), "max_buffered", 0
+            ),
+            "late_dropped": getattr(late, "dropped", 0),
+            "late_adjusted": getattr(late, "adjusted", 0),
+        }
+
+
+class GroupedAggregatePlan:
+    """Vectorized ``tumbling_window(w) |> group_aggregate(Count()/Sum())``.
+
+    ``agg`` is ``"count"`` or ``"sum"``; for sums, ``value_column`` picks
+    the payload column folded (the row-engine equivalent is
+    ``Sum(lambda p: p[column])``).  ``late_policy`` configures the
+    per-shard columnar sorter exactly like the row path's
+    ``ImpatienceSorter(late_policy=...)``.
+
+    ``align`` places the window's timestamp transformation relative to
+    the sort: ``"post"`` (default) replicates
+    ``Sort → TumblingWindow → GroupedWindowAggregate``;  ``"pre"``
+    replicates the §IV push-down
+    ``TumblingWindow → Sort → GroupedWindowAggregate`` — timestamps are
+    floored to window starts *before* the lateness check, so events the
+    post-sort plan drops as late can still land in their (already
+    current) window, exactly like
+    ``DisorderedStreamable.tumbling_window(w).to_streamable()``.
+    """
+
+    def __init__(self, window, agg="count", value_column=0,
+                 late_policy=LatePolicy.DROP, align="post"):
+        if window < 1:
+            raise ValueError("window size must be >= 1")
+        if agg not in ("count", "sum"):
+            raise ValueError(f"unsupported aggregate {agg!r}")
+        if align not in ("post", "pre"):
+            raise ValueError(f"align must be 'post' or 'pre', not {align!r}")
+        self.window = window
+        self.agg = agg
+        self.value_column = value_column
+        self.late_policy = late_policy
+        self.align = align
+        self.finalize = None
+
+    def build_executor(self, shard):
+        return _GroupedAggregateExecutor(self, shard)
+
+    def reference_query(self):
+        """The row-engine query this kernel must match byte-for-byte.
+
+        With ``align="pre"`` the reference's windowing stage sits before
+        the shard sort instead (see :meth:`reference_pre`): the query
+        here is then just the grouped aggregate.
+        """
+        from repro.engine.operators.aggregates import Count, Sum
+
+        window, agg, column = self.window, self.agg, self.value_column
+        if agg == "count":
+            aggregate = lambda s: s.group_aggregate(Count())  # noqa: E731
+        else:
+            aggregate = lambda s: s.group_aggregate(  # noqa: E731
+                Sum(lambda p: p[column])
+            )
+        if self.align == "pre":
+            return aggregate
+        return lambda s: aggregate(s.tumbling_window(window))
+
+    def reference_pre(self):
+        """The pre-sort stage of the row-engine reference (``align="pre"``
+        only): apply it to the disordered stream before sorting."""
+        if self.align != "pre":
+            return None
+        window = self.window
+        return lambda d: d.tumbling_window(window)
+
+    def describe(self):
+        return {
+            "plan": "grouped-aggregate",
+            "agg": self.agg,
+            "window": self.window,
+            "late_policy": self.late_policy.name,
+            "align": self.align,
+        }
+
+
+class _GroupedAggregateExecutor:
+    """State machine replicating Sort → TumblingWindow → GroupedWindow-
+    Aggregate on columns.  ``_windows`` maps window start ->
+    ``{key: value}`` like the operator's per-window group dicts, but is
+    fed by reduceat over lexsorted (start, key) runs instead of
+    per-event folds."""
+
+    _NEG_INF = float("-inf")
+
+    def __init__(self, plan, shard):
+        self.plan = plan
+        self._pre_aligned = plan.align == "pre"
+        columns = 2 if plan.agg == "count" else 3
+        self._sorter = ColumnarImpatienceSorter(
+            late_policy=plan.late_policy, columns=columns
+        )
+        self._windows = {}
+        self._out_watermark = self._NEG_INF
+        self.events_in = 0
+
+    def feed_batch(self, batch):
+        batch = batch.compact()
+        sync = batch.sync_times
+        if self._pre_aligned:
+            sync = sync - sync % self.plan.window
+        cols = [sync, batch.keys]
+        if self.plan.agg == "sum":
+            cols.append(batch.payload_columns[self.plan.value_column])
+        sync, cols = self._presorted(sync, cols)
+        self._sorter.insert_batch(sync, tuple(cols))
+        self.events_in += len(batch)
+
+    def feed_elements(self, elements):
+        sync = np.fromiter(
+            (e.sync_time for e in elements), np.int64, len(elements)
+        )
+        if self._pre_aligned:
+            sync -= sync % self.plan.window
+        keys = np.fromiter(
+            (e.key for e in elements), np.int64, len(elements)
+        )
+        cols = [sync, keys]
+        if self.plan.agg == "sum":
+            column = self.plan.value_column
+            cols.append(np.fromiter(
+                (e.payload[column] for e in elements), np.int64,
+                len(elements),
+            ))
+        sync, cols = self._presorted(sync, cols)
+        self._sorter.insert_batch(sync, tuple(cols))
+        self.events_in += len(elements)
+
+    def _presorted(self, sync, cols):
+        """Stable-sort one ingress batch by sync time before dealing it.
+
+        A sorted batch is a single ascending segment, so the sorter's
+        placement runs one C-speed radix argsort plus at most one
+        cascade step per live run, instead of a Python-level binary
+        search per descent — the hot path of the parallel worker.
+        Everything downstream is insensitive to the reordering: the
+        aggregation is commutative, DROP/ADJUST lateness handling is a
+        mask/count over the whole batch, and the stable sort keeps
+        equal-sync rows in arrival order.  Only RAISE observes arrival
+        order (it reports the *first* late event), so a RAISE batch
+        containing a late value is dealt unsorted.
+        """
+        if sync.size < 2:
+            return sync, cols
+        if (
+            self.plan.late_policy is LatePolicy.RAISE
+            and self._sorter.watermark != self._NEG_INF
+            and bool((sync <= self._sorter.watermark).any())
+        ):
+            return sync, cols
+        order = np.argsort(sync, kind="stable")
+        sync = sync[order]
+        permuted = [sync]
+        permuted.extend(col[order] for col in cols[1:])
+        return sync, permuted
+
+    def _accumulate(self, released):
+        _, cols = released
+        sync = cols[0]
+        if sync.size == 0:
+            return
+        window = self.plan.window
+        starts = sync - sync % window
+        keys = cols[1]
+        if self.plan.agg == "count":
+            values = None
+        else:
+            values = cols[2]
+        order = np.lexsort((keys, starts))
+        starts = starts[order]
+        keys = keys[order]
+        boundaries = np.flatnonzero(
+            (np.diff(starts) != 0) | (np.diff(keys) != 0)
+        ) + 1
+        group_idx = np.concatenate(([0], boundaries))
+        if values is None:
+            counts = np.diff(np.append(group_idx, starts.size))
+            folded = counts
+        else:
+            values = values[order]
+            folded = np.add.reduceat(values, group_idx)
+        for start, key, value in zip(
+            starts[group_idx].tolist(), keys[group_idx].tolist(),
+            folded.tolist(),
+        ):
+            groups = self._windows.get(start)
+            if groups is None:
+                groups = self._windows[start] = {}
+            groups[key] = groups.get(key, 0) + value
+
+    def _close(self, up_to):
+        """Emit windows with ``end - 1 <= up_to`` (all when ``None``),
+        ascending by start, groups in key order — one output batch."""
+        window = self.plan.window
+        due = sorted(
+            start for start in self._windows
+            if up_to is None or start + window - 1 <= up_to
+        )
+        if not due:
+            return []
+        starts, keys, values = [], [], []
+        for start in due:
+            groups = self._windows.pop(start)
+            for key in sorted(groups):
+                starts.append(start)
+                keys.append(key)
+                values.append(groups[key])
+        out = EventBatch(
+            np.array(starts, dtype=np.int64),
+            np.array(starts, dtype=np.int64) + window,
+            np.array(keys, dtype=np.int64),
+            [np.array(values, dtype=np.int64)],
+        )
+        return [("batch", out)]
+
+    def feed_punctuation(self, timestamp):
+        window = self.plan.window
+        if self._pre_aligned:
+            # The pushed-down TumblingWindow aligns the promise *before*
+            # the sorter sees it (idempotent for the re-alignment below).
+            timestamp = (timestamp + 1) - (timestamp + 1) % window - 1
+        self._accumulate(self._sorter.on_punctuation(timestamp))
+        # TumblingWindow aligns the promise to the output time domain.
+        next_raw = timestamp + 1
+        aligned_bound = next_raw - next_raw % window - 1
+        items = self._close(aligned_bound)
+        bound = aligned_bound
+        if self._windows:
+            bound = min(bound, min(self._windows) - 1)
+        if bound > self._out_watermark:
+            self._out_watermark = bound
+            items.append(("punct", bound))
+        return items
+
+    def feed_flush(self):
+        self._accumulate(self._sorter.flush())
+        return self._close(None)
+
+    def stats(self):
+        late = self._sorter.late
+        history = self._sorter.stats.run_count_history
+        return {
+            "plan": "grouped-aggregate",
+            "events_in": self.events_in,
+            "buffered_peak": self._sorter.stats.max_buffered,
+            "runs_peak": max((runs for _, runs in history), default=0),
+            "late_dropped": late.dropped,
+            "late_adjusted": late.adjusted,
+        }

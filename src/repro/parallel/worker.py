@@ -1,0 +1,116 @@
+"""Shard worker process: drain the input ring, run the plan, ship output.
+
+The worker is a frame-driven loop around a plan executor
+(:mod:`repro.parallel.plans`).  DATA frames buffer routed ingress rows
+into the per-shard sorter; each PUNCT frame advances the shard pipeline
+one round and the round's emissions go back out — columnar batches for
+kernel plans, pickled element runs for row plans — followed by an ACK
+echoing the round number and the ingress-journal offset the coordinator
+stamped on the punctuation.  Any exception is pickled into an ERROR
+frame so the coordinator can re-raise it with full fidelity (semantic
+errors like ``LateEventError`` must surface identically to the
+single-process path).
+
+Workers are forked, so the plan object (including arbitrary query
+closures) arrives by inheritance, not pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.parallel import exchange
+from repro.parallel.shm import RingClosedError
+
+__all__ = ["worker_main"]
+
+
+def _parent_alive():
+    parent = multiprocessing.parent_process()
+    return parent is None or parent.is_alive()
+
+
+def _ship(out_ring, items):
+    for kind, value in items:
+        if kind == "batch":
+            exchange.write_batch(out_ring, value, alive=_parent_alive)
+        elif kind == "elements":
+            exchange.write_pickled(
+                out_ring, exchange.PICKLE, value, alive=_parent_alive
+            )
+        elif kind == "punct":
+            out_ring.write(
+                exchange.OUTPUNCT,
+                exchange.OUTPUNCT_STRUCT.pack(int(value)),
+                alive=_parent_alive,
+            )
+        else:  # pragma: no cover - executor contract violation
+            raise RuntimeError(f"unknown output item kind {kind!r}")
+
+
+def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
+    """Process entry point; returns (exits) after DONE or a fatal error.
+
+    ``fault`` is a test-only ``(crash_flag, after_rounds)`` pair: when
+    the shared flag is still set after processing ``after_rounds``
+    punctuation rounds, the worker clears it and dies abruptly via
+    ``os._exit`` — simulating a hard crash exactly once across restarts.
+    """
+    executor = plan.build_executor(shard)
+    rounds = 0
+    try:
+        while True:
+            kind, payload = in_ring.read(alive=_parent_alive)
+            if kind == exchange.DATA:
+                # Copy out of the ring: the sorter retains the columns
+                # past this frame's slot lifetime.
+                executor.feed_batch(exchange.read_batch(payload, copy=True))
+            elif kind == exchange.PICKLE:
+                executor.feed_elements(exchange.read_pickled(payload))
+            elif kind == exchange.PUNCT:
+                ts, round_no, offset = exchange.PUNCT_STRUCT.unpack(
+                    payload[:exchange.PUNCT_STRUCT.size]
+                )
+                _ship(out_ring, executor.feed_punctuation(ts))
+                rounds += 1
+                if fault is not None:
+                    flag, after_rounds = fault
+                    if rounds >= after_rounds and flag.value:
+                        with flag.get_lock():
+                            if flag.value:
+                                flag.value = 0
+                                os._exit(43)
+                out_ring.write(
+                    exchange.ACK,
+                    exchange.ACK_STRUCT.pack(round_no, offset),
+                    alive=_parent_alive,
+                )
+            elif kind == exchange.FLUSH:
+                _ship(out_ring, executor.feed_flush())
+                out_ring.write(exchange.FLUSH, alive=_parent_alive)
+                exchange.write_pickled(
+                    out_ring, exchange.STATS, executor.stats(),
+                    alive=_parent_alive,
+                )
+                out_ring.write(exchange.DONE, alive=_parent_alive)
+                return
+            elif kind == exchange.DONE:
+                # Coordinator-initiated early shutdown (error elsewhere).
+                return
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected input frame kind {kind}")
+    except RingClosedError:
+        # Coordinator died; nothing to report to.
+        return
+    except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+        try:
+            exchange.write_pickled(
+                out_ring, exchange.ERROR, exc, alive=_parent_alive,
+            )
+        except Exception:
+            pass
+        os._exit(1)
+    finally:
+        in_ring.close()
+        out_ring.close()

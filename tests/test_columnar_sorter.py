@@ -142,3 +142,121 @@ class TestThroughputPath:
         merged = np.concatenate(out)
         assert (np.diff(merged) >= 0).all()
         assert merged.size + sorter.late.dropped == len(times)
+
+
+class TestPayloadColumns:
+    """columns=k carries parallel payload columns through the sorter."""
+
+    @staticmethod
+    def _reference(rows):
+        # Stable sort by timestamp: numpy argsort(kind="stable") on the
+        # arrival order, i.e. Python's sorted() keyed on ts alone.
+        return sorted(rows, key=lambda row: row[0])
+
+    def test_columns_follow_timestamps(self):
+        sorter = ColumnarImpatienceSorter(columns=2)
+        sorter.insert_batch([2, 6, 5, 1], ([20, 60, 50, 10], [0, 1, 2, 3]))
+        ts, (a, b) = sorter.on_punctuation(2)
+        assert ts.tolist() == [1, 2]
+        assert a.tolist() == [10, 20]
+        assert b.tolist() == [3, 0]
+        sorter.insert_batch([4, 3], ([40, 30], [4, 5]))
+        ts, (a, b) = sorter.flush()
+        assert ts.tolist() == [3, 4, 5, 6]
+        assert a.tolist() == [30, 40, 50, 60]
+        assert b.tolist() == [5, 4, 2, 1]
+
+    def test_column_arity_enforced(self):
+        sorter = ColumnarImpatienceSorter(columns=1)
+        with pytest.raises(ValueError, match="payload columns"):
+            sorter.insert_batch([1, 2])
+        with pytest.raises(ValueError, match="parallel"):
+            sorter.insert_batch([1, 2], ([1],))
+        with pytest.raises(ValueError, match=">= 0"):
+            ColumnarImpatienceSorter(columns=-1)
+
+    def test_empty_outputs_keep_tuple_shape(self):
+        sorter = ColumnarImpatienceSorter(columns=1)
+        ts, cols = sorter.flush()
+        assert ts.size == 0
+        assert len(cols) == 1 and cols[0].size == 0
+
+    def test_drop_policy_filters_columns(self):
+        sorter = ColumnarImpatienceSorter(columns=1)
+        sorter.insert_batch([5], ([50],))
+        sorter.on_punctuation(5)
+        sorter.insert_batch([3, 7, 4], ([30, 70, 40],))
+        ts, (col,) = sorter.flush()
+        assert ts.tolist() == [7]
+        assert col.tolist() == [70]
+        assert sorter.late.dropped == 2
+
+    def test_adjust_policy_keeps_columns(self):
+        sorter = ColumnarImpatienceSorter(
+            late_policy=LatePolicy.ADJUST, columns=1
+        )
+        sorter.insert_batch([5], ([50],))
+        sorter.on_punctuation(5)
+        sorter.insert_batch([3, 7], ([30, 70],))
+        ts, (col,) = sorter.flush()
+        assert ts.tolist() == [5, 7]
+        assert col.tolist() == [30, 70]
+        assert sorter.late.adjusted == 1
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=300), max_size=40),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stable_row_equivalence(self, batches):
+        """(ts, col) output rows == stable sort of arrival rows by ts."""
+        sorter = ColumnarImpatienceSorter(columns=1)
+        arrival = []
+        out_rows = []
+        serial = 0
+        watermark = None
+        for batch in batches:
+            ident = list(range(serial, serial + len(batch)))
+            serial += len(batch)
+            admitted = [
+                (t, i)
+                for t, i in zip(batch, ident)
+                if watermark is None or t > watermark
+            ]
+            arrival.extend(admitted)
+            sorter.insert_batch(batch, (ident,))
+            if batch:
+                cut = max(batch) // 2
+                if watermark is None or cut > watermark:
+                    ts, (col,) = sorter.on_punctuation(cut)
+                    out_rows.extend(zip(ts.tolist(), col.tolist()))
+                    watermark = cut
+        ts, (col,) = sorter.flush()
+        out_rows.extend(zip(ts.tolist(), col.tolist()))
+        assert out_rows == self._reference(arrival)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=300), max_size=40),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bare_path_unchanged_by_columns(self, batches):
+        """columns=0 timestamps match a columns=1 sorter's timestamps."""
+        bare = ColumnarImpatienceSorter()
+        wide = ColumnarImpatienceSorter(columns=1)
+        for batch in batches:
+            bare.insert_batch(batch)
+            wide.insert_batch(batch, (list(range(len(batch))),))
+            if batch:
+                cut = max(batch) // 2
+                if bare.watermark == float("-inf") or cut > bare.watermark:
+                    lhs = bare.on_punctuation(cut)
+                    rhs, _ = wide.on_punctuation(cut)
+                    assert lhs.tolist() == rhs.tolist()
+        lhs = bare.flush()
+        rhs, _ = wide.flush()
+        assert lhs.tolist() == rhs.tolist()

@@ -1,0 +1,623 @@
+"""Tests for the multi-process parallel shard runtime (repro.parallel).
+
+The runtime's core invariant — ``run_parallel(ingress, plan, N)`` is
+byte-identical to the single-process
+``shard_disordered(stream, query, N)`` plan over the same element
+sequence — is asserted here across plan families, merge strategies,
+late policies, and worker counts, alongside unit tests for the
+shared-memory ring transport, crash recovery, the framework/CLI entry
+points, and the observability snapshot's ``parallel`` section.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    LateEventError,
+    QueryBuildError,
+    SupervisionExhaustedError,
+    WorkerCrashError,
+)
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.engine import Event, Punctuation, Streamable
+from repro.engine.batch import EventBatch
+from repro.engine.operators.aggregates import Count, Sum
+from repro.engine.sharded import shard_disordered
+from repro.parallel import (
+    GroupedAggregatePlan,
+    RowPlan,
+    ShmRing,
+    crash_once,
+    run_parallel,
+)
+from repro.parallel import exchange
+from repro.parallel.shm import RingClosedError
+from repro.resilience.parallel import run_parallel_supervised
+
+
+def _key(event):
+    return (event.sync_time, event.other_time, event.key, event.payload)
+
+
+def _assert_identical(result, reference, tag=""):
+    assert list(map(_key, result.events)) == \
+        list(map(_key, reference.events)), tag
+    assert result.punctuations == reference.punctuations, tag
+
+
+def disordered_elements(seed=7, n=800, key_range=12, ts_range=300,
+                        punct_every=40, lag=8, payload=None):
+    """A shuffled-window disordered stream with interleaved punctuations.
+
+    A slice of each window's events is held back until after that
+    window's punctuation, so streams carry genuine stragglers: with a
+    small ``lag`` some arrive below the watermark (late), with a large
+    ``lag`` they are disordered but still on time.
+    """
+    rng = random.Random(seed)
+    pairs = sorted(
+        (rng.randrange(ts_range), rng.randrange(key_range))
+        for _ in range(n)
+    )
+    elements = []
+    window = []
+    held = []
+    high = None
+    for i, (t, k) in enumerate(pairs):
+        event = Event(
+            t, t + 1, key=k, payload=payload(t, k) if payload else None
+        )
+        if rng.random() < 0.1:
+            held.append(event)
+        else:
+            window.append(event)
+        high = t if high is None or t > high else high
+        if i % punct_every == punct_every - 1:
+            rng.shuffle(window)
+            elements.extend(window)
+            elements.append(Punctuation(high - lag))
+            window = held  # stragglers surface after the punctuation
+            held = []
+    window.extend(held)
+    rng.shuffle(window)
+    elements.extend(window)
+    return elements
+
+
+def grouped_count(stream):
+    return stream.tumbling_window(10).group_aggregate(Count())
+
+
+def _sync(event):
+    return event.sync_time
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory ring transport
+# ---------------------------------------------------------------------------
+
+class TestShmRing:
+    def test_frame_roundtrip(self):
+        ring = ShmRing(1 << 12)
+        try:
+            ring.write(3, b"hello")
+            ring.write(5)
+            kind, payload = ring.try_read()
+            assert (kind, bytes(payload)) == (3, b"hello")
+            kind, payload = ring.try_read()
+            assert (kind, bytes(payload)) == (5, b"")
+            assert ring.try_read() is None
+        finally:
+            ring.unlink()
+
+    def test_wrap_stress_sequence_integrity(self):
+        """Mixed frame sizes at a small capacity force many wraps; every
+        frame must come back intact and in order."""
+        ring = ShmRing(1 << 12)
+        rng = random.Random(3)
+        sizes = [rng.choice([0, 8, 24, 200, 1000]) for _ in range(500)]
+        sent = 0
+        received = 0
+        try:
+            while received < len(sizes):
+                while sent < len(sizes) and ring.try_write(
+                    1, sent.to_bytes(4, "little") * (sizes[sent] // 4 + 1)
+                ):
+                    sent += 1
+                frame = ring.try_read()
+                assert frame is not None
+                kind, payload = frame
+                assert kind == 1
+                assert bytes(payload[:4]) == received.to_bytes(4, "little")
+                assert len(payload) == 4 * (sizes[received] // 4 + 1)
+                received += 1
+        finally:
+            ring.unlink()
+
+    def test_payload_view_survives_until_next_read(self):
+        """The head is published on the *next* read: a producer must not
+        be able to overwrite a frame the consumer is still decoding."""
+        ring = ShmRing(1 << 12)
+        big = bytes(range(256)) * 14   # ~3.5k of the 4k ring
+        try:
+            assert ring.try_write(1, big)
+            kind, payload = ring.try_read()
+            # Slot not yet released: an equally big frame cannot fit.
+            assert not ring.try_write(1, big)
+            assert bytes(payload) == big
+            # The next read (even on an empty ring) releases the slot.
+            assert ring.try_read() is None
+            assert ring.try_write(1, big)
+        finally:
+            ring.unlink()
+
+    def test_reserve_in_place_fill(self):
+        ring = ShmRing(1 << 12)
+
+        def fill(view):
+            view[:] = b"ab" * 8
+
+        try:
+            ring.write(2, reserve=(16, fill))
+            kind, payload = ring.try_read()
+            assert (kind, bytes(payload)) == (2, b"ab" * 8)
+        finally:
+            ring.unlink()
+
+    def test_oversized_frame_rejected(self):
+        ring = ShmRing(1 << 12)
+        try:
+            with pytest.raises(ValueError, match="exceeds ring size"):
+                ring.try_write(1, b"x" * (1 << 13))
+        finally:
+            ring.unlink()
+
+    def test_dead_peer_surfaces_ring_closed(self):
+        ring = ShmRing(1 << 12)
+        try:
+            with pytest.raises(RingClosedError):
+                ring.read(alive=lambda: False)
+        finally:
+            ring.unlink()
+
+    def test_full_ring_write_times_out(self):
+        ring = ShmRing(1 << 12)
+        payload = b"x" * 1024
+        try:
+            while ring.try_write(1, payload):
+                pass
+            with pytest.raises(TimeoutError):
+                ring.write(1, payload, timeout=0.05)
+        finally:
+            ring.unlink()
+
+
+class TestExchange:
+    def test_event_batch_roundtrip(self):
+        ring = ShmRing(1 << 14)
+        batch = EventBatch(
+            [5, 3, 9], [6, 4, 10], [1, 2, 1], [[7, 8, 9], [0, 1, 2]]
+        )
+        try:
+            exchange.write_batch(ring, batch)
+            kind, payload = ring.try_read()
+            assert kind == exchange.DATA
+            out = exchange.read_batch(payload, copy=True)
+            assert out.sync_times.tolist() == [5, 3, 9]
+            assert out.other_times.tolist() == [6, 4, 10]
+            assert out.keys.tolist() == [1, 2, 1]
+            assert [col.tolist() for col in out.payload_columns] == \
+                [[7, 8, 9], [0, 1, 2]]
+        finally:
+            ring.unlink()
+
+    def test_pickled_roundtrip(self):
+        ring = ShmRing(1 << 14)
+        items = [Event(1, 2, key=3, payload=(4,)), Punctuation(5)]
+        try:
+            exchange.write_pickled(ring, exchange.PICKLE, items)
+            kind, payload = ring.try_read()
+            assert kind == exchange.PICKLE
+            assert exchange.read_pickled(payload) == items
+        finally:
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Equivalence with the single-process sharded plan
+# ---------------------------------------------------------------------------
+
+# Extra worker counts can be exercised from CI via
+# ``REPRO_PARALLEL_WORKERS=<n>`` (mirrors the chaos-matrix knob).
+WORKER_SWEEP = [1, 2, 3, 4]
+_env_workers = os.environ.get("REPRO_PARALLEL_WORKERS")
+if _env_workers is not None and int(_env_workers) not in WORKER_SWEEP:
+    WORKER_SWEEP.append(int(_env_workers))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_SWEEP)
+    @pytest.mark.parametrize("merge", ["auto", "tree"])
+    def test_grouped_kernel_matches_sharded(self, workers, merge):
+        elements = disordered_elements(seed=workers, lag=30)
+        reference = shard_disordered(
+            Streamable.from_elements(list(elements)), grouped_count, workers
+        ).collect()
+        result = run_parallel(
+            list(elements), GroupedAggregatePlan(10), workers,
+            batch_size=64, merge=merge,
+        )
+        _assert_identical(result, reference, f"w={workers} merge={merge}")
+        assert result.completed
+        assert result.parallel["workers"] == workers
+        if merge == "tree":
+            assert result.parallel["fast_merge_rounds"] == 0
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_row_plan_matches_sharded(self, workers):
+        elements = disordered_elements(seed=2, lag=30)
+        reference = shard_disordered(
+            Streamable.from_elements(list(elements)), grouped_count, workers
+        ).collect()
+        result = run_parallel(
+            list(elements), RowPlan(grouped_count), workers, batch_size=64
+        )
+        _assert_identical(result, reference, f"row w={workers}")
+
+    @pytest.mark.parametrize("policy", [LatePolicy.DROP, LatePolicy.ADJUST])
+    @pytest.mark.parametrize("agg", ["count", "sum"])
+    def test_late_policies_and_aggregates(self, policy, agg):
+        elements = disordered_elements(
+            seed=23, n=600, lag=10, payload=lambda t, k: (t % 9, 1)
+        )
+        if agg == "count":
+            query = grouped_count
+            plan = GroupedAggregatePlan(10, late_policy=policy)
+        else:
+            query = lambda s: s.tumbling_window(10).group_aggregate(  # noqa: E731
+                Sum(lambda p: p[0])
+            )
+            plan = GroupedAggregatePlan(
+                10, agg="sum", value_column=0, late_policy=policy
+            )
+        sorter = lambda: ImpatienceSorter(  # noqa: E731
+            key=_sync, late_policy=policy
+        )
+        reference = shard_disordered(
+            Streamable.from_elements(list(elements)), query, 3, sorter=sorter
+        ).collect()
+        result = run_parallel(list(elements), plan, 3, batch_size=64)
+        _assert_identical(result, reference, f"{policy.name}/{agg}")
+        if policy is LatePolicy.DROP:
+            assert sum(
+                s["late_dropped"] for s in result.parallel["shards"]
+            ) > 0
+        else:
+            assert sum(
+                s["late_adjusted"] for s in result.parallel["shards"]
+            ) > 0
+
+    def test_session_window_row_plan(self):
+        query = lambda s: s.session_window(15)  # noqa: E731
+        elements = disordered_elements(seed=9, n=500, lag=40)
+        reference = shard_disordered(
+            Streamable.from_elements(list(elements)), query, 3
+        ).collect()
+        result = run_parallel(
+            list(elements), RowPlan(query), 3, batch_size=64
+        )
+        _assert_identical(result, reference, "sessions")
+        assert len(result.events) > 0
+
+    def test_finalize_runs_on_coordinator(self):
+        """A non-key-local top-k stage executes over the exact merged
+        interleaving, matching the unsharded single-process plan."""
+        elements = disordered_elements(seed=4, n=600, lag=40)
+        # Scores must be tie-free: WindowTopK breaks score ties by
+        # arrival order, which legitimately differs between the merged
+        # parallel interleaving and the fully sorted reference.
+        score = lambda e: (e.payload, e.key)  # noqa: E731
+        single = (
+            Streamable.from_elements(
+                sorted(
+                    (e for e in elements if isinstance(e, Event)),
+                    key=_sync,
+                )
+            )
+            .tumbling_window(10).group_aggregate(Count()).top_k(3, score)
+            .collect()
+        )
+        plan = GroupedAggregatePlan(10)
+        plan.finalize = lambda s: s.top_k(3, score)
+        result = run_parallel(list(elements), plan, 3, batch_size=64)
+        assert sorted(map(_key, result.events)) == \
+            sorted(map(_key, single.events))
+
+    def test_columnar_ingress_matches_row_ingress(self):
+        """Whole EventBatch blocks route vectorized to the same result
+        as the equivalent per-event stream."""
+        elements = disordered_elements(seed=31, n=600, lag=30)
+        rows = []
+        blocks = []
+        for element in elements:
+            if isinstance(element, Event):
+                rows.append(element)
+            else:
+                if rows:
+                    blocks.append(EventBatch(
+                        [e.sync_time for e in rows],
+                        [e.other_time for e in rows],
+                        [e.key for e in rows],
+                        [],
+                    ))
+                    rows = []
+                blocks.append(element)
+        if rows:
+            blocks.append(EventBatch(
+                [e.sync_time for e in rows],
+                [e.other_time for e in rows],
+                [e.key for e in rows],
+                [],
+            ))
+        stripped = [
+            Event(e.sync_time, e.other_time, e.key)
+            if isinstance(e, Event) else e
+            for e in elements
+        ]
+        reference = run_parallel(
+            stripped, GroupedAggregatePlan(10), 3, batch_size=64
+        )
+        result = run_parallel(blocks, GroupedAggregatePlan(10), 3)
+        _assert_identical(result, reference, "columnar ingress")
+
+    def test_pre_alignment_matches_pushdown_plan(self):
+        """align='pre' replicates TumblingWindow-before-Sort (§IV):
+        identical to the single-process push-down query, and distinct
+        from the post-sort alignment under aggressive lateness."""
+        from repro.engine import DisorderedStreamable
+        from repro.engine.graph import source_node
+
+        elements = disordered_elements(seed=13, n=700, lag=3)
+
+        def pushdown_reference():
+            src = source_node("test")
+            streamable = (
+                DisorderedStreamable(src, None)
+                .tumbling_window(10)
+                .to_streamable()
+                .group_aggregate(Count())
+            )
+            from repro.engine.graph import Pipeline, QueryNode
+            from repro.engine.operators.sink import Collector
+
+            sink = QueryNode(
+                Collector, ((streamable.node, None),), name="sink"
+            )
+            pipeline = Pipeline([sink])
+            pipeline.run(iter(elements))
+            return pipeline.operator_for(sink)
+
+        reference = pushdown_reference()
+        result = run_parallel(
+            list(elements), GroupedAggregatePlan(10, align="pre"), 1,
+            batch_size=64,
+        )
+        assert list(map(_key, result.events)) == \
+            list(map(_key, reference.events))
+        post = run_parallel(
+            list(elements), GroupedAggregatePlan(10), 1, batch_size=64
+        )
+        assert sorted(map(_key, post.events)) != \
+            sorted(map(_key, result.events))
+
+    def test_raise_policy_crosses_process_boundary(self):
+        elements = disordered_elements(seed=11, n=600, lag=5)
+        sorter = lambda: ImpatienceSorter(  # noqa: E731
+            key=_sync, late_policy=LatePolicy.RAISE
+        )
+        with pytest.raises(LateEventError) as row_err:
+            shard_disordered(
+                Streamable.from_elements(list(elements)), grouped_count, 2,
+                sorter=sorter,
+            ).collect()
+        with pytest.raises(LateEventError) as par_err:
+            run_parallel(
+                list(elements),
+                GroupedAggregatePlan(10, late_policy=LatePolicy.RAISE),
+                2, batch_size=64,
+            )
+        assert par_err.value.event_time == row_err.value.event_time
+        assert par_err.value.punctuation_time == \
+            row_err.value.punctuation_time
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(QueryBuildError):
+            run_parallel([], GroupedAggregatePlan(10), 0)
+        with pytest.raises(QueryBuildError):
+            run_parallel([], GroupedAggregatePlan(10), 2, merge="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Crash handling and supervised recovery
+# ---------------------------------------------------------------------------
+
+class TestCrashRecovery:
+    def test_worker_crash_carries_journal_offset(self):
+        elements = disordered_elements(seed=5, n=600, lag=8, punct_every=30)
+        with pytest.raises(WorkerCrashError) as err:
+            run_parallel(
+                list(elements), GroupedAggregatePlan(20), 3,
+                fault=crash_once(1, 2), batch_size=64,
+            )
+        crash = err.value
+        assert crash.shard == 1
+        assert crash.exitcode == 43
+        assert crash.journal_offset >= 0
+
+    def test_supervised_rerun_byte_identical(self):
+        elements = disordered_elements(seed=5, n=600, lag=8, punct_every=30)
+        baseline = run_parallel(
+            list(elements), GroupedAggregatePlan(20), 3, batch_size=64
+        )
+        delivered = []
+        supervised = run_parallel_supervised(
+            list(elements), GroupedAggregatePlan(20), 3,
+            fault=crash_once(2, 12), on_event=delivered.append,
+            batch_size=64,
+        )
+        assert supervised.restarts == 1
+        assert supervised.crashes[0].shard == 2
+        assert supervised.completed
+        # Rounds delivered before the crash are verified and suppressed,
+        # not re-delivered: exactly-once reaches on_event.
+        assert supervised.duplicates_suppressed > 0
+        assert list(map(_key, supervised.events)) == \
+            list(map(_key, baseline.events))
+        assert supervised.punctuations == baseline.punctuations
+        assert list(map(_key, delivered)) == \
+            list(map(_key, baseline.events))
+        doc = supervised.resilience_doc()
+        assert doc["mode"] == "parallel"
+        assert doc["restarts"] == 1
+        assert doc["crashes"][0]["shard"] == 2
+
+    def test_supervision_budget_exhausts(self):
+        # The supervisor forwards the fault on the first attempt only, so
+        # a zero budget turns that first crash into exhaustion.
+        elements = disordered_elements(seed=5, n=300, lag=8, punct_every=30)
+        with pytest.raises(SupervisionExhaustedError) as err:
+            run_parallel_supervised(
+                list(elements), GroupedAggregatePlan(20), 2,
+                fault=crash_once(0, 2), max_restarts=0,
+                batch_size=64,
+            )
+        assert isinstance(err.value.__cause__, WorkerCrashError)
+
+
+# ---------------------------------------------------------------------------
+# Framework and observability surfaces
+# ---------------------------------------------------------------------------
+
+class TestStreamablesParallel:
+    def _build(self):
+        from repro.engine import DisorderedStreamable
+        from repro.workloads import load_dataset
+
+        dataset = load_dataset("cloudlog", 4000)
+        return (
+            DisorderedStreamable.from_dataset(
+                dataset, punctuation_frequency=500, reorder_latency=0
+            )
+            .tumbling_window(50)
+            .to_streamables([0, 20, 100])
+            .apply(lambda s: s.group_aggregate(Count()))
+        )
+
+    def test_matches_shared_single_pass(self):
+        reference = self._build().run()
+        result = self._build().run(parallel=2)
+        for i in range(3):
+            assert list(map(_key, result.output_events(i))) == \
+                list(map(_key, reference.output_events(i))), i
+            assert result.collectors[i].punctuations == \
+                reference.collectors[i].punctuations, i
+            assert abs(
+                result.completeness(i) - reference.completeness(i)
+            ) < 1e-12, i
+        assert result.summary()["routed"] == reference.summary()["routed"]
+        assert result.parallel["workers"] == 2
+        assert result.parallel["assignment"] == [[0, 2], [1]]
+
+    def test_worker_count_clamps_to_outputs(self):
+        result = self._build().run(parallel=8)
+        assert result.parallel["workers"] == 3
+
+    def test_parallel_excludes_inprocess_instrumentation(self):
+        from repro.core.errors import QueryBuildError
+        from repro.observability import MetricsRegistry
+
+        with pytest.raises(QueryBuildError):
+            self._build().run(parallel=2, metrics=MetricsRegistry())
+
+
+class TestObservabilitySection:
+    def test_snapshot_carries_parallel_doc(self):
+        from repro.observability import MetricsRegistry
+
+        elements = disordered_elements(seed=1, n=300, lag=30)
+        result = run_parallel(
+            list(elements), GroupedAggregatePlan(10), 2, batch_size=64
+        )
+        snapshot = MetricsRegistry(trace=False).snapshot(
+            parallel=result.parallel
+        )
+        assert snapshot.parallel["workers"] == 2
+        assert len(snapshot.parallel["shards"]) == 2
+        for stats in snapshot.parallel["shards"]:
+            assert stats["plan"] == "grouped-aggregate"
+            assert stats["events_in"] >= 0
+        assert '"parallel"' in snapshot.to_json()
+
+    def test_accounting_balances(self):
+        elements = disordered_elements(seed=1, n=300, lag=30)
+        result = run_parallel(
+            list(elements), GroupedAggregatePlan(10), 2, batch_size=64
+        )
+        doc = result.parallel
+        assert doc["journal_elements"] == len(elements)
+        assert doc["rounds"] == sum(
+            1 for e in elements if isinstance(e, Punctuation)
+        )
+        assert doc["fast_merge_rounds"] + doc["tree_merge_rounds"] <= \
+            doc["rounds"]
+        assert sum(s["events_in"] for s in doc["shards"]) == sum(
+            1 for e in elements if isinstance(e, Event)
+        )
+
+
+class TestCliParallel:
+    def test_run_parallel_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--dataset", "cloudlog", "--n", "2000",
+            "--query", "grouped-count", "--parallel", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers" in out
+
+    def test_parallel_matches_single_process_output(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "run", "--dataset", "cloudlog", "--n", "2000",
+            "--query", "grouped-count",
+        ]) == 0
+        single = capsys.readouterr().out
+        assert main([
+            "run", "--dataset", "cloudlog", "--n", "2000",
+            "--query", "grouped-count", "--parallel", "2",
+        ]) == 0
+        parallel = capsys.readouterr().out
+        pick = lambda text: re.search(  # noqa: E731
+            r"(\d+) result events", text
+        ).group(1)
+        assert pick(single) == pick(parallel)
+
+    def test_chaos_rejected_with_parallel(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--dataset", "cloudlog", "--n", "2000",
+            "--query", "grouped-count", "--parallel", "2",
+            "--chaos", "0.5",
+        ])
+        assert code == 2

@@ -159,3 +159,178 @@ class TestShardedQuery:
             sorted((e.sync_time, e.key, e.payload) for e in sharded.events)
             == sorted((e.sync_time, e.key, e.payload) for e in baseline.events)
         )
+
+
+class TestStableHash:
+    """stable_key_hash must not vary by process, seed, or representation."""
+
+    def test_scalar_matches_vectorized_on_integers(self):
+        import numpy as np
+
+        from repro.engine.sharded import (
+            stable_key_hash,
+            stable_key_hash_array,
+        )
+
+        keys = [0, 1, 2, 63, 2**40, -1, -17, 2**63 - 1, -(2**63)]
+        vectorized = stable_key_hash_array(np.array(keys, dtype=np.int64))
+        for key, vec in zip(keys, vectorized.tolist()):
+            assert stable_key_hash(key) == vec
+
+    def test_bool_and_numpy_ints_normalize(self):
+        import numpy as np
+
+        from repro.engine.sharded import stable_key_hash
+
+        assert stable_key_hash(np.int64(42)) == stable_key_hash(42)
+        assert stable_key_hash(True) == stable_key_hash(repr(True))
+        assert stable_key_hash("user-7") == stable_key_hash(b"user-7")
+
+    @pytest.mark.parametrize("seed", ["0", "1", "31337"])
+    def test_routing_survives_pythonhashseed(self, seed):
+        """The same keys must route to the same shards under any
+        PYTHONHASHSEED — builtin hash() of strings does not."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json, sys\n"
+            "from repro.engine.sharded import stable_key_hash\n"
+            "keys = ['alpha', 'beta', b'gamma', 12345, -7, ('t', 3)]\n"
+            "print(json.dumps([stable_key_hash(k) % 8 for k in keys]))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        from repro.engine.sharded import stable_key_hash
+
+        keys = ["alpha", "beta", b"gamma", 12345, -7, ("t", 3)]
+        assert json.loads(out.stdout) == [
+            stable_key_hash(k) % 8 for k in keys
+        ]
+
+
+class TestBalancedMergeTree:
+    def test_combine_order_is_pairwise_rounds(self):
+        from repro.engine.sharded import balanced_merge
+
+        calls = []
+
+        def combine(a, b):
+            calls.append((a, b))
+            return f"({a}+{b})"
+
+        assert balanced_merge(["a"], combine) == "a"
+        assert calls == []
+        result = balanced_merge(list("abcde"), combine)
+        assert result == "(((a+b)+(c+d))+e)"  # depth 3
+        assert calls == [
+            ("a", "b"), ("c", "d"), ("(a+b)", "(c+d)"),
+            ("((a+b)+(c+d))", "e"),
+        ]
+
+    def test_empty_rejected(self):
+        from repro.engine.sharded import balanced_merge
+
+        with pytest.raises(ValueError):
+            balanced_merge([], lambda a, b: a)
+
+    def test_union_tree_depth_is_logarithmic(self):
+        """The merge stage above 8 shards must be 3 Unions deep, not 7."""
+        stream = shard_streamable(
+            Streamable.from_elements(ordered_events([(50, k) for k in
+                                                     range(8)])),
+            grouped_count,
+            8,
+        )
+        depth = 0
+        node = stream.node
+        while node.name == "merge":
+            depth += 1
+            node = node.parents[0][0]
+        assert depth == 3
+
+    @pytest.mark.parametrize("shards", [2, 3, 5, 8])
+    def test_tree_equivalence_required_counts(self, shards, rng):
+        """ISSUE satellite: output equivalence for N in {2, 3, 5, 8}."""
+        pairs = sorted(
+            (rng.randrange(400), rng.randrange(24)) for _ in range(500)
+        )
+        baseline = (
+            Streamable.from_elements(ordered_events(pairs))
+            .apply(grouped_count)
+            .collect()
+        )
+        sharded = shard_streamable(
+            Streamable.from_elements(ordered_events(pairs)),
+            grouped_count,
+            shards,
+        ).collect()
+        assert sorted(
+            (e.sync_time, e.other_time, e.key, e.payload)
+            for e in sharded.events
+        ) == sorted(
+            (e.sync_time, e.other_time, e.key, e.payload)
+            for e in baseline.events
+        )
+        times = [e.sync_time for e in sharded.events]
+        assert times == sorted(times)
+        assert sharded.completed
+
+
+class TestShardDisordered:
+    def test_sorts_inside_each_shard(self, rng):
+        from repro.engine.sharded import shard_disordered
+
+        pairs = sorted(
+            (rng.randrange(400), rng.randrange(16)) for _ in range(400)
+        )
+        ordered = ordered_events(pairs)
+        baseline = (
+            Streamable.from_elements(ordered)
+            .apply(grouped_count)
+            .collect()
+        )
+        # Shuffle events between consecutive punctuations: disordered
+        # arrival that every shard must repair locally.
+        disordered = []
+        window = []
+        for element in ordered:
+            if isinstance(element, Punctuation):
+                rng.shuffle(window)
+                disordered.extend(window)
+                window = []
+                disordered.append(element)
+            else:
+                window.append(element)
+        rng.shuffle(window)
+        disordered.extend(window)
+        result = shard_disordered(
+            Streamable.from_elements(disordered), grouped_count, 4
+        ).collect()
+        assert sorted(
+            (e.sync_time, e.key, e.payload) for e in result.events
+        ) == sorted(
+            (e.sync_time, e.key, e.payload) for e in baseline.events
+        )
+
+    def test_invalid_arguments(self):
+        from repro.engine.sharded import shard_disordered
+
+        with pytest.raises(QueryBuildError):
+            shard_disordered(
+                Streamable.from_elements([]), grouped_count, 0
+            )
+        with pytest.raises(QueryBuildError):
+            shard_disordered(
+                Streamable.from_elements([]), grouped_count, 2,
+                sorter=object(),
+            )
