@@ -230,12 +230,17 @@ def _print_table(entries, n):
 
 
 def report(n=None):
-    """Report-section entry point; also refreshes BENCH_parallel.json."""
+    """Report-section entry point; refreshes BENCH_parallel.json only when
+    run at the canonical DEFAULT_N so a quick ``--n`` pass can't replace
+    the regression-tracking baseline with a toy trajectory."""
     n = n or DEFAULT_N
     entries, _ = run_scaling(n)
     _print_table(entries, n)
-    write_results(entries)
-    print(f"wrote {RESULTS_PATH}")
+    if n == DEFAULT_N:
+        write_results(entries)
+        print(f"wrote {RESULTS_PATH}")
+    else:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write")
 
 
 def main(argv=None):
@@ -263,6 +268,10 @@ def main(argv=None):
     n = args.n or DEFAULT_N
     entries, _ = run_scaling(n)
     _print_table(entries, n)
+    if args.json is None and n != DEFAULT_N:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write "
+              "(pass --json PATH to record a non-canonical run)")
+        return
     path = args.json or RESULTS_PATH
     write_results(entries, path)
     print(f"wrote {path}")
