@@ -1,0 +1,184 @@
+"""Fused columnar compiler vs the row engine — same plan, both paths.
+
+The headline measurement behind ``src/repro/engine/compiler.py``: the
+500k-event cloudlog windowed grouped-aggregate plans run through
+``QueryPlan.run`` once with ``engine="row"`` (the reference operator
+DAG) and once with ``engine="auto"`` (which must compile — the run
+asserts the columnar path was actually taken).  Every timed compiled run
+is equivalence-checked byte-for-byte against the row run — events,
+emission order, and punctuation stream — so a speedup obtained by
+diverging from row semantics can never be recorded.
+
+``python -m benchmarks.bench_columnar_compiler`` writes the machine-
+readable trajectory to ``BENCH_columnar.json`` (schema per entry:
+``name``, ``config``, ``row_events_per_sec``,
+``columnar_events_per_sec``, ``speedup``) so future PRs can track
+regressions; ``--smoke`` runs a seconds-scale subset for CI and skips
+the JSON write.  The JSON is only refreshed at the canonical stream
+length so a quick ``--n`` pass can't replace the regression baseline
+with a toy trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.bench.reporting import format_table
+from repro.engine import QueryPlan
+from repro.engine.kernels import field
+from repro.engine.operators.aggregates import Avg, Count, Max, Sum
+from repro.metrics.profile import suggest_reorder_latency
+from repro.workloads import load_dataset
+
+DEFAULT_N = 500_000
+PUNCT_EVERY = 8_192
+RESULTS_PATH = "BENCH_columnar.json"
+
+SMOKE_N = 20_000
+
+
+def _queries(window):
+    """Named plan builders, all compilable windowed grouped/ungrouped
+    aggregates (window below the sort, §IV push-down)."""
+    return [
+        ("grouped-count",
+         QueryPlan().tumbling_window(window).sort()
+         .group_aggregate(Count())),
+        ("grouped-sum",
+         QueryPlan().tumbling_window(window).sort()
+         .group_aggregate(Sum(field(0)))),
+        ("grouped-avg",
+         QueryPlan().tumbling_window(window).sort()
+         .group_aggregate(Avg(field(1)))),
+        ("grouped-max-top3",
+         QueryPlan().tumbling_window(window).sort()
+         .group_aggregate(Max(field(2))).top_k(3)),
+        ("windowed-count",
+         QueryPlan().tumbling_window(window).sort().count()),
+        ("filtered-grouped-count",
+         QueryPlan().where(field(3) % 4 != 0).tumbling_window(window)
+         .sort().group_aggregate(Count())),
+    ]
+
+
+def run_compiler_bench(n=DEFAULT_N):
+    """Run every query on both engines; returns the entry list.
+
+    Raises ``AssertionError`` if a compiled run diverges from its row
+    run or silently falls back to the row engine.
+    """
+    dataset = load_dataset("cloudlog", n)
+    window = max(n // 100, 1)
+    latency = suggest_reorder_latency(dataset.timestamps, 0.99)
+    entries = []
+    for name, plan in _queries(window):
+        start = time.perf_counter()
+        row = plan.run(dataset, PUNCT_EVERY, latency, engine="row")
+        row_eps = n / (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        compiled = plan.run(dataset, PUNCT_EVERY, latency, engine="auto")
+        columnar_eps = n / (time.perf_counter() - start)
+
+        if compiled.engine != "columnar":
+            raise AssertionError(
+                f"{name}: expected the columnar path, got "
+                f"{compiled.engine} ({compiled.reason})"
+            )
+        if compiled.events != row.events:
+            raise AssertionError(f"{name}: compiled events diverge from row")
+        if compiled.punctuations != row.punctuations:
+            raise AssertionError(
+                f"{name}: compiled punctuations diverge from row"
+            )
+        entries.append({
+            "name": name,
+            "config": {
+                "n": n, "dataset": "cloudlog", "window": window,
+                "punct_every": PUNCT_EVERY, "reorder_latency": latency,
+            },
+            "row_events_per_sec": round(row_eps, 1),
+            "columnar_events_per_sec": round(columnar_eps, 1),
+            "speedup": round(columnar_eps / row_eps, 2),
+        })
+    return entries
+
+
+def write_results(entries, path=RESULTS_PATH):
+    with open(path, "w") as fh:
+        json.dump({"benchmark": "columnar_compiler", "results": entries},
+                  fh, indent=2)
+        fh.write("\n")
+
+
+def _print_table(entries, n):
+    rows = [
+        [
+            entry["name"],
+            round(entry["row_events_per_sec"] / 1e6, 3),
+            round(entry["columnar_events_per_sec"] / 1e6, 3),
+            entry["speedup"],
+        ]
+        for entry in entries
+    ]
+    print(format_table(
+        ["query", "row M events/s", "columnar M events/s", "speedup"],
+        rows,
+        title=(
+            f"Fused columnar compiler vs row engine (cloudlog {n}, "
+            "equivalence-checked)"
+        ),
+    ))
+
+
+def report(n=None):
+    """Report-section entry point; refreshes BENCH_columnar.json only
+    when run at the canonical DEFAULT_N."""
+    n = n or DEFAULT_N
+    entries = run_compiler_bench(n)
+    _print_table(entries, n)
+    if n == DEFAULT_N:
+        write_results(entries)
+        print(f"wrote {RESULTS_PATH}")
+    else:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"stream length (default {DEFAULT_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small stream, no JSON write — "
+                             "exercises both engines and the equivalence "
+                             "assert only")
+    parser.add_argument("--json", default=None,
+                        help="results path (default BENCH_columnar.json; "
+                             "ignored with --smoke unless given)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n = args.n or SMOKE_N
+        entries = run_compiler_bench(n)
+        _print_table(entries, n)
+        if args.json:
+            write_results(entries, args.json)
+            print(f"wrote {args.json}")
+        print("smoke OK")
+        return
+    n = args.n or DEFAULT_N
+    entries = run_compiler_bench(n)
+    _print_table(entries, n)
+    if args.json is None and n != DEFAULT_N:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write "
+              "(pass --json PATH to record a non-canonical run)")
+        return
+    path = args.json or RESULTS_PATH
+    write_results(entries, path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,7 @@ from benchmarks import (
     bench_fig5_run_counts,
     bench_fig7_offline_sorting,
     bench_fig8_online_sorting,
+    bench_columnar_compiler,
     bench_fig9_sort_as_needed,
     bench_fig10_framework,
     bench_parallel_scaling,
@@ -56,6 +57,8 @@ SECTIONS = (
     ("Ablation — multi-query shared fan-out",
      bench_ablation_multiquery.report),
     ("Ablation — sorter ingress batching", bench_ablation_ingress.report),
+    ("Fused columnar compiler vs row engine",
+     bench_columnar_compiler.report),
     ("Parallel shard-runtime scaling", bench_parallel_scaling.report),
     ("Operator microbenchmarks", bench_operator_micro.report),
 )

@@ -8,7 +8,9 @@ Commands
 ``sort``        Sort a dataset with a chosen algorithm; report throughput.
 ``generate``    Write a simulated workload to CSV.
 ``demo``        Run the windowed-count quickstart end to end.
-``run``         Run an example query fully instrumented; ``--metrics-out``
+``run``         Run an example query fully instrumented; ``--engine``
+                picks the execution path (``auto`` compiles to the fused
+                columnar pipeline when possible); ``--metrics-out``
                 exports the observability JSON document.  ``--chaos`` /
                 ``--supervised`` run it under the fault-tolerant
                 supervisor with seeded fault injection.
@@ -147,6 +149,25 @@ def _cmd_demo(args):
     return 0
 
 
+def _single_plan(query, window):
+    """Single-process :class:`QueryPlan` for a ``run`` query.
+
+    All three plans window *before* the sort (the §IV push-down), so the
+    compiler can fuse them; ``top-k`` over raw events is tie-order
+    sensitive and legitimately falls back to the row engine under
+    ``--engine auto``.
+    """
+    from repro.engine import QueryPlan
+    from repro.engine.operators.aggregates import Count
+
+    plan = QueryPlan().tumbling_window(window).sort()
+    if query == "grouped-count":
+        return plan.group_aggregate(Count())
+    if query == "top-k":
+        return plan.top_k(3)
+    return plan.count()
+
+
 def _parallel_plan(query, window):
     """Per-shard plan + coordinator finalize for a ``run`` query.
 
@@ -196,56 +217,79 @@ def _cmd_run(args):
     disordered = DisorderedStreamable.from_dataset(
         dataset, args.punctuation_frequency, latency
     )
-    queries = {
-        "windowed-count": lambda d: (
-            d.tumbling_window(window).to_streamable().count()
-        ),
-        "grouped-count": lambda d: (
-            d.tumbling_window(window).to_streamable()
-            .group_aggregate(Count())
-        ),
-        "top-k": lambda d: (
-            d.tumbling_window(window).to_streamable().top_k(3)
-        ),
-    }
-    stream = queries[args.query](disordered)
-
     registry = MetricsRegistry()
     meter = MemoryMeter()
     resilience = None
+    engine_line = None
     start = time.perf_counter()
     if args.supervised or args.chaos:
+        if args.engine != "auto":
+            print("error: QueryBuildError: --supervised/--chaos run on the "
+                  "row operator runtime; drop --engine", file=sys.stderr)
+            return 2
         from repro.resilience import run_supervised
 
+        queries = {
+            "windowed-count": lambda d: (
+                d.tumbling_window(window).to_streamable().count()
+            ),
+            "grouped-count": lambda d: (
+                d.tumbling_window(window).to_streamable()
+                .group_aggregate(Count())
+            ),
+            "top-k": lambda d: (
+                d.tumbling_window(window).to_streamable().top_k(3)
+            ),
+        }
         outcome = run_supervised(
-            stream, chaos=args.chaos, seed=args.seed, quarantine=True,
+            queries[args.query](disordered), chaos=args.chaos,
+            seed=args.seed, quarantine=True,
             metrics=registry, memory=meter,
         )
         elapsed = time.perf_counter() - start
         n_results = len(outcome.events)
         resilience = outcome.resilience_doc()
+        snapshot = None
     else:
-        result = stream.collect(
-            on_punctuation=meter.sample, metrics=registry
-        )
+        plan = _single_plan(args.query, window)
+        result = plan.run(disordered, engine=args.engine, metrics=registry)
         elapsed = time.perf_counter() - start
         n_results = len(result)
-    snapshot = registry.snapshot(memory=meter, resilience=resilience, meta={
-        "query": args.query,
-        "dataset": dataset.name,
-        "n": len(dataset),
-        "window": window,
-        "punctuation_frequency": args.punctuation_frequency,
-        "reorder_latency": latency,
-        "elapsed_s": elapsed,
-        "throughput_meps": len(dataset) / elapsed / 1e6,
-    })
+        if result.engine == "columnar":
+            engine_line = "engine: columnar (fused kernel pipeline)"
+        else:
+            engine_line = f"engine: row ({result.reason})"
+        snapshot = result.snapshot(meta={
+            "query": args.query,
+            "dataset": dataset.name,
+            "n": len(dataset),
+            "window": window,
+            "punctuation_frequency": args.punctuation_frequency,
+            "reorder_latency": latency,
+            "elapsed_s": elapsed,
+            "throughput_meps": len(dataset) / elapsed / 1e6,
+        })
+    if snapshot is None:
+        snapshot = registry.snapshot(
+            memory=meter, resilience=resilience, meta={
+                "query": args.query,
+                "dataset": dataset.name,
+                "n": len(dataset),
+                "window": window,
+                "punctuation_frequency": args.punctuation_frequency,
+                "reorder_latency": latency,
+                "elapsed_s": elapsed,
+                "throughput_meps": len(dataset) / elapsed / 1e6,
+            },
+        )
 
     print(
         f"{args.query} over {dataset.name} (n={len(dataset):,}, "
         f"reorder latency {latency}): {n_results} result events "
         f"in {elapsed:.3f}s"
     )
+    if engine_line:
+        print(engine_line)
     print()
     print(format_metrics_summary(snapshot))
     if resilience is not None:
@@ -282,6 +326,11 @@ def _run_parallel_cli(args, dataset, latency, window):
         print("error: QueryBuildError: --chaos is single-process fault "
               "injection; with --parallel use --supervised (worker-crash "
               "recovery)", file=sys.stderr)
+        return 2
+    if args.engine != "auto":
+        print("error: QueryBuildError: --engine selects the single-process "
+              "path; --parallel shards always use the columnar worker "
+              "kernels", file=sys.stderr)
         return 2
 
     plan = _parallel_plan(args.query, window)
@@ -428,6 +477,12 @@ def main(argv=None) -> int:
     p.add_argument("--punctuation-frequency", type=int, default=1_000)
     p.add_argument("--latency", type=int, default=None,
                    help="reorder latency (default: 99%% coverage)")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "columnar", "row"],
+                   help="execution engine: 'auto' compiles to the fused "
+                        "columnar pipeline when possible (default), "
+                        "'columnar' fails if the plan cannot compile, "
+                        "'row' forces the operator DAG")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the metrics JSON export here")
     p.add_argument("--parallel", type=int, default=None, metavar="N",

@@ -53,6 +53,11 @@ class ImpatienceSorter:
         When set, record a run-count sample every that many inserts
         (in addition to the sample taken at every punctuation) — the
         Figure 5 series.
+    placement:
+        Run-placement search on an SRS miss: ``"bisect"`` (default, C
+        binary search over negated tails) or ``"binary"`` (pure-Python
+        binary search; the pre-optimization baseline, kept for the
+        Figure 8 placement ablation).
 
     Examples
     --------
@@ -71,7 +76,7 @@ class ImpatienceSorter:
 
     def __init__(self, key=None, huffman_merge=True, speculative=True,
                  late_policy=LatePolicy.DROP, sample_every=None, merge=None,
-                 quarantine=None):
+                 quarantine=None, placement="bisect"):
         self.key = key
         if merge is None:
             merge = "huffman" if huffman_merge else "pairwise"
@@ -85,7 +90,7 @@ class ImpatienceSorter:
         self.late = LateEventTracker(late_policy, quarantine=quarantine)
         self.sample_every = sample_every
         self._pool = RunPool(speculative=speculative, keyless=key is None,
-                             stats=self.stats)
+                             stats=self.stats, placement=placement)
         # Ingress batch (Trill ingests columnar batches): inserts append
         # here in O(1); the partition phase consumes the whole batch at
         # the next punctuation/flush.  A constant-factor staging area —

@@ -15,7 +15,7 @@ selection shortcut of Section III-E2) correct.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 
 __all__ = ["SortedRun", "RunPool"]
 
@@ -109,15 +109,31 @@ class RunPool:
     run whose tail is <= the new key, else open a new run — with the
     optional speculative-run-selection (SRS) fast path that first probes the
     run that received the previous element (Section III-E2).
+
+    ``placement`` picks how an SRS miss finds the first eligible run:
+    ``"bisect"`` (default) keeps a parallel *negated* tails list in
+    ascending order and binary-searches it with the C-implemented
+    :func:`bisect.bisect_left`; ``"binary"`` is the pure-Python binary
+    search over the descending tails, kept for the Figure 8 ablation.
+    Keys that cannot be negated (non-numeric sort keys) silently demote
+    ``"bisect"`` to ``"binary"`` on first contact.
     """
 
-    __slots__ = ("runs", "tails", "speculative", "keyless", "stats", "_last")
+    __slots__ = ("runs", "tails", "neg_tails", "speculative", "keyless",
+                 "stats", "_last")
 
     def __init__(self, speculative: bool = True, keyless: bool = False,
-                 stats=None):
+                 stats=None, placement: str = "bisect"):
+        if placement not in ("bisect", "binary"):
+            raise ValueError(
+                f"placement must be 'bisect' or 'binary', not {placement!r}"
+            )
         self.runs: list[SortedRun] = []
         #: keys of run tails, strictly descending; parallel to ``runs``.
         self.tails = []
+        #: negated tails, strictly ascending (``bisect``-searchable);
+        #: ``None`` when placement is (or was demoted to) ``"binary"``.
+        self.neg_tails = [] if placement == "bisect" else None
         self.speculative = speculative
         #: items are their own keys: runs store one shared list.
         self.keyless = keyless
@@ -151,19 +167,33 @@ class RunPool:
             run.append(key, item)
             self.runs.append(run)
             tails.append(key)
+            if self.neg_tails is not None:
+                self.neg_tails.append(-key)
             if self.stats is not None:
                 self.stats.runs_created += 1
         else:
             self.runs[idx].append(key, item)
             tails[idx] = key
+            if self.neg_tails is not None:
+                try:
+                    self.neg_tails[idx] = -key
+                except TypeError:
+                    self.neg_tails = None
         self._last = idx
 
     def _search(self, key) -> int:
         """First index whose tail is <= ``key`` (== len(tails) when none).
 
-        ``tails`` is strictly descending, so this is a hand-rolled binary
-        search rather than :mod:`bisect` (which assumes ascending order).
+        The descending tails order is the wrong way round for
+        :mod:`bisect`, so the fast path searches the ascending *negated*
+        tails (``tails[i] <= key`` iff ``-tails[i] >= -key``); keys
+        without ``-`` demote the pool to the pure-Python binary search.
         """
+        if self.neg_tails is not None:
+            try:
+                return bisect_left(self.neg_tails, -key)
+            except TypeError:
+                self.neg_tails = None
         tails = self.tails
         lo, hi = 0, len(tails)
         while lo < hi:
@@ -184,6 +214,7 @@ class RunPool:
         """
         runs = self.runs
         tails = self.tails
+        neg_tails = self.neg_tails
         speculative = self.speculative
         keyless = self.keyless
         last = self._last
@@ -192,8 +223,14 @@ class RunPool:
         created = 0
         if keyless:
             items = keys
+        nk = None
         for key, item in zip(keys, items):
             n = len(tails)
+            if neg_tails is not None:
+                try:
+                    nk = -key
+                except TypeError:
+                    neg_tails = self.neg_tails = None
             if (
                 speculative
                 and 0 <= last < n
@@ -203,14 +240,17 @@ class RunPool:
                 idx = last
                 srs_hits += 1
             else:
-                lo, hi = 0, n
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if tails[mid] <= key:
-                        hi = mid
-                    else:
-                        lo = mid + 1
-                idx = lo
+                if neg_tails is not None:
+                    idx = bisect_left(neg_tails, nk)
+                else:
+                    lo, hi = 0, n
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if tails[mid] <= key:
+                            hi = mid
+                        else:
+                            lo = mid + 1
+                    idx = lo
                 searches += 1
             if idx == n:
                 run = SortedRun(keyless=keyless)
@@ -219,6 +259,8 @@ class RunPool:
                     run.items.append(item)
                 runs.append(run)
                 tails.append(key)
+                if neg_tails is not None:
+                    neg_tails.append(nk)
                 created += 1
             else:
                 run = runs[idx]
@@ -226,6 +268,8 @@ class RunPool:
                 if not keyless:
                     run.items.append(item)
                 tails[idx] = key
+                if neg_tails is not None:
+                    neg_tails[idx] = nk
             last = idx
         self._last = last
         if self.stats is not None:
@@ -256,6 +300,8 @@ class RunPool:
         if removed:
             self.runs = survivors
             self.tails = surviving_tails
+            if self.neg_tails is not None:
+                self.neg_tails = [-tail for tail in surviving_tails]
             self._last = -1  # indices shifted; invalidate the SRS hint
             if self.stats is not None:
                 self.stats.runs_removed += removed
@@ -266,6 +312,8 @@ class RunPool:
         heads = [run.live() for run in self.runs if run]
         self.runs = []
         self.tails = []
+        if self.neg_tails is not None:
+            self.neg_tails = []
         self._last = -1
         return heads
 
@@ -282,3 +330,7 @@ class RunPool:
         assert all(
             a > b for a, b in zip(self.tails, self.tails[1:])
         ), "tails not strictly descending"
+        if self.neg_tails is not None:
+            assert self.neg_tails == [-tail for tail in self.tails], (
+                "negated tails out of sync"
+            )

@@ -3,7 +3,22 @@
 from repro.engine.batch import EventBatch
 from repro.engine.checkpoint import checkpoint_sorter, restore_sorter
 from repro.engine.columnar_pipeline import ColumnarPipeline, iter_batches
+from repro.engine.compiler import (
+    CompiledPlan,
+    PlanResult,
+    UnsupportedPlanError,
+    analyze_plan,
+    compile_plan,
+)
 from repro.engine.disordered import DisorderedStreamable
+from repro.engine.kernels import (
+    AGGREGATE_SPECS,
+    GroupedWindowKernel,
+    WindowTopKKernel,
+    field,
+    key_field,
+    sync_field,
+)
 from repro.engine.event import EVENT_BYTES, Event, Punctuation, is_punctuation
 from repro.engine.graph import Pipeline, QueryNode, source_node
 from repro.engine.ingress import (
@@ -18,8 +33,14 @@ from repro.engine.sharded import ShardedQuery, shard_streamable
 from repro.engine.stream import Streamable
 
 __all__ = [
+    "AGGREGATE_SPECS",
     "ColumnarPipeline",
+    "CompiledPlan",
     "DisorderedStreamable",
+    "GroupedWindowKernel",
+    "PlanResult",
+    "UnsupportedPlanError",
+    "WindowTopKKernel",
     "EVENT_BYTES",
     "Event",
     "EventBatch",
@@ -30,9 +51,14 @@ __all__ = [
     "PunctuationPolicy",
     "QueryNode",
     "Streamable",
+    "analyze_plan",
     "bursty_rate",
     "checkpoint_sorter",
+    "compile_plan",
     "constant_rate",
+    "field",
+    "key_field",
+    "sync_field",
     "ingress_dataset",
     "iter_batches",
     "ingress_events",

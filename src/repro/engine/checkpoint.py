@@ -94,6 +94,13 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
         a <= b for a, b in zip(pool.tails, pool.tails[1:])
     ):
         raise CheckpointError("checkpoint runs violate the tails invariant")
+    if pool.neg_tails is not None:
+        # The rebuilt tails bypassed insert(); re-derive the negated
+        # mirror (non-negatable keys demote the pool to binary search).
+        try:
+            pool.neg_tails = [-tail for tail in pool.tails]
+        except TypeError:
+            pool.neg_tails = None
     if state["watermark"] is not None:
         sorter._watermark = state["watermark"]
         sorter._has_watermark = True

@@ -23,18 +23,28 @@ __all__ = ["iter_batches", "ColumnarPipeline", "WindowedCountState"]
 
 
 def iter_batches(dataset, batch_size):
-    """Yield a dataset as arrival-order :class:`EventBatch` slices."""
+    """Yield a dataset as arrival-order :class:`EventBatch` slices.
+
+    Each batch is columnarized directly from the dataset's row storage,
+    so only ``batch_size`` rows are resident as numpy columns at any
+    point — columnarizing the whole dataset up front and slicing it
+    would hold a second full copy of the data at peak.
+    """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    whole = EventBatch.from_dataset(dataset)
-    payload_matrix = whole.payload_columns
-    for start in range(0, len(whole), batch_size):
+    timestamps = dataset.timestamps
+    keys = dataset.keys
+    payloads = dataset.payloads
+    for start in range(0, len(timestamps), batch_size):
         stop = start + batch_size
+        sync = np.asarray(timestamps[start:stop], dtype=np.int64)
+        matrix = np.asarray(payloads[start:stop], dtype=np.int64)
+        n_cols = matrix.shape[1] if matrix.size else 0
         yield EventBatch(
-            whole.sync_times[start:stop],
-            whole.other_times[start:stop],
-            whole.keys[start:stop],
-            [col[start:stop] for col in payload_matrix],
+            sync,
+            sync + 1,
+            np.asarray(keys[start:stop], dtype=np.int64),
+            [matrix[:, c] for c in range(n_cols)],
         )
 
 

@@ -1,0 +1,850 @@
+"""Fused columnar query compiler: ``QueryPlan`` -> numpy kernel pipeline.
+
+The row operator DAG is the reference semantics; this module is the
+engine's single-process fast path.  ``compile_plan`` lowers a
+:class:`~repro.engine.planner.QueryPlan` whose shape it understands onto
+a fused pipeline of :mod:`repro.engine.kernels` stages around a
+:class:`~repro.core.columnar.ColumnarImpatienceSorter`:
+
+* pre-sort (pushed-down, §IV sort-as-needed): bitmap ``where`` over
+  structured predicates, ``select_columns`` projection, and
+  tumbling/hopping window alignment — all *below* the sort point, so
+  selection shrinks the sorted volume and windowing reduces disorder,
+  visible in the sorter's :class:`~repro.core.stats.SorterStats`;
+* the columnar sorter itself, carrying the post-stage sync time, the
+  grouping key, and the aggregated value as parallel ``int64`` columns
+  (the original window start rides as column 0 so the ADJUST late
+  policy keeps row-engine semantics: adjusted sort position, original
+  window);
+* post-sort: the grouped/ungrouped windowed-aggregate kernel
+  (``count``/``sum``/``avg``/``min``/``max``) and an optional chained
+  ``top_k`` kernel.
+
+Anything else — joins, patterns, sessions, duration rewrites, opaque
+Python lambdas, custom sorters — raises :class:`UnsupportedPlanError`
+with a human-readable reason, and :func:`execute_plan` (the engine
+behind ``QueryPlan.run(engine="auto")``) falls back to the row engine
+silently.  Equivalence is byte-for-byte: the compiled path replicates
+ingress punctuation policy, window close rules, clamped forwarded
+punctuations, emission order, and late-policy behavior exactly
+(differentially fuzzed in ``tests/test_fuzz_queries.py``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.errors import QueryBuildError
+from repro.core.late import LatePolicy
+from repro.engine.event import Event
+from repro.engine.kernels import (
+    AGGREGATE_SPECS,
+    GroupedWindowKernel,
+    Predicate,
+    WindowTopKKernel,
+    _KeyField,
+    _PayloadField,
+)
+from repro.engine.operators.aggregates import Avg, Count, Max, Min, Sum
+from repro.observability.snapshot import PipelineSnapshot
+
+__all__ = [
+    "UnsupportedPlanError",
+    "CompiledPlan",
+    "PlanResult",
+    "analyze_plan",
+    "compile_plan",
+    "execute_plan",
+]
+
+_NEG_INF = float("-inf")
+
+
+class UnsupportedPlanError(Exception):
+    """The plan has no columnar lowering; ``reason`` says why."""
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _resolve(step, names):
+    """Merge a step's positional and keyword arguments by parameter name."""
+    values = dict(zip(names, step.args))
+    values.update(dict(step.kwargs))
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Pre-sort stages: batch transform + punctuation transform, like operators.
+# ---------------------------------------------------------------------------
+
+
+class _WhereStage:
+    name = "where"
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+
+    def apply(self, sync, keys, cols):
+        mask = self.predicate.mask(sync, keys, cols)
+        if mask.all():
+            return sync, keys, cols
+        return sync[mask], keys[mask], [col[mask] for col in cols]
+
+    def transform_punct(self, timestamp):
+        return timestamp
+
+    def describe(self):
+        return f"where[{self.predicate!r}]"
+
+
+class _ProjectStage:
+    name = "select_columns"
+
+    def __init__(self, columns):
+        self.columns = tuple(columns)
+
+    def apply(self, sync, keys, cols):
+        return sync, keys, [cols[index] for index in self.columns]
+
+    def transform_punct(self, timestamp):
+        return timestamp
+
+    def describe(self):
+        return f"select_columns{self.columns}"
+
+
+class _WindowStage:
+    name = "window"
+
+    def __init__(self, size, hop):
+        self.size = size
+        self.hop = hop
+
+    def apply(self, sync, keys, cols):
+        return sync - sync % self.hop, keys, cols
+
+    def transform_punct(self, timestamp):
+        # HoppingWindow.on_punctuation: strongest promise expressible on
+        # the aligned stream is one tick below the alignment of T + 1.
+        next_raw = timestamp + 1
+        return next_raw - next_raw % self.hop - 1
+
+    def describe(self):
+        if self.hop == self.size:
+            return f"tumbling_window[{self.size}]"
+        return f"hopping_window[{self.size},{self.hop}]"
+
+
+# ---------------------------------------------------------------------------
+# Compilation.
+# ---------------------------------------------------------------------------
+
+
+def _lower_aggregate(aggregate):
+    """Map a row aggregate instance onto a kernel spec + value column."""
+    if type(aggregate) is Count:
+        return AGGREGATE_SPECS["count"], None
+    for cls, name in ((Sum, "sum"), (Avg, "avg"), (Min, "min"), (Max, "max")):
+        if type(aggregate) is cls:
+            selector = aggregate.selector
+            if not isinstance(selector, _PayloadField):
+                raise UnsupportedPlanError(
+                    f"{cls.__name__} selector is an opaque Python callable "
+                    "(use repro.engine.kernels.field(i))"
+                )
+            return AGGREGATE_SPECS[name], selector.index
+    raise UnsupportedPlanError(
+        f"aggregate {type(aggregate).__name__} has no columnar kernel"
+    )
+
+
+def compile_plan(plan) -> "CompiledPlan":
+    """Lower ``plan`` onto fused kernels or raise ``UnsupportedPlanError``.
+
+    The plan compiles *as written*: operator placement relative to the
+    sort is semantics (pushing a window below the sort changes which
+    events count as late), so the compiler never hoists steps itself —
+    a plan with order-insensitive steps still above the sort falls back
+    to the row engine with a hint to call ``plan.optimized()``.
+    Compilation demands: pre-sort steps drawn from structured ``where``
+    / ``select_columns`` / window alignment, a default sorter (late
+    policy allowed), and a windowed aggregate terminal with an optional
+    chained ``top_k``.
+    """
+    try:
+        plan.validate()
+    except QueryBuildError as exc:
+        raise UnsupportedPlanError(str(exc))
+    steps = plan.steps
+    sort_index = next(
+        i for i, step in enumerate(steps) if step.method == "sort"
+    )
+    pre = steps[:sort_index]
+    sort_kwargs = dict(steps[sort_index].kwargs)
+    post = steps[sort_index + 1:]
+
+    if sort_kwargs.get("sorter") is not None:
+        raise UnsupportedPlanError(
+            "custom sorter factory is opaque to the compiler"
+        )
+    late_policy = sort_kwargs.get("late_policy") or LatePolicy.DROP
+
+    stages = []
+    window_size = None
+    for step in pre:
+        method = step.method
+        if method == "where":
+            values = _resolve(step, ("predicate",))
+            predicate = values.get("predicate")
+            if not isinstance(predicate, Predicate):
+                raise UnsupportedPlanError(
+                    "where() predicate is an opaque Python callable "
+                    "(use repro.engine.kernels field/key_field/sync_field "
+                    "expressions)"
+                )
+            stages.append(_WhereStage(predicate))
+        elif method == "select_columns":
+            values = _resolve(step, ("columns",))
+            columns = values.get("columns")
+            try:
+                columns = tuple(columns)
+            except TypeError:
+                raise UnsupportedPlanError(
+                    "select_columns() expects an iterable of column indices"
+                )
+            if not columns or not all(
+                isinstance(c, int) and c >= 0 for c in columns
+            ):
+                raise UnsupportedPlanError(
+                    "select_columns() indices must be non-negative ints"
+                )
+            stages.append(_ProjectStage(columns))
+        elif method in ("tumbling_window", "hopping_window"):
+            if method == "tumbling_window":
+                values = _resolve(step, ("size",))
+                size = values.get("size")
+                hop = size
+            else:
+                values = _resolve(step, ("size", "hop"))
+                size = values.get("size")
+                hop = values.get("hop", size)
+            if not isinstance(size, int) or not isinstance(hop, int) \
+                    or size < 1 or hop < 1:
+                raise UnsupportedPlanError(
+                    "window size/hop must be positive ints"
+                )
+            stages.append(_WindowStage(size, hop))
+            window_size = size
+        elif method == "select":
+            raise UnsupportedPlanError(
+                "select() projector is an opaque Python callable"
+            )
+        else:
+            raise UnsupportedPlanError(
+                f"{method}() has no columnar kernel"
+            )
+
+    if not post:
+        raise UnsupportedPlanError(
+            "no windowed aggregate terminal after the sort"
+        )
+    terminal = post[0]
+    if terminal.method in (
+        "where", "select", "select_columns", "tumbling_window",
+        "hopping_window", "alter_duration", "clip_duration",
+    ):
+        raise UnsupportedPlanError(
+            f"{terminal.method}() runs above the sort; apply "
+            "plan.optimized() to push it down for the columnar path"
+        )
+    rest = list(post[1:])
+    grouped = False
+    method = terminal.method
+    if method == "count":
+        spec, value_index = AGGREGATE_SPECS["count"], None
+    elif method == "aggregate":
+        values = _resolve(terminal, ("aggregate",))
+        spec, value_index = _lower_aggregate(values.get("aggregate"))
+    elif method == "group_aggregate":
+        values = _resolve(terminal, ("aggregate", "key_fn"))
+        key_fn = values.get("key_fn")
+        if key_fn is not None and not isinstance(key_fn, _KeyField):
+            raise UnsupportedPlanError(
+                "group_aggregate() key_fn is an opaque Python callable"
+            )
+        spec, value_index = _lower_aggregate(values.get("aggregate"))
+        grouped = True
+    elif method == "top_k":
+        raise UnsupportedPlanError(
+            "top_k() over raw events is tie-order sensitive through the "
+            "sorter; only top-k over aggregate outputs is vectorized"
+        )
+    else:
+        raise UnsupportedPlanError(f"{method}() is not vectorized")
+
+    top_k = None
+    if rest and rest[0].method == "top_k":
+        values = _resolve(rest[0], ("k", "score_fn"))
+        if values.get("score_fn") is not None:
+            raise UnsupportedPlanError(
+                "top_k() score_fn is an opaque Python callable"
+            )
+        k = values.get("k")
+        if not isinstance(k, int) or k < 1:
+            raise UnsupportedPlanError("top_k() k must be a positive int")
+        top_k = k
+        rest = rest[1:]
+    if rest:
+        raise UnsupportedPlanError(
+            f"{rest[0].method}() after the aggregate is not vectorized"
+        )
+    if window_size is None:
+        raise UnsupportedPlanError(
+            "windowed aggregates need a tumbling/hopping window ahead of "
+            "the sort"
+        )
+    return CompiledPlan(
+        stages, late_policy, window_size, spec, value_index, grouped,
+        top_k, terminal.method,
+    )
+
+
+def analyze_plan(plan):
+    """Which execution path the plan gets: ``(path, reason)``.
+
+    ``("columnar", None)`` when compilation succeeds, else
+    ``("row", reason)``.
+    """
+    try:
+        compile_plan(plan)
+    except UnsupportedPlanError as exc:
+        return "row", exc.reason
+    return "columnar", None
+
+
+# ---------------------------------------------------------------------------
+# Per-kernel metrics (operator-shaped for PipelineSnapshot).
+# ---------------------------------------------------------------------------
+
+
+class _KernelMetrics:
+    __slots__ = (
+        "name", "batches", "events_in", "events_out",
+        "punct_in", "punct_out", "busy_s", "peak",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.batches = 0
+        self.events_in = 0
+        self.events_out = 0
+        self.punct_in = 0
+        self.punct_out = 0
+        self.busy_s = 0.0
+        self.peak = 0
+
+    def note_batch(self, n_in, n_out, seconds):
+        self.batches += 1
+        self.events_in += int(n_in)
+        self.events_out += int(n_out)
+        self.busy_s += seconds
+
+    def note_punct(self, forwarded, seconds=0.0):
+        self.punct_in += 1
+        if forwarded:
+            self.punct_out += 1
+        self.busy_s += seconds
+
+    def doc(self) -> dict:
+        ns_per_event = (
+            self.busy_s * 1e9 / self.events_in if self.events_in else 0.0
+        )
+        return {
+            "name": self.name,
+            "events": {"in": self.events_in, "out": self.events_out},
+            "punctuations": {"in": self.punct_in, "out": self.punct_out},
+            "flushes": 1,
+            "busy_s": {
+                "event": self.busy_s, "punctuation": 0.0, "flush": 0.0,
+                "total": self.busy_s,
+            },
+            "occupancy": {"peak": self.peak, "samples": 0, "timeline": []},
+            "kernel": {
+                "batches": self.batches,
+                "ns_per_event": ns_per_event,
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Execution.
+# ---------------------------------------------------------------------------
+
+
+class PlanResult:
+    """Collector-shaped result of ``QueryPlan.run``.
+
+    Mirrors :class:`~repro.engine.operators.sink.Collector` (``events``,
+    ``punctuations``, ``completed``, ``sync_times``, ``payloads``) and
+    adds ``engine`` (``"columnar"`` or ``"row"``), ``reason`` (why the
+    row path was taken, ``None`` on the columnar path), and
+    ``snapshot()`` — per-kernel metrics for compiled runs, the attached
+    registry's snapshot for row runs.
+    """
+
+    def __init__(self, events, punctuations, completed, engine,
+                 reason=None, operator_docs=None, registry=None, meta=None):
+        self.events = events
+        self.punctuations = punctuations
+        self.completed = completed
+        self.engine = engine
+        self.reason = reason
+        self._operator_docs = operator_docs
+        self._registry = registry
+        self._meta = dict(meta or {})
+
+    @property
+    def sync_times(self):
+        return [event.sync_time for event in self.events]
+
+    @property
+    def payloads(self):
+        return [event.payload for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def snapshot(self, meta=None, memory=None):
+        """A :class:`PipelineSnapshot` of the execution, or ``None``.
+
+        Columnar runs always carry per-kernel metrics; row runs carry
+        one only when a :class:`MetricsRegistry` was attached.
+        """
+        merged = dict(self._meta)
+        merged.update(meta or {})
+        merged.setdefault("engine", self.engine)
+        if self.reason:
+            merged.setdefault("engine_reason", self.reason)
+        if self._operator_docs is not None:
+            return PipelineSnapshot(
+                self._operator_docs, memory=memory, meta=merged,
+            )
+        if self._registry is not None:
+            return self._registry.snapshot(memory=memory, meta=merged)
+        return None
+
+
+class CompiledPlan:
+    """An executable fused pipeline produced by :func:`compile_plan`."""
+
+    def __init__(self, stages, late_policy, window_size, spec, value_index,
+                 grouped, top_k, terminal):
+        self.stages = stages
+        self.late_policy = late_policy
+        self.window_size = window_size
+        self.spec = spec
+        self.value_index = value_index
+        self.grouped = grouped
+        self.top_k = top_k
+        self.terminal = terminal
+        self.columns = 1 + (1 if grouped else 0) + (
+            1 if spec.needs_value else 0
+        )
+
+    def describe(self):
+        """Kernel stage labels in pipeline order (for EXPLAIN output)."""
+        labels = [stage.describe() for stage in self.stages]
+        labels.append(f"columnar_sort[{self.late_policy.name}]")
+        kind = "group_aggregate" if self.grouped else "aggregate"
+        labels.append(f"{kind}[{self.spec.name}]")
+        if self.top_k is not None:
+            labels.append(f"top_k[{self.top_k}]")
+        return labels
+
+    def run(self, kind, source, punctuation_frequency=None,
+            reorder_latency=0, batch_size=8192, reason=None):
+        """Execute over a ``("dataset", Dataset)`` or ``("events", list)``
+        source, replicating the row ingress punctuation policy."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        execution = _Execution(self)
+        if kind == "dataset":
+            n = len(source.timestamps)
+            arity = len(source.payloads[0]) if n else 0
+            chunker = _dataset_chunk
+        else:
+            n = len(source)
+            arity = len(source[0].payload) if n else 0
+            chunker = _events_chunk
+        high_watermark = None
+        last_punctuation = _NEG_INF
+        position = 0
+        frequency = punctuation_frequency
+        while position < n:
+            if frequency:
+                room = frequency - (position % frequency)
+            else:
+                room = n - position
+            stop = min(position + batch_size, position + room, n)
+            t0 = perf_counter()
+            sync, keys, cols = chunker(source, position, stop, arity)
+            execution.ingress.note_batch(
+                stop - position, stop - position, perf_counter() - t0
+            )
+            chunk_max = int(sync.max())
+            if high_watermark is None or chunk_max > high_watermark:
+                high_watermark = chunk_max
+            execution.process_chunk(sync, keys, cols)
+            position = stop
+            if frequency and position % frequency == 0:
+                candidate = high_watermark - reorder_latency
+                if candidate > last_punctuation:
+                    last_punctuation = candidate
+                    execution.punctuate(candidate)
+        if high_watermark is not None:
+            # Ingress appends a final end-of-data punctuation at the high
+            # watermark unconditionally (ingress_events).
+            execution.punctuate(high_watermark)
+        execution.flush()
+        return execution.result(reason)
+
+
+def _dataset_chunk(dataset, start, stop, arity):
+    sync = np.asarray(dataset.timestamps[start:stop], dtype=np.int64)
+    keys = np.asarray(dataset.keys[start:stop], dtype=np.int64)
+    if arity:
+        matrix = np.asarray(dataset.payloads[start:stop], dtype=np.int64)
+        cols = [matrix[:, c] for c in range(arity)]
+    else:
+        cols = []
+    return sync, keys, cols
+
+
+def _events_chunk(events, start, stop, arity):
+    count = stop - start
+    chunk = events[start:stop]
+    sync = np.fromiter(
+        (event.sync_time for event in chunk), np.int64, count
+    )
+    keys = np.fromiter((event.key for event in chunk), np.int64, count)
+    if arity:
+        matrix = np.asarray(
+            [event.payload for event in chunk], dtype=np.int64
+        )
+        cols = [matrix[:, c] for c in range(arity)]
+    else:
+        cols = []
+    return sync, keys, cols
+
+
+class _Execution:
+    """One run's mutable state: sorter, kernels, sinks, metrics."""
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+        self.sorter = ColumnarImpatienceSorter(
+            late_policy=compiled.late_policy, columns=compiled.columns
+        )
+        # Pre-sorting each ingress chunk turns it into one ascending
+        # segment, so run placement is a handful of chunk-sized deals
+        # instead of a Python loop over every descent.  Legal because
+        # the lateness mask is order-free within a chunk and every
+        # downstream kernel re-sorts (lexsort/stable-merge) — except
+        # under RAISE, where "the first late event" must mean arrival
+        # order to keep the row engine's exception args byte-identical.
+        self.presort = compiled.late_policy is not LatePolicy.RAISE
+        self.aggregate = GroupedWindowKernel(
+            compiled.window_size, compiled.spec, grouped=compiled.grouped
+        )
+        self.topk = (
+            WindowTopKKernel(compiled.window_size, compiled.top_k)
+            if compiled.top_k is not None else None
+        )
+        self.events = []
+        self.punctuations = []
+        self.ingress = _KernelMetrics("ingress")
+        self.stage_metrics = [
+            _KernelMetrics(stage.name) for stage in compiled.stages
+        ]
+        self.sort_metrics = _KernelMetrics("sort")
+        kind = "group_aggregate" if compiled.grouped else compiled.terminal
+        self.agg_metrics = _KernelMetrics(kind)
+        self.topk_metrics = (
+            _KernelMetrics("top_k") if self.topk is not None else None
+        )
+
+    # -- dataflow ---------------------------------------------------------
+
+    def process_chunk(self, sync, keys, cols):
+        for stage, metrics in zip(
+            self.compiled.stages, self.stage_metrics
+        ):
+            t0 = perf_counter()
+            n_in = sync.size
+            sync, keys, cols = stage.apply(sync, keys, cols)
+            metrics.note_batch(n_in, sync.size, perf_counter() - t0)
+        t0 = perf_counter()
+        columns = [sync]
+        if self.compiled.grouped:
+            columns.append(keys)
+        if self.compiled.spec.needs_value:
+            columns.append(cols[self.compiled.value_index])
+        if self.presort and sync.size > 1:
+            order = np.argsort(sync, kind="stable")
+            columns = [column[order] for column in columns]
+            sync = columns[0]
+        self.sorter.insert_batch(sync, tuple(columns))
+        self.sort_metrics.note_batch(sync.size, 0, perf_counter() - t0)
+        self.sort_metrics.peak = self.sorter.stats.max_buffered
+
+    def punctuate(self, raw_timestamp):
+        timestamp = raw_timestamp
+        for stage, metrics in zip(
+            self.compiled.stages, self.stage_metrics
+        ):
+            timestamp = stage.transform_punct(timestamp)
+            metrics.note_punct(True)
+        t0 = perf_counter()
+        released = self.sorter.on_punctuation(timestamp)
+        self.sort_metrics.note_punct(True, perf_counter() - t0)
+        self.sort_metrics.events_out += int(released[0].size)
+        self.sort_metrics.peak = self.sorter.stats.max_buffered
+        self._downstream(released, timestamp)
+
+    def flush(self):
+        t0 = perf_counter()
+        released = self.sorter.flush()
+        self.sort_metrics.busy_s += perf_counter() - t0
+        self.sort_metrics.events_out += int(released[0].size)
+        self._downstream(released, None)
+
+    def _downstream(self, released, timestamp):
+        compiled = self.compiled
+        _, columns = released
+        starts = columns[0]
+        keys = columns[1] if compiled.grouped else None
+        values = (
+            columns[1 + (1 if compiled.grouped else 0)]
+            if compiled.spec.needs_value else None
+        )
+        t0 = perf_counter()
+        self.aggregate.accumulate(starts, keys, values)
+        rows = self.aggregate.close(timestamp)
+        bound = (
+            self.aggregate.forward(timestamp)
+            if timestamp is not None else None
+        )
+        self.agg_metrics.note_batch(
+            starts.size, len(rows), perf_counter() - t0
+        )
+        if timestamp is not None:
+            self.agg_metrics.note_punct(bound is not None)
+        self.agg_metrics.peak = max(
+            self.agg_metrics.peak, self.aggregate.buffered() + len(rows)
+        )
+        if self.topk is None:
+            self._emit(rows)
+            if bound is not None:
+                self.punctuations.append(bound)
+            return
+        t0 = perf_counter()
+        for start, key, value in rows:
+            self.topk.add(start, key, value)
+        if timestamp is None:
+            out = self.topk.close(None)
+            forwarded = None
+        elif bound is not None:
+            out = self.topk.close(bound)
+            forwarded = self.topk.forward(bound)
+        else:
+            out = []
+            forwarded = None
+        self.topk_metrics.note_batch(len(rows), len(out), perf_counter() - t0)
+        if bound is not None:
+            self.topk_metrics.note_punct(forwarded is not None)
+        self.topk_metrics.peak = max(
+            self.topk_metrics.peak, self.topk.buffered() + len(out)
+        )
+        self._emit(out)
+        if forwarded is not None:
+            self.punctuations.append(forwarded)
+
+    def _emit(self, rows):
+        size = self.compiled.window_size
+        self.events.extend(
+            Event(start, start + size, key, value)
+            for start, key, value in rows
+        )
+
+    # -- result -----------------------------------------------------------
+
+    def result(self, reason):
+        sorter_doc = self.sort_metrics.doc()
+        sorter_doc["sorter"] = self.sorter.stats.as_dict()
+        late = self.sorter.late
+        sorter_doc["late"] = {
+            "policy": late.policy.name,
+            "dropped": late.dropped,
+            "adjusted": late.adjusted,
+        }
+        if late.dropped:
+            sorter_doc["dropped"] = late.dropped
+        docs = [self.ingress.doc()]
+        docs.extend(metrics.doc() for metrics in self.stage_metrics)
+        docs.append(sorter_doc)
+        docs.append(self.agg_metrics.doc())
+        if self.topk_metrics is not None:
+            docs.append(self.topk_metrics.doc())
+        meta = {
+            "engine": "columnar",
+            "kernels": self.compiled.describe(),
+        }
+        return PlanResult(
+            self.events, self.punctuations, True, "columnar",
+            reason=reason, operator_docs=docs, meta=meta,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine selection: QueryPlan.run's backend.
+# ---------------------------------------------------------------------------
+
+
+def _ingest_reason(events):
+    """Why a raw event list cannot be columnarized (``None`` if it can)."""
+    if not events:
+        return None
+    first = events[0]
+    if not hasattr(first, "sync_time"):
+        return "source elements are not events"
+    arity = len(first.payload) if isinstance(first.payload, tuple) else -1
+    if arity < 0:
+        return "event payloads are not tuples"
+    integral = (int, np.integer)
+    for event in events:
+        if not hasattr(event, "sync_time"):
+            return "source elements are not events"
+        payload = event.payload
+        if not isinstance(payload, tuple) or len(payload) != arity:
+            return "event payload arity is not uniform"
+        if not isinstance(event.sync_time, integral) \
+                or not isinstance(event.key, integral):
+            return "event times/keys are not integers"
+        for value in payload:
+            if not isinstance(value, integral):
+                return "event payloads are not integer columns"
+    return None
+
+
+def _dataset_reason(dataset):
+    if not len(dataset.timestamps):
+        return None
+    integral = (int, np.integer)
+    if not isinstance(dataset.timestamps[0], integral):
+        return "dataset timestamps are not integers"
+    if not isinstance(dataset.keys[0], integral):
+        return "dataset keys are not integers"
+    payload = dataset.payloads[0]
+    if not isinstance(payload, tuple) or not all(
+        isinstance(value, integral) for value in payload
+    ):
+        return "dataset payloads are not integer columns"
+    return None
+
+
+def _normalize_source(source, punctuation_frequency, reorder_latency):
+    """Classify the source: ``(kind, payload, frequency, latency, reason)``.
+
+    ``kind`` is ``"dataset"``, ``"events"``, or ``"stream"`` (a
+    ``DisorderedStreamable`` that must run on the row path); ``reason``
+    forces the row path when not ``None``.
+    """
+    from repro.engine.disordered import DisorderedStreamable
+
+    if isinstance(source, DisorderedStreamable):
+        spec = getattr(source, "_ingress", None)
+        if spec is None:
+            return (
+                "stream", source, None, None,
+                "source stream does not expose columnar ingress "
+                "(derived or from_elements)",
+            )
+        kind, payload, frequency, latency = spec
+        return kind, payload, frequency, latency, None
+    if hasattr(source, "timestamps") and hasattr(source, "payloads"):
+        return (
+            "dataset", source, punctuation_frequency, reorder_latency, None
+        )
+    events = source if isinstance(source, list) else list(source)
+    return "events", events, punctuation_frequency, reorder_latency, None
+
+
+def execute_plan(plan, source, punctuation_frequency=None, reorder_latency=0,
+                 engine="auto", batch_size=8192, metrics=None) -> PlanResult:
+    """Run ``plan`` over ``source`` on the requested engine.
+
+    ``engine="auto"`` compiles when possible and falls back to the row
+    engine silently (the result's ``reason`` says why);
+    ``engine="columnar"`` raises :class:`QueryBuildError` when the plan
+    cannot be compiled; ``engine="row"`` always uses the row operators.
+    """
+    if engine not in ("auto", "columnar", "row"):
+        raise QueryBuildError(
+            f"engine must be 'auto', 'columnar', or 'row', not {engine!r}"
+        )
+    kind, payload, frequency, latency, forced_reason = _normalize_source(
+        source, punctuation_frequency, reorder_latency
+    )
+    reason = None
+    compiled = None
+    if engine != "row":
+        if forced_reason is not None:
+            reason = forced_reason
+        else:
+            try:
+                compiled = compile_plan(plan)
+            except UnsupportedPlanError as exc:
+                reason = exc.reason
+            if compiled is not None:
+                ingest = (
+                    _dataset_reason(payload) if kind == "dataset"
+                    else _ingest_reason(payload)
+                )
+                if ingest is not None:
+                    compiled = None
+                    reason = ingest
+        if compiled is None and engine == "columnar":
+            raise QueryBuildError(
+                f"engine='columnar' requested but the plan cannot be "
+                f"compiled: {reason}"
+            )
+    else:
+        reason = "engine='row' requested"
+    if compiled is not None:
+        return compiled.run(
+            kind, payload, punctuation_frequency=frequency,
+            reorder_latency=latency, batch_size=batch_size,
+        )
+    return _run_row(plan, kind, payload, frequency, latency, metrics, reason)
+
+
+def _run_row(plan, kind, payload, frequency, latency, metrics, reason):
+    from repro.engine.disordered import DisorderedStreamable
+
+    if kind == "stream":
+        stream = payload
+    elif kind == "dataset":
+        stream = DisorderedStreamable.from_dataset(payload, frequency, latency)
+    else:
+        stream = DisorderedStreamable.from_events(payload, frequency, latency)
+    collector = plan.bind(stream).collect(metrics=metrics)
+    return PlanResult(
+        collector.events, collector.punctuations, collector.completed,
+        "row", reason=reason, registry=metrics,
+        meta={"engine": "row"},
+    )

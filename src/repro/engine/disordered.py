@@ -38,6 +38,11 @@ class DisorderedStreamable:
     def __init__(self, node, source):
         self._node = node
         self._source = source
+        # Columnar ingress spec (kind, payload, frequency, latency), set
+        # only on pristine from_dataset/from_events streams so
+        # QueryPlan.run can re-ingest the raw columns on the compiled
+        # path; derived streams run row-only.
+        self._ingress = None
 
     # -- construction -----------------------------------------------------
 
@@ -56,17 +61,26 @@ class DisorderedStreamable:
         ``punctuation_frequency`` events at ``high_watermark -
         reorder_latency``.
         """
-        return cls.from_elements(
+        stream = cls.from_elements(
             ingress_dataset(dataset, punctuation_frequency, reorder_latency)
         )
+        stream._ingress = (
+            "dataset", dataset, punctuation_frequency, reorder_latency
+        )
+        return stream
 
     @classmethod
     def from_events(cls, events, punctuation_frequency=None,
                     reorder_latency=0):
         """Ingress a raw event iterable with a punctuation policy."""
-        return cls.from_elements(
+        events = events if isinstance(events, list) else list(events)
+        stream = cls.from_elements(
             ingress_events(events, punctuation_frequency, reorder_latency)
         )
+        stream._ingress = (
+            "events", events, punctuation_frequency, reorder_latency
+        )
+        return stream
 
     @property
     def node(self) -> QueryNode:

@@ -1,0 +1,614 @@
+"""Numpy kernel library shared by the columnar compiler and shard plans.
+
+Trill's performance story (§I-A) is that *every* relational operator runs
+as a tight loop over columnar batches; our reproduction grew vectorized
+fragments twice (the ad-hoc ``ColumnarPipeline``, the parallel runtime's
+grouped count/sum executor) without a shared substrate.  This module is
+that substrate:
+
+* a **structured expression DSL** (:func:`field`, :func:`key_field`,
+  :func:`sync_field`) whose predicates and selectors are *both* plain
+  callables — so the row engine's ``Where``/``Sum`` consume them
+  unchanged — and vectorizable column programs the compiler lowers onto
+  whole numpy arrays.  A query written against the DSL is eligible for
+  the fused columnar path; a query written with opaque lambdas falls
+  back to the row engine (the compiler cannot introspect Python code).
+* an **aggregate spec table** (:data:`AGGREGATE_SPECS`) mapping
+  ``count``/``sum``/``avg``/``min``/``max`` onto ``reduceat`` folds with
+  explicit partial-state merge and finalization, replicating the row
+  aggregates' fold interface (``initial``/``accumulate``/``result``)
+  batch-wise.
+* the **windowed kernel state machines**
+  (:class:`GroupedWindowKernel`, :class:`WindowTopKKernel`) that
+  replicate ``TumblingWindow -> (Grouped)WindowAggregate [-> WindowTopK]``
+  byte-for-byte: the window-close rule (``end - 1 <= T``), the clamped
+  forwarded punctuation (``min(T, min(open) - 1)``, suppressed unless it
+  advances), emission in ascending (window, key) order, and the
+  ADJUST-policy subtlety that a late event may re-open an
+  already-emitted window.
+
+Both the single-process compiler (:mod:`repro.engine.compiler`) and the
+parallel shard plans (:mod:`repro.parallel.plans`) build on these
+kernels, so an aggregate added here is inherited by every vectorized
+path at once.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+
+import numpy as np
+
+__all__ = [
+    "Expr",
+    "Predicate",
+    "field",
+    "key_field",
+    "sync_field",
+    "AggregateSpec",
+    "AGGREGATE_SPECS",
+    "GroupedWindowKernel",
+    "WindowTopKKernel",
+]
+
+_NEG_INF = float("-inf")
+
+
+# ---------------------------------------------------------------------------
+# Structured expressions: one object, two evaluators.
+# ---------------------------------------------------------------------------
+
+_ARITH = {
+    "%": _op.mod,
+    "//": _op.floordiv,
+    "+": _op.add,
+    "-": _op.sub,
+    "*": _op.mul,
+}
+
+_COMPARE = {
+    "==": _op.eq,
+    "!=": _op.ne,
+    "<": _op.lt,
+    "<=": _op.le,
+    ">": _op.gt,
+    ">=": _op.ge,
+}
+
+
+def _wrap(value):
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(
+            f"expression operands must be int constants or expressions, "
+            f"got {value!r}"
+        )
+    return _Const(value)
+
+
+class Expr:
+    """A structured scalar expression over one event.
+
+    The row engine evaluates it per event (``_scalar``); the columnar
+    compiler evaluates it once per batch over whole columns
+    (``_vector``).  Arithmetic with int constants builds derived
+    expressions; comparisons build :class:`Predicate` objects.
+    """
+
+    __hash__ = object.__hash__
+
+    def _scalar(self, event):
+        raise NotImplementedError
+
+    def _vector(self, sync, keys, payload):
+        raise NotImplementedError
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __mod__(self, other):
+        return _BinOp("%", self, _wrap(other))
+
+    def __floordiv__(self, other):
+        return _BinOp("//", self, _wrap(other))
+
+    def __add__(self, other):
+        return _BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other):
+        return _BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other):
+        return _BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other):
+        return _BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other):
+        return _BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other):
+        return _BinOp("*", _wrap(other), self)
+
+    # -- comparisons -> predicates --------------------------------------
+
+    def __eq__(self, other):
+        return _Compare("==", self, _wrap(other))
+
+    def __ne__(self, other):
+        return _Compare("!=", self, _wrap(other))
+
+    def __lt__(self, other):
+        return _Compare("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return _Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return _Compare(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return _Compare(">=", self, _wrap(other))
+
+
+class _Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def _scalar(self, event):
+        return self.value
+
+    def _vector(self, sync, keys, payload):
+        return self.value
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class _PayloadField(Expr):
+    """Payload column reference; also a row-engine payload *selector*."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        if index < 0:
+            raise ValueError("payload field index must be >= 0")
+        self.index = index
+
+    def __call__(self, payload):
+        # Aggregate-selector protocol: ``Sum(field(i))`` on the row path.
+        return payload[self.index]
+
+    def _scalar(self, event):
+        return event.payload[self.index]
+
+    def _vector(self, sync, keys, payload):
+        return payload[self.index]
+
+    def __repr__(self):
+        return f"field({self.index})"
+
+
+class _KeyField(Expr):
+    """Grouping-key reference; also a row-engine ``key_fn``."""
+
+    __slots__ = ()
+
+    def __call__(self, event):
+        return event.key
+
+    def _scalar(self, event):
+        return event.key
+
+    def _vector(self, sync, keys, payload):
+        return keys
+
+    def __repr__(self):
+        return "key()"
+
+
+class _SyncField(Expr):
+    __slots__ = ()
+
+    def __call__(self, event):
+        return event.sync_time
+
+    def _scalar(self, event):
+        return event.sync_time
+
+    def _vector(self, sync, keys, payload):
+        return sync
+
+    def __repr__(self):
+        return "sync()"
+
+
+class _BinOp(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def _scalar(self, event):
+        return _ARITH[self.op](self.lhs._scalar(event), self.rhs._scalar(event))
+
+    def _vector(self, sync, keys, payload):
+        return _ARITH[self.op](
+            self.lhs._vector(sync, keys, payload),
+            self.rhs._vector(sync, keys, payload),
+        )
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class Predicate:
+    """A boolean expression; callable on an event, maskable on columns.
+
+    The row engine's ``Where`` calls it per event; the compiler calls
+    :meth:`mask` once per batch.  Combine with ``&``, ``|``, ``~``.
+    """
+
+    __hash__ = object.__hash__
+
+    def __call__(self, event):
+        return bool(self._scalar(event))
+
+    def _scalar(self, event):
+        raise NotImplementedError
+
+    def _vector(self, sync, keys, payload):
+        raise NotImplementedError
+
+    def mask(self, sync, keys, payload):
+        """Vectorized evaluation -> boolean selection bitmap."""
+        return np.asarray(
+            self._vector(sync, keys, payload), dtype=bool
+        )
+
+    def __and__(self, other):
+        return _BoolOp("&", self, other)
+
+    def __or__(self, other):
+        return _BoolOp("|", self, other)
+
+    def __invert__(self):
+        return _Not(self)
+
+
+class _Compare(Predicate):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def _scalar(self, event):
+        return _COMPARE[self.op](
+            self.lhs._scalar(event), self.rhs._scalar(event)
+        )
+
+    def _vector(self, sync, keys, payload):
+        return _COMPARE[self.op](
+            self.lhs._vector(sync, keys, payload),
+            self.rhs._vector(sync, keys, payload),
+        )
+
+    def __repr__(self):
+        return f"{self.lhs!r} {self.op} {self.rhs!r}"
+
+
+class _BoolOp(Predicate):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs):
+        if not isinstance(lhs, Predicate) or not isinstance(rhs, Predicate):
+            raise TypeError("&/| combine predicates, not raw expressions")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def _scalar(self, event):
+        left = self.lhs._scalar(event)
+        right = self.rhs._scalar(event)
+        return (left and right) if self.op == "&" else (left or right)
+
+    def _vector(self, sync, keys, payload):
+        left = self.lhs.mask(sync, keys, payload)
+        right = self.rhs.mask(sync, keys, payload)
+        return (left & right) if self.op == "&" else (left | right)
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class _Not(Predicate):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        if not isinstance(inner, Predicate):
+            raise TypeError("~ inverts a predicate, not a raw expression")
+        self.inner = inner
+
+    def _scalar(self, event):
+        return not self.inner._scalar(event)
+
+    def _vector(self, sync, keys, payload):
+        return ~self.inner.mask(sync, keys, payload)
+
+    def __repr__(self):
+        return f"~({self.inner!r})"
+
+
+def field(index) -> _PayloadField:
+    """Reference payload column ``index`` (predicate term or selector)."""
+    return _PayloadField(index)
+
+
+def key_field() -> _KeyField:
+    """Reference the event key (predicate term or grouping ``key_fn``)."""
+    return _KeyField()
+
+
+def sync_field() -> _SyncField:
+    """Reference the event sync time (predicate term)."""
+    return _SyncField()
+
+
+# ---------------------------------------------------------------------------
+# Aggregate specs: vectorized folds with mergeable partial states.
+# ---------------------------------------------------------------------------
+
+
+class AggregateSpec:
+    """One windowed aggregate as a batch fold.
+
+    ``fold`` turns one lexsorted released batch into per-group partial
+    states (``group_idx`` are the run starts, ``sizes`` the run
+    lengths); ``merge`` combines partials for a group that spans
+    multiple punctuation rounds; ``result`` finalizes the state into the
+    output payload, matching the row aggregate's ``result`` exactly
+    (ints for count/sum/min/max, a Python float for avg).
+    """
+
+    name = None
+    needs_value = False
+
+    def fold(self, values, group_idx, sizes):
+        raise NotImplementedError
+
+    def merge(self, state, partial):
+        raise NotImplementedError
+
+    def result(self, state):
+        return state
+
+
+class _CountSpec(AggregateSpec):
+    name = "count"
+    needs_value = False
+
+    def fold(self, values, group_idx, sizes):
+        return sizes.tolist()
+
+    def merge(self, state, partial):
+        return state + partial
+
+
+class _SumSpec(AggregateSpec):
+    name = "sum"
+    needs_value = True
+
+    def fold(self, values, group_idx, sizes):
+        return np.add.reduceat(values, group_idx).tolist()
+
+    def merge(self, state, partial):
+        return state + partial
+
+
+class _MinSpec(AggregateSpec):
+    name = "min"
+    needs_value = True
+
+    def fold(self, values, group_idx, sizes):
+        return np.minimum.reduceat(values, group_idx).tolist()
+
+    def merge(self, state, partial):
+        return partial if partial < state else state
+
+
+class _MaxSpec(AggregateSpec):
+    name = "max"
+    needs_value = True
+
+    def fold(self, values, group_idx, sizes):
+        return np.maximum.reduceat(values, group_idx).tolist()
+
+    def merge(self, state, partial):
+        return partial if partial > state else state
+
+
+class _AvgSpec(AggregateSpec):
+    name = "avg"
+    needs_value = True
+
+    def fold(self, values, group_idx, sizes):
+        totals = np.add.reduceat(values, group_idx)
+        return list(zip(totals.tolist(), sizes.tolist()))
+
+    def merge(self, state, partial):
+        return (state[0] + partial[0], state[1] + partial[1])
+
+    def result(self, state):
+        total, count = state
+        return total / count if count else None
+
+
+#: Vectorizable aggregates by name, shared by the compiler and the
+#: parallel ``GroupedAggregatePlan``.
+AGGREGATE_SPECS = {
+    spec.name: spec
+    for spec in (_CountSpec(), _SumSpec(), _MinSpec(), _MaxSpec(), _AvgSpec())
+}
+
+
+# ---------------------------------------------------------------------------
+# Windowed kernel state machines.
+# ---------------------------------------------------------------------------
+
+
+class _WindowedKernelBase:
+    """Shared close/forward discipline of ``_WindowedBase`` on kernels.
+
+    A window ``[start, start + window)`` closes when
+    ``start + window - 1 <= T``; the forwarded punctuation is clamped
+    below the earliest still-open window and suppressed unless it
+    advances the output watermark.
+    """
+
+    def __init__(self, window):
+        if window < 1:
+            raise ValueError("window size must be >= 1")
+        self.window = window
+        self.windows = {}
+        self.out_watermark = _NEG_INF
+
+    def _due(self, up_to):
+        window = self.window
+        return sorted(
+            start for start in self.windows
+            if up_to is None or start + window - 1 <= up_to
+        )
+
+    def forward(self, bound):
+        """Clamped output punctuation for input promise ``bound``.
+
+        Returns the timestamp to forward downstream, or ``None`` when
+        the promise would not advance the output watermark (the row
+        operators' suppression rule).
+        """
+        if self.windows:
+            bound = min(bound, min(self.windows) - 1)
+        if bound > self.out_watermark:
+            self.out_watermark = bound
+            return bound
+        return None
+
+
+class GroupedWindowKernel(_WindowedKernelBase):
+    """Vectorized ``(Grouped)WindowAggregate`` over window-aligned rows.
+
+    ``accumulate`` folds one released batch (``starts`` already floored
+    to window starts) into per-``(start, key)`` partial states via one
+    lexsort + ``reduceat``; ``close`` pops due windows and emits
+    ``(start, key, result)`` rows ascending by start then key — exactly
+    the row operators' emission order.  With ``grouped=False`` (or
+    ``keys=None``) every row folds into group key ``0``, replicating the
+    ungrouped ``WindowAggregate``.
+    """
+
+    def __init__(self, window, spec, grouped=True):
+        super().__init__(window)
+        self.spec = spec
+        self.grouped = grouped
+
+    def accumulate(self, starts, keys=None, values=None):
+        if starts.size == 0:
+            return
+        if not self.grouped or keys is None:
+            order = np.argsort(starts, kind="stable")
+            starts = starts[order]
+            keys = None
+            change = np.diff(starts) != 0
+        else:
+            order = np.lexsort((keys, starts))
+            starts = starts[order]
+            keys = keys[order]
+            change = (np.diff(starts) != 0) | (np.diff(keys) != 0)
+        boundaries = np.flatnonzero(change) + 1
+        group_idx = np.concatenate(([0], boundaries))
+        sizes = np.diff(np.append(group_idx, starts.size))
+        vals = values[order] if values is not None else None
+        partials = self.spec.fold(vals, group_idx, sizes)
+        start_list = starts[group_idx].tolist()
+        if keys is None:
+            key_list = [0] * len(start_list)
+        else:
+            key_list = keys[group_idx].tolist()
+        merge = self.spec.merge
+        windows = self.windows
+        for start, key, partial in zip(start_list, key_list, partials):
+            groups = windows.get(start)
+            if groups is None:
+                groups = windows[start] = {}
+            if key in groups:
+                groups[key] = merge(groups[key], partial)
+            else:
+                groups[key] = partial
+
+    def close(self, up_to):
+        """Pop windows due at ``up_to`` (all when ``None``) and return
+        ``(start, key, result)`` rows in emission order."""
+        if not self.windows:
+            return []
+        rows = []
+        result = self.spec.result
+        for start in self._due(up_to):
+            groups = self.windows.pop(start)
+            for key in sorted(groups):
+                rows.append((start, key, result(groups[key])))
+        return rows
+
+    def buffered(self) -> int:
+        return sum(len(groups) for groups in self.windows.values())
+
+
+class WindowTopKKernel(_WindowedKernelBase):
+    """Replicates ``WindowTopK`` over ``(start, key, value)`` rows.
+
+    Consumes the grouped kernel's closed rows (arriving in ascending key
+    order per window, which fixes tie resolution identically to the row
+    operator's stable sort) and keeps a running top-k selection per
+    window with the same ``4k`` trim rule.
+    """
+
+    def __init__(self, window, k):
+        super().__init__(window)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def add(self, start, key, value):
+        rows = self.windows.get(start)
+        if rows is None:
+            rows = self.windows[start] = []
+        rows.append((key, value))
+        if len(rows) > 4 * self.k:
+            rows.sort(key=_row_value, reverse=True)
+            del rows[self.k:]
+
+    def close(self, up_to):
+        """Pop due windows; return their top-k ``(start, key, value)``
+        rows, score-descending with ties in insertion (key) order."""
+        if not self.windows:
+            return []
+        out = []
+        for start in self._due(up_to):
+            rows = self.windows.pop(start)
+            rows.sort(key=_row_value, reverse=True)
+            out.extend(
+                (start, key, value) for key, value in rows[: self.k]
+            )
+        return out
+
+    def buffered(self) -> int:
+        return sum(len(rows) for rows in self.windows.values())
+
+
+def _row_value(row):
+    return row[1]

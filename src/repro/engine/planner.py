@@ -40,10 +40,14 @@ ORDER_INSENSITIVE = frozenset({
 ORDER_SENSITIVE = frozenset({
     "aggregate", "count", "group_aggregate", "top_k", "pattern_match",
     "coalesce", "session_window", "distinct", "group_apply",
-    "snapshot_aggregate",
+    "snapshot_aggregate", "self_join",
 })
 
 _SORT = "sort"
+
+
+def _sync_time_key(event):
+    return event.sync_time
 
 
 @dataclass(frozen=True)
@@ -76,11 +80,25 @@ class QueryPlan:
         step = _Step(method, tuple(args), tuple(sorted(kwargs.items())))
         return QueryPlan(self._steps + (step,))
 
-    def sort(self, sorter=None) -> "QueryPlan":
-        """Place the sorting operator at this point of the plan."""
+    def sort(self, sorter=None, late_policy=None) -> "QueryPlan":
+        """Place the sorting operator at this point of the plan.
+
+        ``sorter`` is an opaque zero-argument factory (forces the row
+        engine); ``late_policy`` configures the default Impatience
+        sorter's late handling and stays compilable.
+        """
         if any(step.method == _SORT for step in self._steps):
             raise QueryBuildError("plan already contains a sort step")
-        return self._append(_SORT, (), {"sorter": sorter} if sorter else {})
+        if sorter is not None and late_policy is not None:
+            raise QueryBuildError(
+                "pass either a sorter factory or a late_policy, not both"
+            )
+        kwargs = {}
+        if sorter:
+            kwargs["sorter"] = sorter
+        if late_policy is not None:
+            kwargs["late_policy"] = late_policy
+        return self._append(_SORT, (), kwargs)
 
     def __getattr__(self, name):
         if name in ORDER_INSENSITIVE or name in ORDER_SENSITIVE:
@@ -101,11 +119,22 @@ class QueryPlan:
         return [step.method for step in self._steps]
 
     def explain(self) -> str:
-        """Human-readable plan listing, marking the sort boundary."""
+        """Human-readable plan listing, marking the sort boundary and
+        naming the execution path the compiler would choose."""
         lines = []
         for step in self._steps:
             marker = ">>" if step.method == _SORT else "  "
             lines.append(f"{marker} {step.method}")
+        try:
+            from repro.engine.compiler import analyze_plan
+
+            path, reason = analyze_plan(self)
+        except QueryBuildError:
+            return "\n".join(lines)
+        if path == "columnar":
+            lines.append("-- path: columnar (fused kernel pipeline)")
+        else:
+            lines.append(f"-- path: row (fallback: {reason})")
         return "\n".join(lines)
 
     # -- optimization ---------------------------------------------------------
@@ -149,8 +178,36 @@ class QueryPlan:
         stream = disordered
         for step in self._steps[:index]:
             stream = step.apply(stream)
-        sorter = dict(self._steps[index].kwargs).get("sorter")
+        sort_kwargs = dict(self._steps[index].kwargs)
+        sorter = sort_kwargs.get("sorter")
+        late_policy = sort_kwargs.get("late_policy")
+        if sorter is None and late_policy is not None:
+            from repro.core.impatience import ImpatienceSorter
+
+            def sorter():
+                return ImpatienceSorter(
+                    key=_sync_time_key, late_policy=late_policy
+                )
+
         stream = stream.to_streamable(sorter=sorter)
         for step in self._steps[index + 1:]:
             stream = step.apply(stream)
         return stream
+
+    def run(self, source, punctuation_frequency=None, reorder_latency=0,
+            engine="auto", batch_size=8192, metrics=None):
+        """Execute the plan over a dataset, raw event list, or ingress
+        ``DisorderedStreamable``; returns a Collector-shaped
+        :class:`~repro.engine.compiler.PlanResult`.
+
+        ``engine`` selects the backend: ``"auto"`` (compile when
+        possible, silent row fallback), ``"columnar"`` (compile or
+        raise), or ``"row"``.
+        """
+        from repro.engine.compiler import execute_plan
+
+        return execute_plan(
+            self, source, punctuation_frequency=punctuation_frequency,
+            reorder_latency=reorder_latency, engine=engine,
+            batch_size=batch_size, metrics=metrics,
+        )

@@ -195,6 +195,16 @@ class Streamable:
         )
         return Streamable(node, self._source)
 
+    def self_join(self, result_selector=None) -> "Streamable":
+        """Temporal equi-join of the stream with itself.
+
+        The single-stream join shape expressible in a ``QueryPlan``
+        (both ports share the source by construction); every pair of
+        same-key events with overlapping intervals matches, including
+        each event with itself.
+        """
+        return self.join(self, result_selector)
+
     def union(self, other: "Streamable") -> "Streamable":
         """Synchronized sorted merge with another ordered stream.
 

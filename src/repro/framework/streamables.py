@@ -114,7 +114,7 @@ class Streamables:
         return Pipeline(sink_nodes)
 
     def run(self, memory_meter=None, metrics=None, supervised=None,
-            parallel=None) -> "StreamablesResult":
+            parallel=None, engine="auto") -> "StreamablesResult":
         """Materialize all outputs into one pipeline and drive the source.
 
         Returns a :class:`StreamablesResult` with per-output collectors,
@@ -142,11 +142,35 @@ class Streamables:
         exclusive with ``supervised`` and ``metrics`` (per-operator
         instrumentation cannot cross the process boundary); the
         assignment and per-worker peaks ride on ``result.parallel``.
+
+        ``engine`` mirrors ``QueryPlan.run``'s engine selector for API
+        uniformity.  A framework run is a multi-output partition network
+        of already-composed operators — there is no ``QueryPlan`` left
+        to compile — so ``"auto"`` and ``"row"`` both execute the row
+        pipeline (``result.engine``/``result.engine_reason`` record the
+        choice) and ``"columnar"`` raises
+        :class:`~repro.core.errors.QueryBuildError`.
         """
+        from repro.core.errors import QueryBuildError
+
+        if engine not in ("auto", "columnar", "row"):
+            raise QueryBuildError(
+                f"engine must be 'auto', 'columnar', or 'row', not "
+                f"{engine!r}"
+            )
+        if engine == "columnar":
+            raise QueryBuildError(
+                "engine='columnar' requested but a Streamables run cannot "
+                "be compiled: the multi-latency partition network is an "
+                "opaque operator DAG (use QueryPlan.run for the fused "
+                "columnar path)"
+            )
+        reason = (
+            "engine='row' requested" if engine == "row"
+            else "framework runs are an opaque operator DAG"
+        )
         meter = MemoryMeter() if memory_meter is None else memory_meter
         if parallel:
-            from repro.core.errors import QueryBuildError
-
             if supervised:
                 raise QueryBuildError(
                     "parallel framework runs cannot be supervised; use "
@@ -157,7 +181,9 @@ class Streamables:
                     "metrics instrument a single-process pipeline; "
                     "parallel runs report result.parallel instead"
                 )
-            return self._run_parallel(int(parallel), meter)
+            result = self._run_parallel(int(parallel), meter)
+            result.engine_reason = reason
+            return result
         clock = {}
         sink_nodes = [
             QueryNode(
@@ -168,10 +194,12 @@ class Streamables:
             for i, stream in enumerate(self._outputs)
         ]
         if supervised:
-            return self._run_supervised(
+            result = self._run_supervised(
                 sink_nodes, clock, meter, metrics,
                 {} if supervised is True else dict(supervised),
             )
+            result.engine_reason = reason
+            return result
         pipeline = Pipeline(sink_nodes)
         # Late-bound: the partition instance exists only after the graph
         # materializes; events flow strictly afterwards.
@@ -185,6 +213,7 @@ class Streamables:
             collectors, partition, meter, self.latencies
         )
         result.metrics = metrics
+        result.engine_reason = reason
         return result
 
     def _run_supervised(self, sink_nodes, clock, meter, metrics, options):
@@ -405,6 +434,11 @@ class StreamablesResult:
         #: per-worker buffering peaks) when ``run(parallel=N)``, else
         #: ``None``.
         self.parallel = None
+        #: execution path — framework runs always execute the row
+        #: operator pipeline (``engine_reason`` says why); mirrors
+        #: ``PlanResult.engine`` / ``PlanResult.reason``.
+        self.engine = "row"
+        self.engine_reason = None
 
     def output_events(self, index):
         """Events emitted on the index-th output, in emission order."""

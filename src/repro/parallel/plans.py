@@ -20,8 +20,10 @@ Two plan families:
 
 :class:`GroupedAggregatePlan`
     Vectorized: a :class:`~repro.core.columnar.ColumnarImpatienceSorter`
-    (timestamps + payload columns, no Event objects) feeding a
-    numpy grouped count/sum kernel that replicates
+    (timestamps + payload columns, no Event objects) feeding the shared
+    :class:`~repro.engine.kernels.GroupedWindowKernel` — any aggregate
+    in :data:`~repro.engine.kernels.AGGREGATE_SPECS`
+    (count/sum/avg/min/max, plus a coordinator-side top-k) — replicating
     ``Sort → TumblingWindow(w) → GroupedWindowAggregate(agg)``
     byte-for-byte — including the window-close rule (``end - 1 <= T``),
     the clamped forwarded punctuation
@@ -43,6 +45,7 @@ from repro.core.columnar import ColumnarImpatienceSorter
 from repro.core.late import LatePolicy
 from repro.engine.batch import EventBatch
 from repro.engine.event import Event, Punctuation, is_punctuation
+from repro.engine.kernels import AGGREGATE_SPECS, GroupedWindowKernel, field
 from repro.engine.graph import Pipeline, QueryNode, source_node
 from repro.engine.operators.base import Operator
 from repro.engine.operators.sort import Sort
@@ -172,14 +175,35 @@ class _RowExecutor:
         }
 
 
-class GroupedAggregatePlan:
-    """Vectorized ``tumbling_window(w) |> group_aggregate(Count()/Sum())``.
+class _TopKFinalize:
+    """Picklable coordinator stage: ``top_k(k)`` over the merged stream."""
 
-    ``agg`` is ``"count"`` or ``"sum"``; for sums, ``value_column`` picks
-    the payload column folded (the row-engine equivalent is
-    ``Sum(lambda p: p[column])``).  ``late_policy`` configures the
+    def __init__(self, k, score_fn=None):
+        self.k = k
+        self.score_fn = score_fn
+
+    def __call__(self, stream):
+        return stream.top_k(self.k, self.score_fn)
+
+
+class GroupedAggregatePlan:
+    """Vectorized ``tumbling_window(w) |> group_aggregate(agg)``.
+
+    ``agg`` is any of :data:`~repro.engine.kernels.AGGREGATE_SPECS`
+    (``"count"``/``"sum"``/``"avg"``/``"min"``/``"max"``) or
+    ``"top-k"``; for value aggregates, ``value_column`` picks the
+    payload column folded (the row-engine equivalent is
+    ``Sum(field(column))``).  ``late_policy`` configures the
     per-shard columnar sorter exactly like the row path's
     ``ImpatienceSorter(late_policy=...)``.
+
+    ``avg`` produces float payloads, so its shards ship row-shaped
+    ``("elements", ...)`` output (the pickle frame path) instead of
+    int64 column batches.  ``"top-k"`` is the non-key-local shape: each
+    shard computes the grouped count and the *coordinator* runs
+    ``top_k(k, score_fn)`` over the exact merged interleaving (the
+    ``finalize`` hook), since a per-window top-k cannot be decided
+    inside one key shard.
 
     ``align`` places the window's timestamp transformation relative to
     the sort: ``"post"`` (default) replicates
@@ -193,10 +217,11 @@ class GroupedAggregatePlan:
     """
 
     def __init__(self, window, agg="count", value_column=0,
-                 late_policy=LatePolicy.DROP, align="post"):
+                 late_policy=LatePolicy.DROP, align="post", k=3,
+                 score_fn=None):
         if window < 1:
             raise ValueError("window size must be >= 1")
-        if agg not in ("count", "sum"):
+        if agg != "top-k" and agg not in AGGREGATE_SPECS:
             raise ValueError(f"unsupported aggregate {agg!r}")
         if align not in ("post", "pre"):
             raise ValueError(f"align must be 'post' or 'pre', not {align!r}")
@@ -205,7 +230,9 @@ class GroupedAggregatePlan:
         self.value_column = value_column
         self.late_policy = late_policy
         self.align = align
-        self.finalize = None
+        # top-k shards run the grouped count; the coordinator finalizes.
+        self.spec = AGGREGATE_SPECS["count" if agg == "top-k" else agg]
+        self.finalize = _TopKFinalize(k, score_fn) if agg == "top-k" else None
 
     def build_executor(self, shard):
         return _GroupedAggregateExecutor(self, shard)
@@ -215,17 +242,20 @@ class GroupedAggregatePlan:
 
         With ``align="pre"`` the reference's windowing stage sits before
         the shard sort instead (see :meth:`reference_pre`): the query
-        here is then just the grouped aggregate.
+        here is then just the grouped aggregate.  For ``"top-k"`` this
+        is the per-shard stage only (grouped count); the coordinator's
+        ``finalize`` supplies the rest.
         """
-        from repro.engine.operators.aggregates import Count, Sum
+        from repro.engine.operators.aggregates import Avg, Count, Max, Min, Sum
 
         window, agg, column = self.window, self.agg, self.value_column
-        if agg == "count":
-            aggregate = lambda s: s.group_aggregate(Count())  # noqa: E731
-        else:
+        if self.spec.needs_value:
+            cls = {"sum": Sum, "avg": Avg, "min": Min, "max": Max}[agg]
             aggregate = lambda s: s.group_aggregate(  # noqa: E731
-                Sum(lambda p: p[column])
+                cls(field(column))
             )
+        else:
+            aggregate = lambda s: s.group_aggregate(Count())  # noqa: E731
         if self.align == "pre":
             return aggregate
         return lambda s: aggregate(s.tumbling_window(window))
@@ -250,9 +280,9 @@ class GroupedAggregatePlan:
 
 class _GroupedAggregateExecutor:
     """State machine replicating Sort → TumblingWindow → GroupedWindow-
-    Aggregate on columns.  ``_windows`` maps window start ->
-    ``{key: value}`` like the operator's per-window group dicts, but is
-    fed by reduceat over lexsorted (start, key) runs instead of
+    Aggregate on columns: a columnar sorter dealing released batches
+    into the shared :class:`GroupedWindowKernel`, which folds lexsorted
+    (start, key) runs via the plan's aggregate spec instead of
     per-event folds."""
 
     _NEG_INF = float("-inf")
@@ -260,12 +290,15 @@ class _GroupedAggregateExecutor:
     def __init__(self, plan, shard):
         self.plan = plan
         self._pre_aligned = plan.align == "pre"
-        columns = 2 if plan.agg == "count" else 3
+        self._spec = plan.spec
+        columns = 3 if self._spec.needs_value else 2
         self._sorter = ColumnarImpatienceSorter(
             late_policy=plan.late_policy, columns=columns
         )
-        self._windows = {}
-        self._out_watermark = self._NEG_INF
+        self._kernel = GroupedWindowKernel(plan.window, self._spec)
+        # avg finalizes to floats, which cannot ride int64 column
+        # batches — those rounds ship row-shaped elements instead.
+        self._row_output = plan.agg == "avg"
         self.events_in = 0
 
     def feed_batch(self, batch):
@@ -274,7 +307,7 @@ class _GroupedAggregateExecutor:
         if self._pre_aligned:
             sync = sync - sync % self.plan.window
         cols = [sync, batch.keys]
-        if self.plan.agg == "sum":
+        if self._spec.needs_value:
             cols.append(batch.payload_columns[self.plan.value_column])
         sync, cols = self._presorted(sync, cols)
         self._sorter.insert_batch(sync, tuple(cols))
@@ -290,7 +323,7 @@ class _GroupedAggregateExecutor:
             (e.key for e in elements), np.int64, len(elements)
         )
         cols = [sync, keys]
-        if self.plan.agg == "sum":
+        if self._spec.needs_value:
             column = self.plan.value_column
             cols.append(np.fromiter(
                 (e.payload[column] for e in elements), np.int64,
@@ -333,57 +366,27 @@ class _GroupedAggregateExecutor:
         sync = cols[0]
         if sync.size == 0:
             return
-        window = self.plan.window
-        starts = sync - sync % window
-        keys = cols[1]
-        if self.plan.agg == "count":
-            values = None
-        else:
-            values = cols[2]
-        order = np.lexsort((keys, starts))
-        starts = starts[order]
-        keys = keys[order]
-        boundaries = np.flatnonzero(
-            (np.diff(starts) != 0) | (np.diff(keys) != 0)
-        ) + 1
-        group_idx = np.concatenate(([0], boundaries))
-        if values is None:
-            counts = np.diff(np.append(group_idx, starts.size))
-            folded = counts
-        else:
-            values = values[order]
-            folded = np.add.reduceat(values, group_idx)
-        for start, key, value in zip(
-            starts[group_idx].tolist(), keys[group_idx].tolist(),
-            folded.tolist(),
-        ):
-            groups = self._windows.get(start)
-            if groups is None:
-                groups = self._windows[start] = {}
-            groups[key] = groups.get(key, 0) + value
+        starts = sync - sync % self.plan.window
+        values = cols[2] if self._spec.needs_value else None
+        self._kernel.accumulate(starts, cols[1], values)
 
-    def _close(self, up_to):
-        """Emit windows with ``end - 1 <= up_to`` (all when ``None``),
-        ascending by start, groups in key order — one output batch."""
-        window = self.plan.window
-        due = sorted(
-            start for start in self._windows
-            if up_to is None or start + window - 1 <= up_to
-        )
-        if not due:
+    def _emit(self, rows):
+        """Package closed ``(start, key, result)`` rows: one columnar
+        batch for int aggregates, row-shaped elements for avg."""
+        if not rows:
             return []
-        starts, keys, values = [], [], []
-        for start in due:
-            groups = self._windows.pop(start)
-            for key in sorted(groups):
-                starts.append(start)
-                keys.append(key)
-                values.append(groups[key])
+        window = self.plan.window
+        if self._row_output:
+            return [("elements", [
+                Event(start, start + window, key, value)
+                for start, key, value in rows
+            ])]
+        starts = np.fromiter((r[0] for r in rows), np.int64, len(rows))
         out = EventBatch(
-            np.array(starts, dtype=np.int64),
-            np.array(starts, dtype=np.int64) + window,
-            np.array(keys, dtype=np.int64),
-            [np.array(values, dtype=np.int64)],
+            starts,
+            starts + window,
+            np.fromiter((r[1] for r in rows), np.int64, len(rows)),
+            [np.fromiter((r[2] for r in rows), np.int64, len(rows))],
         )
         return [("batch", out)]
 
@@ -397,18 +400,15 @@ class _GroupedAggregateExecutor:
         # TumblingWindow aligns the promise to the output time domain.
         next_raw = timestamp + 1
         aligned_bound = next_raw - next_raw % window - 1
-        items = self._close(aligned_bound)
-        bound = aligned_bound
-        if self._windows:
-            bound = min(bound, min(self._windows) - 1)
-        if bound > self._out_watermark:
-            self._out_watermark = bound
+        items = self._emit(self._kernel.close(aligned_bound))
+        bound = self._kernel.forward(aligned_bound)
+        if bound is not None:
             items.append(("punct", bound))
         return items
 
     def feed_flush(self):
         self._accumulate(self._sorter.flush())
-        return self._close(None)
+        return self._emit(self._kernel.close(None))
 
     def stats(self):
         late = self._sorter.late

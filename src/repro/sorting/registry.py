@@ -84,6 +84,12 @@ def make_online_sorter(name, key=None, late_policy=LatePolicy.DROP):
     """
     if name == "impatience":
         return ImpatienceSorter(key=key, late_policy=late_policy)
+    if name == "impatience-binary-place":
+        # Pre-optimization placement search (pure-Python binary search
+        # instead of C bisect over negated tails) — Figure 8 ablation.
+        return ImpatienceSorter(
+            key=key, late_policy=late_policy, placement="binary"
+        )
     if name == "impatience-no-hm":
         return ImpatienceSorter(
             key=key, huffman_merge=False, late_policy=late_policy
@@ -107,6 +113,7 @@ def make_online_sorter(name, key=None, late_policy=LatePolicy.DROP):
 #: Online sorter names accepted by :func:`make_online_sorter`.
 ONLINE_SORTERS = (
     "impatience",
+    "impatience-binary-place",
     "impatience-no-hm",
     "impatience-no-hm-srs",
     "patience",

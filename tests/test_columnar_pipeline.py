@@ -27,6 +27,27 @@ class TestIterBatches:
         with pytest.raises(ValueError):
             list(iter_batches(dataset, 0))
 
+    def test_incremental_ingress_peak_memory(self):
+        """Ingress must columnarize incrementally: the allocation peak
+        while streaming batches stays far below the bytes one
+        whole-dataset columnarization would pin (the old implementation
+        materialized everything up front, doubling peak memory)."""
+        import tracemalloc
+
+        dataset = generate_synthetic(50_000, seed=3)
+        n_cols = len(dataset.payloads[0])
+        full_bytes = (3 + n_cols) * 8 * len(dataset)
+        tracemalloc.start()
+        try:
+            total = 0
+            for batch in iter_batches(dataset, 1024):
+                total += len(batch)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert total == len(dataset)
+        assert peak < full_bytes // 2
+
 
 class TestWindowedCountState:
     def test_merges_boundary_window_across_feeds(self):

@@ -1,0 +1,270 @@
+"""Tests for the fused columnar query compiler (repro.engine.compiler).
+
+The differential half — byte-identical output versus the row engine over
+random plans — lives in ``tests/test_fuzz_queries.py``; this module pins
+down the compiler's *surface*: which shapes compile, the fallback
+reasons, the ``explain()`` path line, the :class:`PlanResult` API, the
+per-kernel snapshot schema, and the push-down effects that must be
+visible in the sorter's statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import QueryBuildError
+from repro.core.late import LatePolicy
+from repro.engine import DisorderedStreamable, QueryPlan
+from repro.engine.compiler import (
+    UnsupportedPlanError,
+    analyze_plan,
+    compile_plan,
+    execute_plan,
+)
+from repro.engine.event import Event
+from repro.engine.kernels import field, key_field
+from repro.engine.operators.aggregates import Avg, Count, Max, Min, Sum
+from repro.observability.snapshot import PipelineSnapshot
+
+
+def _events(n=400, seed=11, keys=5, spread=300):
+    rng = random.Random(seed)
+    return [
+        Event(rng.randrange(spread), key=rng.randrange(keys),
+              payload=(rng.randrange(50), rng.randrange(9)))
+        for _ in range(n)
+    ]
+
+
+def _plan():
+    return (
+        QueryPlan()
+        .where(field(0) > 5)
+        .tumbling_window(16)
+        .sort()
+        .group_aggregate(Sum(field(1)))
+    )
+
+
+class TestCompileSurface:
+    def test_supported_shapes_compile(self):
+        plans = [
+            QueryPlan().tumbling_window(8).sort().count(),
+            QueryPlan().hopping_window(32, 16).sort().aggregate(Avg(field(0))),
+            (QueryPlan().where(key_field() < 3).select_columns((1,))
+             .tumbling_window(8).sort().aggregate(Min(field(0)))),
+            (QueryPlan().tumbling_window(8).sort()
+             .group_aggregate(Max(field(1)), key_field()).top_k(2)),
+        ]
+        for plan in plans:
+            path, reason = analyze_plan(plan)
+            assert (path, reason) == ("columnar", None)
+
+    def test_describe_lists_kernel_stages(self):
+        compiled = compile_plan(
+            QueryPlan().where(field(0) > 5).tumbling_window(16)
+            .sort(late_policy=LatePolicy.ADJUST)
+            .group_aggregate(Count()).top_k(3)
+        )
+        assert compiled.describe() == [
+            "where[field(0) > 5]",
+            "tumbling_window[16]",
+            "columnar_sort[ADJUST]",
+            "group_aggregate[count]",
+            "top_k[3]",
+        ]
+
+    @pytest.mark.parametrize("build, fragment", [
+        (lambda: (QueryPlan().where(lambda e: True).tumbling_window(8)
+                  .sort().count()),
+         "opaque Python callable"),
+        (lambda: (QueryPlan().select(lambda p: p).tumbling_window(8)
+                  .sort().count()),
+         "opaque Python callable"),
+        (lambda: (QueryPlan().tumbling_window(8).sort(sorter=lambda: None)
+                  .count()),
+         "custom sorter factory"),
+        (lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
+         "tie-order sensitive"),
+        (lambda: QueryPlan().tumbling_window(8).sort().session_window(16),
+         "not vectorized"),
+        (lambda: (QueryPlan().sort().select_columns((0,))
+                  .tumbling_window(8).count()),
+         "runs above the sort"),
+        (lambda: QueryPlan().tumbling_window(8).sort().self_join(),
+         "not vectorized"),
+        (lambda: QueryPlan().tumbling_window(8).sort(),
+         "no windowed aggregate terminal"),
+        (lambda: QueryPlan().sort().count(),
+         "need a tumbling/hopping window"),
+        (lambda: (QueryPlan().tumbling_window(8).sort()
+                  .aggregate(Sum(lambda p: p[0]))),
+         "opaque Python callable"),
+        (lambda: (QueryPlan().tumbling_window(8).sort()
+                  .group_aggregate(Count(), lambda e: e.key)),
+         "key_fn is an opaque Python callable"),
+        (lambda: (QueryPlan().tumbling_window(8).sort()
+                  .group_aggregate(Count()).top_k(2, lambda e: e.payload)),
+         "score_fn is an opaque Python callable"),
+        (lambda: (QueryPlan().tumbling_window(8).sort()
+                  .group_aggregate(Count()).coalesce()),
+         "after the aggregate"),
+    ], ids=[
+        "lambda-where", "lambda-select", "custom-sorter", "raw-top-k",
+        "session-window", "above-sort", "self-join", "no-terminal",
+        "no-window",
+        "lambda-selector", "lambda-key-fn", "lambda-score-fn",
+        "post-aggregate-stage",
+    ])
+    def test_fallback_reasons(self, build, fragment):
+        with pytest.raises(UnsupportedPlanError) as info:
+            compile_plan(build())
+        assert fragment in info.value.reason
+
+    def test_as_written_plans_are_not_hoisted(self):
+        """Operator placement relative to the sort is semantics: a plan
+        written with the window *above* the sort falls back (with a hint)
+        rather than being silently pushed down; its ``optimized()`` form
+        compiles."""
+        naive = QueryPlan().sort().tumbling_window(8).count()
+        path, reason = analyze_plan(naive)
+        assert path == "row"
+        assert "apply plan.optimized()" in reason
+        assert analyze_plan(naive.optimized()) == ("columnar", None)
+
+    def test_explain_names_the_chosen_path(self):
+        assert "-- path: columnar (fused kernel pipeline)" in _plan().explain()
+        fallback = QueryPlan().tumbling_window(8).sort().session_window(16)
+        assert "-- path: row (fallback:" in fallback.explain()
+        assert "session_window" in fallback.explain()
+
+
+class TestExecution:
+    def test_plan_result_surface(self):
+        result = _plan().run(_events(), 32, 40)
+        assert result.engine == "columnar"
+        assert result.reason is None
+        assert result.completed
+        assert len(result) == len(result.events)
+        assert result.sync_times == [e.sync_time for e in result.events]
+        assert result.payloads == [e.payload for e in result.events]
+        assert result.sync_times == sorted(result.sync_times)
+
+    def test_engine_row_records_reason(self):
+        result = _plan().run(_events(), 32, 40, engine="row")
+        assert result.engine == "row"
+        assert result.reason == "engine='row' requested"
+
+    def test_columnar_engine_raises_with_reason(self):
+        plan = QueryPlan().tumbling_window(8).sort().coalesce()
+        with pytest.raises(QueryBuildError, match="cannot be compiled"):
+            plan.run(_events(40), 8, 0, engine="columnar")
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(QueryBuildError, match="engine must be"):
+            _plan().run(_events(10), 8, 0, engine="vectorized")
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            _plan().run(_events(10), 8, 0, batch_size=0)
+
+    def test_streamable_source_compiles(self):
+        events = _events()
+        stream = DisorderedStreamable.from_events(events, 32, 40)
+        result = _plan().run(stream)
+        assert result.engine == "columnar"
+        row = _plan().run(list(events), 32, 40, engine="row")
+        assert result.events == row.events
+        assert result.punctuations == row.punctuations
+
+    def test_derived_streamable_falls_back(self):
+        stream = DisorderedStreamable.from_events(
+            _events(), 32, 40
+        ).tumbling_window(8)
+        plan = QueryPlan().sort().count()
+        result = execute_plan(plan, stream)
+        assert result.engine == "row"
+        assert "columnar ingress" in result.reason
+
+    def test_non_integer_payloads_fall_back(self):
+        events = [Event(t, key=0, payload=(str(t),)) for t in range(20)]
+        plan = QueryPlan().tumbling_window(8).sort().count()
+        result = plan.run(events, 8, 0)
+        assert result.engine == "row"
+        assert "integer" in result.reason
+
+    def test_batch_size_does_not_change_results(self):
+        events = _events(seed=23)
+        baseline = _plan().run(events, 32, 40, batch_size=8192)
+        for batch_size in (1, 7, 64):
+            result = _plan().run(events, 32, 40, batch_size=batch_size)
+            assert result.events == baseline.events
+            assert result.punctuations == baseline.punctuations
+
+
+class TestSnapshot:
+    def test_per_kernel_snapshot_schema(self):
+        plan = (
+            QueryPlan().where(field(0) > 5).tumbling_window(16).sort()
+            .group_aggregate(Count()).top_k(2)
+        )
+        result = plan.run(_events(), 32, 40)
+        snap = result.snapshot()
+        assert isinstance(snap, PipelineSnapshot)
+        names = [op["name"] for op in snap.operators]
+        assert names == [
+            "ingress", "where", "window", "sort", "group_aggregate", "top_k",
+        ]
+        for op in snap.operators:
+            kernel = op["kernel"]
+            assert kernel["batches"] >= 1
+            assert kernel["ns_per_event"] >= 0.0
+            assert op["events"]["in"] >= op["events"]["out"] >= 0
+        meta = snap.as_dict()["meta"]
+        assert meta["engine"] == "columnar"
+        assert meta["kernels"][0].startswith("where[")
+
+    def test_sort_operator_carries_sorter_stats(self):
+        result = _plan().run(_events(), 32, 40)
+        doc = result.snapshot().operator("sort")
+        assert doc["sorter"]["runs_created"] >= 1
+        assert doc["late"]["policy"] == "DROP"
+
+    def test_predicate_push_down_shrinks_sorted_volume(self):
+        """The where() bitmap runs below the sort: the sort kernel must
+        see only the surviving rows, not the raw stream."""
+        events = _events(n=600)
+        result = _plan().run(events, 32, 40)
+        survivors = sum(1 for e in events if e.payload[0] > 5)
+        sort_doc = result.snapshot().operator("sort")
+        assert sort_doc["events"]["in"] == survivors < len(events)
+
+    def test_window_push_down_reduces_sorter_runs(self):
+        """Window alignment below the sort coarsens timestamps, so the
+        sorter partitions the same stream into far fewer runs — the §IV
+        sort-as-needed effect, visible in SorterStats."""
+        events = _events(n=2000, spread=5000)
+
+        def runs_for(window):
+            plan = QueryPlan().tumbling_window(window).sort().count()
+            result = plan.run(events, 64, 0)
+            return result.snapshot().operator("sort")["sorter"]["runs_created"]
+
+        assert runs_for(512) < runs_for(1)
+
+    def test_row_fallback_snapshot_keeps_reason(self):
+        from repro.observability.registry import MetricsRegistry
+
+        plan = QueryPlan().tumbling_window(8).sort().session_window(16)
+        registry = MetricsRegistry()
+        result = plan.run(_events(100), 16, 20, metrics=registry)
+        assert result.engine == "row"
+        meta = result.snapshot().as_dict()["meta"]
+        assert meta["engine"] == "row"
+        assert "session_window" in meta["engine_reason"]
+
+    def test_row_run_without_registry_has_no_snapshot(self):
+        result = _plan().run(_events(50), 16, 20, engine="row")
+        assert result.snapshot() is None

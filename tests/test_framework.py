@@ -45,6 +45,34 @@ class TestConstruction:
         assert len(list(iter(streamables))) == 3
 
 
+class TestEngineSelector:
+    """``Streamables.run(engine=...)`` mirrors ``QueryPlan.run``'s
+    selector: framework runs always execute the row pipeline and say so;
+    ``columnar`` is an explicit, loud error."""
+
+    def test_run_records_row_engine_and_reason(self, cloudlog_small):
+        query = make_query("Q1")
+        result = build(cloudlog_small, query).run()
+        assert result.engine == "row"
+        assert "opaque operator DAG" in result.engine_reason
+
+    def test_engine_row_is_accepted(self, cloudlog_small):
+        query = make_query("Q1")
+        result = build(cloudlog_small, query).run(engine="row")
+        assert result.engine == "row"
+        assert result.engine_reason == "engine='row' requested"
+
+    def test_engine_columnar_raises(self, cloudlog_small):
+        query = make_query("Q1")
+        with pytest.raises(QueryBuildError, match="cannot be compiled"):
+            build(cloudlog_small, query).run(engine="columnar")
+
+    def test_rejects_unknown_engine(self, cloudlog_small):
+        query = make_query("Q1")
+        with pytest.raises(QueryBuildError, match="engine must be"):
+            build(cloudlog_small, query).run(engine="fused")
+
+
 class TestSemantics:
     @pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.name)
     def test_advanced_final_output_matches_ground_truth(

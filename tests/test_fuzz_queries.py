@@ -8,16 +8,26 @@ invariants that every legal query must satisfy:
 * no output event arrives at or below a previously emitted punctuation;
 * the pipeline always completes (flush reaches the sink);
 * buffered memory returns to zero after the flush.
+
+``TestRowVsCompiled`` is the differential half: random *plans* run
+through ``QueryPlan.run`` on both the row engine and the fused columnar
+compiler and must be byte-identical — including late-policy effects,
+punctuation streams, and raised errors — while non-compilable plans
+must silently fall back to the row engine with identical output.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import DisorderedStreamable
+from repro.core.errors import LateEventError
+from repro.core.late import LatePolicy
+from repro.engine import DisorderedStreamable, QueryPlan
 from repro.engine.event import Event
-from repro.engine.operators.aggregates import Count, Sum
+from repro.engine.kernels import field, key_field, sync_field
+from repro.engine.operators.aggregates import Avg, Count, Max, Min, Sum
 
 # -- stage pool -------------------------------------------------------------
 
@@ -161,3 +171,198 @@ class TestRandomQueries:
             stream = stage(stream)
         result = stream.to_streamable().collect()
         assert len(result.events) == len(times)
+
+
+# -- row vs compiled differential fuzz --------------------------------------
+
+
+def _p_where_payload(plan):
+    return plan.where(field(0) > 10)
+
+
+def _p_where_key(plan):
+    return plan.where(key_field() < 4)
+
+
+def _p_where_sync(plan):
+    return plan.where(sync_field() % 2 == 0)
+
+
+def _p_project(plan):
+    return plan.select_columns((0, 1))
+
+
+PLAN_PRE = st.lists(
+    st.sampled_from([
+        _p_where_payload, _p_where_key, _p_where_sync, _p_project,
+    ]),
+    max_size=2,
+)
+
+
+def _w_tumbling_small(plan):
+    return plan.tumbling_window(8)
+
+
+def _w_tumbling_large(plan):
+    return plan.tumbling_window(64)
+
+
+def _w_hopping(plan):
+    return plan.hopping_window(32, 16)
+
+
+PLAN_WINDOW = st.sampled_from(
+    [_w_tumbling_small, _w_tumbling_large, _w_hopping]
+)
+
+
+def _t_count(plan):
+    return plan.count()
+
+
+def _t_sum(plan):
+    return plan.aggregate(Sum(field(0)))
+
+
+def _t_min(plan):
+    return plan.aggregate(Min(field(0)))
+
+
+def _t_max(plan):
+    return plan.aggregate(Max(field(1)))
+
+
+def _t_avg(plan):
+    return plan.aggregate(Avg(field(0)))
+
+
+def _t_group_count(plan):
+    return plan.group_aggregate(Count())
+
+
+def _t_group_sum(plan):
+    return plan.group_aggregate(Sum(field(0)))
+
+
+def _t_group_avg(plan):
+    return plan.group_aggregate(Avg(field(1)))
+
+
+def _t_group_top(plan):
+    return plan.group_aggregate(Count()).top_k(2)
+
+
+PLAN_TERMINAL = st.sampled_from([
+    _t_count, _t_sum, _t_min, _t_max, _t_avg,
+    _t_group_count, _t_group_sum, _t_group_avg, _t_group_top,
+])
+
+PLAN_POLICY = st.sampled_from(
+    [LatePolicy.DROP, LatePolicy.ADJUST, LatePolicy.RAISE]
+)
+
+
+def _first_small(event):
+    return event.payload[0] < 10
+
+
+def _then_big(event):
+    return event.payload[0] >= 40
+
+
+def _opaque_where(event):
+    return event.key < 4
+
+
+class TestRowVsCompiled:
+    """Differential fuzz: ``engine="row"`` versus ``engine="auto"``.
+
+    Every compilable plan shape must produce byte-identical events and
+    punctuations on both engines (and genuinely take the columnar
+    path); RAISE plans must raise the identical ``LateEventError`` on
+    both; non-compilable shapes must fall back to the row engine —
+    silently under ``auto`` — with identical output.
+    """
+
+    @given(
+        STREAMS,
+        PLAN_PRE,
+        PLAN_WINDOW,
+        PLAN_TERMINAL,
+        PLAN_POLICY,
+        st.integers(5, 60),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_compiled_matches_row(self, times, pre, window, terminal,
+                                  policy, frequency, latency):
+        events = [
+            Event(t, t + 1, key=t % 6, payload=(t % 50, t % 9))
+            for t in times
+        ]
+        plan = QueryPlan()
+        for stage in pre:
+            plan = stage(plan)
+        plan = terminal(window(plan).sort(late_policy=policy))
+        outcomes = []
+        for engine in ("row", "auto"):
+            try:
+                result = plan.run(
+                    list(events), frequency, latency, engine=engine
+                )
+                outcomes.append((
+                    "ok", result.events, result.punctuations, result.engine
+                ))
+            except LateEventError as exc:
+                outcomes.append(("late", exc.args))
+        assert outcomes[0][0] == outcomes[1][0]
+        if outcomes[0][0] == "ok":
+            assert outcomes[0][1] == outcomes[1][1]  # events
+            assert outcomes[0][2] == outcomes[1][2]  # punctuations
+            assert outcomes[0][3] == "row"
+            assert outcomes[1][3] == "columnar"
+        else:
+            assert outcomes[0][1] == outcomes[1][1]  # identical error
+
+    @pytest.mark.parametrize("build", [
+        lambda: (QueryPlan().where(_opaque_where).tumbling_window(8)
+                 .sort().count()),
+        lambda: (QueryPlan().select(lambda p: (p[0],)).tumbling_window(8)
+                 .sort().count()),
+        lambda: QueryPlan().sort().self_join(),
+        lambda: (QueryPlan().sort()
+                 .pattern_match(_first_small, _then_big, 16)),
+        lambda: QueryPlan().sort().session_window(16),
+        lambda: QueryPlan().tumbling_window(8).sort().coalesce(),
+        lambda: (QueryPlan().tumbling_window(8)
+                 .sort(sorter=lambda: None).count()),
+        lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
+    ], ids=[
+        "lambda-where", "lambda-select", "self-join", "pattern-match",
+        "session-window", "coalesce", "custom-sorter", "raw-top-k",
+    ])
+    def test_fallback_plans_identical(self, build):
+        import random
+
+        rng = random.Random(17)
+        events = [
+            Event(rng.randrange(200), key=rng.randrange(5),
+                  payload=(rng.randrange(50), rng.randrange(9)))
+            for _ in range(400)
+        ]
+        plan = build()
+        row = plan.run(list(events), 32, 40, engine="row")
+        auto = plan.run(list(events), 32, 40, engine="auto")
+        assert auto.engine == "row"
+        assert auto.reason
+        assert row.events == auto.events
+        assert row.punctuations == auto.punctuations
+        assert "-- path: row (fallback:" in plan.explain()
+
+    def test_columnar_engine_refuses_uncompilable_plan(self):
+        from repro.core.errors import QueryBuildError
+
+        plan = QueryPlan().sort().session_window(16)
+        with pytest.raises(QueryBuildError, match="cannot be compiled"):
+            plan.run([Event(1)], 4, 0, engine="columnar")

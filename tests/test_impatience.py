@@ -117,6 +117,55 @@ class TestIncrementalCorrectness:
         assert all(out == outs[0] for out in outs)
 
 
+class TestPlacement:
+    """The C-bisect placement fast path must be observationally identical
+    to the pure-Python binary search it replaces — same outputs, same
+    run structure, same search accounting, same Proposition bounds."""
+
+    @given(st.lists(st.integers(0, 300), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_bisect_matches_binary_placement(self, data):
+        results = []
+        for placement in ("bisect", "binary"):
+            sorter = ImpatienceSorter(placement=placement)
+            sorter.extend(data)
+            out = sorter.on_punctuation(150)
+            out += sorter.flush()
+            results.append((
+                out,
+                sorter.stats.binary_searches,
+                sorter.stats.srs_hits,
+                sorter.stats.runs_created,
+            ))
+        assert results[0] == results[1]
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_propositions_hold_under_bisect(self, data):
+        """Run-count bounds of Propositions 3.2/3.3 survive the new
+        placement search (3.1 is covered by test_patience.py, whose
+        sorter also defaults to bisect placement)."""
+        from repro.metrics.disorder import count_natural_runs
+
+        sorter = ImpatienceSorter(placement="bisect")
+        sorter.extend(data)
+        k = sorter.run_count
+        assert k <= len(set(data))
+        assert k <= count_natural_runs(data)
+        sorter._pool.check_invariants()
+
+    def test_non_negatable_keys_demote_gracefully(self):
+        data = [("b", 2), ("a", 1), ("d", 3), ("c", 0)]
+        sorter = ImpatienceSorter(key=lambda p: p[0], placement="bisect")
+        sorter.extend(data)
+        assert sorter.flush() == sorted(data, key=lambda p: p[0])
+        assert sorter._pool.neg_tails is None
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            ImpatienceSorter(placement="linear")
+
+
 class TestLatePolicies:
     def test_drop_policy_counts(self):
         sorter = ImpatienceSorter(late_policy=LatePolicy.DROP)

@@ -272,8 +272,11 @@ class TestEquivalence:
         _assert_identical(result, reference, f"row w={workers}")
 
     @pytest.mark.parametrize("policy", [LatePolicy.DROP, LatePolicy.ADJUST])
-    @pytest.mark.parametrize("agg", ["count", "sum"])
+    @pytest.mark.parametrize("agg", ["count", "sum", "avg", "min", "max"])
     def test_late_policies_and_aggregates(self, policy, agg):
+        from repro.engine.kernels import field
+        from repro.engine.operators.aggregates import Avg, Max, Min
+
         elements = disordered_elements(
             seed=23, n=600, lag=10, payload=lambda t, k: (t % 9, 1)
         )
@@ -281,11 +284,12 @@ class TestEquivalence:
             query = grouped_count
             plan = GroupedAggregatePlan(10, late_policy=policy)
         else:
+            cls = {"sum": Sum, "avg": Avg, "min": Min, "max": Max}[agg]
             query = lambda s: s.tumbling_window(10).group_aggregate(  # noqa: E731
-                Sum(lambda p: p[0])
+                cls(field(0))
             )
             plan = GroupedAggregatePlan(
-                10, agg="sum", value_column=0, late_policy=policy
+                10, agg=agg, value_column=0, late_policy=policy
             )
         sorter = lambda: ImpatienceSorter(  # noqa: E731
             key=_sync, late_policy=policy
@@ -303,6 +307,42 @@ class TestEquivalence:
             assert sum(
                 s["late_adjusted"] for s in result.parallel["shards"]
             ) > 0
+
+    def test_avg_payloads_are_row_engine_floats(self):
+        elements = disordered_elements(
+            seed=29, n=400, lag=30, payload=lambda t, k: (t % 7, 1)
+        )
+        result = run_parallel(
+            list(elements), GroupedAggregatePlan(10, agg="avg"), 2,
+            batch_size=64,
+        )
+        assert result.events
+        assert all(isinstance(e.payload, float) for e in result.events)
+
+    def test_top_k_plan_finalizes_on_coordinator(self):
+        """agg='top-k' wires the grouped count through a coordinator-side
+        WindowTopK; matches the unsharded single-process plan."""
+        elements = disordered_elements(seed=4, n=600, lag=40)
+        # Tie-free scores (see test_finalize_runs_on_coordinator).
+        score = lambda e: (e.payload, e.key)  # noqa: E731
+        single = (
+            Streamable.from_elements(
+                sorted(
+                    (e for e in elements if isinstance(e, Event)),
+                    key=_sync,
+                )
+            )
+            .tumbling_window(10).group_aggregate(Count()).top_k(3, score)
+            .collect()
+        )
+        plan = GroupedAggregatePlan(10, agg="top-k", k=3, score_fn=score)
+        result = run_parallel(list(elements), plan, 3, batch_size=64)
+        assert sorted(map(_key, result.events)) == \
+            sorted(map(_key, single.events))
+
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(ValueError, match="unsupported aggregate"):
+            GroupedAggregatePlan(10, agg="median")
 
     def test_session_window_row_plan(self):
         query = lambda s: s.session_window(15)  # noqa: E731
