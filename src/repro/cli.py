@@ -13,7 +13,9 @@ Commands
                 columnar pipeline when possible); ``--metrics-out``
                 exports the observability JSON document.  ``--chaos`` /
                 ``--supervised`` run it under the fault-tolerant
-                supervisor with seeded fault injection.
+                supervisor with seeded fault injection;
+                ``--memory-budget`` bounds the sorter's resident buffer
+                by spilling cold sorted runs to disk.
 
 Errors from unreadable or malformed inputs exit with status 2 and a
 one-line ``error: <kind>: <detail>`` on stderr — never a traceback.
@@ -206,6 +208,26 @@ def _cmd_run(args):
     from repro.observability import MetricsRegistry
     from repro.bench.reporting import format_metrics_summary
 
+    memory_budget = None
+    if args.memory_budget is not None:
+        from repro.sorting.external import parse_memory_budget
+
+        if args.supervised or args.chaos:
+            print("error: QueryBuildError: --memory-budget runs the "
+                  "bounded-memory engine path; it cannot be combined with "
+                  "--supervised/--chaos (checkpoint budgeted sorters via "
+                  "resilience.SorterSupervisor)", file=sys.stderr)
+            return 2
+        if args.parallel:
+            print("error: QueryBuildError: --memory-budget bounds the "
+                  "single-process sorter; with --parallel each shard "
+                  "buffers independently", file=sys.stderr)
+            return 2
+        try:
+            memory_budget = parse_memory_budget(args.memory_budget)
+        except ValueError as exc:
+            print(f"error: ValueError: {exc}", file=sys.stderr)
+            return 2
     dataset = _load(args)
     latency = (
         args.latency if args.latency is not None
@@ -252,13 +274,24 @@ def _cmd_run(args):
         snapshot = None
     else:
         plan = _single_plan(args.query, window)
-        result = plan.run(disordered, engine=args.engine, metrics=registry)
+        result = plan.run(disordered, engine=args.engine, metrics=registry,
+                          memory_budget=memory_budget)
         elapsed = time.perf_counter() - start
         n_results = len(result)
         if result.engine == "columnar":
             engine_line = "engine: columnar (fused kernel pipeline)"
         else:
             engine_line = f"engine: row ({result.reason})"
+        if result.spill is not None:
+            spill = result.spill
+            engine_line += (
+                f"\nspill: budget {spill['budget_bytes']:,} B, "
+                f"{spill['runs_spilled']} runs spilled "
+                f"({spill['bytes_written']:,} B written / "
+                f"{spill['bytes_read']:,} B read), "
+                f"merge fan-in <= {spill['max_merge_fan_in']}, "
+                f"peak buffered {spill['peak_buffered_bytes']:,} B"
+            )
         snapshot = result.snapshot(meta={
             "query": args.query,
             "dataset": dataset.name,
@@ -483,6 +516,10 @@ def main(argv=None) -> int:
                         "columnar pipeline when possible (default), "
                         "'columnar' fails if the plan cannot compile, "
                         "'row' forces the operator DAG")
+    p.add_argument("--memory-budget", default=None, metavar="BYTES",
+                   help="bound the sorter's resident buffer (bytes, or "
+                        "'64MB'); cold sorted runs spill to disk and the "
+                        "output stays byte-identical")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the metrics JSON export here")
     p.add_argument("--parallel", type=int, default=None, metavar="N",

@@ -10,6 +10,7 @@ from repro.core.errors import (
     QueryBuildError,
     ReplayDivergenceError,
     ReproError,
+    SpillCorruptionError,
     SupervisionExhaustedError,
 )
 from repro.core.columnar import ColumnarImpatienceSorter
@@ -36,6 +37,7 @@ __all__ = [
     "LateEventError",
     "MalformedEventError",
     "ReplayDivergenceError",
+    "SpillCorruptionError",
     "SupervisionExhaustedError",
     "LateEventTracker",
     "LatePolicy",

@@ -117,6 +117,34 @@ class SupervisionExhaustedError(ReproError):
     """
 
 
+class SpillCorruptionError(ReproError, OSError):
+    """A spilled run file on disk is corrupt, truncated, or unreadable.
+
+    Carries the offending file path and the byte offset of the bad
+    block so operators (and humans) can locate the damage.  Like
+    :class:`WorkerCrashError` this failure is environmental rather than
+    semantic — transient read corruption is restartable under the
+    sorter supervisor (the file on disk may be fine even when a read
+    was mangled in flight), while persistent corruption exhausts the
+    restart budget and surfaces as
+    :class:`SupervisionExhaustedError` with this error as the cause.
+    Never a silent wrong answer: every spilled block is CRC-checked on
+    the way back in.
+    """
+
+    def __init__(self, path, offset, detail=""):
+        message = f"spill file {path} corrupt at byte offset {offset}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.path = str(path)
+        self.offset = int(offset)
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.offset, self.detail))
+
+
 class WorkerCrashError(ReproError):
     """A parallel shard worker process died mid-stream.
 

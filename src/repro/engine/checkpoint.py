@@ -17,37 +17,64 @@ Checkpointing is side-effect-free: the staged ingress batch is captured
 as-is (format 2's ``pending`` field) rather than being force-partitioned
 into the run pool, so taking a checkpoint never changes the live
 sorter's subsequent behaviour or its run statistics.
+
+Bounded-memory sorters
+(:class:`~repro.sorting.external.ExternalImpatienceSorter`, keyless)
+checkpoint as **format 3**: the in-memory chunks and pending batch are
+captured by value, while spilled runs are captured *by reference* — each
+run file is hard-linked (copied when linking fails) into a
+checkpoint-owned spill directory, pinning the immutable byte prefix
+``[0, length)`` the run had at capture time.  Restore copies that prefix
+into the restored sorter's own directory, so any number of restores from
+one checkpoint are independent and the original sorter's cleanup cannot
+invalidate the checkpoint.  Format-3 checkpoints therefore hold a live
+directory handle and are in-process objects, not JSON documents; call
+:func:`release_checkpoint` (or drop the last reference) when done.
 """
 
 from __future__ import annotations
+
+import os
+import shutil
 
 from repro.core.errors import CheckpointError
 from repro.core.impatience import ImpatienceSorter
 from repro.core.late import LatePolicy
 from repro.core.runs import SortedRun
 
-__all__ = ["checkpoint_sorter", "restore_sorter"]
+__all__ = ["checkpoint_sorter", "release_checkpoint", "restore_sorter"]
 
-#: Current checkpoint format.  Format 1 (no ``pending`` field; the
+#: Current checkpoint formats.  Format 1 (no ``pending`` field; the
 #: ingress batch was flushed into the runs before capture) restores
-#: transparently.
+#: transparently; format 3 is the bounded-memory external sorter's
+#: spill-referencing checkpoint.
 _FORMAT = 2
-_ACCEPTED_FORMATS = (1, 2)
+_FORMAT_EXTERNAL = 3
+_ACCEPTED_FORMATS = (1, 2, 3)
+
+_KEYED_MESSAGE = (
+    "only keyless sorters are checkpointable; checkpoint raw "
+    "events at ingress for keyed sorters"
+)
 
 
-def checkpoint_sorter(sorter: ImpatienceSorter) -> dict:
-    """Snapshot an ImpatienceSorter's durable state as a plain dict.
+def checkpoint_sorter(sorter) -> dict:
+    """Snapshot a sorter's durable state as a plain dict.
 
     Captures the live runs (head-compacted), the pending ingress batch,
     the watermark, and the late-policy configuration.  Statistics are
     intentionally excluded — they are observability, not state.  The
-    live sorter is not mutated.
+    live sorter is not mutated.  An
+    :class:`~repro.sorting.external.ExternalImpatienceSorter` produces
+    a format-3 checkpoint referencing its spilled run files (see the
+    module docstring).
     """
+    from repro.sorting.external import ExternalImpatienceSorter
+
+    if isinstance(sorter, ExternalImpatienceSorter):
+        return _checkpoint_external(sorter)
     if sorter.key is not None:
-        raise CheckpointError(
-            "only keyless sorters are checkpointable; checkpoint raw "
-            "events at ingress for keyed sorters"
-        )
+        raise CheckpointError(_KEYED_MESSAGE)
     runs = [run.live()[0] for run in sorter._pool.runs]
     watermark = sorter.watermark
     return {
@@ -72,6 +99,8 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
         raise CheckpointError(
             f"unsupported checkpoint format {state.get('format')!r}"
         )
+    if state["format"] == _FORMAT_EXTERNAL:
+        return _restore_external(state)
     sorter = ImpatienceSorter(
         huffman_merge=state["huffman_merge"],
         # Pre-"merge" checkpoints only knew huffman/pairwise.
@@ -111,3 +140,145 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
     sorter.stats.inserted += len(pending)
     sorter.stats.note_buffered()
     return sorter
+
+
+# -- format 3: bounded-memory external sorter ---------------------------
+
+
+def _checkpoint_external(sorter) -> dict:
+    """Format-3 checkpoint: chunks by value, spilled runs by reference."""
+    from repro.sorting.external import SpillDirectory
+
+    if sorter.keyed:
+        raise CheckpointError(_KEYED_MESSAGE)
+    pool = sorter.pool
+    directory = SpillDirectory()
+    runs = []
+    for run in pool.runs:
+        pinned = directory.file_path(run.name)
+        try:
+            # Hard-linking pins the immutable prefix [0, length) for
+            # free: later appends grow the shared inode past `length`,
+            # which restore never reads.
+            os.link(run.path, pinned)
+        except OSError:
+            shutil.copyfile(run.path, pinned)
+        runs.append({
+            "name": run.name,
+            "length": run.length,
+            "read_offset": run.read_offset,
+            "row_skip": run.row_skip,
+            "tail_key": run.tail_key,
+            "closed": run.closed,
+            "rows": run.rows,
+        })
+    watermark = sorter.watermark
+    return {
+        "format": _FORMAT_EXTERNAL,
+        "external": {
+            "budget": pool.budget,
+            "directory": directory,
+            "runs": runs,
+            "run_seq": pool._run_seq,
+            "chunks": [
+                keys.tolist() for keys, _cols, _objs in pool._chunks
+            ],
+        },
+        "pending": list(sorter._pending_keys),
+        "watermark": None if watermark == float("-inf") else watermark,
+        "late_policy": sorter.late.policy.value,
+    }
+
+
+def _restore_external(state):
+    """Rebuild an external sorter from a format-3 checkpoint.
+
+    Every referenced run prefix is *copied* into the restored sorter's
+    own spill directory, so twins restored from one checkpoint never
+    share writable files and the checkpoint survives them all.
+    """
+    import numpy as np
+
+    from repro.sorting.external import ExternalImpatienceSorter, _RunFile
+
+    ext = state["external"]
+    directory = ext["directory"]
+    if not directory.alive:
+        raise CheckpointError(
+            "checkpoint spill directory was already released"
+        )
+    sorter = ExternalImpatienceSorter(
+        ext["budget"], late_policy=LatePolicy(state["late_policy"]),
+    )
+    try:
+        pool = sorter.pool
+        for doc in ext["runs"]:
+            source = directory.file_path(doc["name"])
+            target = pool.directory.file_path(doc["name"])
+            _copy_prefix(source, target, doc["length"])
+            run = _RunFile.reopen(target, pool.metrics)
+            run.length = doc["length"]
+            run.read_offset = doc["read_offset"]
+            run.row_skip = doc["row_skip"]
+            run.tail_key = doc["tail_key"]
+            run.closed = doc["closed"]
+            run.rows = doc["rows"]
+            pool._runs.append(run)
+            pool.metrics.runs_spilled += 1
+            pool.metrics.run_bytes[run.name] = \
+                doc["rows"] * pool.bytes_per_row
+            sorter.stats.inserted += doc["rows"]
+        pool._run_seq = ext["run_seq"]
+        for keys in ext["chunks"]:
+            if not keys:
+                raise CheckpointError("checkpoint contains an empty run")
+            arr = np.asarray(keys, dtype=np.int64)
+            if np.any(arr[1:] < arr[:-1]):
+                raise CheckpointError("checkpoint run is not ascending")
+            pool._chunks.append((arr, (), None))
+            pool._rows += int(arr.size)
+            sorter.stats.inserted += int(arr.size)
+        pool.metrics.note_buffered(pool.buffered_bytes)
+        if state["watermark"] is not None:
+            sorter._watermark = state["watermark"]
+            sorter._has_watermark = True
+        pending = state.get("pending") or []
+        sorter._pending_keys.extend(pending)
+        sorter.stats.inserted += len(pending)
+        sorter.stats.note_buffered()
+    except BaseException:
+        sorter.close()
+        raise
+    return sorter
+
+
+def _copy_prefix(source, target, length):
+    """Copy exactly the first ``length`` bytes of ``source``."""
+    remaining = int(length)
+    try:
+        with open(source, "rb") as fin, open(target, "wb") as fout:
+            while remaining > 0:
+                chunk = fin.read(min(1 << 20, remaining))
+                if not chunk:
+                    break
+                fout.write(chunk)
+                remaining -= len(chunk)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot restore spilled run {source}: {exc}"
+        ) from exc
+    if remaining:
+        raise CheckpointError(
+            f"checkpointed run {source} is shorter than its recorded "
+            f"length ({remaining} bytes missing)"
+        )
+
+
+def release_checkpoint(state):
+    """Free any on-disk resources a checkpoint holds (format 3's pinned
+    run files); a no-op for value-only formats and ``None``."""
+    if not state:
+        return
+    external = state.get("external")
+    if external:
+        external["directory"].cleanup()

@@ -37,6 +37,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.core.columnar import ColumnarImpatienceSorter
+from repro.sorting.external import ExternalColumnarSorter
 from repro.core.errors import QueryBuildError
 from repro.core.late import LatePolicy
 from repro.engine.event import Event
@@ -398,12 +399,14 @@ class PlanResult:
     """
 
     def __init__(self, events, punctuations, completed, engine,
-                 reason=None, operator_docs=None, registry=None, meta=None):
+                 reason=None, operator_docs=None, registry=None, meta=None,
+                 spill=None):
         self.events = events
         self.punctuations = punctuations
         self.completed = completed
         self.engine = engine
         self.reason = reason
+        self.spill = spill
         self._operator_docs = operator_docs
         self._registry = registry
         self._meta = dict(meta or {})
@@ -433,9 +436,12 @@ class PlanResult:
         if self._operator_docs is not None:
             return PipelineSnapshot(
                 self._operator_docs, memory=memory, meta=merged,
+                spill=self.spill,
             )
         if self._registry is not None:
-            return self._registry.snapshot(memory=memory, meta=merged)
+            return self._registry.snapshot(
+                memory=memory, meta=merged, spill=self.spill,
+            )
         return None
 
 
@@ -467,12 +473,23 @@ class CompiledPlan:
         return labels
 
     def run(self, kind, source, punctuation_frequency=None,
-            reorder_latency=0, batch_size=8192, reason=None):
+            reorder_latency=0, batch_size=8192, reason=None,
+            memory_budget=None):
         """Execute over a ``("dataset", Dataset)`` or ``("events", list)``
         source, replicating the row ingress punctuation policy."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        execution = _Execution(self)
+        execution = _Execution(self, memory_budget=memory_budget)
+        try:
+            return self._drive(
+                execution, kind, source, punctuation_frequency,
+                reorder_latency, batch_size, reason,
+            )
+        finally:
+            execution.close()
+
+    def _drive(self, execution, kind, source, punctuation_frequency,
+               reorder_latency, batch_size, reason):
         if kind == "dataset":
             n = len(source.timestamps)
             arity = len(source.payloads[0]) if n else 0
@@ -545,11 +562,20 @@ def _events_chunk(events, start, stop, arity):
 class _Execution:
     """One run's mutable state: sorter, kernels, sinks, metrics."""
 
-    def __init__(self, compiled):
+    def __init__(self, compiled, memory_budget=None):
         self.compiled = compiled
-        self.sorter = ColumnarImpatienceSorter(
-            late_policy=compiled.late_policy, columns=compiled.columns
-        )
+        self.memory_budget = memory_budget
+        if memory_budget is None:
+            self.sorter = ColumnarImpatienceSorter(
+                late_policy=compiled.late_policy, columns=compiled.columns
+            )
+        else:
+            # Bounded-memory path: byte-identical output, cold runs
+            # spill to disk (repro.sorting.external).
+            self.sorter = ExternalColumnarSorter(
+                memory_budget, late_policy=compiled.late_policy,
+                columns=compiled.columns,
+            )
         # Pre-sorting each ingress chunk turns it into one ascending
         # segment, so run placement is a handful of chunk-sized deals
         # instead of a Python loop over every descent.  Legal because
@@ -694,6 +720,10 @@ class _Execution:
         }
         if late.dropped:
             sorter_doc["dropped"] = late.dropped
+        spill = None
+        if self.memory_budget is not None:
+            spill = self.sorter.spill_doc()
+            sorter_doc["spill"] = spill
         docs = [self.ingress.doc()]
         docs.extend(metrics.doc() for metrics in self.stage_metrics)
         docs.append(sorter_doc)
@@ -704,10 +734,16 @@ class _Execution:
             "engine": "columnar",
             "kernels": self.compiled.describe(),
         }
+        if self.memory_budget is not None:
+            meta["memory_budget"] = self.memory_budget
         return PlanResult(
             self.events, self.punctuations, True, "columnar",
-            reason=reason, operator_docs=docs, meta=meta,
+            reason=reason, operator_docs=docs, meta=meta, spill=spill,
         )
+
+    def close(self):
+        if self.memory_budget is not None:
+            self.sorter.close()
 
 
 # ---------------------------------------------------------------------------
@@ -785,13 +821,16 @@ def _normalize_source(source, punctuation_frequency, reorder_latency):
 
 
 def execute_plan(plan, source, punctuation_frequency=None, reorder_latency=0,
-                 engine="auto", batch_size=8192, metrics=None) -> PlanResult:
+                 engine="auto", batch_size=8192, metrics=None,
+                 memory_budget=None) -> PlanResult:
     """Run ``plan`` over ``source`` on the requested engine.
 
     ``engine="auto"`` compiles when possible and falls back to the row
     engine silently (the result's ``reason`` says why);
     ``engine="columnar"`` raises :class:`QueryBuildError` when the plan
     cannot be compiled; ``engine="row"`` always uses the row operators.
+    ``memory_budget`` (bytes) bounds the sorter's resident buffer; cold
+    sorted runs spill to disk with byte-identical output.
     """
     if engine not in ("auto", "columnar", "row"):
         raise QueryBuildError(
@@ -829,11 +868,49 @@ def execute_plan(plan, source, punctuation_frequency=None, reorder_latency=0,
         return compiled.run(
             kind, payload, punctuation_frequency=frequency,
             reorder_latency=latency, batch_size=batch_size,
+            memory_budget=memory_budget,
         )
-    return _run_row(plan, kind, payload, frequency, latency, metrics, reason)
+    return _run_row(plan, kind, payload, frequency, latency, metrics,
+                    reason, memory_budget)
 
 
-def _run_row(plan, kind, payload, frequency, latency, metrics, reason):
+def _budgeted_row_plan(plan, memory_budget, created):
+    """Rebuild ``plan`` with its sort step bound to an external sorter.
+
+    ``created`` collects every sorter the factory builds so the caller
+    can close them (releasing spill files) on every exit path.
+    """
+    from repro.engine.planner import QueryPlan, _Step, _sync_time_key
+    from repro.sorting.external import ExternalImpatienceSorter
+
+    steps = []
+    for step in plan.steps:
+        if step.method != "sort":
+            steps.append(step)
+            continue
+        kwargs = dict(step.kwargs)
+        if kwargs.get("sorter") is not None:
+            raise QueryBuildError(
+                "memory_budget requires the default sorter; the plan "
+                "carries a custom sorter factory"
+            )
+        late_policy = kwargs.get("late_policy")
+
+        def factory(_policy=late_policy):
+            sorter = ExternalImpatienceSorter(
+                memory_budget, key=_sync_time_key,
+                late_policy=_policy if _policy is not None
+                else LatePolicy.DROP,
+            )
+            created.append(sorter)
+            return sorter
+
+        steps.append(_Step("sort", (), (("sorter", factory),)))
+    return QueryPlan(steps)
+
+
+def _run_row(plan, kind, payload, frequency, latency, metrics, reason,
+             memory_budget=None):
     from repro.engine.disordered import DisorderedStreamable
 
     if kind == "stream":
@@ -842,9 +919,21 @@ def _run_row(plan, kind, payload, frequency, latency, metrics, reason):
         stream = DisorderedStreamable.from_dataset(payload, frequency, latency)
     else:
         stream = DisorderedStreamable.from_events(payload, frequency, latency)
-    collector = plan.bind(stream).collect(metrics=metrics)
+    created = []
+    spill = None
+    meta = {"engine": "row"}
+    if memory_budget is not None:
+        plan = _budgeted_row_plan(plan, memory_budget, created)
+        meta["memory_budget"] = memory_budget
+    try:
+        collector = plan.bind(stream).collect(metrics=metrics)
+        if created:
+            spill = created[0].spill_doc()
+    finally:
+        for sorter in created:
+            sorter.close()
     return PlanResult(
         collector.events, collector.punctuations, collector.completed,
         "row", reason=reason, registry=metrics,
-        meta={"engine": "row"},
+        meta=meta, spill=spill,
     )

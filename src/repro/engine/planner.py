@@ -195,19 +195,27 @@ class QueryPlan:
         return stream
 
     def run(self, source, punctuation_frequency=None, reorder_latency=0,
-            engine="auto", batch_size=8192, metrics=None):
+            engine="auto", batch_size=8192, metrics=None,
+            memory_budget=None):
         """Execute the plan over a dataset, raw event list, or ingress
         ``DisorderedStreamable``; returns a Collector-shaped
         :class:`~repro.engine.compiler.PlanResult`.
 
         ``engine`` selects the backend: ``"auto"`` (compile when
         possible, silent row fallback), ``"columnar"`` (compile or
-        raise), or ``"row"``.
+        raise), or ``"row"``.  ``memory_budget`` (bytes, or a string
+        like ``"64MB"``) bounds the sorter's resident buffer; cold runs
+        spill to disk and the output stays byte-identical.
         """
         from repro.engine.compiler import execute_plan
 
+        if memory_budget is not None:
+            from repro.sorting.external import parse_memory_budget
+
+            memory_budget = parse_memory_budget(memory_budget)
         return execute_plan(
             self, source, punctuation_frequency=punctuation_frequency,
             reorder_latency=reorder_latency, engine=engine,
             batch_size=batch_size, metrics=metrics,
+            memory_budget=memory_budget,
         )

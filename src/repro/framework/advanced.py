@@ -33,8 +33,12 @@ from repro.framework.streamables import Streamables
 __all__ = ["build_streamables"]
 
 
+def _sync_time(event):
+    return event.sync_time
+
+
 def _default_sorter():
-    return ImpatienceSorter(key=lambda event: event.sync_time)
+    return ImpatienceSorter(key=_sync_time)
 
 
 def build_streamables(disordered, reorder_latencies, piq=None, merge=None,
@@ -63,7 +67,27 @@ def build_streamables(disordered, reorder_latencies, piq=None, merge=None,
         raise QueryBuildError(
             "provide both piq and merge functions, or neither"
         )
-    sorter_factory = _default_sorter if sorter is None else sorter
+    # Late-bound execution knobs: ``Streamables.run(memory_budget=...)``
+    # fills this dict *before* the graph materializes, so the per-path
+    # default sorters can pick the bounded-memory external sorter at
+    # operator-construction time without rebuilding the DAG.
+    runtime = {
+        "memory_budget": None,
+        "custom_sorter": sorter is not None,
+        "spill_sorters": [],
+    }
+
+    def default_factory():
+        budget = runtime["memory_budget"]
+        if budget is not None:
+            from repro.sorting.external import ExternalImpatienceSorter
+
+            spill_sorter = ExternalImpatienceSorter(budget, key=_sync_time)
+            runtime["spill_sorters"].append(spill_sorter)
+            return spill_sorter
+        return _default_sorter()
+
+    sorter_factory = default_factory if sorter is None else sorter
 
     partition_node = QueryNode(
         lambda: LatenessPartition(latencies),
@@ -94,4 +118,7 @@ def build_streamables(disordered, reorder_latencies, piq=None, merge=None,
         cascade = Streamable(union_node, disordered.source)
         outputs.append(cascade.apply(merge))
 
-    return Streamables(outputs, latencies, partition_node, disordered.source)
+    return Streamables(
+        outputs, latencies, partition_node, disordered.source,
+        runtime=runtime,
+    )

@@ -62,11 +62,17 @@ class LatencyCollector(Collector):
 class Streamables:
     """A sequence of ordered streams with increasing reorder latencies."""
 
-    def __init__(self, outputs, latencies, partition_node, source):
+    def __init__(self, outputs, latencies, partition_node, source,
+                 runtime=None):
         self._outputs = list(outputs)
         self.latencies = list(latencies)
         self._partition_node = partition_node
         self._source = source
+        # Execution knobs shared with the builder's sorter factories
+        # (``build_streamables``): filled in by ``run(memory_budget=...)``
+        # before the pipeline materializes.  ``None`` for hand-assembled
+        # Streamables, which then reject a memory budget.
+        self._runtime = runtime
 
     def __len__(self) -> int:
         return len(self._outputs)
@@ -85,6 +91,7 @@ class Streamables:
             self.latencies,
             self._partition_node,
             self._source,
+            runtime=self._runtime,
         )
 
     def subscribe(self, callbacks):
@@ -114,7 +121,8 @@ class Streamables:
         return Pipeline(sink_nodes)
 
     def run(self, memory_meter=None, metrics=None, supervised=None,
-            parallel=None, engine="auto") -> "StreamablesResult":
+            parallel=None, engine="auto",
+            memory_budget=None) -> "StreamablesResult":
         """Materialize all outputs into one pipeline and drive the source.
 
         Returns a :class:`StreamablesResult` with per-output collectors,
@@ -143,6 +151,14 @@ class Streamables:
         instrumentation cannot cross the process boundary); the
         assignment and per-worker peaks ride on ``result.parallel``.
 
+        ``memory_budget`` (bytes, or a string like ``"64MB"``) bounds
+        every per-path sorter's resident buffer: cold sorted runs spill
+        to disk and merge back at punctuation time, and the outputs stay
+        byte-identical to the unbudgeted run.  Requires the default
+        sorter and a plain single-process run (mutually exclusive with
+        ``supervised`` and ``parallel``); per-path spill metrics ride on
+        ``result.spill``.
+
         ``engine`` mirrors ``QueryPlan.run``'s engine selector for API
         uniformity.  A framework run is a multi-output partition network
         of already-composed operators — there is no ``QueryPlan`` left
@@ -169,6 +185,27 @@ class Streamables:
             "engine='row' requested" if engine == "row"
             else "framework runs are an opaque operator DAG"
         )
+        budget = None
+        if memory_budget is not None:
+            from repro.sorting.external import parse_memory_budget
+
+            budget = parse_memory_budget(memory_budget)
+            if self._runtime is None or self._runtime["custom_sorter"]:
+                raise QueryBuildError(
+                    "memory_budget requires the default sorter; this "
+                    "Streamables carries a custom sorter factory"
+                )
+            if supervised:
+                raise QueryBuildError(
+                    "memory_budget cannot be combined with supervised "
+                    "execution; checkpoint budgeted runs through "
+                    "resilience.SorterSupervisor instead"
+                )
+            if parallel:
+                raise QueryBuildError(
+                    "memory_budget cannot be combined with parallel "
+                    "workers; each fork would buffer independently"
+                )
         meter = MemoryMeter() if memory_meter is None else memory_meter
         if parallel:
             if supervised:
@@ -200,13 +237,36 @@ class Streamables:
             )
             result.engine_reason = reason
             return result
-        pipeline = Pipeline(sink_nodes)
-        # Late-bound: the partition instance exists only after the graph
-        # materializes; events flow strictly afterwards.
-        clock["partition"] = pipeline.operator_for(self._partition_node)
-        if metrics is not None:
-            metrics.attach(pipeline)
-        pipeline.run(self._source.elements(), on_punctuation=meter.sample)
+        spill = None
+        if budget is not None:
+            self._runtime["memory_budget"] = budget
+            spill_start = len(self._runtime["spill_sorters"])
+        try:
+            pipeline = Pipeline(sink_nodes)
+            # Late-bound: the partition instance exists only after the
+            # graph materializes; events flow strictly afterwards.
+            clock["partition"] = pipeline.operator_for(self._partition_node)
+            if metrics is not None:
+                metrics.attach(pipeline)
+            pipeline.run(
+                self._source.elements(), on_punctuation=meter.sample
+            )
+            if budget is not None:
+                spill = {
+                    "memory_budget": budget,
+                    "paths": [
+                        sorter.spill_doc()
+                        for sorter in
+                        self._runtime["spill_sorters"][spill_start:]
+                    ],
+                }
+        finally:
+            if budget is not None:
+                self._runtime["memory_budget"] = None
+                created = self._runtime["spill_sorters"][spill_start:]
+                del self._runtime["spill_sorters"][spill_start:]
+                for sorter in created:
+                    sorter.close()
         collectors = [pipeline.operator_for(node) for node in sink_nodes]
         partition = pipeline.operator_for(self._partition_node)
         result = StreamablesResult(
@@ -214,6 +274,7 @@ class Streamables:
         )
         result.metrics = metrics
         result.engine_reason = reason
+        result.spill = spill
         return result
 
     def _run_supervised(self, sink_nodes, clock, meter, metrics, options):
@@ -434,6 +495,9 @@ class StreamablesResult:
         #: per-worker buffering peaks) when ``run(parallel=N)``, else
         #: ``None``.
         self.parallel = None
+        #: per-path spill metrics (``{"memory_budget": ..., "paths":
+        #: [...]}``) when ``run(memory_budget=...)``, else ``None``.
+        self.spill = None
         #: execution path — framework runs always execute the row
         #: operator pipeline (``engine_reason`` says why); mirrors
         #: ``PlanResult.engine`` / ``PlanResult.reason``.

@@ -228,7 +228,7 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def snapshot(self, memory=None, meta=None, resilience=None,
-                 parallel=None) -> PipelineSnapshot:
+                 parallel=None, spill=None) -> PipelineSnapshot:
         """Aggregate everything collected into one structured export.
 
         ``memory`` is an optional
@@ -261,6 +261,9 @@ class MetricsRegistry:
                     "adjusted": late.adjusted,
                     "quarantined": late.quarantined,
                 }
+            spill_doc = getattr(sorter, "spill_doc", None)
+            if callable(spill_doc):
+                doc["spill"] = spill_doc()
             operators.append(doc)
         occupancy = {
             "peak": self.occupancy_peak,
@@ -279,7 +282,7 @@ class MetricsRegistry:
         return PipelineSnapshot(
             operators, punctuation=punctuation, occupancy=occupancy,
             memory=memory_doc, meta=meta, resilience=resilience,
-            parallel=parallel,
+            parallel=parallel, spill=spill,
         )
 
     def __repr__(self):

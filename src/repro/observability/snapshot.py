@@ -21,7 +21,8 @@ class PipelineSnapshot:
     """An immutable, JSON-ready view of a pipeline's collected metrics."""
 
     def __init__(self, operators, punctuation=None, occupancy=None,
-                 memory=None, meta=None, resilience=None, parallel=None):
+                 memory=None, meta=None, resilience=None, parallel=None,
+                 spill=None):
         self._doc = {
             "schema": SCHEMA,
             "meta": dict(meta or {}),
@@ -31,6 +32,7 @@ class PipelineSnapshot:
             "memory": memory,
             "resilience": resilience,
             "parallel": parallel,
+            "spill": spill,
             "totals": self._totals(operators, occupancy),
         }
 
@@ -82,6 +84,13 @@ class PipelineSnapshot:
         """Parallel-runtime accounting — coordinator round/merge counters
         and per-shard worker stats (None for single-process runs)."""
         return self._doc["parallel"]
+
+    @property
+    def spill(self):
+        """Bounded-memory spill metrics (None for unbudgeted runs):
+        runs spilled, bytes written/read, merge fan-in, and the peak
+        resident buffer the budget was enforced against."""
+        return self._doc["spill"]
 
     @property
     def totals(self) -> dict:

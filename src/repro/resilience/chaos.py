@@ -11,7 +11,7 @@ Fault spec grammar (full reference in ``docs/resilience.md``)::
     clause   := fault [":" param ("," param)*]
     param    := key "=" value
     fault    := "io" | "crash" | "malform" | "dup" | "drop"
-              | "regress" | "op"
+              | "regress" | "op" | "spill"
 
 Examples::
 
@@ -23,6 +23,9 @@ Examples::
     drop:p=0.001                   lose elements outright
     regress:p=0.01,delta=5         inject regressing punctuations
     op:p=0.001,limit=2             operator-level crashes (wrap_operator)
+    spill:p=0.01,mode=corrupt      corrupt spilled run-file blocks
+    spill:p=0.1,mode=oserror,on=read,limit=1
+                                   one transient read error on spill I/O
 
 Faults are injected *losslessly* where the real-world analogue is
 lossless: transient I/O errors raise before the underlying element is
@@ -86,7 +89,11 @@ _FAULT_KEYS = {
     "drop": {"p", "limit"},
     "regress": {"p", "delta", "limit"},
     "op": {"p", "limit"},
+    "spill": {"p", "mode", "on", "limit"},
 }
+
+_SPILL_MODES = ("oserror", "corrupt", "truncate")
+_SPILL_SIDES = ("read", "write", "both")
 
 
 class ChaosSpec:
@@ -109,11 +116,16 @@ class ChaosSpec:
         self.regress_limit = None
         self.op_p = 0.0
         self.op_limit = None
+        self.spill_p = 0.0
+        self.spill_mode = "oserror"
+        self.spill_on = "both"
+        self.spill_limit = None
 
     def __repr__(self):
         active = [
             name for name in (
-                "io", "crash", "malform", "dup", "drop", "regress", "op"
+                "io", "crash", "malform", "dup", "drop", "regress", "op",
+                "spill",
             )
             if getattr(self, f"{name}_p", 0.0)
             or (name == "crash" and (self.crash_puncts or self.crash_every))
@@ -216,6 +228,23 @@ def parse_chaos_spec(spec) -> ChaosSpec:
                 raise ChaosSpecError(
                     f"{clause}: crash needs punct= or every="
                 )
+        elif fault == "spill":
+            parsed.spill_p = _float_param(params, "p", clause)
+            parsed.spill_limit = _int_param(params, "limit", clause)
+            mode = params.get("mode", "oserror").strip()
+            if mode not in _SPILL_MODES:
+                raise ChaosSpecError(
+                    f"{clause}: mode must be one of {list(_SPILL_MODES)}, "
+                    f"got {mode!r}"
+                )
+            parsed.spill_mode = mode
+            side = params.get("on", "both").strip()
+            if side not in _SPILL_SIDES:
+                raise ChaosSpecError(
+                    f"{clause}: on must be one of {list(_SPILL_SIDES)}, "
+                    f"got {side!r}"
+                )
+            parsed.spill_on = side
         elif fault == "regress":
             parsed.regress_p = _float_param(params, "p", clause)
             parsed.regress_delta = _int_param(
@@ -304,6 +333,54 @@ class FaultInjector:
 
         op.instrument({"on_event": wrap})
         return op
+
+    # -- spill-file faults -------------------------------------------------
+
+    def spill_write_fault(self, path):
+        """Consulted once per spilled block write (``spill`` fault).
+
+        Returns ``None`` (healthy write) or a corruption mode the writer
+        applies to the on-disk bytes — ``"corrupt"`` (bit flip) or
+        ``"truncate"`` (torn write) — or raises :class:`OSError` for
+        ``mode=oserror``.  The block's CRC is computed over the intended
+        payload first, so an applied corruption is *detectable*: the
+        reader must surface it as a
+        :class:`~repro.core.errors.SpillCorruptionError`, never as a
+        silently wrong answer.
+        """
+        spec = self.spec
+        if spec.spill_on not in ("write", "both"):
+            return None
+        if not self._roll("spill", spec.spill_p, spec.spill_limit):
+            return None
+        if spec.spill_mode == "oserror":
+            raise OSError(f"injected spill write failure: {path}")
+        return spec.spill_mode
+
+    def spill_read_fault(self, path, offset, data):
+        """Consulted once per spilled payload read (``spill`` fault).
+
+        Returns the payload bytes to hand the reader — transformed for
+        ``mode=corrupt`` / ``mode=truncate`` (which the CRC/framing
+        checks must catch) — or raises :class:`OSError` for
+        ``mode=oserror``.
+        """
+        spec = self.spec
+        if spec.spill_on not in ("read", "both"):
+            return data
+        if not self._roll("spill", spec.spill_p, spec.spill_limit):
+            return data
+        if spec.spill_mode == "oserror":
+            raise OSError(
+                f"injected spill read failure: {path} at offset {offset}"
+            )
+        if spec.spill_mode == "truncate":
+            return data[: len(data) // 2]
+        if not data:
+            return data
+        corrupted = bytearray(data)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        return bytes(corrupted)
 
     def summary(self) -> dict:
         """Faults fired so far, by name (for result reporting)."""

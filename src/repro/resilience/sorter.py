@@ -23,10 +23,15 @@ from repro.core.errors import (
     MalformedEventError,
     ReplayDivergenceError,
     ReproError,
+    SpillCorruptionError,
     SupervisionExhaustedError,
 )
 from repro.core.impatience import ImpatienceSorter
-from repro.engine.checkpoint import checkpoint_sorter, restore_sorter
+from repro.engine.checkpoint import (
+    checkpoint_sorter,
+    release_checkpoint,
+    restore_sorter,
+)
 from repro.resilience.chaos import FaultInjector
 from repro.resilience.quarantine import QuarantineLedger, Reason
 from repro.resilience.supervisor import RetryPolicy
@@ -119,41 +124,93 @@ class SorterSupervisor:
             sorter = self._build_attempt()
             try:
                 self._drive(sorter, elements)
+            except SpillCorruptionError as exc:
+                # Environmental, like a crash: a spilled run file turned
+                # out corrupt/truncated/unreadable.  The failed attempt's
+                # files are quarantined-by-deletion (close()) and the
+                # checkpoint — which owns its *own* pinned copies —
+                # rebuilds a clean twin.
+                self._fail_attempt(sorter, exc)
+                continue
             except ReproError:
                 raise
             except Exception as exc:  # noqa: BLE001 — supervision boundary
-                self.restarts += 1
-                if self.restarts > self.max_restarts:
-                    raise SupervisionExhaustedError(
-                        f"gave up after {self.max_restarts} restarts "
-                        f"(last failure: {exc!r})"
-                    ) from exc
-                self.restores.append({
-                    "restart": self.restarts,
-                    "error": repr(exc),
-                    "from_checkpoint": self._checkpoint is not None,
-                    "replayed": len(self._delta),
-                })
+                self._fail_attempt(sorter, exc)
                 continue
+            # The stream completed and every output was delivered: the
+            # checkpoint (and its pinned spill files) has nothing left
+            # to recover.
+            release_checkpoint(self._checkpoint)
+            self._checkpoint = None
             return SorterResult(self, sorter)
 
     # -- internals ---------------------------------------------------------
+
+    def _fail_attempt(self, sorter, exc):
+        """Tear down a crashed attempt and account for the restart."""
+        close = getattr(sorter, "close", None)
+        if callable(close):
+            close()  # deletes the attempt's spilled run files, if any
+        self.restarts += 1
+        if self.restarts > self.max_restarts:
+            # Giving up: free the checkpoint's pinned spill files now
+            # rather than leaving them to the GC backstop.
+            release_checkpoint(self._checkpoint)
+            self._checkpoint = None
+            raise SupervisionExhaustedError(
+                f"gave up after {self.max_restarts} restarts "
+                f"(last failure: {exc!r})"
+            ) from exc
+        if self.ledger is not None and isinstance(
+            exc, SpillCorruptionError
+        ):
+            # Quarantine the poisoned file visibly.  Roll back to the
+            # checkpoint mark first (replay regenerates everything past
+            # it) and re-mark after, so the record survives rebuilds
+            # without ever being doubled.
+            self._rollback_ledger()
+            self.ledger.record(
+                Reason.MALFORMED,
+                f"spill:{exc.path}@{exc.offset}",
+                watermark=self._last_punct,
+            )
+            self._mark_ledger()
+        self.restores.append({
+            "restart": self.restarts,
+            "error": repr(exc),
+            "from_checkpoint": self._checkpoint is not None,
+            "replayed": len(self._delta),
+        })
 
     def _build_attempt(self):
         if self._checkpoint is not None:
             sorter = restore_sorter(self._checkpoint)
         else:
             sorter = self._factory()
+        if self.injector is not None:
+            attach = getattr(sorter, "attach_injector", None)
+            if callable(attach):
+                attach(self.injector)
         if self.ledger is not None:
             # Roll the ledger back to the checkpoint mark: the truncated
             # journal can only regenerate records made since then.
-            entries, counts, seq = self._ledger_mark
-            self.ledger.entries[:] = entries
-            self.ledger.counts.clear()
-            self.ledger.counts.update(counts)
-            self.ledger._seq = seq
+            self._rollback_ledger()
             sorter.late.quarantine = self.ledger
         return sorter
+
+    def _rollback_ledger(self):
+        entries, counts, seq = self._ledger_mark
+        self.ledger.entries[:] = entries
+        self.ledger.counts.clear()
+        self.ledger.counts.update(counts)
+        self.ledger._seq = seq
+
+    def _mark_ledger(self):
+        self._ledger_mark = (
+            list(self.ledger.entries),
+            dict(self.ledger.counts),
+            self.ledger._seq,
+        )
 
     def _drive(self, sorter, elements):
         self._seen = self._delivered_at_checkpoint
@@ -173,14 +230,12 @@ class SorterSupervisor:
                 if punct_index % self.checkpoint_every == 0:
                     # The compact checkpoint supersedes the journal
                     # prefix: truncate to keep recovery O(state + delta).
+                    superseded = self._checkpoint
                     self._checkpoint = checkpoint_sorter(sorter)
+                    release_checkpoint(superseded)
                     self._delivered_at_checkpoint = len(self._delivered)
                     if self.ledger is not None:
-                        self._ledger_mark = (
-                            list(self.ledger.entries),
-                            dict(self.ledger.counts),
-                            self.ledger._seq,
-                        )
+                        self._mark_ledger()
                     self._delta.clear()
                     self.checkpoints_taken += 1
         self._deliver(sorter.flush())

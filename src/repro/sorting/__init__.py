@@ -1,5 +1,14 @@
 """Baseline sorting algorithms and the generic incremental adapter."""
 
+from repro.sorting.external import (
+    ExternalColumnarSorter,
+    ExternalImpatienceSorter,
+    ExternalRunPool,
+    LoserTree,
+    SpillDirectory,
+    SpillMetrics,
+    parse_memory_budget,
+)
 from repro.sorting.heapsort import IncrementalHeapSorter, heapsort
 from repro.sorting.incremental import BufferedIncrementalSorter
 from repro.sorting.insertion import binary_insertion_sort
@@ -16,16 +25,23 @@ from repro.sorting.timsort import timsort
 
 __all__ = [
     "BufferedIncrementalSorter",
+    "ExternalColumnarSorter",
+    "ExternalImpatienceSorter",
+    "ExternalRunPool",
     "IncrementalHeapSorter",
     "KSlackTime",
     "KSlackTuples",
+    "LoserTree",
     "OFFLINE_SORTS",
     "ONLINE_SORTERS",
+    "SpillDirectory",
+    "SpillMetrics",
     "binary_insertion_sort",
     "heapsort",
     "make_online_sorter",
     "natural_merge_sort",
     "offline_sort",
+    "parse_memory_budget",
     "quicksort",
     "timsort",
 ]

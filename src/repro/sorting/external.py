@@ -1,0 +1,1008 @@
+"""Out-of-core run pool: bounded-memory spill-to-disk Impatience sorting.
+
+The in-memory sorters cap stream size at machine RAM.  This module adds
+a memory-budgeted run pool in the spirit of TPIE-style external-memory
+pipelining: buffered bytes are tracked against a configurable budget,
+cold sorted runs spill to disk as compact framed columnar blocks, and a
+punctuation cut streams them back with sequential reads through a k-way
+loser-tree merge.
+
+Run generation is *replacement selection* in batched form: when the
+buffer overflows, every buffered element whose key is at or above the
+open run's tail is appended to that run (keeping it sorted), and only
+the colder residue stays in memory.  On the nearly-sorted log streams
+the paper targets, almost everything is eligible, so on-disk runs grow
+far longer than the memory budget — the classic ~2x-of-memory expected
+run length, unbounded for sorted input.
+
+Correctness contract: output is **byte-identical** to the in-memory
+columnar sorter.  That holds because every stage is arrival-stable for
+equal keys — chunks are stable-argsorted, a run's equal keys are
+appended in arrival order (an eligible key equal to the tail arrived
+after the spill that set that tail), later runs receive equal keys
+later than earlier runs did, and the in-memory residue loses ties to
+every spilled run.  The k-way merge breaks key ties by source index
+(runs in creation order, then the memory buffer), which therefore
+reproduces arrival order — exactly the tie order of
+:class:`~repro.core.columnar.ColumnarImpatienceSorter`'s stable merge.
+
+Every spilled block carries a CRC32; damage on the way back in raises a
+typed :class:`~repro.core.errors.SpillCorruptionError` with file and
+byte offset — never a silent wrong answer.  The spill directory is a
+context-managed resource with a ``weakref.finalize`` backstop, so run
+files do not outlive the pool even on the exception path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import shutil
+import struct
+import tempfile
+import uuid
+import weakref
+import zlib
+
+import numpy as np
+
+from repro.core.errors import PunctuationOrderError, SpillCorruptionError
+from repro.core.late import LateEventTracker, LatePolicy
+from repro.core.stats import SorterStats
+
+__all__ = [
+    "ExternalColumnarSorter",
+    "ExternalImpatienceSorter",
+    "ExternalRunPool",
+    "LoserTree",
+    "SpillDirectory",
+    "SpillMetrics",
+    "parse_memory_budget",
+]
+
+_NEG_INF = float("-inf")
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# File layout: one header, then a sequence of framed blocks.  Each block
+# holds ``nrows`` int64 keys, the parallel int64 payload columns, and —
+# for keyed scalar sorters — a pickled list of the original items.
+_FILE_MAGIC = b"RSPILL01"
+_FILE_HEADER = struct.Struct("<8sII")  # magic, ncols, flags
+_FLAG_OBJECTS = 1
+_BLOCK_MAGIC = 0x4B4C4252  # "RBLK" little-endian
+# magic, nrows, first_key, last_key, payload_nbytes, crc32
+_BLOCK_HEADER = struct.Struct("<IIqqQI")
+
+# Nominal accounting charge per pickled payload object (keyed scalar
+# path); exact sizes are unknowable without serializing twice.
+_OBJECT_NOMINAL_BYTES = 56
+
+_BUDGET_SUFFIXES = {
+    "": 1, "b": 1,
+    "k": 1024, "kb": 1024, "kib": 1024,
+    "m": 1024 ** 2, "mb": 1024 ** 2, "mib": 1024 ** 2,
+    "g": 1024 ** 3, "gb": 1024 ** 3, "gib": 1024 ** 3,
+}
+
+
+def parse_memory_budget(value):
+    """Parse a memory budget into bytes.
+
+    Accepts plain ints (bytes) or strings with a binary suffix:
+    ``"64MB"``, ``"512k"``, ``"1GiB"``, ``"4096"``.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"invalid memory budget {value!r}")
+    if isinstance(value, (int, np.integer)):
+        budget = int(value)
+    elif isinstance(value, str):
+        match = re.fullmatch(
+            r"\s*(\d+)\s*([a-z]*)\s*", value.lower().replace("_", "")
+        )
+        if not match or match.group(2) not in _BUDGET_SUFFIXES:
+            raise ValueError(f"invalid memory budget {value!r}")
+        budget = int(match.group(1)) * _BUDGET_SUFFIXES[match.group(2)]
+    else:
+        raise ValueError(f"invalid memory budget {value!r}")
+    if budget < 1:
+        raise ValueError("memory budget must be at least 1 byte")
+    return budget
+
+
+class SpillMetrics:
+    """Counters for the spill subsystem, exposed via snapshots."""
+
+    __slots__ = (
+        "budget_bytes", "spills", "runs_spilled", "blocks_written",
+        "bytes_written", "blocks_read", "bytes_read", "merges",
+        "max_merge_fan_in", "peak_buffered_bytes", "run_bytes",
+    )
+
+    def __init__(self, budget_bytes):
+        self.budget_bytes = int(budget_bytes)
+        self.spills = 0
+        self.runs_spilled = 0
+        self.blocks_written = 0
+        self.bytes_written = 0
+        self.blocks_read = 0
+        self.bytes_read = 0
+        self.merges = 0
+        self.max_merge_fan_in = 0
+        self.peak_buffered_bytes = 0
+        self.run_bytes = {}  # run name -> logical bytes spilled into it
+
+    def note_buffered(self, nbytes):
+        if nbytes > self.peak_buffered_bytes:
+            self.peak_buffered_bytes = int(nbytes)
+
+    def note_fan_in(self, sources):
+        if sources > self.max_merge_fan_in:
+            self.max_merge_fan_in = int(sources)
+
+    def as_dict(self):
+        lengths = list(self.run_bytes.values())
+        return {
+            "budget_bytes": self.budget_bytes,
+            "spills": self.spills,
+            "runs_spilled": self.runs_spilled,
+            "blocks_written": self.blocks_written,
+            "bytes_written": self.bytes_written,
+            "blocks_read": self.blocks_read,
+            "bytes_read": self.bytes_read,
+            "merges": self.merges,
+            "max_merge_fan_in": self.max_merge_fan_in,
+            "peak_buffered_bytes": self.peak_buffered_bytes,
+            "avg_run_bytes": (sum(lengths) / len(lengths)) if lengths else 0,
+            "max_run_bytes": max(lengths, default=0),
+        }
+
+
+class SpillDirectory:
+    """A context-managed temporary directory for spilled run files.
+
+    Always owns its directory (a fresh ``mkdtemp`` under ``base``), so
+    :meth:`cleanup` may remove it unconditionally.  A
+    ``weakref.finalize`` backstop removes it even if nobody calls
+    ``cleanup`` — run files never outlive the process.
+    """
+
+    def __init__(self, base=None, prefix="repro-spill-"):
+        self.path = tempfile.mkdtemp(prefix=prefix, dir=base)
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.path, True
+        )
+
+    @property
+    def alive(self):
+        return self._finalizer.alive
+
+    def file_path(self, name):
+        return os.path.join(self.path, name)
+
+    def files(self):
+        """Names of the files currently present (empty once cleaned)."""
+        if not self.alive or not os.path.isdir(self.path):
+            return []
+        return sorted(os.listdir(self.path))
+
+    def cleanup(self):
+        self._finalizer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.cleanup()
+        return False
+
+    def __repr__(self):
+        state = "live" if self.alive else "cleaned"
+        return f"SpillDirectory({self.path!r}, {state})"
+
+
+class LoserTree:
+    """Tournament tree of losers for k-way merge winner selection.
+
+    Entries are ``(key, source_index)`` tuples — the index both breaks
+    ties toward earlier sources (arrival stability) and makes every
+    comparison total.  ``advance`` replaces the current winner (the only
+    replay the loser-tree invariant supports) and :meth:`runner_up`
+    returns the true second-smallest entry: the runner-up must have lost
+    directly to the winner, so it sits on the winner's root path.
+    """
+
+    __slots__ = ("_k", "_tree", "_entries", "_winner")
+
+    _SENTINEL = (float("inf"), -1)
+
+    def __init__(self, entries):
+        if not entries:
+            raise ValueError("LoserTree needs at least one source")
+        k = len(entries)
+        self._k = k
+        self._entries = [
+            self._SENTINEL if e is None else e for e in entries
+        ]
+        self._tree = [0] * k  # internal nodes 1..k-1 hold loser leaves
+        winner = [0] * (2 * k)
+        for i in range(k):
+            winner[k + i] = i
+        for node in range(k - 1, 0, -1):
+            a, b = winner[2 * node], winner[2 * node + 1]
+            if self._entries[a] <= self._entries[b]:
+                winner[node], self._tree[node] = a, b
+            else:
+                winner[node], self._tree[node] = b, a
+        self._winner = winner[1]
+
+    @property
+    def winner(self):
+        """Index of the smallest live source, or -1 when all exhausted."""
+        if self._entries[self._winner] is self._SENTINEL:
+            return -1
+        return self._winner
+
+    def winner_entry(self):
+        entry = self._entries[self._winner]
+        return None if entry is self._SENTINEL else entry
+
+    def runner_up(self):
+        """The second-smallest live entry, or None if fewer than two."""
+        node = (self._winner + self._k) >> 1
+        best = None
+        while node >= 1:
+            entry = self._entries[self._tree[node]]
+            if best is None or entry < best:
+                best = entry
+            node >>= 1
+        return None if best is None or best is self._SENTINEL else best
+
+    def advance(self, entry):
+        """Replace the winner's entry (None = exhausted) and replay."""
+        leaf = self._winner
+        self._entries[leaf] = self._SENTINEL if entry is None else entry
+        current = leaf
+        node = (leaf + self._k) >> 1
+        while node >= 1:
+            rival = self._tree[node]
+            if self._entries[rival] < self._entries[current]:
+                self._tree[node], current = current, rival
+            node >>= 1
+        self._winner = current
+
+
+def _is_ascending(arr):
+    return arr.size < 2 or bool((np.diff(arr) >= 0).all())
+
+
+def _merge_chunk_list(chunks, ncols, has_objects):
+    """Stable-merge arrival-ordered sorted chunks into one sorted part."""
+    if len(chunks) == 1:
+        return chunks[0]
+    keys = np.concatenate([c[0] for c in chunks])
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    cols = tuple(
+        np.concatenate([c[1][i] for c in chunks])[order]
+        for i in range(ncols)
+    )
+    objs = None
+    if has_objects:
+        flat = [obj for c in chunks for obj in c[2]]
+        objs = [flat[i] for i in order]
+    return keys, cols, objs
+
+
+def _kway_merge(parts, ncols, has_objects):
+    """Loser-tree k-way merge of sorted parts, ties won by lower index.
+
+    The winner source emits a galloped slice bounded by the runner-up's
+    head key (``searchsorted`` side chosen by tie priority), so the
+    Python-level loop runs per *interleaving boundary*, not per element.
+    """
+    empty_objs = [] if has_objects else None
+    parts = [p for p in parts if p[0].size]
+    if not parts:
+        return _EMPTY, tuple(_EMPTY for _ in range(ncols)), empty_objs
+    if len(parts) == 1:
+        keys, cols, objs = parts[0]
+        return keys, cols, (list(objs) if has_objects else None)
+    tree = LoserTree([(int(p[0][0]), i) for i, p in enumerate(parts)])
+    cursors = [0] * len(parts)
+    key_slices = []
+    col_slices = [[] for _ in range(ncols)]
+    obj_slices = []
+    while True:
+        i = tree.winner
+        if i < 0:
+            break
+        keys, cols, objs = parts[i]
+        start = cursors[i]
+        bound = tree.runner_up()
+        if bound is None:
+            stop = int(keys.size)
+        else:
+            bound_key, bound_idx = bound
+            side = "right" if i < bound_idx else "left"
+            stop = int(np.searchsorted(keys, bound_key, side=side))
+            if stop <= start:  # safety net; the winner key always fits
+                stop = start + 1
+        key_slices.append(keys[start:stop])
+        for c in range(ncols):
+            col_slices[c].append(cols[c][start:stop])
+        if has_objects:
+            obj_slices.append(objs[start:stop])
+        cursors[i] = stop
+        if stop < keys.size:
+            tree.advance((int(keys[stop]), i))
+        else:
+            tree.advance(None)
+    merged = np.concatenate(key_slices)
+    merged_cols = tuple(np.concatenate(col_slices[c]) for c in range(ncols))
+    merged_objs = None
+    if has_objects:
+        merged_objs = [obj for chunk in obj_slices for obj in chunk]
+    return merged, merged_cols, merged_objs
+
+
+class _RunFile:
+    """One spilled sorted run: a framed sequence of columnar blocks.
+
+    A single read/write handle serves both roles; writes always land at
+    ``self.length`` (the logical end), reads stream sequentially from
+    ``read_offset`` with ``row_skip`` marking the rows of the current
+    block already emitted by an earlier punctuation cut.
+    """
+
+    __slots__ = (
+        "path", "name", "ncols", "objects", "metrics", "length",
+        "read_offset", "row_skip", "tail_key", "closed", "rows", "_fh",
+    )
+
+    def __init__(self, path, ncols, objects, metrics):
+        self.path = path
+        self.name = os.path.basename(path)
+        self.ncols = int(ncols)
+        self.objects = bool(objects)
+        self.metrics = metrics
+        self.length = _FILE_HEADER.size
+        self.read_offset = _FILE_HEADER.size
+        self.row_skip = 0
+        self.tail_key = None
+        self.closed = False
+        self.rows = 0
+        self._fh = None
+
+    @classmethod
+    def create(cls, path, ncols, objects, metrics):
+        run = cls(path, ncols, objects, metrics)
+        run._fh = open(path, "w+b")
+        flags = _FLAG_OBJECTS if objects else 0
+        header = _FILE_HEADER.pack(_FILE_MAGIC, ncols, flags)
+        run._fh.write(header)
+        run._fh.flush()
+        metrics.bytes_written += len(header)
+        return run
+
+    @classmethod
+    def reopen(cls, path, metrics):
+        """Re-open an existing run file (checkpoint restore path)."""
+        run = cls(path, 0, False, metrics)
+        run._fh = open(path, "r+b")
+        header = run._fh.read(_FILE_HEADER.size)
+        if len(header) < _FILE_HEADER.size:
+            raise SpillCorruptionError(path, 0, "truncated file header")
+        magic, ncols, flags = _FILE_HEADER.unpack(header)
+        if magic != _FILE_MAGIC:
+            raise SpillCorruptionError(path, 0, "bad file magic")
+        run.ncols = int(ncols)
+        run.objects = bool(flags & _FLAG_OBJECTS)
+        return run
+
+    @property
+    def exhausted(self):
+        return self.read_offset >= self.length
+
+    def append(self, keys, cols, objs, block_rows, injector):
+        """Append an ascending slice (first key >= tail) as blocks."""
+        for start in range(0, int(keys.size), block_rows):
+            stop = min(start + block_rows, int(keys.size))
+            self._write_block(
+                keys[start:stop],
+                tuple(col[start:stop] for col in cols),
+                objs[start:stop] if objs is not None else None,
+                injector,
+            )
+        self.tail_key = int(keys[-1])
+        self.rows += int(keys.size)
+
+    def _write_block(self, keys, cols, objs, injector):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        payload = keys.tobytes()
+        for col in cols:
+            payload += np.ascontiguousarray(col, dtype=np.int64).tobytes()
+        if self.objects:
+            payload += pickle.dumps(
+                list(objs), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        payload_n = len(payload)
+        header = _BLOCK_HEADER.pack(
+            _BLOCK_MAGIC, keys.size, int(keys[0]), int(keys[-1]),
+            payload_n, zlib.crc32(payload),
+        )
+        mode = None
+        if injector is not None:
+            mode = injector.spill_write_fault(self.path)  # may raise
+        if mode == "corrupt":
+            mutated = bytearray(payload)
+            mutated[len(mutated) // 2] ^= 0xFF
+            payload = bytes(mutated)
+        elif mode == "truncate":
+            payload = payload[: payload_n // 2]
+        fh = self._fh
+        fh.seek(self.length)
+        fh.write(header + payload)
+        fh.flush()
+        # Logical framing always advances by the declared size, so a
+        # torn (injected-truncate) write is caught by the CRC on read.
+        self.length += _BLOCK_HEADER.size + payload_n
+        self.metrics.blocks_written += 1
+        self.metrics.bytes_written += len(header) + len(payload)
+
+    def read_upto(self, ts, injector):
+        """Sequentially read and return parts with keys <= ``ts``.
+
+        ``ts=None`` reads everything remaining.  Returns a list of
+        ``(keys, cols, objs)`` tuples (consecutive, jointly ascending).
+        """
+        parts = []
+        while self.read_offset < self.length:
+            offset = self.read_offset
+            header = self._read_bytes(offset, _BLOCK_HEADER.size, None)
+            if len(header) < _BLOCK_HEADER.size:
+                raise SpillCorruptionError(
+                    self.path, offset, "truncated block header"
+                )
+            magic, nrows, first_key, last_key, payload_n, crc = \
+                _BLOCK_HEADER.unpack(header)
+            if magic != _BLOCK_MAGIC:
+                raise SpillCorruptionError(
+                    self.path, offset, "bad block magic"
+                )
+            if ts is not None and first_key > ts:
+                break
+            payload = self._read_bytes(
+                offset + _BLOCK_HEADER.size, payload_n, injector
+            )
+            if len(payload) != payload_n:
+                raise SpillCorruptionError(
+                    self.path, offset,
+                    f"truncated block payload "
+                    f"({len(payload)} of {payload_n} bytes)",
+                )
+            if zlib.crc32(payload) != crc:
+                raise SpillCorruptionError(
+                    self.path, offset, "block checksum mismatch"
+                )
+            keys, cols, objs = self._decode(payload, nrows, offset)
+            self.metrics.blocks_read += 1
+            self.metrics.bytes_read += _BLOCK_HEADER.size + payload_n
+            if ts is None or last_key <= ts:
+                skip = self.row_skip
+                if skip < nrows:
+                    parts.append((
+                        keys[skip:],
+                        tuple(col[skip:] for col in cols),
+                        objs[skip:] if objs is not None else None,
+                    ))
+                self.read_offset = offset + _BLOCK_HEADER.size + payload_n
+                self.row_skip = 0
+                continue
+            # This block straddles the cut: emit the covered prefix and
+            # remember how far we got; the suffix is re-read next cut.
+            split = int(np.searchsorted(keys, ts, side="right"))
+            if split > self.row_skip:
+                parts.append((
+                    keys[self.row_skip:split],
+                    tuple(col[self.row_skip:split] for col in cols),
+                    objs[self.row_skip:split] if objs is not None else None,
+                ))
+                self.row_skip = split
+            break
+        return parts
+
+    def _read_bytes(self, offset, nbytes, injector):
+        fh = self._fh
+        fh.seek(offset)
+        data = fh.read(nbytes)
+        if injector is not None:
+            data = injector.spill_read_fault(self.path, offset, data)
+        return data
+
+    def _decode(self, payload, nrows, offset):
+        fixed = 8 * nrows * (1 + self.ncols)
+        if len(payload) < fixed or (not self.objects
+                                    and len(payload) != fixed):
+            raise SpillCorruptionError(
+                self.path, offset, "block payload size mismatch"
+            )
+        keys = np.frombuffer(payload, dtype=np.int64, count=nrows)
+        cols = tuple(
+            np.frombuffer(
+                payload, dtype=np.int64, count=nrows,
+                offset=8 * nrows * (1 + c),
+            )
+            for c in range(self.ncols)
+        )
+        objs = None
+        if self.objects:
+            try:
+                objs = pickle.loads(payload[fixed:])
+            except Exception as exc:
+                raise SpillCorruptionError(
+                    self.path, offset, f"bad object payload: {exc}"
+                ) from exc
+            if not isinstance(objs, list) or len(objs) != nrows:
+                raise SpillCorruptionError(
+                    self.path, offset, "object payload length mismatch"
+                )
+        return keys, cols, objs
+
+    def close_handle(self):
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def delete(self):
+        self.close_handle()
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+
+class ExternalRunPool:
+    """Budget-tracked run pool with batched replacement selection.
+
+    Holds arrival-ordered sorted chunks in memory; once buffered bytes
+    exceed the budget, the buffer is stable-merged and every element
+    eligible for the open run (key >= its tail) is appended to it on
+    disk.  If the cold residue still overflows, the run is closed and a
+    fresh run absorbs everything — so the resting in-memory footprint
+    never exceeds the budget.
+    """
+
+    def __init__(self, budget_bytes, columns=0, objects=False,
+                 spill_dir=None, injector=None, metrics=None):
+        budget = int(budget_bytes)
+        if budget < 1:
+            raise ValueError("memory budget must be at least 1 byte")
+        if columns < 0:
+            raise ValueError("columns must be >= 0")
+        self.budget = budget
+        self.columns = int(columns)
+        self.objects = bool(objects)
+        self.bytes_per_row = 8 * (1 + self.columns) + (
+            _OBJECT_NOMINAL_BYTES if objects else 0
+        )
+        self.block_rows = max(
+            1, min(65536, budget // (4 * self.bytes_per_row))
+        )
+        if isinstance(spill_dir, SpillDirectory):
+            self.directory = spill_dir
+            self._owns_dir = False
+        else:
+            self.directory = SpillDirectory(base=spill_dir)
+            self._owns_dir = True
+        self.tag = uuid.uuid4().hex[:12]
+        self.injector = injector
+        self.metrics = metrics if metrics is not None else \
+            SpillMetrics(budget)
+        self._chunks = []  # arrival-ordered (keys, cols, objs), ascending
+        self._rows = 0
+        self._runs = []    # _RunFile in creation order; last may be open
+        self._run_seq = 0
+
+    @property
+    def buffered_rows(self):
+        return self._rows
+
+    @property
+    def buffered_bytes(self):
+        return self._rows * self.bytes_per_row
+
+    @property
+    def run_count(self):
+        return len(self._runs)
+
+    @property
+    def runs(self):
+        return tuple(self._runs)
+
+    def insert_sorted(self, keys, cols=(), objs=None):
+        """Ingest one ascending chunk (keys int64, parallel columns)."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        self._chunks.append((keys, tuple(cols), objs))
+        self._rows += int(keys.size)
+        if self.buffered_bytes > self.budget:
+            self._spill()
+        self.metrics.note_buffered(self.buffered_bytes)
+
+    def _spill(self):
+        keys, cols, objs = _merge_chunk_list(
+            self._chunks, self.columns, self.objects
+        )
+        self._chunks, self._rows = [], 0
+        run = None
+        if self._runs and not self._runs[-1].closed:
+            run = self._runs[-1]
+        self.metrics.spills += 1
+        while True:
+            if run is None:
+                run = self._new_run()
+            tail = run.tail_key
+            split = 0 if tail is None else int(
+                np.searchsorted(keys, tail, side="left")
+            )
+            if split < keys.size:
+                run.append(
+                    keys[split:],
+                    tuple(col[split:] for col in cols),
+                    objs[split:] if objs is not None else None,
+                    self.block_rows,
+                    self.injector,
+                )
+                self.metrics.run_bytes[run.name] = \
+                    run.rows * self.bytes_per_row
+            if split == 0:
+                break
+            keys = keys[:split]
+            cols = tuple(col[:split] for col in cols)
+            objs = objs[:split] if objs is not None else None
+            if keys.size * self.bytes_per_row <= self.budget:
+                self._chunks = [(keys, cols, objs)]
+                self._rows = int(keys.size)
+                break
+            # Residue alone overflows: retire the run; a fresh one
+            # (empty tail) absorbs everything on the next pass.
+            run.closed = True
+            run = None
+
+    def _new_run(self):
+        name = f"{self.tag}-run{self._run_seq:06d}.spill"
+        self._run_seq += 1
+        run = _RunFile.create(
+            self.directory.file_path(name), self.columns, self.objects,
+            self.metrics,
+        )
+        self._runs.append(run)
+        self.metrics.runs_spilled += 1
+        return run
+
+    def cut(self, ts):
+        """Emit everything with key <= ``ts`` (None = everything), sorted.
+
+        Returns ``(keys, cols, objs)``.  Spilled runs stream back with
+        sequential block reads in creation order; exhausted run files
+        are deleted on the spot.
+        """
+        parts = []
+        sources = 0
+        survivors = []
+        for run in self._runs:
+            run_parts = run.read_upto(ts, self.injector)
+            if run_parts:
+                sources += 1
+                if len(run_parts) == 1:
+                    parts.append(run_parts[0])
+                else:
+                    # Blocks of one run are jointly ascending: a plain
+                    # concatenation keeps them a single sorted source.
+                    parts.append((
+                        np.concatenate([p[0] for p in run_parts]),
+                        tuple(
+                            np.concatenate([p[1][c] for p in run_parts])
+                            for c in range(self.columns)
+                        ),
+                        [o for p in run_parts for o in p[2]]
+                        if self.objects else None,
+                    ))
+            if ts is None or run.exhausted:
+                run.delete()
+            else:
+                survivors.append(run)
+        self._runs = survivors
+        mem_parts = []
+        kept = []
+        rows = 0
+        for keys, cols, objs in self._chunks:
+            split = int(keys.size) if ts is None else int(
+                np.searchsorted(keys, ts, side="right")
+            )
+            if split:
+                mem_parts.append((
+                    keys[:split],
+                    tuple(col[:split] for col in cols),
+                    objs[:split] if objs is not None else None,
+                ))
+            if split < keys.size:
+                kept.append((
+                    keys[split:],
+                    tuple(col[split:] for col in cols),
+                    objs[split:] if objs is not None else None,
+                ))
+                rows += int(keys.size) - split
+        self._chunks = kept
+        self._rows = rows
+        if mem_parts:
+            sources += 1
+            parts.append(_merge_chunk_list(
+                mem_parts, self.columns, self.objects
+            ))
+        if parts:
+            self.metrics.merges += 1
+            self.metrics.note_fan_in(sources)
+        self.metrics.note_buffered(self.buffered_bytes)
+        return _kway_merge(parts, self.columns, self.objects)
+
+    def close(self):
+        """Delete every remaining run file and release the directory."""
+        for run in self._runs:
+            run.delete()
+        self._runs = []
+        self._chunks = []
+        self._rows = 0
+        if self._owns_dir:
+            self.directory.cleanup()
+
+
+class ExternalColumnarSorter:
+    """Bounded-memory drop-in for ``ColumnarImpatienceSorter``.
+
+    Same API and byte-identical output (see module docstring for the
+    stability argument); buffered bytes are capped at ``budget_bytes``
+    with cold runs spilling to disk.
+    """
+
+    def __init__(self, budget_bytes, late_policy=LatePolicy.DROP,
+                 columns=0, spill_dir=None, injector=None):
+        if columns < 0:
+            raise ValueError("columns must be >= 0")
+        self.stats = SorterStats()
+        self.late = LateEventTracker(late_policy)
+        self.columns = int(columns)
+        self.pool = ExternalRunPool(
+            budget_bytes, columns=self.columns, spill_dir=spill_dir,
+            injector=injector,
+        )
+        self._watermark = _NEG_INF
+        self._has_watermark = False
+
+    @property
+    def run_count(self):
+        """Number of live spilled runs on disk."""
+        return self.pool.run_count
+
+    @property
+    def buffered(self):
+        """Events currently resident in memory (spilled ones excluded)."""
+        return self.pool.buffered_rows
+
+    @property
+    def watermark(self):
+        return self._watermark
+
+    @property
+    def memory_budget(self):
+        return self.pool.budget
+
+    def attach_injector(self, injector):
+        self.pool.injector = injector
+
+    def spill_doc(self):
+        return self.pool.metrics.as_dict()
+
+    def insert_batch(self, values, columns=()):
+        """Ingest one arrival-order batch of timestamps (+ columns)."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("insert_batch expects a 1-D array")
+        if len(columns) != self.columns:
+            raise ValueError(
+                f"expected {self.columns} payload columns, "
+                f"got {len(columns)}"
+            )
+        cols = tuple(np.asarray(col, dtype=np.int64) for col in columns)
+        if any(col.shape != arr.shape for col in cols):
+            raise ValueError("payload columns must parallel the timestamps")
+        if arr.size == 0:
+            return 0
+        if self._has_watermark:
+            late_mask = arr <= self._watermark
+            n_late = int(late_mask.sum())
+            if n_late:
+                if self.late.policy is LatePolicy.ADJUST:
+                    arr = arr.copy()
+                    for _ in range(n_late):
+                        self.late.admit(None, self._watermark)
+                    arr[late_mask] = self._watermark
+                else:
+                    # DROP counts each; RAISE raises on the first.
+                    for value in arr[late_mask][:1]:
+                        self.late.admit(int(value), self._watermark)
+                    for _ in range(n_late - 1):
+                        self.late.admit(None, self._watermark)
+                    arr = arr[~late_mask]
+                    cols = tuple(col[~late_mask] for col in cols)
+                    if arr.size == 0:
+                        return 0
+        if not _is_ascending(arr):
+            order = np.argsort(arr, kind="stable")
+            arr = arr[order]
+            cols = tuple(col[order] for col in cols)
+        self.pool.insert_sorted(arr, cols)
+        self.stats.inserted += int(arr.size)
+        self.stats.runs_created = self.pool.metrics.runs_spilled
+        self.stats.note_buffered()
+        return int(arr.size)
+
+    def on_punctuation(self, timestamp):
+        """Cut and return every buffered value <= ``timestamp``, sorted."""
+        if self._has_watermark and timestamp < self._watermark:
+            raise PunctuationOrderError(timestamp, self._watermark)
+        self._watermark = timestamp
+        self._has_watermark = True
+        return self._emit(self.pool.cut(timestamp))
+
+    def flush(self):
+        """Return everything still buffered, sorted (end-of-stream)."""
+        return self._emit(self.pool.cut(None))
+
+    def _emit(self, cut):
+        merged, cols, _ = cut
+        if merged.size:
+            self.stats.merges += 1
+            self.stats.merge_events += int(merged.size)
+        self.stats.emitted += int(merged.size)
+        self.stats.runs_removed = (
+            self.pool.metrics.runs_spilled - self.pool.run_count
+        )
+        self.stats.sample_runs(self.pool.run_count)
+        if self.columns:
+            return merged, cols
+        return merged
+
+    def close(self):
+        self.pool.close()
+
+
+class ExternalImpatienceSorter:
+    """Scalar bounded-memory sorter with the ``ImpatienceSorter`` API.
+
+    Keys must be integers (they are stored as packed int64 columns on
+    disk).  Keyless sorters round-trip bare values; keyed sorters carry
+    the original items in a pickled object column alongside the keys.
+    Only the keyless form is checkpointable, mirroring the in-memory
+    sorter's contract.
+    """
+
+    def __init__(self, budget_bytes, key=None, late_policy=LatePolicy.DROP,
+                 spill_dir=None, quarantine=None, injector=None):
+        self.stats = SorterStats()
+        self.late = LateEventTracker(late_policy, quarantine=quarantine)
+        self._key = key
+        self.pool = ExternalRunPool(
+            budget_bytes, columns=0, objects=key is not None,
+            spill_dir=spill_dir, injector=injector,
+        )
+        self._pending_keys = []
+        self._pending_items = [] if key is not None else None
+        self._watermark = _NEG_INF
+        self._has_watermark = False
+
+    @property
+    def keyed(self):
+        return self._key is not None
+
+    @property
+    def buffered(self):
+        return self.pool.buffered_rows + len(self._pending_keys)
+
+    @property
+    def run_count(self):
+        return self.pool.run_count
+
+    @property
+    def watermark(self):
+        return self._watermark
+
+    @property
+    def memory_budget(self):
+        return self.pool.budget
+
+    def attach_injector(self, injector):
+        self.pool.injector = injector
+
+    def spill_doc(self):
+        return self.pool.metrics.as_dict()
+
+    def insert(self, item):
+        key = self._key(item) if self._key is not None else item
+        if isinstance(key, bool) or not isinstance(key, (int, np.integer)):
+            raise TypeError(
+                f"external sorter requires integer sync keys, "
+                f"got {key!r}"
+            )
+        key = int(key)
+        if self._has_watermark and key <= self._watermark:
+            admitted = self.late.admit(key, self._watermark)
+            if admitted is None:
+                return False
+            key = int(admitted)
+            if self._key is None:
+                item = key
+        self._pending_keys.append(key)
+        if self._pending_items is not None:
+            self._pending_items.append(item)
+        self.stats.inserted += 1
+        self.stats.note_buffered()
+        pending_bytes = len(self._pending_keys) * self.pool.bytes_per_row
+        if pending_bytes + self.pool.buffered_bytes >= self.pool.budget:
+            self._flush_pending()
+        return True
+
+    def extend(self, values):
+        for value in values:
+            self.insert(value)
+
+    def _flush_pending(self):
+        if not self._pending_keys:
+            return
+        keys = np.asarray(self._pending_keys, dtype=np.int64)
+        objs = None
+        if self._pending_items is not None:
+            objs = list(self._pending_items)
+            self._pending_items.clear()
+        self._pending_keys.clear()
+        if not _is_ascending(keys):
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            if objs is not None:
+                objs = [objs[i] for i in order]
+        self.pool.insert_sorted(keys, (), objs)
+        self.stats.runs_created = self.pool.metrics.runs_spilled
+
+    def on_punctuation(self, timestamp):
+        if self._has_watermark and timestamp < self._watermark:
+            raise PunctuationOrderError(timestamp, self._watermark)
+        self._flush_pending()
+        self._watermark = timestamp
+        self._has_watermark = True
+        return self._emit(self.pool.cut(timestamp))
+
+    def flush(self):
+        self._flush_pending()
+        return self._emit(self.pool.cut(None))
+
+    def _emit(self, cut):
+        keys, _, objs = cut
+        if keys.size:
+            self.stats.merges += 1
+            self.stats.merge_events += int(keys.size)
+        self.stats.emitted += int(keys.size)
+        self.stats.runs_removed = (
+            self.pool.metrics.runs_spilled - self.pool.run_count
+        )
+        self.stats.sample_runs(self.pool.run_count)
+        if self._key is not None:
+            return objs
+        return keys.tolist()
+
+    def close(self):
+        self.pool.close()

@@ -21,7 +21,46 @@ import numpy as np
 
 from repro.workloads.base import Dataset
 
-__all__ = ["generate_cloudlog"]
+__all__ = ["cloudlog_arrays", "generate_cloudlog"]
+
+
+def cloudlog_arrays(n, n_servers=387, jitter_ms=4.0,
+                    delay_spread_ms=4000.0, n_bursts=3,
+                    burst_fraction=0.55, seed=0, n_keys=100):
+    """The CloudLog arrival simulation as raw numpy arrays.
+
+    Returns ``(timestamps, keys, rng)`` — int64 event times in arrival
+    order, the parallel grouping-key column, and the generator's RNG
+    positioned exactly where :func:`generate_cloudlog` draws payloads.
+    Large-scale benchmarks use this directly: it sidesteps the
+    per-event Python objects a :class:`Dataset` materializes, which
+    dominate generation cost beyond a few million events.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be >= 1")
+    rng = np.random.default_rng(seed)
+    event_time = np.arange(n, dtype=np.int64)  # one event per ms, globally
+    server = rng.integers(0, n_servers, size=n)
+    base_delay = rng.uniform(0.0, delay_spread_ms, size=n_servers)
+    jitter = np.abs(rng.normal(0.0, jitter_ms, size=n))
+    arrival = event_time + base_delay[server] + jitter
+
+    # Failure bursts: a server goes dark for a window; everything it would
+    # have sent during the window arrives right after recovery.
+    fraction = burst_fraction
+    for _ in range(n_bursts):
+        victim = rng.integers(0, n_servers)
+        length = max(int(n * fraction), 1)
+        start = int(rng.integers(0, max(n - length, 1)))
+        end = start + length
+        held = (server == victim) & (event_time >= start) & (event_time < end)
+        arrival[held] = end + rng.uniform(0.0, jitter_ms, size=int(held.sum()))
+        fraction /= 3.0
+
+    order = np.argsort(arrival, kind="stable")
+    times = event_time[order]
+    keys = rng.integers(0, n_keys, size=n, dtype=np.int64)[order]
+    return times, keys, rng
 
 
 def generate_cloudlog(n, n_servers=387, jitter_ms=4.0, delay_spread_ms=4000.0,
@@ -56,30 +95,11 @@ def generate_cloudlog(n, n_servers=387, jitter_ms=4.0, delay_spread_ms=4000.0,
     n_keys:
         Cardinality of the grouping-key column.
     """
-    if n_servers < 1:
-        raise ValueError("n_servers must be >= 1")
-    rng = np.random.default_rng(seed)
-    event_time = np.arange(n, dtype=np.int64)  # one event per ms, globally
-    server = rng.integers(0, n_servers, size=n)
-    base_delay = rng.uniform(0.0, delay_spread_ms, size=n_servers)
-    jitter = np.abs(rng.normal(0.0, jitter_ms, size=n))
-    arrival = event_time + base_delay[server] + jitter
-
-    # Failure bursts: a server goes dark for a window; everything it would
-    # have sent during the window arrives right after recovery.
-    fraction = burst_fraction
-    for _ in range(n_bursts):
-        victim = rng.integers(0, n_servers)
-        length = max(int(n * fraction), 1)
-        start = int(rng.integers(0, max(n - length, 1)))
-        end = start + length
-        held = (server == victim) & (event_time >= start) & (event_time < end)
-        arrival[held] = end + rng.uniform(0.0, jitter_ms, size=int(held.sum()))
-        fraction /= 3.0
-
-    order = np.argsort(arrival, kind="stable")
-    times = event_time[order]
-    keys = rng.integers(0, n_keys, size=n, dtype=np.int64)[order]
+    times, keys, rng = cloudlog_arrays(
+        n, n_servers=n_servers, jitter_ms=jitter_ms,
+        delay_spread_ms=delay_spread_ms, n_bursts=n_bursts,
+        burst_fraction=burst_fraction, seed=seed, n_keys=n_keys,
+    )
     payload_cols = rng.integers(0, 2**31 - 1, size=(n, 4), dtype=np.int64)
     return Dataset(
         name="cloudlog",

@@ -208,6 +208,98 @@ class TestSorterCheckpointRecovery:
         assert restore["replayed"] <= 110
 
 
+class TestExternalSpillRecovery:
+    """The chaos matrix extended to disk: a supervised bounded-memory
+    sorter whose spilled run files suffer injected OSErrors, corruption,
+    and truncation must recover from its checkpoint with byte-identical,
+    exactly-once delivery — a wrong answer is never an option."""
+
+    BUDGET = 512
+
+    def elements(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = list(range(1_500))
+        for _ in range(300):
+            i = rng.randrange(len(values))
+            j = max(0, i - rng.randint(1, 40))
+            values[i], values[j] = values[j], values[i]
+        out, high = [], None
+        for i, v in enumerate(values):
+            out.append(("event", v))
+            high = v if high is None else max(high, v)
+            if (i + 1) % 100 == 0:
+                out.append(("punct", high - 60))
+        return out
+
+    def reference(self, elements):
+        sorter = ImpatienceSorter()
+        out = []
+        for kind, value in elements:
+            if kind == "event":
+                sorter.insert(value)
+            else:
+                out.extend(sorter.on_punctuation(value))
+        out.extend(sorter.flush())
+        return out
+
+    def supervise(self, elements, chaos, seed, **kwargs):
+        from repro.sorting.external import ExternalImpatienceSorter
+
+        supervisor = SorterSupervisor(
+            lambda: ExternalImpatienceSorter(self.BUDGET),
+            checkpoint_every=2, quarantine=True,
+            chaos=chaos, seed=seed, sleep=lambda s: None, **kwargs,
+        )
+        result = supervisor.run(elements)
+        result.sorter.close()
+        return result
+
+    @pytest.mark.parametrize("mode", ["oserror", "corrupt", "truncate"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spill_fault_byte_identity(self, mode, seed):
+        elements = self.elements(seed)
+        expected = self.reference(elements)
+        result = self.supervise(
+            elements,
+            chaos=f"spill:p=0.05,mode={mode},on=both,limit=2",
+            seed=seed,
+        )
+        assert result.output == expected
+        if result.injector.fired.get("spill", 0):
+            assert result.restarts >= 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spill_and_crash_combined(self, seed):
+        """Disk corruption layered on process crashes: both recovery
+        paths compose without disturbing delivery."""
+        elements = self.elements(seed)
+        expected = self.reference(elements)
+        result = self.supervise(
+            elements,
+            chaos="spill:p=0.04,mode=corrupt,on=read,limit=1;"
+                  "crash:punct=4+9,limit=2",
+            seed=seed,
+        )
+        assert result.output == expected
+        assert result.restarts >= 2  # the two crashes, plus any spill hit
+
+    def test_corrupt_run_is_quarantined_with_location(self):
+        elements = self.elements(0)
+        result = self.supervise(
+            elements,
+            chaos="spill:p=1.0,mode=corrupt,on=read,limit=1", seed=0,
+        )
+        assert result.output == self.reference(elements)
+        spills = [
+            entry for entry in result.ledger.entries
+            if str(entry.element).startswith("spill:")
+        ]
+        assert len(spills) == 1
+        assert "@" in str(spills[0].element)  # file path + byte offset
+
+
 class TestObservabilityExport:
     def test_snapshot_carries_quarantine_and_degradations(self, tmp_path):
         registry = MetricsRegistry()

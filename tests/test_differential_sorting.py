@@ -194,6 +194,145 @@ def test_unknown_merge_strategy_rejected():
         ImpatienceSorter(merge="bogus")
 
 
+
+# -- bounded-memory external sorter ----------------------------------------
+
+#: 1 byte is the pathological floor: every insert overflows the buffer,
+#: degenerating to (at worst) one run per spill — the spill machinery's
+#: equivalent of a fully disordered stream.
+BUDGETS = [1, 64, 512, 8192]
+
+
+def run_external_differential(elements, policy, budget, use_extend=False):
+    """Drive the spilling sorter and the reference model together.
+
+    The external sorter has no merge-strategy knob (its k-way loser-tree
+    merge is the only schedule), so the differential axis here is the
+    memory budget instead.
+    """
+    from repro.sorting.external import ExternalImpatienceSorter
+
+    sorter = ExternalImpatienceSorter(budget, late_policy=policy)
+    reference = ReferenceSorter(policy)
+    try:
+        batch = []
+        for kind, value in elements:
+            if kind == "event":
+                if use_extend:
+                    batch.append(value)
+                else:
+                    sorter.insert(value)
+                    reference.insert(value)
+                continue
+            if use_extend and batch:
+                sorter.extend(batch)
+                for item in batch:
+                    reference.insert(item)
+                batch = []
+            assert sorter.on_punctuation(value) == \
+                reference.on_punctuation(value), \
+                f"divergence at punctuation {value} (budget {budget})"
+        if use_extend and batch:
+            sorter.extend(batch)
+            for item in batch:
+                reference.insert(item)
+        assert sorter.flush() == reference.flush()
+        assert sorter.spill_doc()["peak_buffered_bytes"] <= budget
+    finally:
+        sorter.close()
+    return sorter, reference
+
+
+class TestExternalDifferential:
+    """The spilling sorter against the same reference model: identical
+    per-punctuation batches at every budget, including budgets so small
+    that nearly the whole stream lives on disk."""
+
+    @pytest.mark.parametrize("budget", BUDGETS)
+    @pytest.mark.parametrize("policy", KEPT_POLICIES)
+    @pytest.mark.parametrize("disorder", [0.0, 0.05, 0.3])
+    def test_matches_reference(self, budget, policy, disorder):
+        seed = len(repr((budget, policy.value, disorder)))
+        elements = make_stream(
+            seed=seed, n=400, disorder_fraction=disorder,
+            duplicate_density=0.25,
+        )
+        attempted = sum(1 for kind, _ in elements if kind == "event")
+        sorter, reference = run_external_differential(
+            elements, policy, budget
+        )
+        assert_stats_consistent(sorter, reference, attempted)
+
+    @pytest.mark.parametrize("budget", BUDGETS)
+    @pytest.mark.parametrize("policy", KEPT_POLICIES)
+    def test_matches_reference_batched_ingress(self, budget, policy):
+        elements = make_stream(seed=7, n=400, disorder_fraction=0.2,
+                               duplicate_density=0.1)
+        attempted = sum(1 for kind, _ in elements if kind == "event")
+        sorter, reference = run_external_differential(
+            elements, policy, budget, use_extend=True
+        )
+        assert_stats_consistent(sorter, reference, attempted)
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_matches_every_in_memory_merge_strategy(self, merge):
+        """Budgeted output equals the in-memory sorter under each merge
+        strategy (keyless values make every schedule value-identical)."""
+        from repro.sorting.external import ExternalImpatienceSorter
+
+        elements = make_stream(seed=13, n=400, disorder_fraction=0.25,
+                               duplicate_density=0.2)
+        in_memory = ImpatienceSorter(merge=merge)
+        external = ExternalImpatienceSorter(96)
+        try:
+            for kind, value in elements:
+                if kind == "event":
+                    in_memory.insert(value)
+                    external.insert(value)
+                else:
+                    assert external.on_punctuation(value) == \
+                        in_memory.on_punctuation(value)
+            assert external.flush() == in_memory.flush()
+            assert external.spill_doc()["runs_spilled"] > 0
+        finally:
+            external.close()
+
+    def test_raise_policy_matches_reference(self):
+        elements = make_stream(seed=11, n=300, disorder_fraction=0.3,
+                               duplicate_density=0.1)
+        _, probe = run_external_differential(
+            elements, LatePolicy.DROP, 64
+        )
+        assert probe.dropped > 0, "stream must exercise the late path"
+        with pytest.raises(LateEventError):
+            run_external_differential(elements, LatePolicy.RAISE, 64)
+
+    @given(
+        values=st.lists(st.integers(0, 120), min_size=1, max_size=120),
+        punct_mask=st.lists(st.booleans(), min_size=1, max_size=120),
+        latency=st.integers(0, 40),
+        policy=st.sampled_from(KEPT_POLICIES),
+        budget=st.integers(1, 2048),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_interleavings_and_budgets(self, values, punct_mask,
+                                                 latency, policy, budget):
+        elements = []
+        high, last_punct = None, None
+        for i, value in enumerate(values):
+            elements.append(("event", value))
+            high = value if high is None else max(high, value)
+            if punct_mask[i % len(punct_mask)]:
+                timestamp = high - latency
+                if last_punct is None or timestamp > last_punct:
+                    last_punct = timestamp
+                    elements.append(("punct", timestamp))
+        sorter, reference = run_external_differential(
+            elements, policy, budget
+        )
+        assert_stats_consistent(sorter, reference, len(values))
+
+
 class TestPropertyDifferential:
     """Hypothesis-driven version: arbitrary interleavings, not just the
     generator's punctuate-every-k schedule."""

@@ -1,0 +1,735 @@
+"""Out-of-core run pool acceptance: spilling must be invisible.
+
+The bounded-memory sorters (:mod:`repro.sorting.external`) promise that
+for any budget — down to one row per spill — every output batch is
+byte-identical to the in-memory sorter's, the resting buffer never
+exceeds the budget, spilled run files never outlive the sorter, and a
+corrupt/truncated/unreadable run file surfaces as a typed
+:class:`SpillCorruptionError` (recovered cleanly under supervision),
+never as a silently wrong answer.  This module proves each clause;
+``test_differential_sorting.py`` and ``test_fuzz_queries.py`` carry the
+randomized differential halves.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+import random
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.errors import (
+    CheckpointError,
+    LateEventError,
+    QueryBuildError,
+    SpillCorruptionError,
+    SupervisionExhaustedError,
+)
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.engine.checkpoint import (
+    checkpoint_sorter,
+    release_checkpoint,
+    restore_sorter,
+)
+from repro.resilience import FaultInjector, SorterSupervisor
+from repro.sorting.external import (
+    ExternalColumnarSorter,
+    ExternalImpatienceSorter,
+    LoserTree,
+    SpillDirectory,
+    parse_memory_budget,
+)
+
+
+def spill_dirs():
+    """Live spill directories, for before/after orphan accounting."""
+    return set(glob.glob(
+        os.path.join(tempfile.gettempdir(), "repro-spill-*")
+    ))
+
+
+@pytest.fixture(autouse=True)
+def no_orphan_spill_dirs():
+    before = spill_dirs()
+    yield
+    assert spill_dirs() <= before, "test leaked spill directories"
+
+
+# -- budget parsing ---------------------------------------------------------
+
+
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize("value,expected", [
+        (1, 1),
+        (65536, 65536),
+        ("512", 512),
+        ("4kb", 4096),
+        ("64MB", 64 * 1024 * 1024),
+        ("2 GiB", 2 * 1024 ** 3),
+    ])
+    def test_accepted(self, value, expected):
+        assert parse_memory_budget(value) == expected
+
+    @pytest.mark.parametrize("value", [
+        "banana", "12XB", "", "-5", "0", 0, -1, True, 1.5, None,
+    ])
+    def test_rejected(self, value):
+        with pytest.raises((ValueError, TypeError)):
+            parse_memory_budget(value)
+
+
+# -- loser tree -------------------------------------------------------------
+
+
+class TestLoserTree:
+    def merge(self, sources):
+        entries = [
+            (lst[0], i) if lst else None
+            for i, lst in enumerate(sources)
+        ]
+        cursors = [1 if lst else 0 for lst in sources]
+        tree = LoserTree(entries)
+        out = []
+        while tree.winner >= 0:
+            key, i = tree.winner_entry()
+            out.append(key)
+            if cursors[i] < len(sources[i]):
+                tree.advance((sources[i][cursors[i]], i))
+                cursors[i] += 1
+            else:
+                tree.advance(None)
+        return out
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 13])
+    def test_merges_sorted_sources(self, k):
+        rng = random.Random(k)
+        sources = [
+            sorted(rng.randrange(1000) for _ in range(rng.randrange(0, 40)))
+            for _ in range(k)
+        ]
+        expected = sorted(v for lst in sources for v in lst)
+        assert self.merge(sources) == expected
+
+    def test_ties_break_by_source_index(self):
+        tree = LoserTree([(5, 2), (5, 0), (5, 1)])
+        order = []
+        while tree.winner >= 0:
+            order.append(tree.winner_entry()[1])
+            tree.advance(None)
+        assert order == [0, 1, 2]
+
+    def test_runner_up_bounds_the_winner(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            k = rng.randrange(2, 9)
+            entries = [(rng.randrange(100), i) for i in range(k)]
+            tree = LoserTree(list(entries))
+            keys = sorted(key for key, _ in entries)
+            assert tree.winner_entry()[0] == keys[0]
+            assert tree.runner_up()[0] == keys[1]
+
+
+# -- columnar differential --------------------------------------------------
+
+
+def columnar_stream(rng, n, columns, punct_every, displacement):
+    """Presorted-chunk batches + trailing punctuations, like the
+    compiled ingress path feeds the sorter."""
+    times = []
+    for i in range(n):
+        times.append(i + rng.randrange(-displacement, displacement + 1))
+    batches = []
+    high = None
+    for start in range(0, n, punct_every):
+        chunk = np.asarray(times[start:start + punct_every], dtype=np.int64)
+        cols = tuple(
+            np.asarray([(t * (c + 3)) % 101 for t in chunk], dtype=np.int64)
+            for c in range(columns)
+        )
+        order = np.argsort(chunk, kind="stable")
+        high = int(chunk.max()) if high is None \
+            else max(high, int(chunk.max()))
+        batches.append((
+            chunk[order], tuple(col[order] for col in cols),
+            high - displacement,
+        ))
+    return batches
+
+
+def drive_columnar(sorter, batches, columns):
+    out = []
+    for chunk, cols, punct in batches:
+        sorter.insert_batch(chunk, cols)
+        out.append(sorter.on_punctuation(punct))
+    out.append(sorter.flush())
+    return out
+
+
+def assert_columnar_equal(got, want, columns):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        if columns:
+            gk, gc = g
+            wk, wc = w
+            np.testing.assert_array_equal(gk, wk)
+            for a, b in zip(gc, wc):
+                np.testing.assert_array_equal(a, b)
+        else:
+            np.testing.assert_array_equal(g, w)
+
+
+class TestColumnarDifferential:
+    @pytest.mark.parametrize("policy", [LatePolicy.DROP, LatePolicy.ADJUST])
+    @pytest.mark.parametrize("columns", [0, 1, 2])
+    @pytest.mark.parametrize("budget", [1, 24, 256, 8192, 1 << 20])
+    def test_byte_identical_to_in_memory(self, policy, columns, budget):
+        rng = random.Random(hash((policy.value, columns, budget)) & 0xFFFF)
+        batches = columnar_stream(rng, 600, columns, 47, 30)
+        reference = drive_columnar(
+            ColumnarImpatienceSorter(late_policy=policy, columns=columns),
+            batches, columns,
+        )
+        external = ExternalColumnarSorter(
+            budget, late_policy=policy, columns=columns,
+        )
+        try:
+            got = drive_columnar(external, batches, columns)
+            assert_columnar_equal(got, reference, columns)
+            doc = external.spill_doc()
+            assert doc["peak_buffered_bytes"] <= budget
+            if budget < 256:
+                assert doc["runs_spilled"] > 0
+        finally:
+            external.close()
+
+    def test_pathological_one_row_per_spill(self):
+        """budget=1 byte: every chunk overflows, block_rows=1 — the
+        1-run-per-event worst case stays byte-identical."""
+        rng = random.Random(5)
+        batches = columnar_stream(rng, 250, 1, 13, 40)
+        reference = drive_columnar(
+            ColumnarImpatienceSorter(columns=1), batches, 1,
+        )
+        external = ExternalColumnarSorter(1, columns=1)
+        try:
+            got = drive_columnar(external, batches, 1)
+            assert_columnar_equal(got, reference, 1)
+            assert external.spill_doc()["runs_spilled"] > 0
+        finally:
+            external.close()
+
+    def test_mirrors_validation_errors(self):
+        external = ExternalColumnarSorter(64, columns=1)
+        try:
+            with pytest.raises(ValueError, match="1-D"):
+                external.insert_batch(np.zeros((2, 2), dtype=np.int64), ())
+            with pytest.raises(ValueError, match="payload columns"):
+                external.insert_batch(np.arange(3), ())
+        finally:
+            external.close()
+
+
+# -- scalar differential ----------------------------------------------------
+
+
+def scalar_stream(seed, n=1500, punct_every=90, displacement=50,
+                  latency=35):
+    rng = random.Random(seed)
+    elements, high = [], None
+    for i in range(n):
+        v = i + rng.randrange(-displacement, displacement + 1)
+        elements.append(("event", v))
+        high = v if high is None else max(high, v)
+        if (i + 1) % punct_every == 0:
+            elements.append(("punct", high - latency))
+    return elements
+
+
+def drive_scalar(sorter, elements, wrap=None):
+    out = []
+    for kind, value in elements:
+        item = wrap(value) if wrap else value
+        if kind == "event":
+            sorter.insert(item)
+        else:
+            out.append(list(sorter.on_punctuation(value)))
+    out.append(list(sorter.flush()))
+    return out
+
+
+class TestScalarDifferential:
+    @pytest.mark.parametrize("policy", [LatePolicy.DROP, LatePolicy.ADJUST])
+    @pytest.mark.parametrize("budget", [1, 64, 1024, 65536])
+    def test_keyless_matches_in_memory(self, policy, budget):
+        elements = scalar_stream(seed=budget % 97)
+        reference = drive_scalar(
+            ImpatienceSorter(late_policy=policy), elements
+        )
+        external = ExternalImpatienceSorter(budget, late_policy=policy)
+        try:
+            got = drive_scalar(external, elements)
+            assert got == reference
+            assert external.late.dropped >= 0
+            doc = external.spill_doc()
+            assert doc["peak_buffered_bytes"] <= budget
+        finally:
+            external.close()
+
+    @pytest.mark.parametrize("budget", [1, 512, 16384])
+    def test_keyed_matches_in_memory_kway(self, budget):
+        # Items are pure functions of the key, so arrival tie order
+        # cannot distinguish equal items and the comparison is exact.
+        def key(item):
+            return item[1]
+
+        elements = scalar_stream(seed=3, n=1200)
+        reference = drive_scalar(
+            ImpatienceSorter(key=key, merge="kway"), elements,
+            wrap=lambda v: ("ev", v),
+        )
+        external = ExternalImpatienceSorter(budget, key=key)
+        try:
+            got = drive_scalar(external, elements, wrap=lambda v: ("ev", v))
+            assert got == reference
+        finally:
+            external.close()
+
+    def test_raise_policy_raises_like_in_memory(self):
+        elements = scalar_stream(seed=11)
+        with pytest.raises(LateEventError):
+            drive_scalar(
+                ImpatienceSorter(late_policy=LatePolicy.RAISE), elements
+            )
+        external = ExternalImpatienceSorter(
+            128, late_policy=LatePolicy.RAISE
+        )
+        try:
+            with pytest.raises(LateEventError):
+                drive_scalar(external, elements)
+        finally:
+            external.close()
+
+    def test_rejects_non_integer_keys(self):
+        external = ExternalImpatienceSorter(128)
+        try:
+            with pytest.raises(TypeError, match="integer sync keys"):
+                external.insert("three")
+            with pytest.raises(TypeError, match="integer sync keys"):
+                external.insert(True)
+        finally:
+            external.close()
+
+
+# -- replacement selection --------------------------------------------------
+
+
+class TestReplacementSelection:
+    def test_nearly_sorted_runs_exceed_twice_the_budget(self):
+        """On nearly-sorted input, replacement selection keeps one run
+        open across spills, so on-disk runs average >= 2x the budget."""
+        budget = 2048
+        rng = random.Random(1)
+        external = ExternalImpatienceSorter(budget)
+        try:
+            for i in range(60_000):
+                external.insert(i + rng.randrange(0, 8))
+            external.flush()
+            doc = external.spill_doc()
+            assert doc["runs_spilled"] >= 1
+            assert doc["avg_run_bytes"] >= 2 * budget
+        finally:
+            external.close()
+
+    def test_reversed_input_degrades_to_one_run_per_spill(self):
+        budget = 2048
+        external = ExternalImpatienceSorter(budget)
+        try:
+            for i in range(20_000, 0, -1):
+                external.insert(i)
+            external.flush()
+            doc = external.spill_doc()
+            # Anti-sorted input defeats replacement selection — many
+            # short runs — but correctness never depends on run length.
+            assert doc["runs_spilled"] > 10
+        finally:
+            external.close()
+
+
+# -- temp-file hygiene ------------------------------------------------------
+
+
+class TestTempFileHygiene:
+    def fill(self, sorter, n=4000):
+        for i in range(n):
+            sorter.insert(i % 997)
+
+    def test_close_removes_directory_and_runs(self):
+        external = ExternalImpatienceSorter(256)
+        self.fill(external)
+        path = external.pool.directory.path
+        assert os.path.isdir(path)
+        assert external.run_count > 0
+        external.close()
+        assert not os.path.exists(path)
+
+    def test_close_after_exception_removes_directory(self):
+        external = ExternalImpatienceSorter(256)
+        path = external.pool.directory.path
+        try:
+            self.fill(external)
+            raise RuntimeError("mid-stream failure")
+        except RuntimeError:
+            pass
+        finally:
+            external.close()
+        assert not os.path.exists(path)
+
+    def test_finalizer_backstop_cleans_unclosed_sorter(self):
+        import gc
+
+        external = ExternalImpatienceSorter(256)
+        self.fill(external)
+        path = external.pool.directory.path
+        del external
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_spill_directory_context_manager(self):
+        with SpillDirectory() as directory:
+            path = directory.path
+            open(directory.file_path("x.spill"), "wb").close()
+        assert not os.path.exists(path)
+
+    def test_run_files_deleted_as_cuts_exhaust_them(self):
+        external = ExternalImpatienceSorter(256)
+        try:
+            self.fill(external, 3000)
+            directory = external.pool.directory.path
+            assert len(os.listdir(directory)) > 0
+            external.flush()
+            assert os.listdir(directory) == []
+        finally:
+            external.close()
+
+
+# -- disk-fault injection ---------------------------------------------------
+
+
+class TestSpillFaultInjection:
+    def stream_through(self, injector):
+        external = ExternalImpatienceSorter(256, injector=injector)
+        try:
+            rng = random.Random(0)
+            for _ in range(3000):
+                external.insert(rng.randrange(10_000))
+            external.flush()
+        finally:
+            external.close()
+
+    @pytest.mark.parametrize("mode", ["corrupt", "truncate"])
+    @pytest.mark.parametrize("side", ["read", "write"])
+    def test_corruption_is_detected_never_silent(self, mode, side):
+        injector = FaultInjector(
+            f"spill:p=1.0,mode={mode},on={side},limit=1", seed=1
+        )
+        with pytest.raises(SpillCorruptionError) as info:
+            self.stream_through(injector)
+        err = info.value
+        assert err.path and os.path.basename(err.path).endswith(".spill")
+        assert err.offset >= 0
+        assert injector.fired["spill"] == 1
+
+    @pytest.mark.parametrize("side", ["read", "write"])
+    def test_oserror_mode_raises_oserror(self, side):
+        injector = FaultInjector(
+            f"spill:p=1.0,mode=oserror,on={side},limit=1", seed=1
+        )
+        with pytest.raises(OSError) as info:
+            self.stream_through(injector)
+        assert not isinstance(info.value, SpillCorruptionError)
+        assert "injected spill" in str(info.value)
+
+    def test_spill_corruption_error_pickles(self):
+        err = SpillCorruptionError("/tmp/x.spill", 128, "checksum mismatch")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.path == err.path
+        assert clone.offset == 128
+        assert "checksum mismatch" in str(clone)
+
+    def test_truncated_file_on_disk_is_detected(self):
+        """A genuinely torn file (no injector) trips the framing check."""
+        external = ExternalImpatienceSorter(256)
+        try:
+            for i in range(3000):
+                external.insert(i % 719)
+            runs = external.pool.runs
+            assert runs, "expected at least one spilled run"
+            run = runs[0]
+            with open(run.path, "r+b") as fh:
+                fh.truncate(run.length - 7)
+            with pytest.raises(SpillCorruptionError, match="truncated"):
+                external.flush()
+        finally:
+            external.close()
+
+
+# -- checkpoint / restore ---------------------------------------------------
+
+
+class TestExternalCheckpoint:
+    def split_stream(self, seed=9):
+        # A punctuation lag deeper than the spill cadence keeps sorted
+        # runs alive on disk across cuts — the checkpoint must capture
+        # and pin them, which is the point of these tests.
+        elements = scalar_stream(
+            seed=seed, n=2400, punct_every=120, latency=300,
+        )
+        cut = (len(elements) * 2) // 3
+        return elements[:cut], elements[cut:]
+
+    def reference(self, head, tail):
+        return drive_scalar(ImpatienceSorter(), head + tail)
+
+    def run_prefix(self, sorter, head):
+        out = []
+        for kind, value in head:
+            if kind == "event":
+                sorter.insert(value)
+            else:
+                out.append(list(sorter.on_punctuation(value)))
+        return out
+
+    def finish(self, sorter, prefix_out, tail):
+        out = list(prefix_out)
+        for kind, value in tail:
+            if kind == "event":
+                sorter.insert(value)
+            else:
+                out.append(list(sorter.on_punctuation(value)))
+        out.append(list(sorter.flush()))
+        return out
+
+    def test_round_trip_with_runs_on_disk(self):
+        head, tail = self.split_stream()
+        expected = self.reference(head, tail)
+        original = ExternalImpatienceSorter(512)
+        prefix_out = self.run_prefix(original, head)
+        assert original.run_count > 0, "checkpoint must capture disk runs"
+        state = checkpoint_sorter(original)
+        assert state["format"] == 3
+        assert len(state["external"]["runs"]) == original.run_count
+        # The original dying — its files deleted — must not invalidate
+        # the checkpoint: restore twice, close the original in between.
+        twin1 = restore_sorter(state)
+        original.close()
+        twin2 = restore_sorter(state)
+        got1 = self.finish(twin1, prefix_out, tail)
+        twin1.close()
+        got2 = self.finish(twin2, prefix_out, tail)
+        twin2.close()
+        release_checkpoint(state)
+        assert got1 == expected
+        assert got2 == expected
+
+    def test_release_checkpoint_removes_pinned_files(self):
+        head, _ = self.split_stream()
+        original = ExternalImpatienceSorter(512)
+        self.run_prefix(original, head)
+        state = checkpoint_sorter(original)
+        pinned = state["external"]["directory"].path
+        assert os.path.isdir(pinned)
+        release_checkpoint(state)
+        assert not os.path.exists(pinned)
+        with pytest.raises(CheckpointError, match="already released"):
+            restore_sorter(state)
+        original.close()
+
+    def test_keyed_external_not_checkpointable(self):
+        external = ExternalImpatienceSorter(512, key=lambda item: item[0])
+        try:
+            with pytest.raises(CheckpointError, match="only keyless"):
+                checkpoint_sorter(external)
+        finally:
+            external.close()
+
+    @pytest.mark.parametrize("checkpoint_every", [1, 3])
+    def test_supervised_crash_recovery_exactly_once(self, checkpoint_every):
+        """Crash mid-stream with runs on disk; the restart restores from
+        the journal+checkpoint and delivery is exactly-once identical."""
+        elements = scalar_stream(seed=21, n=2400, punct_every=120)
+        expected = [
+            v for batch in drive_scalar(ImpatienceSorter(), elements)
+            for v in batch
+        ]
+        supervisor = SorterSupervisor(
+            lambda: ExternalImpatienceSorter(512),
+            checkpoint_every=checkpoint_every,
+            chaos="crash:punct=4+9", seed=0,
+            sleep=lambda s: None,
+        )
+        result = supervisor.run(elements)
+        assert result.output == expected
+        assert result.restarts == 2
+        assert all(r["from_checkpoint"] for r in result.restores)
+        result.sorter.close()
+
+
+# -- supervised spill chaos -------------------------------------------------
+
+
+class TestSupervisedSpillChaos:
+    def expected(self, elements):
+        return [
+            v for batch in drive_scalar(ImpatienceSorter(), elements)
+            for v in batch
+        ]
+
+    @pytest.mark.parametrize("mode", ["oserror", "corrupt", "truncate"])
+    def test_recovers_byte_identical(self, mode):
+        elements = scalar_stream(seed=2, n=2400, punct_every=120)
+        supervisor = SorterSupervisor(
+            lambda: ExternalImpatienceSorter(512),
+            checkpoint_every=2, quarantine=True,
+            chaos=f"spill:p=0.03,mode={mode},on=both,limit=2", seed=7,
+            sleep=lambda s: None,
+        )
+        result = supervisor.run(elements)
+        assert result.output == self.expected(elements)
+        assert result.injector.fired.get("spill", 0) >= 1
+        assert result.restarts >= 1
+        result.sorter.close()
+
+    def test_corruption_is_quarantined_visibly(self):
+        elements = scalar_stream(seed=2, n=2400, punct_every=120)
+        supervisor = SorterSupervisor(
+            lambda: ExternalImpatienceSorter(512),
+            checkpoint_every=2, quarantine=True,
+            chaos="spill:p=0.05,mode=corrupt,on=read,limit=1", seed=3,
+            sleep=lambda s: None,
+        )
+        result = supervisor.run(elements)
+        assert result.output == self.expected(elements)
+        spills = [
+            entry for entry in result.ledger.entries
+            if str(entry.element).startswith("spill:")
+        ]
+        assert len(spills) == result.restarts >= 1
+        result.sorter.close()
+
+    def test_persistent_corruption_exhausts_never_lies(self):
+        elements = scalar_stream(seed=2, n=1200, punct_every=120)
+        supervisor = SorterSupervisor(
+            lambda: ExternalImpatienceSorter(256),
+            checkpoint_every=2, max_restarts=2,
+            chaos="spill:p=1.0,mode=corrupt,on=write", seed=0,
+            sleep=lambda s: None,
+        )
+        with pytest.raises(SupervisionExhaustedError):
+            supervisor.run(elements)
+
+
+# -- engine / framework wiring ----------------------------------------------
+
+
+class TestEngineWiring:
+    def events(self):
+        from repro.engine.event import Event
+
+        rng = random.Random(13)
+        return [
+            Event(rng.randrange(500), key=rng.randrange(5),
+                  payload=(rng.randrange(50), rng.randrange(9)))
+            for _ in range(1500)
+        ]
+
+    def plan(self):
+        from repro.engine import QueryPlan
+        from repro.engine.operators.aggregates import Count
+
+        return (QueryPlan().tumbling_window(16).sort()
+                .group_aggregate(Count()))
+
+    @pytest.mark.parametrize("engine", ["auto", "row"])
+    def test_budgeted_plan_identical_with_spill_metrics(self, engine):
+        events = self.events()
+        plain = self.plan().run(list(events), 64, 30, engine=engine)
+        budgeted = self.plan().run(
+            list(events), 64, 30, engine=engine, memory_budget=256,
+        )
+        assert budgeted.events == plain.events
+        assert budgeted.punctuations == plain.punctuations
+        doc = budgeted.spill
+        assert doc is not None
+        assert doc["peak_buffered_bytes"] <= 256
+        assert doc["runs_spilled"] > 0
+        assert plain.spill is None
+        if engine == "auto":  # row runs carry no snapshot sans registry
+            snapshot = budgeted.snapshot()
+            assert snapshot.spill == doc
+            assert snapshot.as_dict()["meta"]["memory_budget"] == 256
+
+    def test_string_budget_and_custom_sorter_rejection(self):
+        events = self.events()[:200]
+        result = self.plan().run(list(events), 64, 30,
+                                 memory_budget="4KB")
+        assert result.spill["budget_bytes"] == 4096
+        from repro.engine import QueryPlan
+
+        custom = (QueryPlan().tumbling_window(16)
+                  .sort(sorter=lambda: ImpatienceSorter())
+                  .count())
+        with pytest.raises(QueryBuildError, match="default sorter"):
+            custom.run(list(events), 64, 30, memory_budget=1024)
+
+    def test_streamables_budgeted_run_identical(self):
+        from repro.engine import DisorderedStreamable
+        from repro.workloads import load_dataset
+
+        dataset = load_dataset("cloudlog", 1500)
+
+        def build():
+            return DisorderedStreamable.from_dataset(
+                dataset, punctuation_frequency=100, reorder_latency=500,
+            ).to_streamables([0, 500])
+
+        plain = build().run()
+        budgeted = build().run(memory_budget=2048)
+        for i in range(2):
+            assert budgeted.output_events(i) == plain.output_events(i)
+        assert len(budgeted.spill["paths"]) == 2
+        for doc in budgeted.spill["paths"]:
+            assert doc["peak_buffered_bytes"] <= 2048
+        with pytest.raises(QueryBuildError, match="supervised"):
+            build().run(memory_budget=1024, supervised=True)
+        with pytest.raises(QueryBuildError, match="parallel"):
+            build().run(memory_budget=1024, parallel=2)
+
+    def test_cli_memory_budget(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--query", "grouped-count", "--n", "4000",
+            "--memory-budget", "16KB",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spill: budget 16,384 B" in out
+
+    def test_cli_memory_budget_rejections(self, capsys):
+        from repro.cli import main
+
+        for extra in (["--supervised"], ["--parallel", "2"]):
+            code = main([
+                "run", "--n", "500", "--memory-budget", "1KB", *extra,
+            ])
+            assert code == 2
+            assert "error: QueryBuildError" in capsys.readouterr().err
+        code = main(["run", "--n", "500", "--memory-budget", "nope"])
+        assert code == 2
+        assert "error: ValueError" in capsys.readouterr().err

@@ -283,6 +283,11 @@ class TestRowVsCompiled:
     path); RAISE plans must raise the identical ``LateEventError`` on
     both; non-compilable shapes must fall back to the row engine —
     silently under ``auto`` — with identical output.
+
+    Each engine also runs a third/fourth leg under a deliberately tiny
+    ``memory_budget``, forcing the bounded-memory spill path: output
+    must stay byte-identical to the unbudgeted runs while the resident
+    buffer never exceeds the budget.
     """
 
     @given(
@@ -306,24 +311,32 @@ class TestRowVsCompiled:
             plan = stage(plan)
         plan = terminal(window(plan).sort(late_policy=policy))
         outcomes = []
-        for engine in ("row", "auto"):
+        for engine, budget in (
+            ("row", None), ("auto", None), ("row", 64), ("auto", 64),
+        ):
             try:
                 result = plan.run(
-                    list(events), frequency, latency, engine=engine
+                    list(events), frequency, latency, engine=engine,
+                    memory_budget=budget,
                 )
                 outcomes.append((
                     "ok", result.events, result.punctuations, result.engine
                 ))
+                if budget is None:
+                    assert result.spill is None
+                else:
+                    assert result.spill["peak_buffered_bytes"] <= budget
             except LateEventError as exc:
                 outcomes.append(("late", exc.args))
-        assert outcomes[0][0] == outcomes[1][0]
-        if outcomes[0][0] == "ok":
-            assert outcomes[0][1] == outcomes[1][1]  # events
-            assert outcomes[0][2] == outcomes[1][2]  # punctuations
-            assert outcomes[0][3] == "row"
-            assert outcomes[1][3] == "columnar"
-        else:
-            assert outcomes[0][1] == outcomes[1][1]  # identical error
+        first = outcomes[0]
+        for other in outcomes[1:]:
+            assert other[0] == first[0]
+            assert other[1] == first[1]  # events, or identical error args
+            if first[0] == "ok":
+                assert other[2] == first[2]  # punctuations
+        if first[0] == "ok":
+            assert outcomes[0][3] == outcomes[2][3] == "row"
+            assert outcomes[1][3] == outcomes[3][3] == "columnar"
 
     @pytest.mark.parametrize("build", [
         lambda: (QueryPlan().where(_opaque_where).tumbling_window(8)
