@@ -433,6 +433,30 @@ def _run_parallel_cli(args, dataset, latency, window):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from repro.serve.server import ReproServer
+
+    async def _run():
+        server = ReproServer(
+            args.data_dir, host=args.host, port=args.port,
+            http_port=args.http_port, quota=args.quota,
+            queue_capacity=args.queue, read_deadline=args.deadline,
+        )
+        await server.start()
+        # Parseable readiness line: harnesses scrape the bound ports.
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"http={server.host}:{server.http_port}",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    asyncio.run(_run())
+    return 0
+
+
 def format_parallel_summary(doc) -> str:
     """Console table for a parallel run's coordinator accounting."""
     lines = [
@@ -533,6 +557,27 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0,
                    help="chaos RNG seed (default 0)")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on multi-tenant standing-query service",
+    )
+    p.add_argument("--data-dir", required=True, metavar="DIR",
+                   help="journal + state directory (survives restarts)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP line-protocol port (0 = ephemeral)")
+    p.add_argument("--http-port", type=int, default=0,
+                   help="HTTP/JSON-log port (0 = ephemeral)")
+    p.add_argument("--quota", type=int, default=None, metavar="EVENTS",
+                   help="per-tenant buffered-event quota; breaches force "
+                        "an early punctuation (load shedding)")
+    p.add_argument("--queue", type=int, default=256, metavar="FRAMES",
+                   help="per-tenant bounded ingress queue capacity")
+    p.add_argument("--deadline", type=float, default=2.0, metavar="SECONDS",
+                   help="read/drain deadline before evicting a stalled "
+                        "peer (slowloris defense)")
+    p.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -176,3 +176,13 @@ class WorkerCrashError(ReproError):
             type(self),
             (self.shard, self.journal_offset, self.exitcode, self.detail),
         )
+
+
+class ServeProtocolError(ReproError, ValueError):
+    """A serve-layer frame, command, or standing-query spec is invalid.
+
+    Raised by the ingress server's protocol parser and by
+    :func:`repro.serve.protocol.parse_query_spec`.  Connection handlers
+    translate it into an ``ERR`` reply (or a quarantine record for data
+    frames) rather than letting it kill the service.
+    """

@@ -13,7 +13,28 @@ from repro.engine.graph import Pipeline, QueryNode
 from repro.engine.operators.sink import Collector
 from repro.framework.memory import MemoryMeter
 
-__all__ = ["Streamables", "StreamablesResult", "LatencyCollector"]
+__all__ = [
+    "Streamables", "StreamablesResult", "LatencyCollector", "lag_stats",
+]
+
+
+def lag_stats(lags) -> dict:
+    """Mean / p95 / max summary over a sequence of delivery lags.
+
+    The shared quantile helper behind :class:`LatencyCollector` and the
+    serve layer's per-tenant delivery-lag export — one definition, so
+    Table II's latency column and the live ``serve`` snapshot section
+    report the same statistic.
+    """
+    if not lags:
+        return {"mean": 0.0, "p95": 0, "max": 0, "samples": 0}
+    ordered = sorted(lags)
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p95": ordered[min(int(0.95 * len(ordered)), len(ordered) - 1)],
+        "max": ordered[-1],
+        "samples": len(ordered),
+    }
 
 
 class LatencyCollector(Collector):
@@ -48,15 +69,7 @@ class LatencyCollector(Collector):
 
     def latency_stats(self) -> dict:
         """Mean / p95 / max delivery lag over this output's events."""
-        if not self.lags:
-            return {"mean": 0.0, "p95": 0, "max": 0, "samples": 0}
-        ordered = sorted(self.lags)
-        return {
-            "mean": sum(ordered) / len(ordered),
-            "p95": ordered[min(int(0.95 * len(ordered)), len(ordered) - 1)],
-            "max": ordered[-1],
-            "samples": len(ordered),
-        }
+        return lag_stats(self.lags)
 
 
 class Streamables:

@@ -228,7 +228,7 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def snapshot(self, memory=None, meta=None, resilience=None,
-                 parallel=None, spill=None) -> PipelineSnapshot:
+                 parallel=None, spill=None, serve=None) -> PipelineSnapshot:
         """Aggregate everything collected into one structured export.
 
         ``memory`` is an optional
@@ -282,7 +282,7 @@ class MetricsRegistry:
         return PipelineSnapshot(
             operators, punctuation=punctuation, occupancy=occupancy,
             memory=memory_doc, meta=meta, resilience=resilience,
-            parallel=parallel, spill=spill,
+            parallel=parallel, spill=spill, serve=serve,
         )
 
     def __repr__(self):

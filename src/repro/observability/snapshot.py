@@ -22,7 +22,7 @@ class PipelineSnapshot:
 
     def __init__(self, operators, punctuation=None, occupancy=None,
                  memory=None, meta=None, resilience=None, parallel=None,
-                 spill=None):
+                 spill=None, serve=None):
         self._doc = {
             "schema": SCHEMA,
             "meta": dict(meta or {}),
@@ -33,6 +33,7 @@ class PipelineSnapshot:
             "resilience": resilience,
             "parallel": parallel,
             "spill": spill,
+            "serve": serve,
             "totals": self._totals(operators, occupancy),
         }
 
@@ -91,6 +92,13 @@ class PipelineSnapshot:
         runs spilled, bytes written/read, merge fan-in, and the peak
         resident buffer the budget was enforced against."""
         return self._doc["spill"]
+
+    @property
+    def serve(self):
+        """Always-on service section (None outside ``repro serve``):
+        per-tenant queue depths, shed/evict/quarantine counters, standing
+        query registry, and delivery-lag quantiles."""
+        return self._doc["serve"]
 
     @property
     def totals(self) -> dict:

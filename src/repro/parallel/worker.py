@@ -13,17 +13,37 @@ single-process path).
 
 Workers are forked, so the plan object (including arbitrary query
 closures) arrives by inheritance, not pickling.
+
+``SIGTERM`` is a *drain* request, not a kill: the coordinator's
+``shutdown()`` (and any orchestrator supervising a ``repro serve``
+deployment) terminates workers with SIGTERM, and a worker that dies
+mid-frame would surface as a :class:`~repro.core.errors.WorkerCrashError`
+on the next supervised run.  Instead the handler finishes the frame in
+flight, flushes the executor (shipping its final emissions and
+punctuation), writes the FLUSH/STATS/DONE epilogue, and exits 0 — the
+same wire epilogue as stream completion, so the coordinator cannot tell
+a drained worker from a finished one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 
 from repro.parallel import exchange
 from repro.parallel.shm import RingClosedError
 
 __all__ = ["worker_main"]
+
+
+class _DrainRequested(BaseException):
+    """Raised by the SIGTERM handler to pop a blocking ring read.
+
+    A ``BaseException`` so no intervening ``except Exception`` can
+    swallow the drain request; it is only ever raised while the worker
+    is parked between frames (``_interruptible``), never mid-write.
+    """
 
 
 def _parent_alive():
@@ -49,6 +69,25 @@ def _ship(out_ring, items):
             raise RuntimeError(f"unknown output item kind {kind!r}")
 
 
+def _drain(executor, out_ring) -> None:
+    """Graceful-shutdown epilogue: flush and emit the completion frames.
+
+    Best-effort by design — the coordinator that sent SIGTERM may have
+    already stopped pumping our output ring, so a full ring or a closed
+    peer must not turn a clean drain into a non-zero exit.
+    """
+    try:
+        _ship(out_ring, executor.feed_flush())
+        out_ring.write(exchange.FLUSH, alive=_parent_alive, timeout=5.0)
+        exchange.write_pickled(
+            out_ring, exchange.STATS, executor.stats(),
+            alive=_parent_alive,
+        )
+        out_ring.write(exchange.DONE, alive=_parent_alive, timeout=5.0)
+    except (RingClosedError, TimeoutError, OSError):
+        pass
+
+
 def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
     """Process entry point; returns (exits) after DONE or a fatal error.
 
@@ -57,11 +96,27 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
     punctuation rounds, the worker clears it and dies abruptly via
     ``os._exit`` — simulating a hard crash exactly once across restarts.
     """
+    state = {"drain": False, "interruptible": False}
+
+    def _on_sigterm(signum, frame):
+        state["drain"] = True
+        if state["interruptible"]:
+            raise _DrainRequested
+
+    # Installed before the executor builds: a terminate() racing worker
+    # startup must still drain, not die with the default action.
+    signal.signal(signal.SIGTERM, _on_sigterm)
     executor = plan.build_executor(shard)
     rounds = 0
     try:
         while True:
-            kind, payload = in_ring.read(alive=_parent_alive)
+            try:
+                state["interruptible"] = True
+                if state["drain"]:
+                    raise _DrainRequested
+                kind, payload = in_ring.read(alive=_parent_alive)
+            finally:
+                state["interruptible"] = False
             if kind == exchange.DATA:
                 # Copy out of the ring: the sorter retains the columns
                 # past this frame's slot lifetime.
@@ -100,6 +155,10 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
                 return
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unexpected input frame kind {kind}")
+    except _DrainRequested:
+        # Graceful SIGTERM: finish as if the stream ended here.
+        _drain(executor, out_ring)
+        return
     except RingClosedError:
         # Coordinator died; nothing to report to.
         return

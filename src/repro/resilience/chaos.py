@@ -11,7 +11,7 @@ Fault spec grammar (full reference in ``docs/resilience.md``)::
     clause   := fault [":" param ("," param)*]
     param    := key "=" value
     fault    := "io" | "crash" | "malform" | "dup" | "drop"
-              | "regress" | "op" | "spill"
+              | "regress" | "op" | "spill" | "net"
 
 Examples::
 
@@ -26,6 +26,17 @@ Examples::
     spill:p=0.01,mode=corrupt      corrupt spilled run-file blocks
     spill:p=0.1,mode=oserror,on=read,limit=1
                                    one transient read error on spill I/O
+    net:p=0.01,mode=disconnect     drop the client connection mid-stream
+    net:p=0.005,mode=malform,tenant=acme
+                                   send unparseable frames as tenant acme
+
+Unlike the scalar faults, ``net`` clauses accumulate: a spec may carry
+several (one per mode/tenant), and :meth:`FaultInjector.net_fault` is
+consulted once per client-side protocol operation, returning the first
+firing clause's mode.  Modes: ``disconnect`` (close the socket
+mid-stream), ``slowloris`` (stall longer than the server's consumer
+deadline), ``malform`` (send an unparseable frame), ``dup`` (resend the
+previous frame), ``split`` (tear one frame across delayed writes).
 
 Faults are injected *losslessly* where the real-world analogue is
 lossless: transient I/O errors raise before the underlying element is
@@ -90,10 +101,12 @@ _FAULT_KEYS = {
     "regress": {"p", "delta", "limit"},
     "op": {"p", "limit"},
     "spill": {"p", "mode", "on", "limit"},
+    "net": {"p", "mode", "tenant", "limit"},
 }
 
 _SPILL_MODES = ("oserror", "corrupt", "truncate")
 _SPILL_SIDES = ("read", "write", "both")
+_NET_MODES = ("disconnect", "slowloris", "malform", "dup", "split")
 
 
 class ChaosSpec:
@@ -120,6 +133,8 @@ class ChaosSpec:
         self.spill_mode = "oserror"
         self.spill_on = "both"
         self.spill_limit = None
+        #: list of {"p", "mode", "tenant", "limit"} dicts, spec order.
+        self.net = []
 
     def __repr__(self):
         active = [
@@ -130,6 +145,8 @@ class ChaosSpec:
             if getattr(self, f"{name}_p", 0.0)
             or (name == "crash" and (self.crash_puncts or self.crash_every))
         ]
+        if self.net:
+            active.append("net")
         return f"ChaosSpec(active={active})"
 
 
@@ -245,6 +262,20 @@ def parse_chaos_spec(spec) -> ChaosSpec:
                     f"got {side!r}"
                 )
             parsed.spill_on = side
+        elif fault == "net":
+            mode = params.get("mode", "").strip()
+            if mode not in _NET_MODES:
+                raise ChaosSpecError(
+                    f"{clause}: mode must be one of {list(_NET_MODES)}, "
+                    f"got {mode!r}"
+                )
+            tenant = params.get("tenant", "").strip() or None
+            parsed.net.append({
+                "p": _float_param(params, "p", clause),
+                "mode": mode,
+                "tenant": tenant,
+                "limit": _int_param(params, "limit", clause),
+            })
         elif fault == "regress":
             parsed.regress_p = _float_param(params, "p", clause)
             parsed.regress_delta = _int_param(
@@ -381,6 +412,27 @@ class FaultInjector:
         corrupted = bytearray(data)
         corrupted[len(corrupted) // 2] ^= 0xFF
         return bytes(corrupted)
+
+    # -- network faults ----------------------------------------------------
+
+    def net_fault(self, tenant=None):
+        """Consulted once per client-side protocol operation (``net``).
+
+        Walks the spec's ``net`` clauses in order; clauses carrying
+        ``tenant=`` only apply to that tenant.  Returns the first firing
+        clause's mode (``disconnect`` / ``slowloris`` / ``malform`` /
+        ``dup`` / ``split``) or ``None``.  Firings count under
+        ``net:<mode>`` in :attr:`fired`, which the serve soak test
+        reconciles against the server's quarantine/eviction counters.
+        """
+        for clause in self.spec.net:
+            if clause["tenant"] is not None and clause["tenant"] != tenant:
+                continue
+            if self._roll(
+                f"net:{clause['mode']}", clause["p"], clause["limit"]
+            ):
+                return clause["mode"]
+        return None
 
     def summary(self) -> dict:
         """Faults fired so far, by name (for result reporting)."""

@@ -9,9 +9,16 @@ it into an invisible data-loss bug.  The ledger is the middle road: the
 offending element is recorded with a reason code and its arrival
 context, the pipeline keeps running, and the counts surface in the
 observability export (``docs/resilience.md`` documents the schema).
+
+Memory stays bounded under a poison flood: past ``max_entries`` the
+*oldest* retained entries rotate out — to a JSONL sidecar file when one
+is configured, so nothing is lost, otherwise they are discarded (counts
+always keep accumulating, so the export stays truthful either way).
 """
 
 from __future__ import annotations
+
+import json
 
 __all__ = ["QuarantineLedger", "QuarantinedEvent", "Reason"]
 
@@ -69,31 +76,56 @@ class QuarantineLedger:
     One ledger serves a whole supervised run: the ingress guard records
     malformed elements and punctuation regressions, the sorters' late
     trackers record ``RAISE`` violations.  ``max_entries`` bounds the
-    retained elements (counts keep accumulating past the bound, so the
-    export stays truthful on pathological feeds).
+    retained elements: past the bound the oldest entry rotates out —
+    appended to the ``sidecar`` JSONL file when one is configured (one
+    ``QuarantinedEvent.as_dict()`` document per line), discarded
+    otherwise.  Counts keep accumulating past the bound either way, so
+    the export stays truthful on pathological feeds and a poison-flood
+    tenant cannot OOM the process through the dead-letter path.
 
     The supervisor clears the ledger before a recovery replay —
     deterministic replay regenerates the same records, so clearing (not
     deduplicating) is what keeps recovered runs byte-identical.
     """
 
-    def __init__(self, max_entries=1_000):
+    def __init__(self, max_entries=1_000, sidecar=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
+        self.sidecar = None if sidecar is None else str(sidecar)
         self.entries = []
         self.counts = {}     # reason -> total occurrences (unbounded)
+        #: entries rotated out of memory (and into the sidecar, if any).
+        self.rotated = 0
         self._seq = 0
 
     def record(self, reason, element, **context):
-        """Dead-letter one element; returns the ledger entry (or ``None``
-        when past ``max_entries`` — the count still advances)."""
+        """Dead-letter one element; returns the ledger entry.
+
+        Past ``max_entries`` the oldest retained entry is rotated out
+        first (to the sidecar when configured), so the in-memory window
+        always holds the most recent ``max_entries`` poison elements.
+        """
         self.counts[reason] = self.counts.get(reason, 0) + 1
         seq = self._seq
         self._seq += 1
         if len(self.entries) >= self.max_entries:
-            return None
+            overflow = len(self.entries) - self.max_entries + 1
+            self._rotate_out(self.entries[:overflow])
+            del self.entries[:overflow]
+            self.rotated += overflow
         entry = QuarantinedEvent(seq, reason, element, context)
         self.entries.append(entry)
         return entry
+
+    def _rotate_out(self, entries):
+        if self.sidecar is None or not entries:
+            return
+        with open(self.sidecar, "a") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry.as_dict(), default=str))
+                fh.write("\n")
+            fh.flush()
 
     @property
     def total(self) -> int:
@@ -108,6 +140,7 @@ class QuarantineLedger:
         """Reset for a deterministic recovery replay."""
         self.entries.clear()
         self.counts.clear()
+        self.rotated = 0
         self._seq = 0
 
     def as_dict(self) -> dict:
@@ -116,6 +149,8 @@ class QuarantineLedger:
             "total": self.total,
             "by_reason": dict(sorted(self.counts.items())),
             "retained": len(self.entries),
+            "rotated": self.rotated,
+            "sidecar": self.sidecar,
             "entries": [entry.as_dict() for entry in self.entries],
         }
 

@@ -8,7 +8,9 @@ run.  It owns the ingress loop of a materialized query graph:
   "checkpoint raw events at ingress" strategy that
   :mod:`repro.engine.checkpoint`'s docstring prescribes for keyed/rich
   event pipelines);
-* **transient source failures** (``OSError``) are retried in place with
+* **transient source failures** (``OSError``, ``TimeoutError``,
+  ``asyncio.TimeoutError`` — the :class:`RetryPolicy`'s ``retry_on``
+  set) are retried in place with
   deterministic exponential backoff + jitter — the element is never
   lost because a well-behaved transient failure (and
   :class:`~repro.resilience.chaos.FaultInjector`) raises before the
@@ -42,6 +44,7 @@ punctuation.
 
 from __future__ import annotations
 
+import asyncio as _asyncio
 import random
 import time
 
@@ -68,6 +71,14 @@ _EXHAUSTED = object()
 _NEG_INF = float("-inf")
 
 
+#: Exception types a :class:`RetryPolicy` treats as transient by default.
+#: ``TimeoutError`` (builtin) already subclasses :class:`OSError`, but
+#: ``asyncio.TimeoutError`` only aliases it from Python 3.11 — on 3.10 a
+#: deadline expiry (``asyncio.wait_for``) raises a distinct class, so it
+#: is listed explicitly.
+_DEFAULT_RETRY_ON = (OSError, TimeoutError, _asyncio.TimeoutError)
+
+
 class RetryPolicy:
     """Deterministic exponential backoff with seeded jitter.
 
@@ -75,10 +86,17 @@ class RetryPolicy:
     max_delay)`` stretched by a jitter factor in ``[1, 1 + jitter]``
     drawn from a seeded RNG — deterministic for tests, decorrelated in
     fleets where each worker seeds differently.
+
+    ``retry_on`` classifies which exceptions count as transient:
+    ``handles(exc)`` is consulted by every retry loop (the supervisor's
+    source pulls, the serve layer's client writes).  The default covers
+    transient I/O *and* expired per-operation deadlines —
+    ``TimeoutError`` and ``asyncio.TimeoutError`` — so a deadline-bound
+    operation retries on the same seeded schedule as a failed one.
     """
 
     def __init__(self, max_retries=5, base_delay=0.05, multiplier=2.0,
-                 max_delay=5.0, jitter=0.5, seed=0):
+                 max_delay=5.0, jitter=0.5, seed=0, retry_on=None):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.max_retries = max_retries
@@ -86,7 +104,14 @@ class RetryPolicy:
         self.multiplier = multiplier
         self.max_delay = max_delay
         self.jitter = jitter
+        self.retry_on = (
+            _DEFAULT_RETRY_ON if retry_on is None else tuple(retry_on)
+        )
         self._rng = random.Random(seed)
+
+    def handles(self, exc) -> bool:
+        """True when ``exc`` is transient under this policy."""
+        return isinstance(exc, self.retry_on)
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based)."""
@@ -471,7 +496,9 @@ class PipelineSupervisor:
                 return next(elements)
             except StopIteration:
                 return _EXHAUSTED
-            except OSError as exc:
+            except Exception as exc:
+                if not self.retry.handles(exc):
+                    raise
                 failures += 1
                 self.retries += 1
                 if failures > self.retry.max_retries:

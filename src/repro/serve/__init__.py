@@ -1,0 +1,29 @@
+"""Always-on serving: multi-tenant standing queries over hostile ingress.
+
+The serve layer turns the repro engine into a long-running service:
+``repro serve`` hosts an asyncio ingress server (TCP line protocol +
+HTTP/JSON-log framing), tenants register standing
+:class:`~repro.engine.planner.QueryPlan`\\ s over their streams, and
+results materialize incrementally at punctuation boundaries — robust by
+construction against slowloris writers, malformed frames, duplicate
+deliveries, wedged consumers, and ``kill -9`` (journaled ingress with
+digest-verified exactly-once recovery).  See ``docs/serve.md``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.journal import TenantJournal, load_state, save_state
+from repro.serve.protocol import parse_query_spec
+from repro.serve.server import ReproServer
+from repro.serve.standing import StandingQuery
+from repro.serve.tenant import TenantRuntime
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "StandingQuery",
+    "TenantJournal",
+    "TenantRuntime",
+    "load_state",
+    "parse_query_spec",
+    "save_state",
+]

@@ -1,0 +1,155 @@
+"""Durable per-tenant ingress journal and service state for ``repro serve``.
+
+The service's crash-recovery contract is *replay, then verify*: every
+accepted ingress element (event, punctuation, or guard-forced
+punctuation) is appended to a per-tenant JSONL journal **before** it is
+pushed into any standing-query pipeline.  A killed server restarts by
+replaying each journal through freshly bound pipelines, which
+regenerates every standing query's result stream from offset 0 — and the
+regenerated prefix is checked against the running digest persisted in
+the state file, so recovery is *verified* exactly-once rather than
+assumed.
+
+Journal line grammar (one JSON array per line)::
+
+    ["e", offset, sync, other, key, payload]   accepted event
+    ["p", offset, ts]                          client punctuation
+    ["g", offset, ts]                          guard-forced punctuation
+                                               (load shedding; replayed
+                                               as a plain push — the
+                                               guard is NOT re-consulted
+                                               during replay)
+    ["f", offset]                              END flush marker
+
+Appends are ``write() + flush()`` per line: the payload reaches the OS
+page cache, which survives ``kill -9`` of the process (the chaos soak
+relies on exactly this).  A crash mid-append can leave one torn trailing
+line; the loader tolerates — and truncates — a torn *final* line, but a
+torn line mid-file means real corruption and raises.
+
+The state file (``state.json``) is written atomically (tmp + rename) and
+holds what replay cannot reconstruct: per-tenant counters and the
+standing-query registry with each query's spec, delivered-element count,
+and running SHA-256 digest over ``repr(element)`` lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.errors import ServeProtocolError
+from repro.engine.event import Event, Punctuation
+from repro.serve.protocol import _jsoned, _tupled
+
+__all__ = ["TenantJournal", "load_state", "save_state"]
+
+
+class TenantJournal:
+    """Append-only JSONL journal for one tenant's accepted ingress.
+
+    ``length`` is the journal's element count and doubles as the
+    tenant's next expected ingress offset — the dedup line for
+    exactly-once ingress.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.length = 0
+        self._fh = None
+
+    # -- recovery ----------------------------------------------------------
+
+    def load(self):
+        """Replay generator: yields ``(kind, element_or_None)`` tuples.
+
+        ``kind`` is the journal line tag (``e``/``p``/``g``/``f``).  A
+        torn final line (the only kind of damage a crashed append can
+        cause) is truncated away; earlier damage raises
+        :class:`ServeProtocolError`.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r+", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+            if lines and lines[-1] == "":
+                lines.pop()
+            for index, line in enumerate(lines):
+                try:
+                    doc = json.loads(line)
+                    kind = doc[0]
+                    if kind == "e":
+                        element = Event(doc[2], doc[3], _tupled(doc[4]),
+                                        _tupled(doc[5]))
+                    elif kind in ("p", "g"):
+                        element = Punctuation(doc[2])
+                    elif kind == "f":
+                        element = None
+                    else:
+                        raise ValueError(f"unknown tag {kind!r}")
+                except (ValueError, IndexError, json.JSONDecodeError) as exc:
+                    if index == len(lines) - 1:
+                        # Torn trailing append from the crash: truncate.
+                        fh.seek(0)
+                        fh.truncate(sum(len(l) + 1 for l in lines[:index]))
+                        break
+                    raise ServeProtocolError(
+                        f"{self.path}:{index + 1}: corrupt journal line "
+                        f"({exc})"
+                    ) from None
+                self.length = doc[1] + 1
+                yield kind, element
+
+    # -- append ------------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append_event(self, event) -> int:
+        line = json.dumps(["e", self.length, event.sync_time,
+                           event.other_time, _jsoned(event.key),
+                           _jsoned(event.payload)])
+        return self._append(line)
+
+    def append_punctuation(self, timestamp, forced=False) -> int:
+        tag = "g" if forced else "p"
+        return self._append(json.dumps([tag, self.length, timestamp]))
+
+    def append_flush(self) -> int:
+        return self._append(json.dumps(["f", self.length]))
+
+    def _append(self, line) -> int:
+        fh = self._handle()
+        fh.write(line + "\n")
+        fh.flush()
+        offset = self.length
+        self.length += 1
+        return offset
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def save_state(data_dir, doc):
+    """Atomically persist the service state document."""
+    path = os.path.join(data_dir, "state.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_state(data_dir) -> dict:
+    """Load the persisted state document, or ``{}`` on first boot."""
+    path = os.path.join(data_dir, "state.json")
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

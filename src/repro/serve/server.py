@@ -1,0 +1,598 @@
+"""The always-on ingress server behind ``repro serve``.
+
+One asyncio event loop hosts two listeners — the TCP line protocol and
+the HTTP/JSON-log surface — over a shared set of
+:class:`~repro.serve.tenant.TenantRuntime` state machines.  The design
+goal is *robustness by construction*: every hostile-traffic behaviour
+has a bounded, counted, observable response rather than an exception
+path.
+
+* **Bounded ingress queues** — each tenant owns one
+  ``asyncio.Queue(maxsize=queue_capacity)``; connection readers block in
+  ``put()`` when it fills, which propagates as TCP backpressure to the
+  producer.  A single consumer task per tenant serializes frame
+  processing across every connection (TCP and HTTP) touching that
+  tenant.
+* **Slow-writer eviction** — reads are chunked through a per-connection
+  buffer with a deadline; a peer that stalls mid-frame (slowloris) is
+  evicted and counted, while an idle connection with *no* partial frame
+  is left alone indefinitely.
+* **Slow-consumer eviction** — result delivery drains with the same
+  deadline; a subscriber that stops reading is evicted rather than
+  allowed to wedge the tenant.
+* **Quarantine, not crash** — malformed frames are dead-lettered through
+  the shared :class:`~repro.resilience.quarantine.QuarantineLedger`
+  (``net:<tenant>@<offset>`` source records) and ingress continues.
+* **Graceful drain** — SIGTERM stops the listeners, drains every tenant
+  queue (any queued punctuation still produces its results), delivers
+  outstanding results, persists state, and exits 0.
+* **Crash recovery** — ``kill -9`` loses nothing accepted: boot replays
+  per-tenant journals through freshly bound standing pipelines and
+  verifies the regenerated result prefix against the persisted digests
+  (:class:`~repro.core.errors.ReplayDivergenceError` on divergence).
+
+State is saved at punctuation boundaries (before the ``IOFF`` ack goes
+out) and on evictions, so an acked round is always durable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import json
+import os
+import signal
+
+from repro.core.errors import ServeProtocolError
+from repro.framework.streamables import lag_stats
+from repro.observability.snapshot import PipelineSnapshot
+from repro.resilience.quarantine import QuarantineLedger
+from repro.serve.journal import load_state, save_state
+from repro.serve.protocol import decode_data_frame, result_line
+from repro.serve.tenant import TenantRuntime
+
+__all__ = ["ReproServer"]
+
+
+class _SlowWriter(Exception):
+    """A peer stalled mid-frame past the read deadline."""
+
+
+class _Subscriber:
+    """One connection's registration on one standing query."""
+
+    __slots__ = ("writer", "qid", "pos", "eof_sent")
+
+    def __init__(self, writer, qid, pos):
+        self.writer = writer
+        self.qid = qid
+        self.pos = pos
+        self.eof_sent = False
+
+
+class ReproServer:
+    """Multi-tenant standing-query service over TCP + HTTP listeners."""
+
+    def __init__(self, data_dir, host="127.0.0.1", port=0, http_port=0,
+                 quota=None, queue_capacity=256, read_deadline=2.0,
+                 ledger_max_entries=1_000):
+        self.data_dir = str(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.quota = quota
+        self.queue_capacity = queue_capacity
+        self.read_deadline = read_deadline
+        self.ledger = QuarantineLedger(
+            max_entries=ledger_max_entries,
+            sidecar=os.path.join(self.data_dir, "quarantine.jsonl"),
+        )
+        self.tenants = {}      # name -> TenantRuntime
+        self.queues = {}       # name -> asyncio.Queue of (line, writer)
+        self.subs = {}         # name -> [_Subscriber]
+        self._consumers = {}   # name -> Task
+        self._writers = set()  # every open StreamWriter (for drain BYE)
+        self._servers = []
+        self._stopped = None
+        self.draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Recover persisted state, bind listeners, install signals."""
+        self._stopped = asyncio.Event()
+        self._recover()
+        tcp = await asyncio.start_server(
+            self._handle_tcp, self.host, self.port
+        )
+        self.port = tcp.sockets[0].getsockname()[1]
+        http = await asyncio.start_server(
+            self._handle_http, self.host, self.http_port
+        )
+        self.http_port = http.sockets[0].getsockname()[1]
+        self._servers = [tcp, http]
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+
+    async def wait_stopped(self):
+        await self._stopped.wait()
+
+    def _recover(self):
+        """Rebuild every tenant found in the state file or on disk.
+
+        A crash can race the first state save, so journals on disk are
+        authoritative for tenant existence; the state file contributes
+        counters and the standing-query registry + digests.
+        """
+        doc = load_state(self.data_dir)
+        # Quarantine-by-reason totals survive restarts with the state
+        # file; entry bodies live in the JSONL sidecar.
+        self.ledger.counts.update(doc.get("quarantine", {}))
+        state = doc.get("tenants", {})
+        on_disk = {
+            os.path.basename(path)[len("journal-"):-len(".jsonl")]
+            for path in glob.glob(
+                os.path.join(self.data_dir, "journal-*.jsonl")
+            )
+        }
+        for name in sorted(on_disk | set(state)):
+            runtime = self._tenant(name)
+            runtime.recover(state.get(name, {}))
+
+    def _tenant(self, name) -> TenantRuntime:
+        runtime = self.tenants.get(name)
+        if runtime is None:
+            runtime = TenantRuntime(
+                name, self.data_dir, self.ledger, quota=self.quota
+            )
+            self.tenants[name] = runtime
+            self.queues[name] = asyncio.Queue(maxsize=self.queue_capacity)
+            self.subs[name] = []
+            self._consumers[name] = asyncio.ensure_future(
+                self._consume(name)
+            )
+        return runtime
+
+    # -- graceful drain ----------------------------------------------------
+
+    def request_drain(self):
+        """SIGTERM/SIGINT entry point: finish what's queued, then stop."""
+        if not self.draining:
+            self.draining = True
+            asyncio.ensure_future(self._drain())
+
+    async def _drain(self):
+        for server in self._servers:
+            server.close()
+        for queue in self.queues.values():
+            await queue.join()
+        for name in self.tenants:
+            await self._pump(name)
+        self._save()
+        for writer in list(self._writers):
+            try:
+                writer.write(b"BYE\n")
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+        for task in self._consumers.values():
+            task.cancel()
+        for runtime in self.tenants.values():
+            runtime.close()
+        self._stopped.set()
+
+    def _save(self):
+        save_state(self.data_dir, {
+            "tenants": {
+                name: runtime.as_state()
+                for name, runtime in self.tenants.items()
+            },
+            "quarantine": dict(self.ledger.counts),
+        })
+
+    # -- observability -----------------------------------------------------
+
+    def serve_doc(self) -> dict:
+        """The ``serve`` section of the live pipeline snapshot."""
+        tenants = {}
+        for name, runtime in self.tenants.items():
+            tenants[name] = {
+                "queue_depth": self.queues[name].qsize(),
+                "queue_capacity": self.queue_capacity,
+                "journal": runtime.journal.length,
+                "watermark": runtime.watermark,
+                "counters": dict(runtime.counters),
+                "subscribers": len(self.subs[name]),
+                "queries": {
+                    qid: {
+                        "spec": query.spec,
+                        "delivered": query.delivered,
+                        "completed": query.completed,
+                        "buffered": query.buffered_events(),
+                        "lag": lag_stats(query.lags),
+                    }
+                    for qid, query in runtime.queries.items()
+                },
+            }
+        return {
+            "draining": self.draining,
+            "quota": self.quota,
+            "quarantine": self.ledger.as_dict(),
+            "tenants": tenants,
+        }
+
+    def snapshot(self) -> PipelineSnapshot:
+        return PipelineSnapshot(
+            [], meta={"service": "repro-serve"}, serve=self.serve_doc()
+        )
+
+    # -- shared read path --------------------------------------------------
+
+    async def _read_line(self, reader, buf):
+        """Deadline-guarded line read through a connection-owned buffer.
+
+        Returns the decoded line, or ``None`` on EOF.  Raises
+        :class:`_SlowWriter` when the peer stalls *mid-frame*; a peer
+        that is merely idle between frames waits forever.
+        """
+        while True:
+            nl = buf.find(b"\n")
+            if nl >= 0:
+                line = buf[:nl].decode("utf-8", "replace")
+                del buf[:nl + 1]
+                return line.rstrip("\r")
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(4096), self.read_deadline
+                )
+            except asyncio.TimeoutError:
+                if buf:
+                    raise _SlowWriter from None
+                continue
+            if not chunk:
+                return None
+            buf.extend(chunk)
+
+    # -- TCP protocol ------------------------------------------------------
+
+    async def _handle_tcp(self, reader, writer):
+        self._writers.add(writer)
+        buf = bytearray()
+        tenant = None
+        try:
+            while True:
+                try:
+                    line = await self._read_line(reader, buf)
+                except _SlowWriter:
+                    self._evict(tenant, "stalled mid-frame")
+                    break
+                if line is None or self.draining:
+                    break
+                if not line.strip():
+                    continue
+                parts = line.split(" ")
+                cmd = parts[0]
+                if cmd == "HELLO" and len(parts) >= 2:
+                    name = parts[1]
+                    role = parts[2] if len(parts) > 2 else "ingest"
+                    existed = name in self.tenants
+                    runtime = self._tenant(name)
+                    if existed:
+                        # Quiesce: frames queued by previous connections
+                        # must land before we report the resume offset,
+                        # or the reconnecting client would resend them.
+                        await self.queues[name].join()
+                    if role == "ingest":
+                        if runtime.had_ingest:
+                            runtime.counters["reconnects"] += 1
+                        runtime.had_ingest = True
+                    tenant = name
+                    self._reply(
+                        writer,
+                        f"OK tenant={name} journal={runtime.journal.length}",
+                    )
+                elif cmd == "SNAPSHOT":
+                    self._reply(writer, self.snapshot().to_json(indent=None))
+                elif cmd == "QUIT":
+                    self._reply(writer, "BYE")
+                    break
+                elif tenant is None:
+                    self._reply(writer, "ERR no-tenant say HELLO first")
+                else:
+                    # Everything tenant-scoped flows through the bounded
+                    # queue: backpressure + serialized processing.
+                    await self.queues[tenant].put((line, writer))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if tenant is not None:
+                self.subs[tenant] = [
+                    s for s in self.subs[tenant] if s.writer is not writer
+                ]
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    def _evict(self, tenant, why) -> None:
+        if tenant is not None:
+            self.tenants[tenant].counters["evictions"] += 1
+            self._save()
+
+    def _reply(self, writer, line) -> None:
+        if writer is None:  # HTTP-originated frames have no line channel
+            return
+        try:
+            writer.write((line + "\n").encode())
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # -- tenant consumers --------------------------------------------------
+
+    async def _consume(self, name):
+        queue = self.queues[name]
+        while True:
+            line, writer = await queue.get()
+            try:
+                await self._process(name, line, writer)
+            except Exception:
+                # The consumer must survive anything one frame can do.
+                pass
+            finally:
+                queue.task_done()
+
+    async def _process(self, name, line, writer):
+        runtime = self.tenants[name]
+        parts = line.split(" ", 5)
+        cmd = parts[0]
+        if cmd == "EVENT":
+            try:
+                offset = self._offset(runtime, parts[1])
+                event = decode_data_frame(parts[2:])
+            except (ServeProtocolError, IndexError) as exc:
+                runtime.quarantine(runtime.journal.length, line, str(exc))
+                return
+            try:
+                runtime.accept_event(offset, event)
+            except ServeProtocolError as exc:
+                self._reply(writer, f"ERR gap {exc}")
+                return
+            await self._pump(name)
+        elif cmd == "PUNCT":
+            try:
+                offset = self._offset(runtime, parts[1])
+                punct = decode_data_frame(parts[2:])
+                if not hasattr(punct, "timestamp"):
+                    raise ServeProtocolError("PUNCT frame carries an event")
+            except (ServeProtocolError, IndexError) as exc:
+                runtime.quarantine(runtime.journal.length, line, str(exc))
+                return
+            try:
+                accepted = runtime.accept_punctuation(offset, punct.timestamp)
+            except ServeProtocolError as exc:
+                self._reply(writer, f"ERR gap {exc}")
+                return
+            if not accepted:
+                return  # chaos duplicate: no ack, or IOFFs would desync
+            await self._pump(name)
+            self._save()
+            self._reply(writer, f"IOFF {runtime.journal.length}")
+        elif cmd == "END":
+            try:
+                offset = self._offset(runtime, parts[1])
+            except (ServeProtocolError, IndexError) as exc:
+                runtime.quarantine(runtime.journal.length, line, str(exc))
+                return
+            try:
+                accepted = runtime.accept_end(offset)
+            except ServeProtocolError as exc:
+                self._reply(writer, f"ERR gap {exc}")
+                return
+            await self._pump(name)
+            self._save()
+            if accepted:
+                self._reply(writer, f"IOFF {runtime.journal.length}")
+        elif cmd == "SUB":
+            await self._subscribe(runtime, line, writer)
+        elif cmd == "UNSUB" and len(parts) >= 2:
+            try:
+                runtime.unsubscribe(parts[1])
+            except ServeProtocolError as exc:
+                self._reply(writer, f"ERR unsub {exc}")
+                return
+            self.subs[name] = [
+                s for s in self.subs[name] if s.qid != parts[1]
+            ]
+            self._reply(writer, f"OK unsub {parts[1]}")
+        else:
+            runtime.quarantine(
+                runtime.journal.length, line, f"unknown command {cmd!r}"
+            )
+
+    @staticmethod
+    def _offset(runtime, text) -> int:
+        try:
+            offset = int(text)
+        except ValueError:
+            raise ServeProtocolError(
+                f"offset {text!r} is not an integer"
+            ) from None
+        # -1 is the HTTP "append" sentinel: no client-side offsets.
+        return runtime.journal.length if offset == -1 else offset
+
+    async def _subscribe(self, runtime, line, writer):
+        parts = line.split(" ")
+        if len(parts) < 3:
+            self._reply(writer, "ERR sub SUB <qid> <spec> [from=<n>]")
+            return
+        qid, spec = parts[1], parts[2]
+        pos = 0
+        for extra in parts[3:]:
+            if extra.startswith("from="):
+                try:
+                    pos = int(extra[len("from="):])
+                except ValueError:
+                    self._reply(writer, "ERR sub bad from= position")
+                    return
+        try:
+            runtime.subscribe(qid, spec)
+        except ServeProtocolError as exc:
+            self._reply(writer, f"ERR sub {exc}")
+            return
+        self.subs[runtime.name].append(_Subscriber(writer, qid, pos))
+        self._reply(writer, f"OK sub {qid}")
+        await self._pump(runtime.name)
+
+    async def _pump(self, name):
+        """Deliver newly materialized results to every subscriber.
+
+        A subscriber whose transport cannot drain within the deadline is
+        evicted — one wedged consumer must not hold a tenant's results
+        hostage.
+        """
+        runtime = self.tenants[name]
+        for sub in list(self.subs[name]):
+            query = runtime.queries.get(sub.qid)
+            if query is None:
+                continue
+            wrote = False
+            while sub.pos < len(query.results):
+                self._reply(
+                    sub.writer,
+                    result_line(sub.qid, sub.pos, query.results[sub.pos]),
+                )
+                sub.pos += 1
+                wrote = True
+            if query.completed and not sub.eof_sent:
+                self._reply(sub.writer, f"REOF {sub.qid} {sub.pos}")
+                sub.eof_sent = True
+                wrote = True
+            if not wrote:
+                continue
+            try:
+                await asyncio.wait_for(
+                    sub.writer.drain(), self.read_deadline
+                )
+            except (asyncio.TimeoutError, ConnectionError):
+                self.subs[name].remove(sub)
+                self._evict(name, "subscriber failed to drain")
+                try:
+                    sub.writer.close()
+                except RuntimeError:
+                    pass
+
+    # -- HTTP/JSON-log framing ---------------------------------------------
+
+    async def _handle_http(self, reader, writer):
+        self._writers.add(writer)
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), self.read_deadline
+            )
+            words = request.decode("utf-8", "replace").split(" ")
+            if len(words) < 2:
+                return
+            method, target = words[0], words[1]
+            length = 0
+            while True:
+                header = await asyncio.wait_for(
+                    reader.readline(), self.read_deadline
+                )
+                text = header.decode("utf-8", "replace").strip()
+                if not text:
+                    break
+                key, _, value = text.partition(":")
+                if key.lower() == "content-length":
+                    length = int(value.strip() or 0)
+            body = b""
+            if length:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.read_deadline * 4
+                )
+            status, doc = await self._route_http(method, target, body)
+            payload = json.dumps(doc).encode() + b"\n"
+            writer.write(
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, ValueError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _route_http(self, method, target, body):
+        if method == "GET" and target == "/healthz":
+            return "200 OK", {"ok": True, "draining": self.draining}
+        if method == "GET" and target == "/snapshot":
+            return "200 OK", self.snapshot().as_dict()
+        if method == "POST" and target.startswith("/ingest/"):
+            name = target[len("/ingest/"):]
+            if not name or "/" in name:
+                return "404 Not Found", {"error": "bad tenant"}
+            if self.draining:
+                return "503 Service Unavailable", {"error": "draining"}
+            self._tenant(name)
+            queue = self.queues[name]
+            accepted = 0
+            for raw in body.decode("utf-8", "replace").splitlines():
+                if not raw.strip():
+                    continue
+                await queue.put((self._http_frame(raw), None))
+                accepted += 1
+            await queue.join()
+            runtime = self.tenants[name]
+            self._save()
+            return "200 OK", {
+                "accepted": accepted,
+                "journal": runtime.journal.length,
+                "counters": dict(runtime.counters),
+            }
+        return "404 Not Found", {"error": f"no route {method} {target}"}
+
+    @staticmethod
+    def _http_frame(raw) -> str:
+        """One NDJSON ingest document -> an equivalent protocol line.
+
+        Unparseable documents pass through verbatim so the consumer
+        quarantines them with the same machinery as TCP frames.
+        """
+        try:
+            doc = json.loads(raw)
+            if not isinstance(doc, dict):
+                return raw
+        except json.JSONDecodeError:
+            return raw
+        offset = doc.get("offset", -1)
+        if doc.get("end"):
+            return f"END {offset}"
+        if "punct" in doc:
+            return f"PUNCT {offset} {doc['punct']}"
+        key = json.dumps(doc.get("key", 0), separators=(",", ":"))
+        payload = json.dumps(
+            doc.get("payload"), separators=(",", ":")
+        )
+        return (
+            f"EVENT {offset} {doc.get('sync')} "
+            f"{doc.get('other', doc.get('sync', 0) + 1)} {key} {payload}"
+        )
+
+    def __repr__(self):
+        return (
+            f"ReproServer(port={self.port}, http_port={self.http_port}, "
+            f"tenants={len(self.tenants)}, draining={self.draining})"
+        )

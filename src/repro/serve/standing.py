@@ -1,0 +1,146 @@
+"""Standing queries: long-lived incremental pipelines over tenant streams.
+
+A :class:`StandingQuery` binds a compiled
+:class:`~repro.engine.planner.QueryPlan` into a push
+:class:`~repro.engine.graph.Pipeline` whose sink appends every emitted
+element to an in-order result log.  The service pushes ingress elements
+into every standing pipeline of the owning tenant as they arrive;
+results materialize incrementally at punctuation boundaries exactly as
+they would in a batch ``QueryPlan.run`` — the chaos soak asserts
+byte-identity between the two.
+
+Each query keeps a running SHA-256 digest over ``repr(element)`` lines
+of its result log.  The digest is persisted in the service state file
+and re-checked after crash-recovery replay: if the journal replay does
+not regenerate the exact delivered prefix, recovery raises
+:class:`~repro.core.errors.ReplayDivergenceError` instead of silently
+serving a forked result stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import ReplayDivergenceError
+from repro.engine.disordered import DisorderedStreamable
+from repro.engine.event import Punctuation
+from repro.engine.graph import Pipeline, QueryNode
+from repro.engine.operators.sink import CallbackSink
+from repro.serve.protocol import parse_query_spec
+
+__all__ = ["StandingQuery"]
+
+
+def _digest_of(elements) -> str:
+    digest = hashlib.sha256()
+    for element in elements:
+        digest.update(repr(element).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class StandingQuery:
+    """One tenant's registered query: plan, live pipeline, result log."""
+
+    def __init__(self, qid, spec):
+        self.qid = qid
+        self.spec = spec
+        self.plan = parse_query_spec(spec)  # validates eagerly
+        #: Delivered elements (events and punctuations) in emission
+        #: order; a subscriber's resume position indexes this log.
+        self.results = []
+        self.completed = False
+        #: Delivery-lag samples: ingress watermark minus result event
+        #: end time, clamped at zero — how far behind live the query's
+        #: output runs.
+        self.lags = []
+        self._digest = hashlib.sha256()
+        self._watermark = None
+        self.pipeline = self._build()
+
+    def _build(self) -> Pipeline:
+        stream = self.plan.bind(DisorderedStreamable.from_elements([]))
+        sink = CallbackSink(self._on_event, self._on_punctuation,
+                            self._on_flush)
+        node = QueryNode(lambda: sink, ((stream.node, None),),
+                         name=f"serve[{self.qid}]")
+        return Pipeline([node])
+
+    # -- delivery ----------------------------------------------------------
+
+    def _record(self, element):
+        self.results.append(element)
+        self._digest.update(repr(element).encode())
+        self._digest.update(b"\n")
+
+    def _on_event(self, event):
+        self._record(event)
+        if self._watermark is not None:
+            self.lags.append(max(0, self._watermark - (event.other_time - 1)))
+
+    def _on_punctuation(self, timestamp):
+        self._record(Punctuation(timestamp))
+
+    def _on_flush(self):
+        self.completed = True
+
+    # -- ingress -----------------------------------------------------------
+
+    def push_event(self, event):
+        self.pipeline.push_event(event)
+
+    def push_punctuation(self, timestamp):
+        self._watermark = timestamp
+        self.pipeline.push_punctuation(timestamp)
+
+    def flush(self):
+        self.pipeline.flush()
+
+    def buffered_events(self) -> int:
+        return self.pipeline.buffered_events()
+
+    # -- durability --------------------------------------------------------
+
+    @property
+    def delivered(self) -> int:
+        return len(self.results)
+
+    def digest(self) -> str:
+        return self._digest.hexdigest()
+
+    def as_state(self) -> dict:
+        """The portion persisted in ``state.json``."""
+        return {
+            "spec": self.spec,
+            "delivered": self.delivered,
+            "digest": self.digest(),
+            "completed": self.completed,
+        }
+
+    def verify_replay(self, expected) -> None:
+        """Check journal replay regenerated the persisted result prefix.
+
+        ``expected`` is this query's ``as_state()`` dict from before the
+        crash.  Replay must have delivered *at least* that many elements
+        (the journal can run ahead of the last state write, never
+        behind) and the prefix digest must match exactly.
+        """
+        want = expected.get("delivered", 0)
+        if self.delivered < want:
+            raise ReplayDivergenceError(
+                f"standing query {self.qid!r}: replay delivered "
+                f"{self.delivered} elements, state file recorded {want}"
+            )
+        got = _digest_of(self.results[:want])
+        if got != expected.get("digest"):
+            raise ReplayDivergenceError(
+                f"standing query {self.qid!r}: replayed result prefix "
+                f"diverges from the pre-crash digest (exactly-once "
+                f"violated)"
+            )
+
+    def __repr__(self):
+        return (
+            f"StandingQuery(qid={self.qid!r}, spec={self.spec!r}, "
+            f"delivered={self.delivered}, completed={self.completed})"
+        )

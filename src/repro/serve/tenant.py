@@ -1,0 +1,211 @@
+"""Per-tenant runtime: journal, standing queries, quotas, counters.
+
+:class:`TenantRuntime` is the synchronous core of the service — a pure
+state machine the asyncio server drives.  Everything hostile traffic can
+do to a tenant lands here as an explicit, counted decision:
+
+* **Duplicate frames** (reconnect replays, chaos ``net:dup``) are
+  detected by ingress offset and dropped — ``counters["duplicates"]``.
+* **Malformed frames** (chaos ``net:malform``, buggy shippers) are
+  dead-lettered through the shared
+  :class:`~repro.resilience.quarantine.QuarantineLedger` with a
+  ``net:<tenant>@<offset>`` source record — ``counters["quarantined"]``.
+* **Buffer-quota breaches** consult a per-tenant
+  :class:`~repro.resilience.degradation.LoadSheddingGuard`; a forced
+  early punctuation is journaled as a ``"g"`` line so crash-recovery
+  replay reproduces the shed deterministically —
+  ``counters["shed"]``.
+* **Slow/stalled writers** are evicted by the server's read deadline —
+  ``counters["evictions"]`` — and **reconnects** (including
+  post-eviction and post-crash) increment ``counters["reconnects"]``.
+
+The accept methods journal **before** pushing into standing pipelines,
+which is the whole recovery story: replaying the journal through freshly
+bound pipelines regenerates every result stream byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.errors import ServeProtocolError
+from repro.resilience.degradation import LoadSheddingGuard
+from repro.resilience.quarantine import Reason
+from repro.serve.journal import TenantJournal
+from repro.serve.standing import StandingQuery
+
+__all__ = ["TenantRuntime"]
+
+_NEG_INF = float("-inf")
+
+_COUNTERS = ("quarantined", "duplicates", "reconnects", "evictions", "shed")
+
+
+class TenantRuntime:
+    """One tenant's durable ingress state and standing-query registry."""
+
+    def __init__(self, name, data_dir, ledger, quota=None):
+        self.name = name
+        self.journal = TenantJournal(
+            os.path.join(data_dir, f"journal-{name}.jsonl")
+        )
+        self.ledger = ledger
+        self.quota = quota
+        self.queries = {}          # qid -> StandingQuery
+        self.counters = {c: 0 for c in _COUNTERS}
+        #: Whether an ingest-role connection ever bound this tenant —
+        #: the next ingest HELLO after that is a counted reconnect.
+        self.had_ingest = False
+        self.watermark = None      # last ingress punctuation timestamp
+        self._high = _NEG_INF      # max sync_time seen (guard fallback ts)
+        self._guard = None
+        if quota is not None:
+            self._guard = LoadSheddingGuard(
+                max_buffered_events=quota, check_interval=1
+            )
+
+    # -- standing queries --------------------------------------------------
+
+    def subscribe(self, qid, spec) -> StandingQuery:
+        if qid in self.queries:
+            if self.queries[qid].spec != spec:
+                raise ServeProtocolError(
+                    f"query id {qid!r} already registered with a "
+                    "different spec"
+                )
+            return self.queries[qid]
+        query = StandingQuery(qid, spec)
+        self.queries[qid] = query
+        return query
+
+    def unsubscribe(self, qid) -> None:
+        if qid not in self.queries:
+            raise ServeProtocolError(f"unknown query id {qid!r}")
+        del self.queries[qid]
+
+    # -- ingress -----------------------------------------------------------
+
+    def _dedup(self, offset) -> bool:
+        """True when ``offset`` was already journaled (drop + count)."""
+        if offset < self.journal.length:
+            self.counters["duplicates"] += 1
+            return True
+        if offset > self.journal.length:
+            raise ServeProtocolError(
+                f"ingress gap: got offset {offset}, expected "
+                f"{self.journal.length}"
+            )
+        return False
+
+    def accept_event(self, offset, event) -> bool:
+        """Journal + push one event; False when it was a duplicate."""
+        if self._dedup(offset):
+            return False
+        self.journal.append_event(event)
+        if event.sync_time > self._high:
+            self._high = event.sync_time
+        for query in self.queries.values():
+            query.push_event(event)
+        self._check_quota()
+        return True
+
+    def accept_punctuation(self, offset, timestamp) -> bool:
+        if self._dedup(offset):
+            return False
+        self.journal.append_punctuation(timestamp)
+        self.watermark = timestamp
+        for query in self.queries.values():
+            query.push_punctuation(timestamp)
+        return True
+
+    def accept_end(self, offset) -> bool:
+        """END frame: journal the flush marker and complete all queries."""
+        if self._dedup(offset):
+            return False
+        self.journal.append_flush()
+        for query in self.queries.values():
+            query.flush()
+        return True
+
+    def quarantine(self, offset, line, detail) -> None:
+        """Dead-letter a malformed frame; ingress keeps running."""
+        self.ledger.record(
+            Reason.MALFORMED, line,
+            source=f"net:{self.name}@{offset}", detail=detail,
+        )
+        self.counters["quarantined"] += 1
+
+    def _check_quota(self) -> None:
+        """Consult the shedding guard against every standing pipeline.
+
+        A breach forces one early punctuation for the whole tenant —
+        journaled as a ``"g"`` line first, so replay re-applies the shed
+        without re-consulting the guard (deterministic recovery).
+        """
+        if self._guard is None:
+            return
+        for query in self.queries.values():
+            forced = self._guard.check(query.pipeline, self._high)
+            if forced is not None:
+                self.journal.append_punctuation(forced, forced=True)
+                self.watermark = forced
+                for q in self.queries.values():
+                    q.push_punctuation(forced)
+                self.counters["shed"] += 1
+                return
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, state) -> None:
+        """Rebuild from the persisted state doc + journal replay.
+
+        Re-registers every standing query, replays the journal through
+        the fresh pipelines (guard *not* consulted — ``"g"`` lines are
+        replayed as plain punctuations), then verifies each query's
+        regenerated result prefix against its pre-crash digest.
+        """
+        self.counters.update(state.get("counters", {}))
+        # A recovered tenant was fed before the crash, so its next
+        # ingest HELLO is a reconnect.
+        self.had_ingest = True
+        expected = state.get("queries", {})
+        for qid, qstate in expected.items():
+            self.subscribe(qid, qstate["spec"])
+        for kind, element in self.journal.load():
+            if kind == "e":
+                if element.sync_time > self._high:
+                    self._high = element.sync_time
+                for query in self.queries.values():
+                    query.push_event(element)
+            elif kind in ("p", "g"):
+                self.watermark = element.timestamp
+                for query in self.queries.values():
+                    query.push_punctuation(element.timestamp)
+            else:  # "f"
+                for query in self.queries.values():
+                    query.flush()
+        for qid, qstate in expected.items():
+            self.queries[qid].verify_replay(qstate)
+
+    # -- export ------------------------------------------------------------
+
+    def as_state(self) -> dict:
+        """The durable slice for ``state.json``."""
+        return {
+            "counters": dict(self.counters),
+            "journal": self.journal.length,
+            "watermark": self.watermark,
+            "queries": {
+                qid: query.as_state()
+                for qid, query in self.queries.items()
+            },
+        }
+
+    def close(self):
+        self.journal.close()
+
+    def __repr__(self):
+        return (
+            f"TenantRuntime(name={self.name!r}, "
+            f"journal={self.journal.length}, queries={len(self.queries)})"
+        )

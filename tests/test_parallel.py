@@ -541,6 +541,136 @@ class TestCrashRecovery:
         assert isinstance(err.value.__cause__, WorkerCrashError)
 
 
+class TestGracefulWorkerShutdown:
+    """SIGTERM is a drain request: workers flush and exit 0, never crash."""
+
+    def _start_worker(self, plan):
+        from multiprocessing import get_context
+
+        from repro.parallel.worker import worker_main
+
+        in_ring = ShmRing(1 << 16)
+        out_ring = ShmRing(1 << 16)
+        process = get_context("fork").Process(
+            target=worker_main, args=(0, plan, in_ring, out_ring, None),
+            daemon=True,
+        )
+        process.start()
+        return process, in_ring, out_ring
+
+    def _read_until(self, ring, process, kinds, limit=200):
+        frames = []
+        for _ in range(limit):
+            frame = ring.read(timeout=10.0, alive=process.is_alive)
+            decoded = (
+                frame[0],
+                exchange.read_pickled(frame[1])
+                if frame[0] in (exchange.PICKLE, exchange.STATS)
+                else bytes(frame[1]),
+            )
+            frames.append(decoded)
+            if frame[0] in kinds:
+                return frames
+        raise AssertionError(f"never saw {kinds}; got {frames}")
+
+    def test_sigterm_drains_and_exits_zero(self):
+        import signal as _signal
+
+        process, in_ring, out_ring = self._start_worker(
+            GroupedAggregatePlan(10)
+        )
+        try:
+            batch = EventBatch(
+                [3, 7, 14, 21], [4, 8, 15, 22], [1, 2, 1, 2],
+                [[1, 1, 1, 1]],
+            )
+            exchange.write_batch(in_ring, batch, alive=process.is_alive)
+            in_ring.write(
+                exchange.PUNCT, exchange.PUNCT_STRUCT.pack(9, 0, 5),
+                alive=process.is_alive,
+            )
+            pre = self._read_until(out_ring, process, {exchange.ACK})
+            assert pre[-1][0] == exchange.ACK
+            # Worker is now parked on an empty input ring: drain it.
+            os.kill(process.pid, _signal.SIGTERM)
+            post = self._read_until(out_ring, process, {exchange.DONE})
+            kinds = [kind for kind, _ in post]
+            # The drain epilogue is indistinguishable from completion:
+            # the remaining windows (a DATA batch), FLUSH, STATS, DONE —
+            # the final merged punctuation is the coordinator tree's job
+            # in both cases.
+            assert exchange.DATA in kinds
+            assert exchange.FLUSH in kinds
+            assert exchange.STATS in kinds
+            assert kinds[-1] == exchange.DONE
+            assert exchange.ERROR not in kinds
+            process.join(timeout=10)
+            assert process.exitcode == 0
+        finally:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+            in_ring.unlink()
+            out_ring.unlink()
+
+    def test_sigterm_mid_round_defers_to_frame_boundary(self):
+        import signal as _signal
+
+        process, in_ring, out_ring = self._start_worker(
+            GroupedAggregatePlan(10)
+        )
+        try:
+            batch = EventBatch([3, 7], [4, 8], [1, 2], [[1, 1]])
+            exchange.write_batch(in_ring, batch, alive=process.is_alive)
+            in_ring.write(
+                exchange.PUNCT, exchange.PUNCT_STRUCT.pack(5, 0, 3),
+                alive=process.is_alive,
+            )
+            self._read_until(out_ring, process, {exchange.ACK})
+            # Deliver the signal while the worker holds buffered data
+            # above the watermark — the drain must still flush it.
+            batch = EventBatch([14, 21], [15, 22], [1, 2], [[1, 1]])
+            exchange.write_batch(in_ring, batch, alive=process.is_alive)
+            os.kill(process.pid, _signal.SIGTERM)
+            post = self._read_until(out_ring, process, {exchange.DONE})
+            kinds = [kind for kind, _ in post]
+            assert kinds[-1] == exchange.DONE
+            assert exchange.ERROR not in kinds
+            process.join(timeout=10)
+            assert process.exitcode == 0
+        finally:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+            in_ring.unlink()
+            out_ring.unlink()
+
+    def test_coordinator_shutdown_leaves_no_crash_exitcodes(self):
+        from repro.parallel.runtime import _Coordinator
+
+        elements = disordered_elements(seed=9, n=300, lag=8, punct_every=30)
+        coordinator = _Coordinator(
+            GroupedAggregatePlan(10), 2, 64, 1 << 20, None, "auto", None
+        )
+        try:
+            for handle in coordinator.handles:
+                handle.process.start()
+            for element in elements[:120]:
+                if isinstance(element, Punctuation):
+                    coordinator.broadcast_punctuation(element.timestamp)
+                    coordinator.merge_ready_rounds()
+                else:
+                    coordinator.route_event(element)
+        finally:
+            # Mid-stream teardown — the path that used to kill workers
+            # wherever they stood.  No WorkerCrashError may surface and
+            # every worker must exit 0 (graceful drain), not -SIGTERM.
+            coordinator.shutdown()
+        for handle in coordinator.handles:
+            assert not handle.process.is_alive()
+            assert handle.process.exitcode == 0, handle.shard
+
+
 # ---------------------------------------------------------------------------
 # Framework and observability surfaces
 # ---------------------------------------------------------------------------

@@ -8,6 +8,9 @@ ledger, the load-shedding guard, and exactly-once delivery bookkeeping.
 
 from __future__ import annotations
 
+import asyncio
+import json
+
 import pytest
 
 from repro.core import ImpatienceSorter
@@ -34,6 +37,9 @@ from repro.resilience import (
     run_supervised,
 )
 from repro.resilience.degradation import DEGRADE_LATE_POLICY
+from repro.resilience.supervisor import PipelineSupervisor
+from repro.engine.graph import Pipeline, QueryNode
+from repro.engine.operators.sink import Collector
 
 
 def stream_of(times, punctuation_frequency=4, reorder_latency=3):
@@ -84,6 +90,61 @@ class TestRetryPolicy:
                 sleep=lambda s: None,
             )
 
+    def test_handles_classifies_timeouts_as_transient(self):
+        policy = RetryPolicy()
+        assert policy.handles(OSError("conn reset"))
+        assert policy.handles(TimeoutError("deadline"))
+        assert policy.handles(asyncio.TimeoutError())
+        assert not policy.handles(ValueError("semantic"))
+        narrow = RetryPolicy(retry_on=(ConnectionError,))
+        assert narrow.handles(ConnectionResetError())
+        assert not narrow.handles(TimeoutError())
+
+    def test_deadline_expiry_preserves_seeded_backoff_schedule(self):
+        # A source whose pulls 2 and 3 (consecutive) and 7 expire their
+        # deadline must retry on exactly the schedule a twin policy with
+        # the same seed produces: delay(0), delay(1) for the consecutive
+        # pair, then delay(0) again — same RNG draws, same order.
+        class DeadlineSource:
+            def __init__(self, inner, fail_calls):
+                self._it = iter(inner)
+                self._fail = set(fail_calls)
+                self._calls = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                call = self._calls
+                self._calls += 1
+                if call in self._fail:
+                    raise asyncio.TimeoutError(f"deadline at pull {call}")
+                return next(self._it)
+
+        stream = stream_of(range(12)).to_streamable()
+        sink_node = QueryNode(
+            Collector, ((stream.node, None),), name="collect"
+        )
+
+        def build():
+            pipeline = Pipeline([sink_node])
+            return pipeline, [pipeline.operator_for(sink_node)]
+
+        slept = []
+        supervisor = PipelineSupervisor(
+            build,
+            DeadlineSource(stream.source.elements(), {2, 3, 7}),
+            retry=RetryPolicy(seed=11),
+            sleep=slept.append,
+        )
+        result = supervisor.run()
+        twin = RetryPolicy(seed=11)
+        assert slept == [twin.delay(0), twin.delay(1), twin.delay(0)]
+        assert result.retries == 3
+        assert result.restarts == 0
+        expected = stream_of(range(12)).to_streamable().collect().events
+        assert result.events == expected
+
 
 class TestChaosSpec:
     def test_parses_multi_clause_spec(self):
@@ -103,6 +164,26 @@ class TestChaosSpec:
         "io:p", "drop:p=-0.1",
     ])
     def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ChaosSpecError):
+            parse_chaos_spec(bad)
+
+    def test_net_clauses_accumulate(self):
+        spec = parse_chaos_spec(
+            "net:p=0.1,mode=disconnect;"
+            "net:p=0.05,mode=malform,tenant=acme,limit=3;"
+            "io:p=0.01"
+        )
+        assert spec.net == [
+            {"p": 0.1, "mode": "disconnect", "tenant": None, "limit": None},
+            {"p": 0.05, "mode": "malform", "tenant": "acme", "limit": 3},
+        ]
+        assert "net" in repr(spec)
+
+    @pytest.mark.parametrize("bad", [
+        "net:p=0.1", "net:p=0.1,mode=flood", "net:mode=dup",
+        "net:p=2,mode=dup", "net:p=0.1,mode=dup,limit=0",
+    ])
+    def test_rejects_bad_net_clauses(self, bad):
         with pytest.raises(ChaosSpecError):
             parse_chaos_spec(bad)
 
@@ -177,6 +258,30 @@ class TestFaultInjector:
             op.on_event("x")
         op.on_event("y")  # limit reached: passes through
 
+    def test_net_fault_is_seeded_and_tenant_scoped(self):
+        spec = (
+            "net:p=0.3,mode=disconnect;net:p=0.3,mode=malform,tenant=acme"
+        )
+
+        def roll(seed, tenant, n=50):
+            inj = FaultInjector(spec, seed)
+            return [inj.net_fault(tenant) for _ in range(n)], dict(inj.fired)
+
+        a_modes, a_fired = roll(3, "acme")
+        b_modes, b_fired = roll(3, "acme")
+        assert a_modes == b_modes and a_fired == b_fired
+        assert "net:disconnect" in a_fired and "net:malform" in a_fired
+        # Another tenant never sees acme's malform clause.
+        other_modes, other_fired = roll(3, "globex")
+        assert "net:malform" not in other_fired
+        assert set(other_modes) <= {None, "disconnect"}
+
+    def test_net_fault_respects_limit(self):
+        inj = FaultInjector("net:p=1.0,mode=dup,limit=2", seed=0)
+        modes = [inj.net_fault("t") for _ in range(5)]
+        assert modes == ["dup", "dup", None, None, None]
+        assert inj.fired["net:dup"] == 2
+
 
 class TestQuarantineLedger:
     def test_records_with_reason_and_context(self):
@@ -204,6 +309,44 @@ class TestQuarantineLedger:
         ledger.clear()
         assert ledger.total == 0 and len(ledger) == 0
         assert ledger.record(Reason.LATE_EVENT, 4).seq == 0
+
+    def test_rotation_evicts_oldest_first(self):
+        ledger = QuarantineLedger(max_entries=3)
+        for i in range(7):
+            ledger.record(Reason.MALFORMED, i)
+        assert [entry.seq for entry in ledger] == [4, 5, 6]
+        assert [entry.element for entry in ledger] == [4, 5, 6]
+        assert ledger.rotated == 4
+        assert ledger.total == 7
+        doc = ledger.as_dict()
+        assert doc["retained"] == 3 and doc["rotated"] == 4
+
+    def test_rotation_appends_jsonl_sidecar(self, tmp_path):
+        sidecar = tmp_path / "deadletter.jsonl"
+        ledger = QuarantineLedger(max_entries=2, sidecar=sidecar)
+        for i in range(5):
+            ledger.record(Reason.DUPLICATE, i, offset=i * 10)
+        lines = sidecar.read_text().splitlines()
+        assert len(lines) == 3
+        docs = [json.loads(line) for line in lines]
+        assert [d["seq"] for d in docs] == [0, 1, 2]
+        assert all(d["reason"] == Reason.DUPLICATE for d in docs)
+        assert docs[2]["context"] == {"offset": 20}
+        # in-memory window still holds the newest two
+        assert [entry.seq for entry in ledger] == [3, 4]
+        assert ledger.as_dict()["sidecar"] == str(sidecar)
+
+    def test_clear_resets_rotation_counter(self):
+        ledger = QuarantineLedger(max_entries=1)
+        ledger.record(Reason.MALFORMED, "a")
+        ledger.record(Reason.MALFORMED, "b")
+        assert ledger.rotated == 1
+        ledger.clear()
+        assert ledger.rotated == 0
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            QuarantineLedger(max_entries=0)
 
 
 class TestLateQuarantine:

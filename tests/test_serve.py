@@ -1,0 +1,656 @@
+"""Tests for the always-on serve layer (repro.serve).
+
+Covers the wire protocol and standing-query spec grammar, the durable
+ingress journal (torn-tail tolerance included), standing-query /
+batch-run byte-identity, the tenant state machine (dedup, quarantine,
+quota shedding, journal-replay recovery), the live server end to end
+(TCP + HTTP framings, snapshot ``serve`` section, SIGTERM drain), and —
+the acceptance centerpiece — a chaos soak: three tenants under seeded
+net faults (disconnect, slowloris, malform, dup, split) with the server
+``kill -9``-ed mid-stream and restarted, asserting results byte-identical
+to the uninterrupted batch run and fault counters reconciling exactly
+with the injector.
+
+Extra soak seeds can be exercised from CI via ``REPRO_CHAOS_SEED=<n>``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.errors import (
+    ReplayDivergenceError,
+    ServeProtocolError,
+)
+from repro.engine import DisorderedStreamable, Event, Punctuation
+from repro.resilience.chaos import FaultInjector
+from repro.resilience.quarantine import QuarantineLedger
+from repro.serve import (
+    ServeClient,
+    StandingQuery,
+    TenantJournal,
+    TenantRuntime,
+    load_state,
+    parse_query_spec,
+    save_state,
+)
+from repro.serve.protocol import (
+    decode_data_frame,
+    decode_element,
+    encode_element,
+    parse_result_line,
+    result_line,
+)
+
+SEEDS = [17]
+_env_seed = os.environ.get("REPRO_CHAOS_SEED")
+if _env_seed is not None and int(_env_seed) not in SEEDS:
+    SEEDS.append(int(_env_seed))
+
+
+def make_stream(n=60, punct_every=10, key_mod=3, payload=None):
+    """A deterministic in-order element stream with punctuations."""
+    elements = []
+    for i in range(n):
+        elements.append(Event(i, i + 1, i % key_mod,
+                              payload(i) if payload else (i,)))
+        if i % punct_every == punct_every - 1:
+            elements.append(Punctuation(i))
+    return elements
+
+
+def batch_reference(spec, elements):
+    """The uninterrupted batch run of ``spec`` over ``elements``."""
+    plan = parse_query_spec(spec)
+    return plan.bind(DisorderedStreamable.from_elements(elements)).collect()
+
+
+def drive(query, elements, flush=True):
+    for element in elements:
+        if isinstance(element, Punctuation):
+            query.push_punctuation(element.timestamp)
+        else:
+            query.push_event(element)
+    if flush:
+        query.flush()
+
+
+class TestQuerySpec:
+    def test_compiles_the_paper_grouped_count(self):
+        plan = parse_query_spec("window=10|sort|group-count")
+        described = plan.describe()
+        assert "tumbling_window" in described
+        assert "sort" in described
+
+    def test_all_steps_compile(self):
+        parse_query_spec(
+            "where=key<2|window=5|hop=10/5|sort=adjust|group-sum=0"
+        )
+        parse_query_spec("window=4|sort|count")
+        parse_query_spec("where=sync>3|sort=drop|group-sum")
+
+    @pytest.mark.parametrize("spec", [
+        "",
+        "window=10",                 # no sort step
+        "window=0|sort",
+        "window=x|sort",
+        "hop=5/0|sort",
+        "sort=sideways",
+        "bogus|sort",
+        "where=flavor<3|sort",
+        "where=key~3|sort",
+        "where=key<abc|sort",
+        "group-sum=-1|sort",
+    ])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ServeProtocolError):
+            parse_query_spec(spec)
+
+
+class TestProtocol:
+    def test_result_line_round_trips_nested_payloads(self):
+        event = Event(3, 7, (1, 2), ("a", (4, 5)))
+        qid, pos, back = parse_result_line(result_line("q1", 9, event))
+        assert (qid, pos) == ("q1", 9)
+        assert repr(back) == repr(event)
+
+    def test_result_line_round_trips_punctuation(self):
+        qid, pos, back = parse_result_line(
+            result_line("q2", 0, Punctuation(42))
+        )
+        assert (qid, pos, back.timestamp) == ("q2", 0, 42)
+
+    def test_reof_round_trip(self):
+        assert parse_result_line("REOF q3 12") == ("q3", 12, None)
+
+    def test_encode_decode_element_round_trip(self):
+        for element in (Event(1, 2, 0, (1, (2, 3))), Punctuation(5)):
+            assert repr(decode_element(encode_element(element))) == \
+                repr(element)
+
+    @pytest.mark.parametrize("parts", [
+        ["not-an-int"],
+        ["1", "2", "3"],
+        ["x", "2", "0", "[1]"],
+        ["1", "2", "{bad", "[1]"],
+    ])
+    def test_decode_rejects_malformed_frames(self, parts):
+        with pytest.raises(ServeProtocolError):
+            decode_data_frame(parts)
+
+
+class TestJournal:
+    def test_append_and_load_round_trip(self, tmp_path):
+        journal = TenantJournal(tmp_path / "journal-t.jsonl")
+        journal.append_event(Event(1, 2, 0, (5,)))
+        journal.append_punctuation(1)
+        journal.append_punctuation(3, forced=True)
+        journal.append_flush()
+        journal.close()
+
+        fresh = TenantJournal(tmp_path / "journal-t.jsonl")
+        replay = list(fresh.load())
+        assert [kind for kind, _ in replay] == ["e", "p", "g", "f"]
+        assert repr(replay[0][1]) == repr(Event(1, 2, 0, (5,)))
+        assert replay[2][1].timestamp == 3
+        assert fresh.length == 4
+
+    def test_torn_trailing_line_is_truncated(self, tmp_path):
+        path = tmp_path / "journal-t.jsonl"
+        journal = TenantJournal(path)
+        journal.append_event(Event(1, 2, 0, (1,)))
+        journal.append_punctuation(1)
+        journal.close()
+        with open(path, "a") as fh:
+            fh.write('["e", 2, 9, 10')  # torn mid-append by the crash
+
+        fresh = TenantJournal(path)
+        assert [kind for kind, _ in fresh.load()] == ["e", "p"]
+        assert fresh.length == 2
+        # The torn bytes are gone: appends continue from a clean tail.
+        fresh.append_event(Event(9, 10, 0, (9,)))
+        fresh.close()
+        again = TenantJournal(path)
+        assert [kind for kind, _ in again.load()] == ["e", "p", "e"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal-t.jsonl"
+        with open(path, "w") as fh:
+            fh.write('["e", 0, 1, 2, 0, [1]]\n')
+            fh.write("garbage\n")
+            fh.write('["p", 2, 5]\n')
+        with pytest.raises(ServeProtocolError):
+            list(TenantJournal(path).load())
+
+    def test_state_round_trip_and_first_boot(self, tmp_path):
+        assert load_state(tmp_path) == {}
+        save_state(tmp_path, {"tenants": {"a": {"journal": 3}}})
+        assert load_state(tmp_path)["tenants"]["a"]["journal"] == 3
+
+
+class TestStandingQuery:
+    @pytest.mark.parametrize("spec", [
+        "window=10|sort|group-count",
+        "window=10|sort|count",
+        "where=key<2|window=5|sort|group-sum=0",
+    ])
+    def test_byte_identical_to_batch_run(self, spec):
+        elements = make_stream()
+        query = StandingQuery("q", spec)
+        drive(query, elements)
+        reference = batch_reference(spec, elements)
+        served_events = [e for e in query.results
+                         if not isinstance(e, Punctuation)]
+        served_puncts = [e.timestamp for e in query.results
+                         if isinstance(e, Punctuation)]
+        assert [repr(e) for e in served_events] == \
+            [repr(e) for e in reference.events]
+        assert served_puncts == reference.punctuations
+        assert query.completed
+
+    def test_verify_replay_accepts_exact_regeneration(self):
+        elements = make_stream(n=30)
+        first = StandingQuery("q", "window=10|sort|group-count")
+        drive(first, elements)
+        expected = first.as_state()
+
+        replayed = StandingQuery("q", "window=10|sort|group-count")
+        drive(replayed, elements)
+        replayed.verify_replay(expected)  # must not raise
+
+    def test_verify_replay_rejects_divergence(self):
+        elements = make_stream(n=30)
+        first = StandingQuery("q", "window=10|sort|group-sum=0")
+        drive(first, elements)
+        expected = first.as_state()
+
+        # Forked history: every payload differs, so the sums diverge.
+        forked = [Event(e.sync_time, e.other_time, e.key, (999,))
+                  if not isinstance(e, Punctuation) else e
+                  for e in elements]
+        replayed = StandingQuery("q", "window=10|sort|group-sum=0")
+        drive(replayed, forked)
+        with pytest.raises(ReplayDivergenceError):
+            replayed.verify_replay(expected)
+
+    def test_verify_replay_rejects_short_replay(self):
+        elements = make_stream(n=30)
+        first = StandingQuery("q", "window=10|sort|group-count")
+        drive(first, elements)
+        expected = first.as_state()
+
+        replayed = StandingQuery("q", "window=10|sort|group-count")
+        drive(replayed, elements[: len(elements) // 3], flush=False)
+        with pytest.raises(ReplayDivergenceError):
+            replayed.verify_replay(expected)
+
+    def test_delivery_lag_samples_accumulate(self):
+        query = StandingQuery("q", "window=5|sort|count")
+        drive(query, make_stream(n=20, punct_every=5))
+        assert query.lags
+        assert all(lag >= 0 for lag in query.lags)
+
+
+class TestTenantRuntime:
+    def _runtime(self, tmp_path, quota=None):
+        ledger = QuarantineLedger(
+            sidecar=os.path.join(tmp_path, "quarantine.jsonl")
+        )
+        return TenantRuntime("t1", str(tmp_path), ledger, quota=quota)
+
+    def test_duplicate_offsets_are_dropped_and_counted(self, tmp_path):
+        runtime = self._runtime(tmp_path)
+        runtime.subscribe("q", "window=10|sort|count")
+        event = Event(0, 1, 0, (0,))
+        assert runtime.accept_event(0, event)
+        assert not runtime.accept_event(0, event)
+        assert runtime.counters["duplicates"] == 1
+        assert runtime.journal.length == 1
+
+    def test_offset_gap_raises(self, tmp_path):
+        runtime = self._runtime(tmp_path)
+        with pytest.raises(ServeProtocolError):
+            runtime.accept_event(5, Event(0, 1, 0, (0,)))
+
+    def test_quarantine_records_net_source(self, tmp_path):
+        runtime = self._runtime(tmp_path)
+        runtime.quarantine(7, "EVENT 7 garbage", "unparseable")
+        assert runtime.counters["quarantined"] == 1
+        entry = runtime.ledger.entries[-1]
+        assert entry.context["source"] == "net:t1@7"
+
+    def test_quota_breach_sheds_via_forced_punctuation(self, tmp_path):
+        runtime = self._runtime(tmp_path, quota=8)
+        runtime.subscribe("q", "window=100|sort|count")
+        offset = 0
+        for i in range(40):
+            runtime.accept_event(offset, Event(i, i + 1, 0, (i,)))
+            offset += 1
+        assert runtime.counters["shed"] > 0
+        # Forced punctuations are journaled as "g" lines...
+        runtime.journal.close()
+        tags = [json.loads(line)[0]
+                for line in open(runtime.journal.path)]
+        assert "g" in tags
+        # ...and the shed produced early results.
+        assert runtime.queries["q"].results
+
+    def test_recovery_replays_and_verifies(self, tmp_path):
+        runtime = self._runtime(tmp_path, quota=8)
+        runtime.subscribe("q", "window=100|sort|count")
+        offset = 0
+        for i in range(40):
+            runtime.accept_event(offset, Event(i, i + 1, 0, (i,)))
+            offset += 1
+        state = runtime.as_state()
+        before = [repr(e) for e in runtime.queries["q"].results]
+        runtime.close()
+
+        # Fresh runtime, same dir: journal replay must regenerate the
+        # exact result prefix — guard decisions included, replayed from
+        # "g" lines rather than re-decided.
+        recovered = TenantRuntime(
+            "t1", str(tmp_path), QuarantineLedger(), quota=8
+        )
+        recovered.recover(state)
+        after = [repr(e) for e in recovered.queries["q"].results]
+        assert after == before
+        assert recovered.journal.length == runtime.journal.length
+
+    def test_recovery_detects_forked_journal(self, tmp_path):
+        runtime = self._runtime(tmp_path)
+        runtime.subscribe("q", "window=10|sort|group-sum=0")
+        offset = 0
+        for element in make_stream(n=20, punct_every=5):
+            if isinstance(element, Punctuation):
+                runtime.accept_punctuation(offset, element.timestamp)
+            else:
+                runtime.accept_event(offset, element)
+            offset += 1
+        state = runtime.as_state()
+        runtime.close()
+
+        # Tamper with a journaled payload: replay must refuse to serve
+        # the forked result stream.
+        lines = open(runtime.journal.path).read().splitlines()
+        doc = json.loads(lines[3])
+        doc[5] = [12345]
+        lines[3] = json.dumps(doc)
+        with open(runtime.journal.path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+        recovered = TenantRuntime("t1", str(tmp_path), QuarantineLedger())
+        with pytest.raises(ReplayDivergenceError):
+            recovered.recover(state)
+
+
+# -- live-server helpers ----------------------------------------------------
+
+_READY = re.compile(r"serving on ([\d.]+):(\d+) http=[\d.]+:(\d+)")
+
+
+def start_server(data_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        "src" + (os.pathsep + env["PYTHONPATH"]
+                 if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--data-dir", str(data_dir), "--deadline", "0.4", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    line = proc.stdout.readline()
+    match = _READY.match(line)
+    if not match:
+        proc.kill()
+        raise AssertionError(
+            f"server failed to start: {line!r}\n{proc.stderr.read()}"
+        )
+    return proc, match.group(1), int(match.group(2)), int(match.group(3))
+
+
+def stop_server(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - safety
+            proc.kill()
+            proc.wait()
+    return proc.returncode
+
+
+def assert_byte_identical(spec, elements, served):
+    reference = batch_reference(spec, elements)
+    served_events = [e for e in served if not isinstance(e, Punctuation)]
+    served_puncts = [e.timestamp for e in served
+                     if isinstance(e, Punctuation)]
+    assert [repr(e) for e in served_events] == \
+        [repr(e) for e in reference.events]
+    assert served_puncts == reference.punctuations
+
+
+class TestServeEndToEnd:
+    def test_standing_query_over_tcp_matches_batch(self, tmp_path):
+        proc, host, port, _ = start_server(tmp_path)
+        try:
+            spec = "window=10|sort|group-count"
+            elements = make_stream()
+            client = ServeClient(host, port, "tenant-a")
+            client.subscribe("q1", spec)
+            client.feed(elements)
+            client.finish()
+            served = client.await_complete("q1", deadline=30)
+            assert_byte_identical(spec, elements, served)
+            client.close()
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_snapshot_serve_section_shape(self, tmp_path):
+        proc, host, port, _ = start_server(tmp_path)
+        try:
+            spec = "window=10|sort|count"
+            client = ServeClient(host, port, "tenant-a")
+            client.subscribe("q1", spec)
+            client.feed(make_stream(n=30))
+            client.finish()
+            client.await_complete("q1", deadline=30)
+            snap = client.snapshot()
+            serve = snap["serve"]
+            assert serve["draining"] is False
+            tenant = serve["tenants"]["tenant-a"]
+            assert tenant["queue_capacity"] == 256
+            assert set(tenant["counters"]) == {
+                "quarantined", "duplicates", "reconnects", "evictions",
+                "shed",
+            }
+            query = tenant["queries"]["q1"]
+            assert query["spec"] == spec
+            assert query["completed"] is True
+            assert set(query["lag"]) == {"mean", "p95", "max", "samples"}
+            client.close()
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_http_ingest_snapshot_and_healthz(self, tmp_path):
+        proc, host, port, http_port = start_server(tmp_path)
+        try:
+            spec = "window=5|sort|count"
+            client = ServeClient(host, port, "web")
+            client.subscribe("q1", spec)
+
+            body = "\n".join(
+                [json.dumps({"sync": i, "other": i + 1, "key": 0,
+                             "payload": [i]}) for i in range(10)]
+                + [json.dumps({"punct": 9})]
+            )
+            conn = http.client.HTTPConnection(host, http_port, timeout=10)
+            conn.request("POST", "/ingest/web", body=body)
+            reply = json.loads(conn.getresponse().read())
+            assert reply["accepted"] == 11
+            assert reply["journal"] == 11
+            conn.close()
+
+            conn = http.client.HTTPConnection(host, http_port, timeout=10)
+            conn.request("GET", "/healthz")
+            health = json.loads(conn.getresponse().read())
+            assert health == {"ok": True, "draining": False}
+            conn.close()
+
+            conn = http.client.HTTPConnection(host, http_port, timeout=10)
+            conn.request("GET", "/snapshot")
+            snap = json.loads(conn.getresponse().read())
+            assert snap["serve"]["tenants"]["web"]["journal"] == 11
+            conn.close()
+
+            # End the stream over HTTP too; the TCP subscriber must see
+            # results byte-identical to the batch run of the same feed.
+            conn = http.client.HTTPConnection(host, http_port, timeout=10)
+            conn.request("POST", "/ingest/web",
+                         body=json.dumps({"end": True}))
+            assert json.loads(conn.getresponse().read())["journal"] == 12
+            conn.close()
+
+            served = client.await_complete("q1", deadline=30)
+            elements = [Event(i, i + 1, 0, (i,)) for i in range(10)]
+            elements.append(Punctuation(9))
+            assert_byte_identical(spec, elements, served)
+            client.close()
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_http_malformed_ndjson_is_quarantined(self, tmp_path):
+        proc, host, port, http_port = start_server(tmp_path)
+        try:
+            conn = http.client.HTTPConnection(host, http_port, timeout=10)
+            conn.request("POST", "/ingest/web", body="{not json at all")
+            reply = json.loads(conn.getresponse().read())
+            assert reply["counters"]["quarantined"] == 1
+            conn.close()
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_quota_breach_sheds_and_counts(self, tmp_path):
+        proc, host, port, _ = start_server(tmp_path, "--quota", "8")
+        try:
+            client = ServeClient(host, port, "greedy")
+            client.subscribe("q1", "window=1000|sort|count")
+            client.feed([Event(i, i + 1, 0, (i,)) for i in range(64)]
+                        + [Punctuation(63)])
+            client.finish()
+            client.await_complete("q1", deadline=30)
+            snap = client.snapshot()
+            assert snap["serve"]["tenants"]["greedy"]["counters"]["shed"] > 0
+            client.close()
+        finally:
+            assert stop_server(proc) == 0
+
+    def test_sigterm_drains_and_restart_resumes(self, tmp_path):
+        spec = "window=10|sort|group-count"
+        elements = make_stream()
+        proc, host, port, _ = start_server(tmp_path)
+        client = ServeClient(host, port, "tenant-a")
+        client.subscribe("q1", spec)
+        client.feed(elements)
+        client.send_until(len(elements) // 2)
+        # Graceful stop mid-stream: drain must exit 0, not crash.
+        assert stop_server(proc) == 0
+        client._drop_connections()
+
+        proc2, host, port, _ = start_server(tmp_path)
+        try:
+            client.host, client.port = host, port
+            client.finish()
+            served = client.await_complete("q1", deadline=30)
+            assert_byte_identical(spec, elements, served)
+            client.close()
+        finally:
+            assert stop_server(proc2) == 0
+
+
+TENANTS = [
+    ("alpha", "window=10|sort|group-count", 3),
+    ("bravo", "window=10|sort|count", 4),
+    ("charlie", "where=key<3|window=10|sort|group-sum=0", 5),
+]
+
+_CHAOS = (
+    "net:p=0.2,mode=malform;net:p=0.15,mode=dup;net:p=0.1,mode=disconnect;"
+    "net:p=0.06,mode=slowloris;net:p=0.15,mode=split"
+)
+
+
+def wait_for_evictions(snapshot_client, expected, deadline=20.0):
+    """Poll until every tenant's eviction counter reaches ``expected``.
+
+    Slowloris connections are evicted on the server's read deadline, a
+    beat after the fault fires, so reconciliation has to wait for the
+    counter to catch up.  Returns the last snapshot seen.
+    """
+    snap = None
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        snap = snapshot_client.snapshot()
+        if all(
+            snap["serve"]["tenants"].get(name, {"counters": {
+                "evictions": 0}})["counters"]["evictions"] >= want
+            for name, want in expected.items()
+        ):
+            break
+        time.sleep(0.2)
+    return snap
+
+
+class TestChaosSoak:
+    """Three tenants, hostile traffic, ``kill -9`` mid-stream."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_soak_survives_hostile_traffic_and_hard_kill(self, tmp_path,
+                                                         seed):
+        streams = {
+            name: make_stream(n=60, punct_every=10, key_mod=mod)
+            for name, _, mod in TENANTS
+        }
+        proc, host, port, _ = start_server(tmp_path)
+        clients = {}
+        try:
+            for index, (name, spec, _) in enumerate(TENANTS):
+                injector = FaultInjector(_CHAOS, seed=seed + index)
+                client = ServeClient(host, port, name, injector=injector)
+                client.subscribe(f"q-{name}", spec)
+                client.feed(streams[name])
+                clients[name] = client
+
+            # Phase 1: half of every stream under fault injection.
+            for name, _, _ in TENANTS:
+                clients[name].send_until(len(streams[name]) // 2)
+
+            # Let the server evict every phase-1 slowloris connection
+            # before the kill — a stalled connection destroyed by
+            # SIGKILL before its read deadline would never be counted.
+            wait_for_evictions(clients["alpha"], {
+                name: clients[name].injector.fired.get("net:slowloris", 0)
+                for name, _, _ in TENANTS
+            })
+
+            # Hard kill, mid-stream, no warning.
+            proc.kill()
+            proc.wait()
+            assert proc.returncode == -signal.SIGKILL
+
+            # Phase 2: restart on the same data dir; clients resume.
+            proc, host, port, _ = start_server(tmp_path)
+            for name, spec, _ in TENANTS:
+                client = clients[name]
+                client.host, client.port = host, port
+                client._drop_connections()
+                client.finish()
+
+            for name, spec, _ in TENANTS:
+                served = clients[name].await_complete(f"q-{name}",
+                                                      deadline=60)
+                assert_byte_identical(spec, streams[name], served)
+
+            # Reconciliation: snapshot counters must sum exactly to the
+            # injected fault counts (slowloris evictions land on the
+            # server's read deadline, so poll briefly).
+            expected_evictions = {
+                name: clients[name].injector.fired.get("net:slowloris", 0)
+                for name, _, _ in TENANTS
+            }
+            snap = wait_for_evictions(clients["alpha"], expected_evictions)
+
+            total_malformed = 0
+            for name, _, _ in TENANTS:
+                fired = clients[name].injector.fired
+                counters = snap["serve"]["tenants"][name]["counters"]
+                assert counters["quarantined"] == \
+                    fired.get("net:malform", 0)
+                assert counters["duplicates"] == fired.get("net:dup", 0)
+                assert counters["evictions"] == expected_evictions[name]
+                # disconnect + slowloris reconnects + 1 post-kill resume
+                assert counters["reconnects"] == (
+                    fired.get("net:disconnect", 0)
+                    + expected_evictions[name] + 1
+                )
+                total_malformed += fired.get("net:malform", 0)
+
+            # The shared quarantine ledger carries every tenant's
+            # malformed frames across the restart.
+            assert snap["serve"]["quarantine"]["by_reason"].get(
+                "malformed", 0) == total_malformed
+        finally:
+            for client in clients.values():
+                client.close()
+            assert stop_server(proc) == 0
