@@ -1,0 +1,330 @@
+"""Compiled parallel shard workers vs the row pipeline they replace.
+
+The headline measurement for kernel-complete columnar lowering shipped
+to shard workers (see ``docs/parallelism.md``): the canonical 500k-event
+cloudlog workload — two derived payload columns, a two-predicate filter,
+window push-down, grouped sum — run through
+:func:`repro.parallel.run_parallel` at workers ∈ {1, 2, 4} twice per
+worker count:
+
+``row``
+    The pre-compiler path end to end: per-event ``Event`` ingress and
+    :class:`~repro.parallel.RowPlan` shard workers running the
+    per-event operator pipeline (exactly what
+    ``repro run --parallel N --engine row`` executes).
+
+``compiled``
+    The same element sequence as columnar :class:`EventBatch` ingress
+    and :class:`~repro.parallel.CompiledShardPlan` workers running the
+    fused columnar kernel pipeline.
+
+Both legs see the same events, the same punctuation cadence, and hence
+the same late set, through the same coordinator/merge runtime at the
+same worker count — the speedup isolates the ingress representation and
+the shard executor, which is precisely what the compiler work changed.
+Every timed run is equivalence-checked against the row leg's output
+multiset, so a speedup obtained by dropping or corrupting events can
+never be recorded.
+
+Timing is **median-of-paired-trials**: each trial times the row leg and
+the compiled leg back to back, and the recorded ``speedup_vs_row`` is
+the median of the per-trial ratios (``events_per_sec`` is the per-leg
+median).  Multi-process runs on an oversubscribed host are
+scheduler-noisy — the slow row leg especially, where one 4-worker run
+can vary ~1.7x — and a best-of scheme would let one lucky row sample
+swing the recorded ratio; paired medians track the typical, reproducible
+comparison instead.
+
+``python -m benchmarks.bench_compiled_parallel`` writes the machine-
+readable trajectory to ``BENCH_compiled_parallel.json`` (schema per
+entry: ``name``, ``config``, ``events_per_sec``, ``speedup_vs_row``);
+the file is only refreshed at the canonical ``DEFAULT_N`` so a quick
+``--n`` pass can't replace the regression-tracking baseline with a toy
+trajectory.  ``--smoke`` runs a seconds-scale subset for CI and skips
+the JSON write.  The acceptance bar: ``speedup_vs_row`` at 4 workers
+must stay >= 20x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.impatience import ImpatienceSorter
+from repro.core.late import LatePolicy
+from repro.engine import QueryPlan
+from repro.engine.batch import EventBatch
+from repro.engine.event import Event, Punctuation
+from repro.engine.kernels import field
+from repro.engine.operators.aggregates import Sum
+from repro.metrics.profile import suggest_reorder_latency
+from repro.parallel import CompiledShardPlan, RowPlan, run_parallel
+from repro.workloads import load_dataset
+
+DEFAULT_N = 500_000
+WORKER_SWEEP = (1, 2, 4)
+BATCH_SIZE = 65_536
+PUNCT_EVERY = 65_536
+RING_CAPACITY = 1 << 23
+TRIALS = 5
+RESULTS_PATH = "BENCH_compiled_parallel.json"
+
+SMOKE_N = 20_000
+SMOKE_WORKERS = (1, 2)
+SMOKE_TRIALS = 2
+
+FILTER_SEV = 3      # field(0) > FILTER_SEV
+FILTER_LAT = 20     # field(1) < FILTER_LAT
+
+
+def _workload(n):
+    """Timestamps, keys, two derived payload columns, window, latency.
+
+    The payload columns model a severity-like and a latency-like field
+    so the canonical query exercises multi-column predicates — per-event
+    lambdas on the row path, fused masks on the compiled path."""
+    dataset = load_dataset("cloudlog", n)
+    ts = np.asarray(dataset.timestamps, dtype=np.int64)
+    keys = np.asarray(dataset.keys, dtype=np.int64)
+    sev = ts % 17
+    lat = (ts * 7 + keys) % 23
+    window = max(n // 100, 1)
+    latency = suggest_reorder_latency(dataset.timestamps, 0.99)
+    return ts, keys, sev, lat, window, latency
+
+
+def _row_ingress(ts, keys, sev, lat, latency):
+    """Arrival-order per-event stream (the pre-compiler ingress)."""
+    out = []
+    high = None
+    next_punct = PUNCT_EVERY
+    tl, kl, sl, ll = ts.tolist(), keys.tolist(), sev.tolist(), lat.tolist()
+    for i in range(len(tl)):
+        t = tl[i]
+        out.append(Event(t, t + 1, kl[i], (sl[i], ll[i])))
+        high = t if high is None or t > high else high
+        if i + 1 >= next_punct:
+            out.append(Punctuation(high - latency))
+            next_punct += PUNCT_EVERY
+    out.append(Punctuation(high))
+    return out
+
+
+def _columnar_ingress(ts, keys, sev, lat, latency):
+    """The same element sequence as columnar EventBatch blocks.
+
+    ``PUNCT_EVERY`` is a multiple of ``BATCH_SIZE`` (blocks never
+    straddle a punctuation), so the sequence — and therefore which
+    events count as late — is identical to the row stream's."""
+    out = []
+    high = None
+    next_punct = PUNCT_EVERY
+    for i in range(0, len(ts), BATCH_SIZE):
+        chunk = ts[i:i + BATCH_SIZE]
+        out.append(EventBatch(
+            chunk, chunk + 1, keys[i:i + BATCH_SIZE],
+            [sev[i:i + BATCH_SIZE], lat[i:i + BATCH_SIZE]],
+        ))
+        top = int(chunk.max())
+        high = top if high is None else max(high, top)
+        if i + BATCH_SIZE >= next_punct:
+            out.append(Punctuation(high - latency))
+            next_punct += PUNCT_EVERY
+    out.append(Punctuation(high))
+    return out
+
+
+def _query_plan(window):
+    """The canonical compiled plan: filter x2 |> window |> grouped sum."""
+    return (
+        QueryPlan()
+        .where(field(0) > FILTER_SEV)
+        .where(field(1) < FILTER_LAT)
+        .tumbling_window(window)
+        .sort(late_policy=LatePolicy.DROP)
+        .group_aggregate(Sum(field(1)))
+    )
+
+
+def _row_plan(window):
+    """The row-operator twin of :func:`_query_plan` (per-shard)."""
+    def _sync(event):
+        return event.sync_time
+
+    return RowPlan(
+        lambda s: s.group_aggregate(Sum(field(1))),
+        sorter=lambda: ImpatienceSorter(
+            key=_sync, late_policy=LatePolicy.DROP
+        ),
+        pre=lambda d: d.where(lambda e: e.payload[0] > FILTER_SEV)
+        .where(lambda e: e.payload[1] < FILTER_LAT)
+        .tumbling_window(window),
+    )
+
+
+def _event_key(event):
+    return (event.sync_time, event.other_time, event.key, event.payload)
+
+
+def _timed(ingress, plan_fn, workers, n):
+    """One timed run; returns ``(events_per_sec, result)``."""
+    start = time.perf_counter()
+    result = run_parallel(
+        iter(ingress), plan_fn(), workers,
+        batch_size=BATCH_SIZE, ring_capacity=RING_CAPACITY,
+    )
+    return n / (time.perf_counter() - start), result
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def run_comparison(n=DEFAULT_N, workers_sweep=WORKER_SWEEP,
+                   trials=TRIALS):
+    """Run both legs across the worker sweep; returns the entry list.
+
+    Every trial's compiled run is equivalence-checked against the same
+    worker count's row output multiset (shard tie-break order in the
+    merged stream legitimately varies *across* worker counts, the
+    multiset never does)."""
+    ts, keys, sev, lat, window, latency = _workload(n)
+    row_ingress = _row_ingress(ts, keys, sev, lat, latency)
+    col_ingress = _columnar_ingress(ts, keys, sev, lat, latency)
+    entries = []
+    reference = None
+    for workers in workers_sweep:
+        row_samples, compiled_samples, ratios = [], [], []
+        for _ in range(trials):
+            row_eps, row_result = _timed(
+                row_ingress, lambda: _row_plan(window), workers, n
+            )
+            row_key = sorted(map(_event_key, row_result.events))
+            if reference is None:
+                reference = row_key
+            elif row_key != reference:
+                raise AssertionError(
+                    f"row leg at workers={workers} diverged from "
+                    f"workers={workers_sweep[0]}"
+                )
+            compiled_eps, compiled_result = _timed(
+                col_ingress,
+                lambda: CompiledShardPlan(_query_plan(window)),
+                workers, n,
+            )
+            if sorted(map(_event_key, compiled_result.events)) != row_key:
+                raise AssertionError(
+                    f"compiled leg at workers={workers} diverged from "
+                    "the row pipeline"
+                )
+            row_samples.append(row_eps)
+            compiled_samples.append(compiled_eps)
+            ratios.append(compiled_eps / row_eps)
+        config = {
+            "n": n, "dataset": "cloudlog", "window": window,
+            "workers": workers, "batch_size": BATCH_SIZE,
+            "punct_every": PUNCT_EVERY, "trials": trials,
+        }
+        entries.append({
+            "name": f"row-w{workers}",
+            "config": dict(config, ingress="events", plan="row"),
+            "events_per_sec": round(_median(row_samples), 1),
+            "speedup_vs_row": 1.0,
+        })
+        entries.append({
+            "name": f"compiled-w{workers}",
+            "config": dict(config, ingress="columnar", plan="compiled"),
+            "events_per_sec": round(_median(compiled_samples), 1),
+            "speedup_vs_row": round(_median(ratios), 2),
+        })
+    return entries
+
+
+def write_results(entries, path=RESULTS_PATH):
+    with open(path, "w") as fh:
+        json.dump(
+            {"benchmark": "compiled_parallel", "results": entries},
+            fh, indent=2,
+        )
+        fh.write("\n")
+
+
+def _print_table(entries, n):
+    rows = [
+        [
+            entry["name"],
+            entry["config"]["workers"],
+            entry["config"]["plan"],
+            round(entry["events_per_sec"] / 1e6, 3),
+            entry["speedup_vs_row"],
+        ]
+        for entry in entries
+    ]
+    print(format_table(
+        ["run", "workers", "plan", "M events/s", "speedup vs row"],
+        rows,
+        title=(
+            f"Compiled shard workers vs row pipeline (cloudlog {n}, "
+            "filtered grouped sum, equivalence-checked)"
+        ),
+    ))
+
+
+def report(n=None):
+    """Report-section entry point; refreshes the JSON only at the
+    canonical ``DEFAULT_N``."""
+    n = n or DEFAULT_N
+    entries = run_comparison(n)
+    _print_table(entries, n)
+    if n == DEFAULT_N:
+        write_results(entries)
+        print(f"wrote {RESULTS_PATH}")
+    else:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"stream length (default {DEFAULT_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small stream, workers {1,2}, no "
+                             "JSON write — exercises both legs and the "
+                             "equivalence assert only")
+    parser.add_argument("--json", default=None,
+                        help="results path (default "
+                             f"{RESULTS_PATH}; ignored with --smoke "
+                             "unless given)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n = args.n or SMOKE_N
+        entries = run_comparison(n, SMOKE_WORKERS, SMOKE_TRIALS)
+        _print_table(entries, n)
+        if args.json:
+            write_results(entries, args.json)
+            print(f"wrote {args.json}")
+        print("smoke OK")
+        return
+    n = args.n or DEFAULT_N
+    entries = run_comparison(n)
+    _print_table(entries, n)
+    if args.json is None and n != DEFAULT_N:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} "
+              "write (pass --json PATH to record a non-canonical run)")
+        return
+    path = args.json or RESULTS_PATH
+    write_results(entries, path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

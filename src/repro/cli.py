@@ -170,35 +170,74 @@ def _single_plan(query, window):
     return plan.count()
 
 
-def _parallel_plan(query, window):
+def _parallel_plan(query, window, engine="auto"):
     """Per-shard plan + coordinator finalize for a ``run`` query.
 
-    ``grouped-count`` is key-local, so the whole query runs inside the
-    shard workers (on the vectorized columnar kernel).  The other two
-    decompose: each shard computes its partial per-window answer and a
-    coordinator ``finalize`` query combines the partials — summed counts
-    for the global ``windowed-count``, top-k-of-shard-top-ks for
-    ``top-k``.  All three keep the windowing stage *before* the
-    per-shard sort (``pre`` / ``align="pre"``), matching the
-    single-process plans' §IV push-down byte-for-byte — including which
-    events count as late.
+    Under ``--engine auto`` (default) and ``--engine columnar`` every
+    shard worker runs the fused compiled kernel pipeline
+    (:class:`~repro.parallel.CompiledShardPlan`); ``--engine row``
+    forces the row-operator shard plans.  ``grouped-count`` is
+    key-local, so the whole query runs inside the shard workers.  The
+    other two decompose: each shard computes its partial per-window
+    answer and a coordinator ``finalize`` query combines the partials —
+    summed counts for the global ``windowed-count``,
+    top-k-of-shard-top-ks for ``top-k``.  All plans keep the windowing
+    stage *before* the per-shard sort (the §IV push-down), matching the
+    single-process plans byte-for-byte — including which events count
+    as late.
+
+    Returns ``(plan, engine_name, engine_reason)``; ``engine_reason``
+    is the compiler's fallback reason when ``auto`` lands on the row
+    path.  Raises
+    :class:`~repro.engine.compiler.UnsupportedPlanError` when
+    ``columnar`` is forced on a shape the compiler cannot lower.
     """
-    from repro.engine.operators.aggregates import Sum
-    from repro.parallel import GroupedAggregatePlan, RowPlan
+    from repro.engine import QueryPlan
+    from repro.engine.compiler import UnsupportedPlanError
+    from repro.engine.operators.aggregates import Count, Sum
+    from repro.parallel import CompiledShardPlan, RowPlan
 
     if query == "grouped-count":
-        return GroupedAggregatePlan(window, align="pre")
-    if query == "windowed-count":
-        return RowPlan(
+        qplan = (QueryPlan().tumbling_window(window).sort()
+                 .group_aggregate(Count()))
+        finalize = None
+    elif query == "windowed-count":
+        qplan = QueryPlan().tumbling_window(window).sort().count()
+        finalize = (
+            lambda s: s.tumbling_window(window).aggregate(Sum())
+        )
+    else:
+        qplan = QueryPlan().tumbling_window(window).sort().top_k(3)
+        finalize = lambda s: s.top_k(3)
+
+    reason = None
+    if engine in ("auto", "columnar"):
+        try:
+            plan = CompiledShardPlan(qplan, finalize=finalize)
+            return plan, "columnar", None
+        except UnsupportedPlanError as exc:
+            if engine == "columnar":
+                raise
+            reason = exc.reason
+
+    if query == "grouped-count":
+        plan = RowPlan(
+            lambda s: s.group_aggregate(Count()),
+            pre=lambda d: d.tumbling_window(window),
+        )
+    elif query == "windowed-count":
+        plan = RowPlan(
             lambda s: s.count(),
             pre=lambda d: d.tumbling_window(window),
-            finalize=lambda s: s.tumbling_window(window).aggregate(Sum()),
+            finalize=finalize,
         )
-    return RowPlan(
-        lambda s: s.top_k(3),
-        pre=lambda d: d.tumbling_window(window),
-        finalize=lambda s: s.top_k(3),
-    )
+    else:
+        plan = RowPlan(
+            lambda s: s.top_k(3),
+            pre=lambda d: d.tumbling_window(window),
+            finalize=finalize,
+        )
+    return plan, "row", reason
 
 
 def _cmd_run(args):
@@ -360,13 +399,18 @@ def _run_parallel_cli(args, dataset, latency, window):
               "injection; with --parallel use --supervised (worker-crash "
               "recovery)", file=sys.stderr)
         return 2
-    if args.engine != "auto":
-        print("error: QueryBuildError: --engine selects the single-process "
-              "path; --parallel shards always use the columnar worker "
-              "kernels", file=sys.stderr)
-        return 2
 
-    plan = _parallel_plan(args.query, window)
+    from repro.engine.compiler import UnsupportedPlanError
+
+    try:
+        plan, engine_name, engine_reason = _parallel_plan(
+            args.query, window, args.engine
+        )
+    except UnsupportedPlanError as exc:
+        print("error: QueryBuildError: --engine columnar forced, but the "
+              f"'{args.query}' shard plan cannot be compiled: {exc.reason}",
+              file=sys.stderr)
+        return 2
     ingress = ingress_dataset(dataset, args.punctuation_frequency, latency)
     resilience = None
     start = time.perf_counter()
@@ -402,6 +446,8 @@ def _run_parallel_cli(args, dataset, latency, window):
             "punctuation_frequency": args.punctuation_frequency,
             "reorder_latency": latency,
             "workers": args.parallel,
+            "engine": engine_name,
+            "engine_reason": engine_reason,
             "elapsed_s": elapsed,
             "throughput_meps": len(dataset) / elapsed / 1e6,
         },
@@ -413,6 +459,12 @@ def _run_parallel_cli(args, dataset, latency, window):
         f"{n_results} result events in {elapsed:.3f}s "
         f"({len(dataset) / elapsed / 1e6:.3f} M events/s)"
     )
+    if engine_name == "columnar":
+        print("engine: columnar (compiled shard kernels)")
+    elif engine_reason is not None:
+        print(f"engine: row ({engine_reason})")
+    else:
+        print("engine: row (forced)")
     print()
     print(format_parallel_summary(parallel_doc))
     if resilience is not None:
@@ -471,6 +523,7 @@ def format_parallel_summary(doc) -> str:
         rows.append([
             shard,
             stats.get("plan", "?"),
+            stats.get("engine", "row"),
             stats.get("events_in", 0),
             stats.get("buffered_peak", 0),
             stats.get("runs_peak", "-"),
@@ -478,7 +531,7 @@ def format_parallel_summary(doc) -> str:
             stats.get("late_adjusted", 0),
         ])
     lines.append(format_table(
-        ["shard", "plan", "ev in", "peak buf", "peak runs",
+        ["shard", "plan", "engine", "ev in", "peak buf", "peak runs",
          "late drop", "late adj"],
         rows, title="Per-shard workers",
     ))

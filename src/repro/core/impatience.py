@@ -27,6 +27,15 @@ __all__ = ["ImpatienceSorter"]
 
 _NEG_INF = float("-inf")
 
+# ``tie_break="arrival"`` lifts integer sort keys to
+# ``key * _SEQ_SPAN + arrival_seq`` so equal keys become a strict total
+# order.  The span bounds the number of inserts over a sorter's
+# lifetime (~2.8e14) — far beyond any stream this process can hold.
+_SEQ_SPAN = 1 << 48
+_SEQ_MAX = _SEQ_SPAN - 1
+
+
+
 
 class ImpatienceSorter:
     """Online, punctuation-driven adaptive sorter.
@@ -58,6 +67,17 @@ class ImpatienceSorter:
         binary search over negated tails) or ``"binary"`` (pure-Python
         binary search; the pre-optimization baseline, kept for the
         Figure 8 placement ablation).
+    tie_break:
+        ``"arrival"`` (default for keyed sorters) makes emission order a
+        *total* deterministic order: items with equal sort keys emit in
+        arrival order, matching the tie order the columnar and external
+        sorters already guarantee.  Internally each integer key is
+        lifted to ``key * 2**48 + arrival_seq``, so placement, cuts, and
+        every merge strategy see strictly distinct keys (requires
+        integer keys).  ``"none"`` keeps the raw keys — tie order then
+        depends on run placement and the merge schedule, which is fine
+        when equal-keyed items are interchangeable (e.g. keyless bare
+        timestamps, which always use ``"none"``).
 
     Examples
     --------
@@ -76,8 +96,19 @@ class ImpatienceSorter:
 
     def __init__(self, key=None, huffman_merge=True, speculative=True,
                  late_policy=LatePolicy.DROP, sample_every=None, merge=None,
-                 quarantine=None, placement="bisect"):
+                 quarantine=None, placement="bisect", tie_break=None):
         self.key = key
+        if tie_break is None:
+            tie_break = "none" if key is None else "arrival"
+        if tie_break not in ("arrival", "none"):
+            raise ValueError(
+                f"tie_break must be 'arrival' or 'none', not {tie_break!r}"
+            )
+        # Keyless sorters emit the keys themselves: equal keys are
+        # indistinguishable, so lifting would only corrupt the output.
+        self.tie_break = "none" if key is None else tie_break
+        self._stable = self.tie_break == "arrival"
+        self._seq = 0
         if merge is None:
             merge = "huffman" if huffman_merge else "pairwise"
         elif merge not in MERGE_STRATEGIES:
@@ -133,6 +164,8 @@ class ImpatienceSorter:
                 return False
             if self.key is None:
                 item = key  # bare timestamps: adjusting the key IS the item
+        if self._stable:
+            key = self._lift(key)
         self._pending_keys.append(key)
         if self.key is not None:
             self._pending_items.append(item)
@@ -163,6 +196,8 @@ class ImpatienceSorter:
             for item in items:
                 self.insert(item)
             return
+        if self._stable:
+            keys = [self._lift(key) for key in keys]
         self._pending_keys.extend(keys)
         if self.key is not None:
             self._pending_items.extend(items)
@@ -181,7 +216,11 @@ class ImpatienceSorter:
         self._watermark = timestamp
         self._has_watermark = True
         self._flush_pending()
-        heads = self._pool.cut_heads(timestamp)
+        if self._stable:
+            # Release every lifted key whose raw key is <= timestamp.
+            heads = self._pool.cut_heads(timestamp * _SEQ_SPAN + _SEQ_MAX)
+        else:
+            heads = self._pool.cut_heads(timestamp)
         self.stats.sample_runs(len(self._pool))
         if not heads:
             return []
@@ -199,6 +238,36 @@ class ImpatienceSorter:
         _, items = merge_runs(runs, self.merge, self.stats)
         self.stats.emitted += len(items)
         return items
+
+    def _lift(self, key):
+        """Lift one raw key to ``key * 2**48 + arrival_seq``.
+
+        A non-integer *first* key demotes the sorter to raw keys (same
+        spirit as the bisect -> binary placement demotion); a non-integer
+        key after integer ones cannot be ordered against already-lifted
+        keys and raises.
+        """
+        if not self._stable:
+            return key
+        if type(key) is not int:
+            try:
+                coerced = int(key)
+            except (TypeError, ValueError):
+                coerced = None
+            if coerced is None or coerced != key:
+                if self._seq == 0:
+                    self._stable = False
+                    self.tie_break = "none"
+                    return key
+                raise TypeError(
+                    f"tie_break='arrival' saw non-integer sort key {key!r} "
+                    f"after integer keys; construct the sorter with "
+                    f"tie_break='none' for non-integer keys"
+                )
+            key = coerced
+        seq = self._seq
+        self._seq = seq + 1
+        return key * _SEQ_SPAN + seq
 
     def _flush_pending(self):
         """Partition the staged ingress batch into the run pool."""

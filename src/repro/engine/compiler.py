@@ -16,14 +16,18 @@ a fused pipeline of :mod:`repro.engine.kernels` stages around a
   (the original window start rides as column 0 so the ADJUST late
   policy keeps row-engine semantics: adjusted sort position, original
   window);
-* post-sort: the grouped/ungrouped windowed-aggregate kernel
-  (``count``/``sum``/``avg``/``min``/``max``) and an optional chained
-  ``top_k`` kernel.
+* post-sort: either the grouped/ungrouped windowed-aggregate kernel
+  (``count``/``sum``/``avg``/``min``/``max``) with an optional chained
+  ``top_k`` kernel, or one of the pass-through terminal kernels —
+  ``distinct``, ``session_window``, ``coalesce``, ``self_join``,
+  ``pattern_match``, ``group_apply`` (over a traceable straight-line
+  body), and raw ``top_k`` — consuming full ``(sync, other, key,
+  payload…)`` rows in the sorter's deterministic emission order.
 
-Anything else — joins, patterns, sessions, duration rewrites, opaque
-Python lambdas, custom sorters — raises :class:`UnsupportedPlanError`
-with a human-readable reason, and :func:`execute_plan` (the engine
-behind ``QueryPlan.run(engine="auto")``) falls back to the row engine
+Anything else — duration rewrites, opaque Python lambdas, custom
+sorters — raises :class:`UnsupportedPlanError` with a human-readable
+reason, and :func:`execute_plan` (the engine behind
+``QueryPlan.run(engine="auto")``) falls back to the row engine
 silently.  Equivalence is byte-for-byte: the compiled path replicates
 ingress punctuation policy, window close rules, clamped forwarded
 punctuations, emission order, and late-policy behavior exactly
@@ -43,8 +47,15 @@ from repro.core.late import LatePolicy
 from repro.engine.event import Event
 from repro.engine.kernels import (
     AGGREGATE_SPECS,
+    CoalesceKernel,
+    DistinctKernel,
+    GroupApplyKernel,
     GroupedWindowKernel,
+    PatternKernel,
     Predicate,
+    RawTopKKernel,
+    SelfJoinKernel,
+    SessionKernel,
     WindowTopKKernel,
     _KeyField,
     _PayloadField,
@@ -90,11 +101,16 @@ class _WhereStage:
     def __init__(self, predicate):
         self.predicate = predicate
 
-    def apply(self, sync, keys, cols):
+    def apply(self, sync, other, keys, cols):
         mask = self.predicate.mask(sync, keys, cols)
         if mask.all():
-            return sync, keys, cols
-        return sync[mask], keys[mask], [col[mask] for col in cols]
+            return sync, other, keys, cols
+        return (
+            sync[mask],
+            None if other is None else other[mask],
+            keys[mask],
+            [col[mask] for col in cols],
+        )
 
     def transform_punct(self, timestamp):
         return timestamp
@@ -109,8 +125,8 @@ class _ProjectStage:
     def __init__(self, columns):
         self.columns = tuple(columns)
 
-    def apply(self, sync, keys, cols):
-        return sync, keys, [cols[index] for index in self.columns]
+    def apply(self, sync, other, keys, cols):
+        return sync, other, keys, [cols[index] for index in self.columns]
 
     def transform_punct(self, timestamp):
         return timestamp
@@ -126,8 +142,17 @@ class _WindowStage:
         self.size = size
         self.hop = hop
 
-    def apply(self, sync, keys, cols):
-        return sync - sync % self.hop, keys, cols
+    def apply(self, sync, other, keys, cols):
+        # HoppingWindow.with_times: sync = t - t % hop, other = sync + size.
+        # ``other`` is only materialized for pass-through terminals; the
+        # aggregate path threads None.
+        sync = sync - sync % self.hop
+        return (
+            sync,
+            None if other is None else sync + self.size,
+            keys,
+            cols,
+        )
 
     def transform_punct(self, timestamp):
         # HoppingWindow.on_punctuation: strongest promise expressible on
@@ -164,6 +189,108 @@ def _lower_aggregate(aggregate):
     )
 
 
+def _require_key_field(key_fn, method):
+    """Grouping must use the event key column (None or ``key_field()``)."""
+    if key_fn is not None and not isinstance(key_fn, _KeyField):
+        raise UnsupportedPlanError(
+            f"{method}() key_fn is an opaque Python callable"
+        )
+
+
+class _BodyProbe:
+    """Traces a ``group_apply`` body to a straight stage chain.
+
+    The body runs against this probe instead of a real stream: structured
+    ``where`` and one window lower onto the same pre-sort stage classes
+    (applied *post*-sort inside the kernel — row-local transforms are
+    position-independent), and an ``aggregate``/``count`` terminal lowers
+    onto the grouped window fold.  Anything else has no columnar kernel.
+    """
+
+    def __init__(self):
+        self.stages = []
+        self.window = None
+        self.spec = None
+        self.value_index = None
+        self._terminated = False
+
+    def _check_open(self, method):
+        if self._terminated:
+            raise UnsupportedPlanError(
+                f"group_apply() body continues with {method}() after its "
+                "aggregate"
+            )
+
+    def where(self, predicate):
+        self._check_open("where")
+        if not isinstance(predicate, Predicate):
+            raise UnsupportedPlanError(
+                "group_apply() body where() predicate is an opaque Python "
+                "callable"
+            )
+        self.stages.append(_WhereStage(predicate))
+        return self
+
+    def tumbling_window(self, size):
+        return self.hopping_window(size, size)
+
+    def hopping_window(self, size, hop=None):
+        self._check_open("hopping_window")
+        if self.window is not None:
+            raise UnsupportedPlanError(
+                "group_apply() body has more than one window"
+            )
+        hop = size if hop is None else hop
+        if not isinstance(size, int) or not isinstance(hop, int) \
+                or size < 1 or hop < 1:
+            raise UnsupportedPlanError(
+                "group_apply() body window size/hop must be positive ints"
+            )
+        self.stages.append(_WindowStage(size, hop))
+        self.window = size
+        return self
+
+    def count(self):
+        return self.aggregate(Count())
+
+    def aggregate(self, aggregate):
+        self._check_open("aggregate")
+        if self.window is None:
+            raise UnsupportedPlanError(
+                "group_apply() body aggregates need a tumbling/hopping "
+                "window stage"
+            )
+        self.spec, self.value_index = _lower_aggregate(aggregate)
+        self._terminated = True
+        return self
+
+    def __getattr__(self, name):
+        raise UnsupportedPlanError(
+            f"group_apply() body uses {name}(), which has no columnar kernel"
+        )
+
+
+def _probe_group_apply(query_fn):
+    """Trace a group_apply body; returns (stages, window, spec, index)."""
+    if query_fn is None:
+        raise UnsupportedPlanError("group_apply() needs a query_fn")
+    probe = _BodyProbe()
+    try:
+        result = query_fn(probe)
+    except UnsupportedPlanError:
+        raise
+    except Exception as exc:
+        raise UnsupportedPlanError(
+            f"group_apply() body is an opaque Python callable ({exc})"
+        )
+    if result is not probe:
+        raise UnsupportedPlanError(
+            "group_apply() body is an opaque Python callable (it does not "
+            "return the traced operator chain)"
+        )
+    return tuple(probe.stages), probe.window, probe.spec, probe.value_index
+
+
 def compile_plan(plan) -> "CompiledPlan":
     """Lower ``plan`` onto fused kernels or raise ``UnsupportedPlanError``.
 
@@ -174,8 +301,12 @@ def compile_plan(plan) -> "CompiledPlan":
     to the row engine with a hint to call ``plan.optimized()``.
     Compilation demands: pre-sort steps drawn from structured ``where``
     / ``select_columns`` / window alignment, a default sorter (late
-    policy allowed), and a windowed aggregate terminal with an optional
-    chained ``top_k``.
+    policy allowed), and a known terminal — a windowed aggregate with an
+    optional chained ``top_k``, or one of the pass-through terminals
+    (``distinct``, ``session_window``, ``coalesce``, ``self_join``,
+    ``pattern_match``, ``group_apply`` over a traceable body, raw
+    ``top_k``) lowered onto a :class:`~repro.engine.kernels`
+    terminal kernel.
     """
     try:
         plan.validate()
@@ -265,6 +396,9 @@ def compile_plan(plan) -> "CompiledPlan":
         )
     rest = list(post[1:])
     grouped = False
+    spec = None
+    value_index = None
+    kernel_factory = None
     method = terminal.method
     if method == "count":
         spec, value_index = AGGREGATE_SPECS["count"], None
@@ -273,20 +407,108 @@ def compile_plan(plan) -> "CompiledPlan":
         spec, value_index = _lower_aggregate(values.get("aggregate"))
     elif method == "group_aggregate":
         values = _resolve(terminal, ("aggregate", "key_fn"))
-        key_fn = values.get("key_fn")
-        if key_fn is not None and not isinstance(key_fn, _KeyField):
-            raise UnsupportedPlanError(
-                "group_aggregate() key_fn is an opaque Python callable"
-            )
+        _require_key_field(values.get("key_fn"), "group_aggregate")
         spec, value_index = _lower_aggregate(values.get("aggregate"))
         grouped = True
-    elif method == "top_k":
-        raise UnsupportedPlanError(
-            "top_k() over raw events is tie-order sensitive through the "
-            "sorter; only top-k over aggregate outputs is vectorized"
+    elif method == "distinct":
+        values = _resolve(terminal, ("selector",))
+        selector = values.get("selector")
+        if selector is None:
+            selector_index = None
+        elif isinstance(selector, _PayloadField):
+            selector_index = selector.index
+        else:
+            raise UnsupportedPlanError(
+                "distinct() selector is an opaque Python callable "
+                "(use repro.engine.kernels.field(i))"
+            )
+        kernel_factory = lambda: DistinctKernel(selector_index)  # noqa: E731
+    elif method == "session_window":
+        values = _resolve(terminal, ("timeout", "aggregate", "key_fn"))
+        _require_key_field(values.get("key_fn"), "session_window")
+        timeout = values.get("timeout")
+        if not isinstance(timeout, int) or timeout < 1:
+            raise UnsupportedPlanError(
+                "session_window() timeout must be a positive int"
+            )
+        session_agg = values.get("aggregate")
+        if session_agg is None:
+            fold, fold_index = "count", None
+        else:
+            fold_spec, fold_index = _lower_aggregate(session_agg)
+            fold = fold_spec.name
+        kernel_factory = (  # noqa: E731
+            lambda: SessionKernel(timeout, fold, fold_index)
         )
+    elif method == "coalesce":
+        values = _resolve(terminal, ("combine", "key_fn"))
+        if values.get("combine") is not None:
+            raise UnsupportedPlanError(
+                "coalesce() combine is an opaque Python callable"
+            )
+        _require_key_field(values.get("key_fn"), "coalesce")
+        kernel_factory = CoalesceKernel
+    elif method == "self_join":
+        values = _resolve(terminal, ("result_selector",))
+        if values.get("result_selector") is not None:
+            raise UnsupportedPlanError(
+                "self_join() result_selector is an opaque Python callable"
+            )
+        kernel_factory = SelfJoinKernel
+    elif method == "pattern_match":
+        values = _resolve(terminal, ("first", "second", "within", "key_fn"))
+        first = values.get("first")
+        second = values.get("second")
+        if not isinstance(first, Predicate) \
+                or not isinstance(second, Predicate):
+            raise UnsupportedPlanError(
+                "pattern_match() step predicates are opaque Python "
+                "callables (use repro.engine.kernels "
+                "field/key_field/sync_field expressions)"
+            )
+        within = values.get("within")
+        if not isinstance(within, int) or within < 1:
+            raise UnsupportedPlanError(
+                "pattern_match() within must be a positive int"
+            )
+        _require_key_field(values.get("key_fn"), "pattern_match")
+        kernel_factory = (  # noqa: E731
+            lambda: PatternKernel(first, second, within)
+        )
+    elif method == "group_apply":
+        values = _resolve(terminal, ("query_fn", "key_fn"))
+        _require_key_field(values.get("key_fn"), "group_apply")
+        body_stages, body_window, body_spec, body_index = \
+            _probe_group_apply(values.get("query_fn"))
+        kernel_factory = (  # noqa: E731
+            lambda: GroupApplyKernel(
+                body_stages, body_window, body_spec, body_index
+            )
+        )
+    elif method == "top_k":
+        # Raw top-k became lowerable once every sorter resolved
+        # equal-sync ties by arrival order (tie_break="arrival").
+        values = _resolve(terminal, ("k", "score_fn"))
+        if values.get("score_fn") is not None:
+            raise UnsupportedPlanError(
+                "top_k() score_fn is an opaque Python callable"
+            )
+        raw_k = values.get("k")
+        if not isinstance(raw_k, int) or raw_k < 1:
+            raise UnsupportedPlanError("top_k() k must be a positive int")
+        kernel_factory = lambda: RawTopKKernel(raw_k)  # noqa: E731
     else:
         raise UnsupportedPlanError(f"{method}() is not vectorized")
+
+    if kernel_factory is not None:
+        if rest:
+            raise UnsupportedPlanError(
+                f"{rest[0].method}() after {method}() is not vectorized"
+            )
+        return CompiledPlan(
+            stages, late_policy, window_size, None, None, False, None,
+            method, kernel_factory=kernel_factory,
+        )
 
     top_k = None
     if rest and rest[0].method == "top_k":
@@ -449,7 +671,7 @@ class CompiledPlan:
     """An executable fused pipeline produced by :func:`compile_plan`."""
 
     def __init__(self, stages, late_policy, window_size, spec, value_index,
-                 grouped, top_k, terminal):
+                 grouped, top_k, terminal, kernel_factory=None):
         self.stages = stages
         self.late_policy = late_policy
         self.window_size = window_size
@@ -458,14 +680,28 @@ class CompiledPlan:
         self.grouped = grouped
         self.top_k = top_k
         self.terminal = terminal
-        self.columns = 1 + (1 if grouped else 0) + (
-            1 if spec.needs_value else 0
-        )
+        # Pass-through terminals consume full rows, so the sorter carries
+        # (sync, other, key, *payload) — column count known only once the
+        # post-stage payload arity is (at the first chunk).  The aggregate
+        # path carries exactly the columns its fold needs.
+        self.kernel_factory = kernel_factory
+        self.pass_through = kernel_factory is not None
+        if self.pass_through:
+            self.columns = None
+            self.terminal_label = kernel_factory().describe()
+        else:
+            self.terminal_label = None
+            self.columns = 1 + (1 if grouped else 0) + (
+                1 if spec.needs_value else 0
+            )
 
     def describe(self):
         """Kernel stage labels in pipeline order (for EXPLAIN output)."""
         labels = [stage.describe() for stage in self.stages]
         labels.append(f"columnar_sort[{self.late_policy.name}]")
+        if self.pass_through:
+            labels.append(self.terminal_label)
+            return labels
         kind = "group_aggregate" if self.grouped else "aggregate"
         labels.append(f"{kind}[{self.spec.name}]")
         if self.top_k is not None:
@@ -498,6 +734,7 @@ class CompiledPlan:
             n = len(source)
             arity = len(source[0].payload) if n else 0
             chunker = _events_chunk
+        need_other = self.pass_through
         high_watermark = None
         last_punctuation = _NEG_INF
         position = 0
@@ -509,14 +746,16 @@ class CompiledPlan:
                 room = n - position
             stop = min(position + batch_size, position + room, n)
             t0 = perf_counter()
-            sync, keys, cols = chunker(source, position, stop, arity)
+            sync, other, keys, cols = chunker(
+                source, position, stop, arity, need_other
+            )
             execution.ingress.note_batch(
                 stop - position, stop - position, perf_counter() - t0
             )
             chunk_max = int(sync.max())
             if high_watermark is None or chunk_max > high_watermark:
                 high_watermark = chunk_max
-            execution.process_chunk(sync, keys, cols)
+            execution.process_chunk(sync, other, keys, cols)
             position = stop
             if frequency and position % frequency == 0:
                 candidate = high_watermark - reorder_latency
@@ -531,22 +770,28 @@ class CompiledPlan:
         return execution.result(reason)
 
 
-def _dataset_chunk(dataset, start, stop, arity):
+def _dataset_chunk(dataset, start, stop, arity, need_other=False):
     sync = np.asarray(dataset.timestamps[start:stop], dtype=np.int64)
+    # Dataset ingress events carry the point interval [t, t + 1).
+    other = sync + 1 if need_other else None
     keys = np.asarray(dataset.keys[start:stop], dtype=np.int64)
     if arity:
         matrix = np.asarray(dataset.payloads[start:stop], dtype=np.int64)
         cols = [matrix[:, c] for c in range(arity)]
     else:
         cols = []
-    return sync, keys, cols
+    return sync, other, keys, cols
 
 
-def _events_chunk(events, start, stop, arity):
+def _events_chunk(events, start, stop, arity, need_other=False):
     count = stop - start
     chunk = events[start:stop]
     sync = np.fromiter(
         (event.sync_time for event in chunk), np.int64, count
+    )
+    other = (
+        np.fromiter((event.other_time for event in chunk), np.int64, count)
+        if need_other else None
     )
     keys = np.fromiter((event.key for event in chunk), np.int64, count)
     if arity:
@@ -556,7 +801,7 @@ def _events_chunk(events, start, stop, arity):
         cols = [matrix[:, c] for c in range(arity)]
     else:
         cols = []
-    return sync, keys, cols
+    return sync, other, keys, cols
 
 
 class _Execution:
@@ -565,31 +810,37 @@ class _Execution:
     def __init__(self, compiled, memory_budget=None):
         self.compiled = compiled
         self.memory_budget = memory_budget
-        if memory_budget is None:
-            self.sorter = ColumnarImpatienceSorter(
-                late_policy=compiled.late_policy, columns=compiled.columns
-            )
+        self.pass_through = compiled.pass_through
+        if self.pass_through:
+            # Sorter columns = 3 + post-stage payload arity, known only
+            # at the first chunk (select_columns changes the arity).
+            self.sorter = None
+            self.terminal = compiled.kernel_factory()
+            self.aggregate = None
+            self.topk = None
         else:
-            # Bounded-memory path: byte-identical output, cold runs
-            # spill to disk (repro.sorting.external).
-            self.sorter = ExternalColumnarSorter(
-                memory_budget, late_policy=compiled.late_policy,
-                columns=compiled.columns,
+            self.sorter = self._make_sorter(compiled.columns)
+            self.terminal = None
+            self.aggregate = GroupedWindowKernel(
+                compiled.window_size, compiled.spec, grouped=compiled.grouped
+            )
+            self.topk = (
+                WindowTopKKernel(compiled.window_size, compiled.top_k)
+                if compiled.top_k is not None else None
             )
         # Pre-sorting each ingress chunk turns it into one ascending
         # segment, so run placement is a handful of chunk-sized deals
         # instead of a Python loop over every descent.  Legal because
         # the lateness mask is order-free within a chunk and every
-        # downstream kernel re-sorts (lexsort/stable-merge) — except
-        # under RAISE, where "the first late event" must mean arrival
-        # order to keep the row engine's exception args byte-identical.
-        self.presort = compiled.late_policy is not LatePolicy.RAISE
-        self.aggregate = GroupedWindowKernel(
-            compiled.window_size, compiled.spec, grouped=compiled.grouped
-        )
-        self.topk = (
-            WindowTopKKernel(compiled.window_size, compiled.top_k)
-            if compiled.top_k is not None else None
+        # downstream aggregate kernel re-sorts (lexsort/stable-merge) —
+        # except under RAISE, where "the first late event" must mean
+        # arrival order to keep the row engine's exception args
+        # byte-identical, and under ADJUST for pass-through terminals,
+        # where late events with differing raw syncs collapse onto one
+        # adjusted sort key and must keep their *arrival* tie order.
+        late = compiled.late_policy
+        self.presort = late is not LatePolicy.RAISE and not (
+            self.pass_through and late is LatePolicy.ADJUST
         )
         self.events = []
         self.punctuations = []
@@ -604,26 +855,43 @@ class _Execution:
             _KernelMetrics("top_k") if self.topk is not None else None
         )
 
+    def _make_sorter(self, columns):
+        if self.memory_budget is None:
+            return ColumnarImpatienceSorter(
+                late_policy=self.compiled.late_policy, columns=columns
+            )
+        # Bounded-memory path: byte-identical output, cold runs
+        # spill to disk (repro.sorting.external).
+        return ExternalColumnarSorter(
+            self.memory_budget, late_policy=self.compiled.late_policy,
+            columns=columns,
+        )
+
     # -- dataflow ---------------------------------------------------------
 
-    def process_chunk(self, sync, keys, cols):
+    def process_chunk(self, sync, other, keys, cols):
         for stage, metrics in zip(
             self.compiled.stages, self.stage_metrics
         ):
             t0 = perf_counter()
             n_in = sync.size
-            sync, keys, cols = stage.apply(sync, keys, cols)
+            sync, other, keys, cols = stage.apply(sync, other, keys, cols)
             metrics.note_batch(n_in, sync.size, perf_counter() - t0)
         t0 = perf_counter()
-        columns = [sync]
-        if self.compiled.grouped:
-            columns.append(keys)
-        if self.compiled.spec.needs_value:
-            columns.append(cols[self.compiled.value_index])
+        if self.pass_through:
+            columns = [sync, other, keys, *cols]
+        else:
+            columns = [sync]
+            if self.compiled.grouped:
+                columns.append(keys)
+            if self.compiled.spec.needs_value:
+                columns.append(cols[self.compiled.value_index])
         if self.presort and sync.size > 1:
             order = np.argsort(sync, kind="stable")
             columns = [column[order] for column in columns]
             sync = columns[0]
+        if self.sorter is None:
+            self.sorter = self._make_sorter(len(columns))
         self.sorter.insert_batch(sync, tuple(columns))
         self.sort_metrics.note_batch(sync.size, 0, perf_counter() - t0)
         self.sort_metrics.peak = self.sorter.stats.max_buffered
@@ -636,18 +904,56 @@ class _Execution:
             timestamp = stage.transform_punct(timestamp)
             metrics.note_punct(True)
         t0 = perf_counter()
-        released = self.sorter.on_punctuation(timestamp)
+        released = (
+            self.sorter.on_punctuation(timestamp)
+            if self.sorter is not None else None
+        )
         self.sort_metrics.note_punct(True, perf_counter() - t0)
-        self.sort_metrics.events_out += int(released[0].size)
-        self.sort_metrics.peak = self.sorter.stats.max_buffered
-        self._downstream(released, timestamp)
+        if released is not None:
+            self.sort_metrics.events_out += int(released[0].size)
+            self.sort_metrics.peak = self.sorter.stats.max_buffered
+        if self.pass_through:
+            self._downstream_pass(released, timestamp)
+        else:
+            self._downstream(released, timestamp)
 
     def flush(self):
         t0 = perf_counter()
-        released = self.sorter.flush()
+        released = self.sorter.flush() if self.sorter is not None else None
         self.sort_metrics.busy_s += perf_counter() - t0
-        self.sort_metrics.events_out += int(released[0].size)
-        self._downstream(released, None)
+        if released is not None:
+            self.sort_metrics.events_out += int(released[0].size)
+        if self.pass_through:
+            self._downstream_pass(released, None)
+        else:
+            self._downstream(released, None)
+
+    def _downstream_pass(self, released, timestamp):
+        """Feed one sorter round to the pass-through terminal kernel."""
+        terminal = self.terminal
+        t0 = perf_counter()
+        out = []
+        n_in = 0
+        if released is not None:
+            _, columns = released
+            n_in = int(columns[0].size)
+            if n_in:
+                out.extend(terminal.ingest(
+                    columns[0], columns[1], columns[2], list(columns[3:])
+                ))
+        if timestamp is not None:
+            closed, puncts = terminal.punctuate(timestamp)
+        else:
+            closed, puncts = terminal.flush()
+        out.extend(closed)
+        self.agg_metrics.note_batch(n_in, len(out), perf_counter() - t0)
+        if timestamp is not None:
+            self.agg_metrics.note_punct(bool(puncts))
+        self.agg_metrics.peak = max(
+            self.agg_metrics.peak, terminal.buffered() + len(out)
+        )
+        self.events.extend(out)
+        self.punctuations.extend(puncts)
 
     def _downstream(self, released, timestamp):
         compiled = self.compiled
@@ -710,6 +1016,9 @@ class _Execution:
     # -- result -----------------------------------------------------------
 
     def result(self, reason):
+        if self.sorter is None:
+            # Empty pass-through run: no chunk ever fixed the arity.
+            self.sorter = self._make_sorter(3)
         sorter_doc = self.sort_metrics.doc()
         sorter_doc["sorter"] = self.sorter.stats.as_dict()
         late = self.sorter.late
@@ -742,7 +1051,7 @@ class _Execution:
         )
 
     def close(self):
-        if self.memory_budget is not None:
+        if self.memory_budget is not None and self.sorter is not None:
             self.sorter.close()
 
 
@@ -769,6 +1078,7 @@ def _ingest_reason(events):
         if not isinstance(payload, tuple) or len(payload) != arity:
             return "event payload arity is not uniform"
         if not isinstance(event.sync_time, integral) \
+                or not isinstance(event.other_time, integral) \
                 or not isinstance(event.key, integral):
             return "event times/keys are not integers"
         for value in payload:

@@ -35,9 +35,13 @@ path at once.
 
 from __future__ import annotations
 
+import heapq
 import operator as _op
+from collections import deque
 
 import numpy as np
+
+from repro.engine.event import Event
 
 __all__ = [
     "Expr",
@@ -49,6 +53,14 @@ __all__ = [
     "AGGREGATE_SPECS",
     "GroupedWindowKernel",
     "WindowTopKKernel",
+    "TerminalKernel",
+    "DistinctKernel",
+    "SessionKernel",
+    "CoalesceKernel",
+    "SelfJoinKernel",
+    "PatternKernel",
+    "GroupApplyKernel",
+    "RawTopKKernel",
 ]
 
 _NEG_INF = float("-inf")
@@ -612,3 +624,605 @@ class WindowTopKKernel(_WindowedKernelBase):
 
 def _row_value(row):
     return row[1]
+
+
+# ---------------------------------------------------------------------------
+# Pass-through terminal kernels.
+#
+# Each replicates one row operator byte-for-byte over the columnar
+# sorter's released rounds.  The compiler carries the *full* column
+# layout to these terminals — ``(sync, other, key, payload columns…)``
+# all int64, with the sorter's (possibly ADJUST-rewritten) sort values
+# kept separate — so the terminal sees exactly the event fields the row
+# operator would, in exactly the order the row sorter would emit them
+# (the sorters share one total tie order: effective key, arrival).
+# ---------------------------------------------------------------------------
+
+
+def _rows(sync, other, keys, cols):
+    """Per-row python scalars for a released round (zip of .tolist())."""
+    payloads = (
+        list(zip(*(col.tolist() for col in cols))) if cols
+        else [()] * sync.size
+    )
+    return zip(sync.tolist(), other.tolist(), keys.tolist(), payloads)
+
+
+class TerminalKernel:
+    """A post-sort terminal consuming released rounds.
+
+    ``ingest`` scans one released round's rows in emission order and
+    returns immediately-emitted events; ``punctuate``/``flush`` advance
+    operator state and return ``(events, punctuations)`` — the exact
+    elements (and order) the row operator would emit for the same
+    punctuation or flush signal.
+    """
+
+    name = None
+
+    def ingest(self, sync, other, keys, cols):
+        raise NotImplementedError
+
+    def punctuate(self, timestamp):
+        return [], []
+
+    def flush(self):
+        return [], []
+
+    def buffered(self) -> int:
+        return 0
+
+    def describe(self):
+        return self.name
+
+
+class DistinctKernel(TerminalKernel):
+    """``DistinctWindow``: first event per (window start, selector value).
+
+    Candidate first-occurrences within a round come from one
+    ``np.unique`` over the stacked ``(start, value…)`` rows; the
+    persistent per-start seen-sets then decide which candidates survive
+    across rounds.  Emission order is row-scan order (the sorted round),
+    matching the row operator exactly.
+    """
+
+    name = "distinct"
+
+    def __init__(self, selector_index=None):
+        self.selector_index = selector_index
+        self._seen = {}  # start -> (end, set of values)
+
+    def ingest(self, sync, other, keys, cols):
+        if sync.size == 0:
+            return []
+        if self.selector_index is None:
+            value_cols = cols
+        else:
+            value_cols = (cols[self.selector_index],)
+        if value_cols:
+            stacked = np.column_stack((sync, *value_cols))
+        else:
+            stacked = sync.reshape(-1, 1)
+        _, first_idx = np.unique(stacked, axis=0, return_index=True)
+        first_idx.sort()
+        out = []
+        seen = self._seen
+        for i in first_idx.tolist():
+            start = int(sync[i])
+            entry = seen.get(start)
+            if entry is None:
+                entry = seen[start] = (int(other[i]), set())
+            if self.selector_index is None:
+                value = tuple(int(col[i]) for col in cols)
+            else:
+                value = int(cols[self.selector_index][i])
+            if value not in entry[1]:
+                entry[1].add(value)
+                out.append(Event(
+                    start, int(other[i]), int(keys[i]),
+                    tuple(int(col[i]) for col in cols),
+                ))
+        return out
+
+    def punctuate(self, timestamp):
+        seen = self._seen
+        dead = [
+            start for start, (end, _) in seen.items()
+            if end - 1 <= timestamp
+        ]
+        for start in dead:
+            del seen[start]
+        return [], [timestamp]
+
+    def flush(self):
+        self._seen.clear()
+        return [], []
+
+    def buffered(self) -> int:
+        return sum(len(values) for _, values in self._seen.values())
+
+
+class _HeapReleaseKernel(TerminalKernel):
+    """Shared start-ordered release discipline of SessionWindow/Coalesce.
+
+    Closed groups wait in a ``(start, seq, …)`` heap; ``_release`` pops
+    everything at or below the clamp bound (min of the promise and one
+    below the earliest still-open start) and forwards the bound as a
+    punctuation only when it advances the output watermark.
+    """
+
+    def __init__(self):
+        self._open = {}
+        self._closed = []
+        self._seq = 0
+        self._out_watermark = _NEG_INF
+
+    def _push_closed(self, start, end, key, payload):
+        heapq.heappush(self._closed, (start, self._seq, end, key, payload))
+        self._seq += 1
+
+    def _release(self, timestamp):
+        open_floor = min(
+            (group[0] for group in self._open.values()), default=None
+        )
+        bound = timestamp if open_floor is None else min(
+            timestamp, open_floor - 1
+        )
+        events = []
+        closed = self._closed
+        while closed and closed[0][0] <= bound:
+            start, _, end, key, payload = heapq.heappop(closed)
+            events.append(Event(start, end, key, payload))
+        puncts = []
+        if bound != float("inf") and bound > self._out_watermark:
+            self._out_watermark = bound
+            puncts.append(bound)
+        return events, puncts
+
+    def buffered(self) -> int:
+        return len(self._open) + len(self._closed)
+
+
+#: Scalar fold table for session aggregates: initial state + per-value
+#: fold + finalize, matching the row ``Aggregate`` classes exactly
+#: (``None`` value index means the fold ignores values, e.g. count).
+_SCALAR_FOLDS = {
+    "count": (lambda: 0, lambda state, value: state + 1,
+              lambda state: state),
+    "sum": (lambda: 0, lambda state, value: state + value,
+            lambda state: state),
+    "min": (lambda: None,
+            lambda state, value:
+                value if state is None or value < state else state,
+            lambda state: state),
+    "max": (lambda: None,
+            lambda state, value:
+                value if state is None or value > state else state,
+            lambda state: state),
+    "avg": (lambda: (0, 0),
+            lambda state, value: (state[0] + value, state[1] + 1),
+            lambda state: state[0] / state[1] if state[1] else None),
+}
+
+
+class SessionKernel(_HeapReleaseKernel):
+    """``SessionWindow``: per-key gap sessions over the sorted rounds.
+
+    The scalar state machine is the row operator's, run over unpacked
+    rows: dict-insertion order (reopen keeps a key's slot, punctuation
+    retirement pops it) drives the retirement ``seq`` exactly as the row
+    operator's dict iteration does, so heap ties break identically.
+    """
+
+    name = "session_window"
+
+    def __init__(self, timeout, fold="count", value_index=None):
+        super().__init__()
+        if timeout < 1:
+            raise ValueError("timeout must be >= 1")
+        self.timeout = timeout
+        self.fold = fold
+        self.value_index = value_index
+        self._initial, self._fold, self._result = _SCALAR_FOLDS[fold]
+
+    def _retire(self, key, session):
+        start, last, state = session
+        self._push_closed(
+            start, last + self.timeout, key, self._result(state)
+        )
+
+    def ingest(self, sync, other, keys, cols):
+        timeout = self.timeout
+        fold = self._fold
+        open_ = self._open
+        vi = self.value_index
+        for t, _, key, payload in _rows(sync, other, keys, cols):
+            value = payload[vi] if vi is not None else None
+            session = open_.get(key)
+            if session is not None and t - session[1] < timeout:
+                session[1] = t
+                session[2] = fold(session[2], value)
+                continue
+            if session is not None:
+                self._retire(key, session)
+            open_[key] = [t, t, fold(self._initial(), value)]
+        return []
+
+    def punctuate(self, timestamp):
+        timeout = self.timeout
+        for key in [
+            key for key, session in self._open.items()
+            if session[1] + timeout - 1 <= timestamp
+        ]:
+            self._retire(key, self._open.pop(key))
+        return self._release(timestamp)
+
+    def flush(self):
+        for key in list(self._open):
+            self._retire(key, self._open.pop(key))
+        return self._release(float("inf"))
+
+    def describe(self):
+        return f"session_window[{self.timeout},{self.fold}]"
+
+
+class CoalesceKernel(_HeapReleaseKernel):
+    """``Coalesce`` with the default count combiner (``combine=None``)."""
+
+    name = "coalesce"
+
+    def ingest(self, sync, other, keys, cols):
+        open_ = self._open
+        for t, o, key, _ in _rows(sync, other, keys, cols):
+            group = open_.get(key)
+            if group is not None:
+                if t <= group[1]:
+                    if o > group[1]:
+                        group[1] = o
+                    group[2] += 1
+                    continue
+                self._push_closed(group[0], group[1], key, group[2])
+            open_[key] = [t, o, 1]
+        return []
+
+    def punctuate(self, timestamp):
+        for key in [
+            key for key, group in self._open.items()
+            if group[1] <= timestamp
+        ]:
+            group = self._open.pop(key)
+            self._push_closed(group[0], group[1], key, group[2])
+        return self._release(timestamp)
+
+    def flush(self):
+        for key in list(self._open):
+            group = self._open.pop(key)
+            self._push_closed(group[0], group[1], key, group[2])
+        return self._release(float("inf"))
+
+
+class SelfJoinKernel(TerminalKernel):
+    """``self_join()``: the stream's temporal equi-join with itself.
+
+    The row plan wires one ``TemporalJoin`` with both ports fed by the
+    same sort node, port 0 before port 1.  Unrolling that delivery order
+    for an arriving event ``e`` with buffered same-key partners
+    ``p1, p2`` gives the emission sequence ``(e,p1), (e,p2)`` (port 0:
+    event-left), then ``(p1,e), (p2,e), (e,e)`` (port 1: event-right —
+    the self-pair comes last because port 0 already buffered ``e``).
+    Between deliveries both sides hold identical state, so one state
+    dict suffices; the same collapse applies to the two per-port
+    punctuation deliveries (evict both sides, emit once if advancing).
+    """
+
+    name = "self_join"
+
+    def __init__(self):
+        self._state = {}  # key -> list of (sync, other, payload)
+        self._watermark = _NEG_INF
+        self._emitted_watermark = _NEG_INF
+
+    def ingest(self, sync, other, keys, cols):
+        state = self._state
+        out = []
+        for t, o, key, payload in _rows(sync, other, keys, cols):
+            partners = state.get(key)
+            if partners:
+                for ps, po, pp in partners:
+                    start = t if t > ps else ps
+                    end = o if o < po else po
+                    if start < end:
+                        out.append(Event(start, end, key, (payload, pp)))
+                for ps, po, pp in partners:
+                    start = t if t > ps else ps
+                    end = o if o < po else po
+                    if start < end:
+                        out.append(Event(start, end, key, (pp, payload)))
+                if t < o:
+                    out.append(Event(t, o, key, (payload, payload)))
+                partners.append((t, o, payload))
+            else:
+                if t < o:
+                    out.append(Event(t, o, key, (payload, payload)))
+                state[key] = [(t, o, payload)]
+        return out
+
+    def punctuate(self, timestamp):
+        if timestamp > self._watermark:
+            self._watermark = timestamp
+            state = self._state
+            dead = []
+            for key, partners in state.items():
+                partners[:] = [
+                    row for row in partners if row[1] > timestamp
+                ]
+                if not partners:
+                    dead.append(key)
+            for key in dead:
+                del state[key]
+        puncts = []
+        if (
+            self._watermark > self._emitted_watermark
+            and self._watermark != _NEG_INF
+        ):
+            self._emitted_watermark = self._watermark
+            puncts.append(self._watermark)
+        return [], puncts
+
+    def flush(self):
+        self._state = {}
+        return [], []
+
+    def buffered(self) -> int:
+        return sum(len(partners) for partners in self._state.values())
+
+
+class PatternKernel(TerminalKernel):
+    """``PatternMatch``: vectorized predicate masks + sparse deque scan.
+
+    Both predicates evaluate once per round over whole columns; the
+    scalar loop touches only rows where either mask fired (rows firing
+    neither change no state in the row operator either).
+    """
+
+    name = "pattern_match"
+
+    def __init__(self, first, second, within):
+        if within < 1:
+            raise ValueError("within must be >= 1")
+        self.first = first
+        self.second = second
+        self.within = within
+        self._pending = {}  # key -> deque of first-step sync_times
+
+    def ingest(self, sync, other, keys, cols):
+        if sync.size == 0:
+            return []
+        m1 = self.first.mask(sync, keys, cols)
+        m2 = self.second.mask(sync, keys, cols)
+        active = np.flatnonzero(m1 | m2)
+        if active.size == 0:
+            return []
+        within = self.within
+        pending_map = self._pending
+        out = []
+        sync_l = sync.tolist()
+        other_l = other.tolist()
+        keys_l = keys.tolist()
+        for i in active.tolist():
+            key = keys_l[i]
+            now = sync_l[i]
+            if m2[i]:
+                pending = pending_map.get(key)
+                if pending:
+                    while pending and pending[0] <= now - within:
+                        pending.popleft()
+                    if pending:
+                        end = other_l[i]
+                        for first_sync in pending:
+                            if first_sync < now:
+                                out.append(Event(
+                                    now, end, key, (first_sync, now)
+                                ))
+            if m1[i]:
+                pending_map.setdefault(key, deque()).append(now)
+        return out
+
+    def punctuate(self, timestamp):
+        horizon = timestamp - self.within
+        dead = []
+        for key, pending in self._pending.items():
+            while pending and pending[0] <= horizon:
+                pending.popleft()
+            if not pending:
+                dead.append(key)
+        for key in dead:
+            del self._pending[key]
+        return [], [timestamp]
+
+    def flush(self):
+        return [], []
+
+    def buffered(self) -> int:
+        return sum(len(pending) for pending in self._pending.values())
+
+    def describe(self):
+        return f"pattern_match[{self.first!r} -> {self.second!r}]"
+
+
+class GroupApplyKernel(TerminalKernel):
+    """``GroupApply`` over a traced straight-line body.
+
+    The compiler traces the body's operator chain (structured ``where``
+    stages, one window alignment, an optional aggregate terminal); this
+    kernel then runs it vectorized: body stages are row-local column
+    transforms applied to the whole round, and the aggregate folds via
+    the shared :class:`GroupedWindowKernel` machinery.  What survives of
+    the row operator's per-key sub-pipelines is the *emission tie
+    order*: closed windows with equal starts emit in key-first-seen
+    order (sub-pipelines materialize on a key's first raw event, before
+    any body filtering), not key-ascending order — ``_ranks`` replays
+    that.  Stage-only bodies pass transformed rows through immediately.
+    """
+
+    name = "group_apply"
+
+    def __init__(self, stages, window, spec=None, value_index=None):
+        self.stages = tuple(stages)
+        self.window = window
+        self.spec = spec
+        self.value_index = value_index
+        self._ranks = {}  # raw key -> first-seen rank
+        self._fold = (
+            GroupedWindowKernel(window, spec) if spec is not None else None
+        )
+
+    def _register(self, keys):
+        ranks = self._ranks
+        if keys.size == 0:
+            return
+        _, first_idx = np.unique(keys, return_index=True)
+        first_idx.sort()
+        for i in first_idx.tolist():
+            key = int(keys[i])
+            if key not in ranks:
+                ranks[key] = len(ranks)
+
+    def ingest(self, sync, other, keys, cols):
+        # Sub-pipelines materialize on the raw (pre-body) event, so
+        # first-seen ranks register before any body stage filters.
+        self._register(keys)
+        for stage in self.stages:
+            sync, other, keys, cols = stage.apply(sync, other, keys, cols)
+        if self._fold is None:
+            payloads = (
+                list(zip(*(col.tolist() for col in cols))) if cols
+                else [()] * sync.size
+            )
+            return [
+                Event(t, o, key, payload)
+                for t, o, key, payload in zip(
+                    sync.tolist(), other.tolist(), keys.tolist(), payloads
+                )
+            ]
+        values = (
+            cols[self.value_index]
+            if self.spec.needs_value else None
+        )
+        self._fold.accumulate(sync, keys, values)
+        return []
+
+    def _close(self, bound):
+        if self._fold is None:
+            return []
+        windows = self._fold.windows
+        if not windows:
+            return []
+        window = self.window
+        due = sorted(
+            start for start in windows
+            if bound is None or start + window - 1 <= bound
+        )
+        ranks = self._ranks
+        result = self.spec.result
+        events = []
+        for start in due:
+            groups = windows.pop(start)
+            for key in sorted(groups, key=ranks.__getitem__):
+                events.append(Event(
+                    start, start + window, key, result(groups[key])
+                ))
+        return events
+
+    def punctuate(self, timestamp):
+        # GroupApply broadcasts the promise into each sub-pipeline
+        # (where the body window aligns it) but forwards the *original*
+        # punctuation downstream, unconditionally.
+        bound = timestamp
+        for stage in self.stages:
+            bound = stage.transform_punct(bound)
+        return self._close(bound), [timestamp]
+
+    def flush(self):
+        return self._close(None), []
+
+    def buffered(self) -> int:
+        return self._fold.buffered() if self._fold is not None else 0
+
+    def describe(self):
+        inner = [stage.describe() for stage in self.stages]
+        if self.spec is not None:
+            inner.append(f"aggregate[{self.spec.name}]")
+        return f"group_apply[{' -> '.join(inner)}]"
+
+
+def _event_payload(event):
+    return event.payload
+
+
+class RawTopKKernel(TerminalKernel):
+    """``WindowTopK`` directly over the sorted rows (``score_fn=None``).
+
+    Scores are the raw payload tuples; ties resolve by insertion order
+    under Python's stable descending sort, which is deterministic now
+    that every sorter breaks equal-sync ties by arrival.
+    """
+
+    name = "top_k"
+
+    def __init__(self, k):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.windows = {}  # start -> (end, best event list)
+        self._out_watermark = _NEG_INF
+
+    def ingest(self, sync, other, keys, cols):
+        windows = self.windows
+        k4 = 4 * self.k
+        for t, o, key, payload in _rows(sync, other, keys, cols):
+            entry = windows.get(t)
+            if entry is None:
+                best = []
+                windows[t] = (o, best)
+            else:
+                best = entry[1]
+            best.append(Event(t, o, key, payload))
+            if len(best) > k4:
+                best.sort(key=_event_payload, reverse=True)
+                del best[self.k:]
+        return []
+
+    def _close(self, up_to):
+        if not self.windows:
+            return []
+        due = sorted(
+            start for start, (end, _) in self.windows.items()
+            if up_to is None or end - 1 <= up_to
+        )
+        events = []
+        for start in due:
+            _, best = self.windows.pop(start)
+            best.sort(key=_event_payload, reverse=True)
+            events.extend(best[: self.k])
+        return events
+
+    def punctuate(self, timestamp):
+        events = self._close(timestamp)
+        bound = timestamp
+        if self.windows:
+            bound = min(bound, min(self.windows) - 1)
+        puncts = []
+        if bound > self._out_watermark:
+            self._out_watermark = bound
+            puncts.append(bound)
+        return events, puncts
+
+    def flush(self):
+        return self._close(None), []
+
+    def buffered(self) -> int:
+        return sum(len(best) for _, best in self.windows.values())
+
+    def describe(self):
+        return f"top_k[{self.k}]"

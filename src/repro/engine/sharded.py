@@ -93,12 +93,12 @@ def stable_key_hash_array(keys) -> np.ndarray:
     negatives included), so the columnar router and the per-event router
     always agree.  Returns a ``uint64`` array.
     """
-    x = np.asarray(keys).astype(np.uint64)
-    x = x ^ (x >> np.uint64(30))
-    x = x * np.uint64(_MIX_C1)
-    x = x ^ (x >> np.uint64(27))
-    x = x * np.uint64(_MIX_C2)
-    x = x ^ (x >> np.uint64(31))
+    x = np.asarray(keys).astype(np.uint64)  # astype always copies: safe
+    x ^= x >> np.uint64(30)                 # to mix the rest in place
+    x *= np.uint64(_MIX_C1)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(_MIX_C2)
+    x ^= x >> np.uint64(31)
     return x
 
 

@@ -11,7 +11,10 @@ one ordered stream that is byte-identical to the single-process result.
 Public surface:
 
 - :func:`run_parallel` / :class:`ParallelResult` — the runtime.
-- :class:`RowPlan` / :class:`GroupedAggregatePlan` — per-shard plans.
+- :class:`RowPlan` / :class:`GroupedAggregatePlan` /
+  :class:`CompiledShardPlan` — per-shard plans; the last lowers any
+  compilable :class:`~repro.engine.planner.QueryPlan` onto the fused
+  columnar kernels and runs them inside every worker.
 - :func:`crash_once` — one-shot fault injection for crash tests.
 - :class:`ShmRing` — the SPSC shared-memory ring (exchange transport).
 
@@ -22,7 +25,11 @@ from __future__ import annotations
 
 from multiprocessing import get_context
 
-from repro.parallel.plans import GroupedAggregatePlan, RowPlan
+from repro.parallel.plans import (
+    CompiledShardPlan,
+    GroupedAggregatePlan,
+    RowPlan,
+)
 from repro.parallel.runtime import ParallelResult, run_parallel
 from repro.parallel.shm import ShmRing
 
@@ -31,6 +38,7 @@ __all__ = [
     "ParallelResult",
     "RowPlan",
     "GroupedAggregatePlan",
+    "CompiledShardPlan",
     "ShmRing",
     "crash_once",
 ]

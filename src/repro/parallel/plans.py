@@ -31,9 +31,25 @@ Two plan families:
     ADJUST-policy subtlety that a late event keeps its *original* sync
     time and may re-open an already-emitted window.
 
+:class:`CompiledShardPlan`
+    General and compiled: lowers an arbitrary
+    :class:`~repro.engine.planner.QueryPlan` through
+    :func:`~repro.engine.compiler.compile_plan` and runs the fused
+    kernel pipeline (columnar sort + terminal kernel) inside each shard
+    worker — every shape the single-process compiler lowers (grouped
+    aggregates, sessions, coalesce, joins, patterns, group-apply,
+    distinct, top-k) now runs compiled *and* parallel.  Per-shard
+    byte-equivalence with the row operators is the compiler's proven
+    invariant, so the merged stream is byte-identical to the same plan
+    on :class:`RowPlan` shards.  An optional coordinator-side
+    ``finalize`` handles non-key-local tails (global counts, top-k of
+    shard top-ks).
+
 Output items a round may produce (worker ships them as frames in this
 order): ``("batch", EventBatch)`` for columnar rows,
-``("elements", [Event | Punctuation, ...])`` for row-shaped output, and
+``("fbatch", (sync, other, keys, values))`` for float-valued rows
+(native float64 columns — the avg hot path), ``("elements",
+[Event | Punctuation, ...])`` for row-shaped output, and
 ``("punct", ts)`` for an emitted punctuation.
 """
 
@@ -51,7 +67,7 @@ from repro.engine.operators.base import Operator
 from repro.engine.operators.sort import Sort
 from repro.engine.stream import Streamable
 
-__all__ = ["RowPlan", "GroupedAggregatePlan"]
+__all__ = ["RowPlan", "GroupedAggregatePlan", "CompiledShardPlan"]
 
 
 class _StreamTap(Operator):
@@ -166,6 +182,7 @@ class _RowExecutor:
         late = getattr(sorter, "late", None)
         return {
             "plan": "row",
+            "engine": "row",
             "events_in": self.events_in,
             "buffered_peak": getattr(
                 getattr(sorter, "stats", None), "max_buffered", 0
@@ -297,8 +314,8 @@ class _GroupedAggregateExecutor:
         )
         self._kernel = GroupedWindowKernel(plan.window, self._spec)
         # avg finalizes to floats, which cannot ride int64 column
-        # batches — those rounds ship row-shaped elements instead.
-        self._row_output = plan.agg == "avg"
+        # batches — those rounds ship native float64 FDATA frames.
+        self._float_output = plan.agg == "avg"
         self.events_in = 0
 
     def feed_batch(self, batch):
@@ -372,20 +389,21 @@ class _GroupedAggregateExecutor:
 
     def _emit(self, rows):
         """Package closed ``(start, key, result)`` rows: one columnar
-        batch for int aggregates, row-shaped elements for avg."""
+        batch for int aggregates, a float64 column batch for avg."""
         if not rows:
             return []
         window = self.plan.window
-        if self._row_output:
-            return [("elements", [
-                Event(start, start + window, key, value)
-                for start, key, value in rows
-            ])]
         starts = np.fromiter((r[0] for r in rows), np.int64, len(rows))
+        keys = np.fromiter((r[1] for r in rows), np.int64, len(rows))
+        if self._float_output:
+            values = np.fromiter(
+                (r[2] for r in rows), np.float64, len(rows)
+            )
+            return [("fbatch", (starts, starts + window, keys, values))]
         out = EventBatch(
             starts,
             starts + window,
-            np.fromiter((r[1] for r in rows), np.int64, len(rows)),
+            keys,
             [np.fromiter((r[2] for r in rows), np.int64, len(rows))],
         )
         return [("batch", out)]
@@ -415,9 +433,215 @@ class _GroupedAggregateExecutor:
         history = self._sorter.stats.run_count_history
         return {
             "plan": "grouped-aggregate",
+            "engine": "vectorized",
             "events_in": self.events_in,
             "buffered_peak": self._sorter.stats.max_buffered,
             "runs_peak": max((runs for _, runs in history), default=0),
             "late_dropped": late.dropped,
             "late_adjusted": late.adjusted,
+        }
+
+
+def _wire_mode(compiled):
+    """How a compiled terminal's output rows ride the exchange.
+
+    ``"int"`` — one int64 value column (DATA frames, scalar payloads);
+    ``"float"`` — native float64 value column (FDATA frames, the avg
+    path); ``"tuple"`` — int64 column batch, one column per payload
+    field (DATA frames, tuple payloads); ``"pickle"`` — row-shaped
+    element lists (nested payloads the column formats cannot carry).
+    """
+    from repro.engine.kernels import (
+        CoalesceKernel,
+        DistinctKernel,
+        GroupApplyKernel,
+        PatternKernel,
+        RawTopKKernel,
+        SelfJoinKernel,
+        SessionKernel,
+    )
+
+    if not compiled.pass_through:
+        return "float" if compiled.spec.name == "avg" else "int"
+    kernel = compiled.kernel_factory()
+    if isinstance(kernel, SelfJoinKernel):
+        return "pickle"        # nested (left, right) payload tuples
+    if isinstance(kernel, (DistinctKernel, PatternKernel, RawTopKKernel)):
+        return "tuple"
+    if isinstance(kernel, SessionKernel):
+        return "float" if kernel.fold == "avg" else "int"
+    if isinstance(kernel, CoalesceKernel):
+        return "int"
+    if isinstance(kernel, GroupApplyKernel):
+        if kernel.spec is None:
+            return "tuple"
+        return "float" if kernel.spec.name == "avg" else "int"
+    return "pickle"            # unknown kernel: rows are always correct
+
+
+class CompiledShardPlan:
+    """Run a compiled fused kernel pipeline inside each shard worker.
+
+    ``plan`` is any :class:`~repro.engine.planner.QueryPlan` the fused
+    compiler lowers (:func:`~repro.engine.compiler.compile_plan` runs at
+    construction time and raises
+    :class:`~repro.engine.compiler.UnsupportedPlanError` for shapes it
+    cannot — callers fall back to :class:`RowPlan` with that reason).
+    Each worker drives its own ``_Execution`` — columnar sort plus the
+    plan's terminal kernel — over the routed columns, so the per-shard
+    pipeline is byte-identical to the same plan on a :class:`RowPlan`
+    shard, and therefore so is the merged stream.
+
+    ``finalize`` is the coordinator-side tail for non-key-local stages
+    (e.g. summing per-shard window counts, top-k of shard top-ks),
+    identical to :class:`RowPlan`'s hook.  ``memory_budget`` bounds each
+    shard sorter's resident bytes via the spill-to-disk external sorter.
+
+    The coordinator's deterministic RAISE guard engages when the shard
+    pipeline applies no sync transform before the sorter (``window=1``,
+    ``align="post"``) or exactly one window stage (``window=hop``,
+    ``align="pre"``); a plan with filter stages disables the guard
+    (``window=None``) because a guard would fire on events the shard
+    pipeline filters out before its sorter — those plans surface worker
+    ``LateEventError`` frames instead.
+    """
+
+    def __init__(self, plan, finalize=None, memory_budget=None):
+        from repro.engine.compiler import _WindowStage, compile_plan
+
+        self.query_plan = plan
+        self.compiled = compile_plan(plan)
+        self.finalize = finalize
+        self.memory_budget = memory_budget
+        self.late_policy = self.compiled.late_policy
+        stages = self.compiled.stages
+        if not stages:
+            self.window = 1
+            self.align = "post"
+        elif len(stages) == 1 and isinstance(stages[0], _WindowStage):
+            self.window = stages[0].hop
+            self.align = "pre"
+        else:
+            self.window = None     # disables the coordinator RAISE guard
+            self.align = "post"
+        self.wire_mode = _wire_mode(self.compiled)
+        # The coordinator decodes this plan's DATA frames as scalar
+        # payloads (single int64 value column) in "int" mode.
+        self.scalar_output = self.wire_mode == "int"
+
+    def build_executor(self, shard):
+        return _CompiledShardExecutor(self, shard)
+
+    def describe(self):
+        return {
+            "plan": "compiled",
+            "kernels": self.compiled.describe(),
+            "late_policy": self.late_policy.name,
+            "wire": self.wire_mode,
+        }
+
+
+class _CompiledShardExecutor:
+    """Drive one shard's fused ``_Execution`` with the push protocol.
+
+    The execution object accumulates output ``events`` /
+    ``punctuations`` lists; each round drains both (events first, then
+    the round's punctuation — the order the wire protocol requires,
+    which every terminal kernel already guarantees within a round) and
+    packages them per the plan's wire mode.
+    """
+
+    def __init__(self, plan, shard):
+        from repro.engine.compiler import _Execution
+
+        self.plan = plan
+        self._execution = _Execution(
+            plan.compiled, memory_budget=plan.memory_budget
+        )
+        self._mode = plan.wire_mode
+        self.events_in = 0
+
+    def feed_batch(self, batch):
+        batch = batch.compact()
+        n = len(batch)
+        if n:
+            self._execution.process_chunk(
+                batch.sync_times, batch.other_times, batch.keys,
+                list(batch.payload_columns),
+            )
+        self.events_in += n
+
+    def feed_elements(self, elements):
+        n = len(elements)
+        if not n:
+            return
+        sync = np.fromiter((e.sync_time for e in elements), np.int64, n)
+        other = np.fromiter((e.other_time for e in elements), np.int64, n)
+        keys = np.fromiter((e.key for e in elements), np.int64, n)
+        arity = len(elements[0].payload)
+        if arity:
+            matrix = np.asarray(
+                [e.payload for e in elements], dtype=np.int64
+            )
+            cols = [matrix[:, c] for c in range(arity)]
+        else:
+            cols = []
+        self._execution.process_chunk(sync, other, keys, cols)
+        self.events_in += n
+
+    def feed_punctuation(self, timestamp):
+        self._execution.punctuate(timestamp)
+        return self._round_items()
+
+    def feed_flush(self):
+        self._execution.flush()
+        items = self._round_items()
+        self._execution.close()
+        return items
+
+    def _round_items(self):
+        execution = self._execution
+        events, execution.events = execution.events, []
+        puncts, execution.punctuations = execution.punctuations, []
+        items = self._package(events)
+        items.extend(("punct", int(ts)) for ts in puncts)
+        return items
+
+    def _package(self, events):
+        if not events:
+            return []
+        mode = self._mode
+        if mode == "pickle":
+            return [("elements", events)]
+        n = len(events)
+        sync = np.fromiter((e.sync_time for e in events), np.int64, n)
+        other = np.fromiter((e.other_time for e in events), np.int64, n)
+        keys = np.fromiter((e.key for e in events), np.int64, n)
+        if mode == "float":
+            values = np.fromiter(
+                (e.payload for e in events), np.float64, n
+            )
+            return [("fbatch", (sync, other, keys, values))]
+        if mode == "int":
+            cols = [np.fromiter((e.payload for e in events), np.int64, n)]
+        else:                  # "tuple": one int64 column per field
+            arity = len(events[0].payload)
+            cols = [
+                np.fromiter((e.payload[c] for e in events), np.int64, n)
+                for c in range(arity)
+            ]
+        return [("batch", EventBatch(sync, other, keys, cols))]
+
+    def stats(self):
+        sorter = self._execution.sorter
+        late = getattr(sorter, "late", None)
+        sorter_stats = getattr(sorter, "stats", None)
+        return {
+            "plan": "compiled",
+            "engine": "columnar",
+            "kernels": self.plan.compiled.describe(),
+            "events_in": self.events_in,
+            "buffered_peak": getattr(sorter_stats, "max_buffered", 0),
+            "late_dropped": getattr(late, "dropped", 0),
+            "late_adjusted": getattr(late, "adjusted", 0),
         }

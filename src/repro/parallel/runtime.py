@@ -17,10 +17,9 @@ events **and** the punctuation sequence are byte-identical to the
 single-process plan.  When a round is *symmetric* — every shard emitted
 the same punctuation and the tree holds no buffered events — the
 coordinator takes a fast path instead: the shards' round outputs are
-k-way merged in one :func:`repro.core.merge.merge_runs` call using the
-Huffman (smallest-runs-first) schedule, keyed on ``(sync_time, shard)``
-so ties resolve exactly as the union tree's favor-left rule does (the
-per-shard run volumes drive the Huffman schedule, §III-E1).
+k-way merged in one vectorized stable sort keyed on
+``(sync_time, shard)`` so ties resolve exactly as the union tree's
+favor-left rule does.
 Asymmetric rounds (skewed clamped watermarks, late-policy effects) fall
 back to the operator tree, whose state the fast path keeps in sync.
 
@@ -32,6 +31,7 @@ which :mod:`repro.resilience.parallel` uses for supervised replay.
 
 from __future__ import annotations
 
+import time
 from multiprocessing import get_context
 
 import numpy as np
@@ -42,7 +42,6 @@ from repro.core.errors import (
     WorkerCrashError,
 )
 from repro.core.late import LatePolicy
-from repro.core.merge import merge_runs
 from repro.engine.batch import EventBatch
 from repro.engine.event import Event, Punctuation, is_punctuation
 from repro.engine.operators.base import PassThrough
@@ -53,7 +52,7 @@ from repro.engine.sharded import (
     stable_key_hash_array,
 )
 from repro.engine.stream import Streamable
-from repro.parallel import exchange
+from repro.parallel import exchange, shm
 from repro.parallel.shm import RingClosedError, ShmRing
 from repro.parallel.worker import worker_main
 
@@ -178,9 +177,8 @@ class _MergeTree:
             and self.symmetric()
         ):
             watermark = puncts.pop()
-            runs = self._fast_runs(shard_chunks, watermark)
-            if runs is not None:
-                _, merged = merge_runs(runs, "huffman")
+            merged = self._fast_merge(shard_chunks, watermark)
+            if merged is not None:
                 sink = self.sink
                 for event in merged:
                     sink.on_event(event)
@@ -195,33 +193,41 @@ class _MergeTree:
             )
         return False
 
-    def _fast_runs(self, shard_chunks, watermark):
-        """Keyed runs for the Huffman merge, or ``None`` if the round is
-        not fast-mergeable after all.
+    def _fast_merge(self, shard_chunks, watermark):
+        """The round's events in ``(sync, shard)`` order, or ``None`` if
+        the round is not fast-mergeable after all.
 
-        The one-pass vetting enforces what makes ``(sync, shard)`` order
-        provably equal to the union tree's output: every event strictly
-        above the previous uniform watermark (an ADJUST-policy re-opened
-        window can emit below it, and the tree interleaves such an event
-        with *buffer-arrival* order, not shard order), none above the new
+        The vetting enforces what makes ``(sync, shard)`` order provably
+        equal to the union tree's output: every event strictly above the
+        previous uniform watermark (an ADJUST-policy re-opened window
+        can emit below it, and the tree interleaves such an event with
+        *buffer-arrival* order, not shard order), none above the new
         watermark (it would stay buffered in the tree), and each chunk
-        ascending (the merge's run contract)."""
+        ascending (the merge's run contract).  Both the vetting and the
+        merge are vectorized: concatenating the chunks in shard order
+        and stable-sorting by sync *is* the keyed merge, because events
+        from different shards never compare equal on ``(sync, shard)``
+        and within-shard order is preserved by stability."""
         previous = self._watermark
-        runs = []
-        for shard, chunk in enumerate(shard_chunks):
-            keys = []
-            last = None
-            for event in chunk[:-1]:
-                sync = event.sync_time
-                if (
-                    sync <= previous or sync > watermark
-                    or (last is not None and sync < last)
-                ):
-                    return None
-                keys.append((sync, shard))
-                last = sync
-            runs.append((keys, chunk[:-1]))
-        return runs
+        events = []
+        syncs = []
+        for chunk in shard_chunks:
+            body = chunk[:-1]
+            s = np.fromiter(
+                (event.sync_time for event in body), np.int64, len(body)
+            )
+            if len(s) and (
+                int(s[0]) <= previous or int(s[-1]) > watermark
+                or not (s[1:] >= s[:-1]).all()
+                or (s <= previous).any() or (s > watermark).any()
+            ):
+                return None
+            events.extend(body)
+            syncs.append(s)
+        if not events:
+            return events
+        order = np.argsort(np.concatenate(syncs), kind="stable")
+        return [events[i] for i in order]
 
     def _push_tree(self, shard_chunks) -> None:
         for shard, chunk in enumerate(shard_chunks):
@@ -285,9 +291,10 @@ class _Coordinator:
         self.rounds_sent = 0
         self.offset = 0          # ingress journal offset (elements seen)
         self._buffers = [[] for _ in range(workers)]
-        self._scalar_payload = isinstance(
-            getattr(plan, "agg", None), str
-        )
+        self._scalar_payload = bool(getattr(
+            plan, "scalar_output",
+            isinstance(getattr(plan, "agg", None), str),
+        ))
         # RAISE determinism: which worker's LateEventError reaches the
         # coordinator first is a scheduling race, but lateness itself is
         # a global property of the journal order plus the broadcast
@@ -304,8 +311,17 @@ class _Coordinator:
         self._guard_wm = None
         self.frames_sent = 0
         self.frames_received = 0
+        self.frames_sent_by_kind = {}
+        self.frames_received_by_kind = {}
         self.merged_rounds = 0
         self.fast_rounds = 0
+
+    def _note_sent(self, kind) -> None:
+        name = exchange.KIND_NAMES.get(kind, str(kind))
+        self.frames_sent_by_kind[name] = (
+            self.frames_sent_by_kind.get(name, 0) + 1
+        )
+        self.frames_sent += 1
 
     # -- output-side pumping ----------------------------------------------
 
@@ -316,18 +332,30 @@ class _Coordinator:
             return False
         kind, payload = frame
         self.frames_received += 1
+        name = exchange.KIND_NAMES.get(kind, str(kind))
+        self.frames_received_by_kind[name] = (
+            self.frames_received_by_kind.get(name, 0) + 1
+        )
         if kind == exchange.DATA:
             batch = exchange.read_batch(payload, copy=True)
-            scalar = self._scalar_payload
-            handle.pending.extend(
-                Event(s, o, k, v if scalar else (v,))
-                for s, o, k, v in zip(
-                    batch.sync_times.tolist(),
-                    batch.other_times.tolist(),
-                    batch.keys.tolist(),
-                    batch.payload_columns[0].tolist(),
+            sync = batch.sync_times.tolist()
+            if self._scalar_payload:
+                payloads = batch.payload_columns[0].tolist()
+            else:
+                cols = [col.tolist() for col in batch.payload_columns]
+                payloads = (
+                    list(zip(*cols)) if cols else [()] * len(sync)
                 )
-            )
+            handle.pending.extend(map(
+                Event, sync, batch.other_times.tolist(),
+                batch.keys.tolist(), payloads,
+            ))
+        elif kind == exchange.FDATA:
+            sync, other, keys, values = exchange.read_float_batch(payload)
+            handle.pending.extend(map(
+                Event, sync.tolist(), other.tolist(), keys.tolist(),
+                values.tolist(),
+            ))
         elif kind == exchange.PICKLE:
             handle.pending.extend(exchange.read_pickled(payload))
         elif kind == exchange.OUTPUNCT:
@@ -359,15 +387,17 @@ class _Coordinator:
             raise exchange.read_pickled(payload)
         return True
 
-    def pump(self) -> None:
+    def pump(self) -> bool:
+        """Drain every worker output ring; ``True`` if anything arrived."""
         crashed = None
+        drained = False
         for handle in self.handles:
             while self._pump_one(handle):
-                pass
+                drained = True
             if not handle.done and not handle.process.is_alive():
                 # Drain what the worker managed to write before dying.
                 while self._pump_one(handle):
-                    pass
+                    drained = True
                 if not handle.done and crashed is None:
                     crashed = handle
         if crashed is not None:
@@ -376,6 +406,7 @@ class _Coordinator:
             # exactly this prefix instead of re-delivering it.
             self.merge_ready_rounds()
             raise crashed.crash_error()
+        return drained
 
     # -- input-side routing ------------------------------------------------
 
@@ -385,7 +416,7 @@ class _Coordinator:
             handle.in_ring, batch, pump=self.pump,
             alive=handle.process.is_alive,
         )
-        self.frames_sent += 1
+        self._note_sent(exchange.DATA)
 
     def _flush_buffer(self, shard) -> None:
         rows = self._buffers[shard]
@@ -412,7 +443,7 @@ class _Coordinator:
                 [Event(s, o, k, p) for s, o, k, p in rows],
                 pump=self.pump, alive=handle.process.is_alive,
             )
-            self.frames_sent += 1
+            self._note_sent(exchange.PICKLE)
 
     # -- RAISE-policy late guard -------------------------------------------
 
@@ -465,15 +496,31 @@ class _Coordinator:
             shards = stable_key_hash_array(batch.keys) % np.uint64(
                 self.workers
             )
+            # One stable partition sort instead of a boolean mask (and a
+            # fancy-indexed copy per column) per shard: each column is
+            # gathered exactly once and every shard's slice is a
+            # contiguous view, which write_batch packs without another
+            # copy.  Stability preserves within-shard arrival order;
+            # shard ids fit uint16, where numpy's stable sort is a
+            # linear-time radix pass.
+            shards = shards.astype(np.uint16)
+            order = np.argsort(shards, kind="stable")
+            bounds = np.searchsorted(
+                shards[order],
+                np.arange(self.workers + 1, dtype=np.uint16),
+            )
+            sync = batch.sync_times[order]
+            other = batch.other_times[order]
+            keys = batch.keys[order]
+            cols = [col[order] for col in batch.payload_columns]
             for shard in range(self.workers):
-                mask = shards == shard
-                if not mask.any():
+                lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+                if lo == hi:
                     continue
                 self._flush_buffer(shard)
                 self._send_batch(shard, EventBatch(
-                    batch.sync_times[mask], batch.other_times[mask],
-                    batch.keys[mask],
-                    [col[mask] for col in batch.payload_columns],
+                    sync[lo:hi], other[lo:hi], keys[lo:hi],
+                    [col[lo:hi] for col in cols],
                 ))
         self.offset += n
 
@@ -523,9 +570,23 @@ class _Coordinator:
             self.merged_rounds += 1
 
     def finish(self):
+        # Same hot-then-backoff cadence as the ring poll loops: during
+        # the final drain the workers are still computing, and a
+        # coordinator spinning at full tilt steals their CPU on
+        # oversubscribed hosts.
+        spins = 0
+        delay = shm._SPIN_SLEEP
         while not all(handle.done for handle in self.handles):
-            self.pump()
+            drained = self.pump()
             self.merge_ready_rounds()
+            if drained:
+                spins = 0
+                delay = shm._SPIN_SLEEP
+                continue
+            spins += 1
+            if spins >= shm._SPIN_FAST:
+                time.sleep(delay)
+                delay = min(delay * 2, shm._SPIN_SLEEP_MAX)
         self.merge_ready_rounds()
         if any(handle.tail is None for handle in self.handles):
             raise RuntimeError(  # pragma: no cover - protocol violation
@@ -552,6 +613,12 @@ class _Coordinator:
             "tree_merge_rounds": self.merged_rounds - self.fast_rounds,
             "frames_sent": self.frames_sent,
             "frames_received": self.frames_received,
+            "frames_sent_by_kind": dict(
+                sorted(self.frames_sent_by_kind.items())
+            ),
+            "frames_received_by_kind": dict(
+                sorted(self.frames_received_by_kind.items())
+            ),
             "journal_elements": self.offset,
             "shards": [handle.stats for handle in self.handles],
         }

@@ -42,7 +42,13 @@ _CURSORS = struct.Struct("<QQ")     # head, tail
 _HEADER = struct.Struct("<II")      # frame length, frame kind
 HEADER_BYTES = _HEADER.size
 WRAP_MARK = 0xFFFFFFFF
+# Poll loops retry hot a few times, then sleep with exponential backoff.
+# The backoff matters on oversubscribed hosts: a peer blocked for a
+# while must not keep waking every 200µs and stealing scheduler slices
+# from the process that is actually producing.
+_SPIN_FAST = 32
 _SPIN_SLEEP = 0.0002
+_SPIN_SLEEP_MAX = 0.002
 _PINNED = []  # segments that could not unmap because views outlive them
 
 
@@ -177,6 +183,8 @@ class ShmRing:
         seconds.
         """
         deadline = time.monotonic() + timeout
+        spins = 0
+        delay = _SPIN_SLEEP
         while not self.try_write(kind, payload, reserve):
             if pump is not None:
                 pump()
@@ -187,7 +195,10 @@ class ShmRing:
                     f"ring {self.name} full for {timeout:.0f}s "
                     "(consumer stalled?)"
                 )
-            time.sleep(_SPIN_SLEEP)
+            spins += 1
+            if spins >= _SPIN_FAST:
+                time.sleep(delay)
+                delay = min(delay * 2, _SPIN_SLEEP_MAX)
 
     # -- consumer ----------------------------------------------------------
 
@@ -228,6 +239,8 @@ class ShmRing:
     def read(self, timeout=30.0, alive=None):
         """Blocking :meth:`try_read`; raises on timeout or dead peer."""
         deadline = time.monotonic() + timeout
+        spins = 0
+        delay = _SPIN_SLEEP
         while True:
             frame = self.try_read()
             if frame is not None:
@@ -240,7 +253,10 @@ class ShmRing:
                 raise RingClosedError("peer died with the ring empty")
             if time.monotonic() > deadline:
                 raise TimeoutError(f"ring {self.name} empty for {timeout:.0f}s")
-            time.sleep(_SPIN_SLEEP)
+            spins += 1
+            if spins >= _SPIN_FAST:
+                time.sleep(delay)
+                delay = min(delay * 2, _SPIN_SLEEP_MAX)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -55,6 +55,11 @@ def _ship(out_ring, items):
     for kind, value in items:
         if kind == "batch":
             exchange.write_batch(out_ring, value, alive=_parent_alive)
+        elif kind == "fbatch":
+            sync, other, keys, values = value
+            exchange.write_float_batch(
+                out_ring, sync, other, keys, values, alive=_parent_alive
+            )
         elif kind == "elements":
             exchange.write_pickled(
                 out_ring, exchange.PICKLE, value, alive=_parent_alive

@@ -57,6 +57,20 @@ class TestCompileSurface:
              .tumbling_window(8).sort().aggregate(Min(field(0)))),
             (QueryPlan().tumbling_window(8).sort()
              .group_aggregate(Max(field(1)), key_field()).top_k(2)),
+            # Pass-through terminal kernels.
+            QueryPlan().tumbling_window(8).sort().distinct(field(0)),
+            QueryPlan().tumbling_window(8).sort().distinct(),
+            QueryPlan().sort().session_window(16),
+            QueryPlan().sort().session_window(8, Avg(field(0)), key_field()),
+            QueryPlan().sort().coalesce(),
+            QueryPlan().sort().self_join(),
+            (QueryPlan().sort()
+             .pattern_match(field(0) > 25, field(1) < 4, 16)),
+            (QueryPlan().sort().group_apply(
+                lambda s: s.where(field(1) < 7).tumbling_window(16)
+                .aggregate(Sum(field(0))))),
+            QueryPlan().sort().group_apply(lambda s: s.where(field(0) > 3)),
+            QueryPlan().tumbling_window(8).sort().top_k(2),
         ]
         for plan in plans:
             path, reason = analyze_plan(plan)
@@ -86,15 +100,34 @@ class TestCompileSurface:
         (lambda: (QueryPlan().tumbling_window(8).sort(sorter=lambda: None)
                   .count()),
          "custom sorter factory"),
-        (lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
-         "tie-order sensitive"),
-        (lambda: QueryPlan().tumbling_window(8).sort().session_window(16),
-         "not vectorized"),
+        (lambda: QueryPlan().tumbling_window(8).sort().top_k(
+            2, lambda e: e.payload),
+         "score_fn is an opaque Python callable"),
+        (lambda: QueryPlan().sort().session_window(16, key_fn=lambda e: 0),
+         "key_fn is an opaque Python callable"),
+        (lambda: (QueryPlan().sort()
+                  .session_window(16, Sum(lambda p: p[0]))),
+         "opaque Python callable"),
         (lambda: (QueryPlan().sort().select_columns((0,))
                   .tumbling_window(8).count()),
          "runs above the sort"),
-        (lambda: QueryPlan().tumbling_window(8).sort().self_join(),
-         "not vectorized"),
+        (lambda: QueryPlan().sort().self_join(lambda a, b: a),
+         "result_selector is an opaque Python callable"),
+        (lambda: QueryPlan().sort().distinct(lambda p: p[0]),
+         "selector is an opaque Python callable"),
+        (lambda: QueryPlan().sort().coalesce(lambda acc, e: 1),
+         "combine is an opaque Python callable"),
+        (lambda: (QueryPlan().sort()
+                  .pattern_match(lambda e: True, lambda e: True, 16)),
+         "opaque Python callables"),
+        (lambda: (QueryPlan().sort()
+                  .group_apply(lambda s: s.select(lambda p: p))),
+         "no columnar kernel"),
+        (lambda: (QueryPlan().sort()
+                  .group_apply(lambda s: s.aggregate(Count()))),
+         "body aggregates need"),
+        (lambda: QueryPlan().sort().session_window(16).count(),
+         "after session_window() is not vectorized"),
         (lambda: QueryPlan().tumbling_window(8).sort(),
          "no windowed aggregate terminal"),
         (lambda: QueryPlan().sort().count(),
@@ -112,9 +145,12 @@ class TestCompileSurface:
                   .group_aggregate(Count()).coalesce()),
          "after the aggregate"),
     ], ids=[
-        "lambda-where", "lambda-select", "custom-sorter", "raw-top-k",
-        "session-window", "above-sort", "self-join", "no-terminal",
-        "no-window",
+        "lambda-where", "lambda-select", "custom-sorter",
+        "lambda-topk-score", "lambda-session-key", "lambda-session-agg",
+        "above-sort", "lambda-join-selector", "lambda-distinct-selector",
+        "lambda-coalesce-combine", "lambda-pattern-preds",
+        "opaque-group-apply-body", "windowless-group-apply-agg",
+        "post-session-stage", "no-terminal", "no-window",
         "lambda-selector", "lambda-key-fn", "lambda-score-fn",
         "post-aggregate-stage",
     ])
@@ -136,9 +172,20 @@ class TestCompileSurface:
 
     def test_explain_names_the_chosen_path(self):
         assert "-- path: columnar (fused kernel pipeline)" in _plan().explain()
-        fallback = QueryPlan().tumbling_window(8).sort().session_window(16)
+        for plan in (
+            QueryPlan().tumbling_window(8).sort().distinct(),
+            QueryPlan().sort().session_window(16),
+            QueryPlan().sort().self_join(),
+            (QueryPlan().sort()
+             .pattern_match(field(0) > 5, field(0) < 2, 16)),
+            QueryPlan().sort().group_apply(
+                lambda s: s.tumbling_window(8).count()),
+        ):
+            assert "-- path: columnar" in plan.explain()
+        fallback = (QueryPlan().where(lambda e: True).tumbling_window(8)
+                    .sort().count())
         assert "-- path: row (fallback:" in fallback.explain()
-        assert "session_window" in fallback.explain()
+        assert "opaque Python callable" in fallback.explain()
 
 
 class TestExecution:
@@ -158,7 +205,8 @@ class TestExecution:
         assert result.reason == "engine='row' requested"
 
     def test_columnar_engine_raises_with_reason(self):
-        plan = QueryPlan().tumbling_window(8).sort().coalesce()
+        plan = (QueryPlan().where(lambda e: True).tumbling_window(8)
+                .sort().count())
         with pytest.raises(QueryBuildError, match="cannot be compiled"):
             plan.run(_events(40), 8, 0, engine="columnar")
 
@@ -257,13 +305,14 @@ class TestSnapshot:
     def test_row_fallback_snapshot_keeps_reason(self):
         from repro.observability.registry import MetricsRegistry
 
-        plan = QueryPlan().tumbling_window(8).sort().session_window(16)
+        plan = (QueryPlan().where(lambda e: True).tumbling_window(8)
+                .sort().count())
         registry = MetricsRegistry()
         result = plan.run(_events(100), 16, 20, metrics=registry)
         assert result.engine == "row"
         meta = result.snapshot().as_dict()["meta"]
         assert meta["engine"] == "row"
-        assert "session_window" in meta["engine_reason"]
+        assert "opaque Python callable" in meta["engine_reason"]
 
     def test_row_run_without_registry_has_no_snapshot(self):
         result = _plan().run(_events(50), 16, 20, engine="row")

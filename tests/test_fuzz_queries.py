@@ -253,9 +253,55 @@ def _t_group_top(plan):
     return plan.group_aggregate(Count()).top_k(2)
 
 
+def _t_distinct(plan):
+    return plan.distinct(field(0))
+
+
+def _t_distinct_all(plan):
+    return plan.distinct()
+
+
+def _t_session(plan):
+    return plan.session_window(16)
+
+
+def _t_session_avg(plan):
+    return plan.session_window(8, Avg(field(0)))
+
+
+def _t_coalesce(plan):
+    return plan.coalesce()
+
+
+def _t_self_join(plan):
+    return plan.self_join()
+
+
+def _t_pattern(plan):
+    return plan.pattern_match(field(0) > 25, field(1) < 4, 24)
+
+
+def _t_group_apply(plan):
+    return plan.group_apply(
+        lambda s: s.where(field(1) < 7).tumbling_window(16)
+        .aggregate(Sum(field(0)))
+    )
+
+
+def _t_group_apply_stage(plan):
+    return plan.group_apply(lambda s: s.where(field(0) > 10))
+
+
+def _t_raw_top(plan):
+    return plan.top_k(2)
+
+
 PLAN_TERMINAL = st.sampled_from([
     _t_count, _t_sum, _t_min, _t_max, _t_avg,
     _t_group_count, _t_group_sum, _t_group_avg, _t_group_top,
+    _t_distinct, _t_distinct_all, _t_session, _t_session_avg,
+    _t_coalesce, _t_self_join, _t_pattern,
+    _t_group_apply, _t_group_apply_stage, _t_raw_top,
 ])
 
 PLAN_POLICY = st.sampled_from(
@@ -343,17 +389,16 @@ class TestRowVsCompiled:
                  .sort().count()),
         lambda: (QueryPlan().select(lambda p: (p[0],)).tumbling_window(8)
                  .sort().count()),
-        lambda: QueryPlan().sort().self_join(),
         lambda: (QueryPlan().sort()
                  .pattern_match(_first_small, _then_big, 16)),
-        lambda: QueryPlan().sort().session_window(16),
-        lambda: QueryPlan().tumbling_window(8).sort().coalesce(),
+        lambda: QueryPlan().sort().session_window(16, key_fn=_opaque_where),
         lambda: (QueryPlan().tumbling_window(8)
                  .sort(sorter=lambda: None).count()),
-        lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
+        lambda: (QueryPlan().tumbling_window(8).sort()
+                 .top_k(2, score_fn=lambda e: e.payload)),
     ], ids=[
-        "lambda-where", "lambda-select", "self-join", "pattern-match",
-        "session-window", "coalesce", "custom-sorter", "raw-top-k",
+        "lambda-where", "lambda-select", "pattern-match",
+        "lambda-session-key", "custom-sorter", "lambda-topk-score",
     ])
     def test_fallback_plans_identical(self, build):
         import random
@@ -376,6 +421,130 @@ class TestRowVsCompiled:
     def test_columnar_engine_refuses_uncompilable_plan(self):
         from repro.core.errors import QueryBuildError
 
-        plan = QueryPlan().sort().session_window(16)
+        plan = (QueryPlan().where(_opaque_where).tumbling_window(8)
+                .sort().count())
         with pytest.raises(QueryBuildError, match="cannot be compiled"):
             plan.run([Event(1)], 4, 0, engine="columnar")
+
+
+# -- fallback-reason histogram (CI regression gate) -------------------------
+
+# The canonical plan corpus: every query shape the test suite exercises,
+# tagged with the execution path it is *expected* to take.  Shapes that
+# once compiled must never silently regress to the row engine — the gate
+# below fails the build if they do.
+CANONICAL_CORPUS = {
+    "count": lambda: QueryPlan().tumbling_window(8).sort().count(),
+    "sum": lambda: (QueryPlan().tumbling_window(8).sort()
+                    .aggregate(Sum(field(0)))),
+    "avg": lambda: (QueryPlan().hopping_window(32, 16).sort()
+                    .aggregate(Avg(field(0)))),
+    "min": lambda: (QueryPlan().tumbling_window(8).sort()
+                    .aggregate(Min(field(0)))),
+    "max": lambda: (QueryPlan().tumbling_window(8).sort()
+                    .aggregate(Max(field(1)))),
+    "group-count": lambda: (QueryPlan().tumbling_window(8).sort()
+                            .group_aggregate(Count())),
+    "group-avg": lambda: (QueryPlan().tumbling_window(8).sort()
+                          .group_aggregate(Avg(field(0)))),
+    "group-top-k": lambda: (QueryPlan().tumbling_window(8).sort()
+                            .group_aggregate(Count()).top_k(2)),
+    "filtered-agg": lambda: (QueryPlan().where(field(0) > 10)
+                             .where(key_field() < 4).tumbling_window(8)
+                             .sort().aggregate(Sum(field(0)))),
+    "projected-agg": lambda: (QueryPlan().select_columns((0,))
+                              .tumbling_window(8).sort().count()),
+    "distinct": lambda: QueryPlan().sort().distinct(field(0)),
+    "distinct-all": lambda: QueryPlan().sort().distinct(),
+    "session-window": lambda: QueryPlan().sort().session_window(16),
+    "session-avg": lambda: (QueryPlan().sort()
+                            .session_window(8, Avg(field(0)))),
+    "coalesce": lambda: QueryPlan().tumbling_window(8).sort().coalesce(),
+    "self-join": lambda: QueryPlan().sort().self_join(),
+    "pattern-match": lambda: (QueryPlan().sort()
+                              .pattern_match(field(0) > 25, field(1) < 4,
+                                             16)),
+    "group-apply-agg": lambda: QueryPlan().sort().group_apply(
+        lambda s: s.where(field(1) < 7).tumbling_window(16)
+        .aggregate(Sum(field(0)))
+    ),
+    "group-apply-stages": lambda: (QueryPlan().sort()
+                                   .group_apply(
+                                       lambda s: s.where(field(0) > 10))),
+    "raw-top-k": lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
+    # Genuinely uncompilable: opaque Python callables and custom sorters.
+    "lambda-where": lambda: (QueryPlan().where(_opaque_where)
+                             .tumbling_window(8).sort().count()),
+    "lambda-select": lambda: (QueryPlan().select(lambda p: (p[0],))
+                              .tumbling_window(8).sort().count()),
+    "lambda-pattern": lambda: (QueryPlan().sort()
+                               .pattern_match(_first_small, _then_big, 16)),
+    "lambda-session-key": lambda: (QueryPlan().sort()
+                                   .session_window(16,
+                                                   key_fn=_opaque_where)),
+    "lambda-topk-score": lambda: (QueryPlan().tumbling_window(8).sort()
+                                  .top_k(2, score_fn=lambda e: e.payload)),
+    "custom-sorter": lambda: (QueryPlan().tumbling_window(8)
+                              .sort(sorter=lambda: None).count()),
+}
+
+ROW_SHAPES = frozenset({
+    "lambda-where", "lambda-select", "lambda-pattern",
+    "lambda-session-key", "lambda-topk-score", "custom-sorter",
+})
+
+
+def _bucket(reason):
+    if "opaque Python callable" in reason:
+        return "opaque-python-callable"
+    if "custom sorter" in reason:
+        return "custom-sorter"
+    return reason
+
+
+class TestFallbackHistogram:
+    """Export the fallback-reason histogram and gate lowering coverage.
+
+    The histogram lands in ``fallback_histogram.json`` at the repo root
+    so coverage is diffable across commits.  Two assertions act as the
+    CI regression gate:
+
+    * every shape the compiler has ever lowered still compiles
+      (``ROW_SHAPES`` is the exhaustive allow-list of fallbacks);
+    * the bucketed histogram has at most two categories — opaque Python
+      callables and custom sorters are the only residual fallbacks.
+    """
+
+    def test_histogram_export_and_regression_gate(self):
+        import json
+        import pathlib
+
+        paths = {}
+        histogram = {}
+        for name, build in CANONICAL_CORPUS.items():
+            from repro.engine.compiler import analyze_plan
+
+            path, reason = analyze_plan(build())
+            paths[name] = {"path": path, "reason": reason}
+            if path == "row":
+                bucket = _bucket(reason)
+                histogram[bucket] = histogram.get(bucket, 0) + 1
+
+        out = pathlib.Path(__file__).resolve().parent.parent
+        out = out / "fallback_histogram.json"
+        out.write_text(json.dumps(
+            {"histogram": dict(sorted(histogram.items())), "plans": paths},
+            indent=2, sort_keys=False,
+        ) + "\n")
+
+        regressions = sorted(
+            name for name, info in paths.items()
+            if info["path"] == "row" and name not in ROW_SHAPES
+        )
+        assert not regressions, (
+            f"previously-lowered shapes fell back to the row engine: "
+            f"{regressions} "
+            f"({ {n: paths[n]['reason'] for n in regressions} })"
+        )
+        assert set(histogram) <= {"opaque-python-callable", "custom-sorter"}
+        assert len(histogram) <= 2

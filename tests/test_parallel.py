@@ -26,11 +26,14 @@ from repro.core.errors import (
 )
 from repro.core.impatience import ImpatienceSorter
 from repro.core.late import LatePolicy
-from repro.engine import Event, Punctuation, Streamable
+from repro.engine import Event, Punctuation, QueryPlan, Streamable
 from repro.engine.batch import EventBatch
-from repro.engine.operators.aggregates import Count, Sum
+from repro.engine.compiler import UnsupportedPlanError
+from repro.engine.kernels import field
+from repro.engine.operators.aggregates import Avg, Count, Sum
 from repro.engine.sharded import shard_disordered
 from repro.parallel import (
+    CompiledShardPlan,
     GroupedAggregatePlan,
     RowPlan,
     ShmRing,
@@ -791,3 +794,246 @@ class TestCliParallel:
             "--chaos", "0.5",
         ])
         assert code == 2
+
+
+# ---------------------------------------------------------------------------
+# Compiled shard workers: kernel pipelines shipped to shard processes
+# ---------------------------------------------------------------------------
+
+def _tuple_payload(t, k):
+    return (t % 9, t % 5)
+
+
+def _compiled_shapes():
+    """(name, plan_builder(policy), row query_fn, row pre) covering every
+    lowered kernel family.  The row leg replicates the compiled plan's
+    per-shard pipeline with row operators; byte-identity through
+    ``run_parallel`` then follows from the shared merge tree."""
+    return [
+        ("grouped-count",
+         lambda p: QueryPlan().tumbling_window(10).sort(late_policy=p)
+         .group_aggregate(Count()),
+         lambda s: s.group_aggregate(Count()),
+         lambda d: d.tumbling_window(10)),
+        ("grouped-avg",
+         lambda p: QueryPlan().tumbling_window(10).sort(late_policy=p)
+         .group_aggregate(Avg(field(0))),
+         lambda s: s.group_aggregate(Avg(field(0))),
+         lambda d: d.tumbling_window(10)),
+        ("count",
+         lambda p: QueryPlan().tumbling_window(10).sort(late_policy=p)
+         .count(),
+         lambda s: s.count(),
+         lambda d: d.tumbling_window(10)),
+        ("session",
+         lambda p: QueryPlan().sort(late_policy=p).session_window(15),
+         lambda s: s.session_window(15),
+         None),
+        ("session-avg",
+         lambda p: QueryPlan().sort(late_policy=p)
+         .session_window(12, Avg(field(0))),
+         lambda s: s.session_window(12, Avg(field(0))),
+         None),
+        ("coalesce",
+         lambda p: QueryPlan().tumbling_window(10).sort(late_policy=p)
+         .coalesce(),
+         lambda s: s.coalesce(),
+         lambda d: d.tumbling_window(10)),
+        ("self-join",
+         lambda p: QueryPlan().sort(late_policy=p).self_join(),
+         lambda s: s.self_join(),
+         None),
+        ("pattern",
+         lambda p: QueryPlan().sort(late_policy=p)
+         .pattern_match(field(0) > 4, field(1) < 2, 20),
+         lambda s: s.pattern_match(
+             lambda e: e.payload[0] > 4, lambda e: e.payload[1] < 2, 20),
+         None),
+        ("group-apply",
+         lambda p: QueryPlan().sort(late_policy=p).group_apply(
+             lambda s: s.where(field(1) < 3).tumbling_window(16)
+             .aggregate(Sum(field(0)))),
+         lambda s: s.group_apply(
+             lambda b: b.where(field(1) < 3).tumbling_window(16)
+             .aggregate(Sum(field(0)))),
+         None),
+        ("group-apply-stage",
+         lambda p: QueryPlan().sort(late_policy=p).group_apply(
+             lambda s: s.where(field(0) > 2)),
+         lambda s: s.group_apply(lambda b: b.where(field(0) > 2)),
+         None),
+        ("distinct",
+         lambda p: QueryPlan().sort(late_policy=p).distinct(field(0)),
+         lambda s: s.distinct(field(0)),
+         None),
+        ("raw-topk",
+         lambda p: QueryPlan().tumbling_window(10).sort(late_policy=p)
+         .top_k(2),
+         lambda s: s.top_k(2),
+         lambda d: d.tumbling_window(10)),
+        ("where-grouped",
+         lambda p: QueryPlan().where(field(0) > 2).tumbling_window(10)
+         .sort(late_policy=p).group_aggregate(Sum(field(1))),
+         lambda s: s.group_aggregate(Sum(field(1))),
+         lambda d: d.where(lambda e: e.payload[0] > 2)
+         .tumbling_window(10)),
+    ]
+
+
+COMPILED_SHAPES = _compiled_shapes()
+_SHAPE_IDS = [shape[0] for shape in COMPILED_SHAPES]
+
+
+def _run_compiled_pair(shape, policy, workers, n=450, memory_budget=None):
+    """run_parallel the compiled plan and its row-operator twin over the
+    same disordered stream; return both results."""
+    name, build, row_q, row_pre = shape
+    elements = disordered_elements(
+        seed=17, n=n, lag=12, payload=_tuple_payload
+    )
+    compiled = CompiledShardPlan(build(policy), memory_budget=memory_budget)
+    result = run_parallel(list(elements), compiled, workers, batch_size=64)
+    sorter = lambda: ImpatienceSorter(  # noqa: E731
+        key=_sync, late_policy=policy
+    )
+    reference = run_parallel(
+        list(elements), RowPlan(row_q, sorter=sorter, pre=row_pre),
+        workers, batch_size=64,
+    )
+    return result, reference
+
+
+class TestCompiledShardPlan:
+    @pytest.mark.parametrize(
+        "policy", [LatePolicy.DROP, LatePolicy.ADJUST],
+        ids=["drop", "adjust"],
+    )
+    @pytest.mark.parametrize("shape", COMPILED_SHAPES, ids=_SHAPE_IDS)
+    def test_every_kernel_matches_row_plan(self, shape, policy):
+        result, reference = _run_compiled_pair(shape, policy, workers=2)
+        _assert_identical(result, reference, f"{shape[0]} {policy.name}")
+        for stats in result.parallel["shards"]:
+            assert stats["plan"] == "compiled"
+            assert stats["engine"] == "columnar"
+
+    @pytest.mark.parametrize("workers", WORKER_SWEEP)
+    @pytest.mark.parametrize(
+        "shape_name", ["grouped-avg", "session", "self-join"]
+    )
+    def test_worker_sweep(self, shape_name, workers):
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index(shape_name)]
+        result, reference = _run_compiled_pair(
+            shape, LatePolicy.DROP, workers
+        )
+        _assert_identical(result, reference, f"{shape_name} w={workers}")
+
+    @pytest.mark.parametrize(
+        "shape_name", ["grouped-avg", "distinct", "self-join"]
+    )
+    def test_memory_budget_spills_byte_identical(self, shape_name):
+        """A tiny per-shard budget forces the external columnar sorter
+        to spill; output must not change by a byte."""
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index(shape_name)]
+        budgeted, _ = _run_compiled_pair(
+            shape, LatePolicy.DROP, workers=2, memory_budget=2048
+        )
+        unbounded, _ = _run_compiled_pair(shape, LatePolicy.DROP, workers=2)
+        _assert_identical(budgeted, unbounded, f"{shape_name} budget")
+
+    @pytest.mark.parametrize(
+        "shape_name", ["grouped-count", "session"]
+    )
+    def test_raise_guard_deterministic_across_worker_counts(
+        self, shape_name
+    ):
+        """RAISE surfaces the same late event no matter how many workers
+        split the stream — the coordinator-side guard sees the global
+        arrival order, not a shard-local one."""
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index(shape_name)]
+        _, build, _, _ = shape
+        seen = []
+        for workers in (1, 2, 4):
+            elements = disordered_elements(
+                seed=11, n=450, lag=3, payload=_tuple_payload
+            )
+            with pytest.raises(LateEventError) as err:
+                run_parallel(
+                    list(elements),
+                    CompiledShardPlan(build(LatePolicy.RAISE)),
+                    workers, batch_size=64,
+                )
+            seen.append(err.value.args)
+        assert seen[0] == seen[1] == seen[2]
+
+    def test_avg_rides_native_float_frames(self):
+        """Satellite: avg results cross the ring as float64 FDATA
+        frames — no pickled elements anywhere on the aggregate hot
+        path, for both the vectorized plan and the compiled plan."""
+        elements = disordered_elements(
+            seed=9, n=500, lag=20, payload=_tuple_payload
+        )
+        vectorized = run_parallel(
+            list(elements),
+            GroupedAggregatePlan(10, agg="avg", align="pre"), 2,
+            batch_size=64,
+        )
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index("grouped-avg")]
+        compiled = run_parallel(
+            list(elements),
+            CompiledShardPlan(shape[1](LatePolicy.DROP)), 2,
+            batch_size=64,
+        )
+        for result in (vectorized, compiled):
+            received = result.parallel["frames_received_by_kind"]
+            sent = result.parallel["frames_sent_by_kind"]
+            assert received.get("FDATA", 0) > 0
+            assert "PICKLE" not in received
+            assert "PICKLE" not in sent
+            assert all(
+                isinstance(e.payload, float) for e in result.events
+            )
+        _assert_identical(vectorized, compiled, "avg fdata")
+
+    def test_tuple_payloads_ride_columnar_frames(self):
+        """distinct emits multi-column int64 DATA frames, not pickles."""
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index("distinct")]
+        result, _ = _run_compiled_pair(shape, LatePolicy.DROP, workers=2)
+        received = result.parallel["frames_received_by_kind"]
+        assert received.get("DATA", 0) > 0
+        assert "PICKLE" not in received
+
+    def test_unsupported_plan_raises_at_build_time(self):
+        plan = (
+            QueryPlan().where(lambda e: e.key < 4).tumbling_window(8)
+            .sort().count()
+        )
+        with pytest.raises(UnsupportedPlanError) as err:
+            CompiledShardPlan(plan)
+        assert "opaque Python callable" in err.value.reason
+
+    def test_describe_names_kernels_and_wire(self):
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index("grouped-avg")]
+        plan = CompiledShardPlan(shape[1](LatePolicy.DROP))
+        doc = plan.describe()
+        assert doc["plan"] == "compiled"
+        assert doc["wire"] == "float"
+        assert doc["kernels"]
+
+    def test_supervised_recovery_byte_identical(self):
+        """A shard worker dying mid-run and being replayed under
+        supervision reproduces the exact compiled-plan output."""
+        shape = COMPILED_SHAPES[_SHAPE_IDS.index("grouped-count")]
+        elements = disordered_elements(
+            seed=23, n=450, lag=12, payload=_tuple_payload
+        )
+        reference = run_parallel(
+            list(elements),
+            CompiledShardPlan(shape[1](LatePolicy.DROP)), 2,
+            batch_size=64,
+        )
+        recovered = run_parallel_supervised(
+            list(elements),
+            CompiledShardPlan(shape[1](LatePolicy.DROP)), 2,
+            batch_size=64, fault=crash_once(1, after_rounds=1),
+        )
+        _assert_identical(recovered, reference, "supervised compiled")
