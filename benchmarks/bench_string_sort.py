@@ -1,0 +1,325 @@
+"""String-keyed sorting — offset-value-coded merges vs naive byte
+comparison on long-shared-prefix service names.
+
+The headline measurement behind the string stack (see
+``docs/strings.md``): merging sorted runs of service-name keys like
+``prod.cluster-03.svc.zone-1.host-00197`` — where hundreds of hosts
+share a long cluster/zone prefix — with the naive comparator merge
+(every comparison re-walks the shared prefix from byte 0) versus the
+OVC-annotated merge (each key carries an offset-value code relative to
+its run predecessor, so most comparisons are one integer compare and
+ties resume at the first divergent byte).  Both merge the *same*
+row-index runs over the *same* arena column, so the delta is purely the
+comparison strategy.
+
+Three invariants are *asserted*, not just reported:
+
+* every timed merge's output is multiset- and order-equivalent to the
+  row engine: the same keys pushed through the row-path
+  :class:`~repro.core.impatience.ImpatienceSorter` with the ``"ovc"``
+  merge strategy must produce the identical byte sequence;
+* at the canonical scale the OVC merge is at least **2x** faster than
+  the naive merge (the acceptance bar; measured ~4-5x);
+* a 64 MB-budget :class:`~repro.sorting.external.ExternalColumnarSorter`
+  carrying the string column through CRC-framed spill blocks is
+  **byte-identical** (arena and offsets both) to the unbudgeted
+  in-memory columnar sorter on the same stream.
+
+``python -m benchmarks.bench_string_sort`` writes machine-readable
+results to ``BENCH_strings.json``; the file is only refreshed at the
+canonical ``n`` so a quick ``--n`` pass can't replace the baseline with
+a toy trajectory.  ``--smoke`` runs a seconds-scale subset (20k events,
+256 KB budget so the spill path actually spills) and skips the write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.columnar import ColumnarImpatienceSorter
+from repro.core.impatience import ImpatienceSorter
+from repro.core.strings import (
+    OvcCounters,
+    ovc_annotate_indices,
+    ovc_index_merge,
+    naive_index_merge,
+)
+from repro.sorting.external import ExternalColumnarSorter
+from repro.workloads.strings import generate_cloudlog_strings
+
+DEFAULT_N = 500_000
+DEFAULT_BUDGET = 64 * 1024 ** 2
+RESULTS_PATH = "BENCH_strings.json"
+
+SMOKE_N = 20_000
+SMOKE_BUDGET = 256 * 1024
+
+N_SERVICES = 387
+RUNS = 64        # sorted runs handed to the merge legs
+BATCH = 16_384   # ingress batch size for the budgeted leg
+PUNCTUATIONS = 3
+
+
+def _workload(n):
+    """Cloudlog-strings stream: per-event service-name column + codes.
+
+    Service names repeat — log analytics groups millions of events onto
+    hundreds of services — so sorted runs contain *streaks* of equal
+    keys.  That is exactly where OVC pays: a duplicate carries code 0,
+    so the merge bulk-copies whole streaks without touching a single
+    key byte, while a comparator merge re-walks the ~30-byte shared
+    prefix for every element it passes.
+    """
+    ds = generate_cloudlog_strings(n, n_services=N_SERVICES, seed=7)
+    column = ds.string_payloads[0]
+    codes = np.asarray(ds.keys, dtype=np.int64)
+    ts = np.asarray(ds.timestamps, dtype=np.int64)
+    return codes, column, ts
+
+
+def _make_runs(codes, n_runs):
+    """Split arrival order into ``n_runs`` internally-sorted index runs.
+
+    Sorting each slice by dictionary code is sorting by bytes (the
+    dictionary is order-preserving), so run formation is cheap and the
+    timed legs isolate the *merge*.
+    """
+    n = codes.size
+    runs = []
+    for r in range(n_runs):
+        lo = (n * r) // n_runs
+        hi = (n * (r + 1)) // n_runs
+        order = np.argsort(codes[lo:hi], kind="stable") + lo
+        runs.append(order.tolist())
+    return runs
+
+
+def _row_engine_reference(column):
+    """Sorted byte sequence per the row engine's OVC string sorter."""
+    sorter = ImpatienceSorter(merge="ovc")
+    for value in column.tolist():
+        sorter.insert(value)
+    return sorter.flush()
+
+
+def _assert_row_equivalent(indices, column, reference, leg):
+    got = column.take(np.asarray(indices, dtype=np.int64)).tolist()
+    if got != reference:
+        raise AssertionError(
+            f"{leg} merge diverged from the row engine "
+            f"({len(got)} vs {len(reference)} keys)"
+        )
+
+
+def _budgeted_leg(ts, column, budget):
+    """Byte-identity of the budgeted external sorter on string columns."""
+    lag = max((int(ts.max()) - int(ts.min())) // 6, 1)
+    n = ts.size
+    marks = {(n * (i + 1)) // (PUNCTUATIONS + 1)
+             for i in range(PUNCTUATIONS)}
+
+    def drive(sorter):
+        outputs = []
+        high = None
+        for start in range(0, n, BATCH):
+            stop = min(start + BATCH, n)
+            sorter.insert_batch(
+                ts[start:stop],
+                string_columns=(column.slice(start, stop),),
+            )
+            top = int(ts[start:stop].max())
+            high = top if high is None else max(high, top)
+            if any(start < mark <= stop for mark in marks):
+                outputs.append(sorter.on_punctuation(high - lag))
+        outputs.append(sorter.flush())
+        return outputs
+
+    start = time.perf_counter()
+    baseline = drive(ColumnarImpatienceSorter(string_columns=1))
+    memory_eps = n / (time.perf_counter() - start)
+
+    external = ExternalColumnarSorter(budget, string_columns=1)
+    try:
+        start = time.perf_counter()
+        got = drive(external)
+        external_eps = n / (time.perf_counter() - start)
+        spill = external.spill_doc()
+    finally:
+        external.close()
+
+    assert len(got) == len(baseline)
+    for g, w in zip(got, baseline):
+        gt, _, gs = g
+        wt, _, ws = w
+        if not np.array_equal(gt, wt):
+            raise AssertionError("budgeted timestamps diverged")
+        for gc, wc in zip(gs, ws):
+            if gc.arena != wc.arena or not np.array_equal(
+                gc.offsets, wc.offsets
+            ):
+                raise AssertionError(
+                    f"budgeted string column not byte-identical "
+                    f"(budget={budget})"
+                )
+    return memory_eps, external_eps, spill
+
+
+def run_bench(n=DEFAULT_N, budget=DEFAULT_BUDGET):
+    """Time the merge legs + the budgeted leg; returns the JSON entries."""
+    codes, column, ts = _workload(n)
+    runs = _make_runs(codes, min(RUNS, max(n // 64, 2)))
+    reference = _row_engine_reference(column)
+
+    start = time.perf_counter()
+    naive_out = naive_index_merge(list(runs), column)
+    naive_s = time.perf_counter() - start
+    _assert_row_equivalent(naive_out, column, reference, "naive")
+
+    start = time.perf_counter()
+    annotated = [
+        (run, ovc_annotate_indices(run, column)) for run in runs
+    ]
+    encode_s = time.perf_counter() - start
+
+    counters = OvcCounters()
+    start = time.perf_counter()
+    ovc_out = ovc_index_merge(annotated, column, counters=counters)
+    ovc_s = time.perf_counter() - start
+    _assert_row_equivalent(ovc_out, column, reference, "ovc")
+
+    merge_speedup = naive_s / ovc_s
+    total_speedup = naive_s / (encode_s + ovc_s)
+    if n >= DEFAULT_N:
+        assert merge_speedup >= 2.0, (
+            f"OVC merge speedup {merge_speedup:.2f}x below the 2x "
+            f"acceptance bar at canonical scale"
+        )
+
+    memory_eps, external_eps, spill = _budgeted_leg(ts, column, budget)
+
+    config = {
+        "n": n, "dataset": "cloudlog-strings", "services": N_SERVICES,
+        "runs": len(runs), "arena_bytes": len(column.arena),
+        "avg_key_bytes": round(len(column.arena) / max(n, 1), 1),
+    }
+    return [
+        {
+            "name": "naive-merge",
+            "config": config,
+            "seconds": round(naive_s, 4),
+            "keys_per_sec": round(n / naive_s, 1),
+            "speedup_vs_naive": 1.0,
+        },
+        {
+            "name": "ovc-merge",
+            "config": config,
+            "seconds": round(ovc_s, 4),
+            "encode_seconds": round(encode_s, 4),
+            "keys_per_sec": round(n / ovc_s, 1),
+            "speedup_vs_naive": round(merge_speedup, 2),
+            "speedup_including_encode": round(total_speedup, 2),
+            "tie_rate": round(counters.ties / max(n, 1), 4),
+            "tie_bytes_per_key": round(counters.tie_bytes / max(n, 1), 3),
+        },
+        {
+            "name": f"external-strings-{budget // (1024 ** 2) or budget}",
+            "config": {**config, "budget_bytes": budget},
+            "events_per_sec": round(external_eps, 1),
+            "slowdown_vs_memory": round(memory_eps / external_eps, 2),
+            "spill": spill,
+            "byte_identical": True,
+        },
+    ]
+
+
+def write_results(entries, path=RESULTS_PATH):
+    with open(path, "w") as fh:
+        json.dump({"benchmark": "string_sort", "results": entries},
+                  fh, indent=2)
+        fh.write("\n")
+
+
+def _print_table(entries, n, budget):
+    rows = []
+    for entry in entries:
+        rows.append([
+            entry["name"],
+            entry.get("seconds", "-"),
+            entry.get("speedup_vs_naive", "-"),
+            entry.get("speedup_including_encode", "-"),
+            entry.get("tie_rate", "-"),
+            entry.get("slowdown_vs_memory", "-"),
+        ])
+    print(format_table(
+        ["leg", "seconds", "speedup", "enc+merge", "tie rate",
+         "ext slowdown"],
+        rows,
+        title=(
+            f"String sort (cloudlog-strings {n}, {N_SERVICES} services, "
+            f"budget {budget // 1024} KB, row-engine equivalence + "
+            f"byte-identity checked)"
+        ),
+    ))
+
+
+def report(n=None):
+    """Report-section entry point; refreshes BENCH_strings.json only at
+    the canonical DEFAULT_N."""
+    n = n or DEFAULT_N
+    budget = DEFAULT_BUDGET if n == DEFAULT_N else SMOKE_BUDGET
+    entries = run_bench(n, budget)
+    _print_table(entries, n, budget)
+    if n == DEFAULT_N:
+        write_results(entries)
+        print(f"wrote {RESULTS_PATH}")
+    else:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} write")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"stream length (default {DEFAULT_N})")
+    parser.add_argument("--budget", type=int, default=None,
+                        help=f"external-leg budget in bytes "
+                             f"(default {DEFAULT_BUDGET})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 20k events under 256 KB, no JSON "
+                             "write — exercises both merges, the row-"
+                             "engine equivalence and the byte-identity "
+                             "asserts")
+    parser.add_argument("--json", default=None,
+                        help="results path (default BENCH_strings.json; "
+                             "ignored with --smoke unless given)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n = args.n or SMOKE_N
+        budget = args.budget or SMOKE_BUDGET
+        entries = run_bench(n, budget)
+        _print_table(entries, n, budget)
+        if args.json:
+            write_results(entries, args.json)
+            print(f"wrote {args.json}")
+        print("smoke OK")
+        return
+    n = args.n or DEFAULT_N
+    budget = args.budget or DEFAULT_BUDGET
+    entries = run_bench(n, budget)
+    _print_table(entries, n, budget)
+    if args.json is None and (n != DEFAULT_N or budget != DEFAULT_BUDGET):
+        print(f"non-canonical run (n={n}, budget={budget}); skipping "
+              f"{RESULTS_PATH} write (pass --json PATH to record it)")
+        return
+    path = args.json or RESULTS_PATH
+    write_results(entries, path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

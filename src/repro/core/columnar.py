@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.errors import PunctuationOrderError
 from repro.core.late import LateEventTracker, LatePolicy
 from repro.core.stats import SorterStats
+from repro.core.strings import StringColumn
 
 __all__ = ["ColumnarImpatienceSorter"]
 
@@ -56,15 +57,26 @@ class ColumnarImpatienceSorter:
     engine keeps the original event and re-sorts it at the watermark —
     callers wanting that semantic pass the original time as a payload
     column).
+
+    With ``string_columns=m`` the sorter additionally carries ``m``
+    parallel :class:`~repro.core.strings.StringColumn` payloads.  They
+    ride segment placement and punctuation cuts as contiguous
+    arena-sharing slices (offset views, no byte copies) and the head
+    merge gathers them through the same ``argsort`` permutation; the
+    return value grows a third element, ``(ts, cols, scols)``.
     """
 
-    def __init__(self, late_policy=LatePolicy.DROP, columns=0):
+    def __init__(self, late_policy=LatePolicy.DROP, columns=0,
+                 string_columns=0):
         if columns < 0:
             raise ValueError("columns must be >= 0")
+        if string_columns < 0:
+            raise ValueError("string_columns must be >= 0")
         self.stats = SorterStats()
         self.late = LateEventTracker(late_policy)
         self.columns = int(columns)
-        self._chunks = []   # parallel to _tails: list of (ts, cols) lists
+        self.string_columns = int(string_columns)
+        self._chunks = []   # parallel to _tails: list of (ts, cols, scols)
         self._tails = []    # strictly descending run tails
         self._watermark = _NEG_INF
         self._has_watermark = False
@@ -78,7 +90,7 @@ class ColumnarImpatienceSorter:
     def buffered(self) -> int:
         """Events currently buffered across all run chunks."""
         return sum(
-            ts.size for chunks in self._chunks for ts, _ in chunks
+            ts.size for chunks in self._chunks for ts, _, _ in chunks
         )
 
     @property
@@ -86,7 +98,7 @@ class ColumnarImpatienceSorter:
         """Timestamp of the last punctuation, or ``-inf`` before the first."""
         return self._watermark
 
-    def insert_batch(self, values, columns=()):
+    def insert_batch(self, values, columns=(), string_columns=()):
         """Ingest one arrival-order batch of timestamps (+ columns)."""
         arr = np.asarray(values, dtype=np.int64)
         if arr.ndim != 1:
@@ -96,9 +108,21 @@ class ColumnarImpatienceSorter:
                 f"expected {self.columns} payload columns, "
                 f"got {len(columns)}"
             )
+        if len(string_columns) != self.string_columns:
+            raise ValueError(
+                f"expected {self.string_columns} string columns, "
+                f"got {len(string_columns)}"
+            )
         cols = tuple(np.asarray(col, dtype=np.int64) for col in columns)
         if any(col.shape != arr.shape for col in cols):
             raise ValueError("payload columns must parallel the timestamps")
+        scols = tuple(
+            col if isinstance(col, StringColumn)
+            else StringColumn.from_values(col)
+            for col in string_columns
+        )
+        if any(len(col) != arr.size for col in scols):
+            raise ValueError("string columns must parallel the timestamps")
         if arr.size == 0:
             return 0
         if self._has_watermark:
@@ -116,16 +140,18 @@ class ColumnarImpatienceSorter:
                         self.late.admit(int(value), self._watermark)
                     for _ in range(n_late - 1):
                         self.late.admit(None, self._watermark)
-                    arr = arr[~late_mask]
-                    cols = tuple(col[~late_mask] for col in cols)
+                    keep = ~late_mask
+                    arr = arr[keep]
+                    cols = tuple(col[keep] for col in cols)
+                    scols = tuple(col.filter(keep) for col in scols)
                     if arr.size == 0:
                         return 0
-        self._place_segments(arr, cols)
+        self._place_segments(arr, cols, scols)
         self.stats.inserted += int(arr.size)
         self.stats.note_buffered()
         return int(arr.size)
 
-    def _place_segments(self, arr, cols):
+    def _place_segments(self, arr, cols, scols=()):
         """Split the batch at descents; deal each ascending segment.
 
         Placement is the exact chunk-wise equivalent of element-wise
@@ -164,6 +190,7 @@ class ColumnarImpatienceSorter:
                 placeable = (
                     arr[start:split],
                     tuple(col[start:split] for col in cols),
+                    tuple(col.slice(start, split) for col in scols),
                 )
                 if lo == len(tails):
                     chunks.append([placeable])
@@ -186,18 +213,24 @@ class ColumnarImpatienceSorter:
         removed = 0
         for run, tail in zip(self._chunks, self._tails):
             keep_from = 0
-            for i, (ts, cols) in enumerate(run):
+            for i, (ts, cols, scols) in enumerate(run):
                 if int(ts[-1]) <= timestamp:
-                    heads.append((ts, cols))
+                    heads.append((ts, cols, scols))
                     keep_from = i + 1
                     continue
                 split = int(np.searchsorted(ts, timestamp, side="right"))
                 if split:
-                    heads.append(
-                        (ts[:split], tuple(col[:split] for col in cols))
-                    )
+                    heads.append((
+                        ts[:split],
+                        tuple(col[:split] for col in cols),
+                        tuple(col.slice(0, split) for col in scols),
+                    ))
                     run[i] = (
-                        ts[split:], tuple(col[split:] for col in cols)
+                        ts[split:],
+                        tuple(col[split:] for col in cols),
+                        tuple(
+                            col.slice(split, len(col)) for col in scols
+                        ),
                     )
                 keep_from = i
                 break
@@ -223,30 +256,47 @@ class ColumnarImpatienceSorter:
         return self._merge(heads)
 
     def _merge(self, heads):
+        n_scols = self.string_columns
         if not heads:
             empty = _EMPTY
+            if n_scols:
+                return (
+                    empty, tuple(_EMPTY for _ in range(self.columns)),
+                    tuple(StringColumn.empty() for _ in range(n_scols)),
+                )
             if self.columns:
                 return empty, tuple(_EMPTY for _ in range(self.columns))
             return empty
         if len(heads) == 1:
-            merged, cols = heads[0]
-        elif self.columns:
-            merged = np.concatenate([ts for ts, _ in heads])
+            merged, cols, scols = heads[0]
+        elif self.columns or n_scols:
+            merged = np.concatenate([ts for ts, _, _ in heads])
             order = np.argsort(merged, kind="stable")
             merged = merged[order]
             cols = tuple(
-                np.concatenate([chunk[c] for _, chunk in heads])[order]
+                np.concatenate([chunk[c] for _, chunk, _ in heads])[order]
                 for c in range(self.columns)
+            )
+            # String heads share arenas; one concat + permutation gather
+            # per column materializes the sorted bytes.
+            scols = tuple(
+                StringColumn.concat(
+                    [chunk[c] for _, _, chunk in heads]
+                ).take(order)
+                for c in range(n_scols)
             )
             self.stats.merges += 1
             self.stats.merge_events += int(merged.size)
         else:
-            merged = np.concatenate([ts for ts, _ in heads])
+            merged = np.concatenate([ts for ts, _, _ in heads])
             merged.sort(kind="stable")
             cols = ()
+            scols = ()
             self.stats.merges += 1
             self.stats.merge_events += int(merged.size)
         self.stats.emitted += int(merged.size)
+        if n_scols:
+            return merged, cols, scols
         if self.columns:
             return merged, cols
         return merged

@@ -16,19 +16,30 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.strings import StringColumn
 from repro.engine.event import Event
 
 __all__ = ["EventBatch"]
 
 
 class EventBatch:
-    """A fixed set of events in columnar layout with a validity bitmap."""
+    """A fixed set of events in columnar layout with a validity bitmap.
+
+    Besides the three fixed ``int64`` columns and the ``int64`` payload
+    columns, a batch may carry *string* payload columns
+    (:class:`~repro.core.strings.StringColumn`, arena + offsets).  They
+    ride through bitmap selection for free, are gathered on
+    :meth:`compact`, and travel the parallel exchange as SDATA frames —
+    never pickled.  Sort/group semantics on strings lower to int64
+    dictionary codes (see :mod:`repro.core.strings`), so string columns
+    here are payload data, not a fourth key column.
+    """
 
     __slots__ = ("sync_times", "other_times", "keys", "payload_columns",
-                 "valid")
+                 "valid", "string_columns")
 
     def __init__(self, sync_times, other_times, keys, payload_columns,
-                 valid=None):
+                 valid=None, string_columns=()):
         self.sync_times = np.asarray(sync_times, dtype=np.int64)
         n = len(self.sync_times)
         self.other_times = np.asarray(other_times, dtype=np.int64)
@@ -40,14 +51,37 @@ class EventBatch:
             np.ones(n, dtype=bool) if valid is None
             else np.asarray(valid, dtype=bool)
         )
-        if len(self.other_times) != n or len(self.keys) != n or any(
-            len(col) != n for col in self.payload_columns
-        ) or len(self.valid) != n:
-            raise ValueError("all batch columns must have equal length")
+        self.string_columns = [
+            col if isinstance(col, StringColumn)
+            else StringColumn.from_values(col)
+            for col in string_columns
+        ]
+        for name, length in (
+            ("other_times", len(self.other_times)),
+            ("keys", len(self.keys)),
+            *(
+                (f"payload_columns[{c}]", len(col))
+                for c, col in enumerate(self.payload_columns)
+            ),
+            *(
+                (f"string_columns[{c}]", len(col))
+                for c, col in enumerate(self.string_columns)
+            ),
+            ("valid", len(self.valid)),
+        ):
+            if length != n:
+                raise ValueError(
+                    f"batch column {name!r} has length {length}, expected "
+                    f"{n} (the length of 'sync_times')"
+                )
 
     @classmethod
     def from_dataset(cls, dataset) -> "EventBatch":
-        """Columnarize a workload dataset (arrival order preserved)."""
+        """Columnarize a workload dataset (arrival order preserved).
+
+        Datasets with ``string_payloads`` (string-keyed workload
+        variants) get matching :class:`StringColumn` payloads.
+        """
         payload_matrix = np.asarray(dataset.payloads, dtype=np.int64)
         n_cols = payload_matrix.shape[1] if payload_matrix.size else 0
         sync = np.asarray(dataset.timestamps, dtype=np.int64)
@@ -56,6 +90,7 @@ class EventBatch:
             other_times=sync + 1,
             keys=np.asarray(dataset.keys, dtype=np.int64),
             payload_columns=[payload_matrix[:, c] for c in range(n_cols)],
+            string_columns=getattr(dataset, "string_payloads", None) or (),
         )
 
     def __len__(self) -> int:
@@ -73,7 +108,7 @@ class EventBatch:
         mask = np.asarray(mask, dtype=bool)
         return EventBatch(
             self.sync_times, self.other_times, self.keys,
-            self.payload_columns, self.valid & mask,
+            self.payload_columns, self.valid & mask, self.string_columns,
         )
 
     def filter_payload(self, column, predicate) -> "EventBatch":
@@ -81,10 +116,12 @@ class EventBatch:
         return self.filter(predicate(self.payload_columns[column]))
 
     def project(self, columns) -> "EventBatch":
-        """Projection: keep only the given payload columns."""
+        """Projection: keep only the given payload columns (string
+        columns pass through untouched)."""
         return EventBatch(
             self.sync_times, self.other_times, self.keys,
             [self.payload_columns[c] for c in columns], self.valid,
+            self.string_columns,
         )
 
     def tumbling_window(self, size) -> "EventBatch":
@@ -94,6 +131,7 @@ class EventBatch:
         start = self.sync_times - self.sync_times % size
         return EventBatch(
             start, start + size, self.keys, self.payload_columns, self.valid,
+            self.string_columns,
         )
 
     def compact(self) -> "EventBatch":
@@ -104,6 +142,7 @@ class EventBatch:
         return EventBatch(
             self.sync_times[idx], self.other_times[idx], self.keys[idx],
             [col[idx] for col in self.payload_columns],
+            string_columns=[col.take(idx) for col in self.string_columns],
         )
 
     # -- shared-memory wire format -----------------------------------------
@@ -167,10 +206,19 @@ class EventBatch:
         return self.sync_times[self.valid].tolist()
 
     def events(self):
-        """Yield valid rows as :class:`Event` objects, arrival order."""
+        """Yield valid rows as :class:`Event` objects, arrival order.
+
+        String payload columns materialize as ``bytes`` fields appended
+        after the int payload fields — the same row shape SDATA frames
+        decode to on the coordinator, so the row engine and the parallel
+        runtime see identical events.
+        """
         n_cols = len(self.payload_columns)
+        s_cols = self.string_columns
         for i in np.flatnonzero(self.valid):
-            payload = tuple(int(self.payload_columns[c][i]) for c in range(n_cols))
+            payload = tuple(
+                int(self.payload_columns[c][i]) for c in range(n_cols)
+            ) + tuple(col[i] for col in s_cols)
             yield Event(
                 int(self.sync_times[i]), int(self.other_times[i]),
                 int(self.keys[i]), payload,

@@ -181,7 +181,7 @@ def _checkpoint_external(sorter) -> dict:
             "runs": runs,
             "run_seq": pool._run_seq,
             "chunks": [
-                keys.tolist() for keys, _cols, _objs in pool._chunks
+                keys.tolist() for keys, *_rest in pool._chunks
             ],
         },
         "pending": list(sorter._pending_keys),
@@ -235,7 +235,7 @@ def _restore_external(state):
             arr = np.asarray(keys, dtype=np.int64)
             if np.any(arr[1:] < arr[:-1]):
                 raise CheckpointError("checkpoint run is not ascending")
-            pool._chunks.append((arr, (), None))
+            pool._chunks.append((arr, (), None, ()))
             pool._rows += int(arr.size)
             sorter.stats.inserted += int(arr.size)
         pool.metrics.note_buffered(pool.buffered_bytes)

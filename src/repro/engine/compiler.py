@@ -10,7 +10,13 @@ a fused pipeline of :mod:`repro.engine.kernels` stages around a
   structured predicates, ``select_columns`` projection, and
   tumbling/hopping window alignment — all *below* the sort point, so
   selection shrinks the sorted volume and windowing reduces disorder,
-  visible in the sorter's :class:`~repro.core.stats.SorterStats`;
+  visible in the sorter's :class:`~repro.core.stats.SorterStats`.
+  String where-clauses lower here too: order-preserving dictionary
+  encoding (:mod:`repro.core.strings`) turns string equality into one
+  int64 code comparison (``key_str_eq`` / ``field_str_eq``) and string
+  prefix match into one code-range test (``key_str_prefix`` /
+  ``field_str_prefix``), so string-keyed plans compile to the exact
+  same fused int masks — no byte comparisons, no row-path fallback;
 * the columnar sorter itself, carrying the post-stage sync time, the
   grouping key, and the aggregated value as parallel ``int64`` columns
   (the original window start rides as column 0 so the ADJUST late

@@ -49,6 +49,10 @@ __all__ = [
     "field",
     "key_field",
     "sync_field",
+    "key_str_eq",
+    "key_str_prefix",
+    "field_str_eq",
+    "field_str_prefix",
     "AggregateSpec",
     "AGGREGATE_SPECS",
     "GroupedWindowKernel",
@@ -91,6 +95,14 @@ _COMPARE = {
 def _wrap(value):
     if isinstance(value, Expr):
         return value
+    if isinstance(value, (str, bytes)):
+        raise TypeError(
+            f"string constant {value!r} cannot appear directly in an "
+            f"expression: the columnar engines compare int64 dictionary "
+            f"codes, not bytes.  Encode the query side with a "
+            f"StringDictionary and use key_str_eq / key_str_prefix / "
+            f"field_str_eq / field_str_prefix (repro.engine.kernels)."
+        )
     if isinstance(value, bool) or not isinstance(value, int):
         raise TypeError(
             f"expression operands must be int constants or expressions, "
@@ -370,6 +382,42 @@ def key_field() -> _KeyField:
 def sync_field() -> _SyncField:
     """Reference the event sync time (predicate term)."""
     return _SyncField()
+
+
+# -- string predicates: lowered to dictionary-code comparisons ----------
+#
+# Order-preserving dictionary encoding (repro.core.strings) maps string
+# equality to ONE int comparison and string prefix match to ONE code
+# range test, so string where-clauses compile to the same fused int64
+# masks as any other predicate — no per-row byte comparisons, and the
+# row/compiled equivalence proof carries over unchanged.
+
+def key_str_eq(dictionary, value) -> Predicate:
+    """``key() == code(value)`` — string equality on a dictionary-coded
+    key.  A value absent from the dictionary lowers to code ``-1``,
+    which no row carries: the predicate matches nothing (no error)."""
+    return key_field() == int(dictionary.code(value))
+
+
+def key_str_prefix(dictionary, prefix) -> Predicate:
+    """Prefix match on a dictionary-coded key as one code-range test.
+
+    Order preservation turns ``startswith(prefix)`` into membership in
+    the contiguous code range ``[lo, hi)``; an empty range (no value has
+    the prefix) yields an always-false predicate for free."""
+    lo, hi = dictionary.prefix_range(prefix)
+    return (key_field() >= int(lo)) & (key_field() < int(hi))
+
+
+def field_str_eq(index, dictionary, value) -> Predicate:
+    """``field(index) == code(value)`` for dictionary-coded payloads."""
+    return field(index) == int(dictionary.code(value))
+
+
+def field_str_prefix(index, dictionary, prefix) -> Predicate:
+    """Prefix match on a dictionary-coded payload column."""
+    lo, hi = dictionary.prefix_range(prefix)
+    return (field(index) >= int(lo)) & (field(index) < int(hi))
 
 
 # ---------------------------------------------------------------------------

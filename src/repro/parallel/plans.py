@@ -203,6 +203,41 @@ class _TopKFinalize:
         return stream.top_k(self.k, self.score_fn)
 
 
+class _DecodeKeyFinalize:
+    """Picklable coordinator tail: map int64 group codes on the merged
+    output back to their dictionary strings (``Event.key`` becomes the
+    decoded ``bytes``).  Shards only ever see the codes — int columns on
+    the wire, int sorts and folds throughout — so this is purely a
+    presentation stage.  Wraps an optional inner finalize (the top-k
+    stage) so decoding always runs last."""
+
+    def __init__(self, values, inner=None):
+        self.values = list(values)
+        self.inner = inner
+
+    def __call__(self, stream):
+        if self.inner is not None:
+            stream = self.inner(stream)
+        return _DecodeKeyCollector(stream, self.values)
+
+
+class _DecodeKeyCollector:
+    """Defers to the wrapped stream's ``collect`` and rewrites keys."""
+
+    def __init__(self, stream, values):
+        self._stream = stream
+        self._values = values
+
+    def collect(self):
+        collected = self._stream.collect()
+        values = self._values
+        collected.events = [
+            Event(e.sync_time, e.other_time, values[e.key], e.payload)
+            for e in collected.events
+        ]
+        return collected
+
+
 class GroupedAggregatePlan:
     """Vectorized ``tumbling_window(w) |> group_aggregate(agg)``.
 
@@ -235,7 +270,7 @@ class GroupedAggregatePlan:
 
     def __init__(self, window, agg="count", value_column=0,
                  late_policy=LatePolicy.DROP, align="post", k=3,
-                 score_fn=None):
+                 score_fn=None, key_dictionary=None):
         if window < 1:
             raise ValueError("window size must be >= 1")
         if agg != "top-k" and agg not in AGGREGATE_SPECS:
@@ -247,9 +282,17 @@ class GroupedAggregatePlan:
         self.value_column = value_column
         self.late_policy = late_policy
         self.align = align
+        self.key_dictionary = key_dictionary
         # top-k shards run the grouped count; the coordinator finalizes.
         self.spec = AGGREGATE_SPECS["count" if agg == "top-k" else agg]
-        self.finalize = _TopKFinalize(k, score_fn) if agg == "top-k" else None
+        finalize = _TopKFinalize(k, score_fn) if agg == "top-k" else None
+        # String-keyed groups: shards aggregate dictionary codes (plain
+        # int64 keys on the wire); the coordinator decodes the merged
+        # output's keys back to the strings as a last presentation pass.
+        if key_dictionary is not None:
+            finalize = _DecodeKeyFinalize(key_dictionary.values,
+                                          inner=finalize)
+        self.finalize = finalize
 
     def build_executor(self, shard):
         return _GroupedAggregateExecutor(self, shard)

@@ -350,6 +350,16 @@ class _Coordinator:
                 Event, sync, batch.other_times.tolist(),
                 batch.keys.tolist(), payloads,
             ))
+        elif kind == exchange.SDATA:
+            batch = exchange.read_string_batch(payload, copy=True)
+            sync = batch.sync_times.tolist()
+            cols = [col.tolist() for col in batch.payload_columns]
+            cols.extend(col.tolist() for col in batch.string_columns)
+            payloads = list(zip(*cols)) if cols else [()] * len(sync)
+            handle.pending.extend(map(
+                Event, sync, batch.other_times.tolist(),
+                batch.keys.tolist(), payloads,
+            ))
         elif kind == exchange.FDATA:
             sync, other, keys, values = exchange.read_float_batch(payload)
             handle.pending.extend(map(
@@ -412,6 +422,13 @@ class _Coordinator:
 
     def _send_batch(self, shard, batch) -> None:
         handle = self.handles[shard]
+        if batch.string_columns:
+            exchange.write_string_batch(
+                handle.in_ring, batch, pump=self.pump,
+                alive=handle.process.is_alive,
+            )
+            self._note_sent(exchange.SDATA)
+            return
         exchange.write_batch(
             handle.in_ring, batch, pump=self.pump,
             alive=handle.process.is_alive,
@@ -513,6 +530,10 @@ class _Coordinator:
             other = batch.other_times[order]
             keys = batch.keys[order]
             cols = [col[order] for col in batch.payload_columns]
+            # String columns gather through the same permutation; each
+            # shard then ships a contiguous slice (rebased offsets, no
+            # per-row copies).
+            scols = [col.take(order) for col in batch.string_columns]
             for shard in range(self.workers):
                 lo, hi = int(bounds[shard]), int(bounds[shard + 1])
                 if lo == hi:
@@ -521,6 +542,7 @@ class _Coordinator:
                 self._send_batch(shard, EventBatch(
                     sync[lo:hi], other[lo:hi], keys[lo:hi],
                     [col[lo:hi] for col in cols],
+                    string_columns=[col.slice(lo, hi) for col in scols],
                 ))
         self.offset += n
 

@@ -54,7 +54,12 @@ def _parent_alive():
 def _ship(out_ring, items):
     for kind, value in items:
         if kind == "batch":
-            exchange.write_batch(out_ring, value, alive=_parent_alive)
+            if value.string_columns:
+                exchange.write_string_batch(
+                    out_ring, value, alive=_parent_alive
+                )
+            else:
+                exchange.write_batch(out_ring, value, alive=_parent_alive)
         elif kind == "fbatch":
             sync, other, keys, values = value
             exchange.write_float_batch(
@@ -126,6 +131,10 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
                 # Copy out of the ring: the sorter retains the columns
                 # past this frame's slot lifetime.
                 executor.feed_batch(exchange.read_batch(payload, copy=True))
+            elif kind == exchange.SDATA:
+                executor.feed_batch(
+                    exchange.read_string_batch(payload, copy=True)
+                )
             elif kind == exchange.PICKLE:
                 executor.feed_elements(exchange.read_pickled(payload))
             elif kind == exchange.PUNCT:

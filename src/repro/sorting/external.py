@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.errors import PunctuationOrderError, SpillCorruptionError
 from repro.core.late import LateEventTracker, LatePolicy
 from repro.core.stats import SorterStats
+from repro.core.strings import StringColumn
 
 __all__ = [
     "ExternalColumnarSorter",
@@ -65,11 +66,19 @@ _NEG_INF = float("-inf")
 _EMPTY = np.empty(0, dtype=np.int64)
 
 # File layout: one header, then a sequence of framed blocks.  Each block
-# holds ``nrows`` int64 keys, the parallel int64 payload columns, and —
-# for keyed scalar sorters — a pickled list of the original items.
+# holds ``nrows`` int64 keys, the parallel int64 payload columns, then —
+# for string-carrying sorters — each string column as
+# ``u64 arena_len | offsets u32[nrows+1] | arena`` (the
+# :class:`~repro.core.strings.StringColumn` wire format), and — for
+# keyed scalar sorters — a pickled list of the original items.  All of
+# it sits inside the block's CRC frame, so damaged string arenas raise
+# ``SpillCorruptionError`` exactly like damaged int columns.
 _FILE_MAGIC = b"RSPILL01"
 _FILE_HEADER = struct.Struct("<8sII")  # magic, ncols, flags
 _FLAG_OBJECTS = 1
+# The string-column count rides the upper flag bits; files written
+# before strings existed decode with nscols == 0 unchanged.
+_FLAG_NSCOLS_SHIFT = 16
 _BLOCK_MAGIC = 0x4B4C4252  # "RBLK" little-endian
 # magic, nrows, first_key, last_key, payload_nbytes, crc32
 _BLOCK_HEADER = struct.Struct("<IIqqQI")
@@ -276,7 +285,7 @@ def _is_ascending(arr):
     return arr.size < 2 or bool((np.diff(arr) >= 0).all())
 
 
-def _merge_chunk_list(chunks, ncols, has_objects):
+def _merge_chunk_list(chunks, ncols, has_objects, nscols=0):
     """Stable-merge arrival-ordered sorted chunks into one sorted part."""
     if len(chunks) == 1:
         return chunks[0]
@@ -291,33 +300,44 @@ def _merge_chunk_list(chunks, ncols, has_objects):
     if has_objects:
         flat = [obj for c in chunks for obj in c[2]]
         objs = [flat[i] for i in order]
-    return keys, cols, objs
+    scols = tuple(
+        StringColumn.concat([c[3][i] for c in chunks]).take(order)
+        for i in range(nscols)
+    )
+    return keys, cols, objs, scols
 
 
-def _kway_merge(parts, ncols, has_objects):
+def _kway_merge(parts, ncols, has_objects, nscols=0):
     """Loser-tree k-way merge of sorted parts, ties won by lower index.
 
     The winner source emits a galloped slice bounded by the runner-up's
     head key (``searchsorted`` side chosen by tie priority), so the
     Python-level loop runs per *interleaving boundary*, not per element.
+    String columns slice with the same boundaries (arena-sharing views)
+    and concatenate once at the end.
     """
     empty_objs = [] if has_objects else None
+    empty_scols = tuple(StringColumn.empty() for _ in range(nscols))
     parts = [p for p in parts if p[0].size]
     if not parts:
-        return _EMPTY, tuple(_EMPTY for _ in range(ncols)), empty_objs
+        return (
+            _EMPTY, tuple(_EMPTY for _ in range(ncols)), empty_objs,
+            empty_scols,
+        )
     if len(parts) == 1:
-        keys, cols, objs = parts[0]
-        return keys, cols, (list(objs) if has_objects else None)
+        keys, cols, objs, scols = parts[0]
+        return keys, cols, (list(objs) if has_objects else None), scols
     tree = LoserTree([(int(p[0][0]), i) for i, p in enumerate(parts)])
     cursors = [0] * len(parts)
     key_slices = []
     col_slices = [[] for _ in range(ncols)]
     obj_slices = []
+    scol_slices = [[] for _ in range(nscols)]
     while True:
         i = tree.winner
         if i < 0:
             break
-        keys, cols, objs = parts[i]
+        keys, cols, objs, scols = parts[i]
         start = cursors[i]
         bound = tree.runner_up()
         if bound is None:
@@ -333,6 +353,8 @@ def _kway_merge(parts, ncols, has_objects):
             col_slices[c].append(cols[c][start:stop])
         if has_objects:
             obj_slices.append(objs[start:stop])
+        for c in range(nscols):
+            scol_slices[c].append(scols[c].slice(start, stop))
         cursors[i] = stop
         if stop < keys.size:
             tree.advance((int(keys[stop]), i))
@@ -343,7 +365,10 @@ def _kway_merge(parts, ncols, has_objects):
     merged_objs = None
     if has_objects:
         merged_objs = [obj for chunk in obj_slices for obj in chunk]
-    return merged, merged_cols, merged_objs
+    merged_scols = tuple(
+        StringColumn.concat(scol_slices[c]) for c in range(nscols)
+    )
+    return merged, merged_cols, merged_objs, merged_scols
 
 
 class _RunFile:
@@ -356,14 +381,16 @@ class _RunFile:
     """
 
     __slots__ = (
-        "path", "name", "ncols", "objects", "metrics", "length",
-        "read_offset", "row_skip", "tail_key", "closed", "rows", "_fh",
+        "path", "name", "ncols", "nscols", "objects", "metrics", "length",
+        "read_offset", "row_skip", "tail_key", "closed", "rows",
+        "string_bytes", "_fh",
     )
 
-    def __init__(self, path, ncols, objects, metrics):
+    def __init__(self, path, ncols, objects, metrics, nscols=0):
         self.path = path
         self.name = os.path.basename(path)
         self.ncols = int(ncols)
+        self.nscols = int(nscols)
         self.objects = bool(objects)
         self.metrics = metrics
         self.length = _FILE_HEADER.size
@@ -372,13 +399,16 @@ class _RunFile:
         self.tail_key = None
         self.closed = False
         self.rows = 0
+        self.string_bytes = 0
         self._fh = None
 
     @classmethod
-    def create(cls, path, ncols, objects, metrics):
-        run = cls(path, ncols, objects, metrics)
+    def create(cls, path, ncols, objects, metrics, nscols=0):
+        run = cls(path, ncols, objects, metrics, nscols=nscols)
         run._fh = open(path, "w+b")
-        flags = _FLAG_OBJECTS if objects else 0
+        flags = (_FLAG_OBJECTS if objects else 0) | (
+            int(nscols) << _FLAG_NSCOLS_SHIFT
+        )
         header = _FILE_HEADER.pack(_FILE_MAGIC, ncols, flags)
         run._fh.write(header)
         run._fh.flush()
@@ -398,13 +428,14 @@ class _RunFile:
             raise SpillCorruptionError(path, 0, "bad file magic")
         run.ncols = int(ncols)
         run.objects = bool(flags & _FLAG_OBJECTS)
+        run.nscols = int(flags >> _FLAG_NSCOLS_SHIFT)
         return run
 
     @property
     def exhausted(self):
         return self.read_offset >= self.length
 
-    def append(self, keys, cols, objs, block_rows, injector):
+    def append(self, keys, cols, objs, block_rows, injector, scols=()):
         """Append an ascending slice (first key >= tail) as blocks."""
         for start in range(0, int(keys.size), block_rows):
             stop = min(start + block_rows, int(keys.size))
@@ -413,15 +444,21 @@ class _RunFile:
                 tuple(col[start:stop] for col in cols),
                 objs[start:stop] if objs is not None else None,
                 injector,
+                tuple(col.slice(start, stop) for col in scols),
             )
         self.tail_key = int(keys[-1])
         self.rows += int(keys.size)
 
-    def _write_block(self, keys, cols, objs, injector):
+    def _write_block(self, keys, cols, objs, injector, scols=()):
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         payload = keys.tobytes()
         for col in cols:
             payload += np.ascontiguousarray(col, dtype=np.int64).tobytes()
+        for col in scols:
+            framed = bytearray(col.packed_size())
+            col.pack_into(framed)
+            payload += bytes(framed)
+            self.string_bytes += len(framed)
         if self.objects:
             payload += pickle.dumps(
                 list(objs), protocol=pickle.HIGHEST_PROTOCOL
@@ -454,7 +491,8 @@ class _RunFile:
         """Sequentially read and return parts with keys <= ``ts``.
 
         ``ts=None`` reads everything remaining.  Returns a list of
-        ``(keys, cols, objs)`` tuples (consecutive, jointly ascending).
+        ``(keys, cols, objs, scols)`` tuples (consecutive, jointly
+        ascending).
         """
         parts = []
         while self.read_offset < self.length:
@@ -485,7 +523,7 @@ class _RunFile:
                 raise SpillCorruptionError(
                     self.path, offset, "block checksum mismatch"
                 )
-            keys, cols, objs = self._decode(payload, nrows, offset)
+            keys, cols, objs, scols = self._decode(payload, nrows, offset)
             self.metrics.blocks_read += 1
             self.metrics.bytes_read += _BLOCK_HEADER.size + payload_n
             if ts is None or last_key <= ts:
@@ -495,6 +533,7 @@ class _RunFile:
                         keys[skip:],
                         tuple(col[skip:] for col in cols),
                         objs[skip:] if objs is not None else None,
+                        tuple(col.slice(skip, nrows) for col in scols),
                     ))
                 self.read_offset = offset + _BLOCK_HEADER.size + payload_n
                 self.row_skip = 0
@@ -507,6 +546,9 @@ class _RunFile:
                     keys[self.row_skip:split],
                     tuple(col[self.row_skip:split] for col in cols),
                     objs[self.row_skip:split] if objs is not None else None,
+                    tuple(
+                        col.slice(self.row_skip, split) for col in scols
+                    ),
                 ))
                 self.row_skip = split
             break
@@ -522,8 +564,9 @@ class _RunFile:
 
     def _decode(self, payload, nrows, offset):
         fixed = 8 * nrows * (1 + self.ncols)
-        if len(payload) < fixed or (not self.objects
-                                    and len(payload) != fixed):
+        if len(payload) < fixed or (
+            not self.objects and not self.nscols and len(payload) != fixed
+        ):
             raise SpillCorruptionError(
                 self.path, offset, "block payload size mismatch"
             )
@@ -535,10 +578,30 @@ class _RunFile:
             )
             for c in range(self.ncols)
         )
+        scols = []
+        cursor = fixed
+        for _ in range(self.nscols):
+            try:
+                col, cursor = StringColumn.unpack_from(
+                    payload, nrows, cursor
+                )
+            except (struct.error, ValueError) as exc:
+                raise SpillCorruptionError(
+                    self.path, offset, f"bad string column: {exc}"
+                ) from exc
+            if len(col.arena) != int(col.offsets[-1]):
+                raise SpillCorruptionError(
+                    self.path, offset, "string column arena truncated"
+                )
+            scols.append(col)
+        if self.nscols and not self.objects and cursor != len(payload):
+            raise SpillCorruptionError(
+                self.path, offset, "block payload size mismatch"
+            )
         objs = None
         if self.objects:
             try:
-                objs = pickle.loads(payload[fixed:])
+                objs = pickle.loads(payload[cursor:])
             except Exception as exc:
                 raise SpillCorruptionError(
                     self.path, offset, f"bad object payload: {exc}"
@@ -547,7 +610,7 @@ class _RunFile:
                 raise SpillCorruptionError(
                     self.path, offset, "object payload length mismatch"
                 )
-        return keys, cols, objs
+        return keys, cols, objs, tuple(scols)
 
     def close_handle(self):
         if self._fh is not None:
@@ -577,14 +640,18 @@ class ExternalRunPool:
     """
 
     def __init__(self, budget_bytes, columns=0, objects=False,
-                 spill_dir=None, injector=None, metrics=None):
+                 spill_dir=None, injector=None, metrics=None,
+                 string_columns=0):
         budget = int(budget_bytes)
         if budget < 1:
             raise ValueError("memory budget must be at least 1 byte")
         if columns < 0:
             raise ValueError("columns must be >= 0")
+        if string_columns < 0:
+            raise ValueError("string_columns must be >= 0")
         self.budget = budget
         self.columns = int(columns)
+        self.string_columns = int(string_columns)
         self.objects = bool(objects)
         self.bytes_per_row = 8 * (1 + self.columns) + (
             _OBJECT_NOMINAL_BYTES if objects else 0
@@ -602,8 +669,9 @@ class ExternalRunPool:
         self.injector = injector
         self.metrics = metrics if metrics is not None else \
             SpillMetrics(budget)
-        self._chunks = []  # arrival-ordered (keys, cols, objs), ascending
+        self._chunks = []  # arrival-ordered (keys, cols, objs, scols)
         self._rows = 0
+        self._sbytes = 0   # buffered string bytes (arenas + offsets)
         self._runs = []    # _RunFile in creation order; last may be open
         self._run_seq = 0
 
@@ -613,7 +681,10 @@ class ExternalRunPool:
 
     @property
     def buffered_bytes(self):
-        return self._rows * self.bytes_per_row
+        # String arenas count against the budget at their true size —
+        # that is what makes byte-identity hold at ANY budget: spilling
+        # is triggered by real memory pressure, not a row-count proxy.
+        return self._rows * self.bytes_per_row + self._sbytes
 
     @property
     def run_count(self):
@@ -623,22 +694,24 @@ class ExternalRunPool:
     def runs(self):
         return tuple(self._runs)
 
-    def insert_sorted(self, keys, cols=(), objs=None):
+    def insert_sorted(self, keys, cols=(), objs=None, scols=()):
         """Ingest one ascending chunk (keys int64, parallel columns)."""
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         if keys.size == 0:
             return
-        self._chunks.append((keys, tuple(cols), objs))
+        scols = tuple(scols)
+        self._chunks.append((keys, tuple(cols), objs, scols))
         self._rows += int(keys.size)
+        self._sbytes += sum(col.nbytes for col in scols)
         if self.buffered_bytes > self.budget:
             self._spill()
         self.metrics.note_buffered(self.buffered_bytes)
 
     def _spill(self):
-        keys, cols, objs = _merge_chunk_list(
-            self._chunks, self.columns, self.objects
+        keys, cols, objs, scols = _merge_chunk_list(
+            self._chunks, self.columns, self.objects, self.string_columns
         )
-        self._chunks, self._rows = [], 0
+        self._chunks, self._rows, self._sbytes = [], 0, 0
         run = None
         if self._runs and not self._runs[-1].closed:
             run = self._runs[-1]
@@ -657,17 +730,26 @@ class ExternalRunPool:
                     objs[split:] if objs is not None else None,
                     self.block_rows,
                     self.injector,
+                    tuple(
+                        col.slice(split, len(col)) for col in scols
+                    ),
                 )
-                self.metrics.run_bytes[run.name] = \
-                    run.rows * self.bytes_per_row
+                self.metrics.run_bytes[run.name] = (
+                    run.rows * self.bytes_per_row + run.string_bytes
+                )
             if split == 0:
                 break
             keys = keys[:split]
             cols = tuple(col[:split] for col in cols)
             objs = objs[:split] if objs is not None else None
-            if keys.size * self.bytes_per_row <= self.budget:
-                self._chunks = [(keys, cols, objs)]
+            scols = tuple(col.slice(0, split) for col in scols)
+            residue_bytes = keys.size * self.bytes_per_row + sum(
+                col.nbytes for col in scols
+            )
+            if residue_bytes <= self.budget:
+                self._chunks = [(keys, cols, objs, scols)]
                 self._rows = int(keys.size)
+                self._sbytes = sum(col.nbytes for col in scols)
                 break
             # Residue alone overflows: retire the run; a fresh one
             # (empty tail) absorbs everything on the next pass.
@@ -679,7 +761,7 @@ class ExternalRunPool:
         self._run_seq += 1
         run = _RunFile.create(
             self.directory.file_path(name), self.columns, self.objects,
-            self.metrics,
+            self.metrics, nscols=self.string_columns,
         )
         self._runs.append(run)
         self.metrics.runs_spilled += 1
@@ -688,9 +770,9 @@ class ExternalRunPool:
     def cut(self, ts):
         """Emit everything with key <= ``ts`` (None = everything), sorted.
 
-        Returns ``(keys, cols, objs)``.  Spilled runs stream back with
-        sequential block reads in creation order; exhausted run files
-        are deleted on the spot.
+        Returns ``(keys, cols, objs, scols)``.  Spilled runs stream back
+        with sequential block reads in creation order; exhausted run
+        files are deleted on the spot.
         """
         parts = []
         sources = 0
@@ -712,6 +794,12 @@ class ExternalRunPool:
                         ),
                         [o for p in run_parts for o in p[2]]
                         if self.objects else None,
+                        tuple(
+                            StringColumn.concat(
+                                [p[3][c] for p in run_parts]
+                            )
+                            for c in range(self.string_columns)
+                        ),
                     ))
             if ts is None or run.exhausted:
                 run.delete()
@@ -721,7 +809,8 @@ class ExternalRunPool:
         mem_parts = []
         kept = []
         rows = 0
-        for keys, cols, objs in self._chunks:
+        sbytes = 0
+        for keys, cols, objs, scols in self._chunks:
             split = int(keys.size) if ts is None else int(
                 np.searchsorted(keys, ts, side="right")
             )
@@ -730,26 +819,35 @@ class ExternalRunPool:
                     keys[:split],
                     tuple(col[:split] for col in cols),
                     objs[:split] if objs is not None else None,
+                    tuple(col.slice(0, split) for col in scols),
                 ))
             if split < keys.size:
+                kept_scols = tuple(
+                    col.slice(split, len(col)) for col in scols
+                )
                 kept.append((
                     keys[split:],
                     tuple(col[split:] for col in cols),
                     objs[split:] if objs is not None else None,
+                    kept_scols,
                 ))
                 rows += int(keys.size) - split
+                sbytes += sum(col.nbytes for col in kept_scols)
         self._chunks = kept
         self._rows = rows
+        self._sbytes = sbytes
         if mem_parts:
             sources += 1
             parts.append(_merge_chunk_list(
-                mem_parts, self.columns, self.objects
+                mem_parts, self.columns, self.objects, self.string_columns
             ))
         if parts:
             self.metrics.merges += 1
             self.metrics.note_fan_in(sources)
         self.metrics.note_buffered(self.buffered_bytes)
-        return _kway_merge(parts, self.columns, self.objects)
+        return _kway_merge(
+            parts, self.columns, self.objects, self.string_columns
+        )
 
     def close(self):
         """Delete every remaining run file and release the directory."""
@@ -758,6 +856,7 @@ class ExternalRunPool:
         self._runs = []
         self._chunks = []
         self._rows = 0
+        self._sbytes = 0
         if self._owns_dir:
             self.directory.cleanup()
 
@@ -771,15 +870,19 @@ class ExternalColumnarSorter:
     """
 
     def __init__(self, budget_bytes, late_policy=LatePolicy.DROP,
-                 columns=0, spill_dir=None, injector=None):
+                 columns=0, spill_dir=None, injector=None,
+                 string_columns=0):
         if columns < 0:
             raise ValueError("columns must be >= 0")
+        if string_columns < 0:
+            raise ValueError("string_columns must be >= 0")
         self.stats = SorterStats()
         self.late = LateEventTracker(late_policy)
         self.columns = int(columns)
+        self.string_columns = int(string_columns)
         self.pool = ExternalRunPool(
             budget_bytes, columns=self.columns, spill_dir=spill_dir,
-            injector=injector,
+            injector=injector, string_columns=self.string_columns,
         )
         self._watermark = _NEG_INF
         self._has_watermark = False
@@ -808,7 +911,7 @@ class ExternalColumnarSorter:
     def spill_doc(self):
         return self.pool.metrics.as_dict()
 
-    def insert_batch(self, values, columns=()):
+    def insert_batch(self, values, columns=(), string_columns=()):
         """Ingest one arrival-order batch of timestamps (+ columns)."""
         arr = np.asarray(values, dtype=np.int64)
         if arr.ndim != 1:
@@ -818,9 +921,21 @@ class ExternalColumnarSorter:
                 f"expected {self.columns} payload columns, "
                 f"got {len(columns)}"
             )
+        if len(string_columns) != self.string_columns:
+            raise ValueError(
+                f"expected {self.string_columns} string columns, "
+                f"got {len(string_columns)}"
+            )
         cols = tuple(np.asarray(col, dtype=np.int64) for col in columns)
         if any(col.shape != arr.shape for col in cols):
             raise ValueError("payload columns must parallel the timestamps")
+        scols = tuple(
+            col if isinstance(col, StringColumn)
+            else StringColumn.from_values(col)
+            for col in string_columns
+        )
+        if any(len(col) != arr.size for col in scols):
+            raise ValueError("string columns must parallel the timestamps")
         if arr.size == 0:
             return 0
         if self._has_watermark:
@@ -838,15 +953,18 @@ class ExternalColumnarSorter:
                         self.late.admit(int(value), self._watermark)
                     for _ in range(n_late - 1):
                         self.late.admit(None, self._watermark)
-                    arr = arr[~late_mask]
-                    cols = tuple(col[~late_mask] for col in cols)
+                    keep = ~late_mask
+                    arr = arr[keep]
+                    cols = tuple(col[keep] for col in cols)
+                    scols = tuple(col.filter(keep) for col in scols)
                     if arr.size == 0:
                         return 0
         if not _is_ascending(arr):
             order = np.argsort(arr, kind="stable")
             arr = arr[order]
             cols = tuple(col[order] for col in cols)
-        self.pool.insert_sorted(arr, cols)
+            scols = tuple(col.take(order) for col in scols)
+        self.pool.insert_sorted(arr, cols, scols=scols)
         self.stats.inserted += int(arr.size)
         self.stats.runs_created = self.pool.metrics.runs_spilled
         self.stats.note_buffered()
@@ -865,7 +983,7 @@ class ExternalColumnarSorter:
         return self._emit(self.pool.cut(None))
 
     def _emit(self, cut):
-        merged, cols, _ = cut
+        merged, cols, _, scols = cut
         if merged.size:
             self.stats.merges += 1
             self.stats.merge_events += int(merged.size)
@@ -874,6 +992,8 @@ class ExternalColumnarSorter:
             self.pool.metrics.runs_spilled - self.pool.run_count
         )
         self.stats.sample_runs(self.pool.run_count)
+        if self.string_columns:
+            return merged, cols, scols
         if self.columns:
             return merged, cols
         return merged
@@ -991,7 +1111,7 @@ class ExternalImpatienceSorter:
         return self._emit(self.pool.cut(None))
 
     def _emit(self, cut):
-        keys, _, objs = cut
+        keys, _, objs, _ = cut
         if keys.size:
             self.stats.merges += 1
             self.stats.merge_events += int(keys.size)

@@ -9,6 +9,10 @@ from repro.workloads.simulation import (
     simulate_androidlog,
     simulate_cloudlog,
 )
+from repro.workloads.strings import (
+    generate_androidlog_strings,
+    generate_cloudlog_strings,
+)
 from repro.workloads.synthetic import generate_synthetic
 
 __all__ = [
@@ -16,7 +20,9 @@ __all__ = [
     "DEFAULT_N",
     "Dataset",
     "generate_androidlog",
+    "generate_androidlog_strings",
     "generate_cloudlog",
+    "generate_cloudlog_strings",
     "generate_synthetic",
     "load_dataset",
     "load_dataset_csv",

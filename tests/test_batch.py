@@ -20,8 +20,26 @@ def small_batch():
 
 class TestConstruction:
     def test_mismatched_columns_rejected(self):
-        with pytest.raises(ValueError, match="equal length"):
+        # The error names the offending column and both lengths.
+        with pytest.raises(
+            ValueError, match=r"'keys' has length 1, expected 2"
+        ):
             EventBatch([1, 2], [2, 3], [0], [[1, 2]])
+
+    def test_mismatched_payload_column_named(self):
+        with pytest.raises(
+            ValueError,
+            match=r"'payload_columns\[1\]' has length 3, expected 2",
+        ):
+            EventBatch([1, 2], [2, 3], [0, 1], [[1, 2], [1, 2, 3]])
+
+    def test_mismatched_string_column_named(self):
+        with pytest.raises(
+            ValueError,
+            match=r"'string_columns\[0\]' has length 3, expected 2",
+        ):
+            EventBatch([1, 2], [2, 3], [0, 1], [],
+                       string_columns=[[b"a", b"b", b"c"]])
 
     def test_from_dataset_roundtrip(self, synthetic_small):
         batch = EventBatch.from_dataset(synthetic_small)

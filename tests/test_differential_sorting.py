@@ -333,6 +333,119 @@ class TestExternalDifferential:
         assert_stats_consistent(sorter, reference, len(values))
 
 
+class TestStringKeyDifferential:
+    """String keys through the same differential harness: the integer
+    streams are mapped through an order-preserving ``int -> bytes``
+    rendering (fixed-width service names), so the reference model's
+    arithmetic-free clauses — buffering, late policies, ``sorted()`` —
+    apply verbatim to bytes and every merge strategy (including the
+    OVC-annotated ``"ovc"`` pool) must match it batch by batch."""
+
+    @staticmethod
+    def _render(value):
+        # Fixed-width digits keep bytes order == int order, and the
+        # long shared prefix is the regime OVC codes exist for.
+        return b"prod.svc.zone-0.host-%06d" % value
+
+    def _string_elements(self, elements):
+        return [
+            (kind, self._render(value)) for kind, value in elements
+        ]
+
+    @pytest.mark.parametrize("merge", MERGES)
+    @pytest.mark.parametrize("policy", KEPT_POLICIES)
+    @pytest.mark.parametrize("disorder", [0.0, 0.3])
+    def test_matches_reference(self, merge, policy, disorder):
+        seed = len(repr((merge, policy.value, disorder)))
+        elements = self._string_elements(make_stream(
+            seed=seed, n=400, disorder_fraction=disorder,
+            duplicate_density=0.25,
+        ))
+        attempted = sum(1 for kind, _ in elements if kind == "event")
+        sorter, reference = run_differential(elements, policy, merge)
+        assert_stats_consistent(sorter, reference, attempted)
+
+    @pytest.mark.parametrize("merge", MERGES)
+    def test_matches_reference_batched_ingress(self, merge):
+        elements = self._string_elements(make_stream(
+            seed=7, n=400, disorder_fraction=0.2, duplicate_density=0.1,
+        ))
+        attempted = sum(1 for kind, _ in elements if kind == "event")
+        sorter, reference = run_differential(
+            elements, LatePolicy.DROP, merge, use_extend=True
+        )
+        assert_stats_consistent(sorter, reference, attempted)
+
+    def test_dictionary_codes_reproduce_byte_order(self):
+        """Sorting dictionary codes (the engine's int path) and decoding
+        equals sorting the raw bytes: the order-preserving contract the
+        whole string-key design rests on."""
+        from repro.core.strings import StringDictionary
+
+        elements = make_stream(seed=19, n=400, disorder_fraction=0.3,
+                               duplicate_density=0.3)
+        values = [self._render(v) for kind, v in elements
+                  if kind == "event"]
+        d = StringDictionary(values)
+        by_code = [d.decode(c) for c in sorted(d.encode(values))]
+        assert by_code == sorted(values)
+
+    @pytest.mark.parametrize("budget", [256, 16 * 1024])
+    def test_budgeted_string_columns_byte_identical(self, budget):
+        """The columnar sorter carrying a string column under a hard
+        budget (spilled CRC-framed string blocks) reproduces the
+        unbudgeted output byte for byte."""
+        import numpy as np
+
+        from repro.core.columnar import ColumnarImpatienceSorter
+        from repro.core.strings import StringColumn
+        from repro.sorting.external import ExternalColumnarSorter
+
+        elements = make_stream(seed=23, n=600, disorder_fraction=0.3,
+                               duplicate_density=0.2)
+        times = np.asarray(
+            [v for kind, v in elements if kind == "event"],
+            dtype=np.int64,
+        )
+        column = StringColumn.from_values(
+            [self._render(int(v)) for v in times]
+        )
+        puncts = sorted({v for kind, v in elements if kind == "punct"})
+
+        def drive(sorter):
+            outputs = []
+            step = max(len(times) // (len(puncts) + 1), 1)
+            cursor = 0
+            for i, start in enumerate(range(0, len(times), step)):
+                stop = min(start + step, len(times))
+                sorter.insert_batch(
+                    times[start:stop],
+                    string_columns=(column.slice(start, stop),),
+                )
+                if cursor < len(puncts):
+                    outputs.append(sorter.on_punctuation(puncts[cursor]))
+                    cursor += 1
+            outputs.append(sorter.flush())
+            return outputs
+
+        baseline = drive(ColumnarImpatienceSorter(string_columns=1))
+        external = ExternalColumnarSorter(budget, string_columns=1)
+        try:
+            got = drive(external)
+            spill = external.spill_doc()
+        finally:
+            external.close()
+        assert len(got) == len(baseline)
+        for g, w in zip(got, baseline):
+            assert np.array_equal(g[0], w[0])
+            for gc, wc in zip(g[2], w[2]):
+                assert gc.arena == wc.arena
+                assert np.array_equal(gc.offsets, wc.offsets)
+        assert spill["peak_buffered_bytes"] <= budget
+        if budget <= 256:
+            assert spill["runs_spilled"] > 0
+
+
 class TestPropertyDifferential:
     """Hypothesis-driven version: arbitrary interleavings, not just the
     generator's punctuate-every-k schedule."""

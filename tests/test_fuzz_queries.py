@@ -26,8 +26,25 @@ from repro.core.errors import LateEventError
 from repro.core.late import LatePolicy
 from repro.engine import DisorderedStreamable, QueryPlan
 from repro.engine.event import Event
-from repro.engine.kernels import field, key_field, sync_field
+from repro.core.strings import StringDictionary
+from repro.engine.kernels import (
+    field,
+    field_str_eq,
+    field_str_prefix,
+    key_field,
+    key_str_eq,
+    key_str_prefix,
+    sync_field,
+)
 from repro.engine.operators.aggregates import Avg, Count, Max, Min, Sum
+
+#: Six service names whose dense dictionary codes 0..5 coincide with the
+#: fuzz events' ``key = t % 6`` — string predicates lower to plain int
+#: comparisons over exactly the key domain the streams populate.
+_SERVICES = StringDictionary([
+    b"auth.api", b"auth.web", b"billing.core", b"billing.jobs",
+    b"cart.svc", b"search.svc",
+])
 
 # -- stage pool -------------------------------------------------------------
 
@@ -192,9 +209,18 @@ def _p_project(plan):
     return plan.select_columns((0, 1))
 
 
+def _p_where_str_key(plan):
+    return plan.where(key_str_eq(_SERVICES, b"billing.core"))
+
+
+def _p_where_str_prefix(plan):
+    return plan.where(key_str_prefix(_SERVICES, b"auth."))
+
+
 PLAN_PRE = st.lists(
     st.sampled_from([
         _p_where_payload, _p_where_key, _p_where_sync, _p_project,
+        _p_where_str_key, _p_where_str_prefix,
     ]),
     max_size=2,
 )
@@ -472,6 +498,20 @@ CANONICAL_CORPUS = {
                                    .group_apply(
                                        lambda s: s.where(field(0) > 10))),
     "raw-top-k": lambda: QueryPlan().tumbling_window(8).sort().top_k(2),
+    # String predicates lower to dictionary-code int comparisons and
+    # must stay on the columnar path (PR: string keys end-to-end).
+    "string-key-eq": lambda: (
+        QueryPlan().where(key_str_eq(_SERVICES, b"cart.svc"))
+        .tumbling_window(8).sort().count()),
+    "string-key-prefix": lambda: (
+        QueryPlan().where(key_str_prefix(_SERVICES, b"billing."))
+        .tumbling_window(8).sort().group_aggregate(Count())),
+    "string-field-eq": lambda: (
+        QueryPlan().where(field_str_eq(1, _SERVICES, b"auth.web"))
+        .tumbling_window(8).sort().aggregate(Sum(field(0)))),
+    "string-field-prefix": lambda: (
+        QueryPlan().where(field_str_prefix(1, _SERVICES, b"search."))
+        .tumbling_window(8).sort().count()),
     # Genuinely uncompilable: opaque Python callables and custom sorters.
     "lambda-where": lambda: (QueryPlan().where(_opaque_where)
                              .tumbling_window(8).sort().count()),
