@@ -1,0 +1,430 @@
+"""Adaptive worker autoscaling vs peak-provisioned fixed pools.
+
+The headline measurement for the elastic shard runtime (see
+``docs/parallelism.md`` §Autoscaling): a bursty 500k-event cloudlog
+workload — long quiet phases around a heavy middle burst, the traffic
+shape fixed pools cannot size for — run three ways through the same
+coordinator and compiled grouped-sum plan:
+
+``fixed-wN``
+    Fixed pools across the sweep, including the *peak-provisioned*
+    pool (``W_MAX``, what you'd deploy to survive the burst).
+
+``auto``
+    ``--parallel auto:1-W_MAX``: the coordinator grows the pool at the
+    burst and retires workers when traffic drains, moving state by
+    checkpoint handoff at punctuation barriers.
+
+Every timed run is multiset-equivalence-checked against the 1-worker
+output (shard tie order in the merged stream legitimately varies across
+pool sizes; the event multiset and the punctuation sequence never do) —
+a throughput number obtained by dropping events can never be recorded.
+
+Acceptance bars (asserted on canonical full runs), both against the
+peak-provisioned pool — the fixed deployment the autoscaler replaces
+(on an oversubscribed single-core host, *smaller* fixed pools beat
+``W_MAX`` on wall clock, so "best fixed" would reward never scaling up
+at all; the operationally honest baseline is the pool you would have to
+run to survive the burst):
+
+* ``auto`` throughput >= 90% of the ``fixed-wW_MAX`` pool's (the
+  autoscaler must ride the burst, not trail it);
+* ``auto`` worker-seconds <= 70% of the ``fixed-wW_MAX`` pool's (the
+  point of elasticity: don't pay W_MAX all day for a one-phase burst);
+* equivalence on every run (always, smoke included).
+
+A second section measures the ring idle-spin fix that feeds the
+autoscaler's stall telemetry: the same quiet-heavy-quiet stream on a
+2-worker fixed pool with the hot-then-backoff-then-**park** wait
+enabled vs disabled (``repro.parallel.shm.PARK_ENABLED``), recording
+summed worker CPU seconds from the STATS frames — parked waits burn
+measurably less CPU during the quiet phases.
+
+``python -m benchmarks.bench_autoscale`` writes
+``BENCH_autoscale.json``; the file is only refreshed at the canonical
+``DEFAULT_N`` so a quick ``--n`` pass can't replace the
+regression-tracking baseline with a toy trajectory.  ``--smoke`` runs a
+seconds-scale subset for CI and skips the JSON write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.late import LatePolicy
+from repro.engine import QueryPlan
+from repro.engine.batch import EventBatch
+from repro.engine.event import Punctuation
+from repro.engine.kernels import field
+from repro.engine.operators.aggregates import Sum
+from repro.parallel import (
+    AutoscalePolicy,
+    CompiledShardPlan,
+    run_parallel,
+)
+from repro.parallel import shm
+from repro.workloads import load_dataset
+
+DEFAULT_N = 500_000
+W_MAX = 4
+FIXED_SWEEP = (1, 2, W_MAX)
+TRIALS = 3
+ROUNDS = 60
+HEAVY = range(20, 32)       # the burst: rounds 20..31
+HEAVY_SHARE = 0.55          # fraction of events inside the burst
+BATCH_SIZE = 65_536
+RING_CAPACITY = 1 << 21
+RESULTS_PATH = "BENCH_autoscale.json"
+
+SMOKE_N = 20_000
+SMOKE_TRIALS = 1
+SMOKE_ROUNDS = 16
+SMOKE_HEAVY = range(6, 10)
+
+# Policy watermarks are per-round event counts; derive from the
+# workload so the trajectory is the same at any n.
+COOLDOWN = 1
+
+
+def _bursty_ingress(n, rounds=ROUNDS, heavy=HEAVY):
+    """Quiet/burst/quiet columnar ingress with one punctuation per round.
+
+    Events are dealt onto a round-robin timestamp grid inside each
+    round's 1000-tick span, so every pool size sees the same late set
+    (none — the punctuation trails the round) and the same per-round
+    volume, which is what the policy's watermarks key on.  The
+    punctuation lands exactly on the window boundary, flushing each
+    round's window before the barrier — rescale handoffs ship group
+    remnants, not a full round of buffered events, which is how a real
+    deployment would schedule them too.
+    """
+    dataset = load_dataset("cloudlog", n)
+    keys = np.asarray(dataset.keys, dtype=np.int64)
+    n_heavy = int(n * HEAVY_SHARE)
+    heavy_rounds = len(list(heavy))
+    quiet_rounds = rounds - heavy_rounds
+    per_heavy = n_heavy // heavy_rounds
+    per_quiet = (n - per_heavy * heavy_rounds) // quiet_rounds
+    out = []
+    cursor = 0
+    span = 1_000
+    for rnd in range(rounds):
+        count = per_heavy if rnd in heavy else per_quiet
+        count = min(count, n - cursor)
+        if count > 0:
+            k = keys[cursor:cursor + count]
+            ts = rnd * span + (
+                np.arange(count, dtype=np.int64) * 7919 % span
+            )
+            out.append(EventBatch(ts, ts + 1, k, [k % 13, ts % 23]))
+            cursor += count
+        out.append(Punctuation((rnd + 1) * span))
+    return out, per_heavy, per_quiet
+
+
+def _plan():
+    return CompiledShardPlan(
+        QueryPlan()
+        .tumbling_window(1_000)
+        .sort(late_policy=LatePolicy.DROP)
+        .group_aggregate(Sum(field(1)))
+    )
+
+
+def _policy(per_heavy, per_quiet):
+    """Watermarks between the two phase volumes: grow at the burst,
+    shrink in the quiet — deterministic (stall override disabled).
+
+    ``high`` sits between the quiet per-round volume (no growth while
+    quiet) and ``per_heavy / (W_MAX - 1)`` (every grow step up to
+    ``W_MAX`` still sees per-worker volume above it during the burst);
+    ``low`` between ``per_quiet / 2`` (a 2-pool in the quiet phase
+    shrinks) and ``per_heavy / W_MAX`` (the full pool holds through the
+    burst).  Midpoints of those bands keep the trajectory stable under
+    integer-division jitter in the round volumes."""
+    high = (per_quiet + per_heavy // (W_MAX - 1)) // 2
+    low = (per_quiet // 2 + per_heavy // W_MAX) // 2
+    return AutoscalePolicy(
+        1, W_MAX, high=float(high), low=float(low),
+        cooldown=COOLDOWN, stall_high=1e9,
+    )
+
+
+def _multiset(result):
+    return sorted(
+        (e.sync_time, e.key, e.payload) for e in result.events
+    )
+
+
+def _timed(ingress, n, workers, autoscale=None):
+    start = time.perf_counter()
+    result = run_parallel(
+        iter(ingress), _plan(), workers,
+        batch_size=BATCH_SIZE, ring_capacity=RING_CAPACITY,
+        autoscale=autoscale,
+    )
+    elapsed = time.perf_counter() - start
+    return n / elapsed, elapsed, result
+
+
+def _worker_seconds(result, workers, elapsed):
+    """Pool-seconds paid for the run.
+
+    Fixed pools pay ``workers`` for the whole wall; an autoscaled run
+    pays the per-round ``workers x wall`` integral the coordinator
+    accrues, plus the final pool across the drain tail the signal trace
+    doesn't cover."""
+    autoscale = result.parallel.get("autoscale")
+    if autoscale is None:
+        return workers * elapsed
+    signal_wall = sum(s["wall_s"] for s in autoscale["signals"])
+    tail = max(0.0, elapsed - signal_wall)
+    return autoscale["worker_seconds"] + autoscale["final_workers"] * tail
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def run_comparison(n=DEFAULT_N, trials=TRIALS, rounds=ROUNDS,
+                   heavy=HEAVY):
+    ingress, per_heavy, per_quiet = _bursty_ingress(n, rounds, heavy)
+    entries = []
+    reference = None
+    eps_by_leg = {}
+    ws_by_leg = {}
+    config = {
+        "n": n, "dataset": "cloudlog", "rounds": rounds,
+        "burst_rounds": len(list(heavy)), "per_heavy": per_heavy,
+        "per_quiet": per_quiet, "trials": trials,
+    }
+    for workers in FIXED_SWEEP:
+        eps_samples, ws_samples = [], []
+        for _ in range(trials):
+            eps, elapsed, result = _timed(ingress, n, workers)
+            key = _multiset(result)
+            if reference is None:
+                reference = key
+            elif key != reference:
+                raise AssertionError(
+                    f"fixed-w{workers} diverged from fixed-w1"
+                )
+            eps_samples.append(eps)
+            ws_samples.append(_worker_seconds(result, workers, elapsed))
+        eps_by_leg[f"fixed-w{workers}"] = _median(eps_samples)
+        ws_by_leg[f"fixed-w{workers}"] = _median(ws_samples)
+        entries.append({
+            "name": f"fixed-w{workers}",
+            "config": dict(config, workers=workers, mode="fixed"),
+            "events_per_sec": round(_median(eps_samples), 1),
+            "worker_seconds": round(_median(ws_samples), 3),
+        })
+    eps_samples, ws_samples, rescale_counts = [], [], []
+    trajectory = None
+    for _ in range(trials):
+        schedule = []
+        policy = _policy(per_heavy, per_quiet)
+        start = time.perf_counter()
+        result = run_parallel(
+            iter(ingress), _plan(), 1,
+            batch_size=BATCH_SIZE, ring_capacity=RING_CAPACITY,
+            autoscale=policy, rescale_schedule=schedule,
+        )
+        elapsed = time.perf_counter() - start
+        if _multiset(result) != reference:
+            raise AssertionError("autoscaled run diverged from fixed-w1")
+        eps_samples.append(n / elapsed)
+        ws_samples.append(_worker_seconds(result, 1, elapsed))
+        rescale_counts.append(len(schedule))
+        trajectory = [1] + [entry["workers"] for entry in schedule]
+    auto_eps = _median(eps_samples)
+    auto_ws = _median(ws_samples)
+    entries.append({
+        "name": "auto",
+        "config": dict(
+            config, workers=f"auto:1-{W_MAX}", mode="autoscale",
+        ),
+        "events_per_sec": round(auto_eps, 1),
+        "worker_seconds": round(auto_ws, 3),
+        "rescales": int(_median(rescale_counts)),
+        "trajectory": trajectory,
+        "throughput_vs_peak_pool": round(
+            auto_eps / eps_by_leg[f"fixed-w{W_MAX}"], 3
+        ),
+        "worker_seconds_vs_peak_pool": round(
+            auto_ws / ws_by_leg[f"fixed-w{W_MAX}"], 3
+        ),
+    })
+    return entries
+
+
+def run_park_comparison(n, rounds=ROUNDS, heavy=HEAVY):
+    """Worker CPU with the parkable ring wait on vs off (fixed 2-pool).
+
+    ``PARK_ENABLED`` is consulted at wait time and workers fork at run
+    start, so toggling the module flag between runs is race-free."""
+    ingress, _, _ = _bursty_ingress(n, rounds, heavy)
+    entries = []
+    saved = shm.PARK_ENABLED
+    try:
+        for park in (True, False):
+            shm.PARK_ENABLED = park
+            _, elapsed, result = _timed(ingress, n, 2)
+            cpu = sum(
+                s["cpu_s"] for s in result.parallel["shards"] if s
+            )
+            parks = sum(
+                s["ring_wait"]["parks"]
+                for s in result.parallel["shards"] if s
+            )
+            entries.append({
+                "name": "park-on" if park else "park-off",
+                "config": {"n": n, "workers": 2, "park": park},
+                "worker_cpu_s": round(cpu, 3),
+                "parks": parks,
+                "wall_s": round(elapsed, 3),
+            })
+    finally:
+        shm.PARK_ENABLED = saved
+    on, off = entries[0], entries[1]
+    on["idle_cpu_reduction"] = round(
+        1.0 - on["worker_cpu_s"] / max(off["worker_cpu_s"], 1e-9), 3
+    )
+    return entries
+
+
+def check_bars(entries):
+    auto = next(e for e in entries if e["name"] == "auto")
+    assert auto["throughput_vs_peak_pool"] >= 0.9, (
+        f"autoscaled throughput {auto['throughput_vs_peak_pool']:.2f}x "
+        f"of the fixed-w{W_MAX} pool; bar is 0.9x"
+    )
+    assert auto["worker_seconds_vs_peak_pool"] <= 0.7, (
+        f"autoscaled worker-seconds {auto['worker_seconds_vs_peak_pool']:.2f}x "
+        f"of the fixed-w{W_MAX} pool; bar is 0.7x"
+    )
+    assert auto["rescales"] >= 2, "pool never grew and shrank"
+
+
+def write_results(entries, park_entries, path=RESULTS_PATH):
+    with open(path, "w") as fh:
+        json.dump(
+            {
+                "benchmark": "autoscale",
+                "results": entries,
+                "ring_park": park_entries,
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+
+
+def _print_tables(entries, park_entries, n):
+    rows = [
+        [
+            entry["name"],
+            entry["config"]["workers"],
+            round(entry["events_per_sec"] / 1e6, 3),
+            entry["worker_seconds"],
+            entry.get("rescales", "-"),
+            "→".join(map(str, entry["trajectory"]))
+            if "trajectory" in entry else "-",
+        ]
+        for entry in entries
+    ]
+    print(format_table(
+        ["run", "workers", "M events/s", "worker-s", "rescales",
+         "trajectory"],
+        rows,
+        title=(
+            f"Autoscaled vs fixed pools (cloudlog {n}, bursty, "
+            "grouped sum, equivalence-checked)"
+        ),
+    ))
+    if park_entries:
+        print()
+        print(format_table(
+            ["run", "worker cpu s", "parks", "wall s"],
+            [
+                [e["name"], e["worker_cpu_s"], e["parks"], e["wall_s"]]
+                for e in park_entries
+            ],
+            title="Ring wait: park vs pure spin (fixed 2-pool)",
+        ))
+        print(
+            "idle-cpu reduction with parking: "
+            f"{park_entries[0]['idle_cpu_reduction']:.1%}"
+        )
+
+
+def report(n=None):
+    """Report-section entry point; refreshes the JSON only at the
+    canonical ``DEFAULT_N``."""
+    n = n or DEFAULT_N
+    entries = run_comparison(n)
+    park_entries = run_park_comparison(n)
+    _print_tables(entries, park_entries, n)
+    if n == DEFAULT_N:
+        check_bars(entries)
+        write_results(entries, park_entries)
+        print(f"wrote {RESULTS_PATH}")
+    else:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} "
+              "write")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"stream length (default {DEFAULT_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small stream, one trial, no JSON "
+                             "write — exercises the rescale machinery "
+                             "and the equivalence assert only")
+    parser.add_argument("--json", default=None,
+                        help=f"results path (default {RESULTS_PATH}; "
+                             "ignored with --smoke unless given)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n = args.n or SMOKE_N
+        entries = run_comparison(
+            n, SMOKE_TRIALS, SMOKE_ROUNDS, SMOKE_HEAVY
+        )
+        park_entries = run_park_comparison(
+            n, SMOKE_ROUNDS, SMOKE_HEAVY
+        )
+        _print_tables(entries, park_entries, n)
+        auto = next(e for e in entries if e["name"] == "auto")
+        assert auto["rescales"] >= 2, "smoke run never rescaled"
+        if args.json:
+            write_results(entries, park_entries, args.json)
+            print(f"wrote {args.json}")
+        print("smoke OK")
+        return
+    n = args.n or DEFAULT_N
+    entries = run_comparison(n)
+    park_entries = run_park_comparison(n)
+    _print_tables(entries, park_entries, n)
+    if n == DEFAULT_N:
+        check_bars(entries)
+    if args.json is None and n != DEFAULT_N:
+        print(f"n={n} != default {DEFAULT_N}; skipping {RESULTS_PATH} "
+              "write (pass --json PATH to record a non-canonical run)")
+        return
+    path = args.json or RESULTS_PATH
+    write_results(entries, park_entries, path)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -400,6 +400,24 @@ def _run_parallel_cli(args, dataset, latency, window):
               "recovery)", file=sys.stderr)
         return 2
 
+    from repro.parallel import parse_parallel_spec
+
+    try:
+        workers, policy = parse_parallel_spec(args.parallel)
+    except ValueError as exc:
+        print(f"error: ValueError: {exc}", file=sys.stderr)
+        return 2
+    if policy is not None and args.engine == "row":
+        print("error: QueryBuildError: --parallel auto rescales compiled "
+              "shard state; row-plan operator state cannot be "
+              "re-partitioned — drop --engine row or use a fixed worker "
+              "count", file=sys.stderr)
+        return 2
+    if workers < 1:
+        print("error: QueryBuildError: workers must be >= 1",
+              file=sys.stderr)
+        return 2
+
     from repro.engine.compiler import UnsupportedPlanError
 
     try:
@@ -411,6 +429,11 @@ def _run_parallel_cli(args, dataset, latency, window):
               f"'{args.query}' shard plan cannot be compiled: {exc.reason}",
               file=sys.stderr)
         return 2
+    if policy is not None and not getattr(plan, "rescalable", False):
+        reason = getattr(plan, "rescale_reason", None) or "not rescalable"
+        print(f"error: QueryBuildError: --parallel auto cannot rescale "
+              f"the '{args.query}' plan: {reason}", file=sys.stderr)
+        return 2
     ingress = ingress_dataset(dataset, args.punctuation_frequency, latency)
     resilience = None
     start = time.perf_counter()
@@ -418,7 +441,7 @@ def _run_parallel_cli(args, dataset, latency, window):
         from repro.resilience.parallel import run_parallel_supervised
 
         outcome = run_parallel_supervised(
-            ingress, plan, args.parallel, fault=None
+            ingress, plan, workers, fault=None, autoscale=policy
         )
         parallel_doc = outcome.parallel
         resilience = outcome.resilience_doc()
@@ -432,7 +455,7 @@ def _run_parallel_cli(args, dataset, latency, window):
     else:
         from repro.parallel import run_parallel
 
-        result = run_parallel(ingress, plan, args.parallel)
+        result = run_parallel(ingress, plan, workers, autoscale=policy)
         parallel_doc = result.parallel
         n_results = len(result.events)
     elapsed = time.perf_counter() - start
@@ -445,7 +468,8 @@ def _run_parallel_cli(args, dataset, latency, window):
             "window": window,
             "punctuation_frequency": args.punctuation_frequency,
             "reorder_latency": latency,
-            "workers": args.parallel,
+            "workers": workers,
+            "parallel_spec": str(args.parallel),
             "engine": engine_name,
             "engine_reason": engine_reason,
             "elapsed_s": elapsed,
@@ -453,9 +477,13 @@ def _run_parallel_cli(args, dataset, latency, window):
         },
     )
 
+    workers_label = (
+        f"{workers} workers" if policy is None else
+        f"auto workers ({policy.min_workers}-{policy.max_workers})"
+    )
     print(
         f"{args.query} over {dataset.name} (n={len(dataset):,}, "
-        f"reorder latency {latency}, {args.parallel} workers): "
+        f"reorder latency {latency}, {workers_label}): "
         f"{n_results} result events in {elapsed:.3f}s "
         f"({len(dataset) / elapsed / 1e6:.3f} M events/s)"
     )
@@ -494,6 +522,7 @@ def _cmd_serve(args):
         server = ReproServer(
             args.data_dir, host=args.host, port=args.port,
             http_port=args.http_port, quota=args.quota,
+            tenant_slots=args.tenant_slots,
             queue_capacity=args.queue, read_deadline=args.deadline,
         )
         await server.start()
@@ -535,6 +564,20 @@ def format_parallel_summary(doc) -> str:
          "late drop", "late adj"],
         rows, title="Per-shard workers",
     ))
+    autoscale = doc.get("autoscale")
+    if autoscale:
+        trajectory = [autoscale["initial_workers"]] + [
+            entry["workers"] for entry in autoscale["applied"]
+        ]
+        lines.append(
+            "autoscale: "
+            + "→".join(str(w) for w in trajectory)
+            + f" workers (range {autoscale['policy']['min_workers']}-"
+            f"{autoscale['policy']['max_workers']}), "
+            f"{len(autoscale['applied'])} rescales "
+            f"({autoscale['deferred_rounds']} deferred rounds), "
+            f"{autoscale['worker_seconds']:.2f} worker-seconds"
+        )
     return "\n".join(lines)
 
 
@@ -599,9 +642,12 @@ def main(argv=None) -> int:
                         "output stays byte-identical")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the metrics JSON export here")
-    p.add_argument("--parallel", type=int, default=None, metavar="N",
-                   help="execute on N shard worker processes with "
-                        "shared-memory columnar exchange")
+    p.add_argument("--parallel", default=None, metavar="N|auto[:MIN-MAX]",
+                   help="execute on shard worker processes with "
+                        "shared-memory columnar exchange: a fixed count "
+                        "N, or 'auto' / 'auto:2-6' to let the coordinator "
+                        "grow and shrink the pool between punctuation "
+                        "rounds (output stays byte-identical)")
     p.add_argument("--supervised", action="store_true",
                    help="run under the fault-tolerant supervisor")
     p.add_argument("--chaos", default=None, metavar="SPEC",
@@ -625,6 +671,11 @@ def main(argv=None) -> int:
     p.add_argument("--quota", type=int, default=None, metavar="EVENTS",
                    help="per-tenant buffered-event quota; breaches force "
                         "an early punctuation (load shedding)")
+    p.add_argument("--tenant-slots", type=int, default=1, metavar="N",
+                   help="elastic quota slots per tenant: a quota breach "
+                        "grows the tenant's budget (up to N x quota) "
+                        "before any shedding; slots retire as buffers "
+                        "drain (default 1 = shed immediately)")
     p.add_argument("--queue", type=int, default=256, metavar="FRAMES",
                    help="per-tenant bounded ingress queue capacity")
     p.add_argument("--deadline", type=float, default=2.0, metavar="SECONDS",

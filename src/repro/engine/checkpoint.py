@@ -18,6 +18,20 @@ as-is (format 2's ``pending`` field) rather than being force-partitioned
 into the run pool, so taking a checkpoint never changes the live
 sorter's subsequent behaviour or its run statistics.
 
+Columnar sorters (:class:`~repro.core.columnar.ColumnarImpatienceSorter`
+and its bounded-memory twin
+:class:`~repro.sorting.external.ExternalColumnarSorter`) checkpoint as
+**format 4**: the buffered rows are captured as one sorted columnar
+batch (timestamps + payload columns + string columns) plus the
+watermark, optionally tagged with the shard's ``(index, count)`` when
+the checkpoint is one slice of a sharded pool — the handoff unit of the
+parallel runtime's live rescale (:mod:`repro.parallel.autoscale`).
+Capturing the in-memory sorter is non-destructive (a concatenate +
+stable argsort over chunk views); capturing the external sorter drains
+it via ``flush()`` — it is only checkpointed when the owning worker is
+retiring.  Restore inserts the batch *before* re-arming the watermark,
+so rows ADJUSTed onto the watermark itself survive the round trip.
+
 Bounded-memory sorters
 (:class:`~repro.sorting.external.ExternalImpatienceSorter`, keyless)
 checkpoint as **format 3**: the in-memory chunks and pending batch are
@@ -50,7 +64,8 @@ __all__ = ["checkpoint_sorter", "release_checkpoint", "restore_sorter"]
 #: spill-referencing checkpoint.
 _FORMAT = 2
 _FORMAT_EXTERNAL = 3
-_ACCEPTED_FORMATS = (1, 2, 3)
+_FORMAT_COLUMNAR = 4
+_ACCEPTED_FORMATS = (1, 2, 3, 4)
 
 _KEYED_MESSAGE = (
     "only keyless sorters are checkpointable; checkpoint raw "
@@ -58,19 +73,28 @@ _KEYED_MESSAGE = (
 )
 
 
-def checkpoint_sorter(sorter) -> dict:
+def checkpoint_sorter(sorter, shard=None) -> dict:
     """Snapshot a sorter's durable state as a plain dict.
 
     Captures the live runs (head-compacted), the pending ingress batch,
     the watermark, and the late-policy configuration.  Statistics are
     intentionally excluded — they are observability, not state.  The
-    live sorter is not mutated.  An
+    live sorter is not mutated (except the external *columnar* sorter,
+    which drains — see the module docstring).  An
     :class:`~repro.sorting.external.ExternalImpatienceSorter` produces
-    a format-3 checkpoint referencing its spilled run files (see the
-    module docstring).
+    a format-3 checkpoint referencing its spilled run files; columnar
+    sorters produce format 4, tagged with ``shard`` (an
+    ``(index, count)`` pair) when they are one slice of a sharded pool.
     """
-    from repro.sorting.external import ExternalImpatienceSorter
+    from repro.core.columnar import ColumnarImpatienceSorter
+    from repro.sorting.external import (
+        ExternalColumnarSorter,
+        ExternalImpatienceSorter,
+    )
 
+    if isinstance(sorter, (ColumnarImpatienceSorter,
+                           ExternalColumnarSorter)):
+        return _checkpoint_columnar(sorter, shard)
     if isinstance(sorter, ExternalImpatienceSorter):
         return _checkpoint_external(sorter)
     if sorter.key is not None:
@@ -89,16 +113,22 @@ def checkpoint_sorter(sorter) -> dict:
     }
 
 
-def restore_sorter(state: dict) -> ImpatienceSorter:
+def restore_sorter(state: dict, memory_budget=None):
     """Rebuild a sorter from :func:`checkpoint_sorter` output.
 
     The restored sorter emits exactly what the original would have for
     any subsequent input (behavioural equivalence is property-tested).
+    ``memory_budget`` applies to format-4 checkpoints only: restore
+    into a bounded-memory
+    :class:`~repro.sorting.external.ExternalColumnarSorter` instead of
+    the in-memory columnar sorter.
     """
     if state.get("format") not in _ACCEPTED_FORMATS:
         raise CheckpointError(
             f"unsupported checkpoint format {state.get('format')!r}"
         )
+    if state["format"] == _FORMAT_COLUMNAR:
+        return _restore_columnar(state, memory_budget)
     if state["format"] == _FORMAT_EXTERNAL:
         return _restore_external(state)
     sorter = ImpatienceSorter(
@@ -139,6 +169,105 @@ def restore_sorter(state: dict) -> ImpatienceSorter:
     sorter._pending_keys.extend(pending)
     sorter.stats.inserted += len(pending)
     sorter.stats.note_buffered()
+    return sorter
+
+
+# -- format 4: columnar sorters (sharded pools) -------------------------
+
+
+def _checkpoint_columnar(sorter, shard) -> dict:
+    """Format-4 checkpoint: buffered rows as one sorted columnar batch.
+
+    The in-memory sorter is captured non-destructively by concatenating
+    its chunk views and applying one stable argsort; the external
+    sorter's buffered/spilled rows are drained via ``flush()`` (only a
+    retiring worker checkpoints one).  The batch is always stored
+    fully sorted, so restore re-seeds the run pool with a single run.
+    """
+    import numpy as np
+
+    from repro.core.columnar import ColumnarImpatienceSorter
+    from repro.core.strings import StringColumn
+
+    if isinstance(sorter, ColumnarImpatienceSorter):
+        heads = [chunk for run in sorter._chunks for chunk in run]
+        if heads:
+            ts = np.concatenate([t for t, _, _ in heads])
+            order = np.argsort(ts, kind="stable")
+            ts = ts[order]
+            cols = [
+                np.concatenate([chunk[c] for _, chunk, _ in heads])[order]
+                for c in range(sorter.columns)
+            ]
+            scols = [
+                StringColumn.concat(
+                    [chunk[c] for _, _, chunk in heads]
+                ).take(order)
+                for c in range(sorter.string_columns)
+            ]
+        else:
+            ts = np.empty(0, dtype=np.int64)
+            cols = [np.empty(0, dtype=np.int64)
+                    for _ in range(sorter.columns)]
+            scols = [StringColumn.empty()
+                     for _ in range(sorter.string_columns)]
+    else:  # ExternalColumnarSorter — drains (retiring worker only)
+        drained = sorter.flush()
+        if sorter.string_columns:
+            ts, cols, scols = drained
+        elif sorter.columns:
+            ts, cols = drained
+            scols = ()
+        else:
+            ts, cols, scols = drained, (), ()
+        cols, scols = list(cols), list(scols)
+    watermark = sorter.watermark
+    return {
+        "format": _FORMAT_COLUMNAR,
+        "columns": sorter.columns,
+        "string_columns": sorter.string_columns,
+        "ts": ts,
+        "cols": cols,
+        "scols": scols,
+        "watermark": None if watermark == float("-inf") else watermark,
+        "late_policy": sorter.late.policy.value,
+        "shard": shard,
+    }
+
+
+def _restore_columnar(state, memory_budget=None):
+    """Rebuild a columnar sorter from a format-4 checkpoint.
+
+    Rows are inserted *before* the watermark is re-armed: a buffered
+    row ADJUSTed onto the watermark itself (``ts == watermark``) must
+    not be re-classified as late on restore.
+    """
+    from repro.core.columnar import ColumnarImpatienceSorter
+    from repro.sorting.external import ExternalColumnarSorter
+
+    policy = LatePolicy(state["late_policy"])
+    if memory_budget is not None:
+        sorter = ExternalColumnarSorter(
+            memory_budget, late_policy=policy,
+            columns=state["columns"],
+            string_columns=state["string_columns"],
+        )
+    else:
+        sorter = ColumnarImpatienceSorter(
+            late_policy=policy, columns=state["columns"],
+            string_columns=state["string_columns"],
+        )
+    import numpy as np
+
+    ts = np.asarray(state["ts"], dtype=np.int64)
+    if ts.size:
+        if np.any(ts[1:] < ts[:-1]):
+            raise CheckpointError("checkpoint batch is not ascending")
+        sorter.insert_batch(ts, tuple(state["cols"]),
+                            tuple(state["scols"]))
+    if state["watermark"] is not None:
+        sorter._watermark = state["watermark"]
+        sorter._has_watermark = True
     return sorter
 
 

@@ -231,7 +231,9 @@ class Streamables:
                     "metrics instrument a single-process pipeline; "
                     "parallel runs report result.parallel instead"
                 )
-            result = self._run_parallel(int(parallel), meter)
+            result = self._run_parallel(
+                self._resolve_parallel(parallel), meter
+            )
             result.engine_reason = reason
             return result
         clock = {}
@@ -318,6 +320,30 @@ class Streamables:
         return result
 
     # -- parallel (multi-process) execution --------------------------------
+
+    def _resolve_parallel(self, parallel) -> int:
+        """Resolve a ``run(parallel=...)`` value to a worker count.
+
+        Accepts the same spec grammar as ``repro run --parallel``: an
+        integer, ``"auto"``, or ``"auto:MIN-MAX"``.  Framework workers
+        partition *outputs* (not keys), so there is nothing to resize at
+        runtime — ``auto`` simply picks ``clamp(#outputs, MIN, MAX)``,
+        which is deterministic and already the effective ceiling
+        (``_run_parallel`` never forks more workers than outputs).
+        """
+        from repro.core.errors import QueryBuildError
+        from repro.parallel.autoscale import parse_parallel_spec
+
+        try:
+            workers, policy = parse_parallel_spec(parallel)
+        except ValueError as exc:
+            raise QueryBuildError(str(exc)) from None
+        if policy is None:
+            return workers
+        return max(
+            policy.min_workers,
+            min(policy.max_workers, len(self._outputs)),
+        )
 
     def _run_parallel(self, workers, meter):
         """One forked worker per output subset; see :meth:`run`.

@@ -15,7 +15,11 @@ Public surface:
   :class:`CompiledShardPlan` — per-shard plans; the last lowers any
   compilable :class:`~repro.engine.planner.QueryPlan` onto the fused
   columnar kernels and runs them inside every worker.
-- :func:`crash_once` — one-shot fault injection for crash tests.
+- :class:`AutoscalePolicy` / :func:`parse_parallel_spec` — adaptive
+  pool sizing between punctuation rounds (``--parallel auto``),
+  byte-identical to any fixed pool.
+- :func:`crash_once` / :func:`crash_on_rescale` — one-shot fault
+  injection for crash tests.
 - :class:`ShmRing` — the SPSC shared-memory ring (exchange transport).
 
 See ``docs/parallelism.md`` for the architecture walk-through.
@@ -25,6 +29,11 @@ from __future__ import annotations
 
 from multiprocessing import get_context
 
+from repro.parallel.autoscale import (
+    AutoscalePolicy,
+    ScaleDecision,
+    parse_parallel_spec,
+)
 from repro.parallel.plans import (
     CompiledShardPlan,
     GroupedAggregatePlan,
@@ -39,8 +48,12 @@ __all__ = [
     "RowPlan",
     "GroupedAggregatePlan",
     "CompiledShardPlan",
+    "AutoscalePolicy",
+    "ScaleDecision",
+    "parse_parallel_spec",
     "ShmRing",
     "crash_once",
+    "crash_on_rescale",
 ]
 
 
@@ -52,3 +65,13 @@ def crash_once(shard, after_rounds=1):
     prove byte-identical recovery."""
     flag = get_context("fork").Value("i", 1)
     return (shard, after_rounds, flag)
+
+
+def crash_on_rescale(shard):
+    """Build a ``fault`` spec that kills the worker for ``shard`` the
+    moment it receives an EXPORT frame — i.e. mid-rescale, after the
+    barrier drained but before its state ships.  One-shot, like
+    :func:`crash_once`: the supervised rerun replays cleanly and must
+    still produce exactly-once output."""
+    flag = get_context("fork").Value("i", 1)
+    return (shard, -1, flag)

@@ -1,0 +1,231 @@
+"""Adaptive sizing of the shard worker pool.
+
+The parallel runtime executes a fixed ``--parallel N`` pool; a bursty
+workload either over-provisions cores all day or falls behind at peak.
+This module closes the loop: the coordinator already observes, every
+punctuation round, exactly the disorder-aware signals that predict
+whether the pool is too small or too large —
+
+* **ring backpressure** — time the coordinator spent blocked writing
+  into worker input rings (:attr:`ShmRing.stall_s`); rising stall means
+  workers cannot keep up with routing,
+* **per-shard backlog** — the post-round ``buffered`` row count each
+  worker reports in its widened ACK frame; the sorters' impatience
+  buffers growing round-over-round means punctuation-driven release is
+  losing ground,
+* **routed volume and skew** — events routed per round and their
+  distribution over shards.
+
+:class:`AutoscalePolicy` is a deliberately boring hysteresis controller
+over those signals: grow one worker when per-worker volume (or stall
+ratio) crosses the high watermark, shrink one when it falls below the
+low watermark, with a cooldown between applied decisions so transient
+spikes don't thrash the pool.  It is a *pure function of the observed
+signal trace*: same signals in, same :class:`ScaleDecision`\\ s out —
+which is what lets the supervisor journal decisions and replay them
+deterministically after a crash (see
+:mod:`repro.resilience.parallel`).
+
+The policy only decides; the coordinator executes the decision at a
+punctuation barrier (drain rings, export per-shard sorter + kernel
+state, re-partition keys with the same ``stable_key_hash`` modulo the
+new pool size, fork/retire workers — state moves by handoff, nothing is
+reprocessed).  See ``docs/parallelism.md`` for the barrier protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RoundSignals",
+    "ScaleDecision",
+    "AutoscalePolicy",
+    "parse_parallel_spec",
+]
+
+
+@dataclass(frozen=True)
+class RoundSignals:
+    """One punctuation round's telemetry, as the coordinator saw it.
+
+    ``round`` is the cumulative punctuation index (monotone across
+    rescales), ``stall_s`` the coordinator's input-ring write-stall
+    time accrued during the round, ``buffered`` the per-shard sorter
+    backlog reported in each worker's ACK.
+    """
+
+    round: int
+    workers: int
+    events: int
+    per_shard: tuple
+    buffered: tuple
+    stall_s: float
+    wall_s: float
+
+    @property
+    def events_per_worker(self) -> float:
+        return self.events / max(1, self.workers)
+
+    @property
+    def stall_ratio(self) -> float:
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.stall_s / self.wall_s
+
+    @property
+    def skew(self) -> float:
+        """max/mean routed events across shards (1.0 = perfectly even)."""
+        if not self.per_shard or not self.events:
+            return 1.0
+        return max(self.per_shard) * self.workers / self.events
+
+    def as_doc(self) -> dict:
+        return {
+            "round": self.round,
+            "workers": self.workers,
+            "events": self.events,
+            "per_shard": list(self.per_shard),
+            "buffered": list(self.buffered),
+            "stall_s": round(self.stall_s, 6),
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """A policy verdict: resize the pool to ``workers`` at the next
+    punctuation barrier.  ``round`` is the signal round that triggered
+    it; ``reason`` is a short human string for the snapshot."""
+
+    round: int
+    workers: int
+    reason: str
+
+    def as_doc(self) -> dict:
+        return {
+            "round": self.round,
+            "workers": self.workers,
+            "reason": self.reason,
+        }
+
+
+class AutoscalePolicy:
+    """Hysteresis controller with cooldown over per-round signals.
+
+    Grow (by one worker) when per-worker routed volume exceeds ``high``
+    or the coordinator's write-stall ratio exceeds ``stall_high``;
+    shrink (by one) when per-worker volume falls below ``low`` and
+    backlog is drained.  ``cooldown`` rounds must pass after an
+    *applied* decision (the coordinator calls :meth:`notify_applied`)
+    before the next one — deferred decisions (asymmetric merge tree)
+    do not restart the clock.
+
+    Deterministic: holds no clocks and consults no environment, so the
+    decision sequence is a pure function of the observed signal trace.
+    """
+
+    def __init__(self, min_workers=1, max_workers=4, *, high=4096.0,
+                 low=512.0, cooldown=2, stall_high=0.2):
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.high = float(high)
+        self.low = float(low)
+        self.cooldown = int(cooldown)
+        self.stall_high = float(stall_high)
+        self._since_applied = self.cooldown  # ready immediately
+        self.decisions = []                  # every emitted ScaleDecision
+
+    def spec(self) -> dict:
+        return {
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "high": self.high,
+            "low": self.low,
+            "cooldown": self.cooldown,
+            "stall_high": self.stall_high,
+        }
+
+    def observe(self, signals: RoundSignals):
+        """Consume one round's signals; return a :class:`ScaleDecision`
+        or ``None``.  The coordinator may defer an emitted decision
+        (e.g. the merge tree isn't at a symmetric barrier yet); only
+        :meth:`notify_applied` restarts the cooldown clock."""
+        self._since_applied += 1
+        if self._since_applied <= self.cooldown:
+            return None
+        workers = signals.workers
+        target = workers
+        reason = None
+        if signals.stall_ratio > self.stall_high and workers < self.max_workers:
+            target = workers + 1
+            reason = (f"stall_ratio {signals.stall_ratio:.2f} > "
+                      f"{self.stall_high:.2f}")
+        elif (signals.events_per_worker > self.high
+                and workers < self.max_workers):
+            target = workers + 1
+            reason = (f"events/worker {signals.events_per_worker:.0f} > "
+                      f"high {self.high:.0f}")
+        elif (signals.events_per_worker < self.low
+                and workers > self.min_workers):
+            target = workers - 1
+            reason = (f"events/worker {signals.events_per_worker:.0f} < "
+                      f"low {self.low:.0f}")
+        if target == workers:
+            return None
+        target = max(self.min_workers, min(self.max_workers, target))
+        decision = ScaleDecision(round=signals.round, workers=target,
+                                 reason=reason)
+        self.decisions.append(decision)
+        return decision
+
+    def notify_applied(self, decision: ScaleDecision) -> None:
+        """The coordinator applied ``decision``; start the cooldown."""
+        self._since_applied = 0
+
+
+def parse_parallel_spec(spec, *, default_max=4):
+    """Parse a ``--parallel`` value into ``(initial_workers, policy)``.
+
+    ``"N"``/``N`` → fixed pool of N, no policy.  ``"auto"`` →
+    ``(1, AutoscalePolicy(1, default_max))``.  ``"auto:MIN-MAX"`` →
+    ``(MIN, AutoscalePolicy(MIN, MAX))``.  Raises :class:`ValueError`
+    on anything else (callers turn that into their usual exit-2 guard).
+    """
+    if isinstance(spec, int):
+        return spec, None
+    text = str(spec).strip()
+    if not text.startswith("auto"):
+        try:
+            return int(text), None
+        except ValueError:
+            raise ValueError(
+                f"invalid --parallel spec {spec!r}: expected an integer, "
+                "'auto', or 'auto:MIN-MAX'"
+            ) from None
+    if text == "auto":
+        policy = AutoscalePolicy(1, default_max)
+        return policy.min_workers, policy
+    if not text.startswith("auto:"):
+        raise ValueError(
+            f"invalid --parallel spec {spec!r}: expected 'auto' or "
+            "'auto:MIN-MAX'"
+        )
+    lo, sep, hi = text[len("auto:"):].partition("-")
+    try:
+        low, high = int(lo), int(hi)
+    except ValueError:
+        raise ValueError(
+            f"invalid --parallel spec {spec!r}: bounds must be integers "
+            "like 'auto:2-6'"
+        ) from None
+    if not sep or low < 1 or high < low:
+        raise ValueError(
+            f"invalid --parallel spec {spec!r}: need 1 <= MIN <= MAX"
+        )
+    policy = AutoscalePolicy(low, high)
+    return policy.min_workers, policy

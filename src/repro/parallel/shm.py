@@ -26,10 +26,22 @@ sleep) while the ring is full, invoking an optional ``pump`` callback
 each iteration — the coordinator passes a closure that drains worker
 output rings, which is what makes the full-duplex exchange
 deadlock-free.
+
+Waiting has three tiers: a short hot spin, an exponentially backed-off
+micro-sleep, and — once the backoff ceiling has been hit a few times —
+a *parked* wait (a 10 ms sleep, the closest thing to an event wait an
+SPSC shared-memory ring without futexes can offer).  An idle worker
+therefore wakes ~100 times a second instead of ~500+, which is what
+keeps a drained shard from burning a core while the coordinator routes
+other shards' traffic.  Every ring counts its waits (``spins``,
+``parks``, ``stall_s``, ``park_s``; process-local after fork) — workers
+report them in their STATS frames and the coordinator reads its own
+input rings' stall time as the autoscaler's backpressure signal.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import time
 from multiprocessing import shared_memory
@@ -49,6 +61,12 @@ WRAP_MARK = 0xFFFFFFFF
 _SPIN_FAST = 32
 _SPIN_SLEEP = 0.0002
 _SPIN_SLEEP_MAX = 0.002
+# After this many consecutive ceiling-rate sleeps the waiter parks.
+_PARK_AFTER = 8
+_PARK_SLEEP = 0.01
+#: Kill switch for the park tier (``REPRO_RING_PARK=0``), so benchmarks
+#: can measure the idle-CPU difference; forked workers inherit the flag.
+PARK_ENABLED = os.environ.get("REPRO_RING_PARK", "1") != "0"
 _PINNED = []  # segments that could not unmap because views outlive them
 
 
@@ -58,6 +76,46 @@ class RingClosedError(RuntimeError):
 
 def _align(n: int) -> int:
     return (n + 7) & ~7
+
+
+class _RingWait:
+    """One blocking operation's spin → backoff → park ladder.
+
+    Created lazily on the first failed attempt, so the uncontended fast
+    path costs nothing; counters accumulate on the ring instance
+    (process-local after fork — each side counts its own waits).
+    """
+
+    __slots__ = ("ring", "spins", "delay", "ceiling", "t0")
+
+    def __init__(self, ring):
+        self.ring = ring
+        self.spins = 0
+        self.delay = _SPIN_SLEEP
+        self.ceiling = 0
+        self.t0 = time.monotonic()
+
+    def wait(self) -> None:
+        ring = self.ring
+        self.spins += 1
+        ring.spins += 1
+        if self.spins < _SPIN_FAST:
+            return
+        if PARK_ENABLED and self.ceiling >= _PARK_AFTER:
+            # Parkable tier: the peer has been quiet long past the
+            # backoff ceiling; stop draining its scheduler slices.
+            parked = time.monotonic()
+            time.sleep(_PARK_SLEEP)
+            ring.parks += 1
+            ring.park_s += time.monotonic() - parked
+            return
+        time.sleep(self.delay)
+        if self.delay >= _SPIN_SLEEP_MAX:
+            self.ceiling += 1
+        self.delay = min(self.delay * 2, _SPIN_SLEEP_MAX)
+
+    def done(self) -> None:
+        self.ring.stall_s += time.monotonic() - self.t0
 
 
 class ShmRing:
@@ -95,6 +153,11 @@ class ShmRing:
         # the payload view returned by the previous read stays valid
         # (the producer only reuses a frame's bytes once head moves).
         self._release = None
+        # Wait accounting (see _RingWait; process-local after fork).
+        self.spins = 0
+        self.parks = 0
+        self.stall_s = 0.0
+        self.park_s = 0.0
 
     @classmethod
     def attach(cls, name) -> "ShmRing":
@@ -182,9 +245,10 @@ class ShmRing:
         :class:`TimeoutError` if the ring stays full for ``timeout``
         seconds.
         """
+        if self.try_write(kind, payload, reserve):
+            return
         deadline = time.monotonic() + timeout
-        spins = 0
-        delay = _SPIN_SLEEP
+        waiter = _RingWait(self)
         while not self.try_write(kind, payload, reserve):
             if pump is not None:
                 pump()
@@ -195,10 +259,8 @@ class ShmRing:
                     f"ring {self.name} full for {timeout:.0f}s "
                     "(consumer stalled?)"
                 )
-            spins += 1
-            if spins >= _SPIN_FAST:
-                time.sleep(delay)
-                delay = min(delay * 2, _SPIN_SLEEP_MAX)
+            waiter.wait()
+        waiter.done()
 
     # -- consumer ----------------------------------------------------------
 
@@ -238,25 +300,26 @@ class ShmRing:
 
     def read(self, timeout=30.0, alive=None):
         """Blocking :meth:`try_read`; raises on timeout or dead peer."""
+        frame = self.try_read()
+        if frame is not None:
+            return frame
         deadline = time.monotonic() + timeout
-        spins = 0
-        delay = _SPIN_SLEEP
+        waiter = _RingWait(self)
         while True:
             frame = self.try_read()
             if frame is not None:
+                waiter.done()
                 return frame
             if alive is not None and not alive():
                 # One more look: the peer may have written, then exited.
                 frame = self.try_read()
                 if frame is not None:
+                    waiter.done()
                     return frame
                 raise RingClosedError("peer died with the ring empty")
             if time.monotonic() > deadline:
                 raise TimeoutError(f"ring {self.name} empty for {timeout:.0f}s")
-            spins += 1
-            if spins >= _SPIN_FAST:
-                time.sleep(delay)
-                delay = min(delay * 2, _SPIN_SLEEP_MAX)
+            waiter.wait()
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import time
 
 from repro.parallel import exchange
 from repro.parallel.shm import RingClosedError
@@ -79,7 +80,27 @@ def _ship(out_ring, items):
             raise RuntimeError(f"unknown output item kind {kind!r}")
 
 
-def _drain(executor, out_ring) -> None:
+def _worker_stats(executor, in_ring, out_ring, t0, cpu0) -> dict:
+    """The executor's stats dict enriched with process-level signals.
+
+    Ring wait counters (both directions, this process's side only — the
+    counters are process-local after fork), CPU seconds, and wall
+    seconds: the numbers the idle-spin fix is measured by, and part of
+    the telemetry the autoscaler's snapshot records per epoch.
+    """
+    stats = executor.stats()
+    stats["ring_wait"] = {
+        "spins": in_ring.spins + out_ring.spins,
+        "parks": in_ring.parks + out_ring.parks,
+        "stall_s": round(in_ring.stall_s + out_ring.stall_s, 6),
+        "park_s": round(in_ring.park_s + out_ring.park_s, 6),
+    }
+    stats["cpu_s"] = round(time.process_time() - cpu0, 6)
+    stats["wall_s"] = round(time.monotonic() - t0, 6)
+    return stats
+
+
+def _drain(executor, out_ring, stats) -> None:
     """Graceful-shutdown epilogue: flush and emit the completion frames.
 
     Best-effort by design — the coordinator that sent SIGTERM may have
@@ -90,21 +111,29 @@ def _drain(executor, out_ring) -> None:
         _ship(out_ring, executor.feed_flush())
         out_ring.write(exchange.FLUSH, alive=_parent_alive, timeout=5.0)
         exchange.write_pickled(
-            out_ring, exchange.STATS, executor.stats(),
-            alive=_parent_alive,
+            out_ring, exchange.STATS, stats(), alive=_parent_alive,
         )
         out_ring.write(exchange.DONE, alive=_parent_alive, timeout=5.0)
     except (RingClosedError, TimeoutError, OSError):
         pass
 
 
-def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
+def worker_main(shard, plan, in_ring, out_ring, fault=None,
+                initial_state=None) -> None:
     """Process entry point; returns (exits) after DONE or a fatal error.
 
     ``fault`` is a test-only ``(crash_flag, after_rounds)`` pair: when
     the shared flag is still set after processing ``after_rounds``
     punctuation rounds, the worker clears it and dies abruptly via
     ``os._exit`` — simulating a hard crash exactly once across restarts.
+    ``after_rounds == -1`` is the rescale sentinel: the worker dies on
+    EXPORT/HANDOFF receipt instead, mid-barrier.
+
+    ``initial_state`` is a rescale handoff doc (a re-partitioned slice
+    of the retired pool's exported state, see
+    :func:`repro.parallel.plans._partition_exported`): restored into
+    the executor before the first frame, so the new pool picks up
+    exactly where the old one stopped without reprocessing anything.
     """
     state = {"drain": False, "interruptible": False}
 
@@ -117,6 +146,13 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
     # startup must still drain, not die with the default action.
     signal.signal(signal.SIGTERM, _on_sigterm)
     executor = plan.build_executor(shard)
+    if initial_state is not None:
+        executor.restore_state(initial_state)
+    t0, cpu0 = time.monotonic(), time.process_time()
+
+    def stats():
+        return _worker_stats(executor, in_ring, out_ring, t0, cpu0)
+
     rounds = 0
     try:
         while True:
@@ -145,21 +181,51 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
                 rounds += 1
                 if fault is not None:
                     flag, after_rounds = fault
-                    if rounds >= after_rounds and flag.value:
+                    if (after_rounds >= 0 and rounds >= after_rounds
+                            and flag.value):
                         with flag.get_lock():
                             if flag.value:
                                 flag.value = 0
                                 os._exit(43)
                 out_ring.write(
                     exchange.ACK,
-                    exchange.ACK_STRUCT.pack(round_no, offset),
+                    exchange.ACK_STRUCT.pack(
+                        round_no, offset, executor.buffered()
+                    ),
                     alive=_parent_alive,
                 )
+            elif kind in (exchange.EXPORT, exchange.HANDOFF):
+                # Rescale barrier: ship state + stats, then either exit
+                # (EXPORT — this shard is being retired) or stay warm
+                # for the re-partitioned slice (HANDOFF — same process,
+                # same rings, no fork on the coordinator's side).
+                if fault is not None:
+                    flag, after_rounds = fault
+                    if after_rounds == -1 and flag.value:
+                        with flag.get_lock():
+                            if flag.value:
+                                flag.value = 0
+                                os._exit(43)
+                exchange.write_pickled(
+                    out_ring, exchange.STATE,
+                    {"state": executor.export_state(), "stats": stats()},
+                    alive=_parent_alive,
+                )
+                if kind == exchange.EXPORT:
+                    out_ring.write(exchange.DONE, alive=_parent_alive)
+                    return
+            elif kind == exchange.IMPORT:
+                # The coordinator's answer to HANDOFF: a fresh executor
+                # seeded with this shard's slice of the re-partitioned
+                # pool state.  Round numbering restarts with the epoch.
+                executor = plan.build_executor(shard)
+                executor.restore_state(exchange.read_pickled(payload))
+                rounds = 0
             elif kind == exchange.FLUSH:
                 _ship(out_ring, executor.feed_flush())
                 out_ring.write(exchange.FLUSH, alive=_parent_alive)
                 exchange.write_pickled(
-                    out_ring, exchange.STATS, executor.stats(),
+                    out_ring, exchange.STATS, stats(),
                     alive=_parent_alive,
                 )
                 out_ring.write(exchange.DONE, alive=_parent_alive)
@@ -171,7 +237,7 @@ def worker_main(shard, plan, in_ring, out_ring, fault=None) -> None:
                 raise RuntimeError(f"unexpected input frame kind {kind}")
     except _DrainRequested:
         # Graceful SIGTERM: finish as if the stream ended here.
-        _drain(executor, out_ring)
+        _drain(executor, out_ring, stats)
         return
     except RingClosedError:
         # Coordinator died; nothing to report to.

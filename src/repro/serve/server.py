@@ -74,14 +74,15 @@ class ReproServer:
     """Multi-tenant standing-query service over TCP + HTTP listeners."""
 
     def __init__(self, data_dir, host="127.0.0.1", port=0, http_port=0,
-                 quota=None, queue_capacity=256, read_deadline=2.0,
-                 ledger_max_entries=1_000):
+                 quota=None, tenant_slots=1, queue_capacity=256,
+                 read_deadline=2.0, ledger_max_entries=1_000):
         self.data_dir = str(data_dir)
         os.makedirs(self.data_dir, exist_ok=True)
         self.host = host
         self.port = port
         self.http_port = http_port
         self.quota = quota
+        self.tenant_slots = tenant_slots
         self.queue_capacity = queue_capacity
         self.read_deadline = read_deadline
         self.ledger = QuarantineLedger(
@@ -148,7 +149,8 @@ class ReproServer:
         runtime = self.tenants.get(name)
         if runtime is None:
             runtime = TenantRuntime(
-                name, self.data_dir, self.ledger, quota=self.quota
+                name, self.data_dir, self.ledger, quota=self.quota,
+                max_slots=self.tenant_slots,
             )
             self.tenants[name] = runtime
             self.queues[name] = asyncio.Queue(maxsize=self.queue_capacity)
@@ -207,6 +209,8 @@ class ReproServer:
                 "queue_capacity": self.queue_capacity,
                 "journal": runtime.journal.length,
                 "watermark": runtime.watermark,
+                "slots": runtime.slots,
+                "max_slots": runtime.max_slots,
                 "counters": dict(runtime.counters),
                 "subscribers": len(self.subs[name]),
                 "queries": {

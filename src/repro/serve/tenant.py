@@ -11,10 +11,17 @@ do to a tenant lands here as an explicit, counted decision:
   :class:`~repro.resilience.quarantine.QuarantineLedger` with a
   ``net:<tenant>@<offset>`` source record — ``counters["quarantined"]``.
 * **Buffer-quota breaches** consult a per-tenant
-  :class:`~repro.resilience.degradation.LoadSheddingGuard`; a forced
-  early punctuation is journaled as a ``"g"`` line so crash-recovery
-  replay reproduces the shed deterministically —
-  ``counters["shed"]``.
+  :class:`~repro.resilience.degradation.LoadSheddingGuard`.  With
+  ``max_slots > 1`` the tenant is *elastic*: a breach first grows the
+  quota by one slot (``counters["scale_ups"]``) — mirroring the
+  parallel runtime's autoscaler, capacity before data loss — and only
+  sheds once every slot is consumed.  A forced early punctuation is
+  journaled as a ``"g"`` line so crash-recovery replay reproduces the
+  shed deterministically — ``counters["shed"]``.  Slots retire
+  (``counters["scale_downs"]``) once occupancy drains back under the
+  next-lower tier's half mark.  Slot changes are *not* journaled:
+  replay never consults the guard, so elasticity cannot perturb
+  recovery.
 * **Slow/stalled writers** are evicted by the server's read deadline —
   ``counters["evictions"]`` — and **reconnects** (including
   post-eviction and post-crash) increment ``counters["reconnects"]``.
@@ -38,19 +45,24 @@ __all__ = ["TenantRuntime"]
 
 _NEG_INF = float("-inf")
 
-_COUNTERS = ("quarantined", "duplicates", "reconnects", "evictions", "shed")
+_COUNTERS = ("quarantined", "duplicates", "reconnects", "evictions",
+             "shed", "scale_ups", "scale_downs")
 
 
 class TenantRuntime:
     """One tenant's durable ingress state and standing-query registry."""
 
-    def __init__(self, name, data_dir, ledger, quota=None):
+    def __init__(self, name, data_dir, ledger, quota=None, max_slots=1):
         self.name = name
         self.journal = TenantJournal(
             os.path.join(data_dir, f"journal-{name}.jsonl")
         )
         self.ledger = ledger
         self.quota = quota
+        if max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        self.max_slots = int(max_slots)
+        self.slots = 1             # current quota multiplier
         self.queries = {}          # qid -> StandingQuery
         self.counters = {c: 0 for c in _COUNTERS}
         #: Whether an ingest-role connection ever bound this tenant —
@@ -60,9 +72,12 @@ class TenantRuntime:
         self._high = _NEG_INF      # max sync_time seen (guard fallback ts)
         self._guard = None
         if quota is not None:
-            self._guard = LoadSheddingGuard(
-                max_buffered_events=quota, check_interval=1
-            )
+            self._guard = self._make_guard()
+
+    def _make_guard(self) -> LoadSheddingGuard:
+        return LoadSheddingGuard(
+            max_buffered_events=self.quota * self.slots, check_interval=1
+        )
 
     # -- standing queries --------------------------------------------------
 
@@ -116,6 +131,7 @@ class TenantRuntime:
         self.watermark = timestamp
         for query in self.queries.values():
             query.push_punctuation(timestamp)
+        self._maybe_scale_down()
         return True
 
     def accept_end(self, offset) -> bool:
@@ -138,21 +154,52 @@ class TenantRuntime:
     def _check_quota(self) -> None:
         """Consult the shedding guard against every standing pipeline.
 
-        A breach forces one early punctuation for the whole tenant —
-        journaled as a ``"g"`` line first, so replay re-applies the shed
-        without re-consulting the guard (deterministic recovery).
+        An elastic tenant (``max_slots > 1``) answers a breach by
+        growing the quota one slot — discarding the guard (and its
+        recorded decision) for a fresh one at the larger bound — so
+        bursts ride on capacity, not data loss.  Only a breach with
+        every slot consumed sheds: one forced early punctuation for the
+        whole tenant, journaled as a ``"g"`` line first so replay
+        re-applies the shed without re-consulting the guard
+        (deterministic recovery).
         """
         if self._guard is None:
             return
         for query in self.queries.values():
             forced = self._guard.check(query.pipeline, self._high)
             if forced is not None:
+                if self.slots < self.max_slots:
+                    self.slots += 1
+                    self._guard = self._make_guard()
+                    self.counters["scale_ups"] += 1
+                    return
                 self.journal.append_punctuation(forced, forced=True)
                 self.watermark = forced
                 for q in self.queries.values():
                     q.push_punctuation(forced)
                 self.counters["shed"] += 1
                 return
+
+    def _maybe_scale_down(self) -> None:
+        """Retire a slot once occupancy drains below half the
+        next-lower tier (hysteresis: the grow trigger is the full
+        current tier, so draining jitter cannot thrash)."""
+        if self._guard is None or self.slots <= 1:
+            return
+        buffered = sum(
+            query.pipeline.buffered_events()
+            for query in self.queries.values()
+        )
+        changed = False
+        while (
+            self.slots > 1
+            and buffered <= (self.quota * (self.slots - 1)) // 2
+        ):
+            self.slots -= 1
+            self.counters["scale_downs"] += 1
+            changed = True
+        if changed:
+            self._guard = self._make_guard()
 
     # -- recovery ----------------------------------------------------------
 
@@ -165,6 +212,11 @@ class TenantRuntime:
         regenerated result prefix against its pre-crash digest.
         """
         self.counters.update(state.get("counters", {}))
+        # Resume at the pre-crash slot tier (clamped: the server may
+        # have restarted with a smaller --tenant-slots).
+        self.slots = min(int(state.get("slots", 1)), self.max_slots)
+        if self._guard is not None:
+            self._guard = self._make_guard()
         # A recovered tenant was fed before the crash, so its next
         # ingest HELLO is a reconnect.
         self.had_ingest = True
@@ -195,6 +247,7 @@ class TenantRuntime:
             "counters": dict(self.counters),
             "journal": self.journal.length,
             "watermark": self.watermark,
+            "slots": self.slots,
             "queries": {
                 qid: query.as_state()
                 for qid, query in self.queries.items()

@@ -433,7 +433,7 @@ class TestServeEndToEnd:
             assert tenant["queue_capacity"] == 256
             assert set(tenant["counters"]) == {
                 "quarantined", "duplicates", "reconnects", "evictions",
-                "shed",
+                "shed", "scale_ups", "scale_downs",
             }
             query = tenant["queries"]["q1"]
             assert query["spec"] == spec
